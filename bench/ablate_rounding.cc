@@ -1,0 +1,103 @@
+// Ablation (DESIGN.md §5): rounding mode of the fixed-point grids.
+//   kNearest    — round half away from zero (Ristretto, our default)
+//   kFloor      — truncation (the cheapest hardware)
+//   kStochastic — probability-proportional rounding (Gupta et al. [8],
+//                 the paper's reference for limited-precision training)
+// Stochastic rounding keeps quantization unbiased, which matters most
+// at the lowest widths during QAT.
+#include <iostream>
+
+#include "bench_common.h"
+#include "nn/trainer.h"
+#include "quant/qat.h"
+
+namespace qnn {
+namespace {
+
+double accuracy_for(const nn::Network& float_net, const data::Split& split,
+                    int bits, Rounding rounding) {
+  nn::ZooConfig zc;
+  zc.channel_scale = 0.5;
+  auto net = nn::make_lenet(zc);
+  net->copy_params_from(float_net);
+  quant::PrecisionConfig cfg = quant::fixed_config(bits, bits);
+  cfg.rounding = rounding;
+  quant::QuantizedNetwork qnet(*net, cfg);
+  quant::QatConfig qc;
+  qc.train.epochs = 2;
+  qc.train.batch_size = 32;
+  qc.train.sgd.learning_rate = 0.01;
+  seed_stochastic_rounding(1234);
+  quant::qat_finetune(qnet, split.train, qc);
+  // Evaluate with deterministic rounding semantics regardless of the
+  // training mode? No — the deployed hardware rounds the same way it
+  // was trained for; evaluate as configured.
+  const double acc = nn::evaluate(qnet, split.test);
+  qnet.restore_masters();
+  return acc;
+}
+
+void run() {
+  const double scale = bench::fast_mode() ? 0.3 : bench::bench_scale();
+  bench::print_header(
+      "Ablation — rounding mode x bit width (LeNet on MNIST-like)");
+  data::SyntheticConfig dc;
+  dc.num_train = static_cast<std::int64_t>(2000 * scale);
+  dc.num_test = 600;
+  const auto split = data::make_mnist_like(dc);
+
+  nn::ZooConfig zc;
+  zc.channel_scale = 0.5;
+  auto float_net = nn::make_lenet(zc);
+  nn::TrainConfig tc;
+  tc.epochs = 5;
+  tc.batch_size = 32;
+  tc.sgd.learning_rate = 0.02;
+  nn::train(*float_net, split.train, tc);
+  std::cout << "float baseline: "
+            << format_percent(nn::evaluate(*float_net, split.test))
+            << "%\n\n";
+
+  Table t({"Rounding", "fixed(8,8) acc%", "fixed(4,4) acc%",
+           "fixed(2,8)* acc%"});
+  struct Mode {
+    const char* name;
+    Rounding r;
+  };
+  for (const Mode m : {Mode{"nearest (default)", Rounding::kNearest},
+                       Mode{"floor/truncate", Rounding::kFloor},
+                       Mode{"stochastic", Rounding::kStochastic}}) {
+    const double a8 = accuracy_for(*float_net, split, 8, m.r);
+    const double a4 = accuracy_for(*float_net, split, 4, m.r);
+    // Extreme point: 2-bit weights, 8-bit data.
+    nn::ZooConfig zc2;
+    zc2.channel_scale = 0.5;
+    auto net = nn::make_lenet(zc2);
+    net->copy_params_from(*float_net);
+    quant::PrecisionConfig cfg = quant::fixed_config(2, 8);
+    cfg.rounding = m.r;
+    quant::QuantizedNetwork qnet(*net, cfg);
+    quant::QatConfig qc;
+    qc.train.epochs = 2;
+    qc.train.batch_size = 32;
+    qc.train.sgd.learning_rate = 0.01;
+    quant::qat_finetune(qnet, split.train, qc);
+    const double a2 = nn::evaluate(qnet, split.test);
+    qnet.restore_masters();
+    t.add_row({m.name, format_percent(a8), format_percent(a4),
+               format_percent(a2)});
+  }
+  std::cout << t.to_string();
+  std::cout << "\n* fixed(2,8): 2-bit weights / 8-bit data, beyond the "
+               "paper's sweep.\nExpected shape: modes tie at 8 bits; "
+               "truncation's bias hurts at 4 and below, stochastic "
+               "tracks or beats nearest (Gupta et al.).\n";
+}
+
+}  // namespace
+}  // namespace qnn
+
+int main() {
+  qnn::run();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared helpers for the table/figure reproduction binaries.
+//
+// Every binary runs standalone with no arguments and prints the
+// paper-formatted table plus a paper-vs-measured comparison where the
+// paper published numbers. Environment knobs:
+//   QNN_BENCH_FAST=1   shrink training budgets ~4x (CI smoke)
+//   QNN_BENCH_SCALE=f  multiply train-set sizes by f (default 1)
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "exp/sweep.h"
+#include "util/table.h"
+
+namespace qnn::bench {
+
+inline bool fast_mode() {
+  const char* v = std::getenv("QNN_BENCH_FAST");
+  return v != nullptr && std::string(v) != "0";
+}
+
+inline double bench_scale() {
+  const char* v = std::getenv("QNN_BENCH_SCALE");
+  if (v == nullptr) return 1.0;
+  const double f = std::atof(v);
+  return f > 0 ? f : 1.0;
+}
+
+// Per-image energy of the FULL-SIZE (channel_scale = 1) architecture at
+// each precision. Accuracy experiments run on channel-scaled networks to
+// fit the single-core budget, but the energy/area/power columns are
+// training-independent, so they are always reported for the paper's
+// actual architectures.
+struct FullScaleHw {
+  double energy_uj = 0;
+  double area_mm2 = 0;
+  double power_mw = 0;
+  std::int64_t cycles = 0;
+};
+
+inline FullScaleHw full_scale_hw(const std::string& network,
+                                 const quant::PrecisionConfig& precision) {
+  auto net = nn::make_network(network, {});
+  const Shape in = nn::input_shape_for(network);
+  hw::AcceleratorConfig cfg;
+  cfg.precision = precision;
+  const hw::Accelerator acc(cfg);
+  const auto sched = hw::schedule_network(net->describe(in), acc);
+  return {sched.energy_uj(acc), acc.area_mm2(), acc.power_mw(),
+          sched.total_cycles};
+}
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+}  // namespace qnn::bench

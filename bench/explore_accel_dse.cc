@@ -1,0 +1,56 @@
+// Design-space exploration of the accelerator geometry (beyond the
+// paper, enabled by the analytical model): sweeps the Tn×Ts tile size
+// and buffer depths at fixed precision, reporting area, power, LeNet
+// runtime, energy, and the energy-delay product — showing where the
+// paper's 16×16 @ 64-entry choice sits in its neighborhood. No training.
+#include <iostream>
+
+#include "bench_common.h"
+#include "hw/schedule.h"
+
+namespace qnn {
+namespace {
+
+void run() {
+  bench::print_header(
+      "Accelerator design-space exploration (fixed(16,16), LeNet)");
+
+  auto net = nn::make_lenet();
+  const auto descs = net->describe(Shape{1, 1, 28, 28});
+
+  Table t({"Tn x Ts", "Sb entries", "Area mm^2", "Power mW", "Runtime us",
+           "Energy uJ", "EDP uJ*us"});
+  for (const int tiles : {8, 16, 32}) {
+    for (const int entries : {32, 64, 128}) {
+      hw::AcceleratorConfig cfg;
+      cfg.precision = quant::fixed_config(16, 16);
+      cfg.neurons = tiles;
+      cfg.synapses_per_neuron = tiles;
+      cfg.bin_entries = entries;
+      cfg.bout_entries = entries;
+      cfg.sb_entries = entries;
+      const hw::Accelerator acc(cfg);
+      const auto sched = hw::schedule_network(descs, acc);
+      const double us = sched.runtime_us(acc);
+      const double uj = sched.energy_uj(acc);
+      t.add_row({std::to_string(tiles) + "x" + std::to_string(tiles),
+                 std::to_string(entries), format_fixed(acc.area_mm2(), 2),
+                 format_fixed(acc.power_mw(), 1), format_fixed(us, 1),
+                 format_fixed(uj, 2), format_fixed(uj * us, 1)});
+    }
+  }
+  std::cout << t.to_string();
+  std::cout << "\nReading: larger tiles trade area/power for runtime; "
+               "buffer depth moves cost without touching runtime (the "
+               "schedule is compute-bound at infinite DMA bandwidth). "
+               "The paper's 16x16 / 64-entry design is near the EDP "
+               "knee for LeNet-class workloads.\n";
+}
+
+}  // namespace
+}  // namespace qnn
+
+int main() {
+  qnn::run();
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Reproduces Fig. 4: the accuracy-vs-energy Pareto frontier on the
+// CIFAR-like testcase across all {network} × {precision} design points.
+// The paper's claim: larger lower-precision networks (green/red points)
+// dominate the full-precision baseline (black point) in both axes.
+//
+// Training budget here is reduced relative to bench/table5 (the figure
+// needs relative positions, not peak accuracy); the CSV output can be
+// re-plotted directly.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/csv.h"
+#include "util/stopwatch.h"
+
+namespace qnn {
+namespace {
+
+struct Point {
+  std::string network;
+  quant::PrecisionConfig precision;
+  double accuracy;
+  bool converged;
+  double energy_uj;
+};
+
+exp::ExperimentSpec spec_for(const std::string& network, double scale) {
+  exp::ExperimentSpec s;
+  s.network = network;
+  s.dataset = "cifar";
+  s.channel_scale = 0.4;
+  s.data.num_train = static_cast<std::int64_t>(2200 * scale);
+  s.data.num_test = 800;
+  s.float_train.epochs = network == "alex" ? 16 : 10;
+  s.float_train.batch_size = 32;
+  s.float_train.sgd.learning_rate = 0.02;
+  s.float_train.sgd.step_epochs = 8;
+  s.qat_train = s.float_train;
+  s.qat_train.epochs = 2;
+  s.qat_train.sgd.learning_rate = 0.005;
+  return s;
+}
+
+void run() {
+  const double scale = bench::fast_mode() ? 0.25 : bench::bench_scale();
+  bench::print_header("Figure 4 — Pareto frontier, CIFAR-like testcase");
+
+  const std::vector<quant::PrecisionConfig> precisions{
+      quant::float_config(), quant::fixed_config(16, 16),
+      quant::fixed_config(8, 8), quant::pow2_config(6, 16),
+      quant::binary_config(16)};
+
+  std::vector<Point> points;
+  Stopwatch total;
+  for (const std::string network : {"alex", "alex+", "alex++"}) {
+    const auto result =
+        exp::run_precision_sweep(spec_for(network, scale), precisions);
+    for (const auto& p : result.points) {
+      points.push_back({network, p.precision, p.accuracy, p.converged,
+                        bench::full_scale_hw(network, p.precision)
+                            .energy_uj});
+    }
+  }
+
+  CsvWriter csv("fig4_pareto.csv",
+                {"network", "precision", "energy_uj", "accuracy",
+                 "converged", "pareto_optimal"});
+  // Pareto: no other converged point has both lower energy and higher
+  // accuracy.
+  auto dominated = [&](const Point& a) {
+    return std::any_of(points.begin(), points.end(), [&](const Point& b) {
+      return b.converged && b.energy_uj < a.energy_uj &&
+             b.accuracy > a.accuracy;
+    });
+  };
+
+  Table t({"Network", "Precision (w,in)", "Energy uJ", "Acc.%",
+           "Pareto-optimal"});
+  const Point* baseline = nullptr;
+  for (const auto& p : points)
+    if (p.network == "alex" && p.precision.is_float()) baseline = &p;
+  for (const auto& p : points) {
+    const bool optimal = p.converged && !dominated(p);
+    t.add_row({p.network, p.precision.label(),
+               format_fixed(p.energy_uj, 2),
+               p.converged ? format_percent(p.accuracy)
+                           : format_percent(p.accuracy) + " (NC)",
+               optimal ? "yes" : ""});
+    csv.add_row({p.network, p.precision.id(),
+                 format_fixed(p.energy_uj, 3), format_percent(p.accuracy),
+                 p.converged ? "1" : "0", optimal ? "1" : "0"});
+  }
+  std::cout << t.to_string() << '\n';
+
+  if (baseline != nullptr) {
+    int dominators = 0;
+    for (const auto& p : points)
+      if (p.converged && &p != baseline && p.energy_uj < baseline->energy_uj &&
+          p.accuracy >= baseline->accuracy)
+        ++dominators;
+    std::cout << "Design points dominating the full-precision ALEX "
+                 "baseline (paper: e.g. Powers-of-Two++ at 35.93% energy "
+                 "saving with no accuracy loss): "
+              << dominators << '\n';
+  }
+  std::cout << "Total: " << format_fixed(total.seconds(), 0) << " s\n"
+            << "Scatter written to fig4_pareto.csv (x=energy log-scale, "
+               "y=accuracy, as in the paper)\n";
+}
+
+}  // namespace
+}  // namespace qnn
+
+int main() {
+  qnn::run();
+  return 0;
+}

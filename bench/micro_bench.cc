@@ -1,0 +1,145 @@
+// Google-benchmark microbenchmarks of the performance-critical kernels:
+// GEMM, im2col, quantizer application, full network forward, range
+// analysis, and the (pure-arithmetic) hardware model evaluation.
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic.h"
+#include "exp/sweep.h"
+#include "nn/zoo.h"
+#include "quant/qnetwork.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+
+namespace qnn {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a(Shape{n, n}), b(Shape{n, n}), c(Shape{n, n});
+  a.fill_uniform(rng, -1, 1);
+  b.fill_uniform(rng, -1, 1);
+  for (auto _ : state) {
+    gemm(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Im2col(benchmark::State& state) {
+  ConvGeometry g;
+  g.in_c = 32;
+  g.in_h = g.in_w = 32;
+  g.kernel_h = g.kernel_w = 5;
+  g.pad_h = g.pad_w = 2;
+  Rng rng(2);
+  Tensor img(Shape{1, g.in_c, g.in_h, g.in_w});
+  img.fill_uniform(rng, -1, 1);
+  std::vector<float> cols(
+      static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  for (auto _ : state) {
+    im2col(g, img.data(), cols.data());
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2col);
+
+void BM_QuantizeFixed(benchmark::State& state) {
+  quant::FixedQuantizer q(static_cast<int>(state.range(0)));
+  q.calibrate(1.0);
+  Rng rng(3);
+  Tensor t(Shape{1 << 16});
+  t.fill_uniform(rng, -1, 1);
+  for (auto _ : state) {
+    Tensor copy = t;
+    q.apply(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t.count());
+}
+BENCHMARK(BM_QuantizeFixed)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_QuantizePow2(benchmark::State& state) {
+  quant::Pow2Quantizer q(6);
+  q.calibrate(1.0);
+  Rng rng(4);
+  Tensor t(Shape{1 << 16});
+  t.fill_uniform(rng, -1, 1);
+  for (auto _ : state) {
+    Tensor copy = t;
+    q.apply(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t.count());
+}
+BENCHMARK(BM_QuantizePow2);
+
+void BM_LenetForward(benchmark::State& state) {
+  auto net = nn::make_lenet();
+  Rng rng(5);
+  Tensor batch(Shape{8, 1, 28, 28});
+  batch.fill_uniform(rng, 0, 1);
+  for (auto _ : state) {
+    Tensor out = net->forward(batch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_LenetForward);
+
+void BM_QuantizedLenetForward(benchmark::State& state) {
+  auto net = nn::make_lenet();
+  quant::QuantizedNetwork qnet(*net, quant::fixed_config(8, 8));
+  Rng rng(6);
+  Tensor batch(Shape{8, 1, 28, 28});
+  batch.fill_uniform(rng, 0, 1);
+  qnet.calibrate(batch);
+  for (auto _ : state) {
+    Tensor out = qnet.forward(batch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  qnet.restore_masters();
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_QuantizedLenetForward);
+
+void BM_AcceleratorModel(benchmark::State& state) {
+  for (auto _ : state) {
+    hw::AcceleratorConfig cfg;
+    cfg.precision = quant::fixed_config(16, 16);
+    hw::Accelerator acc(cfg);
+    benchmark::DoNotOptimize(acc.area_mm2());
+  }
+}
+BENCHMARK(BM_AcceleratorModel);
+
+void BM_ScheduleAlexPlusPlus(benchmark::State& state) {
+  auto net = nn::make_alex_plus_plus();
+  const auto descs = net->describe(Shape{1, 3, 32, 32});
+  hw::AcceleratorConfig cfg;
+  cfg.precision = quant::fixed_config(16, 16);
+  const hw::Accelerator acc(cfg);
+  for (auto _ : state) {
+    auto sched = hw::schedule_network(descs, acc);
+    benchmark::DoNotOptimize(sched.total_cycles);
+  }
+}
+BENCHMARK(BM_ScheduleAlexPlusPlus);
+
+void BM_SyntheticCifarGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    data::SyntheticConfig cfg;
+    cfg.num_train = 64;
+    cfg.num_test = 1;
+    auto split = data::make_cifar_like(cfg);
+    benchmark::DoNotOptimize(split.train.images.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 65);
+}
+BENCHMARK(BM_SyntheticCifarGeneration);
+
+}  // namespace
+}  // namespace qnn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Extension bench: per-layer (mixed) weight precision vs the paper's
+// uniform widths. The greedy PTQ-guided search (quant/mixed_precision)
+// assigns each layer the narrowest width that respects an accuracy
+// budget; a final QAT pass polishes the result. Compares against the
+// uniform fixed-point points of Table IV on the MNIST-like benchmark.
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.h"
+#include "nn/trainer.h"
+#include "quant/mixed_precision.h"
+#include "quant/qat.h"
+
+namespace qnn {
+namespace {
+
+void run() {
+  const double scale = bench::fast_mode() ? 0.3 : bench::bench_scale();
+  bench::print_header(
+      "Mixed per-layer precision search (LeNet, MNIST-like)");
+
+  data::SyntheticConfig dc;
+  dc.num_train = static_cast<std::int64_t>(2000 * scale);
+  dc.num_test = 600;
+  const auto split = data::make_mnist_like(dc);
+  nn::ZooConfig zc;
+  zc.channel_scale = 0.5;
+  auto net = nn::make_lenet(zc);
+  nn::TrainConfig tc;
+  tc.epochs = 5;
+  tc.batch_size = 32;
+  tc.sgd.learning_rate = 0.02;
+  nn::train(*net, split.train, tc);
+
+  // Uniform baselines with QAT.
+  auto uniform_qat = [&](int bits) {
+    nn::ZooConfig zcc = zc;
+    auto copy = nn::make_lenet(zcc);
+    copy->copy_params_from(*net);
+    quant::QuantizedNetwork qnet(*copy, quant::fixed_config(bits, bits));
+    quant::QatConfig qc;
+    qc.train.epochs = 2;
+    qc.train.batch_size = 32;
+    qc.train.sgd.learning_rate = 0.01;
+    quant::qat_finetune(qnet, split.train, qc);
+    const double acc = nn::evaluate(qnet, split.test);
+    qnet.restore_masters();
+    return acc;
+  };
+
+  // Greedy mixed search + final QAT on the found assignment.
+  quant::MixedSearchConfig mcfg;
+  mcfg.start_bits = 8;
+  mcfg.candidate_bits = {8, 6, 4, 2};
+  mcfg.accuracy_budget = 1.5;
+  const auto found =
+      quant::search_mixed_precision(*net, split.train, split.test, mcfg);
+
+  auto mixed_copy = nn::make_lenet(zc);
+  mixed_copy->copy_params_from(*net);
+  quant::QuantizedNetwork mixed(*mixed_copy, quant::fixed_config(8, 8),
+                                found.weight_bits);
+  quant::QatConfig qc;
+  qc.train.epochs = 2;
+  qc.train.batch_size = 32;
+  qc.train.sgd.learning_rate = 0.01;
+  quant::qat_finetune(mixed, split.train, qc);
+  const double mixed_acc = nn::evaluate(mixed, split.test);
+  mixed.restore_masters();
+
+  std::ostringstream assignment;
+  for (std::size_t i = 0; i < found.weight_bits.size(); ++i) {
+    if (i) assignment << '/';
+    assignment << found.weight_bits[i];
+  }
+
+  Table t({"Design", "Weight bits (mean)", "QAT acc%"});
+  t.add_row({"uniform fixed(8,8)", "8.00", format_percent(uniform_qat(8))});
+  t.add_row({"uniform fixed(4,4)", "4.00", format_percent(uniform_qat(4))});
+  t.add_row({"mixed " + assignment.str(),
+             format_fixed(found.mean_weight_bits, 2),
+             format_percent(mixed_acc)});
+  std::cout << t.to_string();
+  std::cout << "\nsearch spent " << found.search_evaluations
+            << " PTQ evaluations; float baseline "
+            << format_percent(found.float_accuracy) << "%\n"
+            << "Reading: the big fully-connected layer tolerates the "
+               "narrowest widths (it dominates parameter count), so the "
+               "mixed design approaches uniform-4-bit storage at "
+               "uniform-8-bit accuracy — the per-layer freedom the "
+               "paper's §VI anticipates.\n";
+}
+
+}  // namespace
+}  // namespace qnn
+
+int main() {
+  qnn::run();
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Reproduces Table IV: classification accuracy, per-image inference
+// energy, and energy savings on MNIST(-like) with LeNet and SVHN(-like)
+// with ConvNet, for every precision.
+//
+// Accuracy is measured on channel-scaled networks trained on synthetic
+// data (DESIGN.md §3); the energy/savings columns are computed for the
+// full-size architectures, so the µJ values are directly comparable to
+// the paper. Rows that fail to converge reproduce the paper's "NA" /
+// chance-accuracy entries.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/csv.h"
+#include "util/stopwatch.h"
+
+namespace qnn {
+namespace {
+
+struct PaperAcc {
+  double acc;  // negative = the paper reports NA
+  double energy;
+};
+
+PaperAcc paper_mnist(const std::string& id) {
+  if (id == "float_32_32") return {99.20, 60.74};
+  if (id == "fixed_32_32") return {99.22, 52.93};
+  if (id == "fixed_16_16") return {99.21, 24.60};
+  if (id == "fixed_8_8") return {99.22, 8.86};
+  if (id == "fixed_4_4") return {95.76, 4.31};
+  if (id == "pow2_6_16") return {99.14, 8.42};
+  if (id == "binary_1_16") return {99.40, 3.56};
+  return {0, 0};
+}
+
+PaperAcc paper_svhn(const std::string& id) {
+  if (id == "float_32_32") return {86.77, 754.18};
+  if (id == "fixed_32_32") return {86.78, 663.01};
+  if (id == "fixed_16_16") return {86.77, 314.05};
+  if (id == "fixed_8_8") return {84.03, 120.14};
+  if (id == "fixed_4_4") return {-1, -1};  // NA: failed to converge
+  if (id == "pow2_6_16") return {84.85, 114.70};
+  if (id == "binary_1_16") return {19.57, 52.11};
+  return {0, 0};
+}
+
+exp::ExperimentSpec mnist_spec(double scale) {
+  exp::ExperimentSpec s;
+  s.network = "lenet";
+  s.dataset = "mnist";
+  s.channel_scale = 0.5;
+  s.data.num_train = static_cast<std::int64_t>(2500 * scale);
+  s.data.num_test = 800;
+  s.float_train.epochs = 6;
+  s.float_train.batch_size = 32;
+  s.float_train.sgd.learning_rate = 0.02;
+  s.float_train.sgd.step_epochs = 3;
+  s.qat_train = s.float_train;
+  s.qat_train.epochs = 3;
+  s.qat_train.sgd.learning_rate = 0.01;
+  return s;
+}
+
+exp::ExperimentSpec svhn_spec(double scale) {
+  exp::ExperimentSpec s;
+  s.network = "convnet";
+  s.dataset = "svhn";
+  s.channel_scale = 0.4;
+  s.data.num_train = static_cast<std::int64_t>(6000 * scale);
+  s.data.num_test = 1000;
+  s.float_train.epochs = 18;
+  s.float_train.batch_size = 32;
+  s.float_train.sgd.learning_rate = 0.02;
+  s.float_train.sgd.step_epochs = 6;
+  s.qat_train = s.float_train;
+  s.qat_train.epochs = 3;
+  s.qat_train.sgd.learning_rate = 0.005;
+  return s;
+}
+
+void run_dataset(const std::string& title, const exp::ExperimentSpec& spec,
+                 PaperAcc (*paper)(const std::string&), CsvWriter& csv) {
+  bench::print_header(title);
+  Stopwatch sw;
+  const auto result =
+      exp::run_precision_sweep(spec, quant::paper_precisions());
+
+  // The energy baseline: full-size architecture at float precision.
+  const double base_energy =
+      bench::full_scale_hw(spec.network, quant::float_config()).energy_uj;
+
+  Table t({"Precision (w,in)", "Acc.%", "[paper]", "Energy uJ", "[paper]",
+           "Energy Sav.%", "[paper]"});
+  for (const auto& p : result.points) {
+    const auto hwm = bench::full_scale_hw(spec.network, p.precision);
+    const PaperAcc pp = paper(p.precision.id());
+    const std::string acc_str = p.converged
+                                    ? format_percent(p.accuracy)
+                                    : format_percent(p.accuracy) + " (NC)";
+    const std::string paper_acc =
+        pp.acc < 0 ? "NA" : format_percent(pp.acc);
+    const std::string paper_energy =
+        pp.energy < 0 ? "NA" : format_fixed(pp.energy, 2);
+    const std::string paper_sav =
+        pp.energy < 0
+            ? "NA"
+            : format_percent(hw::saving_percent(paper(
+                  "float_32_32").energy, pp.energy));
+    t.add_row({p.precision.label(), acc_str, paper_acc,
+               format_fixed(hwm.energy_uj, 2), paper_energy,
+               format_percent(hw::saving_percent(base_energy,
+                                                 hwm.energy_uj)),
+               paper_sav});
+    csv.add_row({spec.dataset, p.precision.id(),
+                 format_percent(p.accuracy), p.converged ? "1" : "0",
+                 format_fixed(hwm.energy_uj, 3),
+                 format_percent(
+                     hw::saving_percent(base_energy, hwm.energy_uj))});
+  }
+  std::cout << t.to_string();
+  std::cout << "(NC) = did not converge, the paper's NA. Accuracy from "
+               "channel-scaled nets on synthetic data; energy for the "
+               "full-size architecture.\n";
+  std::cout << "[" << format_fixed(sw.seconds(), 0) << " s]\n";
+}
+
+void run() {
+  const double scale = bench::fast_mode() ? 0.25 : bench::bench_scale();
+  CsvWriter csv("table4_mnist_svhn.csv",
+                {"dataset", "precision", "accuracy", "converged",
+                 "energy_uj", "energy_saving"});
+  {
+    auto spec = mnist_spec(scale);
+    run_dataset("Table IV (MNIST-like, LeNet)", spec, paper_mnist, csv);
+  }
+  {
+    auto spec = svhn_spec(scale);
+    run_dataset("Table IV (SVHN-like, ConvNet)", spec, paper_svhn, csv);
+  }
+  std::cout << "\nRows written to table4_mnist_svhn.csv\n";
+}
+
+}  // namespace
+}  // namespace qnn
+
+int main() {
+  qnn::run();
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Reproduces Table V: CIFAR-10(-like) accuracy and energy for ALEX and
+// the expanded networks ALEX+ / ALEX++ across precisions — the paper's
+// headline result that larger lower-precision networks dominate the
+// full-precision baseline. Energy savings reference the ALEX float
+// design, as in the paper.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/csv.h"
+#include "util/stopwatch.h"
+
+namespace qnn {
+namespace {
+
+struct PaperRow {
+  double acc, energy;
+};
+
+// Table V (negative = row absent / failed to converge in the paper).
+PaperRow paper(const std::string& net, const std::string& id) {
+  if (net == "alex") {
+    if (id == "float_32_32") return {81.22, 335.68};
+    if (id == "fixed_32_32") return {79.71, 293.90};
+    if (id == "fixed_16_16") return {79.77, 136.61};
+    if (id == "fixed_8_8") return {77.99, 49.22};
+    if (id == "pow2_6_16") return {77.03, 46.77};
+    if (id == "binary_1_16") return {74.84, 19.79};
+  } else if (net == "alex+") {
+    if (id == "fixed_16_16") return {81.86, 491.32};
+    if (id == "fixed_8_8") return {78.71, 177.02};
+    if (id == "pow2_6_16") return {77.34, 168.21};
+    if (id == "binary_1_16") return {77.91, 71.18};
+  } else if (net == "alex++") {
+    if (id == "fixed_16_16") return {82.26, 628.17};
+    if (id == "fixed_8_8") return {75.03, 226.32};
+    if (id == "pow2_6_16") return {81.26, 215.05};
+    if (id == "binary_1_16") return {80.52, 91.00};
+  }
+  return {-1, -1};
+}
+
+exp::ExperimentSpec cifar_spec(const std::string& network, double scale) {
+  exp::ExperimentSpec s;
+  s.network = network;
+  s.dataset = "cifar";
+  s.channel_scale = 0.4;
+  s.data.num_train = static_cast<std::int64_t>(3000 * scale);
+  s.data.num_test = 1000;
+  // ALEX is cheap per epoch and needs the longest schedule; the
+  // expanded networks cost ~3.5x per epoch but converge in fewer.
+  s.float_train.epochs = network == "alex" ? 22 : 14;
+  s.float_train.batch_size = 32;
+  s.float_train.sgd.learning_rate = 0.02;
+  s.float_train.sgd.step_epochs = 8;
+  s.qat_train = s.float_train;
+  s.qat_train.epochs = network == "alex" ? 4 : 2;
+  s.qat_train.sgd.learning_rate = 0.005;
+  return s;
+}
+
+// The paper drops fixed(32,32) for the expanded nets (not competitive)
+// and fixed(4,4) everywhere on CIFAR (fails to converge) — it is kept
+// here for ALEX to demonstrate the failure.
+std::vector<quant::PrecisionConfig> precisions_for(
+    const std::string& network) {
+  if (network == "alex")
+    return {quant::float_config(),      quant::fixed_config(32, 32),
+            quant::fixed_config(16, 16), quant::fixed_config(8, 8),
+            quant::fixed_config(4, 4),  quant::pow2_config(6, 16),
+            quant::binary_config(16)};
+  return {quant::float_config(), quant::fixed_config(16, 16),
+          quant::fixed_config(8, 8), quant::pow2_config(6, 16),
+          quant::binary_config(16)};
+}
+
+void run() {
+  const double scale = bench::fast_mode() ? 0.25 : bench::bench_scale();
+  bench::print_header(
+      "Table V — CIFAR-like: ALEX / ALEX+ / ALEX++ across precisions");
+
+  // Energy baseline: full-size ALEX at float (paper's reference).
+  const double base_energy =
+      bench::full_scale_hw("alex", quant::float_config()).energy_uj;
+
+  CsvWriter csv("table5_cifar_expanded.csv",
+                {"network", "precision", "accuracy", "converged",
+                 "energy_uj", "energy_saving"});
+  Table t({"Network", "Precision (w,in)", "Acc.%", "[paper]", "Energy uJ",
+           "[paper]", "Energy Sav.%"});
+  Stopwatch total;
+  for (const std::string network : {"alex", "alex+", "alex++"}) {
+    Stopwatch sw;
+    const auto result = exp::run_precision_sweep(
+        cifar_spec(network, scale), precisions_for(network), base_energy);
+    for (const auto& p : result.points) {
+      const auto hwm = bench::full_scale_hw(network, p.precision);
+      const PaperRow pp = paper(network, p.precision.id());
+      const double saving = hw::saving_percent(base_energy, hwm.energy_uj);
+      t.add_row({network, p.precision.label(),
+                 p.converged ? format_percent(p.accuracy)
+                             : format_percent(p.accuracy) + " (NC)",
+                 pp.acc < 0 ? "-" : format_percent(pp.acc),
+                 format_fixed(hwm.energy_uj, 2),
+                 pp.energy < 0 ? "-" : format_fixed(pp.energy, 2),
+                 saving >= 0
+                     ? format_percent(saving)
+                     : format_fixed(hwm.energy_uj / base_energy, 2) +
+                           "x More"});
+      csv.add_row({network, p.precision.id(), format_percent(p.accuracy),
+                   p.converged ? "1" : "0", format_fixed(hwm.energy_uj, 3),
+                   format_percent(saving)});
+    }
+    t.add_separator();
+    std::cout << "[" << network << ": " << format_fixed(sw.seconds(), 0)
+              << " s]\n";
+  }
+  std::cout << t.to_string();
+  std::cout << "(NC) = did not converge (paper drops such rows). Energy "
+               "savings reference full-size ALEX float, as in the paper; "
+               "\"x More\" marks designs above the baseline energy.\n"
+            << "Total: " << format_fixed(total.seconds(), 0) << " s\n"
+            << "Rows written to table5_cifar_expanded.csv\n";
+}
+
+}  // namespace
+}  // namespace qnn
+
+int main() {
+  qnn::run();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Hardware-model explorer: prints the accelerator design metrics (area,
+// power, breakdown) and the per-layer cycle/energy schedule of any zoo
+// network at any paper precision. No training involved — this is the
+// pure Table III / Fig. 3 machinery.
+//
+//   ./build/examples/accelerator_report [network] [precision-id]
+// e.g.
+//   ./build/examples/accelerator_report alex++ fixed_8_8
+//   ./build/examples/accelerator_report lenet binary_1_16
+#include <iostream>
+#include <string>
+
+#include "hw/schedule.h"
+#include "nn/zoo.h"
+#include "quant/memory.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace qnn;
+
+  const std::string network = argc > 1 ? argv[1] : "lenet";
+  const std::string precision_id = argc > 2 ? argv[2] : "fixed_16_16";
+  const quant::PrecisionConfig precision =
+      quant::precision_by_name(precision_id);
+
+  hw::AcceleratorConfig cfg;
+  cfg.precision = precision;
+  const hw::Accelerator acc(cfg);
+  std::cout << acc.describe() << "\n\n";
+
+  const auto& m = acc.metrics();
+  Table breakdown({"Component class", "Area mm^2", "Power mW"});
+  breakdown.add_row({"Memory (buffers)",
+                     format_fixed(m.area_um2.memory / 1e6, 3),
+                     format_fixed(m.power_mw.memory, 1)});
+  breakdown.add_row({"Registers", format_fixed(m.area_um2.registers / 1e6, 3),
+                     format_fixed(m.power_mw.registers, 1)});
+  breakdown.add_row({"Combinational",
+                     format_fixed(m.area_um2.combinational / 1e6, 3),
+                     format_fixed(m.power_mw.combinational, 1)});
+  breakdown.add_row({"Buf/Inv", format_fixed(m.area_um2.buf_inv / 1e6, 3),
+                     format_fixed(m.power_mw.buf_inv, 1)});
+  breakdown.add_separator();
+  breakdown.add_row({"Total", format_fixed(acc.area_mm2(), 3),
+                     format_fixed(acc.power_mw(), 1)});
+  std::cout << breakdown.to_string() << '\n';
+
+  auto net = nn::make_network(network, {});
+  const Shape input = nn::input_shape_for(network);
+  const auto sched = hw::schedule_network(net->describe(input), acc);
+
+  Table layers({"Layer", "Kind", "Cycles", "MACs", "Utilization %"});
+  for (const auto& l : sched.layers) {
+    if (l.cycles == 0 && l.macs == 0) continue;  // free (relu) layers
+    layers.add_row({l.layer_name, l.kind, std::to_string(l.cycles),
+                    std::to_string(l.macs),
+                    format_percent(100.0 * l.utilization, 1)});
+  }
+  std::cout << network << " schedule at " << precision.label() << ":\n"
+            << layers.to_string() << '\n';
+
+  const auto fp = quant::memory_footprint(*net, input, precision);
+  std::cout << "total: " << sched.total_cycles << " cycles, "
+            << format_fixed(sched.runtime_us(acc), 1) << " us/image, "
+            << format_fixed(sched.energy_uj(acc), 2) << " uJ/image, "
+            << format_fixed(fp.param_kb(), 0) << " KB parameters\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Demonstrates the hardware-faithful integer inference path: trains a
+// small LeNet, QAT-fine-tunes it at fixed(8,8), then classifies test
+// digits twice — once with the fake-quantized float path used for
+// training, once with the NFU integer simulator (raw two's-complement
+// words, wide accumulators, requantizing shifts) — and shows the two
+// agree.
+//
+//   ./build/examples/integer_inference
+#include <cstdio>
+#include <iostream>
+
+#include "data/synthetic.h"
+#include "hw/nfu_sim.h"
+#include "nn/trainer.h"
+#include "nn/zoo.h"
+#include "quant/qat.h"
+
+int main() {
+  using namespace qnn;
+
+  data::SyntheticConfig dc;
+  dc.num_train = 1000;
+  dc.num_test = 200;
+  const auto split = data::make_mnist_like(dc);
+
+  nn::ZooConfig zc;
+  zc.channel_scale = 0.35;
+  auto net = nn::make_lenet(zc);
+  nn::TrainConfig tc;
+  tc.epochs = 4;
+  tc.batch_size = 32;
+  tc.sgd.learning_rate = 0.02;
+  nn::train(*net, split.train, tc);
+
+  const auto precision = quant::fixed_config(8, 8);
+  quant::QuantizedNetwork qnet(*net, precision);
+  quant::QatConfig qc;
+  qc.train.epochs = 2;
+  qc.train.batch_size = 32;
+  qc.train.sgd.learning_rate = 0.01;
+  quant::qat_finetune(qnet, split.train, qc);
+
+  // Float (fake-quantized) predictions.
+  const Tensor batch = data::batch_images(split.test, 0, split.test.size());
+  const Tensor float_logits = qnet.forward(batch);
+  qnet.restore_masters();
+
+  // Integer-domain predictions.
+  const hw::NfuSimulator sim(*net, qnet, nn::input_shape_for("lenet"));
+  const Tensor int_logits = sim.forward(batch);
+
+  std::int64_t agree = 0, correct = 0;
+  const std::int64_t classes = float_logits.shape()[1];
+  for (std::int64_t s = 0; s < split.test.size(); ++s) {
+    const float* fr = float_logits.data() + s * classes;
+    const float* ir = int_logits.data() + s * classes;
+    const auto fa = std::max_element(fr, fr + classes) - fr;
+    const auto ia = std::max_element(ir, ir + classes) - ir;
+    if (fa == ia) ++agree;
+    if (ia == split.test.labels[static_cast<std::size_t>(s)]) ++correct;
+  }
+  const double n = static_cast<double>(split.test.size());
+  std::printf(
+      "\nfixed(8,8) LeNet on %lld test digits:\n"
+      "  integer-path accuracy        : %.2f%%\n"
+      "  float-path/integer agreement : %.2f%%\n"
+      "The integer path is what the accelerator executes; agreement is "
+      "the fake-quantization faithfulness the methodology rests on.\n",
+      static_cast<long long>(split.test.size()), 100.0 * correct / n,
+      100.0 * agree / n);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Pareto-frontier exploration on any dataset/network pair: trains the
+// float baseline, QAT-fine-tunes each precision, and prints every
+// design point with its Pareto status — the Fig. 4 methodology as an
+// interactive tool.
+//
+//   ./build/examples/pareto_explorer [dataset] [network] [train_images]
+// e.g.
+//   ./build/examples/pareto_explorer cifar alex 1500
+//   ./build/examples/pareto_explorer svhn convnet 2000
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "exp/sweep.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace qnn;
+
+  const std::string dataset = argc > 1 ? argv[1] : "cifar";
+  const std::string network = argc > 2 ? argv[2] : "alex";
+
+  exp::ExperimentSpec spec;
+  spec.network = network;
+  spec.dataset = dataset;
+  spec.channel_scale = 0.4;
+  spec.data.num_train = argc > 3 ? std::atol(argv[3]) : 1500;
+  spec.data.num_test = 500;
+  spec.float_train.epochs = 10;
+  spec.float_train.batch_size = 32;
+  spec.float_train.sgd.learning_rate = 0.02;
+  spec.float_train.sgd.step_epochs = 5;
+  spec.float_train.verbose = true;
+  spec.qat_train = spec.float_train;
+  spec.qat_train.epochs = 2;
+  spec.qat_train.sgd.learning_rate = 0.005;
+  spec.qat_train.verbose = false;
+
+  const exp::SweepResult result =
+      exp::run_precision_sweep(spec, quant::paper_precisions());
+
+  auto dominated = [&](const exp::PrecisionResult& a) {
+    return std::any_of(
+        result.points.begin(), result.points.end(),
+        [&](const exp::PrecisionResult& b) {
+          return b.converged && b.energy_uj < a.energy_uj &&
+                 b.accuracy > a.accuracy;
+        });
+  };
+
+  Table t({"Precision (w,in)", "Accuracy %", "Energy uJ", "Saving %",
+           "Pareto-optimal"});
+  for (const auto& p : result.points) {
+    t.add_row({p.precision.label(),
+               p.converged ? format_percent(p.accuracy)
+                           : format_percent(p.accuracy) + " (NC)",
+               format_fixed(p.energy_uj, 2),
+               format_percent(p.energy_saving_percent),
+               p.converged && !dominated(p) ? "yes" : ""});
+  }
+  std::cout << '\n'
+            << dataset << " / " << network << " design space:\n"
+            << t.to_string()
+            << "\nTip: run with the expanded networks (alex+ / alex++) "
+               "to reproduce the paper's larger-network-lower-precision "
+               "frontier (Fig. 4).\n";
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Precision advisor: ties the extensions together. Given a dataset +
+// network + accuracy budget, it
+//   1. trains the float baseline,
+//   2. uses the analytical noise model to rank uniform precisions and
+//      pick the narrowest whose predicted flip rate fits the budget,
+//   3. runs the per-layer mixed-precision search for an even smaller
+//      weight footprint,
+//   4. verifies both with QAT, and prices everything on the hardware
+//      model.
+//
+//   ./build/examples/precision_advisor [budget_points] [train_images]
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "exp/sweep.h"
+#include "quant/memory.h"
+#include "quant/mixed_precision.h"
+#include "quant/noise_model.h"
+#include "quant/qat.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace qnn;
+  const double budget = argc > 1 ? std::atof(argv[1]) : 1.5;
+  const std::int64_t train_n = argc > 2 ? std::atol(argv[2]) : 1500;
+
+  data::SyntheticConfig dc;
+  dc.num_train = train_n;
+  dc.num_test = 500;
+  const auto split = data::make_mnist_like(dc);
+  nn::ZooConfig zc;
+  zc.channel_scale = 0.5;
+  auto net = nn::make_lenet(zc);
+  nn::TrainConfig tc;
+  tc.epochs = 5;
+  tc.batch_size = 32;
+  tc.sgd.learning_rate = 0.02;
+  nn::train(*net, split.train, tc);
+  const double float_acc = nn::evaluate(*net, split.test);
+  std::cout << "float baseline: " << format_percent(float_acc)
+            << "%, accuracy budget: " << budget << " points\n\n";
+
+  // Step 1: analytical ranking of the uniform fixed-point ladder.
+  std::cout << "analytical screening (no quantized training needed):\n";
+  Table screen({"Uniform width", "predicted flip %", "within budget?"});
+  int chosen_bits = 16;
+  for (int bits : {16, 8, 4, 2}) {
+    quant::QuantizedNetwork probe(*net, quant::fixed_config(bits, bits));
+    probe.calibrate(data::batch_images(split.train, 0, 64));
+    const auto report =
+        quant::analyze_noise(*net, probe, split.test, 128);
+    const bool ok = report.predicted_flip_rate <= budget;
+    if (ok) chosen_bits = bits;
+    screen.add_row({std::to_string(bits) + "-bit",
+                    format_percent(report.predicted_flip_rate),
+                    ok ? "yes" : "no"});
+  }
+  std::cout << screen.to_string() << '\n';
+
+  // Step 2: mixed per-layer refinement below the chosen uniform width.
+  quant::MixedSearchConfig mcfg;
+  mcfg.start_bits = chosen_bits;
+  mcfg.candidate_bits = {chosen_bits, chosen_bits / 2,
+                         std::max(2, chosen_bits / 4)};
+  mcfg.accuracy_budget = budget;
+  const auto mixed =
+      quant::search_mixed_precision(*net, split.train, split.test, mcfg);
+
+  // Step 3: QAT verification of both recommendations.
+  auto verify = [&](quant::QuantizedNetwork& qnet) {
+    quant::QatConfig qc;
+    qc.train.epochs = 2;
+    qc.train.batch_size = 32;
+    qc.train.sgd.learning_rate = 0.01;
+    quant::qat_finetune(qnet, split.train, qc);
+    const double acc = nn::evaluate(qnet, split.test);
+    qnet.restore_masters();
+    return acc;
+  };
+  nn::ZooConfig zc2 = zc;
+  auto uniform_net = nn::make_lenet(zc2);
+  uniform_net->copy_params_from(*net);
+  quant::QuantizedNetwork uniform(
+      *uniform_net, quant::fixed_config(chosen_bits, chosen_bits));
+  const double uniform_acc = verify(uniform);
+
+  auto mixed_net = nn::make_lenet(zc2);
+  mixed_net->copy_params_from(*net);
+  quant::QuantizedNetwork mixedq(
+      *mixed_net, quant::fixed_config(chosen_bits, chosen_bits),
+      mixed.weight_bits);
+  const double mixed_acc = verify(mixedq);
+
+  std::ostringstream bits_str;
+  for (std::size_t i = 0; i < mixed.weight_bits.size(); ++i)
+    bits_str << (i ? "/" : "") << mixed.weight_bits[i];
+
+  const Shape in = nn::input_shape_for("lenet");
+  auto full = nn::make_lenet();
+  const auto cfg = quant::fixed_config(chosen_bits, chosen_bits);
+  Table rec({"Recommendation", "QAT acc%", "mean w-bits", "Energy uJ*",
+             "Params KB*"});
+  rec.add_row(
+      {"uniform " + std::to_string(chosen_bits) + "-bit",
+       format_percent(uniform_acc),
+       format_fixed(chosen_bits, 2),
+       format_fixed(exp::inference_energy_uj(*full, in, cfg), 2),
+       format_fixed(quant::memory_footprint(*full, in, cfg).param_kb(), 0)});
+  rec.add_row({"mixed " + bits_str.str(), format_percent(mixed_acc),
+               format_fixed(mixed.mean_weight_bits, 2), "(as uniform)",
+               format_fixed(
+                   quant::memory_footprint(*full, in, cfg).param_kb() *
+                       mixed.mean_weight_bits / chosen_bits,
+                   0)});
+  std::cout << rec.to_string()
+            << "* full-size LeNet on the 16x16 accelerator\n";
+  return 0;
+}

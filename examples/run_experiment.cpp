@@ -1,0 +1,83 @@
+// Config-driven experiment runner — the library as a tool:
+//
+//   ./build/examples/run_experiment examples/configs/lenet_fixed8.cfg
+//
+// The config describes the network (zoo preset or custom layer stack),
+// dataset, training schedule, and one or more precision blocks; the
+// runner trains the float baseline, QAT-fine-tunes every precision,
+// and prints accuracy + hardware metrics per design point.
+#include <iostream>
+
+#include "config/builders.h"
+#include "exp/sweep.h"
+#include "hw/schedule.h"
+#include "quant/memory.h"
+#include "quant/qat.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace qnn;
+  if (argc < 2) {
+    std::cerr << "usage: run_experiment <config-file>\n";
+    return 2;
+  }
+  const config::ConfigNode root = config::load_config(argv[1]);
+
+  const auto split = config::build_dataset(root.block("dataset"));
+  auto built = config::build_network(root.block("network"));
+  nn::Network& net = *built.network;
+  const nn::TrainConfig train_cfg =
+      config::build_train_config(root.block("train"));
+
+  std::cout << "training " << net.name() << " ("
+            << net.num_params() << " params) on "
+            << split.train.name << " [" << split.train.size()
+            << " images]...\n";
+  nn::train(net, split.train, train_cfg);
+  const double float_acc = nn::evaluate(net, split.test);
+  std::cout << "float test accuracy: " << format_percent(float_acc)
+            << "%\n\n";
+
+  const auto& precisions = root.blocks("precision");
+  if (precisions.empty()) return 0;
+
+  nn::TrainConfig qat_cfg = train_cfg;
+  if (root.has_block("finetune"))
+    qat_cfg = config::build_train_config(root.block("finetune"));
+  else
+    qat_cfg.epochs = std::max(1, train_cfg.epochs / 2);
+
+  Table t({"Precision (w,in)", "Accuracy %", "Energy uJ", "Area mm^2",
+           "Power mW", "Params KB"});
+  for (const config::ConfigNode& pnode : precisions) {
+    const quant::PrecisionConfig precision =
+        config::build_precision(pnode);
+    double acc = float_acc;
+    if (!precision.is_float()) {
+      // Fresh copy from the float weights for each design point.
+      auto copy = config::build_network(root.block("network"));
+      copy.network->copy_params_from(net);
+      quant::QuantizedNetwork qnet(*copy.network, precision);
+      quant::QatConfig qc;
+      qc.train = qat_cfg;
+      quant::qat_finetune(qnet, split.train, qc);
+      acc = nn::evaluate(qnet, split.test);
+      qnet.restore_masters();
+    }
+    hw::AcceleratorConfig acfg;
+    acfg.precision = precision;
+    const hw::Accelerator acc_hw(acfg);
+    const auto sched =
+        hw::schedule_network(net.describe(built.input_shape), acc_hw);
+    t.add_row({precision.label(), format_percent(acc),
+               format_fixed(sched.energy_uj(acc_hw), 2),
+               format_fixed(acc_hw.area_mm2(), 2),
+               format_fixed(acc_hw.power_mw(), 1),
+               format_fixed(quant::memory_footprint(net, built.input_shape,
+                                                    precision)
+                                .param_kb(),
+                            0)});
+  }
+  std::cout << t.to_string();
+  return 0;
+}

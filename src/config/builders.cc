@@ -1,0 +1,192 @@
+#include "config/builders.h"
+
+#include <sstream>
+
+#include "nn/activation.h"
+#include "nn/conv.h"
+#include "nn/inner_product.h"
+#include "nn/lrn.h"
+#include "nn/pool.h"
+#include "util/check.h"
+
+namespace qnn::config {
+namespace {
+
+// Parses "1x28x28" (CxHxW) or a single integer (flat features).
+Shape parse_input_shape(const std::string& spec) {
+  std::vector<std::int64_t> dims{1};
+  std::stringstream ss(spec);
+  std::string part;
+  while (std::getline(ss, part, 'x')) {
+    QNN_CHECK_MSG(!part.empty(), "bad input shape '" << spec << '\'');
+    dims.push_back(std::stoll(part));
+  }
+  QNN_CHECK_MSG(dims.size() == 2 || dims.size() == 4,
+                "input shape '" << spec
+                                << "' must be F or CxHxW");
+  return Shape{dims};
+}
+
+// Tracks the flowing shape so layers can infer their input channel /
+// feature counts.
+struct ShapeTracker {
+  Shape shape;
+
+  std::int64_t channels() const {
+    QNN_CHECK_MSG(shape.rank() == 4,
+                  "conv/pool after flattening is not supported");
+    return shape.c();
+  }
+  std::int64_t flat_features() const { return shape.count_from(1); }
+};
+
+void add_layer(nn::Network& net, ShapeTracker& tracker,
+               const ConfigNode& layer) {
+  const std::string type = layer.get("type");
+  if (type == "conv") {
+    nn::ConvSpec spec;
+    spec.out_channels = layer.get_int("out");
+    spec.kernel = layer.get_int("kernel");
+    spec.stride = layer.get_int_or("stride", 1);
+    spec.pad = layer.get_int_or("pad", 0);
+    spec.bias = layer.get_bool_or("bias", true);
+    auto& l = net.add<nn::Conv2d>(tracker.channels(), spec);
+    tracker.shape = l.output_shape(tracker.shape);
+  } else if (type == "maxpool" || type == "avgpool") {
+    nn::PoolSpec spec;
+    spec.mode = type == "maxpool" ? nn::PoolMode::kMax : nn::PoolMode::kAvg;
+    spec.kernel = layer.get_int("kernel");
+    spec.stride = layer.get_int_or("stride", spec.kernel);
+    spec.pad = layer.get_int_or("pad", 0);
+    auto& l = net.add<nn::Pool2d>(spec);
+    tracker.shape = l.output_shape(tracker.shape);
+  } else if (type == "ip" || type == "innerproduct") {
+    const std::int64_t out = layer.get_int("out");
+    net.add<nn::InnerProduct>(tracker.flat_features(), out,
+                              layer.get_bool_or("bias", true));
+    tracker.shape = Shape{1, out};
+  } else if (type == "relu") {
+    net.add<nn::Relu>();
+  } else if (type == "sigmoid") {
+    net.add<nn::Sigmoid>();
+  } else if (type == "tanh") {
+    net.add<nn::Tanh>();
+  } else if (type == "dropout") {
+    net.add<nn::Dropout>(layer.get_double("p"),
+                         static_cast<std::uint64_t>(
+                             layer.get_int_or("seed", 17)));
+  } else if (type == "lrn") {
+    nn::LrnSpec spec;
+    spec.local_size = layer.get_int_or("local_size", 5);
+    spec.alpha = layer.get_double_or("alpha", 1e-4);
+    spec.beta = layer.get_double_or("beta", 0.75);
+    spec.k = layer.get_double_or("k", 1.0);
+    net.add<nn::Lrn>(spec);
+  } else {
+    QNN_CHECK_MSG(false, "unknown layer type '" << type << '\'');
+  }
+}
+
+}  // namespace
+
+BuiltNetwork build_network(const ConfigNode& node) {
+  BuiltNetwork out;
+  if (node.has("preset")) {
+    const std::string preset = node.get("preset");
+    nn::ZooConfig zc;
+    zc.channel_scale = node.get_double_or("channel_scale", 1.0);
+    zc.init_seed =
+        static_cast<std::uint64_t>(node.get_int_or("init_seed", 1));
+    out.network = nn::make_network(preset, zc);
+    out.input_shape = nn::input_shape_for(preset);
+    return out;
+  }
+  QNN_CHECK_MSG(node.has("input"),
+                "network block needs 'preset' or 'input' + layers");
+  out.input_shape = parse_input_shape(node.get("input"));
+  out.network =
+      std::make_unique<nn::Network>(node.get_or("name", "custom"));
+  ShapeTracker tracker{out.input_shape};
+  const auto& layers = node.blocks("layer");
+  QNN_CHECK_MSG(!layers.empty(), "custom network has no layer blocks");
+  for (const ConfigNode& layer : layers)
+    add_layer(*out.network, tracker, layer);
+  Rng rng(static_cast<std::uint64_t>(node.get_int_or("init_seed", 1)));
+  out.network->init_weights(rng);
+  return out;
+}
+
+data::SyntheticConfig dataset_config(const ConfigNode& node) {
+  data::SyntheticConfig cfg;
+  cfg.num_train = node.get_int_or("train", cfg.num_train);
+  cfg.num_test = node.get_int_or("test", cfg.num_test);
+  cfg.seed = static_cast<std::uint64_t>(
+      node.get_int_or("seed", static_cast<std::int64_t>(cfg.seed)));
+  cfg.noise_scale = node.get_double_or("noise_scale", 1.0);
+  return cfg;
+}
+
+std::string dataset_name(const ConfigNode& node) {
+  return node.get("name");
+}
+
+data::Split build_dataset(const ConfigNode& node) {
+  return data::make_dataset(dataset_name(node), dataset_config(node));
+}
+
+nn::TrainConfig build_train_config(const ConfigNode& node) {
+  nn::TrainConfig tc;
+  tc.epochs = static_cast<int>(node.get_int_or("epochs", tc.epochs));
+  tc.batch_size = node.get_int_or("batch", tc.batch_size);
+  tc.sgd.learning_rate = node.get_double_or("lr", tc.sgd.learning_rate);
+  tc.sgd.momentum = node.get_double_or("momentum", tc.sgd.momentum);
+  tc.sgd.weight_decay =
+      node.get_double_or("weight_decay", tc.sgd.weight_decay);
+  tc.sgd.step_epochs =
+      static_cast<int>(node.get_int_or("lr_step", tc.sgd.step_epochs));
+  tc.sgd.gamma = node.get_double_or("lr_gamma", tc.sgd.gamma);
+  tc.sgd.clip_grad_norm =
+      node.get_double_or("clip_grad_norm", tc.sgd.clip_grad_norm);
+  tc.shuffle_seed = static_cast<std::uint64_t>(
+      node.get_int_or("shuffle_seed",
+                      static_cast<std::int64_t>(tc.shuffle_seed)));
+  tc.verbose = node.get_bool_or("verbose", false);
+  return tc;
+}
+
+quant::PrecisionConfig build_precision(const ConfigNode& node) {
+  const std::string kind = node.get("kind");
+  quant::PrecisionConfig cfg;
+  if (kind == "float") {
+    cfg = quant::float_config();
+  } else if (kind == "fixed") {
+    cfg = quant::fixed_config(
+        static_cast<int>(node.get_int("weight_bits")),
+        static_cast<int>(node.get_int("input_bits")));
+  } else if (kind == "pow2") {
+    cfg = quant::pow2_config(
+        static_cast<int>(node.get_int_or("weight_bits", 6)),
+        static_cast<int>(node.get_int_or("input_bits", 16)));
+  } else if (kind == "binary") {
+    cfg = quant::binary_config(
+        static_cast<int>(node.get_int_or("input_bits", 16)),
+        node.get_or("scale", "meanabs") == "one"
+            ? BinaryScaleMode::kPlusMinusOne
+            : BinaryScaleMode::kMeanAbs);
+  } else {
+    QNN_CHECK_MSG(false, "unknown precision kind '" << kind << '\'');
+  }
+  const std::string radix = node.get_or("radix", "per_layer");
+  QNN_CHECK_MSG(radix == "per_layer" || radix == "global",
+                "radix must be per_layer or global");
+  cfg.radix_policy = radix == "global" ? quant::RadixPolicy::kGlobal
+                                       : quant::RadixPolicy::kPerLayer;
+  const std::string rounding = node.get_or("rounding", "nearest");
+  if (rounding == "nearest") cfg.rounding = Rounding::kNearest;
+  else if (rounding == "floor") cfg.rounding = Rounding::kFloor;
+  else if (rounding == "stochastic") cfg.rounding = Rounding::kStochastic;
+  else QNN_CHECK_MSG(false, "unknown rounding '" << rounding << '\'');
+  return cfg;
+}
+
+}  // namespace qnn::config

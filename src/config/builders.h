@@ -1,0 +1,46 @@
+// Builds library objects from parsed configuration:
+//
+//   network  { preset: lenet channel_scale: 0.5 }        — zoo preset, or
+//   network  { input: 1x28x28
+//              layer { type: conv out: 20 kernel: 5 }
+//              layer { type: maxpool kernel: 2 stride: 2 }
+//              layer { type: ip out: 10 } }              — custom stack
+//   dataset  { name: mnist train: 2000 test: 500 seed: 42 }
+//   train    { epochs: 5 batch: 32 lr: 0.02 momentum: 0.9 }
+//   precision{ kind: fixed weight_bits: 8 input_bits: 8 }
+//
+// Layer types: conv (out, kernel, stride=1, pad=0, bias=true),
+// maxpool/avgpool (kernel, stride=kernel, pad=0), relu, sigmoid, tanh,
+// dropout (p), lrn (local_size=5, alpha, beta, k), ip (out, bias=true).
+#pragma once
+
+#include <memory>
+
+#include "config/config_node.h"
+#include "data/synthetic.h"
+#include "nn/trainer.h"
+#include "nn/zoo.h"
+#include "quant/qconfig.h"
+
+namespace qnn::config {
+
+struct BuiltNetwork {
+  std::unique_ptr<nn::Network> network;
+  Shape input_shape;  // (1, C, H, W) or (1, F)
+};
+
+// `node` is the network{...} block.
+BuiltNetwork build_network(const ConfigNode& node);
+
+// `node` is the dataset{...} block; returns the generated split.
+data::Split build_dataset(const ConfigNode& node);
+data::SyntheticConfig dataset_config(const ConfigNode& node);
+std::string dataset_name(const ConfigNode& node);
+
+// `node` is the train{...} block.
+nn::TrainConfig build_train_config(const ConfigNode& node);
+
+// `node` is the precision{...} block.
+quant::PrecisionConfig build_precision(const ConfigNode& node);
+
+}  // namespace qnn::config

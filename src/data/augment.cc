@@ -1,0 +1,43 @@
+#include "data/augment.h"
+
+#include "util/check.h"
+
+namespace qnn::data {
+
+Tensor augment_batch(const Tensor& images, const AugmentConfig& config,
+                     Rng& rng) {
+  const Shape& s = images.shape();
+  QNN_CHECK(s.rank() == 4);
+  if (!config.enabled()) return images;
+  Tensor out(s);
+  const std::int64_t pad = config.pad_crop;
+  for (std::int64_t n = 0; n < s.n(); ++n) {
+    const bool flip = config.mirror && rng.bernoulli(0.5);
+    // Crop offset in [-pad, pad]: reading input at (y+dy, x+dx), zeros
+    // outside — equivalent to zero-padding by `pad` then cropping.
+    const std::int64_t dy =
+        pad > 0 ? rng.uniform_int(-static_cast<int>(pad),
+                                  static_cast<int>(pad))
+                : 0;
+    const std::int64_t dx =
+        pad > 0 ? rng.uniform_int(-static_cast<int>(pad),
+                                  static_cast<int>(pad))
+                : 0;
+    for (std::int64_t c = 0; c < s.c(); ++c) {
+      for (std::int64_t y = 0; y < s.h(); ++y) {
+        const std::int64_t sy = y + dy;
+        for (std::int64_t x = 0; x < s.w(); ++x) {
+          const std::int64_t sx0 = x + dx;
+          const std::int64_t sx = flip ? s.w() - 1 - sx0 : sx0;
+          float v = 0.0f;
+          if (sy >= 0 && sy < s.h() && sx0 >= 0 && sx0 < s.w())
+            v = images.at(n, c, sy, sx);
+          out.at(n, c, y, x) = v;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace qnn::data

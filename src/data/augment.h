@@ -1,0 +1,24 @@
+// Training-time data augmentation — Caffe's classic CIFAR recipe:
+// random horizontal mirroring and random shifts via pad-then-crop.
+// Applied per batch inside nn::train when enabled in TrainConfig.
+#pragma once
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace qnn::data {
+
+struct AugmentConfig {
+  bool mirror = false;  // flip horizontally with probability 1/2
+  int pad_crop = 0;     // zero-pad by k pixels, crop back at random
+  std::uint64_t seed = 23;
+
+  bool enabled() const { return mirror || pad_crop > 0; }
+};
+
+// Returns the augmented copy of an (N,C,H,W) batch; each sample draws
+// its own transform.
+Tensor augment_batch(const Tensor& images, const AugmentConfig& config,
+                     Rng& rng);
+
+}  // namespace qnn::data

@@ -1,0 +1,87 @@
+#include "data/dataset.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace qnn::data {
+namespace {
+
+Tensor copy_samples(const Tensor& images,
+                    const std::vector<std::int64_t>& indices) {
+  const Shape& s = images.shape();
+  QNN_CHECK(s.rank() == 4);
+  const std::int64_t sample = s.count_from(1);
+  Tensor out(Shape{static_cast<std::int64_t>(indices.size()), s.c(), s.h(),
+                   s.w()});
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::int64_t src = indices[i];
+    QNN_CHECK(src >= 0 && src < s.n());
+    std::copy_n(images.data() + src * sample, sample,
+                out.data() + static_cast<std::int64_t>(i) * sample);
+  }
+  return out;
+}
+
+}  // namespace
+
+Dataset Dataset::slice(std::int64_t begin, std::int64_t end) const {
+  QNN_CHECK(begin >= 0 && begin <= end && end <= size());
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(end - begin));
+  std::iota(idx.begin(), idx.end(), begin);
+  return gather(idx);
+}
+
+Dataset Dataset::gather(const std::vector<std::int64_t>& indices) const {
+  Dataset out;
+  out.name = name;
+  out.num_classes = num_classes;
+  out.images = copy_samples(images, indices);
+  out.labels.reserve(indices.size());
+  for (std::int64_t i : indices)
+    out.labels.push_back(labels[static_cast<std::size_t>(i)]);
+  return out;
+}
+
+std::pair<Dataset, Dataset> split_validation(const Dataset& d,
+                                             double fraction, Rng& rng) {
+  QNN_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  // Group indices per class, shuffle within class, take the fraction.
+  std::vector<std::vector<std::int64_t>> per_class(
+      static_cast<std::size_t>(d.num_classes));
+  for (std::int64_t i = 0; i < d.size(); ++i)
+    per_class[static_cast<std::size_t>(d.labels[i])].push_back(i);
+
+  std::vector<std::int64_t> keep, val;
+  for (auto& bucket : per_class) {
+    rng.shuffle(bucket);
+    const std::size_t take = static_cast<std::size_t>(
+        fraction * static_cast<double>(bucket.size()) + 0.5);
+    for (std::size_t i = 0; i < bucket.size(); ++i)
+      (i < take ? val : keep).push_back(bucket[i]);
+  }
+  return {d.gather(keep), d.gather(val)};
+}
+
+Tensor batch_images(const Dataset& d, std::int64_t first,
+                    std::int64_t count) {
+  QNN_CHECK(first >= 0 && first + count <= d.size());
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(count));
+  std::iota(idx.begin(), idx.end(), first);
+  return copy_samples(d.images, idx);
+}
+
+std::vector<int> batch_labels(const Dataset& d, std::int64_t first,
+                              std::int64_t count) {
+  QNN_CHECK(first >= 0 && first + count <= d.size());
+  return {d.labels.begin() + first, d.labels.begin() + first + count};
+}
+
+std::vector<std::int64_t> shuffled_indices(std::int64_t n, Rng& rng) {
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  rng.shuffle(idx);
+  return idx;
+}
+
+}  // namespace qnn::data

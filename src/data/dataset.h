@@ -1,0 +1,48 @@
+// Labeled image dataset container and split/batch utilities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace qnn::data {
+
+struct Dataset {
+  std::string name;
+  Tensor images;            // (N, C, H, W), values nominally in [0, 1]
+  std::vector<int> labels;  // size N, values in [0, num_classes)
+  int num_classes = 0;
+
+  std::int64_t size() const { return images.shape().n(); }
+
+  // Copies samples [begin, end) into a new dataset.
+  Dataset slice(std::int64_t begin, std::int64_t end) const;
+
+  // Copies the given sample indices into a new dataset.
+  Dataset gather(const std::vector<std::int64_t>& indices) const;
+};
+
+// Train/validation/test partition. The paper holds out 10% of the test
+// set per class as validation (§V-A); split_validation reproduces that.
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+
+// Extracts a per-class fraction of `d` as validation; returns
+// {remaining, validation}.
+std::pair<Dataset, Dataset> split_validation(const Dataset& d,
+                                             double fraction, Rng& rng);
+
+// Copies one batch (samples [first, first+count)) into `images`/`labels`.
+// `images` is resized/allocated by the caller via shape; labels appended.
+Tensor batch_images(const Dataset& d, std::int64_t first, std::int64_t count);
+std::vector<int> batch_labels(const Dataset& d, std::int64_t first,
+                              std::int64_t count);
+
+// Returns a random permutation of [0, n).
+std::vector<std::int64_t> shuffled_indices(std::int64_t n, Rng& rng);
+
+}  // namespace qnn::data

@@ -1,0 +1,136 @@
+#include "data/glyphs.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace qnn::data {
+namespace {
+
+// Seven-segment layout in the unit square with margins. Segment ids:
+//      A
+//     ---
+//  F |   | B
+//     -G-
+//  E |   | C
+//     ---
+//      D
+constexpr float kL = 0.25f, kR = 0.75f, kT = 0.15f, kM = 0.5f, kB = 0.85f;
+
+const Segment kSegA{kL, kT, kR, kT};
+const Segment kSegB{kR, kT, kR, kM};
+const Segment kSegC{kR, kM, kR, kB};
+const Segment kSegD{kL, kB, kR, kB};
+const Segment kSegE{kL, kM, kL, kB};
+const Segment kSegF{kL, kT, kL, kM};
+const Segment kSegG{kL, kM, kR, kM};
+
+// Standard seven-segment digit encodings, with digit 1 given a serif and
+// digit 7 a hook so no class is a strict subset presentation-wise.
+std::vector<Segment> build_digit(int digit) {
+  switch (digit) {
+    case 0: return {kSegA, kSegB, kSegC, kSegD, kSegE, kSegF};
+    case 1: return {kSegB, kSegC, {kL + 0.1f, kT + 0.12f, kR, kT}};
+    case 2: return {kSegA, kSegB, kSegG, kSegE, kSegD};
+    case 3: return {kSegA, kSegB, kSegG, kSegC, kSegD};
+    case 4: return {kSegF, kSegG, kSegB, kSegC};
+    case 5: return {kSegA, kSegF, kSegG, kSegC, kSegD};
+    case 6: return {kSegA, kSegF, kSegG, kSegC, kSegD, kSegE};
+    case 7: return {kSegA, kSegB, kSegC, {kL, kT + 0.1f, kL, kT}};
+    case 8: return {kSegA, kSegB, kSegC, kSegD, kSegE, kSegF, kSegG};
+    case 9: return {kSegA, kSegB, kSegC, kSegD, kSegF, kSegG};
+    default:
+      QNN_CHECK_MSG(false, "digit " << digit << " out of [0,9]");
+  }
+  return {};
+}
+
+float dist_to_segment(float px, float py, const Segment& s) {
+  const float vx = s.x1 - s.x0, vy = s.y1 - s.y0;
+  const float wx = px - s.x0, wy = py - s.y0;
+  const float len2 = vx * vx + vy * vy;
+  float t = len2 > 0 ? (wx * vx + wy * vy) / len2 : 0.0f;
+  t = std::clamp(t, 0.0f, 1.0f);
+  const float dx = px - (s.x0 + t * vx), dy = py - (s.y0 + t * vy);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+void render_segments(const std::vector<Segment>& segments,
+                     const Affine& tf, float thickness, float intensity,
+                     float* image, int h, int w) {
+  // Transform segment endpoints once; rasterize by signed distance.
+  std::vector<Segment> xformed;
+  xformed.reserve(segments.size());
+  for (const Segment& s : segments) {
+    Segment t;
+    t.x0 = tf.m00 * s.x0 + tf.m01 * s.y0 + tf.tx;
+    t.y0 = tf.m10 * s.x0 + tf.m11 * s.y0 + tf.ty;
+    t.x1 = tf.m00 * s.x1 + tf.m01 * s.y1 + tf.tx;
+    t.y1 = tf.m10 * s.x1 + tf.m11 * s.y1 + tf.ty;
+    xformed.push_back(t);
+  }
+  // One-pixel anti-aliasing band in unit coordinates.
+  const float aa = 1.0f / static_cast<float>(std::max(h, w));
+  for (int y = 0; y < h; ++y) {
+    const float py = (static_cast<float>(y) + 0.5f) / static_cast<float>(h);
+    for (int x = 0; x < w; ++x) {
+      const float px = (static_cast<float>(x) + 0.5f) / static_cast<float>(w);
+      float best = 1e9f;
+      for (const Segment& s : xformed)
+        best = std::min(best, dist_to_segment(px, py, s));
+      const float cover =
+          std::clamp((thickness + aa - best) / aa, 0.0f, 1.0f);
+      if (cover > 0) {
+        float& pix = image[y * w + x];
+        pix = std::max(pix, cover * intensity);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<Segment>& glyph_segments(int digit) {
+  static const std::array<std::vector<Segment>, 10> cache = [] {
+    std::array<std::vector<Segment>, 10> a;
+    for (int d = 0; d < 10; ++d) a[static_cast<std::size_t>(d)] = build_digit(d);
+    return a;
+  }();
+  QNN_CHECK(digit >= 0 && digit <= 9);
+  return cache[static_cast<std::size_t>(digit)];
+}
+
+Affine Affine::jitter(float rotation, float scale, float shift_x,
+                      float shift_y, float shear) {
+  // Rotate+shear+scale about the center (0.5, 0.5), then translate.
+  const float c = std::cos(rotation), s = std::sin(rotation);
+  Affine a;
+  a.m00 = scale * c;
+  a.m01 = scale * (-s + shear);
+  a.m10 = scale * s;
+  a.m11 = scale * c;
+  a.tx = 0.5f - (a.m00 * 0.5f + a.m01 * 0.5f) + shift_x;
+  a.ty = 0.5f - (a.m10 * 0.5f + a.m11 * 0.5f) + shift_y;
+  return a;
+}
+
+void render_glyph(int digit, const Affine& transform, float thickness,
+                  float intensity, float* image, int h, int w) {
+  render_segments(glyph_segments(digit), transform, thickness, intensity,
+                  image, h, w);
+}
+
+void render_glyph_fragment(int digit, const Affine& transform,
+                           float thickness, float intensity,
+                           double keep_fraction, Rng& rng, float* image,
+                           int h, int w) {
+  std::vector<Segment> kept;
+  for (const Segment& s : glyph_segments(digit))
+    if (rng.bernoulli(keep_fraction)) kept.push_back(s);
+  if (kept.empty()) return;
+  render_segments(kept, transform, thickness, intensity, image, h, w);
+}
+
+}  // namespace qnn::data

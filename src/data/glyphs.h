@@ -1,0 +1,48 @@
+// Procedural digit glyph rendering for the synthetic MNIST-like and
+// SVHN-like datasets (see DESIGN.md §3 — dataset substitution).
+//
+// Each of the ten classes is a seven-segment-style stroke pattern in the
+// unit square, rasterized with anti-aliasing under a random affine
+// transform. Classes that share most segments (6/8/9, 3/9, 5/6) make the
+// task non-trivial once clutter and noise are added.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace qnn::data {
+
+// A line segment in unit-square glyph coordinates (y grows downward).
+struct Segment {
+  float x0, y0, x1, y1;
+};
+
+// Stroke pattern for digit in [0, 9].
+const std::vector<Segment>& glyph_segments(int digit);
+
+// 2-D affine transform p' = M p + t applied in unit-square coordinates.
+struct Affine {
+  float m00 = 1, m01 = 0, m10 = 0, m11 = 1, tx = 0, ty = 0;
+
+  // rotation (radians) about the square center, isotropic scale,
+  // translation, and shear; composed center-out.
+  static Affine jitter(float rotation, float scale, float shift_x,
+                       float shift_y, float shear);
+};
+
+// Draws the glyph into a single-channel h×w image (row-major), blending
+// with max() so overlapping strokes do not over-saturate.
+// `thickness` is the stroke half-width in unit coordinates; `intensity`
+// the peak value added.
+void render_glyph(int digit, const Affine& transform, float thickness,
+                  float intensity, float* image, int h, int w);
+
+// Draws only a random subset of the digit's segments — used as clutter
+// ("distractor fragments") in the SVHN-like dataset.
+void render_glyph_fragment(int digit, const Affine& transform,
+                           float thickness, float intensity,
+                           double keep_fraction, Rng& rng, float* image,
+                           int h, int w);
+
+}  // namespace qnn::data

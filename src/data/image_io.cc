@@ -1,0 +1,67 @@
+#include "data/image_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <functional>
+
+#include "util/check.h"
+
+namespace qnn::data {
+namespace {
+
+unsigned char to_byte(float v) {
+  return static_cast<unsigned char>(
+      std::clamp(v, 0.0f, 1.0f) * 255.0f + 0.5f);
+}
+
+void write_pnm(const std::string& path, std::int64_t c, std::int64_t h,
+               std::int64_t w,
+               const std::function<float(std::int64_t ch, std::int64_t y,
+                                         std::int64_t x)>& pixel) {
+  QNN_CHECK_MSG(c == 1 || c == 3, "PGM/PPM supports 1 or 3 channels");
+  std::ofstream out(path, std::ios::binary);
+  QNN_CHECK_MSG(out.good(), "cannot open " << path);
+  out << (c == 1 ? "P5" : "P6") << '\n' << w << ' ' << h << "\n255\n";
+  for (std::int64_t y = 0; y < h; ++y)
+    for (std::int64_t x = 0; x < w; ++x)
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        const unsigned char b = to_byte(pixel(ch, y, x));
+        out.write(reinterpret_cast<const char*>(&b), 1);
+      }
+  QNN_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+}  // namespace
+
+void write_image(const Tensor& images, std::int64_t sample_index,
+                 const std::string& path) {
+  const Shape& s = images.shape();
+  QNN_CHECK(s.rank() == 4);
+  QNN_CHECK(sample_index >= 0 && sample_index < s.n());
+  write_pnm(path, s.c(), s.h(), s.w(),
+            [&](std::int64_t ch, std::int64_t y, std::int64_t x) {
+              return images.at(sample_index, ch, y, x);
+            });
+}
+
+void write_contact_sheet(const Tensor& images, std::int64_t count,
+                         std::int64_t columns, const std::string& path) {
+  const Shape& s = images.shape();
+  QNN_CHECK(s.rank() == 4);
+  QNN_CHECK(columns > 0);
+  count = std::min(count, s.n());
+  const std::int64_t rows = (count + columns - 1) / columns;
+  const std::int64_t pad = 2;
+  const std::int64_t cell_h = s.h() + pad, cell_w = s.w() + pad;
+  write_pnm(path, s.c(), rows * cell_h, columns * cell_w,
+            [&](std::int64_t ch, std::int64_t y, std::int64_t x) {
+              const std::int64_t r = y / cell_h, c = x / cell_w;
+              const std::int64_t iy = y % cell_h, ix = x % cell_w;
+              const std::int64_t idx = r * columns + c;
+              if (idx >= count || iy >= s.h() || ix >= s.w())
+                return 0.25f;  // gutter
+              return images.at(idx, ch, iy, ix);
+            });
+}
+
+}  // namespace qnn::data

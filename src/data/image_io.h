@@ -1,0 +1,21 @@
+// Minimal NetPBM writers (binary PGM/PPM) for inspecting the synthetic
+// datasets and feature maps — no external image library needed.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace qnn::data {
+
+// Writes one sample of a (N,1,H,W) or (N,3,H,W) tensor as PGM/PPM.
+// Values are clamped from [0,1] to [0,255].
+void write_image(const Tensor& images, std::int64_t sample_index,
+                 const std::string& path);
+
+// Writes a grid of the first `count` samples into one image
+// (`columns` per row), useful for dataset contact sheets.
+void write_contact_sheet(const Tensor& images, std::int64_t count,
+                         std::int64_t columns, const std::string& path);
+
+}  // namespace qnn::data

@@ -1,0 +1,42 @@
+// Synthetic dataset generators shaped like the paper's three benchmarks.
+//
+// We have no access to MNIST/SVHN/CIFAR-10 binaries in this environment,
+// so we synthesize deterministic datasets with the same tensor shapes,
+// class counts, and — crucially — the same *difficulty ordering*
+// (MNIST-like easy, SVHN-like medium, CIFAR-like hard). See DESIGN.md §3.
+//
+//  - MNIST-like:  28×28×1. Anti-aliased digit glyphs under mild affine
+//    jitter and light noise. A LeNet-class model reaches ≈99%.
+//  - SVHN-like:   32×32×3. The same glyph classes rendered in random
+//    colors over gradient backgrounds with distractor glyph fragments
+//    (street-number clutter) and stronger jitter/noise.
+//  - CIFAR-like:  32×32×3. Ten classes, each a mixture of several
+//    "modes": procedural scenes combining low-frequency color fields,
+//    oriented gratings, and shape overlays with heavy parameter jitter.
+//    Multi-modal classes reward model capacity, which the paper's
+//    ALEX+ / ALEX++ experiments rely on.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace qnn::data {
+
+struct SyntheticConfig {
+  std::int64_t num_train = 2000;
+  std::int64_t num_test = 500;
+  std::uint64_t seed = 42;
+  // Additive Gaussian pixel noise; the per-dataset defaults below are
+  // scaled by this multiplier (1 = calibrated difficulty).
+  double noise_scale = 1.0;
+};
+
+Split make_mnist_like(const SyntheticConfig& config);
+Split make_svhn_like(const SyntheticConfig& config);
+Split make_cifar_like(const SyntheticConfig& config);
+
+// Dataset registry used by examples/benches ("mnist" | "svhn" | "cifar").
+Split make_dataset(const std::string& name, const SyntheticConfig& config);
+
+}  // namespace qnn::data

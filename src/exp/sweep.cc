@@ -1,0 +1,100 @@
+#include "exp/sweep.h"
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace qnn::exp {
+
+const PrecisionResult* SweepResult::find(
+    const std::string& precision_id) const {
+  for (const PrecisionResult& p : points)
+    if (p.precision.id() == precision_id) return &p;
+  return nullptr;
+}
+
+hw::ScheduleResult schedule_for(const nn::Network& net, const Shape& input,
+                                const quant::PrecisionConfig& precision) {
+  hw::AcceleratorConfig cfg;
+  cfg.precision = precision;
+  const hw::Accelerator acc(cfg);
+  return hw::schedule_network(net.describe(input), acc);
+}
+
+double inference_energy_uj(const nn::Network& net, const Shape& input,
+                           const quant::PrecisionConfig& precision) {
+  hw::AcceleratorConfig cfg;
+  cfg.precision = precision;
+  const hw::Accelerator acc(cfg);
+  return hw::schedule_network(net.describe(input), acc).energy_uj(acc);
+}
+
+SweepResult run_precision_sweep(
+    const ExperimentSpec& spec,
+    const std::vector<quant::PrecisionConfig>& precisions,
+    double reference_energy_uj) {
+  const data::Split split = data::make_dataset(spec.dataset, spec.data);
+  const Shape input = nn::input_shape_for(spec.network);
+
+  nn::ZooConfig zc;
+  zc.channel_scale = spec.channel_scale;
+  zc.init_seed = spec.seed;
+
+  // Train the full-precision reference once; every QAT run starts from
+  // these weights (paper §IV-A: "initialize the parameters for lower
+  // precision training from the floating point counterpart").
+  auto float_net = nn::make_network(spec.network, zc);
+  nn::train(*float_net, split.train, spec.float_train);
+  const double float_acc = nn::evaluate(*float_net, split.test);
+
+  SweepResult result;
+  result.network = spec.network;
+  result.dataset = spec.dataset;
+  result.float_energy_uj =
+      inference_energy_uj(*float_net, input, quant::float_config());
+  const double reference = reference_energy_uj > 0 ? reference_energy_uj
+                                                   : result.float_energy_uj;
+
+  for (quant::PrecisionConfig precision : precisions) {
+    precision.radix_policy = spec.radix_policy;
+    PrecisionResult pr;
+    pr.precision = precision;
+
+    // Hardware metrics are training-independent.
+    hw::AcceleratorConfig acfg;
+    acfg.precision = precision;
+    const hw::Accelerator acc(acfg);
+    const auto sched = hw::schedule_network(float_net->describe(input), acc);
+    pr.energy_uj = sched.energy_uj(acc);
+    pr.cycles = sched.total_cycles;
+    pr.energy_saving_percent = hw::saving_percent(reference, pr.energy_uj);
+    pr.area_mm2 = acc.area_mm2();
+    pr.power_mw = acc.power_mw();
+    pr.param_kb =
+        quant::memory_footprint(*float_net, input, precision).param_kb();
+
+    if (precision.is_float()) {
+      pr.accuracy = float_acc;
+    } else {
+      // Fresh structural copy initialized from the float weights, then
+      // quantization-aware fine-tuning.
+      auto net = nn::make_network(spec.network, zc);
+      net->copy_params_from(*float_net);
+      quant::QuantizedNetwork qnet(*net, precision);
+      quant::QatConfig qat;
+      qat.train = spec.qat_train;
+      quant::qat_finetune(qnet, split.train, qat);
+      pr.accuracy = nn::evaluate(qnet, split.test);
+      qnet.restore_masters();
+    }
+    const double chance = 100.0 / split.test.num_classes;
+    pr.converged = pr.accuracy >= kConvergenceFactor * chance;
+    QNN_LOG(Info) << spec.network << '/' << spec.dataset << ' '
+                  << precision.label() << ": acc=" << pr.accuracy
+                  << "% energy=" << pr.energy_uj << "uJ"
+                  << (pr.converged ? "" : " [did not converge]");
+    result.points.push_back(std::move(pr));
+  }
+  return result;
+}
+
+}  // namespace qnn::exp

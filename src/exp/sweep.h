@@ -1,0 +1,71 @@
+// Experiment orchestration: the paper's end-to-end flow per design point
+// (train float → QAT per precision → accuracy + hardware metrics), used
+// by the Table IV / Table V / Fig. 4 benches and the examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "hw/schedule.h"
+#include "nn/trainer.h"
+#include "nn/zoo.h"
+#include "quant/memory.h"
+#include "quant/qat.h"
+
+namespace qnn::exp {
+
+struct ExperimentSpec {
+  std::string network = "lenet";  // zoo name
+  std::string dataset = "mnist";  // "mnist" | "svhn" | "cifar"
+  // Scales hidden channel counts so benches finish on one core while
+  // preserving each architecture's structure (DESIGN.md §3).
+  double channel_scale = 1.0;
+  data::SyntheticConfig data;
+  nn::TrainConfig float_train;  // baseline (full-precision) schedule
+  nn::TrainConfig qat_train;    // per-precision fine-tune schedule
+  quant::RadixPolicy radix_policy = quant::RadixPolicy::kPerLayer;
+  std::uint64_t seed = 1;
+};
+
+struct PrecisionResult {
+  quant::PrecisionConfig precision;
+  double accuracy = 0.0;   // % top-1 on the test split
+  bool converged = true;   // false reproduces the paper's "NA" rows
+  double energy_uj = 0.0;  // per-image inference energy
+  double energy_saving_percent = 0.0;  // vs. the reference energy
+  double area_mm2 = 0.0;
+  double power_mw = 0.0;
+  double param_kb = 0.0;   // parameter memory at this precision
+  std::int64_t cycles = 0;
+};
+
+struct SweepResult {
+  std::string network;
+  std::string dataset;
+  double float_energy_uj = 0.0;  // this network's float energy
+  std::vector<PrecisionResult> points;
+
+  const PrecisionResult* find(const std::string& precision_id) const;
+};
+
+// Per-image energy / cycle schedule of `net` at `precision` on the
+// default 16×16 accelerator.
+hw::ScheduleResult schedule_for(const nn::Network& net, const Shape& input,
+                                const quant::PrecisionConfig& precision);
+double inference_energy_uj(const nn::Network& net, const Shape& input,
+                           const quant::PrecisionConfig& precision);
+
+// Accuracy below this multiple of chance level marks a point as failed
+// to converge (the paper reports such rows as NA or chance accuracy).
+inline constexpr double kConvergenceFactor = 1.8;
+
+// Runs the full sweep. `reference_energy_uj` sets the baseline for the
+// savings column (Table V references the *ALEX* float design even for
+// ALEX+ / ALEX++); pass 0 to use this network's own float energy.
+SweepResult run_precision_sweep(
+    const ExperimentSpec& spec,
+    const std::vector<quant::PrecisionConfig>& precisions,
+    double reference_energy_uj = 0.0);
+
+}  // namespace qnn::exp

@@ -1,0 +1,135 @@
+#include "fixed/approx_mult.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace qnn {
+namespace {
+
+int floor_log2(std::uint64_t v) {
+  QNN_DCHECK(v > 0);
+  return 63 - __builtin_clzll(v);
+}
+
+// Mitchell 1962: for a = 2^ka (1 + fa), b = 2^kb (1 + fb) with
+// f in [0,1): log2(a) ≈ ka + fa, so
+//   a*b ≈ 2^(ka+kb) * (1 + fa + fb)            if fa + fb < 1
+//       ≈ 2^(ka+kb+1) * (fa + fb)              otherwise
+// computed here on integer mantissas without any multiplication.
+std::uint64_t mitchell_magnitude(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  const int ka = floor_log2(a);
+  const int kb = floor_log2(b);
+  // Fixed-point mantissa fractions with 32 fractional bits.
+  const std::uint64_t fa =
+      ka == 0 ? 0 : (a - (std::uint64_t{1} << ka)) << (32 - ka);
+  const std::uint64_t fb =
+      kb == 0 ? 0 : (b - (std::uint64_t{1} << kb)) << (32 - kb);
+  const std::uint64_t fsum = fa + fb;  // < 2^33
+  const int k = ka + kb;
+  if (fsum < (std::uint64_t{1} << 32)) {
+    // antilog: 2^k * (1 + fsum)
+    const std::uint64_t mant = (std::uint64_t{1} << 32) + fsum;
+    return k >= 32 ? mant << (k - 32) : mant >> (32 - k);
+  }
+  // carry into the characteristic: 2^(k+1) * (1 + (fsum - 1))
+  //                              = 2^(k+1) * fsum
+  return k + 1 >= 32 ? fsum << (k + 1 - 32) : fsum >> (32 - (k + 1));
+}
+
+// Truncated array multiplier: discard the k least-significant columns
+// of the partial-product array, i.e. compute (a * (b >> s)) pieces.
+// Model: zero out the low k bits of the exact product and add half of
+// the dropped range as compensation (the usual constant-correction
+// truncation scheme).
+std::uint64_t truncated_magnitude(std::uint64_t a, std::uint64_t b,
+                                  int columns) {
+  const std::uint64_t exact = a * b;
+  if (columns <= 0) return exact;
+  QNN_DCHECK(columns < 62);
+  const std::uint64_t mask = (std::uint64_t{1} << columns) - 1;
+  const std::uint64_t compensation = std::uint64_t{1} << (columns - 1);
+  std::uint64_t t = exact & ~mask;
+  if (t != 0 || exact > mask) t += compensation;
+  return t;
+}
+
+}  // namespace
+
+std::string ApproxMultSpec::to_string() const {
+  switch (kind) {
+    case ApproxMultKind::kExact: return "exact";
+    case ApproxMultKind::kMitchell: return "mitchell";
+    case ApproxMultKind::kTruncated:
+      return "truncated(" + std::to_string(truncated_columns) + ")";
+  }
+  return "?";
+}
+
+std::int64_t approx_multiply(std::int64_t a, std::int64_t b,
+                             const ApproxMultSpec& spec) {
+  if (spec.kind == ApproxMultKind::kExact) return a * b;
+  const bool negative = (a < 0) != (b < 0);
+  const std::uint64_t ma = static_cast<std::uint64_t>(a < 0 ? -a : a);
+  const std::uint64_t mb = static_cast<std::uint64_t>(b < 0 ? -b : b);
+  std::uint64_t m = 0;
+  switch (spec.kind) {
+    case ApproxMultKind::kMitchell:
+      m = mitchell_magnitude(ma, mb);
+      break;
+    case ApproxMultKind::kTruncated:
+      m = truncated_magnitude(ma, mb, spec.truncated_columns);
+      break;
+    case ApproxMultKind::kExact:
+      break;  // handled above
+  }
+  const auto sm = static_cast<std::int64_t>(m);
+  return negative ? -sm : sm;
+}
+
+MultiplyFn make_multiplier(const ApproxMultSpec& spec) {
+  switch (spec.kind) {
+    case ApproxMultKind::kExact:
+      return [](std::int64_t a, std::int64_t b) { return a * b; };
+    case ApproxMultKind::kMitchell:
+      return [](std::int64_t a, std::int64_t b) {
+        return approx_multiply(a, b,
+                               {ApproxMultKind::kMitchell, 0});
+      };
+    case ApproxMultKind::kTruncated: {
+      const int cols = spec.truncated_columns;
+      return [cols](std::int64_t a, std::int64_t b) {
+        return approx_multiply(a, b,
+                               {ApproxMultKind::kTruncated, cols});
+      };
+    }
+  }
+  return nullptr;
+}
+
+double mean_relative_error(const ApproxMultSpec& spec, int bits,
+                           int samples, std::uint64_t seed) {
+  QNN_CHECK(bits >= 2 && bits <= 24);
+  Rng rng(seed);
+  const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+  const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+  double total = 0.0;
+  int counted = 0;
+  for (int i = 0; i < samples; ++i) {
+    const std::int64_t a = rng.uniform_int(static_cast<int>(lo),
+                                           static_cast<int>(hi));
+    const std::int64_t b = rng.uniform_int(static_cast<int>(lo),
+                                           static_cast<int>(hi));
+    const std::int64_t exact = a * b;
+    if (exact == 0) continue;
+    const std::int64_t approx = approx_multiply(a, b, spec);
+    total += std::fabs(static_cast<double>(approx - exact)) /
+             std::fabs(static_cast<double>(exact));
+    ++counted;
+  }
+  return counted > 0 ? total / counted : 0.0;
+}
+
+}  // namespace qnn

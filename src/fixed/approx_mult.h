@@ -1,0 +1,52 @@
+// Approximate integer multipliers — the approximate-computing context
+// the paper's introduction places itself in (Kung [13], Venkataramani
+// [23]). Three classic designs over two's-complement operands:
+//
+//  * kExact      — reference array multiplier.
+//  * kMitchell   — Mitchell's logarithmic multiplier: a*b ≈ 2^(log2 a +
+//    log2 b) with linear mantissa approximation; error ≤ ~11%, area
+//    roughly linear in width (no partial-product array).
+//  * kTruncated  — array multiplier with the k least-significant
+//    partial-product columns removed; unbiased-ish small error, area
+//    shrinks by the truncated triangle.
+//
+// bench/approx_arithmetic evaluates these in the integer inference path
+// and prices them with the hardware model — quantifying the paper's
+// §I claim that buffer-dominated designs gain little from arithmetic
+// approximation compared to precision scaling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace qnn {
+
+enum class ApproxMultKind {
+  kExact,
+  kMitchell,
+  kTruncated,
+};
+
+struct ApproxMultSpec {
+  ApproxMultKind kind = ApproxMultKind::kExact;
+  // kTruncated: number of low partial-product columns dropped.
+  int truncated_columns = 0;
+
+  std::string to_string() const;
+};
+
+// Multiplies two (signed) fixed-point raw words under the spec.
+std::int64_t approx_multiply(std::int64_t a, std::int64_t b,
+                             const ApproxMultSpec& spec);
+
+// Functor form for hot loops.
+using MultiplyFn = std::function<std::int64_t(std::int64_t, std::int64_t)>;
+MultiplyFn make_multiplier(const ApproxMultSpec& spec);
+
+// Mean relative error of the approximation over a random operand sweep
+// (diagnostic; exact multiplier returns 0).
+double mean_relative_error(const ApproxMultSpec& spec, int bits,
+                           int samples = 4096, std::uint64_t seed = 1);
+
+}  // namespace qnn

@@ -1,0 +1,21 @@
+#include "fixed/binary_format.h"
+
+#include <cmath>
+
+namespace qnn {
+
+double BinaryFormat::scale_for(std::span<const float> weights) const {
+  if (mode_ == BinaryScaleMode::kPlusMinusOne) return 1.0;
+  if (weights.empty()) return 1.0;
+  double s = 0.0;
+  for (float w : weights) s += std::fabs(w);
+  s /= static_cast<double>(weights.size());
+  return s > 0.0 ? s : 1.0;
+}
+
+std::string BinaryFormat::to_string() const {
+  return mode_ == BinaryScaleMode::kPlusMinusOne ? "binary[±1]"
+                                                 : "binary[±mean|w|]";
+}
+
+}  // namespace qnn

@@ -1,0 +1,45 @@
+// Binary (1-bit) weight quantization (paper §IV-A4, after BinaryConnect).
+//
+// Weights become sign(w) * scale. The paper uses ±1 (scale = 1). Because
+// our networks have no batch normalization, we also support a per-tensor
+// positive scale (the mean absolute weight, as in XNOR-Net); for
+// ReLU networks a positive per-layer scale commutes with the nonlinearity
+// and amounts to a logit temperature, so the hardware still stores one
+// bit per weight — the scale folds into the accumulator requantization
+// shift. DESIGN.md §5 documents this substitution.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace qnn {
+
+enum class BinaryScaleMode {
+  kPlusMinusOne,   // strict ±1 (BinaryConnect)
+  kMeanAbs,        // ±mean(|w|) per tensor (XNOR-Net style)
+};
+
+class BinaryFormat {
+ public:
+  explicit BinaryFormat(BinaryScaleMode mode = BinaryScaleMode::kMeanAbs)
+      : mode_(mode) {}
+
+  BinaryScaleMode mode() const { return mode_; }
+
+  // Per-tensor scale for the given weights: 1.0 for kPlusMinusOne, the
+  // mean absolute value for kMeanAbs (1.0 if the tensor is all zeros).
+  double scale_for(std::span<const float> weights) const;
+
+  // Quantizes one value given a precomputed scale. sign(0) is +1 —
+  // a 1-bit format has no zero.
+  static double quantize(double v, double scale) {
+    return v < 0 ? -scale : scale;
+  }
+
+  std::string to_string() const;
+
+ private:
+  BinaryScaleMode mode_;
+};
+
+}  // namespace qnn

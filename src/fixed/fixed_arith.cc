@@ -1,0 +1,80 @@
+#include "fixed/fixed_arith.h"
+
+#include <cmath>
+
+namespace qnn {
+namespace {
+
+std::int64_t saturate(std::int64_t raw, const FixedPointFormat& f) {
+  if (raw < f.raw_min()) return f.raw_min();
+  if (raw > f.raw_max()) return f.raw_max();
+  return raw;
+}
+
+}  // namespace
+
+std::int64_t shift_raw_rounded(std::int64_t raw, int from_frac,
+                               int to_frac) {
+  if (to_frac >= from_frac) {
+    const int up = to_frac - from_frac;
+    QNN_CHECK_MSG(up < 62, "fixed-point shift overflow");
+    return raw << up;
+  }
+  const int down = from_frac - to_frac;
+  QNN_CHECK_MSG(down < 62, "fixed-point shift underflow");
+  const std::int64_t bias = std::int64_t{1} << (down - 1);
+  // Round half away from zero to match FixedPointFormat::quantize.
+  if (raw >= 0) return (raw + bias) >> down;
+  return -((-raw + bias) >> down);
+}
+
+namespace {
+// Keep the short internal name used throughout this file.
+std::int64_t shift_raw(std::int64_t raw, int from_frac, int to_frac) {
+  return shift_raw_rounded(raw, from_frac, to_frac);
+}
+}  // namespace
+
+FixedValue fixed_encode(double v, const FixedPointFormat& format) {
+  return FixedValue{format.to_raw(v), format};
+}
+
+FixedValue fixed_add(const FixedValue& a, const FixedValue& b) {
+  QNN_CHECK(a.format == b.format);
+  return FixedValue{saturate(a.raw + b.raw, a.format), a.format};
+}
+
+FixedValue fixed_mul(const FixedValue& a, const FixedValue& b,
+                     const FixedPointFormat& out_format) {
+  const std::int64_t wide = a.raw * b.raw;  // fits: 32b x 32b in 64b
+  const int wide_frac = a.format.frac_bits() + b.format.frac_bits();
+  const std::int64_t shifted =
+      shift_raw(wide, wide_frac, out_format.frac_bits());
+  return FixedValue{saturate(shifted, out_format), out_format};
+}
+
+double FixedAccumulator::value() const {
+  return static_cast<double>(raw) * std::ldexp(1.0, -frac_bits);
+}
+
+FixedAccumulator make_accumulator(const FixedPointFormat& weight_format,
+                                  const FixedPointFormat& data_format) {
+  return FixedAccumulator{
+      0, weight_format.frac_bits() + data_format.frac_bits()};
+}
+
+void fixed_mac(FixedAccumulator& acc, const FixedValue& weight,
+               const FixedValue& data) {
+  QNN_DCHECK(weight.format.frac_bits() + data.format.frac_bits() ==
+             acc.frac_bits);
+  acc.raw += weight.raw * data.raw;
+}
+
+FixedValue fixed_requantize(const FixedAccumulator& acc,
+                            const FixedPointFormat& out_format) {
+  const std::int64_t shifted =
+      shift_raw(acc.raw, acc.frac_bits, out_format.frac_bits());
+  return FixedValue{saturate(shifted, out_format), out_format};
+}
+
+}  // namespace qnn

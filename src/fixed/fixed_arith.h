@@ -1,0 +1,62 @@
+// Bit-true integer fixed-point arithmetic.
+//
+// This is the integer-domain reference the hardware would actually
+// execute. The training/inference framework computes on the float grid
+// (fake quantization); these routines exist so tests can prove the float
+// grid and the integer semantics agree exactly, and so the MAC datapath
+// of the accelerator model has a concrete functional counterpart.
+#pragma once
+
+#include <cstdint>
+
+#include "fixed/fixed_format.h"
+
+namespace qnn {
+
+// A raw fixed-point value tagged with its format.
+struct FixedValue {
+  std::int64_t raw = 0;
+  FixedPointFormat format;
+
+  double value() const { return format.from_raw(raw); }
+};
+
+// Encodes a real number into `format`.
+FixedValue fixed_encode(double v, const FixedPointFormat& format);
+
+// Saturating addition of two values in the SAME format.
+FixedValue fixed_add(const FixedValue& a, const FixedValue& b);
+
+// Exact product: multiplying Qa (fa frac bits) by Qb (fb frac bits) gives
+// a wide product with fa+fb frac bits; we return it in an output format
+// via rounding + saturation (the hardware's post-multiply requantize).
+FixedValue fixed_mul(const FixedValue& a, const FixedValue& b,
+                     const FixedPointFormat& out_format);
+
+// Multiply-accumulate into a wide 64-bit accumulator holding
+// (fa + fb) fractional bits — models the adder-tree accumulator of the
+// NFU, which is wide enough never to overflow for our layer sizes.
+struct FixedAccumulator {
+  std::int64_t raw = 0;
+  int frac_bits = 0;
+
+  double value() const;
+};
+
+FixedAccumulator make_accumulator(const FixedPointFormat& weight_format,
+                                  const FixedPointFormat& data_format);
+
+void fixed_mac(FixedAccumulator& acc, const FixedValue& weight,
+               const FixedValue& data);
+
+// Requantizes the accumulator into an output format (round + saturate).
+FixedValue fixed_requantize(const FixedAccumulator& acc,
+                            const FixedPointFormat& out_format);
+
+// Moves a raw word between fractional-bit positions, rounding half away
+// from zero when narrowing (the convention of FixedPointFormat). Exposed
+// for the integer inference path (hw/nfu_sim).
+std::int64_t shift_raw_rounded(std::int64_t raw, int from_frac,
+                               int to_frac);
+
+}  // namespace qnn

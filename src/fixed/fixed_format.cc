@@ -1,0 +1,107 @@
+#include "fixed/fixed_format.h"
+
+#include <cmath>
+#include <random>
+#include <sstream>
+
+namespace qnn {
+namespace {
+
+std::mt19937_64& stochastic_engine() {
+  thread_local std::mt19937_64 engine{0x5eed5eedull};
+  return engine;
+}
+
+}  // namespace
+
+void seed_stochastic_rounding(std::uint64_t seed) {
+  stochastic_engine().seed(seed);
+}
+
+double round_with_mode(double v, Rounding mode) {
+  switch (mode) {
+    case Rounding::kNearest:
+      return std::round(v);  // half away from zero
+    case Rounding::kNearestEven: {
+      const double r = std::nearbyint(v);  // assumes default FE_TONEAREST
+      return r;
+    }
+    case Rounding::kFloor:
+      return std::floor(v);
+    case Rounding::kStochastic: {
+      const double lo = std::floor(v);
+      const double frac = v - lo;
+      const double u = std::uniform_real_distribution<double>(0.0, 1.0)(
+          stochastic_engine());
+      return u < frac ? lo + 1.0 : lo;
+    }
+  }
+  return std::round(v);
+}
+
+FixedPointFormat::FixedPointFormat(int total_bits, int frac_bits,
+                                   Rounding rounding)
+    : total_bits_(total_bits),
+      frac_bits_(frac_bits),
+      rounding_(rounding),
+      step_(std::ldexp(1.0, -frac_bits)),
+      raw_min_(-(std::int64_t{1} << (total_bits - 1))),
+      raw_max_((std::int64_t{1} << (total_bits - 1)) - 1) {
+  QNN_CHECK_MSG(total_bits >= 2 && total_bits <= 32,
+                "total_bits " << total_bits << " out of [2,32]");
+}
+
+std::int64_t FixedPointFormat::to_raw(double v) const {
+  if (std::isnan(v)) return 0;
+  const double scaled = v / step_;
+  double r = round_with_mode(scaled, rounding_);
+  if (r < static_cast<double>(raw_min_)) return raw_min_;
+  if (r > static_cast<double>(raw_max_)) return raw_max_;
+  return static_cast<std::int64_t>(r);
+}
+
+double FixedPointFormat::from_raw(std::int64_t raw) const {
+  QNN_DCHECK(raw >= raw_min_ && raw <= raw_max_);
+  return static_cast<double>(raw) * step_;
+}
+
+double FixedPointFormat::quantize(double v) const {
+  return from_raw(to_raw(v));
+}
+
+bool FixedPointFormat::representable(double v) const {
+  if (std::isnan(v)) return false;
+  const double scaled = v / step_;
+  if (scaled < static_cast<double>(raw_min_) ||
+      scaled > static_cast<double>(raw_max_))
+    return false;
+  return scaled == std::floor(scaled);
+}
+
+FixedPointFormat FixedPointFormat::for_range(int total_bits, double max_abs,
+                                             Rounding rounding) {
+  // Need integer_bits >= ceil(log2(max_abs)) so that +max_abs does not
+  // saturate (the asymmetric negative end gives one extra value of
+  // headroom, which we conservatively ignore).
+  int int_bits;
+  if (max_abs <= 0.0 || !std::isfinite(max_abs)) {
+    int_bits = 0;
+  } else {
+    int_bits = static_cast<int>(std::ceil(std::log2(max_abs)));
+    // log2 of an exact power of two must still fit: 2^int_bits > max is
+    // needed only strictly for the max positive code; allow equality via
+    // a small epsilon nudge.
+    while (std::ldexp(1.0, int_bits) < max_abs) ++int_bits;
+  }
+  const int frac = total_bits - 1 - int_bits;
+  return FixedPointFormat(total_bits, frac, rounding);
+}
+
+std::string FixedPointFormat::to_string() const {
+  std::ostringstream os;
+  os << 'Q' << integer_bits() << '.' << frac_bits_ << " (" << total_bits_
+     << "b)";
+  return os.str();
+}
+
+}  // namespace qnn

@@ -1,0 +1,103 @@
+// Bit-accurate signed fixed-point formats (Q-notation).
+//
+// A FixedPointFormat describes the value grid of a two's-complement
+// fixed-point number with `total_bits` bits of which `frac_bits` sit to
+// the right of the radix point:
+//
+//   representable values = { raw * 2^-frac_bits :
+//                            raw in [-2^(total_bits-1), 2^(total_bits-1)-1] }
+//
+// frac_bits may be negative (grid coarser than 1) or >= total_bits (all-
+// fractional sub-unit ranges); this is exactly the freedom the paper (and
+// Ristretto) exploit by letting weights and data use different radix-point
+// locations.
+//
+// quantize() maps any real value onto this grid with a selectable rounding
+// mode and saturation — the float result is *bit-exact* w.r.t. the integer
+// encode/decode pair (validated by property tests against fixed_arith).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/check.h"
+
+namespace qnn {
+
+enum class Rounding {
+  kNearest,   // round half away from zero (Ristretto's default)
+  kNearestEven,
+  kFloor,      // toward negative infinity (truncation of the raw value)
+  kStochastic, // probability-proportional rounding (Gupta et al. [8]):
+               // round up with probability equal to the fractional part,
+               // making the rounding unbiased in expectation
+};
+
+// Re-seeds the thread-local generator behind Rounding::kStochastic so
+// experiments remain reproducible.
+void seed_stochastic_rounding(std::uint64_t seed);
+
+class FixedPointFormat {
+ public:
+  // total_bits in [2, 32]; frac_bits unrestricted (see header comment).
+  FixedPointFormat(int total_bits, int frac_bits,
+                   Rounding rounding = Rounding::kNearest);
+
+  int total_bits() const { return total_bits_; }
+  int frac_bits() const { return frac_bits_; }
+  // Bits to the left of the radix point, excluding the sign bit.
+  int integer_bits() const { return total_bits_ - 1 - frac_bits_; }
+  Rounding rounding() const { return rounding_; }
+
+  // Grid spacing 2^-frac_bits.
+  double step() const { return step_; }
+
+  // Most negative / most positive representable values.
+  double min_value() const { return static_cast<double>(raw_min_) * step_; }
+  double max_value() const { return static_cast<double>(raw_max_) * step_; }
+
+  std::int64_t raw_min() const { return raw_min_; }
+  std::int64_t raw_max() const { return raw_max_; }
+
+  // Nearest on-grid value with saturation. NaN maps to 0.
+  double quantize(double v) const;
+  float quantize(float v) const {
+    return static_cast<float>(quantize(static_cast<double>(v)));
+  }
+
+  // Integer encode (with rounding + saturation) and exact decode.
+  std::int64_t to_raw(double v) const;
+  double from_raw(std::int64_t raw) const;
+
+  // True if v lies exactly on the representable grid.
+  bool representable(double v) const;
+
+  // Picks frac_bits so that `max_abs` fits without saturation in
+  // `total_bits` bits while maximizing resolution — the Ristretto rule:
+  //   integer_bits = ceil(log2(max_abs)) (at least enough to hold max_abs)
+  // Returns the resulting format. max_abs <= 0 yields maximal fraction.
+  static FixedPointFormat for_range(int total_bits, double max_abs,
+                                    Rounding rounding = Rounding::kNearest);
+
+  // "Q4.11 (16b)" style description.
+  std::string to_string() const;
+
+  bool operator==(const FixedPointFormat& o) const {
+    return total_bits_ == o.total_bits_ && frac_bits_ == o.frac_bits_ &&
+           rounding_ == o.rounding_;
+  }
+
+ private:
+  int total_bits_;
+  int frac_bits_;
+  Rounding rounding_;
+  double step_;
+  std::int64_t raw_min_;
+  std::int64_t raw_max_;
+};
+
+// Applies a rounding mode to a real number, returning an integral double.
+// Exposed for reuse by the power-of-two quantizer and for direct testing.
+double round_with_mode(double v, Rounding mode);
+
+}  // namespace qnn

@@ -1,0 +1,19 @@
+#include "fixed/plan_sigmoid.h"
+
+#include <cmath>
+
+namespace qnn {
+
+double plan_sigmoid(double x) {
+  const double a = std::fabs(x);
+  double y;
+  if (a >= 5.0) y = 1.0;
+  else if (a >= 2.375) y = 0.03125 * a + 0.84375;
+  else if (a >= 1.0) y = 0.125 * a + 0.625;
+  else y = 0.25 * a + 0.5;
+  return x >= 0 ? y : 1.0 - y;
+}
+
+double plan_tanh(double x) { return 2.0 * plan_sigmoid(2.0 * x) - 1.0; }
+
+}  // namespace qnn

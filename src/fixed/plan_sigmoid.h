@@ -1,0 +1,24 @@
+// PLAN — Piecewise Linear Approximation of Nonlinearity (Amin, Curtis,
+// Hayes-Gill 1997) — the classic hardware sigmoid: every slope and
+// intercept is a (sum of) power(s) of two, so the NFU's stage-3 block
+// needs only shifts and adds. Maximum absolute error ≈ 0.0189.
+//
+//   |x| >= 5        : y = 1
+//   2.375 <= |x| < 5: y = 0.03125 |x| + 0.84375
+//   1 <= |x| < 2.375: y = 0.125   |x| + 0.625
+//   0 <= |x| < 1    : y = 0.25    |x| + 0.5
+//   x < 0           : y = 1 - y(|x|)
+//
+// tanh derives from it: tanh(x) = 2 sigmoid(2x) - 1.
+#pragma once
+
+namespace qnn {
+
+double plan_sigmoid(double x);
+double plan_tanh(double x);
+
+// Worst-case |plan_sigmoid(x) - sigmoid(x)| (at the |x| = 1 breakpoint;
+// used by tests and by the NFU simulator's error budget).
+inline constexpr double kPlanSigmoidMaxError = 0.01895;
+
+}  // namespace qnn

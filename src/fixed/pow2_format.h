@@ -1,0 +1,59 @@
+// Power-of-two weight quantization (paper §IV-A3, after Lin et al.).
+//
+// Weights are restricted to ±2^e (plus exact zero), so every multiply in
+// the accelerator's weight blocks becomes a barrel shift and a
+// conditional negate. The paper's "(6,16)" point encodes weights in
+// 6 bits: 1 sign bit + 5 exponent-code bits, with one exponent code
+// reserved for zero, leaving 31 usable exponents [exp_min, exp_max].
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/check.h"
+
+namespace qnn {
+
+class Pow2Format {
+ public:
+  // total_bits >= 2: 1 sign bit + (total_bits-1) exponent-code bits.
+  // exp_max is the largest representable exponent; the usable range is
+  // [exp_max - num_exponents() + 1, exp_max].
+  Pow2Format(int total_bits, int exp_max);
+
+  int total_bits() const { return total_bits_; }
+  int exp_max() const { return exp_max_; }
+  int exp_min() const { return exp_max_ - num_exponents() + 1; }
+  // 2^(total_bits-1) codes minus the reserved zero code.
+  int num_exponents() const { return (1 << (total_bits_ - 1)) - 1; }
+
+  double max_value() const;  // +2^exp_max
+  double min_positive() const;  // +2^exp_min
+
+  // Nearest representable value: 0, or sign(v) * 2^clamp(round(log2|v|)).
+  // Magnitudes below the geometric midpoint between 0 and 2^exp_min
+  // quantize to exact zero. The exponent is chosen to minimize absolute
+  // error (round-to-nearest in the log domain picks the multiplicative
+  // midpoint; we use the arithmetic midpoint to truly minimize |error|).
+  double quantize(double v) const;
+  float quantize(float v) const {
+    return static_cast<float>(quantize(static_cast<double>(v)));
+  }
+
+  // Raw code: bit (total_bits-1) = sign, low bits = exponent code where
+  // 0 encodes value zero and k>0 encodes exponent exp_min + (k-1).
+  std::int64_t to_raw(double v) const;
+  double from_raw(std::int64_t raw) const;
+
+  // Picks exp_max from an observed max-abs so the largest weight is
+  // representable: exp_max = ceil(log2(max_abs)).
+  static Pow2Format for_range(int total_bits, double max_abs);
+
+  std::string to_string() const;
+
+ private:
+  int total_bits_;
+  int exp_max_;
+};
+
+}  // namespace qnn

@@ -1,0 +1,152 @@
+#include "hw/accelerator.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "hw/logic_model.h"
+#include "util/check.h"
+
+namespace qnn::hw {
+
+using quant::PrecisionKind;
+
+Accelerator::Accelerator(const AcceleratorConfig& config)
+    : config_(config), metrics_(compute_metrics()) {}
+
+BufferBits Accelerator::buffer_bits() const {
+  const auto& c = config_;
+  const int in_bits = c.precision.input_bits;
+  const int w_bits = c.precision.weight_bits;
+  BufferBits b;
+  // Bin: each entry feeds the Ts synapse inputs of a cycle.
+  b.bin = static_cast<std::int64_t>(c.bin_entries) *
+          c.synapses_per_neuron * in_bits;
+  // Bout: partial/final outputs of the Tn neurons, at data precision.
+  b.bout = static_cast<std::int64_t>(c.bout_entries) * c.neurons * in_bits;
+  // Sb: a full Tn×Ts weight tile per entry.
+  b.sb = static_cast<std::int64_t>(c.sb_entries) * c.neurons *
+         c.synapses_per_neuron * w_bits;
+  return b;
+}
+
+int Accelerator::product_bits() const {
+  const int in = config_.precision.input_bits;
+  const int w = config_.precision.weight_bits;
+  switch (config_.precision.kind) {
+    case PrecisionKind::kFloat:
+      return 32;  // FP32 product stays one word
+    case PrecisionKind::kFixed:
+      return w + in;
+    case PrecisionKind::kPow2:
+      // Right-shift (negative exponent) architecture: weights are
+      // magnitudes ≤ 2^0, so the shifter moves data right and the
+      // product needs only guard bits (Lin et al.'s shift realization).
+      return in + 2;
+    case PrecisionKind::kBinary:
+      return in + 1;  // conditional negate
+  }
+  return in;
+}
+
+int Accelerator::accumulator_bits() const {
+  // Adder tree over Ts leaves adds log2(Ts) carry bits.
+  int log2_ts = 0;
+  while ((1 << log2_ts) < config_.synapses_per_neuron) ++log2_ts;
+  return product_bits() + log2_ts;
+}
+
+DesignMetrics Accelerator::compute_metrics() const {
+  const auto& c = config_;
+  const Tech65& t = c.tech;
+  const int tn = c.neurons, ts = c.synapses_per_neuron;
+  const int lanes = tn * ts;
+  const int in_bits = c.precision.input_bits;
+  const int w_bits = c.precision.weight_bits;
+  const int prod = product_bits();
+  const int acc = accumulator_bits();
+
+  DesignMetrics m;
+
+  // ---- Memory: the three buffer subsystems --------------------------
+  m.area_um2.memory =
+      t.mem_area_per_bit * static_cast<double>(buffer_bits().total());
+
+  // ---- Registers -----------------------------------------------------
+  double reg_bits = 0;
+  if (c.pipeline_depth() == 3) {
+    // Stage-1 -> stage-2 product registers (absent when the binary net
+    // merges WB into the adder tree, paper §IV-A4).
+    reg_bits += static_cast<double>(lanes) * prod;
+  }
+  // Stage-2 -> stage-3 accumulator registers.
+  reg_bits += static_cast<double>(tn) * acc;
+  // Buffer IO latches: one Bin read port (Ts words), one Sb read port
+  // (Tn×Ts words), one Bout write port (Tn words).
+  reg_bits += static_cast<double>(ts) * in_bits +
+              static_cast<double>(lanes) * w_bits +
+              static_cast<double>(tn) * in_bits;
+  m.area_um2.registers = register_area(t, static_cast<int>(reg_bits));
+
+  // ---- Combinational logic -------------------------------------------
+  double wb_area = 0;  // the precision-dependent weight-block stage
+  switch (c.precision.kind) {
+    case PrecisionKind::kFloat:
+      wb_area = static_cast<double>(lanes) * t.fp32_mult_area;
+      break;
+    case PrecisionKind::kFixed:
+      wb_area = static_cast<double>(lanes) *
+                int_multiplier_area(t, w_bits, in_bits);
+      break;
+    case PrecisionKind::kPow2:
+      // Shift by the (w_bits - 1)-bit exponent code.
+      wb_area = static_cast<double>(lanes) *
+                barrel_shifter_area(t, in_bits, std::max(w_bits - 1, 1));
+      break;
+    case PrecisionKind::kBinary:
+      wb_area = static_cast<double>(lanes) * sign_negate_area(t, in_bits);
+      break;
+  }
+
+  double tree_area = 0;
+  double accum_area = 0;
+  if (c.precision.kind == PrecisionKind::kFloat) {
+    tree_area = static_cast<double>(tn) * (ts - 1) * t.fp32_add_area;
+    accum_area = static_cast<double>(tn) * t.fp32_add_area;
+  } else {
+    tree_area = static_cast<double>(tn) * adder_tree_area(t, ts, prod);
+    accum_area = static_cast<double>(tn) * adder_area(t, acc);
+  }
+  const double nonlin_area =
+      static_cast<double>(tn) * t.nonlin_area_per_neuron;
+  m.area_um2.combinational =
+      wb_area + tree_area + accum_area + nonlin_area + t.control_area;
+
+  // ---- Buffer/inverter (clock tree etc.) ------------------------------
+  m.area_um2.buf_inv = t.bufinv_area_fraction *
+                       (m.area_um2.memory + m.area_um2.registers +
+                        m.area_um2.combinational);
+
+  // ---- Power: per-class density × area --------------------------------
+  m.power_mw.memory = m.area_um2.memory / 1e6 * t.mem_power_density;
+  m.power_mw.registers = m.area_um2.registers / 1e6 * t.reg_power_density;
+  m.power_mw.combinational =
+      m.area_um2.combinational / 1e6 * t.comb_power_density;
+  m.power_mw.buf_inv = m.area_um2.buf_inv / 1e6 * t.bufinv_power_density;
+  return m;
+}
+
+std::string Accelerator::describe() const {
+  std::ostringstream os;
+  os << "accelerator[" << config_.precision.label() << ", " << config_.neurons
+     << 'x' << config_.synapses_per_neuron << ", "
+     << config_.tech.clock_hz / 1e6 << " MHz]: area=" << area_mm2()
+     << " mm^2, power=" << power_mw() << " mW";
+  return os.str();
+}
+
+double saving_percent(double baseline, double x) {
+  QNN_CHECK(baseline > 0);
+  return 100.0 * (1.0 - x / baseline);
+}
+
+}  // namespace qnn::hw

@@ -1,0 +1,93 @@
+// DianNao-style tile accelerator model (paper §IV-A "Hardware
+// Accelerator", Fig. 2): Tn neuron processing units × Ts synapses each,
+// three buffer subsystems (input Bin, output Bout, weights Sb), and a
+// three-stage NFU pipeline — weight blocks (WB), adder trees,
+// nonlinearity. The WB stage is swapped per precision:
+//   (a) float/fixed  -> multiplier block
+//   (b) powers of two -> barrel shifter + negate
+//   (c) binary        -> sign-mux only, and NFU stages 1+2 merge into a
+//       two-stage pipeline (paper §IV-A4).
+#pragma once
+
+#include <string>
+
+#include "hw/tech65.h"
+#include "quant/qconfig.h"
+
+namespace qnn::hw {
+
+struct AcceleratorConfig {
+  int neurons = 16;             // Tn
+  int synapses_per_neuron = 16; // Ts
+  // Buffer geometry (entries × words-per-entry); widths follow precision.
+  int bin_entries = 64;
+  int bout_entries = 64;
+  int sb_entries = 64;
+  quant::PrecisionConfig precision;
+  Tech65 tech = default_tech();
+
+  int macs_per_cycle() const { return neurons * synapses_per_neuron; }
+  // NFU pipeline depth: 3 stages, or 2 for binary (stages 1+2 merged).
+  int pipeline_depth() const {
+    return precision.kind == quant::PrecisionKind::kBinary ? 2 : 3;
+  }
+};
+
+// Component-class decomposition used by Fig. 3.
+struct Breakdown {
+  double memory = 0;        // buffer arrays
+  double registers = 0;     // pipeline + buffer IO registers
+  double combinational = 0; // WB + adder trees + nonlinearity + control
+  double buf_inv = 0;       // clock/buffer/inverter tree
+
+  double total() const {
+    return memory + registers + combinational + buf_inv;
+  }
+};
+
+struct DesignMetrics {
+  Breakdown area_um2;   // per class, µm²
+  Breakdown power_mw;   // per class, mW
+
+  double area_mm2() const { return area_um2.total() / 1e6; }
+  double total_power_mw() const { return power_mw.total(); }
+};
+
+// Bits held in each buffer subsystem under the config's precision.
+struct BufferBits {
+  std::int64_t bin = 0;
+  std::int64_t bout = 0;
+  std::int64_t sb = 0;
+  std::int64_t total() const { return bin + bout + sb; }
+};
+
+class Accelerator {
+ public:
+  explicit Accelerator(const AcceleratorConfig& config);
+
+  const AcceleratorConfig& config() const { return config_; }
+  const DesignMetrics& metrics() const { return metrics_; }
+  BufferBits buffer_bits() const;
+
+  double area_mm2() const { return metrics_.area_mm2(); }
+  double power_mw() const { return metrics_.total_power_mw(); }
+
+  // Width of a WB-stage product feeding the adder tree.
+  int product_bits() const;
+  // Accumulator width at the adder-tree root.
+  int accumulator_bits() const;
+
+  std::string describe() const;
+
+ private:
+  DesignMetrics compute_metrics() const;
+
+  AcceleratorConfig config_;
+  DesignMetrics metrics_;
+};
+
+// Savings of `x` relative to `baseline`, in percent (paper's
+// "Power Saving %" / "Area Saving %" columns).
+double saving_percent(double baseline, double x);
+
+}  // namespace qnn::hw

@@ -1,0 +1,86 @@
+#include "hw/logic_model.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace qnn::hw {
+
+double int_multiplier_area(const Tech65& t, int w_a, int w_b) {
+  QNN_CHECK(w_a > 0 && w_b > 0);
+  return t.mult_area_per_bit2 * static_cast<double>(w_a) *
+         static_cast<double>(w_b);
+}
+
+double adder_area(const Tech65& t, int result_bits) {
+  QNN_CHECK(result_bits > 0);
+  return t.adder_area_per_bit * static_cast<double>(result_bits);
+}
+
+double barrel_shifter_area(const Tech65& t, int data_bits,
+                           int shift_stages) {
+  QNN_CHECK(data_bits > 0 && shift_stages > 0);
+  // One data_bits-wide 2:1 mux level per shift stage, plus the negate.
+  return t.mux_area_per_bit * static_cast<double>(data_bits) *
+             static_cast<double>(shift_stages) +
+         sign_negate_area(t, data_bits);
+}
+
+double sign_negate_area(const Tech65& t, int data_bits) {
+  QNN_CHECK(data_bits > 0);
+  // Inverter + mux per bit, plus the +1 increment chain (≈ half adder
+  // per bit) — fold into 1.5 mux-equivalents per bit.
+  return 1.5 * t.mux_area_per_bit * static_cast<double>(data_bits);
+}
+
+double register_area(const Tech65& t, int bits) {
+  QNN_CHECK(bits >= 0);
+  return t.reg_area_per_bit * static_cast<double>(bits);
+}
+
+double mitchell_multiplier_area(const Tech65& t, int w_a, int w_b) {
+  QNN_CHECK(w_a > 0 && w_b > 0);
+  // Per operand: leading-one detector + normalizing barrel shifter
+  // (log2(w) mux levels); then one (w_a + w_b)-bit adder and one
+  // denormalizing shifter on the sum width.
+  auto stages = [](int w) {
+    int s = 0;
+    while ((1 << s) < w) ++s;
+    return std::max(s, 1);
+  };
+  const double lod_a = t.mux_area_per_bit * w_a * 2;
+  const double lod_b = t.mux_area_per_bit * w_b * 2;
+  const double shift_a = t.mux_area_per_bit * w_a * stages(w_a);
+  const double shift_b = t.mux_area_per_bit * w_b * stages(w_b);
+  const int sum_w = w_a + w_b;
+  const double add = adder_area(t, sum_w);
+  const double denorm = t.mux_area_per_bit * sum_w * stages(sum_w);
+  return lod_a + lod_b + shift_a + shift_b + add + denorm;
+}
+
+double truncated_multiplier_area(const Tech65& t, int w_a, int w_b,
+                                 int truncated_columns) {
+  QNN_CHECK(truncated_columns >= 0);
+  const double full = int_multiplier_area(t, w_a, w_b);
+  // Dropping the k low columns removes a triangle of ~k²/2 cells
+  // (bounded by the full array).
+  const double removed =
+      std::min(full, t.mult_area_per_bit2 * 0.5 *
+                         static_cast<double>(truncated_columns) *
+                         truncated_columns);
+  return full - removed;
+}
+
+double adder_tree_area(const Tech65& t, int leaves, int operand_bits) {
+  QNN_CHECK(leaves >= 2 && operand_bits > 0);
+  double total = 0.0;
+  int width = operand_bits;
+  for (int level_nodes = leaves / 2; level_nodes >= 1; level_nodes /= 2) {
+    ++width;  // each level's sum grows one bit
+    total += static_cast<double>(level_nodes) * adder_area(t, width);
+    if (level_nodes == 1) break;
+  }
+  return total;
+}
+
+}  // namespace qnn::hw

@@ -1,0 +1,41 @@
+// Area models for the accelerator's logic building blocks.
+// All results in µm²; see tech65.h for the calibration story.
+#pragma once
+
+#include "hw/tech65.h"
+
+namespace qnn::hw {
+
+// w_a × w_b array multiplier.
+double int_multiplier_area(const Tech65& t, int w_a, int w_b);
+
+// Integer adder producing `result_bits`.
+double adder_area(const Tech65& t, int result_bits);
+
+// Barrel shifter moving `data_bits` by up to 2^shift_stages positions
+// (shift_stages mux levels, each data_bits wide), plus conditional
+// negate (paper Fig. 2(b): shifter + ×(−1)).
+double barrel_shifter_area(const Tech65& t, int data_bits,
+                           int shift_stages);
+
+// Conditional two's-complement negate (sign-mux), the binary net's
+// weight block (paper Fig. 2(c)).
+double sign_negate_area(const Tech65& t, int data_bits);
+
+// A bank of `bits` pipeline-register bits.
+double register_area(const Tech65& t, int bits);
+
+// Adder tree summing `leaves` operands of `operand_bits` bits:
+// leaves-1 adders with widths growing one bit per level.
+double adder_tree_area(const Tech65& t, int leaves, int operand_bits);
+
+// Approximate multiplier area (see fixed/approx_mult.h):
+//  * Mitchell — two leading-one detectors (~mux chains), two mantissa
+//    shifters, one adder, one decode shifter: linear in width, no
+//    partial-product array.
+//  * Truncated(k) — the exact array minus the k-column triangle.
+double mitchell_multiplier_area(const Tech65& t, int w_a, int w_b);
+double truncated_multiplier_area(const Tech65& t, int w_a, int w_b,
+                                 int truncated_columns);
+
+}  // namespace qnn::hw

@@ -1,0 +1,80 @@
+// Functional NFU simulator: hardware-faithful *integer-domain* inference.
+//
+// The training framework simulates quantization on float tensors ("fake
+// quantization"). The accelerator, however, executes integer arithmetic:
+// raw two's-complement words from the buffers, a weight-block stage that
+// is a multiplier / barrel shifter / sign-mux depending on precision, a
+// wide adder-tree accumulator, and a requantizing nonlinearity stage.
+// This module executes a calibrated QuantizedNetwork exactly that way:
+//
+//   * weights/biases/activations live as int64 raw words in their
+//     calibrated FixedPointFormats;
+//   * convolution / inner-product MACs accumulate exactly in a wide
+//     accumulator (never overflows for the paper's layer sizes);
+//   * power-of-two weights multiply by shifting; binary weights by
+//     conditional negation, with the per-tensor scale folded into the
+//     requantization step (a fixed multiplier there, as DESIGN.md §5
+//     documents);
+//   * pooling and ReLU operate on raw words (order-preserving);
+//   * every layer boundary requantizes into the site's data format.
+//
+// Because the float path accumulates in float32 while this path is
+// exact, outputs can differ by the float path's accumulation rounding —
+// at most about one output grid step for the paper's fan-ins. The
+// equivalence tests assert exactly that bound, which is the evidence
+// that fake-quantized training is faithful to the hardware.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fixed/approx_mult.h"
+#include "fixed/fixed_format.h"
+#include "quant/qnetwork.h"
+#include "tensor/tensor.h"
+
+namespace qnn::hw {
+
+// A tensor of raw fixed-point words tagged with its format.
+struct RawTensor {
+  Shape shape;
+  std::vector<std::int64_t> raw;
+  FixedPointFormat format{16, 8};
+
+  std::int64_t count() const { return shape.count(); }
+  // Decodes to float for inspection / final readout.
+  Tensor decode() const;
+};
+
+// Encodes a float tensor onto `format`'s grid as raw words.
+RawTensor encode_tensor(const Tensor& t, const FixedPointFormat& format);
+
+class NfuSimulator {
+ public:
+  // Captures the quantized weights and all calibrated formats from a
+  // calibrated QuantizedNetwork over `net`. Only fixed-point data paths
+  // are supported (every non-float paper config qualifies: their data
+  // side is fixed-point). The float config has no integer realization.
+  // `input_shape` is the network's sample input shape (N ignored).
+  // `multiplier` swaps the weight-block multiplier for an approximate
+  // design (fixed-point configs only; pow2/binary have no multiplier).
+  NfuSimulator(nn::Network& net, const quant::QuantizedNetwork& qnet,
+               const Shape& input_shape,
+               const ApproxMultSpec& multiplier = {});
+  ~NfuSimulator();  // out-of-line: Stage is incomplete here
+
+  // Integer-domain forward pass; returns decoded float logits.
+  Tensor forward(const Tensor& input) const;
+
+  // Number of executed (non-trivial) stages, for introspection.
+  std::size_t num_stages() const { return stages_.size(); }
+
+  struct Stage;  // opaque; defined in the .cc
+
+ private:
+  std::vector<std::unique_ptr<Stage>> stages_;
+  FixedPointFormat input_format_{16, 8};
+};
+
+}  // namespace qnn::hw

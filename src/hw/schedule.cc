@@ -1,0 +1,83 @@
+#include "hw/schedule.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace qnn::hw {
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+double ScheduleResult::runtime_us(const Accelerator& acc) const {
+  return static_cast<double>(total_cycles) /
+         acc.config().tech.clock_hz * 1e6;
+}
+
+double ScheduleResult::energy_uj(const Accelerator& acc) const {
+  // mW × µs = nJ; scale to µJ.
+  return acc.power_mw() * runtime_us(acc) * 1e-3;
+}
+
+ScheduleResult schedule_network(const std::vector<nn::LayerDesc>& descs,
+                                const Accelerator& acc,
+                                const ScheduleOptions& options) {
+  const auto& c = acc.config();
+  const std::int64_t tn = c.neurons, ts = c.synapses_per_neuron;
+  const std::int64_t fill = c.pipeline_depth() - 1;
+
+  ScheduleResult result;
+  for (const nn::LayerDesc& d : descs) {
+    LayerSchedule ls;
+    ls.layer_name = d.name;
+    ls.kind = d.kind;
+    ls.macs = d.macs;
+
+    if (d.kind == "conv") {
+      // The pipeline streams positions back-to-back; fill/drain is paid
+      // once per output-channel tile pass, not per position.
+      const std::int64_t positions = d.out.h() * d.out.w();
+      const std::int64_t cout_tiles = ceil_div(d.out.c(), tn);
+      const std::int64_t fan_tiles = ceil_div(d.fan_in, ts);
+      ls.cycles = positions * cout_tiles * fan_tiles + cout_tiles * fill;
+    } else if (d.kind == "inner_product") {
+      const std::int64_t out_tiles = ceil_div(d.out.count_from(1), tn);
+      const std::int64_t fan_tiles = ceil_div(d.fan_in, ts);
+      ls.cycles = out_tiles * fan_tiles + out_tiles * fill;
+      if (options.dma_bits_per_cycle > 0) {
+        // Fully-connected weights are used exactly once per image; when
+        // they exceed the on-chip Sb they must stream from DRAM.
+        const std::int64_t weight_bits =
+            d.weights * c.precision.weight_bits;
+        if (weight_bits > acc.buffer_bits().sb) {
+          const std::int64_t stream_cycles =
+              ceil_div(weight_bits, options.dma_bits_per_cycle);
+          ls.cycles = std::max(ls.cycles, stream_cycles);
+        }
+      }
+    } else if (d.kind == "pool_max" || d.kind == "pool_avg") {
+      // Tn pooling windows per cycle on the adder tree, each window
+      // consuming ceil(k² / Ts) accumulation cycles.
+      const std::int64_t windows = d.out.count_from(1);
+      ls.cycles = ceil_div(windows, tn) * ceil_div(d.fan_in, ts);
+    } else {
+      // relu & friends ride the stage-3 nonlinearity: no extra cycles.
+      ls.cycles = 0;
+    }
+
+    if (ls.cycles > 0 && ls.macs > 0) {
+      ls.utilization = static_cast<double>(ls.macs) /
+                       (static_cast<double>(ls.cycles) *
+                        static_cast<double>(tn * ts));
+    }
+    result.total_cycles += ls.cycles;
+    result.layers.push_back(std::move(ls));
+  }
+  return result;
+}
+
+}  // namespace qnn::hw

@@ -1,0 +1,57 @@
+// Maps a network onto the tile accelerator: per-layer cycle counts under
+// the Tn×Ts dataflow, runtime, and per-image inference energy.
+//
+// Tiling model (DianNao dataflow): every cycle the NFU consumes one
+// Tn×Ts weight tile — Tn output neurons each accumulate Ts inputs. A
+// layer with fan_in F and Cout outputs over P output positions costs
+//   P × ceil(Cout / Tn) × ceil(F / Ts)  cycles,
+// plus (pipeline_depth − 1) fill cycles per tile pass. Edge tiles where
+// Cout or F is not a multiple of Tn/Ts waste lanes — exactly the
+// utilization loss the paper's runtimes embed. Pooling runs on the adder
+// tree (stage 2) at Tn windows per cycle; the nonlinearity is free
+// (stage 3 of the pipeline).
+//
+// Weight/data traffic from main memory is NOT charged (paper Fig. 3:
+// "these graphs do not reflect the power consumption of the main
+// memory"); the optional `dma_bits_per_cycle` models the weight-
+// streaming bandwidth wall as an extension (bench/ablate_bandwidth) and
+// is infinite (0 = off) by default, matching the paper's idealization.
+#pragma once
+
+#include <vector>
+
+#include "hw/accelerator.h"
+#include "nn/layer.h"
+
+namespace qnn::hw {
+
+struct LayerSchedule {
+  std::string layer_name;
+  std::string kind;
+  std::int64_t cycles = 0;
+  std::int64_t macs = 0;
+  double utilization = 0.0;  // macs / (cycles × Tn × Ts)
+};
+
+struct ScheduleResult {
+  std::vector<LayerSchedule> layers;
+  std::int64_t total_cycles = 0;
+
+  double runtime_us(const Accelerator& acc) const;
+  // Per-image inference energy: accelerator power × runtime.
+  double energy_uj(const Accelerator& acc) const;
+};
+
+struct ScheduleOptions {
+  // 0 = infinite DMA bandwidth (the paper's assumption). When positive,
+  // layers whose weights exceed the Sb capacity stall on weight
+  // streaming at this many bits per cycle.
+  std::int64_t dma_bits_per_cycle = 0;
+};
+
+// `descs` comes from nn::Network::describe(input_shape).
+ScheduleResult schedule_network(const std::vector<nn::LayerDesc>& descs,
+                                const Accelerator& acc,
+                                const ScheduleOptions& options = {});
+
+}  // namespace qnn::hw

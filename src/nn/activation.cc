@@ -1,0 +1,95 @@
+#include "nn/activation.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace qnn::nn {
+
+Tensor Relu::forward(const Tensor& in) {
+  Tensor out = in;
+  for (std::int64_t i = 0; i < out.count(); ++i)
+    if (out[i] < 0) out[i] = 0;
+  cached_out_ = out;
+  return out;
+}
+
+Tensor Relu::backward(const Tensor& grad_out) {
+  QNN_CHECK_MSG(!cached_out_.empty(), "backward before forward");
+  QNN_CHECK(grad_out.shape() == cached_out_.shape());
+  Tensor grad_in = grad_out;
+  for (std::int64_t i = 0; i < grad_in.count(); ++i)
+    if (cached_out_[i] <= 0) grad_in[i] = 0;
+  return grad_in;
+}
+
+Tensor Sigmoid::forward(const Tensor& in) {
+  Tensor out = in;
+  for (std::int64_t i = 0; i < out.count(); ++i)
+    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+  cached_out_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_out) {
+  QNN_CHECK_MSG(!cached_out_.empty(), "backward before forward");
+  QNN_CHECK(grad_out.shape() == cached_out_.shape());
+  Tensor grad_in = grad_out;
+  for (std::int64_t i = 0; i < grad_in.count(); ++i) {
+    const float y = cached_out_[i];
+    grad_in[i] *= y * (1.0f - y);
+  }
+  return grad_in;
+}
+
+Tensor Tanh::forward(const Tensor& in) {
+  Tensor out = in;
+  for (std::int64_t i = 0; i < out.count(); ++i)
+    out[i] = std::tanh(out[i]);
+  cached_out_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  QNN_CHECK_MSG(!cached_out_.empty(), "backward before forward");
+  QNN_CHECK(grad_out.shape() == cached_out_.shape());
+  Tensor grad_in = grad_out;
+  for (std::int64_t i = 0; i < grad_in.count(); ++i) {
+    const float y = cached_out_[i];
+    grad_in[i] *= 1.0f - y * y;
+  }
+  return grad_in;
+}
+
+Dropout::Dropout(double drop_probability, std::uint64_t seed)
+    : p_(drop_probability), rng_(seed) {
+  QNN_CHECK_MSG(p_ >= 0.0 && p_ < 1.0,
+                "drop probability " << p_ << " out of [0,1)");
+}
+
+Tensor Dropout::forward(const Tensor& in) {
+  if (!training_ || p_ == 0.0) {
+    mask_.clear();
+    return in;
+  }
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - p_));
+  mask_.resize(static_cast<std::size_t>(in.count()));
+  Tensor out = in;
+  for (std::int64_t i = 0; i < out.count(); ++i) {
+    const float m = rng_.bernoulli(p_) ? 0.0f : keep_scale;
+    mask_[static_cast<std::size_t>(i)] = m;
+    out[i] *= m;
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (mask_.empty()) return grad_out;  // eval-mode / p == 0 forward
+  QNN_CHECK(static_cast<std::size_t>(grad_out.count()) == mask_.size());
+  Tensor grad_in = grad_out;
+  for (std::int64_t i = 0; i < grad_in.count(); ++i)
+    grad_in[i] *= mask_[static_cast<std::size_t>(i)];
+  return grad_in;
+}
+
+}  // namespace qnn::nn

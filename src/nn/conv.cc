@@ -1,0 +1,134 @@
+#include "nn/conv.h"
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "util/check.h"
+
+namespace qnn::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, const ConvSpec& spec)
+    : in_channels_(in_channels),
+      spec_(spec),
+      weight_("w", Shape{spec.out_channels, in_channels, spec.kernel,
+                         spec.kernel}),
+      bias_(spec.bias ? Param("b", Shape{spec.out_channels}) : Param()) {
+  QNN_CHECK(in_channels > 0 && spec.out_channels > 0 && spec.kernel > 0);
+  QNN_CHECK(spec.stride > 0 && spec.pad >= 0);
+}
+
+ConvGeometry Conv2d::geometry(const Shape& in) const {
+  QNN_CHECK_MSG(in.rank() == 4 && in.c() == in_channels_,
+                "conv input " << in.to_string() << " expects C="
+                              << in_channels_);
+  ConvGeometry g;
+  g.in_c = in.c();
+  g.in_h = in.h();
+  g.in_w = in.w();
+  g.kernel_h = g.kernel_w = spec_.kernel;
+  g.stride_h = g.stride_w = spec_.stride;
+  g.pad_h = g.pad_w = spec_.pad;
+  QNN_CHECK_MSG(g.out_h() > 0 && g.out_w() > 0,
+                "conv output collapses for input " << in.to_string());
+  return g;
+}
+
+Shape Conv2d::output_shape(const Shape& in) const {
+  const ConvGeometry g = geometry(in);
+  return Shape{in.n(), spec_.out_channels, g.out_h(), g.out_w()};
+}
+
+Tensor Conv2d::forward(const Tensor& in) {
+  const ConvGeometry g = geometry(in.shape());
+  const std::int64_t n = in.shape().n();
+  const std::int64_t rows = g.col_rows();   // Cin*K*K
+  const std::int64_t cols = g.col_cols();   // OH*OW
+  const std::int64_t cout = spec_.out_channels;
+
+  Tensor out(Shape{n, cout, g.out_h(), g.out_w()});
+  std::vector<float> colbuf(static_cast<std::size_t>(rows * cols));
+  const std::int64_t in_sample = in.shape().count_from(1);
+  const std::int64_t out_sample = cout * cols;
+
+  for (std::int64_t s = 0; s < n; ++s) {
+    im2col(g, in.data() + s * in_sample, colbuf.data());
+    // out[Cout, OHW] = W[Cout, rows] * cols[rows, OHW]
+    gemm(cout, cols, rows, weight_.value.data(), colbuf.data(),
+         out.data() + s * out_sample);
+    if (!bias_.value.empty()) {
+      for (std::int64_t c = 0; c < cout; ++c) {
+        const float b = bias_.value[c];
+        float* dst = out.data() + s * out_sample + c * cols;
+        for (std::int64_t i = 0; i < cols; ++i) dst[i] += b;
+      }
+    }
+  }
+  cached_in_ = in;
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  QNN_CHECK_MSG(!cached_in_.empty(), "backward before forward");
+  const Tensor& in = cached_in_;
+  const ConvGeometry g = geometry(in.shape());
+  const std::int64_t n = in.shape().n();
+  const std::int64_t rows = g.col_rows();
+  const std::int64_t cols = g.col_cols();
+  const std::int64_t cout = spec_.out_channels;
+  QNN_CHECK(grad_out.shape() == output_shape(in.shape()));
+
+  Tensor grad_in(in.shape());
+  std::vector<float> colbuf(static_cast<std::size_t>(rows * cols));
+  std::vector<float> gcol(static_cast<std::size_t>(rows * cols));
+  const std::int64_t in_sample = in.shape().count_from(1);
+  const std::int64_t out_sample = cout * cols;
+
+  for (std::int64_t s = 0; s < n; ++s) {
+    const float* go = grad_out.data() + s * out_sample;
+    // dW[Cout, rows] += gO[Cout, cols] * cols^T  (cols stored [rows, cols])
+    im2col(g, in.data() + s * in_sample, colbuf.data());
+    gemm_bt_accumulate(cout, rows, cols, go, colbuf.data(),
+                       weight_.grad.data());
+    // db[c] += sum of gO over spatial positions
+    if (!bias_.value.empty()) {
+      for (std::int64_t c = 0; c < cout; ++c) {
+        double acc = 0.0;
+        const float* src = go + c * cols;
+        for (std::int64_t i = 0; i < cols; ++i) acc += src[i];
+        bias_.grad[c] += static_cast<float>(acc);
+      }
+    }
+    // dcols[rows, cols] = W^T[rows, Cout] * gO[Cout, cols]
+    gemm_at(rows, cols, cout, weight_.value.data(), go, gcol.data());
+    col2im(g, gcol.data(), grad_in.data() + s * in_sample);
+  }
+  return grad_in;
+}
+
+std::vector<Param*> Conv2d::params() {
+  std::vector<Param*> p{&weight_};
+  if (!bias_.value.empty()) p.push_back(&bias_);
+  return p;
+}
+
+LayerDesc Conv2d::describe(const Shape& in) const {
+  LayerDesc d = Layer::describe(in);
+  const ConvGeometry g = geometry(in);
+  d.fan_in = g.col_rows();
+  d.macs = d.fan_in * spec_.out_channels * g.col_cols();
+  d.weights = weight_.count();
+  d.biases = bias_.value.empty() ? 0 : bias_.value.count();
+  return d;
+}
+
+void Conv2d::init_weights(Rng& rng) {
+  const double fan_in =
+      static_cast<double>(in_channels_ * spec_.kernel * spec_.kernel);
+  const double bound = std::sqrt(6.0 / fan_in);  // He-uniform for ReLU nets
+  weight_.value.fill_uniform(rng, static_cast<float>(-bound),
+                             static_cast<float>(bound));
+  if (!bias_.value.empty()) bias_.value.zero();
+}
+
+}  // namespace qnn::nn

@@ -1,0 +1,99 @@
+#include "nn/inner_product.h"
+
+#include <cmath>
+
+#include "tensor/gemm.h"
+#include "util/check.h"
+
+namespace qnn::nn {
+
+InnerProduct::InnerProduct(std::int64_t in_features,
+                           std::int64_t out_features, bool bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_("w", Shape{out_features, in_features}),
+      bias_(bias ? Param("b", Shape{out_features}) : Param()) {
+  QNN_CHECK(in_features > 0 && out_features > 0);
+}
+
+std::int64_t InnerProduct::flat_features(const Shape& in) const {
+  QNN_CHECK(in.rank() >= 2);
+  const std::int64_t f = in.count_from(1);
+  QNN_CHECK_MSG(f == in_features_, "inner_product input "
+                                       << in.to_string() << " flattens to "
+                                       << f << ", expected "
+                                       << in_features_);
+  return f;
+}
+
+Shape InnerProduct::output_shape(const Shape& in) const {
+  flat_features(in);
+  return Shape{in[0], out_features_};
+}
+
+Tensor InnerProduct::forward(const Tensor& in) {
+  const std::int64_t n = in.shape()[0];
+  const std::int64_t f = flat_features(in.shape());
+  cached_orig_shape_ = in.shape();
+  cached_in_ = in.reshaped(Shape{n, f});
+
+  Tensor out(Shape{n, out_features_});
+  // out[N, Out] = x[N, In] * W^T (W stored [Out, In])
+  gemm_bt(n, out_features_, f, cached_in_.data(), weight_.value.data(),
+          out.data());
+  if (!bias_.value.empty()) {
+    for (std::int64_t s = 0; s < n; ++s)
+      for (std::int64_t o = 0; o < out_features_; ++o)
+        out.at2(s, o) += bias_.value[o];
+  }
+  return out;
+}
+
+Tensor InnerProduct::backward(const Tensor& grad_out) {
+  QNN_CHECK_MSG(!cached_in_.empty(), "backward before forward");
+  const std::int64_t n = cached_in_.shape()[0];
+  QNN_CHECK(grad_out.shape() == Shape({n, out_features_}));
+
+  // dW[Out, In] += gO^T[Out, N] * x[N, In]; gemm_at overwrites, so go
+  // through a scratch tensor and accumulate.
+  Tensor dw(weight_.grad.shape());
+  gemm_at(out_features_, in_features_, n, grad_out.data(),
+          cached_in_.data(), dw.data());
+  weight_.grad.add(dw);
+
+  if (!bias_.value.empty()) {
+    for (std::int64_t s = 0; s < n; ++s)
+      for (std::int64_t o = 0; o < out_features_; ++o)
+        bias_.grad[o] += grad_out.at2(s, o);
+  }
+
+  // dX[N, In] = gO[N, Out] * W[Out, In]
+  Tensor grad_flat(Shape{n, in_features_});
+  gemm(n, in_features_, out_features_, grad_out.data(),
+       weight_.value.data(), grad_flat.data());
+  return grad_flat.reshaped(cached_orig_shape_);
+}
+
+std::vector<Param*> InnerProduct::params() {
+  std::vector<Param*> p{&weight_};
+  if (!bias_.value.empty()) p.push_back(&bias_);
+  return p;
+}
+
+LayerDesc InnerProduct::describe(const Shape& in) const {
+  LayerDesc d = Layer::describe(in);
+  d.fan_in = in_features_;
+  d.macs = in_features_ * out_features_;
+  d.weights = weight_.count();
+  d.biases = bias_.value.empty() ? 0 : bias_.value.count();
+  return d;
+}
+
+void InnerProduct::init_weights(Rng& rng) {
+  const double bound = std::sqrt(6.0 / static_cast<double>(in_features_));
+  weight_.value.fill_uniform(rng, static_cast<float>(-bound),
+                             static_cast<float>(bound));
+  if (!bias_.value.empty()) bias_.value.zero();
+}
+
+}  // namespace qnn::nn

@@ -1,0 +1,14 @@
+#include "nn/layer.h"
+
+namespace qnn::nn {
+
+LayerDesc Layer::describe(const Shape& in) const {
+  LayerDesc d;
+  d.kind = kind();
+  d.name = name();
+  d.in = in;
+  d.out = output_shape(in);
+  return d;
+}
+
+}  // namespace qnn::nn

@@ -1,0 +1,63 @@
+// Layer interface.
+//
+// Layers own their parameters and cache whatever they need between
+// forward and backward (classic define-by-layer training, as in Caffe —
+// the framework the paper's evaluation is built on).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/param.h"
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+
+namespace qnn::nn {
+
+// Structural summary of one layer instance, consumed by the hardware
+// model (src/hw) to schedule the layer onto the accelerator.
+struct LayerDesc {
+  std::string kind;   // "conv" | "pool_max" | "pool_avg" | "inner_product" | "relu" | ...
+  std::string name;
+  Shape in;           // per-batch input shape (N = 1 when describing)
+  Shape out;
+  std::int64_t macs = 0;     // multiply-accumulates per sample
+  std::int64_t weights = 0;  // weight count (excluding bias)
+  std::int64_t biases = 0;
+  std::int64_t fan_in = 0;   // inputs per output neuron (conv: C*KH*KW)
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual const char* kind() const = 0;
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // Shape inference without running data.
+  virtual Shape output_shape(const Shape& in) const = 0;
+
+  // Computes outputs; must cache context for the subsequent backward.
+  virtual Tensor forward(const Tensor& in) = 0;
+
+  // Consumes d(loss)/d(out), accumulates parameter gradients, and
+  // returns d(loss)/d(in). Only valid after a forward on the same batch.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  virtual std::vector<Param*> params() { return {}; }
+
+  // Train/eval mode switch (only stochastic layers such as Dropout
+  // care). nn::train enables it; nn::evaluate disables it.
+  virtual void set_training_mode(bool) {}
+
+  virtual LayerDesc describe(const Shape& in) const;
+
+ private:
+  std::string name_;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace qnn::nn

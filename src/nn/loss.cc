@@ -1,0 +1,55 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace qnn::nn {
+
+Tensor softmax(const Tensor& logits) {
+  QNN_CHECK(logits.shape().rank() == 2);
+  const std::int64_t n = logits.shape()[0], k = logits.shape()[1];
+  Tensor probs(logits.shape());
+  for (std::int64_t s = 0; s < n; ++s) {
+    const float* row = logits.data() + s * k;
+    float* out = probs.data() + s * k;
+    const float mx = *std::max_element(row, row + k);
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < k; ++j) {
+      out[j] = std::exp(row[j] - mx);
+      denom += out[j];
+    }
+    for (std::int64_t j = 0; j < k; ++j)
+      out[j] = static_cast<float>(out[j] / denom);
+  }
+  return probs;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels) {
+  QNN_CHECK(logits.shape().rank() == 2);
+  const std::int64_t n = logits.shape()[0], k = logits.shape()[1];
+  QNN_CHECK(static_cast<std::int64_t>(labels.size()) == n);
+
+  LossResult r;
+  r.grad_logits = softmax(logits);
+  r.predictions.resize(static_cast<std::size_t>(n));
+
+  double total = 0.0;
+  for (std::int64_t s = 0; s < n; ++s) {
+    float* row = r.grad_logits.data() + s * k;
+    const int y = labels[static_cast<std::size_t>(s)];
+    QNN_CHECK(y >= 0 && y < k);
+    // Clamp to avoid log(0) when the softmax saturates in low precision.
+    total += -std::log(std::max(row[y], 1e-12f));
+    r.predictions[static_cast<std::size_t>(s)] = static_cast<int>(
+        std::max_element(row, row + k) - row);
+    row[y] -= 1.0f;
+    for (std::int64_t j = 0; j < k; ++j) row[j] /= static_cast<float>(n);
+  }
+  r.loss = total / static_cast<double>(n);
+  return r;
+}
+
+}  // namespace qnn::nn

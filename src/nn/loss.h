@@ -1,0 +1,23 @@
+// Softmax + cross-entropy loss (fused for numerical stability).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace qnn::nn {
+
+struct LossResult {
+  double loss = 0.0;        // mean over the batch
+  Tensor grad_logits;       // d(mean loss)/d(logits), same shape as logits
+  std::vector<int> predictions;  // argmax per sample
+};
+
+// logits: (N, classes); labels.size() == N.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels);
+
+// Softmax probabilities (row-wise), exposed for inspection/tests.
+Tensor softmax(const Tensor& logits);
+
+}  // namespace qnn::nn

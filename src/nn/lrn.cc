@@ -1,0 +1,86 @@
+#include "nn/lrn.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace qnn::nn {
+
+Lrn::Lrn(const LrnSpec& spec) : spec_(spec) {
+  QNN_CHECK_MSG(spec.local_size > 0 && spec.local_size % 2 == 1,
+                "LRN local_size must be odd and positive");
+  QNN_CHECK(spec.beta > 0 && spec.k > 0);
+}
+
+Tensor Lrn::forward(const Tensor& in) {
+  const Shape& s = in.shape();
+  QNN_CHECK(s.rank() == 4);
+  const std::int64_t half = spec_.local_size / 2;
+  const double alpha_over_n =
+      spec_.alpha / static_cast<double>(spec_.local_size);
+
+  Tensor out(s);
+  cached_scale_ = Tensor(s);
+  const std::int64_t plane = s.h() * s.w();
+  for (std::int64_t n = 0; n < s.n(); ++n) {
+    for (std::int64_t p = 0; p < plane; ++p) {
+      for (std::int64_t c = 0; c < s.c(); ++c) {
+        double sum = 0.0;
+        const std::int64_t lo = std::max<std::int64_t>(0, c - half);
+        const std::int64_t hi = std::min<std::int64_t>(s.c() - 1, c + half);
+        for (std::int64_t j = lo; j <= hi; ++j) {
+          const float v = in[(n * s.c() + j) * plane + p];
+          sum += static_cast<double>(v) * v;
+        }
+        const double scale = spec_.k + alpha_over_n * sum;
+        const std::int64_t idx = (n * s.c() + c) * plane + p;
+        cached_scale_[idx] = static_cast<float>(scale);
+        out[idx] = static_cast<float>(in[idx] *
+                                      std::pow(scale, -spec_.beta));
+      }
+    }
+  }
+  cached_in_ = in;
+  return out;
+}
+
+Tensor Lrn::backward(const Tensor& grad_out) {
+  QNN_CHECK_MSG(!cached_in_.empty(), "backward before forward");
+  const Shape& s = cached_in_.shape();
+  QNN_CHECK(grad_out.shape() == s);
+  const std::int64_t half = spec_.local_size / 2;
+  const double alpha_over_n =
+      spec_.alpha / static_cast<double>(spec_.local_size);
+
+  // d out[c] / d in[i] = scale[c]^-beta * [c == i]
+  //   - 2 beta alpha/n * in[c] * in[i] * scale[c]^-(beta+1)  for i in
+  //     window(c). Accumulate over all output channels c whose window
+  //     contains i.
+  Tensor grad_in(s);
+  const std::int64_t plane = s.h() * s.w();
+  for (std::int64_t n = 0; n < s.n(); ++n) {
+    for (std::int64_t p = 0; p < plane; ++p) {
+      for (std::int64_t c = 0; c < s.c(); ++c) {
+        const std::int64_t idx_c = (n * s.c() + c) * plane + p;
+        const double scale = cached_scale_[idx_c];
+        const double go = grad_out[idx_c];
+        const double pow_beta = std::pow(scale, -spec_.beta);
+        // Diagonal term.
+        grad_in[idx_c] += static_cast<float>(go * pow_beta);
+        // Cross terms.
+        const double common = -2.0 * spec_.beta * alpha_over_n * go *
+                              cached_in_[idx_c] * pow_beta / scale;
+        const std::int64_t lo = std::max<std::int64_t>(0, c - half);
+        const std::int64_t hi = std::min<std::int64_t>(s.c() - 1, c + half);
+        for (std::int64_t i = lo; i <= hi; ++i) {
+          const std::int64_t idx_i = (n * s.c() + i) * plane + p;
+          grad_in[idx_i] +=
+              static_cast<float>(common * cached_in_[idx_i]);
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace qnn::nn

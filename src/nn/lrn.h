@@ -1,0 +1,36 @@
+// Local Response Normalization across channels (Krizhevsky et al.) —
+// the normalization used by the full CIFAR-10 "ALEX" family of nets.
+//
+//   out[c] = in[c] / (k + alpha/n * sum_{j in window(c)} in[j]^2)^beta
+//
+// where window(c) spans `local_size` adjacent channels centered on c.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace qnn::nn {
+
+struct LrnSpec {
+  std::int64_t local_size = 5;  // must be odd
+  double alpha = 1e-4;
+  double beta = 0.75;
+  double k = 1.0;
+};
+
+class Lrn final : public Layer {
+ public:
+  explicit Lrn(const LrnSpec& spec);
+
+  const char* kind() const override { return "lrn"; }
+  Shape output_shape(const Shape& in) const override { return in; }
+  Tensor forward(const Tensor& in) override;
+  Tensor backward(const Tensor& grad_out) override;
+  const LrnSpec& spec() const { return spec_; }
+
+ private:
+  LrnSpec spec_;
+  Tensor cached_in_;
+  Tensor cached_scale_;  // (k + alpha/n * window sum) per element
+};
+
+}  // namespace qnn::nn

@@ -1,0 +1,108 @@
+#include "nn/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "nn/loss.h"
+#include "util/check.h"
+
+namespace qnn::nn {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      cells_(static_cast<std::size_t>(num_classes) * num_classes, 0) {
+  QNN_CHECK(num_classes > 0);
+}
+
+void ConfusionMatrix::add(int actual, int predicted) {
+  QNN_CHECK(actual >= 0 && actual < num_classes_);
+  QNN_CHECK(predicted >= 0 && predicted < num_classes_);
+  ++cells_[static_cast<std::size_t>(actual) * num_classes_ + predicted];
+  ++total_;
+}
+
+std::int64_t ConfusionMatrix::count(int actual, int predicted) const {
+  QNN_CHECK(actual >= 0 && actual < num_classes_);
+  QNN_CHECK(predicted >= 0 && predicted < num_classes_);
+  return cells_[static_cast<std::size_t>(actual) * num_classes_ + predicted];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::int64_t diag = 0;
+  for (int c = 0; c < num_classes_; ++c) diag += count(c, c);
+  return 100.0 * static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::per_class_accuracy(int label) const {
+  std::int64_t row = 0;
+  for (int p = 0; p < num_classes_; ++p) row += count(label, p);
+  if (row == 0) return 100.0;
+  return 100.0 * static_cast<double>(count(label, label)) /
+         static_cast<double>(row);
+}
+
+double ConfusionMatrix::balanced_accuracy() const {
+  double sum = 0.0;
+  for (int c = 0; c < num_classes_; ++c) sum += per_class_accuracy(c);
+  return sum / num_classes_;
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream os;
+  os << "actual\\pred";
+  for (int p = 0; p < num_classes_; ++p) os << '\t' << p;
+  os << '\n';
+  for (int a = 0; a < num_classes_; ++a) {
+    os << a;
+    for (int p = 0; p < num_classes_; ++p) os << '\t' << count(a, p);
+    os << '\n';
+  }
+  return os.str();
+}
+
+EvalMetrics evaluate_metrics(Model& model, const data::Dataset& d, int k,
+                             std::int64_t batch_size) {
+  QNN_CHECK(d.size() > 0);
+  QNN_CHECK(k >= 1 && k <= d.num_classes);
+  model.set_training_mode(false);
+  EvalMetrics m{ConfusionMatrix(d.num_classes)};
+  std::int64_t topk_hits = 0;
+  double loss_sum = 0.0;
+  std::int64_t batches = 0;
+
+  for (std::int64_t first = 0; first < d.size(); first += batch_size) {
+    const std::int64_t count = std::min(batch_size, d.size() - first);
+    const Tensor x = data::batch_images(d, first, count);
+    const auto y = data::batch_labels(d, first, count);
+    const Tensor logits = model.forward(x);
+    const LossResult lr = softmax_cross_entropy(logits, y);
+    loss_sum += lr.loss;
+    ++batches;
+
+    const std::int64_t classes = logits.shape()[1];
+    std::vector<int> order(static_cast<std::size_t>(classes));
+    for (std::int64_t s = 0; s < count; ++s) {
+      const float* row = logits.data() + s * classes;
+      m.confusion.add(y[static_cast<std::size_t>(s)],
+                      lr.predictions[static_cast<std::size_t>(s)]);
+      std::iota(order.begin(), order.end(), 0);
+      std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                        [&](int a, int b) { return row[a] > row[b]; });
+      for (int j = 0; j < k; ++j)
+        if (order[static_cast<std::size_t>(j)] ==
+            y[static_cast<std::size_t>(s)]) {
+          ++topk_hits;
+          break;
+        }
+    }
+  }
+  m.top1 = m.confusion.accuracy();
+  m.topk = 100.0 * static_cast<double>(topk_hits) /
+           static_cast<double>(d.size());
+  m.mean_loss = loss_sum / static_cast<double>(batches);
+  return m;
+}
+
+}  // namespace qnn::nn

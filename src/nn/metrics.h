@@ -1,0 +1,50 @@
+// Classification metrics beyond top-1 accuracy: confusion matrix,
+// per-class accuracy, and top-k — used to inspect *how* low-precision
+// networks fail (e.g. the paper's SVHN binary collapse is a near-uniform
+// confusion, not a biased one).
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/network.h"
+
+namespace qnn::nn {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  void add(int actual, int predicted);
+
+  std::int64_t count(int actual, int predicted) const;
+  std::int64_t total() const { return total_; }
+  int num_classes() const { return num_classes_; }
+
+  // Top-1 accuracy in percent.
+  double accuracy() const;
+  // Recall of one class in percent (100 if the class never occurs).
+  double per_class_accuracy(int label) const;
+  // Mean of per-class accuracies (balanced accuracy).
+  double balanced_accuracy() const;
+
+  std::string to_string() const;
+
+ private:
+  int num_classes_;
+  std::int64_t total_ = 0;
+  std::vector<std::int64_t> cells_;  // row = actual, col = predicted
+};
+
+struct EvalMetrics {
+  ConfusionMatrix confusion;
+  double top1 = 0.0;   // percent
+  double topk = 0.0;   // percent, k as configured
+  double mean_loss = 0.0;
+};
+
+// Full evaluation pass with confusion matrix and top-k accuracy.
+EvalMetrics evaluate_metrics(Model& model, const data::Dataset& d, int k = 3,
+                             std::int64_t batch_size = 64);
+
+}  // namespace qnn::nn

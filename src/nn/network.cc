@@ -1,0 +1,69 @@
+#include "nn/network.h"
+
+#include "nn/conv.h"
+#include "nn/inner_product.h"
+#include "util/check.h"
+
+namespace qnn::nn {
+
+Tensor Network::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x);
+  return x;
+}
+
+void Network::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+}
+
+std::vector<Param*> Network::trainable_params() {
+  std::vector<Param*> all;
+  for (auto& layer : layers_)
+    for (Param* p : layer->params()) all.push_back(p);
+  return all;
+}
+
+void Network::init_weights(Rng& rng) {
+  for (auto& layer : layers_) {
+    if (auto* conv = dynamic_cast<Conv2d*>(layer.get()))
+      conv->init_weights(rng);
+    else if (auto* ip = dynamic_cast<InnerProduct*>(layer.get()))
+      ip->init_weights(rng);
+  }
+}
+
+std::vector<LayerDesc> Network::describe(const Shape& input) const {
+  QNN_CHECK(input.rank() >= 2);
+  // Normalize to batch size 1.
+  std::vector<std::int64_t> dims = input.dims();
+  dims[0] = 1;
+  Shape shape{dims};
+  std::vector<LayerDesc> descs;
+  descs.reserve(layers_.size());
+  for (const auto& layer : layers_) {
+    descs.push_back(layer->describe(shape));
+    shape = descs.back().out;
+  }
+  return descs;
+}
+
+std::int64_t Network::num_params() const {
+  std::int64_t total = 0;
+  for (const auto& layer : layers_)
+    for (Param* p : const_cast<Layer&>(*layer).params()) total += p->count();
+  return total;
+}
+
+void Network::copy_params_from(const Network& other) {
+  auto dst = trainable_params();
+  auto src = const_cast<Network&>(other).trainable_params();
+  QNN_CHECK_MSG(dst.size() == src.size(), "param list mismatch");
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    QNN_CHECK(dst[i]->value.shape() == src[i]->value.shape());
+    dst[i]->value = src[i]->value;
+  }
+}
+
+}  // namespace qnn::nn

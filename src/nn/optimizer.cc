@@ -1,0 +1,62 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace qnn::nn {
+
+void Sgd::clip_gradients(const std::vector<Param*>& params,
+                         double max_norm) {
+  if (max_norm <= 0) return;
+  double sq = 0.0;
+  for (Param* p : params) {
+    const float* g = p->grad.data();
+    for (std::int64_t j = 0; j < p->count(); ++j)
+      sq += static_cast<double>(g[j]) * g[j];
+  }
+  const double norm = std::sqrt(sq);
+  if (norm <= max_norm || norm == 0.0) return;
+  const float scale = static_cast<float>(max_norm / norm);
+  for (Param* p : params) p->grad.scale(scale);
+}
+
+void Sgd::step(const std::vector<Param*>& params) {
+  if (current_lr_ < 0) current_lr_ = config_.learning_rate;
+  const double lr = learning_rate();
+  clip_gradients(params, config_.clip_grad_norm);
+  if (velocity_.empty()) {
+    velocity_.reserve(params.size());
+    for (Param* p : params) velocity_.emplace_back(p->value.shape());
+  }
+  QNN_CHECK_MSG(velocity_.size() == params.size(),
+                "optimizer bound to a different parameter list");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Param& p = *params[i];
+    Tensor& v = velocity_[i];
+    QNN_CHECK(v.shape() == p.value.shape());
+    const float m = static_cast<float>(config_.momentum);
+    const float wd = static_cast<float>(config_.weight_decay);
+    const float eta = static_cast<float>(lr);
+    float* vd = v.data();
+    float* wv = p.value.data();
+    const float* g = p.grad.data();
+    const std::int64_t n = p.count();
+    for (std::int64_t j = 0; j < n; ++j) {
+      vd[j] = m * vd[j] - eta * (g[j] + wd * wv[j]);
+      wv[j] += vd[j];
+    }
+  }
+}
+
+void Sgd::on_epoch_end(int epoch) {
+  if (current_lr_ < 0) current_lr_ = config_.learning_rate;
+  if (config_.step_epochs > 0 && (epoch + 1) % config_.step_epochs == 0)
+    current_lr_ *= config_.gamma;
+}
+
+void Sgd::zero_grad(const std::vector<Param*>& params) {
+  for (Param* p : params) p->zero_grad();
+}
+
+}  // namespace qnn::nn

@@ -1,0 +1,53 @@
+// Stochastic gradient descent with momentum and L2 weight decay —
+// the paper's training recipe (standard Caffe SGD).
+#pragma once
+
+#include <vector>
+
+#include "nn/param.h"
+
+namespace qnn::nn {
+
+struct SgdConfig {
+  double learning_rate = 0.01;
+  double momentum = 0.9;
+  double weight_decay = 1e-4;
+  // Multiplies learning_rate every `step_epochs` epochs (<=0 disables).
+  double gamma = 0.5;
+  int step_epochs = 0;
+  // Global gradient-norm clipping (<=0 disables). Large-fan-in layers
+  // (ConvNet's 512-channel 7×7 stage) otherwise blow up in the first
+  // few updates and leave the ReLUs dead.
+  double clip_grad_norm = 5.0;
+};
+
+class Sgd {
+ public:
+  explicit Sgd(const SgdConfig& config) : config_(config) {}
+
+  // Applies one update: v = m*v - lr*(g + wd*w); w += v.
+  // Gradients are NOT cleared; call zero_grad afterwards.
+  void step(const std::vector<Param*>& params);
+
+  // Epoch-step learning-rate decay.
+  void on_epoch_end(int epoch);
+
+  double learning_rate() const { return lr_override_ >= 0 ? lr_override_ : current_lr_; }
+  void set_learning_rate(double lr) { lr_override_ = lr; }
+
+  static void zero_grad(const std::vector<Param*>& params);
+
+  // Rescales gradients so their global L2 norm is at most max_norm.
+  static void clip_gradients(const std::vector<Param*>& params,
+                             double max_norm);
+
+ private:
+  SgdConfig config_;
+  double current_lr_ = -1;  // initialized on first step
+  double lr_override_ = -1;
+  // Momentum buffers keyed by parameter identity (index into the list);
+  // stable because the trainer always passes the same param list.
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace qnn::nn

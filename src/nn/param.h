@@ -1,0 +1,25 @@
+// A learnable parameter: value plus accumulated gradient.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace qnn::nn {
+
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  // Default-constructed Param is empty (used for "no bias"); note a
+  // rank-0 Shape would give a 1-element tensor, hence the distinction.
+  Param() = default;
+  explicit Param(std::string n, Shape shape)
+      : name(std::move(n)), value(shape), grad(shape) {}
+
+  std::int64_t count() const { return value.count(); }
+  void zero_grad() { grad.zero(); }
+};
+
+}  // namespace qnn::nn

@@ -1,0 +1,135 @@
+#include "nn/pool.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace qnn::nn {
+
+Pool2d::Pool2d(const PoolSpec& spec) : spec_(spec) {
+  QNN_CHECK(spec.kernel > 0 && spec.stride > 0 && spec.pad >= 0);
+  QNN_CHECK_MSG(spec.pad < spec.kernel, "pool pad must be < kernel");
+}
+
+std::int64_t Pool2d::out_extent(std::int64_t in) const {
+  // Caffe ceil mode.
+  const std::int64_t numer = in + 2 * spec_.pad - spec_.kernel;
+  std::int64_t out = (numer + spec_.stride - 1) / spec_.stride + 1;
+  // Clip the last window to start inside the (padded) input.
+  if (spec_.pad > 0 && (out - 1) * spec_.stride >= in + spec_.pad) --out;
+  return out;
+}
+
+Shape Pool2d::output_shape(const Shape& in) const {
+  QNN_CHECK(in.rank() == 4);
+  return Shape{in.n(), in.c(), out_extent(in.h()), out_extent(in.w())};
+}
+
+Tensor Pool2d::forward(const Tensor& in) {
+  const Shape& s = in.shape();
+  const Shape os = output_shape(s);
+  Tensor out(os);
+  const bool is_max = spec_.mode == PoolMode::kMax;
+  if (is_max) argmax_.assign(static_cast<std::size_t>(out.count()), -1);
+
+  const std::int64_t ih = s.h(), iw = s.w(), oh = os.h(), ow = os.w();
+  std::int64_t oidx = 0;
+  for (std::int64_t n = 0; n < s.n(); ++n) {
+    for (std::int64_t c = 0; c < s.c(); ++c) {
+      const float* plane = in.data() + (n * s.c() + c) * ih * iw;
+      const std::int64_t plane_base = (n * s.c() + c) * ih * iw;
+      for (std::int64_t y = 0; y < oh; ++y) {
+        const std::int64_t y0 = std::max<std::int64_t>(
+            0, y * spec_.stride - spec_.pad);
+        const std::int64_t y1 = std::min<std::int64_t>(
+            ih, y * spec_.stride - spec_.pad + spec_.kernel);
+        for (std::int64_t x = 0; x < ow; ++x, ++oidx) {
+          const std::int64_t x0 = std::max<std::int64_t>(
+              0, x * spec_.stride - spec_.pad);
+          const std::int64_t x1 = std::min<std::int64_t>(
+              iw, x * spec_.stride - spec_.pad + spec_.kernel);
+          if (is_max) {
+            // Seed with the first in-window cell so the argmax is valid
+            // even when the whole window is NaN (e.g. a diverged run).
+            float best = plane[y0 * iw + x0];
+            std::int64_t best_idx = plane_base + y0 * iw + x0;
+            for (std::int64_t yy = y0; yy < y1; ++yy)
+              for (std::int64_t xx = x0; xx < x1; ++xx) {
+                const float v = plane[yy * iw + xx];
+                if (v > best) {
+                  best = v;
+                  best_idx = plane_base + yy * iw + xx;
+                }
+              }
+            out[oidx] = best;
+            argmax_[static_cast<std::size_t>(oidx)] = best_idx;
+          } else {
+            double acc = 0.0;
+            for (std::int64_t yy = y0; yy < y1; ++yy)
+              for (std::int64_t xx = x0; xx < x1; ++xx)
+                acc += plane[yy * iw + xx];
+            const std::int64_t count = (y1 - y0) * (x1 - x0);
+            out[oidx] = static_cast<float>(acc / static_cast<double>(count));
+          }
+        }
+      }
+    }
+  }
+  cached_in_shape_ = s;
+  return out;
+}
+
+Tensor Pool2d::backward(const Tensor& grad_out) {
+  QNN_CHECK_MSG(cached_in_shape_.rank() == 4, "backward before forward");
+  const Shape& s = cached_in_shape_;
+  const Shape os = output_shape(s);
+  QNN_CHECK(grad_out.shape() == os);
+  Tensor grad_in(s);
+
+  if (spec_.mode == PoolMode::kMax) {
+    for (std::int64_t i = 0; i < grad_out.count(); ++i) {
+      const std::int64_t src = argmax_[static_cast<std::size_t>(i)];
+      QNN_DCHECK(src >= 0);
+      grad_in[src] += grad_out[i];
+    }
+    return grad_in;
+  }
+
+  const std::int64_t ih = s.h(), iw = s.w(), oh = os.h(), ow = os.w();
+  std::int64_t oidx = 0;
+  for (std::int64_t n = 0; n < s.n(); ++n) {
+    for (std::int64_t c = 0; c < s.c(); ++c) {
+      float* plane = grad_in.data() + (n * s.c() + c) * ih * iw;
+      for (std::int64_t y = 0; y < oh; ++y) {
+        const std::int64_t y0 =
+            std::max<std::int64_t>(0, y * spec_.stride - spec_.pad);
+        const std::int64_t y1 = std::min<std::int64_t>(
+            ih, y * spec_.stride - spec_.pad + spec_.kernel);
+        for (std::int64_t x = 0; x < ow; ++x, ++oidx) {
+          const std::int64_t x0 =
+              std::max<std::int64_t>(0, x * spec_.stride - spec_.pad);
+          const std::int64_t x1 = std::min<std::int64_t>(
+              iw, x * spec_.stride - spec_.pad + spec_.kernel);
+          const float share =
+              grad_out[oidx] /
+              static_cast<float>((y1 - y0) * (x1 - x0));
+          for (std::int64_t yy = y0; yy < y1; ++yy)
+            for (std::int64_t xx = x0; xx < x1; ++xx)
+              plane[yy * iw + xx] += share;
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+LayerDesc Pool2d::describe(const Shape& in) const {
+  LayerDesc d = Layer::describe(in);
+  // Pooling does comparisons/adds, not MACs; the accelerator model
+  // charges these to the (cheap) nonlinearity stage via out-elements.
+  d.fan_in = spec_.kernel * spec_.kernel;
+  return d;
+}
+
+}  // namespace qnn::nn

@@ -1,0 +1,46 @@
+// Max / average 2-D pooling.
+//
+// Output geometry uses Caffe's ceil mode (the paper's nets are Caffe
+// nets): out = ceil((in + 2*pad - k) / stride) + 1, with windows clipped
+// to the padded input and average pooling dividing by the *clipped*
+// window size, matching Caffe's AVE pooling.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace qnn::nn {
+
+enum class PoolMode { kMax, kAvg };
+
+struct PoolSpec {
+  PoolMode mode = PoolMode::kMax;
+  std::int64_t kernel = 2;
+  std::int64_t stride = 2;
+  std::int64_t pad = 0;
+};
+
+class Pool2d final : public Layer {
+ public:
+  explicit Pool2d(const PoolSpec& spec);
+
+  const char* kind() const override {
+    return spec_.mode == PoolMode::kMax ? "pool_max" : "pool_avg";
+  }
+  Shape output_shape(const Shape& in) const override;
+  Tensor forward(const Tensor& in) override;
+  Tensor backward(const Tensor& grad_out) override;
+  LayerDesc describe(const Shape& in) const override;
+
+  const PoolSpec& spec() const { return spec_; }
+
+ private:
+  std::int64_t out_extent(std::int64_t in) const;
+
+  PoolSpec spec_;
+  Shape cached_in_shape_;
+  std::vector<std::int64_t> argmax_;  // flat input index per output (max)
+};
+
+}  // namespace qnn::nn

@@ -1,0 +1,108 @@
+#include "nn/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace qnn::nn {
+namespace {
+
+constexpr char kMagic[4] = {'Q', 'N', 'N', 'W'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::string& out, const T& v) {
+  const char* p = reinterpret_cast<const char*>(&v);
+  out.append(p, sizeof(T));
+}
+
+template <typename T>
+T take(const std::string& in, std::size_t& pos) {
+  QNN_CHECK_MSG(pos + sizeof(T) <= in.size(), "truncated snapshot");
+  T v;
+  std::memcpy(&v, in.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+std::string serialize_params(Network& net) {
+  const auto params = net.trainable_params();
+  std::string out;
+  out.append(kMagic, sizeof kMagic);
+  put(out, kVersion);
+  put(out, static_cast<std::uint64_t>(params.size()));
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    const Param& p = *params[pi];
+    // Disambiguate repeated "w"/"b" names with the parameter index.
+    const std::string name = p.name + "#" + std::to_string(pi);
+    put(out, static_cast<std::uint64_t>(name.size()));
+    out.append(name);
+    const auto& dims = p.value.shape().dims();
+    put(out, static_cast<std::uint64_t>(dims.size()));
+    for (std::int64_t d : dims) put(out, static_cast<std::uint64_t>(d));
+    out.append(reinterpret_cast<const char*>(p.value.data()),
+               sizeof(float) * static_cast<std::size_t>(p.value.count()));
+  }
+  return out;
+}
+
+void deserialize_params(Network& net, const std::string& bytes) {
+  std::size_t pos = 0;
+  QNN_CHECK_MSG(bytes.size() >= 4 &&
+                    std::memcmp(bytes.data(), kMagic, 4) == 0,
+                "not a QNNW snapshot");
+  pos = 4;
+  const auto version = take<std::uint32_t>(bytes, pos);
+  QNN_CHECK_MSG(version == kVersion, "unsupported snapshot version "
+                                         << version);
+  const auto count = take<std::uint64_t>(bytes, pos);
+  const auto params = net.trainable_params();
+  QNN_CHECK_MSG(count == params.size(),
+                "snapshot has " << count << " params, network has "
+                                << params.size());
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Param& p = *params[pi];
+    const auto name_len = take<std::uint64_t>(bytes, pos);
+    QNN_CHECK(pos + name_len <= bytes.size());
+    const std::string name = bytes.substr(pos, name_len);
+    pos += name_len;
+    const std::string expected = p.name + "#" + std::to_string(pi);
+    QNN_CHECK_MSG(name == expected, "snapshot param '"
+                                        << name << "' does not match '"
+                                        << expected << '\'');
+    const auto rank = take<std::uint64_t>(bytes, pos);
+    std::vector<std::int64_t> dims;
+    for (std::uint64_t d = 0; d < rank; ++d)
+      dims.push_back(static_cast<std::int64_t>(take<std::uint64_t>(bytes, pos)));
+    QNN_CHECK_MSG(Shape(dims) == p.value.shape(),
+                  "snapshot shape mismatch for " << name);
+    const std::size_t nbytes =
+        sizeof(float) * static_cast<std::size_t>(p.value.count());
+    QNN_CHECK_MSG(pos + nbytes <= bytes.size(), "truncated snapshot data");
+    std::memcpy(p.value.data(), bytes.data() + pos, nbytes);
+    pos += nbytes;
+  }
+  QNN_CHECK_MSG(pos == bytes.size(), "trailing bytes in snapshot");
+}
+
+void save_params(Network& net, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  QNN_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  const std::string bytes = serialize_params(net);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  QNN_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+void load_params(Network& net, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  QNN_CHECK_MSG(in.good(), "cannot open " << path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  deserialize_params(net, ss.str());
+}
+
+}  // namespace qnn::nn

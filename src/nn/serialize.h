@@ -1,0 +1,24 @@
+// Parameter snapshot serialization.
+//
+// Binary format (little-endian, as written by the host):
+//   magic "QNNW", u32 version, u64 param count, then per parameter:
+//   u64 name length + bytes, u64 rank, u64 dims..., f32 data...
+// Loading requires an identically-shaped network (same architecture);
+// names are checked too, so a LeNet snapshot cannot silently load into
+// a ConvNet.
+#pragma once
+
+#include <string>
+
+#include "nn/network.h"
+
+namespace qnn::nn {
+
+void save_params(Network& net, const std::string& path);
+void load_params(Network& net, const std::string& path);
+
+// In-memory variants (used by tests and by save/load internally).
+std::string serialize_params(Network& net);
+void deserialize_params(Network& net, const std::string& bytes);
+
+}  // namespace qnn::nn

@@ -1,0 +1,86 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+
+#include "nn/loss.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace qnn::nn {
+
+TrainResult train(Model& model, const data::Dataset& train,
+                  const TrainConfig& config) {
+  QNN_CHECK(train.size() > 0);
+  Sgd opt(config.sgd);
+  Rng shuffle_rng(config.shuffle_seed);
+  Rng augment_rng(config.augment.seed);
+  auto params = model.trainable_params();
+  model.set_training_mode(true);
+
+  TrainResult result;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto order = data::shuffled_indices(train.size(), shuffle_rng);
+    const data::Dataset shuffled = train.gather(order);
+
+    double loss_sum = 0.0;
+    std::int64_t batches = 0, correct = 0;
+    for (std::int64_t first = 0; first < shuffled.size();
+         first += config.batch_size) {
+      const std::int64_t count =
+          std::min(config.batch_size, shuffled.size() - first);
+      Tensor x = data::batch_images(shuffled, first, count);
+      if (config.augment.enabled())
+        x = data::augment_batch(x, config.augment, augment_rng);
+      const auto y = data::batch_labels(shuffled, first, count);
+
+      Sgd::zero_grad(params);
+      const Tensor logits = model.forward(x);
+      LossResult lr = softmax_cross_entropy(logits, y);
+      model.backward(lr.grad_logits);
+      opt.step(params);
+      if (config.after_step) config.after_step();
+
+      loss_sum += lr.loss;
+      ++batches;
+      for (std::size_t i = 0; i < y.size(); ++i)
+        if (lr.predictions[i] == y[i]) ++correct;
+    }
+    opt.on_epoch_end(epoch);
+
+    EpochStats stats;
+    stats.mean_loss = loss_sum / static_cast<double>(std::max<std::int64_t>(batches, 1));
+    stats.train_accuracy =
+        100.0 * static_cast<double>(correct) / static_cast<double>(shuffled.size());
+    result.epochs.push_back(stats);
+    if (config.verbose) {
+      QNN_LOG(Info) << model.name() << " epoch " << epoch + 1 << '/'
+                    << config.epochs << " loss=" << stats.mean_loss
+                    << " train_acc=" << stats.train_accuracy << '%';
+    }
+  }
+  return result;
+}
+
+double evaluate(Model& model, const data::Dataset& d,
+                std::int64_t batch_size) {
+  QNN_CHECK(d.size() > 0);
+  model.set_training_mode(false);
+  std::int64_t correct = 0;
+  for (std::int64_t first = 0; first < d.size(); first += batch_size) {
+    const std::int64_t count = std::min(batch_size, d.size() - first);
+    const Tensor x = data::batch_images(d, first, count);
+    const auto y = data::batch_labels(d, first, count);
+    const Tensor logits = model.forward(x);
+    QNN_CHECK(logits.shape().rank() == 2);
+    const std::int64_t k = logits.shape()[1];
+    for (std::int64_t s = 0; s < count; ++s) {
+      const float* row = logits.data() + s * k;
+      const int pred = static_cast<int>(
+          std::max_element(row, row + k) - row);
+      if (pred == y[static_cast<std::size_t>(s)]) ++correct;
+    }
+  }
+  return 100.0 * static_cast<double>(correct) / static_cast<double>(d.size());
+}
+
+}  // namespace qnn::nn

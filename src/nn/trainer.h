@@ -1,0 +1,46 @@
+// Mini-batch training and evaluation loops over the Model interface.
+#pragma once
+
+#include <functional>
+
+#include "data/augment.h"
+#include "data/dataset.h"
+#include "nn/network.h"
+#include "nn/optimizer.h"
+
+namespace qnn::nn {
+
+struct TrainConfig {
+  int epochs = 5;
+  std::int64_t batch_size = 32;
+  SgdConfig sgd;
+  std::uint64_t shuffle_seed = 7;
+  bool verbose = false;
+  // Training-time augmentation (mirror / pad-crop), off by default.
+  data::AugmentConfig augment;
+  // Invoked after every optimizer step (QAT uses this to refresh cached
+  // quantized views); may be empty.
+  std::function<void()> after_step;
+};
+
+struct EpochStats {
+  double mean_loss = 0.0;
+  double train_accuracy = 0.0;  // accuracy over the training pass
+};
+
+struct TrainResult {
+  std::vector<EpochStats> epochs;
+  double final_loss() const {
+    return epochs.empty() ? 0.0 : epochs.back().mean_loss;
+  }
+};
+
+// Trains `model` on `train` with softmax cross-entropy.
+TrainResult train(Model& model, const data::Dataset& train,
+                  const TrainConfig& config);
+
+// Top-1 accuracy of `model` on `d` (forward only), in percent.
+double evaluate(Model& model, const data::Dataset& d,
+                std::int64_t batch_size = 64);
+
+}  // namespace qnn::nn

@@ -1,0 +1,40 @@
+// The paper's benchmark architectures (Table I and Table II).
+//
+//   LeNet   — MNIST,  28×28×1
+//   ConvNet — SVHN,   32×32×3
+//   ALEX    — CIFAR-10, 32×32×3 (Krizhevsky's cifar10_quick-style net)
+//   ALEX+   — ALEX with doubled conv channels            (Table II)
+//   ALEX++  — channels doubled when feature size halves  (Table II)
+//
+// `channel_scale` multiplies every hidden channel/unit count (output
+// classes stay 10); benches use < 1 scales to keep single-core training
+// tractable while preserving each architecture's structure. Scale 1
+// reproduces the paper's parameter counts exactly (validated in tests).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/network.h"
+
+namespace qnn::nn {
+
+struct ZooConfig {
+  double channel_scale = 1.0;
+  std::uint64_t init_seed = 1;
+};
+
+std::unique_ptr<Network> make_lenet(const ZooConfig& config = {});
+std::unique_ptr<Network> make_convnet(const ZooConfig& config = {});
+std::unique_ptr<Network> make_alex(const ZooConfig& config = {});
+std::unique_ptr<Network> make_alex_plus(const ZooConfig& config = {});
+std::unique_ptr<Network> make_alex_plus_plus(const ZooConfig& config = {});
+
+// By name: "lenet" | "convnet" | "alex" | "alex+" | "alex++".
+std::unique_ptr<Network> make_network(const std::string& name,
+                                      const ZooConfig& config = {});
+
+// The sample input shape (N=1) each architecture expects.
+Shape input_shape_for(const std::string& name);
+
+}  // namespace qnn::nn

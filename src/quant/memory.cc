@@ -1,0 +1,31 @@
+#include "quant/memory.h"
+
+namespace qnn::quant {
+
+MemoryFootprint memory_footprint(const nn::Network& net, const Shape& input,
+                                 const PrecisionConfig& config) {
+  MemoryFootprint m;
+  for (const nn::LayerDesc& d : net.describe(input)) {
+    m.weight_count += d.weights;
+    m.bias_count += d.biases;
+  }
+  m.weight_bits_each = config.weight_bits;
+  // Bias width matches the parameter quantizer policy in qnetwork.cc.
+  switch (config.kind) {
+    case PrecisionKind::kFloat:
+      m.bias_bits_each = 32;
+      break;
+    case PrecisionKind::kFixed:
+      m.bias_bits_each = config.weight_bits;
+      break;
+    case PrecisionKind::kPow2:
+    case PrecisionKind::kBinary:
+      m.bias_bits_each = config.input_bits;
+      break;
+  }
+  m.input_elements = input.count_from(1);
+  m.input_bits_each = config.input_bits;
+  return m;
+}
+
+}  // namespace qnn::quant

@@ -1,0 +1,35 @@
+// Memory footprint accounting (paper §V-B): parameter storage and input
+// storage shrink linearly with bit width — the 2×–32× reductions the
+// paper reports.
+#pragma once
+
+#include "nn/network.h"
+#include "quant/qconfig.h"
+
+namespace qnn::quant {
+
+struct MemoryFootprint {
+  std::int64_t weight_count = 0;
+  std::int64_t bias_count = 0;
+  std::int64_t weight_bits_each = 0;
+  std::int64_t bias_bits_each = 0;
+  std::int64_t input_elements = 0;   // one sample
+  std::int64_t input_bits_each = 0;
+
+  std::int64_t param_bits() const {
+    return weight_count * weight_bits_each + bias_count * bias_bits_each;
+  }
+  double param_kb() const {
+    return static_cast<double>(param_bits()) / 8.0 / 1024.0;
+  }
+  double input_kb() const {
+    return static_cast<double>(input_elements * input_bits_each) / 8.0 /
+           1024.0;
+  }
+};
+
+// `input` is the single-sample input shape (N treated as 1).
+MemoryFootprint memory_footprint(const nn::Network& net, const Shape& input,
+                                 const PrecisionConfig& config);
+
+}  // namespace qnn::quant

@@ -1,0 +1,109 @@
+#include "quant/mixed_precision.h"
+
+#include <algorithm>
+
+#include "nn/trainer.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace qnn::quant {
+namespace {
+
+std::vector<nn::Param*> weight_params(nn::Network& net) {
+  std::vector<nn::Param*> out;
+  for (nn::Param* p : net.trainable_params())
+    if (p->name == "w") out.push_back(p);
+  return out;
+}
+
+}  // namespace
+
+double mean_weight_bits(nn::Network& net, const std::vector<int>& bits) {
+  const auto weights = weight_params(net);
+  QNN_CHECK(weights.size() == bits.size());
+  double bit_sum = 0, count = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    bit_sum += static_cast<double>(bits[i]) *
+               static_cast<double>(weights[i]->count());
+    count += static_cast<double>(weights[i]->count());
+  }
+  return count > 0 ? bit_sum / count : 0.0;
+}
+
+MixedPrecisionResult search_mixed_precision(
+    nn::Network& float_net, const data::Dataset& train,
+    const data::Dataset& eval, const MixedSearchConfig& config) {
+  QNN_CHECK(!config.candidate_bits.empty());
+  QNN_CHECK(std::is_sorted(config.candidate_bits.rbegin(),
+                           config.candidate_bits.rend()));
+  const std::size_t num_weights = weight_params(float_net).size();
+  QNN_CHECK_MSG(num_weights > 0, "network has no weight tensors");
+
+  const data::Dataset eval_subset =
+      eval.slice(0, std::min(config.eval_samples, eval.size()));
+  const Tensor calibration = data::batch_images(
+      train, 0, std::min(config.calibration_samples, train.size()));
+
+  MixedPrecisionResult result;
+  result.float_accuracy = nn::evaluate(float_net, eval_subset);
+
+  // PTQ accuracy of an assignment.
+  auto ptq_accuracy = [&](const std::vector<int>& bits) {
+    PrecisionConfig cfg = fixed_config(config.start_bits,
+                                       config.start_bits);
+    QuantizedNetwork qnet(float_net, cfg, bits);
+    qnet.calibrate(calibration);
+    const double acc = nn::evaluate(qnet, eval_subset);
+    qnet.restore_masters();
+    ++result.search_evaluations;
+    return acc;
+  };
+
+  // Ladder position per weight tensor.
+  const auto start_it =
+      std::find(config.candidate_bits.begin(), config.candidate_bits.end(),
+                config.start_bits);
+  QNN_CHECK_MSG(start_it != config.candidate_bits.end(),
+                "start_bits must be one of candidate_bits");
+  std::vector<std::size_t> rung(
+      num_weights,
+      static_cast<std::size_t>(start_it - config.candidate_bits.begin()));
+  auto bits_of = [&](const std::vector<std::size_t>& rungs) {
+    std::vector<int> b(num_weights);
+    for (std::size_t i = 0; i < num_weights; ++i)
+      b[i] = config.candidate_bits[rungs[i]];
+    return b;
+  };
+
+  const double floor_acc = result.float_accuracy - config.accuracy_budget;
+  double current_acc = ptq_accuracy(bits_of(rung));
+
+  for (;;) {
+    double best_acc = -1.0;
+    std::size_t best_layer = num_weights;
+    for (std::size_t i = 0; i < num_weights; ++i) {
+      if (rung[i] + 1 >= config.candidate_bits.size()) continue;
+      auto trial = rung;
+      ++trial[i];
+      const double acc = ptq_accuracy(bits_of(trial));
+      if (acc > best_acc) {
+        best_acc = acc;
+        best_layer = i;
+      }
+    }
+    if (best_layer == num_weights || best_acc < floor_acc) break;
+    ++rung[best_layer];
+    current_acc = best_acc;
+    QNN_LOG(Debug) << "mixed-precision: layer " << best_layer << " -> "
+                   << config.candidate_bits[rung[best_layer]]
+                   << " bits (acc " << current_acc << "%)";
+  }
+
+  result.weight_bits = bits_of(rung);
+  result.ptq_accuracy = current_acc;
+  result.mean_weight_bits =
+      mean_weight_bits(float_net, result.weight_bits);
+  return result;
+}
+
+}  // namespace qnn::quant

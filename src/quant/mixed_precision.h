@@ -1,0 +1,46 @@
+// Per-layer (mixed) precision assignment search — an extension in the
+// direction of the paper's §VI future work: instead of one uniform
+// weight width, each layer gets the narrowest width it can afford.
+//
+// Greedy descend-and-check: start every weight tensor at `start_bits`;
+// repeatedly pick the candidate single-layer reduction (next width in
+// `candidate_bits`) that loses the least validation accuracy under
+// post-training quantization, accept it while the loss stays within
+// `accuracy_budget` of the float baseline, stop when no reduction fits.
+// PTQ keeps the search cheap; the caller typically runs one final QAT
+// fine-tune on the chosen assignment.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "quant/qnetwork.h"
+
+namespace qnn::quant {
+
+struct MixedSearchConfig {
+  int start_bits = 8;
+  std::vector<int> candidate_bits{8, 6, 4, 2};  // descending ladder
+  double accuracy_budget = 2.0;  // max percentage points below float
+  std::int64_t calibration_samples = 64;
+  std::int64_t eval_samples = 256;  // validation subset per step
+};
+
+struct MixedPrecisionResult {
+  std::vector<int> weight_bits;  // per weight tensor, layer order
+  double float_accuracy = 0.0;   // baseline on the eval subset
+  double ptq_accuracy = 0.0;     // accuracy of the final assignment (PTQ)
+  // Parameter-count-weighted mean weight width (the compression knob).
+  double mean_weight_bits = 0.0;
+  int search_evaluations = 0;    // PTQ evals spent by the search
+};
+
+MixedPrecisionResult search_mixed_precision(nn::Network& float_net,
+                                            const data::Dataset& train,
+                                            const data::Dataset& eval,
+                                            const MixedSearchConfig& config);
+
+// Parameter-count-weighted mean of a per-weight-tensor bit assignment.
+double mean_weight_bits(nn::Network& net, const std::vector<int>& bits);
+
+}  // namespace qnn::quant

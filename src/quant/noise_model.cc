@@ -1,0 +1,193 @@
+#include "quant/noise_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/conv.h"
+#include "nn/inner_product.h"
+#include "nn/pool.h"
+#include "util/check.h"
+
+namespace qnn::quant {
+namespace {
+
+double mean_square(const Tensor& t) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < t.count(); ++i)
+    acc += static_cast<double>(t[i]) * t[i];
+  return t.count() > 0 ? acc / static_cast<double>(t.count()) : 0.0;
+}
+
+double mean_square_diff(const Tensor& a, const Tensor& b) {
+  QNN_CHECK(a.count() == b.count());
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < a.count(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return a.count() > 0 ? acc / static_cast<double>(a.count()) : 0.0;
+}
+
+// Uniform-quantizer injection noise Δ²/12 for a site's data format
+// (0 for the float config's identity quantizer).
+double site_injection(const ValueQuantizer& q) {
+  const auto* fq = dynamic_cast<const FixedQuantizer*>(&q);
+  if (fq == nullptr || !fq->format().has_value()) return 0.0;
+  const double step = fq->format()->step();
+  return step * step / 12.0;
+}
+
+// Exact weight-quantization noise power: mean (w_q - w)² over a layer's
+// weight tensor — deterministic, so "analytical" may use it directly.
+double weight_noise_power(const Tensor& master,
+                          const ValueQuantizer& q) {
+  Tensor quantized = master;
+  q.apply(quantized);
+  return mean_square_diff(quantized, master);
+}
+
+// Standard normal upper-tail probability.
+double tail(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
+
+}  // namespace
+
+double SiteNoise::sqnr_db() const {
+  if (noise_power <= 0.0) return 300.0;  // effectively noiseless
+  if (signal_power <= 0.0) return 0.0;
+  return 10.0 * std::log10(signal_power / noise_power);
+}
+
+NoiseReport analyze_noise(nn::Network& float_net, QuantizedNetwork& qnet,
+                          const data::Dataset& d,
+                          std::int64_t max_samples) {
+  QNN_CHECK_MSG(qnet.calibrated(), "calibrate qnet before analyze_noise");
+  const std::int64_t n = std::min(max_samples, d.size());
+  const Tensor batch = data::batch_images(d, 0, n);
+
+  NoiseReport report;
+  const std::size_t num_sites = qnet.num_sites();
+
+  // ---- Float reference pass (masters must be live). -------------------
+  qnet.restore_masters();
+  std::vector<Tensor> float_sites;
+  float_sites.reserve(num_sites);
+  {
+    Tensor x = batch;
+    float_sites.push_back(x);
+    for (std::size_t i = 0; i < float_net.num_layers(); ++i) {
+      x = float_net.layer(i).forward(x);
+      float_sites.push_back(x);
+    }
+  }
+  QNN_CHECK(float_sites.size() == num_sites);
+
+  // ---- Quantized pass with site observation. ---------------------------
+  std::vector<Tensor> quant_sites(num_sites);
+  const Tensor q_logits = qnet.forward_observed(
+      batch, [&](std::size_t site, const Tensor& x) {
+        quant_sites[site] = x;
+      });
+  qnet.restore_masters();
+
+  report.measured.resize(num_sites);
+  for (std::size_t s = 0; s < num_sites; ++s) {
+    report.measured[s].signal_power = mean_square(float_sites[s]);
+    report.measured[s].noise_power =
+        mean_square_diff(quant_sites[s], float_sites[s]);
+  }
+
+  // ---- Measured flip rate. ---------------------------------------------
+  const Tensor& f_logits = float_sites.back();
+  QNN_CHECK(f_logits.shape().rank() == 2);
+  const std::int64_t classes = f_logits.shape()[1];
+  std::int64_t flips = 0;
+  for (std::int64_t s = 0; s < n; ++s) {
+    const float* fr = f_logits.data() + s * classes;
+    const float* qr = q_logits.data() + s * classes;
+    const auto f_arg = std::max_element(fr, fr + classes) - fr;
+    const auto q_arg = std::max_element(qr, qr + classes) - qr;
+    if (f_arg != q_arg) ++flips;
+  }
+  report.measured_flip_rate =
+      100.0 * static_cast<double>(flips) / static_cast<double>(n);
+
+  // ---- Analytical propagation. ------------------------------------------
+  const auto params = float_net.trainable_params();
+  report.predicted_noise_power.resize(num_sites, 0.0);
+  report.predicted_sqnr_db.resize(num_sites, 0.0);
+
+  double noise = site_injection(qnet.data_quantizer(0));
+  report.predicted_noise_power[0] = noise;
+  std::size_t param_index = 0;
+  for (std::size_t li = 0; li < float_net.num_layers(); ++li) {
+    nn::Layer& layer = float_net.layer(li);
+    const double requant = site_injection(qnet.data_quantizer(li + 1));
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+      const std::int64_t fan_in = conv->in_channels() *
+                                  conv->spec().kernel *
+                                  conv->spec().kernel;
+      const Tensor& w = params[param_index]->value;
+      const double w2 = mean_square(w);
+      const double sw2 =
+          weight_noise_power(w, qnet.weight_quantizer(param_index));
+      const double x2 = mean_square(float_sites[li]);
+      noise = noise * static_cast<double>(fan_in) * w2 +
+              sw2 * static_cast<double>(fan_in) * x2 + requant;
+      param_index += conv->params().size();
+    } else if (auto* ip = dynamic_cast<nn::InnerProduct*>(&layer)) {
+      const std::int64_t fan_in = ip->in_features();
+      const Tensor& w = params[param_index]->value;
+      const double w2 = mean_square(w);
+      const double sw2 =
+          weight_noise_power(w, qnet.weight_quantizer(param_index));
+      const double x2 = mean_square(float_sites[li]);
+      noise = noise * static_cast<double>(fan_in) * w2 +
+              sw2 * static_cast<double>(fan_in) * x2 + requant;
+      param_index += ip->params().size();
+    } else if (auto* pool = dynamic_cast<nn::Pool2d*>(&layer)) {
+      if (pool->spec().mode == nn::PoolMode::kAvg)
+        noise /= static_cast<double>(pool->spec().kernel *
+                                     pool->spec().kernel);
+      noise += requant;
+    } else if (std::string(layer.kind()) == "relu") {
+      noise *= 0.5;  // half the units are clamped to zero
+      noise += requant;
+    } else {
+      noise += requant;  // pass-through for other element-wise layers
+    }
+    report.predicted_noise_power[li + 1] = noise;
+  }
+  for (std::size_t s = 0; s < num_sites; ++s) {
+    const double sig = report.measured[s].signal_power;
+    const double nz = report.predicted_noise_power[s];
+    report.predicted_sqnr_db[s] =
+        nz <= 0.0 ? 300.0
+                  : 10.0 * std::log10(std::max(sig, 1e-30) / nz);
+  }
+
+  // ---- Predicted flip rate from float logit margins. ---------------------
+  const double logit_sigma =
+      std::sqrt(std::max(report.predicted_noise_power.back(), 0.0));
+  if (logit_sigma > 0) {
+    double acc = 0.0;
+    for (std::int64_t s = 0; s < n; ++s) {
+      const float* fr = f_logits.data() + s * classes;
+      float top1 = -1e30f, top2 = -1e30f;
+      for (std::int64_t k = 0; k < classes; ++k) {
+        if (fr[k] > top1) {
+          top2 = top1;
+          top1 = fr[k];
+        } else if (fr[k] > top2) {
+          top2 = fr[k];
+        }
+      }
+      const double margin = static_cast<double>(top1) - top2;
+      // Both logits perturbed independently: margin noise std √2 σ.
+      acc += tail(margin / (std::sqrt(2.0) * logit_sigma));
+    }
+    report.predicted_flip_rate = 100.0 * acc / static_cast<double>(n);
+  }
+  return report;
+}
+
+}  // namespace qnn::quant

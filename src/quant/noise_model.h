@@ -1,0 +1,73 @@
+// Quantization-noise analysis — the paper's §VI future-work item:
+// "analytically investigating the correlations between network and
+//  datasets ... thereby effectively predicting the lower precision
+//  accuracy".
+//
+// Two halves:
+//
+//  * MEASUREMENT: run the float network and the quantized network over
+//    the same batch, recording per-site signal power E[x²] and noise
+//    power E[(x_q - x)²] — the empirical SQNR profile of the design.
+//
+//  * PREDICTION: a first-order analytical model. A uniform quantizer of
+//    step Δ injects variance Δ²/12. Through a linear layer the input
+//    noise is amplified by the weight power Σw² per output, the weight
+//    quantization noise couples through the activation power Σx², and
+//    every site's requantization adds its own Δ²/12:
+//
+//      σ²_out ≈ σ²_in · Σ_j w_j²  +  σ²_w · Σ_j E[x_j²]  +  Δ²_site/12
+//
+//    ReLU halves noise power (half the units are clamped), average
+//    pooling divides it by the window size, max pooling passes it
+//    through. Chaining these gives a predicted SQNR per site and a
+//    predicted probability of top-1 flips from the float network's
+//    logit margins — i.e. a predicted accuracy drop.
+//
+// The model is deliberately coarse (independence assumptions); the
+// bench (bench/noise_prediction) shows it tracks the measured SQNR
+// within a few dB and ranks precisions correctly, which is exactly the
+// predictive power the paper asks for.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "quant/qnetwork.h"
+
+namespace qnn::quant {
+
+struct SiteNoise {
+  double signal_power = 0.0;  // E[x_float²] at the site
+  double noise_power = 0.0;   // E[(x_quant - x_float)²]
+
+  double sqnr_db() const;  // 10 log10(signal/noise); +inf if noiseless
+};
+
+struct NoiseReport {
+  // Per activation site (0 = input), measured on the evaluation batch.
+  std::vector<SiteNoise> measured;
+  // Analytical prediction of the same per-site noise power.
+  std::vector<double> predicted_noise_power;
+  std::vector<double> predicted_sqnr_db;
+
+  // Top-1 disagreement between quantized and float predictions,
+  // measured (%) and predicted from logit margins (%).
+  double measured_flip_rate = 0.0;
+  double predicted_flip_rate = 0.0;
+
+  double final_measured_sqnr_db() const {
+    return measured.empty() ? 0.0 : measured.back().sqnr_db();
+  }
+  double final_predicted_sqnr_db() const {
+    return predicted_sqnr_db.empty() ? 0.0 : predicted_sqnr_db.back();
+  }
+};
+
+// Runs measurement + prediction over (at most `max_samples` of) `d`.
+// `qnet` must be calibrated and wrap `float_net`'s architecture with the
+// SAME master weights (the usual QAT setup).
+NoiseReport analyze_noise(nn::Network& float_net, QuantizedNetwork& qnet,
+                          const data::Dataset& d,
+                          std::int64_t max_samples = 128);
+
+}  // namespace qnn::quant

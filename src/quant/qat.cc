@@ -1,0 +1,25 @@
+#include "quant/qat.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace qnn::quant {
+
+nn::TrainResult qat_finetune(QuantizedNetwork& qnet,
+                             const data::Dataset& train_set,
+                             const QatConfig& config) {
+  QNN_CHECK(train_set.size() > 0);
+  const std::int64_t n =
+      std::min(config.calibration_samples, train_set.size());
+  qnet.calibrate(data::batch_images(train_set, 0, n));
+
+  nn::TrainConfig tc = config.train;
+  QNN_CHECK_MSG(!tc.after_step, "QAT installs its own after_step hook");
+  tc.after_step = [&qnet] { qnet.clip_masters(); };
+  nn::TrainResult result = nn::train(qnet, train_set, tc);
+  qnet.restore_masters();
+  return result;
+}
+
+}  // namespace qnn::quant

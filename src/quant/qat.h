@@ -1,0 +1,23 @@
+// Quantization-aware fine-tuning recipe (paper §IV-A):
+// calibrate radix points from a float forward, then fine-tune with the
+// dual-weight-set scheme, clipping masters after every update.
+#pragma once
+
+#include "data/dataset.h"
+#include "nn/trainer.h"
+#include "quant/qnetwork.h"
+
+namespace qnn::quant {
+
+struct QatConfig {
+  nn::TrainConfig train;                 // fine-tune schedule
+  std::int64_t calibration_samples = 64; // float forward batch for ranges
+};
+
+// Calibrates `qnet` (masters must hold trained full-precision weights)
+// and fine-tunes it on `train_set`. Leaves masters restored.
+nn::TrainResult qat_finetune(QuantizedNetwork& qnet,
+                             const data::Dataset& train_set,
+                             const QatConfig& config);
+
+}  // namespace qnn::quant

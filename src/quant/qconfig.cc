@@ -1,0 +1,75 @@
+#include "quant/qconfig.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace qnn::quant {
+
+std::string PrecisionConfig::label() const {
+  std::ostringstream os;
+  switch (kind) {
+    case PrecisionKind::kFloat: os << "Floating-Point"; break;
+    case PrecisionKind::kFixed: os << "Fixed-Point"; break;
+    case PrecisionKind::kPow2: os << "Powers of Two"; break;
+    case PrecisionKind::kBinary: os << "Binary Net"; break;
+  }
+  os << " (" << weight_bits << ',' << input_bits << ')';
+  return os.str();
+}
+
+std::string PrecisionConfig::id() const {
+  std::ostringstream os;
+  switch (kind) {
+    case PrecisionKind::kFloat: os << "float"; break;
+    case PrecisionKind::kFixed: os << "fixed"; break;
+    case PrecisionKind::kPow2: os << "pow2"; break;
+    case PrecisionKind::kBinary: os << "binary"; break;
+  }
+  os << '_' << weight_bits << '_' << input_bits;
+  return os.str();
+}
+
+PrecisionConfig float_config() { return PrecisionConfig{}; }
+
+PrecisionConfig fixed_config(int weight_bits, int input_bits) {
+  PrecisionConfig c;
+  c.kind = PrecisionKind::kFixed;
+  c.weight_bits = weight_bits;
+  c.input_bits = input_bits;
+  return c;
+}
+
+PrecisionConfig pow2_config(int weight_bits, int input_bits) {
+  PrecisionConfig c;
+  c.kind = PrecisionKind::kPow2;
+  c.weight_bits = weight_bits;
+  c.input_bits = input_bits;
+  return c;
+}
+
+PrecisionConfig binary_config(int input_bits, BinaryScaleMode scale) {
+  PrecisionConfig c;
+  c.kind = PrecisionKind::kBinary;
+  c.weight_bits = 1;
+  c.input_bits = input_bits;
+  c.binary_scale = scale;
+  return c;
+}
+
+std::vector<PrecisionConfig> paper_precisions() {
+  return {
+      float_config(),        fixed_config(32, 32), fixed_config(16, 16),
+      fixed_config(8, 8),    fixed_config(4, 4),   pow2_config(6, 16),
+      binary_config(16),
+  };
+}
+
+PrecisionConfig precision_by_name(const std::string& name) {
+  for (const PrecisionConfig& c : paper_precisions())
+    if (c.id() == name || c.label() == name) return c;
+  QNN_CHECK_MSG(false, "unknown precision " << name);
+  return {};
+}
+
+}  // namespace qnn::quant

@@ -1,0 +1,82 @@
+// Precision/quantization configurations — the design points of the
+// paper's study (§IV-A, Tables III–V).
+//
+// A PrecisionConfig is written "(w, in)" as in the paper: bit width of
+// weights, bit width of inputs/feature maps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fixed/binary_format.h"
+#include "fixed/fixed_format.h"
+
+namespace qnn::quant {
+
+enum class PrecisionKind {
+  kFloat,   // IEEE single precision (the baseline)
+  kFixed,   // fixed-point, same width for weights and data
+  kPow2,    // power-of-two weights, fixed-point data
+  kBinary,  // 1-bit weights, fixed-point data
+};
+
+// Where radix points may sit (paper §IV-A2 and §VI future work).
+// Ristretto — the framework the paper modifies — uses *dynamic fixed
+// point*: an independent radix-point location per layer/blob, with the
+// paper additionally separating data from parameters. kPerLayer is
+// therefore the faithful default; kGlobal (one radix for all weights,
+// one for all data — what the paper's *hardware* supports, per the §VI
+// future-work remark) is kept as an ablation (bench/ablate_radix).
+enum class RadixPolicy {
+  kGlobal,    // one radix point for all weights + one for all data
+  kPerLayer,  // independent radix per layer (Ristretto dynamic fixed point)
+};
+
+// How a format's range is chosen from calibration statistics:
+// minimum-MSE over observed samples (Ristretto's rule, default) or the
+// plain max-abs covering format (ablated in bench/ablate_radix).
+enum class CalibrationRule { kMse, kMaxAbs };
+
+struct PrecisionConfig {
+  PrecisionKind kind = PrecisionKind::kFloat;
+  int weight_bits = 32;
+  int input_bits = 32;
+  RadixPolicy radix_policy = RadixPolicy::kPerLayer;
+  CalibrationRule calibration = CalibrationRule::kMse;
+  BinaryScaleMode binary_scale = BinaryScaleMode::kMeanAbs;
+  // Rounding mode of the fixed-point grids (weights and data); kNearest
+  // is Ristretto's choice, kStochastic is Gupta et al.'s (ablated in
+  // bench/ablate_rounding).
+  Rounding rounding = Rounding::kNearest;
+  // Fixed-point *training* à la Gupta et al. [8]: when positive,
+  // parameter gradients are quantized to this many bits (per-tensor
+  // range, same rounding mode) before the optimizer consumes them —
+  // 0 keeps float gradients (the paper's setting; its training runs in
+  // full precision). Ablated in bench/ablate_grad_precision.
+  int gradient_bits = 0;
+
+  // "Fixed-Point (16,16)" etc., matching the paper's row labels.
+  std::string label() const;
+  // Short machine-friendly id: "fixed_16_16".
+  std::string id() const;
+
+  bool is_float() const { return kind == PrecisionKind::kFloat; }
+};
+
+// The seven design points evaluated throughout the paper:
+//   Floating-Point (32,32), Fixed-Point (32,32), (16,16), (8,8), (4,4),
+//   Powers of Two (6,16), Binary Net (1,16).
+std::vector<PrecisionConfig> paper_precisions();
+
+// Named lookup of a paper precision by id() or label().
+PrecisionConfig precision_by_name(const std::string& name);
+
+// Factory helpers.
+PrecisionConfig float_config();
+PrecisionConfig fixed_config(int weight_bits, int input_bits);
+PrecisionConfig pow2_config(int weight_bits = 6, int input_bits = 16);
+PrecisionConfig binary_config(
+    int input_bits = 16,
+    BinaryScaleMode scale = BinaryScaleMode::kMeanAbs);
+
+}  // namespace qnn::quant

@@ -1,0 +1,190 @@
+#include "quant/qnetwork.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace qnn::quant {
+namespace {
+
+// Biases accumulate at the adder tree's precision, not the weight
+// memory's: binary and power-of-two nets keep fixed-point biases at the
+// data width (a ±1 bias would be useless), while pure fixed-point nets
+// share the weight width.
+std::unique_ptr<ValueQuantizer> make_param_quantizer(
+    const PrecisionConfig& config, const nn::Param& p) {
+  const bool is_bias = p.name == "b";
+  if (config.is_float()) return std::make_unique<IdentityQuantizer>();
+  if (is_bias && (config.kind == PrecisionKind::kBinary ||
+                  config.kind == PrecisionKind::kPow2))
+    return std::make_unique<FixedQuantizer>(config.input_bits,
+                                            config.rounding);
+  return make_weight_quantizer(config);
+}
+
+}  // namespace
+
+QuantizedNetwork::QuantizedNetwork(nn::Network& net,
+                                   const PrecisionConfig& config)
+    : net_(net), config_(config), params_(net.trainable_params()) {
+  for (nn::Param* p : params_)
+    weight_quantizers_.push_back(make_param_quantizer(config_, *p));
+  for (std::size_t site = 0; site <= net_.num_layers(); ++site)
+    data_quantizers_.push_back(make_data_quantizer(config_));
+  clip_limits_.assign(params_.size(), 0.0);
+  if (config_.is_float()) calibrated_ = true;  // nothing to calibrate
+}
+
+QuantizedNetwork::QuantizedNetwork(
+    nn::Network& net, const PrecisionConfig& config,
+    const std::vector<int>& weight_bits_per_layer)
+    : net_(net), config_(config), params_(net.trainable_params()) {
+  QNN_CHECK_MSG(config.kind == PrecisionKind::kFixed,
+                "mixed precision supports fixed-point configs only");
+  std::size_t weight_index = 0;
+  for (nn::Param* p : params_) {
+    if (p->name == "w") {
+      QNN_CHECK_MSG(weight_index < weight_bits_per_layer.size(),
+                    "weight_bits_per_layer has too few entries");
+      weight_quantizers_.push_back(std::make_unique<FixedQuantizer>(
+          weight_bits_per_layer[weight_index], config.rounding));
+      ++weight_index;
+    } else {
+      weight_quantizers_.push_back(make_param_quantizer(config_, *p));
+    }
+  }
+  QNN_CHECK_MSG(weight_index == weight_bits_per_layer.size(),
+                "weight_bits_per_layer has too many entries ("
+                    << weight_bits_per_layer.size() << " for "
+                    << weight_index << " weight tensors)");
+  for (std::size_t site = 0; site <= net_.num_layers(); ++site)
+    data_quantizers_.push_back(make_data_quantizer(config_));
+  clip_limits_.assign(params_.size(), 0.0);
+}
+
+void QuantizedNetwork::calibrate(const Tensor& calibration_batch) {
+  restore_masters();
+  const RangeStats stats = analyze_ranges(net_, calibration_batch);
+  const bool global = config_.radix_policy == RadixPolicy::kGlobal;
+
+  const bool mse = config_.calibration == CalibrationRule::kMse;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const double max_abs =
+        global ? stats.global_param_max_abs : stats.param_max_abs[i];
+    if (mse) {
+      weight_quantizers_[i]->calibrate_with_samples(
+          global ? stats.global_param_samples : stats.param_samples[i],
+          max_abs);
+    } else {
+      weight_quantizers_[i]->calibrate(max_abs);
+    }
+    // Clip masters at the largest representable magnitude of the chosen
+    // format so they cannot drift arbitrarily beyond the grid during QAT
+    // (BinaryConnect-style clipping generalized to every format).
+    clip_limits_[i] = weight_quantizers_[i]->clip_limit();
+  }
+  for (std::size_t s = 0; s < data_quantizers_.size(); ++s) {
+    const double max_abs =
+        global ? stats.global_data_max_abs : stats.site_max_abs[s];
+    if (mse) {
+      data_quantizers_[s]->calibrate_with_samples(
+          global ? stats.global_data_samples : stats.site_samples[s],
+          max_abs);
+    } else {
+      data_quantizers_[s]->calibrate(max_abs);
+    }
+  }
+  calibrated_ = true;
+}
+
+void QuantizedNetwork::save_masters() {
+  QNN_DCHECK(!masters_saved_);
+  masters_.clear();
+  masters_.reserve(params_.size());
+  for (nn::Param* p : params_) masters_.push_back(p->value);
+  masters_saved_ = true;
+}
+
+void QuantizedNetwork::restore_masters() {
+  if (!masters_saved_) return;
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    params_[i]->value = masters_[i];
+  masters_saved_ = false;
+}
+
+void QuantizedNetwork::quantize_params() {
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    weight_quantizers_[i]->apply(params_[i]->value);
+}
+
+Tensor QuantizedNetwork::forward(const Tensor& input) {
+  return forward_observed(input, SiteObserver());
+}
+
+Tensor QuantizedNetwork::forward_observed(const Tensor& input,
+                                          const SiteObserver& observer) {
+  QNN_CHECK_MSG(calibrated_, "QuantizedNetwork::forward before calibrate()");
+  restore_masters();
+  save_masters();
+  quantize_params();
+
+  Tensor x = input;
+  data_quantizers_[0]->apply(x);
+  if (observer) observer(0, x);
+  for (std::size_t i = 0; i < net_.num_layers(); ++i) {
+    x = net_.layer(i).forward(x);
+    data_quantizers_[i + 1]->apply(x);
+    if (observer) observer(i + 1, x);
+  }
+  return x;
+}
+
+void QuantizedNetwork::backward(const Tensor& grad_output) {
+  QNN_CHECK_MSG(masters_saved_, "backward without a preceding forward");
+  // Straight-through estimator: activation and weight quantizers are
+  // treated as identity for gradients, so the plain layer backward pass
+  // (which ran its forward on quantized values) is exactly STE.
+  Tensor g = grad_output;
+  for (std::size_t i = net_.num_layers(); i-- > 0;)
+    g = net_.layer(i).backward(g);
+  restore_masters();
+
+  // Optional fixed-point training (Gupta et al.): constrain the
+  // accumulated parameter gradients to a per-tensor fixed-point grid
+  // before the optimizer sees them.
+  if (config_.gradient_bits > 0) {
+    for (nn::Param* p : params_) {
+      const double max_abs = p->grad.max_abs();
+      if (max_abs == 0.0) continue;
+      const FixedPointFormat f = FixedPointFormat::for_range(
+          config_.gradient_bits, max_abs, config_.rounding);
+      float* d = p->grad.data();
+      for (std::int64_t j = 0; j < p->grad.count(); ++j)
+        d[j] = f.quantize(d[j]);
+    }
+  }
+}
+
+std::vector<nn::Param*> QuantizedNetwork::trainable_params() {
+  return params_;
+}
+
+std::string QuantizedNetwork::name() const {
+  return net_.name() + "[" + config_.id() + "]";
+}
+
+void QuantizedNetwork::clip_masters() {
+  QNN_CHECK_MSG(!masters_saved_,
+                "clip_masters while quantized weights are live");
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const double limit = clip_limits_[i];
+    if (limit <= 0.0) continue;
+    const float lo = static_cast<float>(-limit);
+    const float hi = static_cast<float>(limit);
+    float* d = params_[i]->value.data();
+    for (std::int64_t j = 0; j < params_[i]->count(); ++j)
+      d[j] = std::clamp(d[j], lo, hi);
+  }
+}
+
+}  // namespace qnn::quant

@@ -1,0 +1,111 @@
+// QuantizedNetwork: fake-quantized inference and quantization-aware
+// training around an existing float network — the paper's methodology
+// (§IV-A "Training Time Techniques"):
+//
+//  * initialize from independently trained full-precision weights;
+//  * keep TWO sets of weights: full-precision masters that the optimizer
+//    updates, and their quantized image used in the forward pass
+//    (Courbariaux's dual-weight scheme);
+//  * gradients pass through the quantizer unchanged (straight-through
+//    estimator), so small updates accumulate in the masters and
+//    eventually flip quantized values.
+//
+// Data (input + every feature map) is quantized at each layer boundary
+// with the data-side format; weights/biases with the parameter-side
+// format. Radix points are chosen by range analysis under the
+// configured RadixPolicy (kGlobal reproduces the paper; kPerLayer is the
+// paper's future-work extension, ablated in bench/ablate_radix).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/network.h"
+#include "quant/qconfig.h"
+#include "quant/quantizer.h"
+#include "quant/range_analysis.h"
+
+namespace qnn::quant {
+
+class QuantizedNetwork final : public nn::Model {
+ public:
+  // Wraps `net` (not owned; must outlive this object).
+  QuantizedNetwork(nn::Network& net, const PrecisionConfig& config);
+
+  // Mixed-precision variant (fixed-point only): `weight_bits_per_layer`
+  // assigns an individual width to each WEIGHT tensor (order of the
+  // network's "w" parameters); biases and data follow `config`. Used by
+  // the per-layer precision search (quant/mixed_precision).
+  QuantizedNetwork(nn::Network& net, const PrecisionConfig& config,
+                   const std::vector<int>& weight_bits_per_layer);
+
+  // Chooses all radix points from a float-precision forward over
+  // `calibration_batch`. Must run before forward() for non-float
+  // configs. Masters must hold the full-precision weights.
+  void calibrate(const Tensor& calibration_batch);
+
+  // Model interface. forward() quantizes parameters in place (masters
+  // are saved first) and quantizes every activation site; backward()
+  // applies the straight-through estimator and restores masters so the
+  // optimizer updates full-precision values.
+  void set_training_mode(bool training) override {
+    net_.set_training_mode(training);
+  }
+
+  Tensor forward(const Tensor& input) override;
+
+  // Forward pass invoking `observer(site, activations)` after each
+  // site's quantization (site 0 = quantized input). Used by the noise-
+  // analysis tooling; identical numerics to forward().
+  using SiteObserver =
+      std::function<void(std::size_t site, const Tensor& activations)>;
+  Tensor forward_observed(const Tensor& input,
+                          const SiteObserver& observer);
+  void backward(const Tensor& grad_output) override;
+  std::vector<nn::Param*> trainable_params() override;
+  std::string name() const override;
+
+  // Restores master weights if a forward left quantized values in the
+  // network (e.g. after evaluation). Idempotent.
+  void restore_masters();
+
+  // Clamps master weights into the representable range of the weight
+  // format (BinaryConnect-style clipping; keeps masters from drifting
+  // arbitrarily far from the grid). Intended as the trainer's
+  // after_step hook.
+  void clip_masters();
+
+  const PrecisionConfig& config() const { return config_; }
+  bool calibrated() const { return calibrated_; }
+
+  // Introspection for tests/reports.
+  const ValueQuantizer& weight_quantizer(std::size_t param_index) const {
+    return *weight_quantizers_.at(param_index);
+  }
+  const ValueQuantizer& data_quantizer(std::size_t site) const {
+    return *data_quantizers_.at(site);
+  }
+  std::size_t num_sites() const { return data_quantizers_.size(); }
+
+ private:
+  void save_masters();
+  void quantize_params();
+
+  nn::Network& net_;
+  PrecisionConfig config_;
+  std::vector<nn::Param*> params_;
+
+  // One quantizer per parameter tensor and one per activation site
+  // (site 0 = input). Under kGlobal they share calibration statistics
+  // but remain distinct objects so kPerLayer needs no special casing.
+  std::vector<std::unique_ptr<ValueQuantizer>> weight_quantizers_;
+  std::vector<std::unique_ptr<ValueQuantizer>> data_quantizers_;
+
+  std::vector<Tensor> masters_;
+  bool masters_saved_ = false;
+  bool calibrated_ = false;
+  std::vector<double> clip_limits_;  // per param; 0 disables
+};
+
+}  // namespace qnn::quant

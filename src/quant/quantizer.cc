@@ -1,0 +1,127 @@
+#include "quant/quantizer.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace qnn::quant {
+namespace {
+
+// Mean squared error of quantizing `samples` with `q`.
+template <typename Format>
+double quantization_mse(std::span<const float> samples, const Format& q) {
+  double mse = 0.0;
+  for (float v : samples) {
+    const double e = static_cast<double>(v) - q.quantize(static_cast<double>(v));
+    mse += e * e;
+  }
+  return samples.empty() ? 0.0 : mse / static_cast<double>(samples.size());
+}
+
+}  // namespace
+
+void FixedQuantizer::apply(Tensor& t) const {
+  QNN_CHECK_MSG(format_.has_value(), "FixedQuantizer used before calibrate");
+  const FixedPointFormat& f = *format_;
+  float* d = t.data();
+  for (std::int64_t i = 0; i < t.count(); ++i) d[i] = f.quantize(d[i]);
+}
+
+void FixedQuantizer::calibrate_with_samples(std::span<const float> samples,
+                                            double max_abs) {
+  // Start from the covering (max-abs) format and consider trading range
+  // for resolution: each +1 on frac_bits halves the step but clips the
+  // top octave. Pick the minimum-MSE candidate (Ristretto's criterion).
+  // The MSE evaluation always uses deterministic nearest rounding so the
+  // chosen radix does not depend on stochastic draws.
+  const FixedPointFormat covering =
+      FixedPointFormat::for_range(bits_, max_abs);
+  if (samples.empty()) {
+    format_ = FixedPointFormat(bits_, covering.frac_bits(), rounding_);
+    return;
+  }
+  double best_mse = std::numeric_limits<double>::infinity();
+  int best_frac = covering.frac_bits();
+  for (int extra = 0; extra <= 8; ++extra) {
+    const FixedPointFormat candidate(bits_, covering.frac_bits() + extra);
+    const double mse = quantization_mse(samples, candidate);
+    if (mse < best_mse) {
+      best_mse = mse;
+      best_frac = candidate.frac_bits();
+    }
+  }
+  format_ = FixedPointFormat(bits_, best_frac, rounding_);
+}
+
+std::string FixedQuantizer::describe() const {
+  return format_ ? format_->to_string()
+                 : "fixed" + std::to_string(bits_) + "[uncalibrated]";
+}
+
+void Pow2Quantizer::apply(Tensor& t) const {
+  QNN_CHECK_MSG(format_.has_value(), "Pow2Quantizer used before calibrate");
+  const Pow2Format& f = *format_;
+  float* d = t.data();
+  for (std::int64_t i = 0; i < t.count(); ++i) d[i] = f.quantize(d[i]);
+}
+
+void Pow2Quantizer::calibrate_with_samples(std::span<const float> samples,
+                                           double max_abs) {
+  const Pow2Format covering = Pow2Format::for_range(bits_, max_abs);
+  if (samples.empty()) {
+    format_ = covering;
+    return;
+  }
+  double best_mse = std::numeric_limits<double>::infinity();
+  Pow2Format best = covering;
+  for (int shift = 0; shift <= 4; ++shift) {
+    const Pow2Format candidate(bits_, covering.exp_max() - shift);
+    const double mse = quantization_mse(samples, candidate);
+    if (mse < best_mse) {
+      best_mse = mse;
+      best = candidate;
+    }
+  }
+  format_ = best;
+}
+
+std::string Pow2Quantizer::describe() const {
+  return format_ ? format_->to_string()
+                 : "pow2" + std::to_string(bits_) + "[uncalibrated]";
+}
+
+void BinaryQuantizer::apply(Tensor& t) const {
+  const double scale = format_.scale_for(t.values());
+  float* d = t.data();
+  for (std::int64_t i = 0; i < t.count(); ++i)
+    d[i] = static_cast<float>(BinaryFormat::quantize(d[i], scale));
+}
+
+std::unique_ptr<ValueQuantizer> make_weight_quantizer(
+    const PrecisionConfig& config) {
+  switch (config.kind) {
+    case PrecisionKind::kFloat:
+      return std::make_unique<IdentityQuantizer>();
+    case PrecisionKind::kFixed:
+      return std::make_unique<FixedQuantizer>(config.weight_bits,
+                                              config.rounding);
+    case PrecisionKind::kPow2:
+      return std::make_unique<Pow2Quantizer>(config.weight_bits);
+    case PrecisionKind::kBinary:
+      return std::make_unique<BinaryQuantizer>(config.binary_scale);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<ValueQuantizer> make_data_quantizer(
+    const PrecisionConfig& config) {
+  if (config.is_float())
+    return std::make_unique<IdentityQuantizer>();
+  // Pow2 and binary nets still carry fixed-point inputs/feature maps
+  // (paper §IV-A3/4: 16-bit fixed-point data).
+  return std::make_unique<FixedQuantizer>(config.input_bits,
+                                          config.rounding);
+}
+
+}  // namespace qnn::quant

@@ -1,0 +1,125 @@
+// Tensor quantizers: map a float tensor in place onto the value grid of
+// a target representation (fake quantization, bit-exact w.r.t. the
+// integer formats in src/fixed).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "fixed/binary_format.h"
+#include "fixed/fixed_format.h"
+#include "fixed/pow2_format.h"
+#include "quant/qconfig.h"
+#include "tensor/tensor.h"
+
+namespace qnn::quant {
+
+class ValueQuantizer {
+ public:
+  virtual ~ValueQuantizer() = default;
+
+  // Fixes the representable range from an observed max-abs statistic.
+  // Must be called before apply() for range-dependent quantizers.
+  virtual void calibrate(double max_abs) = 0;
+
+  // Richer calibration: choose the format minimizing mean squared
+  // quantization error over observed `samples` (Ristretto's criterion —
+  // at very low bit widths clipping outliers beats covering them).
+  // Default falls back to max-abs calibration.
+  virtual void calibrate_with_samples(std::span<const float> samples,
+                                      double max_abs) {
+    (void)samples;
+    calibrate(max_abs);
+  }
+
+  // Quantizes in place.
+  virtual void apply(Tensor& t) const = 0;
+
+  // Magnitude beyond which master weights should be clamped during QAT
+  // (largest representable value); 0 disables clipping.
+  virtual double clip_limit() const { return 0.0; }
+
+  virtual std::string describe() const = 0;
+  virtual int bits() const = 0;
+};
+
+// Float baseline: no-op.
+class IdentityQuantizer final : public ValueQuantizer {
+ public:
+  void calibrate(double) override {}
+  void apply(Tensor&) const override {}
+  std::string describe() const override { return "float32"; }
+  int bits() const override { return 32; }
+};
+
+class FixedQuantizer final : public ValueQuantizer {
+ public:
+  explicit FixedQuantizer(int bits, Rounding rounding = Rounding::kNearest)
+      : bits_(bits), rounding_(rounding) {}
+  void calibrate(double max_abs) override {
+    format_ = FixedPointFormat::for_range(bits_, max_abs, rounding_);
+  }
+  void calibrate_with_samples(std::span<const float> samples,
+                              double max_abs) override;
+  void apply(Tensor& t) const override;
+  double clip_limit() const override {
+    return format_ ? format_->max_value() : 0.0;
+  }
+  std::string describe() const override;
+  int bits() const override { return bits_; }
+  const std::optional<FixedPointFormat>& format() const { return format_; }
+
+ private:
+  int bits_;
+  Rounding rounding_;
+  std::optional<FixedPointFormat> format_;
+};
+
+class Pow2Quantizer final : public ValueQuantizer {
+ public:
+  explicit Pow2Quantizer(int bits) : bits_(bits) {}
+  void calibrate(double max_abs) override {
+    format_ = Pow2Format::for_range(bits_, max_abs);
+  }
+  void calibrate_with_samples(std::span<const float> samples,
+                              double max_abs) override;
+  void apply(Tensor& t) const override;
+  double clip_limit() const override {
+    return format_ ? format_->max_value() : 0.0;
+  }
+  std::string describe() const override;
+  int bits() const override { return bits_; }
+  const std::optional<Pow2Format>& format() const { return format_; }
+
+ private:
+  int bits_;
+  std::optional<Pow2Format> format_;
+};
+
+// 1-bit: scale is derived from the tensor itself at every apply (the
+// mean-abs mode tracks the master weights as they train).
+class BinaryQuantizer final : public ValueQuantizer {
+ public:
+  explicit BinaryQuantizer(BinaryScaleMode mode) : format_(mode) {}
+  void calibrate(double) override {}
+  void apply(Tensor& t) const override;
+  // BinaryConnect clips masters to [-1, 1].
+  double clip_limit() const override { return 1.0; }
+  std::string describe() const override { return format_.to_string(); }
+  int bits() const override { return 1; }
+
+ private:
+  BinaryFormat format_;
+};
+
+// Builds the weight-side quantizer for a config (nullptr = identity).
+std::unique_ptr<ValueQuantizer> make_weight_quantizer(
+    const PrecisionConfig& config);
+
+// Builds the data-side (inputs + feature maps) quantizer for a config.
+std::unique_ptr<ValueQuantizer> make_data_quantizer(
+    const PrecisionConfig& config);
+
+}  // namespace qnn::quant

@@ -1,0 +1,62 @@
+#include "quant/range_analysis.h"
+
+#include <algorithm>
+
+namespace qnn::quant {
+namespace {
+
+// Strided subsample of `values` capped at kMaxCalibrationSamples.
+std::vector<float> sample_values(std::span<const float> values) {
+  std::vector<float> out;
+  if (values.empty()) return out;
+  const std::size_t stride =
+      std::max<std::size_t>(1, values.size() / kMaxCalibrationSamples);
+  out.reserve(values.size() / stride + 1);
+  for (std::size_t i = 0; i < values.size(); i += stride)
+    out.push_back(values[i]);
+  return out;
+}
+
+// Merges `add` into `into`, re-thinning to the cap.
+void merge_samples(std::vector<float>& into, const std::vector<float>& add) {
+  into.insert(into.end(), add.begin(), add.end());
+  if (into.size() > 2 * kMaxCalibrationSamples) {
+    std::vector<float> thinned;
+    thinned.reserve(kMaxCalibrationSamples);
+    const std::size_t stride = into.size() / kMaxCalibrationSamples + 1;
+    for (std::size_t i = 0; i < into.size(); i += stride)
+      thinned.push_back(into[i]);
+    into = std::move(thinned);
+  }
+}
+
+}  // namespace
+
+RangeStats analyze_ranges(nn::Network& net, const Tensor& batch) {
+  RangeStats stats;
+
+  for (nn::Param* p : net.trainable_params()) {
+    const double m = p->value.max_abs();
+    stats.param_max_abs.push_back(m);
+    stats.global_param_max_abs = std::max(stats.global_param_max_abs, m);
+    stats.param_samples.push_back(sample_values(p->value.values()));
+    merge_samples(stats.global_param_samples, stats.param_samples.back());
+  }
+
+  stats.site_max_abs.reserve(net.num_layers() + 1);
+  Tensor x = batch;
+  stats.site_max_abs.push_back(x.max_abs());
+  stats.site_samples.push_back(sample_values(x.values()));
+  merge_samples(stats.global_data_samples, stats.site_samples.back());
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    x = net.layer(i).forward(x);
+    stats.site_max_abs.push_back(x.max_abs());
+    stats.site_samples.push_back(sample_values(x.values()));
+    merge_samples(stats.global_data_samples, stats.site_samples.back());
+  }
+  for (double m : stats.site_max_abs)
+    stats.global_data_max_abs = std::max(stats.global_data_max_abs, m);
+  return stats;
+}
+
+}  // namespace qnn::quant

@@ -1,0 +1,108 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace qnn {
+namespace {
+
+// Cache-blocking parameters sized for a typical 32 KiB L1 / 256 KiB L2.
+constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockN = 256;
+constexpr std::int64_t kBlockK = 256;
+
+// Inner kernel: C[mb, nb] += A[mb, kb] * B[kb, nb] over one cache block.
+// Unrolled 4 rows at a time so the compiler keeps C accumulators in
+// registers and vectorizes the N loop.
+void block_kernel(std::int64_t mb, std::int64_t nb, std::int64_t kb,
+                  const float* a, std::int64_t lda, const float* b,
+                  std::int64_t ldb, float* c, std::int64_t ldc) {
+  std::int64_t i = 0;
+  for (; i + 4 <= mb; i += 4) {
+    const float* a0 = a + (i + 0) * lda;
+    const float* a1 = a + (i + 1) * lda;
+    const float* a2 = a + (i + 2) * lda;
+    const float* a3 = a + (i + 3) * lda;
+    float* c0 = c + (i + 0) * ldc;
+    float* c1 = c + (i + 1) * ldc;
+    float* c2 = c + (i + 2) * ldc;
+    float* c3 = c + (i + 3) * ldc;
+    for (std::int64_t p = 0; p < kb; ++p) {
+      const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+      const float* bp = b + p * ldb;
+      for (std::int64_t j = 0; j < nb; ++j) {
+        const float bj = bp[j];
+        c0[j] += v0 * bj;
+        c1[j] += v1 * bj;
+        c2[j] += v2 * bj;
+        c3[j] += v3 * bj;
+      }
+    }
+  }
+  for (; i < mb; ++i) {
+    const float* ai = a + i * lda;
+    float* ci = c + i * ldc;
+    for (std::int64_t p = 0; p < kb; ++p) {
+      const float v = ai[p];
+      const float* bp = b + p * ldb;
+      for (std::int64_t j = 0; j < nb; ++j) ci[j] += v * bp[j];
+    }
+  }
+}
+
+void gemm_impl(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+               const float* b, float* c, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, sizeof(float) * m * n);
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const std::int64_t mb = std::min(kBlockM, m - i0);
+    for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const std::int64_t kb = std::min(kBlockK, k - p0);
+      for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const std::int64_t nb = std::min(kBlockN, n - j0);
+        block_kernel(mb, nb, kb, a + i0 * k + p0, k, b + p0 * n + j0, n,
+                     c + i0 * n + j0, n);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+          const float* b, float* c) {
+  gemm_impl(m, n, k, a, b, c, /*accumulate=*/false);
+}
+
+void gemm_accumulate(std::int64_t m, std::int64_t n, std::int64_t k,
+                     const float* a, const float* b, float* c) {
+  gemm_impl(m, n, k, a, b, c, /*accumulate=*/true);
+}
+
+void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+             const float* b, float* c) {
+  // Materialize A^T once; the transpose cost is negligible next to the
+  // O(mnk) multiply and keeps the inner kernel contiguous.
+  std::vector<float> at(static_cast<std::size_t>(m * k));
+  for (std::int64_t p = 0; p < k; ++p)
+    for (std::int64_t i = 0; i < m; ++i) at[i * k + p] = a[p * m + i];
+  gemm_impl(m, n, k, at.data(), b, c, /*accumulate=*/false);
+}
+
+void gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+             const float* b, float* c) {
+  std::vector<float> bt(static_cast<std::size_t>(k * n));
+  for (std::int64_t j = 0; j < n; ++j)
+    for (std::int64_t p = 0; p < k; ++p) bt[p * n + j] = b[j * k + p];
+  gemm_impl(m, n, k, a, bt.data(), c, /*accumulate=*/false);
+}
+
+void gemm_bt_accumulate(std::int64_t m, std::int64_t n, std::int64_t k,
+                        const float* a, const float* b, float* c) {
+  std::vector<float> bt(static_cast<std::size_t>(k * n));
+  for (std::int64_t j = 0; j < n; ++j)
+    for (std::int64_t p = 0; p < k; ++p) bt[p * n + j] = b[j * k + p];
+  gemm_impl(m, n, k, a, bt.data(), c, /*accumulate=*/true);
+}
+
+}  // namespace qnn

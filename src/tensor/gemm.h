@@ -1,0 +1,33 @@
+// Single-precision matrix multiply kernels.
+//
+// Convolution (via im2col) and fully-connected layers lower to these.
+// The implementation is a register-blocked, cache-tiled scalar kernel —
+// fast enough for the paper's small networks on one core, with no
+// external BLAS dependency.
+#pragma once
+
+#include <cstdint>
+
+namespace qnn {
+
+// C[M,N] = A[M,K] * B[K,N]   (row-major, C overwritten)
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+          const float* b, float* c);
+
+// C[M,N] += A[M,K] * B[K,N]
+void gemm_accumulate(std::int64_t m, std::int64_t n, std::int64_t k,
+                     const float* a, const float* b, float* c);
+
+// C[M,N] = A^T[M,K] * B[K,N] where A is stored [K,M] row-major.
+void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+             const float* b, float* c);
+
+// C[M,N] = A[M,K] * B^T[K,N] where B is stored [N,K] row-major.
+void gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+             const float* b, float* c);
+
+// C[M,N] += A[M,K] * B^T where B is stored [N,K] row-major.
+void gemm_bt_accumulate(std::int64_t m, std::int64_t n, std::int64_t k,
+                        const float* a, const float* b, float* c);
+
+}  // namespace qnn

@@ -1,0 +1,53 @@
+#include "tensor/im2col.h"
+
+namespace qnn {
+
+void im2col(const ConvGeometry& g, const float* image, float* cols) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    const float* channel = image + c * g.in_h * g.in_w;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        float* out = cols + row * (oh * ow);
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride_h - g.pad_h + kh;
+          if (iy < 0 || iy >= g.in_h) {
+            for (std::int64_t x = 0; x < ow; ++x) out[y * ow + x] = 0.0f;
+            continue;
+          }
+          const float* src = channel + iy * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride_w - g.pad_w + kw;
+            out[y * ow + x] =
+                (ix >= 0 && ix < g.in_w) ? src[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const ConvGeometry& g, const float* cols, float* image) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    float* channel = image + c * g.in_h * g.in_w;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* in = cols + row * (oh * ow);
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride_h - g.pad_h + kh;
+          if (iy < 0 || iy >= g.in_h) continue;
+          float* dst = channel + iy * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride_w - g.pad_w + kw;
+            if (ix >= 0 && ix < g.in_w) dst[ix] += in[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace qnn

@@ -1,0 +1,26 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+
+namespace qnn {
+
+std::int64_t Shape::count() const { return count_from(0); }
+
+std::int64_t Shape::count_from(std::size_t from) const {
+  std::int64_t c = 1;
+  for (std::size_t i = from; i < dims_.size(); ++i) c *= dims_[i];
+  return c;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace qnn

@@ -1,0 +1,63 @@
+// Tensor shape: an ordered list of dimension extents.
+//
+// Networks in this library use NCHW layout throughout: dim 0 = batch,
+// dim 1 = channels, dim 2 = height, dim 3 = width. Fully-connected
+// activations are rank-2 (N, features).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace qnn {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+    validate();
+  }
+
+  std::size_t rank() const { return dims_.size(); }
+
+  std::int64_t dim(std::size_t i) const {
+    QNN_DCHECK(i < dims_.size());
+    return dims_[i];
+  }
+
+  std::int64_t operator[](std::size_t i) const { return dim(i); }
+
+  // Total number of elements (1 for a rank-0 shape).
+  std::int64_t count() const;
+
+  // Number of elements from dimension `from` (inclusive) to the end;
+  // e.g. count_from(1) on (N,C,H,W) is the per-sample element count.
+  std::int64_t count_from(std::size_t from) const;
+
+  // NCHW accessors; valid only for rank-4 shapes.
+  std::int64_t n() const { QNN_DCHECK(rank() == 4); return dims_[0]; }
+  std::int64_t c() const { QNN_DCHECK(rank() == 4); return dims_[1]; }
+  std::int64_t h() const { QNN_DCHECK(rank() == 4); return dims_[2]; }
+  std::int64_t w() const { QNN_DCHECK(rank() == 4); return dims_[3]; }
+
+  bool operator==(const Shape& o) const { return dims_ == o.dims_; }
+  bool operator!=(const Shape& o) const { return !(*this == o); }
+
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  // "(2, 3, 28, 28)"
+  std::string to_string() const;
+
+ private:
+  void validate() const {
+    for (std::int64_t d : dims_) QNN_CHECK_MSG(d >= 0, "negative dim");
+  }
+
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace qnn

@@ -1,0 +1,55 @@
+// Runtime precondition / invariant checking.
+//
+// QNN_CHECK is active in all build types (it guards API misuse that would
+// otherwise corrupt results silently); QNN_DCHECK compiles away in NDEBUG
+// builds and is used on hot inner-loop paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qnn {
+
+// Error thrown by all QNN_CHECK failures. Deriving from std::logic_error
+// makes the intent explicit: a failed check is a programming error at the
+// call site, not an environmental condition.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "Check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace qnn
+
+#define QNN_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond))                                                     \
+      ::qnn::detail::check_failed(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define QNN_CHECK_MSG(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream qnn_os_;                                    \
+      qnn_os_ << msg; /* NOLINT */                                   \
+      ::qnn::detail::check_failed(#cond, __FILE__, __LINE__,         \
+                                  qnn_os_.str());                    \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define QNN_DCHECK(cond) ((void)0)
+#else
+#define QNN_DCHECK(cond) QNN_CHECK(cond)
+#endif

@@ -1,0 +1,43 @@
+#include "util/csv.h"
+
+#include "util/check.h"
+
+namespace qnn {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> header)
+    : out_(path), arity_(header.size()) {
+  QNN_CHECK_MSG(out_.good(), "cannot open CSV file " << path);
+  QNN_CHECK(arity_ > 0);
+  add_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  QNN_CHECK(cells.size() == arity_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+CsvWriter::~CsvWriter() { close(); }
+
+std::string CsvWriter::escape(const std::string& s) {
+  const bool needs_quotes =
+      s.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return s;
+  std::string q = "\"";
+  for (char c : s) {
+    if (c == '"') q += '"';
+    q += c;
+  }
+  q += '"';
+  return q;
+}
+
+}  // namespace qnn

@@ -1,0 +1,34 @@
+// CSV writer for exporting experiment results (e.g. the Fig. 4 scatter
+// points) so they can be re-plotted outside the harness.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace qnn {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. Throws CheckError
+  // if the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  // Writes one row; must match the header arity.
+  void add_row(const std::vector<std::string>& cells);
+
+  // Flushes and closes; also called by the destructor.
+  void close();
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+ private:
+  static std::string escape(const std::string& s);
+
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+}  // namespace qnn

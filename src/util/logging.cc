@@ -1,0 +1,53 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace qnn {
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
+
+// Strips the directory part so log lines stay short.
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO";
+    case LogLevel::kWarn:  return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+namespace detail {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= log_threshold()) {
+  if (enabled_) {
+    stream_ << '[' << log_level_name(level) << ' ' << basename_of(file) << ':'
+            << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    stream_ << '\n';
+    std::cerr << stream_.str();
+  }
+}
+
+}  // namespace detail
+}  // namespace qnn

@@ -1,0 +1,47 @@
+// Minimal leveled logger writing to stderr.
+//
+// Usage:  QNN_LOG(Info) << "trained epoch " << e << " acc=" << acc;
+// The stream is flushed (with a trailing newline) when the temporary dies
+// at the end of the statement.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace qnn {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global threshold: messages below it are dropped. Default: Info.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+const char* log_level_name(LogLevel level);
+
+namespace detail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace qnn
+
+#define QNN_LOG(severity)                                        \
+  ::qnn::detail::LogMessage(::qnn::LogLevel::k##severity,        \
+                            __FILE__, __LINE__)

@@ -1,0 +1,58 @@
+// Deterministic random number generation.
+//
+// All stochastic components (weight init, dataset synthesis, shuffling)
+// draw from an explicitly-seeded Rng so every experiment is reproducible
+// from its seed alone.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/check.h"
+
+namespace qnn {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : engine_(seed) {}
+
+  // Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    QNN_DCHECK(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    QNN_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  // Standard normal scaled/offset.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  // Derives an independent child stream; used so that e.g. per-image
+  // generation order does not perturb unrelated draws.
+  Rng fork() { return Rng(engine_() ^ 0xda942042e4dd58b5ull); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace qnn

@@ -1,0 +1,81 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace qnn {
+
+Table::Table(std::vector<std::string> header, std::vector<Align> aligns)
+    : header_(std::move(header)), aligns_(std::move(aligns)) {
+  QNN_CHECK(!header_.empty());
+  if (aligns_.empty()) {
+    // Default: first column left (labels), rest right (numbers).
+    aligns_.assign(header_.size(), Align::kRight);
+    aligns_[0] = Align::kLeft;
+  }
+  QNN_CHECK(aligns_.size() == header_.size());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  QNN_CHECK_MSG(cells.size() == header_.size(),
+                "row has " << cells.size() << " cells, header has "
+                           << header_.size());
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void Table::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string Table::to_string() const {
+  const std::size_t n = header_.size();
+  std::vector<std::size_t> width(n);
+  for (std::size_t c = 0; c < n; ++c) width[c] = header_[c].size();
+  for (const Row& r : rows_) {
+    if (r.separator) continue;
+    for (std::size_t c = 0; c < n; ++c)
+      width[c] = std::max(width[c], r.cells[c].size());
+  }
+
+  auto emit_cell = [&](std::ostringstream& os, const std::string& s,
+                       std::size_t c) {
+    const std::size_t pad = width[c] - s.size();
+    if (aligns_[c] == Align::kRight) os << std::string(pad, ' ') << s;
+    else os << s << std::string(pad, ' ');
+  };
+
+  std::size_t total = 2 * (n - 1);
+  for (std::size_t c = 0; c < n; ++c) total += width[c];
+
+  std::ostringstream os;
+  for (std::size_t c = 0; c < n; ++c) {
+    if (c) os << "  ";
+    emit_cell(os, header_[c], c);
+  }
+  os << '\n' << std::string(total, '-') << '\n';
+  for (const Row& r : rows_) {
+    if (r.separator) {
+      os << std::string(total, '-') << '\n';
+      continue;
+    }
+    for (std::size_t c = 0; c < n; ++c) {
+      if (c) os << "  ";
+      emit_cell(os, r.cells[c], c);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string format_fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string format_percent(double percent, int digits) {
+  return format_fixed(percent, digits);
+}
+
+}  // namespace qnn

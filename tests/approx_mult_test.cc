@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fixed/approx_mult.h"
+#include "hw/logic_model.h"
+#include "util/rng.h"
+
+namespace qnn {
+namespace {
+
+TEST(ApproxMult, ExactKindIsExact) {
+  const ApproxMultSpec exact{ApproxMultKind::kExact, 0};
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t a = rng.uniform_int(-1000, 1000);
+    const std::int64_t b = rng.uniform_int(-1000, 1000);
+    EXPECT_EQ(approx_multiply(a, b, exact), a * b);
+  }
+  EXPECT_DOUBLE_EQ(mean_relative_error(exact, 8), 0.0);
+}
+
+TEST(ApproxMult, MitchellZeroAndPowersOfTwoExact) {
+  const ApproxMultSpec m{ApproxMultKind::kMitchell, 0};
+  EXPECT_EQ(approx_multiply(0, 123, m), 0);
+  EXPECT_EQ(approx_multiply(7, 0, m), 0);
+  // Powers of two have zero mantissa fraction: Mitchell is exact.
+  EXPECT_EQ(approx_multiply(8, 16, m), 128);
+  EXPECT_EQ(approx_multiply(4, 4, m), 16);
+  EXPECT_EQ(approx_multiply(-8, 2, m), -16);
+}
+
+TEST(ApproxMult, MitchellErrorWithinClassicBound) {
+  // Mitchell's approximation under-estimates by at most ~11.1%.
+  const ApproxMultSpec m{ApproxMultKind::kMitchell, 0};
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t a = rng.uniform_int(1, 4095);
+    const std::int64_t b = rng.uniform_int(1, 4095);
+    const std::int64_t exact = a * b;
+    const std::int64_t approx = approx_multiply(a, b, m);
+    EXPECT_LE(approx, exact) << a << '*' << b;
+    EXPECT_GE(static_cast<double>(approx),
+              0.888 * static_cast<double>(exact) - 2.0)
+        << a << '*' << b;
+  }
+}
+
+TEST(ApproxMult, MitchellSignHandling) {
+  const ApproxMultSpec m{ApproxMultKind::kMitchell, 0};
+  const std::int64_t pp = approx_multiply(100, 37, m);
+  EXPECT_EQ(approx_multiply(-100, 37, m), -pp);
+  EXPECT_EQ(approx_multiply(100, -37, m), -pp);
+  EXPECT_EQ(approx_multiply(-100, -37, m), pp);
+}
+
+TEST(ApproxMult, TruncatedZeroColumnsIsExact) {
+  const ApproxMultSpec t0{ApproxMultKind::kTruncated, 0};
+  EXPECT_EQ(approx_multiply(123, -456, t0), 123 * -456);
+}
+
+TEST(ApproxMult, TruncatedErrorBoundedByDroppedColumns) {
+  const ApproxMultSpec t{ApproxMultKind::kTruncated, 6};
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t a = rng.uniform_int(-127, 127);
+    const std::int64_t b = rng.uniform_int(-127, 127);
+    const std::int64_t exact = a * b;
+    const std::int64_t approx = approx_multiply(a, b, t);
+    EXPECT_LE(std::llabs(approx - exact), 1 << 6) << a << '*' << b;
+  }
+}
+
+TEST(ApproxMult, ErrorOrderingAcrossDesigns) {
+  const double e_trunc6 =
+      mean_relative_error({ApproxMultKind::kTruncated, 6}, 8);
+  const double e_trunc10 =
+      mean_relative_error({ApproxMultKind::kTruncated, 10}, 8);
+  const double e_mitchell =
+      mean_relative_error({ApproxMultKind::kMitchell, 0}, 8);
+  EXPECT_LT(e_trunc6, e_trunc10);
+  EXPECT_GT(e_mitchell, 0.01);  // ~3-4% mean
+  EXPECT_LT(e_mitchell, 0.12);  // below the 11.1% worst case
+}
+
+TEST(ApproxMult, FunctorMatchesDirectCall) {
+  const ApproxMultSpec m{ApproxMultKind::kTruncated, 4};
+  const MultiplyFn fn = make_multiplier(m);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t a = rng.uniform_int(-500, 500);
+    const std::int64_t b = rng.uniform_int(-500, 500);
+    EXPECT_EQ(fn(a, b), approx_multiply(a, b, m));
+  }
+}
+
+TEST(ApproxMultArea, MitchellScalesLinearlyArrayQuadratically) {
+  // The log multiplier's advantage is its scaling: array area grows
+  // quadratically with width, Mitchell roughly linearly (shift/adder
+  // chains), so the ratio must close as widths grow.
+  const hw::Tech65& t = hw::default_tech();
+  const double ratio8 = hw::mitchell_multiplier_area(t, 8, 8) /
+                        hw::int_multiplier_area(t, 8, 8);
+  const double ratio32 = hw::mitchell_multiplier_area(t, 32, 32) /
+                         hw::int_multiplier_area(t, 32, 32);
+  EXPECT_LT(ratio32, 0.5 * ratio8);
+}
+
+TEST(ApproxMultArea, TruncationMonotone) {
+  const hw::Tech65& t = hw::default_tech();
+  const double full = hw::int_multiplier_area(t, 8, 8);
+  const double t4 = hw::truncated_multiplier_area(t, 8, 8, 4);
+  const double t8 = hw::truncated_multiplier_area(t, 8, 8, 8);
+  EXPECT_LT(t4, full);
+  EXPECT_LT(t8, t4);
+  EXPECT_GE(t8, 0.0);
+  EXPECT_DOUBLE_EQ(hw::truncated_multiplier_area(t, 8, 8, 0), full);
+}
+
+TEST(ApproxMult, ToString) {
+  EXPECT_EQ(ApproxMultSpec{}.to_string(), "exact");
+  EXPECT_EQ((ApproxMultSpec{ApproxMultKind::kMitchell, 0}).to_string(),
+            "mitchell");
+  EXPECT_EQ((ApproxMultSpec{ApproxMultKind::kTruncated, 6}).to_string(),
+            "truncated(6)");
+}
+
+}  // namespace
+}  // namespace qnn

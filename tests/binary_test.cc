@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fixed/binary_format.h"
+
+namespace qnn {
+namespace {
+
+TEST(BinaryFormat, PlusMinusOneScaleIsUnity) {
+  BinaryFormat f(BinaryScaleMode::kPlusMinusOne);
+  const std::vector<float> w{0.5f, -0.2f, 0.9f};
+  EXPECT_DOUBLE_EQ(f.scale_for(w), 1.0);
+}
+
+TEST(BinaryFormat, MeanAbsScale) {
+  BinaryFormat f(BinaryScaleMode::kMeanAbs);
+  const std::vector<float> w{0.5f, -0.25f, 0.75f, -0.5f};
+  EXPECT_DOUBLE_EQ(f.scale_for(w), 0.5);
+}
+
+TEST(BinaryFormat, EmptyOrZeroTensorFallsBackToUnity) {
+  BinaryFormat f(BinaryScaleMode::kMeanAbs);
+  EXPECT_DOUBLE_EQ(f.scale_for({}), 1.0);
+  const std::vector<float> zeros(8, 0.0f);
+  EXPECT_DOUBLE_EQ(f.scale_for(zeros), 1.0);
+}
+
+TEST(BinaryFormat, QuantizeIsSignTimesScale) {
+  EXPECT_DOUBLE_EQ(BinaryFormat::quantize(0.3, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(BinaryFormat::quantize(-0.0001, 2.0), -2.0);
+  // A 1-bit format has no zero: sign(0) -> +scale.
+  EXPECT_DOUBLE_EQ(BinaryFormat::quantize(0.0, 1.0), 1.0);
+}
+
+TEST(BinaryFormat, OnlyTwoOutputValues) {
+  BinaryFormat f(BinaryScaleMode::kMeanAbs);
+  const std::vector<float> w{0.1f, -0.3f, 0.7f, -0.9f, 0.0f};
+  const double s = f.scale_for(w);
+  for (float v : w) {
+    const double q = BinaryFormat::quantize(v, s);
+    EXPECT_TRUE(q == s || q == -s);
+  }
+}
+
+TEST(BinaryFormat, Describe) {
+  EXPECT_EQ(BinaryFormat(BinaryScaleMode::kPlusMinusOne).to_string(),
+            "binary[±1]");
+  EXPECT_EQ(BinaryFormat(BinaryScaleMode::kMeanAbs).to_string(),
+            "binary[±mean|w|]");
+}
+
+}  // namespace
+}  // namespace qnn

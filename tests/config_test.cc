@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "config/builders.h"
+#include "config/config_node.h"
+#include "util/check.h"
+
+namespace qnn::config {
+namespace {
+
+TEST(ConfigParse, ScalarsAndComments) {
+  const ConfigNode c = parse_config(
+      "epochs: 5      # five of them\n"
+      "lr: 0.02\n"
+      "name: lenet\n");
+  EXPECT_EQ(c.get_int("epochs"), 5);
+  EXPECT_DOUBLE_EQ(c.get_double("lr"), 0.02);
+  EXPECT_EQ(c.get("name"), "lenet");
+  EXPECT_FALSE(c.has("missing"));
+  EXPECT_EQ(c.get_or("missing", "x"), "x");
+  EXPECT_EQ(c.get_int_or("missing", 7), 7);
+}
+
+TEST(ConfigParse, NestedBlocks) {
+  const ConfigNode c = parse_config(
+      "train { epochs: 3 inner { deep: 1 } }\n"
+      "layer { type: conv }\n"
+      "layer { type: relu }\n");
+  EXPECT_TRUE(c.has_block("train"));
+  EXPECT_EQ(c.block("train").get_int("epochs"), 3);
+  EXPECT_EQ(c.block("train").block("inner").get_int("deep"), 1);
+  ASSERT_EQ(c.blocks("layer").size(), 2u);
+  EXPECT_EQ(c.blocks("layer")[1].get("type"), "relu");
+  EXPECT_TRUE(c.blocks("nothing").empty());
+}
+
+TEST(ConfigParse, RepeatedScalars) {
+  const ConfigNode c = parse_config("tag: a\ntag: b\n");
+  EXPECT_EQ(c.get_all("tag").size(), 2u);
+  EXPECT_THROW(c.get("tag"), CheckError);  // ambiguous single get
+}
+
+TEST(ConfigParse, ValueStopsAtBraceAndComment) {
+  const ConfigNode c = parse_config("layer { type: conv }");
+  EXPECT_EQ(c.blocks("layer")[0].get("type"), "conv");
+}
+
+TEST(ConfigParse, Errors) {
+  EXPECT_THROW(parse_config("}"), CheckError);
+  EXPECT_THROW(parse_config("block {"), CheckError);
+  EXPECT_THROW(parse_config("key:\n"), CheckError);
+  EXPECT_THROW(parse_config("123: x"), CheckError);
+  EXPECT_THROW(parse_config("name value"), CheckError);
+}
+
+TEST(ConfigParse, TypedAccessErrors) {
+  const ConfigNode c = parse_config("x: abc\nb: maybe\n");
+  EXPECT_THROW(c.get_int("x"), std::exception);
+  EXPECT_THROW(c.get_bool_or("b", false), CheckError);
+  EXPECT_THROW(c.get("absent"), CheckError);
+  EXPECT_THROW(c.block("absent"), CheckError);
+}
+
+TEST(Builders, ZooPreset) {
+  const ConfigNode c =
+      parse_config("preset: lenet\nchannel_scale: 0.25\n");
+  BuiltNetwork built = build_network(c);
+  EXPECT_EQ(built.network->name(), "lenet");
+  EXPECT_EQ(built.input_shape, Shape({1, 1, 28, 28}));
+  Tensor in(built.input_shape);
+  EXPECT_EQ(built.network->forward(in).shape(), Shape({1, 10}));
+}
+
+TEST(Builders, CustomNetworkStack) {
+  const ConfigNode c = parse_config(
+      "input: 1x12x12\n"
+      "layer { type: conv out: 4 kernel: 3 pad: 1 }\n"
+      "layer { type: maxpool kernel: 2 }\n"
+      "layer { type: relu }\n"
+      "layer { type: lrn local_size: 3 }\n"
+      "layer { type: dropout p: 0.1 }\n"
+      "layer { type: ip out: 6 }\n"
+      "layer { type: tanh }\n"
+      "layer { type: ip out: 2 }\n");
+  BuiltNetwork built = build_network(c);
+  Tensor in(Shape{2, 1, 12, 12});
+  EXPECT_EQ(built.network->forward(in).shape(), Shape({2, 2}));
+  EXPECT_EQ(built.network->num_layers(), 8u);
+}
+
+TEST(Builders, CustomNetworkInfersChannels) {
+  const ConfigNode c = parse_config(
+      "input: 3x8x8\n"
+      "layer { type: conv out: 5 kernel: 3 }\n"
+      "layer { type: conv out: 2 kernel: 3 }\n"
+      "layer { type: ip out: 4 }\n");
+  BuiltNetwork built = build_network(c);
+  Tensor in(Shape{1, 3, 8, 8});
+  EXPECT_EQ(built.network->forward(in).shape(), Shape({1, 4}));
+}
+
+TEST(Builders, UnknownLayerTypeThrows) {
+  const ConfigNode c = parse_config(
+      "input: 1x4x4\nlayer { type: transformer }\n");
+  EXPECT_THROW(build_network(c), CheckError);
+}
+
+TEST(Builders, DatasetAndTrain) {
+  const ConfigNode c = parse_config(
+      "dataset { name: mnist train: 30 test: 10 seed: 9 }\n"
+      "train { epochs: 2 batch: 8 lr: 0.5 momentum: 0 lr_step: 1 }\n");
+  const auto split = build_dataset(c.block("dataset"));
+  EXPECT_EQ(split.train.size(), 30);
+  EXPECT_EQ(split.test.size(), 10);
+  const auto tc = build_train_config(c.block("train"));
+  EXPECT_EQ(tc.epochs, 2);
+  EXPECT_EQ(tc.batch_size, 8);
+  EXPECT_DOUBLE_EQ(tc.sgd.learning_rate, 0.5);
+  EXPECT_DOUBLE_EQ(tc.sgd.momentum, 0.0);
+  EXPECT_EQ(tc.sgd.step_epochs, 1);
+}
+
+TEST(Builders, PrecisionVariants) {
+  const ConfigNode c = parse_config(
+      "a { kind: float }\n"
+      "b { kind: fixed weight_bits: 8 input_bits: 4 }\n"
+      "c { kind: pow2 }\n"
+      "d { kind: binary scale: one }\n"
+      "e { kind: fixed weight_bits: 4 input_bits: 4 radix: global "
+      "rounding: stochastic }\n");
+  EXPECT_TRUE(build_precision(c.block("a")).is_float());
+  const auto b = build_precision(c.block("b"));
+  EXPECT_EQ(b.weight_bits, 8);
+  EXPECT_EQ(b.input_bits, 4);
+  EXPECT_EQ(build_precision(c.block("c")).kind,
+            quant::PrecisionKind::kPow2);
+  EXPECT_EQ(build_precision(c.block("d")).binary_scale,
+            BinaryScaleMode::kPlusMinusOne);
+  const auto e = build_precision(c.block("e"));
+  EXPECT_EQ(e.radix_policy, quant::RadixPolicy::kGlobal);
+  EXPECT_EQ(e.rounding, Rounding::kStochastic);
+}
+
+TEST(Builders, PrecisionErrors) {
+  EXPECT_THROW(build_precision(parse_config("kind: fp8")), CheckError);
+  EXPECT_THROW(build_precision(parse_config(
+                   "kind: fixed weight_bits: 8 input_bits: 8 radix: "
+                   "sideways")),
+               CheckError);
+}
+
+TEST(Builders, SampleConfigFilesParse) {
+  // The shipped example configs must stay valid.
+  for (const char* path : {"examples/configs/lenet_fixed8.cfg",
+                           "examples/configs/custom_net.cfg"}) {
+    SCOPED_TRACE(path);
+    std::string full = std::string(QNN_SOURCE_DIR) + "/" + path;
+    const ConfigNode root = load_config(full);
+    EXPECT_TRUE(root.has_block("network"));
+    EXPECT_TRUE(root.has_block("dataset"));
+    EXPECT_TRUE(root.has_block("train"));
+    EXPECT_FALSE(root.blocks("precision").empty());
+    (void)build_network(root.block("network"));
+    for (const auto& p : root.blocks("precision"))
+      (void)build_precision(p);
+  }
+}
+
+}  // namespace
+}  // namespace qnn::config

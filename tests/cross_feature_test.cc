@@ -1,0 +1,149 @@
+// Cross-feature integration: combinations of the library's independent
+// capabilities that a downstream user would plausibly stack together.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "hw/nfu_sim.h"
+#include "nn/activation.h"
+#include "nn/inner_product.h"
+#include "nn/metrics.h"
+#include "nn/serialize.h"
+#include "nn/trainer.h"
+#include "nn/zoo.h"
+#include "quant/mixed_precision.h"
+#include "quant/qat.h"
+
+namespace qnn {
+namespace {
+
+TEST(CrossFeature, MixedPrecisionNetworkRunsOnIntegerPath) {
+  // Per-layer widths + the NFU integer simulator together.
+  auto net = std::make_unique<nn::Network>("mix");
+  net->add<nn::InnerProduct>(6, 8);
+  net->add<nn::Relu>();
+  net->add<nn::InnerProduct>(8, 3);
+  Rng rng(3);
+  net->init_weights(rng);
+  Tensor batch(Shape{5, 6});
+  batch.fill_uniform(rng, 0, 1);
+
+  quant::QuantizedNetwork qnet(*net, quant::fixed_config(8, 8),
+                               std::vector<int>{8, 4});
+  qnet.calibrate(batch);
+  const Tensor float_path = qnet.forward(batch);
+  qnet.restore_masters();
+  const hw::NfuSimulator sim(*net, qnet, Shape{1, 6});
+  const Tensor int_path = sim.forward(batch);
+  const auto& fq = dynamic_cast<const quant::FixedQuantizer&>(
+      qnet.data_quantizer(qnet.num_sites() - 1));
+  for (std::int64_t i = 0; i < float_path.count(); ++i)
+    EXPECT_NEAR(int_path[i], float_path[i], fq.format()->step() + 1e-9);
+}
+
+TEST(CrossFeature, TrainingWithAugmentationRuns) {
+  data::SyntheticConfig dc;
+  dc.num_train = 80;
+  dc.num_test = 40;
+  const auto split = data::make_mnist_like(dc);
+  nn::ZooConfig zc;
+  zc.channel_scale = 0.2;
+  auto net = nn::make_lenet(zc);
+  nn::TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 20;
+  tc.sgd.learning_rate = 0.02;
+  tc.augment.mirror = true;
+  tc.augment.pad_crop = 2;
+  const auto result = nn::train(*net, split.train, tc);
+  EXPECT_EQ(result.epochs.size(), 2u);
+  EXPECT_LT(result.epochs.back().mean_loss,
+            result.epochs.front().mean_loss + 0.5);
+}
+
+TEST(CrossFeature, SnapshotThenQatThenMetrics) {
+  // save → load into a fresh net → QAT → confusion-matrix evaluation.
+  data::SyntheticConfig dc;
+  dc.num_train = 150;
+  dc.num_test = 60;
+  const auto split = data::make_mnist_like(dc);
+  nn::ZooConfig zc;
+  zc.channel_scale = 0.2;
+  auto trained = nn::make_lenet(zc);
+  nn::TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 25;
+  tc.sgd.learning_rate = 0.02;
+  nn::train(*trained, split.train, tc);
+  const std::string bytes = nn::serialize_params(*trained);
+
+  nn::ZooConfig fresh = zc;
+  fresh.init_seed = 999;
+  auto loaded = nn::make_lenet(fresh);
+  nn::deserialize_params(*loaded, bytes);
+
+  quant::QuantizedNetwork qnet(*loaded, quant::fixed_config(8, 8));
+  quant::QatConfig qc;
+  qc.train.epochs = 1;
+  qc.train.batch_size = 25;
+  qc.train.sgd.learning_rate = 0.01;
+  quant::qat_finetune(qnet, split.train, qc);
+
+  const nn::EvalMetrics m = nn::evaluate_metrics(qnet, split.test, 3);
+  qnet.restore_masters();
+  EXPECT_GT(m.top1, 60.0);
+  EXPECT_GE(m.topk, m.top1);
+  EXPECT_EQ(m.confusion.total(), split.test.size());
+}
+
+TEST(CrossFeature, DropoutNetworkQuantizesAndEvaluatesInEvalMode) {
+  auto net = std::make_unique<nn::Network>("do");
+  net->add<nn::InnerProduct>(4, 16);
+  net->add<nn::Relu>();
+  net->add<nn::Dropout>(0.5);
+  net->add<nn::InnerProduct>(16, 2);
+  Rng rng(5);
+  net->init_weights(rng);
+  Tensor batch(Shape{8, 4});
+  batch.fill_uniform(rng, 0, 1);
+
+  quant::QuantizedNetwork qnet(*net, quant::fixed_config(8, 8));
+  qnet.calibrate(batch);
+  // Eval mode: repeated quantized forwards must be identical (no
+  // stochastic masking).
+  qnet.set_training_mode(false);
+  const Tensor a = qnet.forward(batch);
+  const Tensor b = qnet.forward(batch);
+  for (std::int64_t i = 0; i < a.count(); ++i) ASSERT_EQ(a[i], b[i]);
+  qnet.restore_masters();
+}
+
+TEST(CrossFeature, StochasticRoundingQatConverges) {
+  data::SyntheticConfig dc;
+  dc.num_train = 120;
+  dc.num_test = 60;
+  const auto split = data::make_mnist_like(dc);
+  nn::ZooConfig zc;
+  zc.channel_scale = 0.2;
+  auto net = nn::make_lenet(zc);
+  nn::TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 24;
+  tc.sgd.learning_rate = 0.02;
+  nn::train(*net, split.train, tc);
+
+  quant::PrecisionConfig cfg = quant::fixed_config(8, 8);
+  cfg.rounding = Rounding::kStochastic;
+  cfg.gradient_bits = 12;
+  seed_stochastic_rounding(11);
+  quant::QuantizedNetwork qnet(*net, cfg);
+  quant::QatConfig qc;
+  qc.train.epochs = 1;
+  qc.train.batch_size = 24;
+  qc.train.sgd.learning_rate = 0.01;
+  quant::qat_finetune(qnet, split.train, qc);
+  EXPECT_GT(nn::evaluate(qnet, split.test), 55.0);
+  qnet.restore_masters();
+}
+
+}  // namespace
+}  // namespace qnn

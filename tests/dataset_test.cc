@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/dataset.h"
+#include "util/check.h"
+
+namespace qnn::data {
+namespace {
+
+Dataset tiny_dataset(std::int64_t n) {
+  Dataset d;
+  d.name = "tiny";
+  d.num_classes = 4;
+  d.images = Tensor(Shape{n, 1, 2, 2});
+  d.labels.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    d.labels[static_cast<std::size_t>(i)] = static_cast<int>(i % 4);
+    for (std::int64_t j = 0; j < 4; ++j)
+      d.images[i * 4 + j] = static_cast<float>(i * 10 + j);
+  }
+  return d;
+}
+
+TEST(Dataset, SliceCopiesContiguousRange) {
+  const Dataset d = tiny_dataset(10);
+  const Dataset s = d.slice(2, 5);
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_EQ(s.labels[0], 2);
+  EXPECT_FLOAT_EQ(s.images[0], 20.0f);
+  EXPECT_FLOAT_EQ(s.images[4 + 1], 31.0f);
+}
+
+TEST(Dataset, GatherReordersSamples) {
+  const Dataset d = tiny_dataset(6);
+  const Dataset g = d.gather({5, 0, 3});
+  EXPECT_EQ(g.size(), 3);
+  EXPECT_EQ(g.labels[0], 1);  // label of sample 5
+  EXPECT_FLOAT_EQ(g.images[0], 50.0f);
+  EXPECT_FLOAT_EQ(g.images[4], 0.0f);
+}
+
+TEST(Dataset, SliceBoundsChecked) {
+  const Dataset d = tiny_dataset(4);
+  EXPECT_THROW(d.slice(-1, 2), CheckError);
+  EXPECT_THROW(d.slice(2, 5), CheckError);
+  EXPECT_THROW(d.gather({4}), CheckError);
+}
+
+TEST(Dataset, BatchImagesAndLabels) {
+  const Dataset d = tiny_dataset(8);
+  const Tensor b = batch_images(d, 2, 3);
+  EXPECT_EQ(b.shape(), Shape({3, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(b[0], 20.0f);
+  const auto y = batch_labels(d, 2, 3);
+  EXPECT_EQ(y, (std::vector<int>{2, 3, 0}));
+}
+
+TEST(Dataset, SplitValidationPerClassFraction) {
+  const Dataset d = tiny_dataset(40);  // 10 per class
+  Rng rng(3);
+  const auto [keep, val] = split_validation(d, 0.1, rng);
+  EXPECT_EQ(val.size(), 4);  // one per class (the paper's 10% rule)
+  EXPECT_EQ(keep.size(), 36);
+  std::vector<int> counts(4, 0);
+  for (int y : val.labels) counts[static_cast<std::size_t>(y)]++;
+  for (int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(Dataset, SplitValidationZeroFraction) {
+  const Dataset d = tiny_dataset(8);
+  Rng rng(1);
+  const auto [keep, val] = split_validation(d, 0.0, rng);
+  EXPECT_EQ(val.size(), 0);
+  EXPECT_EQ(keep.size(), 8);
+}
+
+TEST(Dataset, ShuffledIndicesIsPermutation) {
+  Rng rng(9);
+  const auto idx = shuffled_indices(100, rng);
+  EXPECT_EQ(idx.size(), 100u);
+  auto sorted = idx;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::int64_t i = 0; i < 100; ++i)
+    EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace qnn::data

@@ -1,0 +1,80 @@
+// Integration smoke of the experiment harness on a miniature setup.
+#include <gtest/gtest.h>
+
+#include "exp/sweep.h"
+
+namespace qnn::exp {
+namespace {
+
+ExperimentSpec tiny_spec() {
+  ExperimentSpec spec;
+  spec.network = "lenet";
+  spec.dataset = "mnist";
+  spec.channel_scale = 0.2;
+  spec.data.num_train = 200;
+  spec.data.num_test = 100;
+  spec.data.seed = 5;
+  spec.float_train.epochs = 3;
+  spec.float_train.batch_size = 20;
+  spec.float_train.sgd.learning_rate = 0.02;
+  spec.qat_train = spec.float_train;
+  spec.qat_train.epochs = 1;
+  spec.qat_train.sgd.learning_rate = 0.01;
+  return spec;
+}
+
+TEST(Sweep, EndToEndMiniature) {
+  const auto precisions = std::vector<quant::PrecisionConfig>{
+      quant::float_config(), quant::fixed_config(16, 16),
+      quant::binary_config(16)};
+  const SweepResult r = run_precision_sweep(tiny_spec(), precisions);
+  ASSERT_EQ(r.points.size(), 3u);
+
+  // Float baseline must learn the miniature MNIST.
+  EXPECT_GT(r.points[0].accuracy, 60.0);
+  EXPECT_TRUE(r.points[0].converged);
+  EXPECT_DOUBLE_EQ(r.points[0].energy_saving_percent, 0.0);
+
+  // Energy strictly decreases from float to fixed-16 to binary.
+  EXPECT_GT(r.points[0].energy_uj, r.points[1].energy_uj);
+  EXPECT_GT(r.points[1].energy_uj, r.points[2].energy_uj);
+
+  // Savings computed against the float baseline.
+  EXPECT_NEAR(r.points[1].energy_saving_percent,
+              100.0 * (1.0 - r.points[1].energy_uj / r.points[0].energy_uj),
+              1e-9);
+
+  // Parameter memory shrinks with precision.
+  EXPECT_GT(r.points[0].param_kb, r.points[1].param_kb);
+  EXPECT_GT(r.points[1].param_kb, r.points[2].param_kb);
+}
+
+TEST(Sweep, FindLocatesPointsById) {
+  const SweepResult r = run_precision_sweep(
+      tiny_spec(), {quant::float_config(), quant::fixed_config(8, 8)});
+  EXPECT_NE(r.find("fixed_8_8"), nullptr);
+  EXPECT_EQ(r.find("fixed_4_4"), nullptr);
+  EXPECT_DOUBLE_EQ(r.find("float_32_32")->energy_uj, r.float_energy_uj);
+}
+
+TEST(Sweep, ReferenceEnergyOverridesBaseline) {
+  // Table V computes savings against ALEX-float even for other networks.
+  const double reference = 1000.0;
+  const SweepResult r = run_precision_sweep(
+      tiny_spec(), {quant::fixed_config(16, 16)}, reference);
+  EXPECT_NEAR(r.points[0].energy_saving_percent,
+              100.0 * (1.0 - r.points[0].energy_uj / reference), 1e-9);
+}
+
+TEST(Sweep, EnergyHelpersConsistent) {
+  auto net = nn::make_lenet();
+  const Shape in = nn::input_shape_for("lenet");
+  const double e = inference_energy_uj(*net, in, quant::fixed_config(8, 8));
+  const auto sched = schedule_for(*net, in, quant::fixed_config(8, 8));
+  hw::AcceleratorConfig c;
+  c.precision = quant::fixed_config(8, 8);
+  EXPECT_NEAR(e, sched.energy_uj(hw::Accelerator(c)), 1e-9);
+}
+
+}  // namespace
+}  // namespace qnn::exp

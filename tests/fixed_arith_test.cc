@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fixed/fixed_arith.h"
+#include "util/rng.h"
+
+namespace qnn {
+namespace {
+
+TEST(FixedArith, EncodeDecode) {
+  FixedPointFormat f(8, 4);
+  const FixedValue v = fixed_encode(1.5, f);
+  EXPECT_EQ(v.raw, 24);
+  EXPECT_DOUBLE_EQ(v.value(), 1.5);
+}
+
+TEST(FixedArith, AddExact) {
+  FixedPointFormat f(8, 4);
+  const FixedValue s =
+      fixed_add(fixed_encode(1.25, f), fixed_encode(2.5, f));
+  EXPECT_DOUBLE_EQ(s.value(), 3.75);
+}
+
+TEST(FixedArith, AddSaturates) {
+  FixedPointFormat f(8, 4);
+  const FixedValue s =
+      fixed_add(fixed_encode(7.0, f), fixed_encode(7.0, f));
+  EXPECT_DOUBLE_EQ(s.value(), f.max_value());
+  const FixedValue neg =
+      fixed_add(fixed_encode(-8.0, f), fixed_encode(-8.0, f));
+  EXPECT_DOUBLE_EQ(neg.value(), f.min_value());
+}
+
+TEST(FixedArith, MulExactWhenOutputWideEnough) {
+  FixedPointFormat f(8, 4);
+  FixedPointFormat wide(24, 8);
+  const FixedValue p =
+      fixed_mul(fixed_encode(1.5, f), fixed_encode(-2.25, f), wide);
+  EXPECT_DOUBLE_EQ(p.value(), -3.375);
+}
+
+TEST(FixedArith, MulRequantizesWithRounding) {
+  FixedPointFormat f(8, 4);
+  // 0.0625 * 0.0625 = 0.00390625; in Q?.4 it rounds to 0.
+  const FixedValue p =
+      fixed_mul(fixed_encode(0.0625, f), fixed_encode(0.0625, f), f);
+  EXPECT_DOUBLE_EQ(p.value(), 0.0);
+}
+
+TEST(FixedArith, MacAccumulatesExactly) {
+  FixedPointFormat wf(8, 6), df(8, 4);
+  FixedAccumulator acc = make_accumulator(wf, df);
+  EXPECT_EQ(acc.frac_bits, 10);
+  double ref = 0.0;
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const FixedValue w = fixed_encode(rng.uniform(-1, 1), wf);
+    const FixedValue d = fixed_encode(rng.uniform(-4, 4), df);
+    fixed_mac(acc, w, d);
+    ref += w.value() * d.value();
+  }
+  // Products are exact in the accumulator: identity up to fp rounding of
+  // the reference sum itself.
+  EXPECT_NEAR(acc.value(), ref, 1e-9);
+}
+
+TEST(FixedArith, RequantizeMatchesFormatQuantize) {
+  FixedPointFormat wf(8, 6), df(8, 4), out(8, 4);
+  Rng rng(8);
+  for (int i = 0; i < 300; ++i) {
+    FixedAccumulator acc = make_accumulator(wf, df);
+    const FixedValue w = fixed_encode(rng.uniform(-1, 1), wf);
+    const FixedValue d = fixed_encode(rng.uniform(-4, 4), df);
+    fixed_mac(acc, w, d);
+    const FixedValue r = fixed_requantize(acc, out);
+    EXPECT_DOUBLE_EQ(r.value(), out.quantize(acc.value()))
+        << "w=" << w.value() << " d=" << d.value();
+  }
+}
+
+// The central cross-validation property: the float-domain fake
+// quantization grid used in training IS the integer grid. Encoding any
+// real into a format and decoding must equal FixedPointFormat::quantize.
+class GridEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridEquivalence, FloatGridMatchesIntegerGrid) {
+  const int bits = GetParam();
+  for (int frac : {bits - 1, bits / 2, 0, -2, bits + 2}) {
+    const FixedPointFormat f(bits, frac);
+    Rng rng(static_cast<std::uint64_t>(bits * 131 + frac));
+    for (int i = 0; i < 1000; ++i) {
+      const double v = rng.uniform(-2.0, 2.0) *
+                       std::max(1.0, std::fabs(f.max_value()));
+      const FixedValue enc = fixed_encode(v, f);
+      EXPECT_DOUBLE_EQ(enc.value(), f.quantize(v))
+          << "bits=" << bits << " frac=" << frac << " v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWidths, GridEquivalence,
+                         ::testing::Values(4, 8, 16, 32));
+
+// A simulated dot product in float-grid domain matches the bit-true
+// integer MAC pipeline exactly — the property that makes our fake-
+// quantized training hardware-faithful.
+TEST(FixedArith, DotProductFloatVsIntegerBitExact) {
+  const FixedPointFormat wf(8, 7), df(16, 11);
+  Rng rng(15);
+  for (int trial = 0; trial < 50; ++trial) {
+    FixedAccumulator acc = make_accumulator(wf, df);
+    double float_grid = 0.0;
+    for (int i = 0; i < 64; ++i) {
+      const double wv = wf.quantize(rng.uniform(-1, 1));
+      const double dv = df.quantize(rng.uniform(-8, 8));
+      fixed_mac(acc, fixed_encode(wv, wf), fixed_encode(dv, df));
+      float_grid += wv * dv;  // exact in double for these magnitudes
+    }
+    EXPECT_NEAR(acc.value(), float_grid, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace qnn

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fixed/fixed_format.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace qnn {
+namespace {
+
+TEST(Rounding, Modes) {
+  EXPECT_EQ(round_with_mode(2.5, Rounding::kNearest), 3.0);
+  EXPECT_EQ(round_with_mode(-2.5, Rounding::kNearest), -3.0);
+  EXPECT_EQ(round_with_mode(2.5, Rounding::kNearestEven), 2.0);
+  EXPECT_EQ(round_with_mode(3.5, Rounding::kNearestEven), 4.0);
+  EXPECT_EQ(round_with_mode(2.7, Rounding::kFloor), 2.0);
+  EXPECT_EQ(round_with_mode(-2.1, Rounding::kFloor), -3.0);
+}
+
+TEST(FixedPointFormat, BasicProperties) {
+  FixedPointFormat f(8, 4);
+  EXPECT_EQ(f.total_bits(), 8);
+  EXPECT_EQ(f.frac_bits(), 4);
+  EXPECT_EQ(f.integer_bits(), 3);
+  EXPECT_DOUBLE_EQ(f.step(), 1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(f.max_value(), 127.0 / 16.0);
+  EXPECT_DOUBLE_EQ(f.min_value(), -128.0 / 16.0);
+}
+
+TEST(FixedPointFormat, QuantizeRoundsToGrid) {
+  FixedPointFormat f(8, 4);
+  EXPECT_DOUBLE_EQ(f.quantize(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.quantize(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.quantize(0.0624), 0.0625);  // nearest step
+  EXPECT_DOUBLE_EQ(f.quantize(0.031), 0.0);      // below half step
+  EXPECT_DOUBLE_EQ(f.quantize(0.032), 0.0625);   // above half step
+  EXPECT_DOUBLE_EQ(f.quantize(-0.03125), -0.0625);  // half rounds away
+}
+
+TEST(FixedPointFormat, Saturation) {
+  FixedPointFormat f(8, 4);
+  EXPECT_DOUBLE_EQ(f.quantize(100.0), f.max_value());
+  EXPECT_DOUBLE_EQ(f.quantize(-100.0), f.min_value());
+}
+
+TEST(FixedPointFormat, NanMapsToZero) {
+  FixedPointFormat f(8, 4);
+  EXPECT_DOUBLE_EQ(f.quantize(std::nan("")), 0.0);
+}
+
+TEST(FixedPointFormat, NegativeFracBitsCoarseGrid) {
+  FixedPointFormat f(4, -2);  // step 4, range [-32, 28]
+  EXPECT_DOUBLE_EQ(f.step(), 4.0);
+  EXPECT_DOUBLE_EQ(f.quantize(5.0), 4.0);
+  EXPECT_DOUBLE_EQ(f.quantize(6.0), 8.0);  // half away from zero
+  EXPECT_DOUBLE_EQ(f.max_value(), 28.0);
+}
+
+TEST(FixedPointFormat, AllFractionalFormat) {
+  FixedPointFormat f(8, 10);  // step ~0.001, range < 0.125
+  EXPECT_LT(f.max_value(), 0.125);
+  EXPECT_DOUBLE_EQ(f.quantize(1.0), f.max_value());
+}
+
+TEST(FixedPointFormat, RepresentableDetectsGridPoints) {
+  FixedPointFormat f(8, 4);
+  EXPECT_TRUE(f.representable(0.0625));
+  EXPECT_TRUE(f.representable(-8.0));
+  EXPECT_FALSE(f.representable(0.03));
+  EXPECT_FALSE(f.representable(8.0));  // exceeds max 7.9375
+  EXPECT_FALSE(f.representable(std::nan("")));
+}
+
+TEST(FixedPointFormat, QuantizeIsIdempotent) {
+  FixedPointFormat f(6, 3);
+  Rng rng(21);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(-10, 10);
+    const double q = f.quantize(v);
+    EXPECT_DOUBLE_EQ(f.quantize(q), q);
+    EXPECT_TRUE(f.representable(q));
+  }
+}
+
+TEST(FixedPointFormat, ForRangePicksCoveringFormat) {
+  const auto f = FixedPointFormat::for_range(8, 5.0);
+  // Needs 3 integer bits (2^3 = 8 >= 5): Q3.4
+  EXPECT_EQ(f.integer_bits(), 3);
+  EXPECT_GE(f.max_value(), 5.0);
+
+  // Exactly-power-of-two max: covered up to the classic two's-complement
+  // asymmetry (+1.0 saturates to 1.0 - step, as in Ristretto).
+  const auto g = FixedPointFormat::for_range(8, 1.0);
+  EXPECT_GE(g.max_value(), 1.0 - g.step());
+  EXPECT_EQ(g.integer_bits(), 0);
+
+  const auto tiny = FixedPointFormat::for_range(8, 0.1);
+  EXPECT_GE(tiny.max_value(), 0.1);
+  EXPECT_LT(tiny.step(), 0.01);
+}
+
+TEST(FixedPointFormat, ForRangeZeroMaxGivesFinestGrid) {
+  const auto f = FixedPointFormat::for_range(8, 0.0);
+  EXPECT_EQ(f.integer_bits(), 0);
+}
+
+TEST(FixedPointFormat, ToRawFromRawRoundTrip) {
+  FixedPointFormat f(16, 8);
+  Rng rng(33);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(-100, 100);
+    const std::int64_t raw = f.to_raw(v);
+    EXPECT_GE(raw, f.raw_min());
+    EXPECT_LE(raw, f.raw_max());
+    EXPECT_DOUBLE_EQ(f.from_raw(raw), f.quantize(v));
+  }
+}
+
+TEST(FixedPointFormat, FloorRounding) {
+  FixedPointFormat f(8, 4, Rounding::kFloor);
+  EXPECT_DOUBLE_EQ(f.quantize(0.99), 0.9375);
+  EXPECT_DOUBLE_EQ(f.quantize(-0.01), -0.0625);
+}
+
+TEST(FixedPointFormat, InvalidBitsThrow) {
+  EXPECT_THROW(FixedPointFormat(1, 0), CheckError);
+  EXPECT_THROW(FixedPointFormat(33, 0), CheckError);
+  EXPECT_NO_THROW(FixedPointFormat(32, 16));
+}
+
+TEST(FixedPointFormat, ToString) {
+  EXPECT_EQ(FixedPointFormat(16, 11).to_string(), "Q4.11 (16b)");
+}
+
+// Property sweep: quantization error is bounded by step/2 inside the
+// representable range, for every paper-relevant width.
+class FixedErrorBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedErrorBound, ErrorWithinHalfStep) {
+  const int bits = GetParam();
+  const FixedPointFormat f = FixedPointFormat::for_range(bits, 1.0);
+  Rng rng(static_cast<std::uint64_t>(bits));
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.uniform(-1.0, 1.0);
+    if (v > f.max_value() || v < f.min_value()) continue;
+    EXPECT_LE(std::fabs(f.quantize(v) - v), f.step() / 2 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWidths, FixedErrorBound,
+                         ::testing::Values(4, 8, 16, 32));
+
+// Monotonicity: quantization preserves (non-strict) order.
+class FixedMonotonic : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedMonotonic, QuantizeIsMonotone) {
+  const FixedPointFormat f(GetParam(), GetParam() / 2);
+  Rng rng(77);
+  for (int i = 0; i < 1000; ++i) {
+    double a = rng.uniform(-40, 40), b = rng.uniform(-40, 40);
+    if (a > b) std::swap(a, b);
+    EXPECT_LE(f.quantize(a), f.quantize(b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWidths, FixedMonotonic,
+                         ::testing::Values(4, 8, 16, 32));
+
+}  // namespace
+}  // namespace qnn

@@ -1,0 +1,97 @@
+// Fixed-point-training extension (Gupta et al.): gradient quantization
+// inside QuantizedNetwork::backward.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nn/inner_product.h"
+#include "nn/loss.h"
+#include "nn/network.h"
+#include "quant/qnetwork.h"
+
+namespace qnn::quant {
+namespace {
+
+std::unique_ptr<nn::Network> tiny() {
+  auto net = std::make_unique<nn::Network>("g");
+  net->add<nn::InnerProduct>(4, 3);
+  Rng rng(2);
+  net->init_weights(rng);
+  return net;
+}
+
+Tensor batch() {
+  Tensor t(Shape{8, 4});
+  Rng rng(3);
+  t.fill_uniform(rng, 0, 1);
+  return t;
+}
+
+void run_backward(QuantizedNetwork& qnet) {
+  auto params = qnet.trainable_params();
+  for (auto* p : params) p->zero_grad();
+  const Tensor logits = qnet.forward(batch());
+  const auto lr = nn::softmax_cross_entropy(
+      logits, {0, 1, 2, 0, 1, 2, 0, 1});
+  qnet.backward(lr.grad_logits);
+}
+
+TEST(GradPrecision, ZeroBitsKeepsFloatGradients) {
+  auto net = tiny();
+  PrecisionConfig cfg = fixed_config(8, 8);  // gradient_bits = 0
+  QuantizedNetwork qnet(*net, cfg);
+  qnet.calibrate(batch());
+  run_backward(qnet);
+  // Float gradients have many distinct magnitudes.
+  std::set<float> values;
+  for (auto* p : qnet.trainable_params())
+    for (std::int64_t i = 0; i < p->grad.count(); ++i)
+      values.insert(p->grad[i]);
+  EXPECT_GT(values.size(), 10u);
+}
+
+TEST(GradPrecision, QuantizedGradientsLieOnPerTensorGrid) {
+  auto net = tiny();
+  PrecisionConfig cfg = fixed_config(8, 8);
+  cfg.gradient_bits = 4;
+  QuantizedNetwork qnet(*net, cfg);
+  qnet.calibrate(batch());
+  run_backward(qnet);
+  for (auto* p : qnet.trainable_params()) {
+    const double max_abs = p->grad.max_abs();
+    if (max_abs == 0) continue;
+    const FixedPointFormat f = FixedPointFormat::for_range(4, max_abs);
+    // At most 16 distinct grid values for 4 bits.
+    std::set<float> values;
+    for (std::int64_t i = 0; i < p->grad.count(); ++i) {
+      values.insert(p->grad[i]);
+      EXPECT_TRUE(f.representable(p->grad[i]) ||
+                  p->grad[i] == static_cast<float>(f.max_value()))
+          << p->grad[i];
+    }
+    EXPECT_LE(values.size(), 16u);
+  }
+}
+
+TEST(GradPrecision, WideGradientsBarelyPerturbUpdates) {
+  auto net_a = tiny();
+  auto net_b = tiny();
+  PrecisionConfig plain = fixed_config(8, 8);
+  PrecisionConfig wide = fixed_config(8, 8);
+  wide.gradient_bits = 16;
+  QuantizedNetwork qa(*net_a, plain), qb(*net_b, wide);
+  qa.calibrate(batch());
+  qb.calibrate(batch());
+  run_backward(qa);
+  run_backward(qb);
+  const auto pa = qa.trainable_params();
+  const auto pb = qb.trainable_params();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    for (std::int64_t j = 0; j < pa[i]->count(); ++j)
+      EXPECT_NEAR(pa[i]->grad[j], pb[i]->grad[j],
+                  0.01 * (std::abs(pa[i]->grad[j]) + 1e-4));
+  }
+}
+
+}  // namespace
+}  // namespace qnn::quant

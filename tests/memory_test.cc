@@ -1,0 +1,71 @@
+// Memory footprint checks against the paper's §V-B numbers: parameter
+// storage of ~1650/2150/350/1250/9400 KB at full precision and the
+// 2×–32× linear reduction with bit width.
+#include <gtest/gtest.h>
+
+#include "nn/zoo.h"
+#include "quant/memory.h"
+
+namespace qnn::quant {
+namespace {
+
+MemoryFootprint footprint(const std::string& net_name,
+                          const PrecisionConfig& cfg) {
+  auto net = nn::make_network(net_name, {});
+  return memory_footprint(*net, nn::input_shape_for(net_name), cfg);
+}
+
+TEST(Memory, FullPrecisionFootprintsMatchPaper) {
+  EXPECT_NEAR(footprint("lenet", float_config()).param_kb(), 1650, 60);
+  EXPECT_NEAR(footprint("convnet", float_config()).param_kb(), 2150, 100);
+  EXPECT_NEAR(footprint("alex", float_config()).param_kb(), 350, 25);
+  EXPECT_NEAR(footprint("alex+", float_config()).param_kb(), 1250, 80);
+  EXPECT_NEAR(footprint("alex++", float_config()).param_kb(), 9400, 400);
+}
+
+TEST(Memory, LinearScalingWithWeightBits) {
+  const double full = footprint("lenet", fixed_config(32, 32)).param_kb();
+  EXPECT_NEAR(footprint("lenet", fixed_config(16, 16)).param_kb(), full / 2,
+              1.0);
+  EXPECT_NEAR(footprint("lenet", fixed_config(8, 8)).param_kb(), full / 4,
+              1.0);
+  EXPECT_NEAR(footprint("lenet", fixed_config(4, 4)).param_kb(), full / 8,
+              1.0);
+}
+
+TEST(Memory, BinaryGives32xWeightReduction) {
+  const auto full = footprint("alex", float_config());
+  const auto bin = footprint("alex", binary_config(16));
+  // Weights shrink 32x; biases (few) stay at 16 bits.
+  const double weight_ratio =
+      static_cast<double>(full.weight_count * full.weight_bits_each) /
+      static_cast<double>(bin.weight_count * bin.weight_bits_each);
+  EXPECT_DOUBLE_EQ(weight_ratio, 32.0);
+}
+
+TEST(Memory, Pow2UsesSixBitWeights) {
+  const auto m = footprint("alex", pow2_config());
+  EXPECT_EQ(m.weight_bits_each, 6);
+  EXPECT_EQ(m.bias_bits_each, 16);  // biases at data precision
+}
+
+TEST(Memory, FixedBiasesShareWeightWidth) {
+  const auto m = footprint("lenet", fixed_config(8, 8));
+  EXPECT_EQ(m.bias_bits_each, 8);
+}
+
+TEST(Memory, InputFootprintTracksInputBits) {
+  const auto f32 = footprint("alex", float_config());
+  const auto f8 = footprint("alex", fixed_config(8, 8));
+  EXPECT_EQ(f32.input_elements, 3 * 32 * 32);
+  EXPECT_DOUBLE_EQ(f32.input_kb(), 4 * f8.input_kb());
+}
+
+TEST(Memory, WeightAndBiasCountsAreExact) {
+  const auto m = footprint("lenet", float_config());
+  EXPECT_EQ(m.weight_count, 500 + 25000 + 400000 + 5000);
+  EXPECT_EQ(m.bias_count, 20 + 50 + 500 + 10);
+}
+
+}  // namespace
+}  // namespace qnn::quant

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "nn/inner_product.h"
+#include "nn/metrics.h"
+
+namespace qnn::nn {
+namespace {
+
+TEST(ConfusionMatrix, CountsAndAccuracy) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(2, 0);
+  EXPECT_EQ(cm.total(), 5);
+  EXPECT_EQ(cm.count(0, 0), 2);
+  EXPECT_EQ(cm.count(0, 1), 1);
+  EXPECT_EQ(cm.count(2, 0), 1);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 100.0 * 3 / 5);
+}
+
+TEST(ConfusionMatrix, PerClassAndBalanced) {
+  ConfusionMatrix cm(2);
+  // Class 0: 9 right, 1 wrong. Class 1: 1 right, 9 wrong.
+  for (int i = 0; i < 9; ++i) cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  for (int i = 0; i < 9; ++i) cm.add(1, 0);
+  EXPECT_DOUBLE_EQ(cm.per_class_accuracy(0), 90.0);
+  EXPECT_DOUBLE_EQ(cm.per_class_accuracy(1), 10.0);
+  EXPECT_DOUBLE_EQ(cm.balanced_accuracy(), 50.0);
+  // Overall accuracy matches (10/20).
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 50.0);
+}
+
+TEST(ConfusionMatrix, AbsentClassCountsAsPerfect) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.per_class_accuracy(2), 100.0);
+}
+
+TEST(ConfusionMatrix, BoundsChecked) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), CheckError);
+  EXPECT_THROW(cm.add(0, -1), CheckError);
+  EXPECT_THROW(cm.count(5, 0), CheckError);
+}
+
+TEST(ConfusionMatrix, ToStringContainsCells) {
+  ConfusionMatrix cm(2);
+  cm.add(1, 0);
+  const std::string s = cm.to_string();
+  EXPECT_NE(s.find("actual"), std::string::npos);
+}
+
+// A fixed "model" whose logits are a deterministic function of the
+// first pixel lets us verify top-k behaviour precisely.
+class StubModel final : public Model {
+ public:
+  Tensor forward(const Tensor& input) override {
+    const std::int64_t n = input.shape()[0];
+    Tensor logits(Shape{n, 3});
+    for (std::int64_t s = 0; s < n; ++s) {
+      // Class scores: [x, 0.5, 1-x] — x>0.75 predicts 0; x<0.25
+      // predicts 2; otherwise 1 wins only if 0.5 beats both.
+      const float x = input[s * input.shape().count_from(1)];
+      logits.at2(s, 0) = x;
+      logits.at2(s, 1) = 0.5f;
+      logits.at2(s, 2) = 1.0f - x;
+    }
+    return logits;
+  }
+  void backward(const Tensor&) override {}
+  std::vector<Param*> trainable_params() override { return {}; }
+  std::string name() const override { return "stub"; }
+};
+
+data::Dataset stub_dataset() {
+  data::Dataset d;
+  d.num_classes = 3;
+  d.images = Tensor(Shape{4, 1, 1, 1}, {0.9f, 0.1f, 0.9f, 0.6f});
+  d.labels = {0, 2, 1, 0};
+  return d;
+}
+
+TEST(EvaluateMetrics, Top1AndTopK) {
+  StubModel model;
+  const auto d = stub_dataset();
+  const EvalMetrics m = evaluate_metrics(model, d, /*k=*/2);
+  // Sample 0: logits (0.9,0.5,0.1) -> pred 0 == label ✓
+  // Sample 1: (0.1,0.5,0.9) -> pred 2 == label ✓
+  // Sample 2: (0.9,0.5,0.1) -> pred 0 != 1, but top-2 {0,1} contains 1 ✓
+  // Sample 3: (0.6,0.5,0.4) -> pred 0 == 0 ✓
+  EXPECT_DOUBLE_EQ(m.top1, 75.0);
+  EXPECT_DOUBLE_EQ(m.topk, 100.0);
+  EXPECT_EQ(m.confusion.count(1, 0), 1);
+  EXPECT_GT(m.mean_loss, 0.0);
+}
+
+TEST(EvaluateMetrics, InvalidKThrows) {
+  StubModel model;
+  const auto d = stub_dataset();
+  EXPECT_THROW(evaluate_metrics(model, d, 0), CheckError);
+  EXPECT_THROW(evaluate_metrics(model, d, 4), CheckError);
+}
+
+}  // namespace
+}  // namespace qnn::nn

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "nn/trainer.h"
+#include "nn/zoo.h"
+#include "quant/mixed_precision.h"
+
+namespace qnn::quant {
+namespace {
+
+struct Fixture {
+  data::Split split;
+  std::unique_ptr<nn::Network> net;
+
+  Fixture() {
+    data::SyntheticConfig dc;
+    dc.num_train = 400;
+    dc.num_test = 200;
+    dc.seed = 31;
+    split = data::make_mnist_like(dc);
+    nn::ZooConfig zc;
+    zc.channel_scale = 0.25;
+    net = nn::make_lenet(zc);
+    nn::TrainConfig tc;
+    tc.epochs = 3;
+    tc.batch_size = 25;
+    tc.sgd.learning_rate = 0.02;
+    nn::train(*net, split.train, tc);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+TEST(MixedPrecisionNetwork, PerLayerBitsApplied) {
+  auto& f = fixture();
+  // LeNet has 4 weight tensors: conv1, conv2, ip1, ip2.
+  const std::vector<int> bits{8, 4, 2, 8};
+  QuantizedNetwork qnet(*f.net, fixed_config(8, 8), bits);
+  EXPECT_EQ(qnet.weight_quantizer(0).bits(), 8);   // conv1 w
+  EXPECT_EQ(qnet.weight_quantizer(2).bits(), 4);   // conv2 w
+  EXPECT_EQ(qnet.weight_quantizer(4).bits(), 2);   // ip1 w
+  EXPECT_EQ(qnet.weight_quantizer(6).bits(), 8);   // ip2 w
+  // Biases keep the uniform width.
+  EXPECT_EQ(qnet.weight_quantizer(1).bits(), 8);
+}
+
+TEST(MixedPrecisionNetwork, WrongArityThrows) {
+  auto& f = fixture();
+  EXPECT_THROW(
+      QuantizedNetwork(*f.net, fixed_config(8, 8), std::vector<int>{8, 8}),
+      CheckError);
+  EXPECT_THROW(QuantizedNetwork(*f.net, fixed_config(8, 8),
+                                std::vector<int>(5, 8)),
+               CheckError);
+}
+
+TEST(MixedPrecisionNetwork, RejectsNonFixedKinds) {
+  auto& f = fixture();
+  EXPECT_THROW(
+      QuantizedNetwork(*f.net, binary_config(16), std::vector<int>(4, 8)),
+      CheckError);
+}
+
+TEST(MixedPrecisionNetwork, ForwardWorksAfterCalibration) {
+  auto& f = fixture();
+  QuantizedNetwork qnet(*f.net, fixed_config(8, 8),
+                        std::vector<int>{8, 6, 4, 8});
+  qnet.calibrate(data::batch_images(f.split.train, 0, 32));
+  const double acc = nn::evaluate(qnet, f.split.test);
+  qnet.restore_masters();
+  EXPECT_GT(acc, 50.0);  // mixed assignment remains functional
+}
+
+TEST(MeanWeightBits, WeightsByParamCount) {
+  auto& f = fixture();
+  // ip1 dominates LeNet's parameter count, so its width dominates the
+  // mean.
+  const double narrow_ip1 =
+      mean_weight_bits(*f.net, std::vector<int>{8, 8, 2, 8});
+  const double narrow_conv1 =
+      mean_weight_bits(*f.net, std::vector<int>{2, 8, 8, 8});
+  EXPECT_LT(narrow_ip1, narrow_conv1);
+  EXPECT_LT(narrow_ip1, 4.0);
+  EXPECT_GT(narrow_conv1, 7.5);
+}
+
+TEST(MixedSearch, FindsCompressiveAssignmentWithinBudget) {
+  auto& f = fixture();
+  MixedSearchConfig cfg;
+  cfg.start_bits = 8;
+  cfg.candidate_bits = {8, 6, 4};
+  cfg.accuracy_budget = 3.0;
+  cfg.eval_samples = 150;
+  const MixedPrecisionResult r =
+      search_mixed_precision(*f.net, f.split.train, f.split.test, cfg);
+  ASSERT_EQ(r.weight_bits.size(), 4u);
+  for (int b : r.weight_bits) {
+    EXPECT_GE(b, 4);
+    EXPECT_LE(b, 8);
+  }
+  // The search must respect the budget on its own eval subset.
+  EXPECT_GE(r.ptq_accuracy, r.float_accuracy - cfg.accuracy_budget - 1e-9);
+  // MNIST-like tolerates narrowing: some layer should drop below 8.
+  EXPECT_LT(r.mean_weight_bits, 8.0);
+  EXPECT_GT(r.search_evaluations, 0);
+}
+
+TEST(MixedSearch, ZeroBudgetStaysAtStart) {
+  auto& f = fixture();
+  MixedSearchConfig cfg;
+  cfg.start_bits = 8;
+  cfg.candidate_bits = {8, 2};
+  cfg.accuracy_budget = -50.0;  // impossible budget: nothing accepted
+  const MixedPrecisionResult r =
+      search_mixed_precision(*f.net, f.split.train, f.split.test, cfg);
+  for (int b : r.weight_bits) EXPECT_EQ(b, 8);
+}
+
+}  // namespace
+}  // namespace qnn::quant

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "nn/activation.h"
+#include "nn/conv.h"
+#include "nn/inner_product.h"
+#include "nn/network.h"
+#include "nn/pool.h"
+
+namespace qnn::nn {
+namespace {
+
+ConvSpec conv_spec(std::int64_t c, std::int64_t k) {
+  ConvSpec s;
+  s.out_channels = c;
+  s.kernel = k;
+  return s;
+}
+
+std::unique_ptr<Network> tiny_net() {
+  auto net = std::make_unique<Network>("tiny");
+  net->add<Conv2d>(1, conv_spec(4, 3));          // 8 -> 6
+  net->add<Pool2d>(PoolSpec{PoolMode::kMax, 2, 2, 0});  // 6 -> 3
+  net->add<Relu>();
+  net->add<InnerProduct>(4 * 3 * 3, 5);
+  Rng rng(11);
+  net->init_weights(rng);
+  return net;
+}
+
+TEST(Network, ForwardShape) {
+  auto net = tiny_net();
+  Tensor in(Shape{2, 1, 8, 8});
+  const Tensor out = net->forward(in);
+  EXPECT_EQ(out.shape(), Shape({2, 5}));
+}
+
+TEST(Network, TrainableParamsEnumeration) {
+  auto net = tiny_net();
+  const auto params = net->trainable_params();
+  // conv w+b, ip w+b
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0]->count(), 4 * 1 * 3 * 3);
+  EXPECT_EQ(params[1]->count(), 4);
+  EXPECT_EQ(params[2]->count(), 36 * 5);
+  EXPECT_EQ(params[3]->count(), 5);
+}
+
+TEST(Network, NumParams) {
+  auto net = tiny_net();
+  EXPECT_EQ(net->num_params(), 36 + 4 + 180 + 5);
+}
+
+TEST(Network, LayerNamesIncludeNetworkAndKind) {
+  auto net = tiny_net();
+  EXPECT_EQ(net->layer(0).name(), "tiny/conv0");
+  EXPECT_EQ(net->layer(3).name(), "tiny/inner_product3");
+}
+
+TEST(Network, DescribeChainsShapes) {
+  auto net = tiny_net();
+  const auto descs = net->describe(Shape{16, 1, 8, 8});  // N normalized
+  ASSERT_EQ(descs.size(), 4u);
+  EXPECT_EQ(descs[0].in, Shape({1, 1, 8, 8}));
+  EXPECT_EQ(descs[0].out, Shape({1, 4, 6, 6}));
+  EXPECT_EQ(descs[1].out, Shape({1, 4, 3, 3}));
+  EXPECT_EQ(descs[3].out, Shape({1, 5}));
+}
+
+TEST(Network, BackwardAccumulatesAllParamGrads) {
+  auto net = tiny_net();
+  auto params = net->trainable_params();
+  for (auto* p : params) p->zero_grad();
+  Tensor in(Shape{2, 1, 8, 8});
+  Rng rng(3);
+  in.fill_uniform(rng, -1, 1);
+  const Tensor out = net->forward(in);
+  Tensor g(out.shape());
+  g.fill(1.0f);
+  net->backward(g);
+  for (auto* p : params) {
+    double norm = 0;
+    for (std::int64_t i = 0; i < p->grad.count(); ++i)
+      norm += std::abs(p->grad[i]);
+    EXPECT_GT(norm, 0.0) << "no gradient reached " << p->name;
+  }
+}
+
+TEST(Network, CopyParamsFrom) {
+  auto a = tiny_net();
+  auto b = tiny_net();
+  // Perturb b, then copy a -> b and compare.
+  for (auto* p : b->trainable_params()) p->value.fill(7.0f);
+  b->copy_params_from(*a);
+  auto pa = a->trainable_params();
+  auto pb = b->trainable_params();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    for (std::int64_t j = 0; j < pa[i]->count(); ++j)
+      EXPECT_EQ(pa[i]->value[j], pb[i]->value[j]);
+}
+
+TEST(Network, CopyParamsShapeMismatchThrows) {
+  auto a = tiny_net();
+  Network other("other");
+  other.add<InnerProduct>(4, 2);
+  EXPECT_THROW(other.copy_params_from(*a), CheckError);
+}
+
+TEST(Network, InitIsDeterministicPerSeed) {
+  auto a = tiny_net();
+  auto b = tiny_net();
+  auto pa = a->trainable_params();
+  auto pb = b->trainable_params();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    for (std::int64_t j = 0; j < pa[i]->count(); ++j)
+      EXPECT_EQ(pa[i]->value[j], pb[i]->value[j]);
+}
+
+}  // namespace
+}  // namespace qnn::nn

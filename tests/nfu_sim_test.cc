@@ -1,0 +1,169 @@
+// Equivalence of the integer-domain NFU simulator with the fake-
+// quantized float path — the evidence that quantization-aware training
+// on float tensors is faithful to what the accelerator executes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/nfu_sim.h"
+#include "nn/activation.h"
+#include "nn/conv.h"
+#include "nn/inner_product.h"
+#include "nn/pool.h"
+#include "nn/zoo.h"
+#include "util/check.h"
+
+namespace qnn::hw {
+namespace {
+
+std::unique_ptr<nn::Network> tiny_cnn(std::uint64_t seed = 3) {
+  auto net = std::make_unique<nn::Network>("tiny");
+  nn::ConvSpec c1;
+  c1.out_channels = 4;
+  c1.kernel = 3;
+  net->add<nn::Conv2d>(2, c1);                               // 8 -> 6
+  net->add<nn::Pool2d>(nn::PoolSpec{nn::PoolMode::kMax, 2, 2, 0});
+  net->add<nn::Relu>();
+  nn::ConvSpec c2;
+  c2.out_channels = 3;
+  c2.kernel = 2;
+  net->add<nn::Conv2d>(4, c2);                               // 3 -> 2
+  net->add<nn::Pool2d>(nn::PoolSpec{nn::PoolMode::kAvg, 2, 2, 0});
+  net->add<nn::InnerProduct>(3, 5);
+  Rng rng(seed);
+  net->init_weights(rng);
+  return net;
+}
+
+Tensor tiny_input(std::int64_t n = 4, std::uint64_t seed = 7) {
+  Tensor t(Shape{n, 2, 8, 8});
+  Rng rng(seed);
+  t.fill_uniform(rng, 0, 1);
+  return t;
+}
+
+// Max |difference| between the two paths, in units of the final output
+// format's grid step.
+double max_diff_in_steps(nn::Network& net,
+                         const quant::PrecisionConfig& cfg,
+                         const Shape& input_shape, const Tensor& input) {
+  quant::QuantizedNetwork qnet(net, cfg);
+  qnet.calibrate(input);
+  const Tensor float_path = qnet.forward(input);
+  qnet.restore_masters();
+
+  const NfuSimulator sim(net, qnet, input_shape);
+  const Tensor int_path = sim.forward(input);
+
+  const auto& fq = dynamic_cast<const quant::FixedQuantizer&>(
+      qnet.data_quantizer(qnet.num_sites() - 1));
+  const double step = fq.format()->step();
+  double worst = 0;
+  for (std::int64_t i = 0; i < float_path.count(); ++i)
+    worst = std::max(worst,
+                     std::fabs(static_cast<double>(float_path[i]) -
+                               int_path[i]) /
+                         step);
+  return worst;
+}
+
+TEST(NfuSim, EncodeDecodeRoundTrip) {
+  FixedPointFormat f(8, 4);
+  Tensor t(Shape{4}, {0.5f, -1.25f, 100.0f, -0.031f});
+  const RawTensor r = encode_tensor(t, f);
+  const Tensor back = r.decode();
+  EXPECT_FLOAT_EQ(back[0], 0.5f);
+  EXPECT_FLOAT_EQ(back[1], -1.25f);
+  EXPECT_FLOAT_EQ(back[2], static_cast<float>(f.max_value()));  // saturated
+  EXPECT_FLOAT_EQ(back[3], 0.0f);  // below half step
+}
+
+class NfuEquivalence
+    : public ::testing::TestWithParam<quant::PrecisionConfig> {};
+
+TEST_P(NfuEquivalence, IntegerPathMatchesFloatPathWithinOneStep) {
+  auto net = tiny_cnn();
+  const Shape in_shape{1, 2, 8, 8};
+  const double worst =
+      max_diff_in_steps(*net, GetParam(), in_shape, tiny_input());
+  // Exact up to the float32 accumulation rounding of the fake-quantized
+  // path: at most ~1 grid step on these fan-ins.
+  EXPECT_LE(worst, 1.0 + 1e-9) << GetParam().label();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigs, NfuEquivalence,
+    ::testing::Values(quant::fixed_config(16, 16), quant::fixed_config(8, 8),
+                      quant::fixed_config(4, 4), quant::pow2_config(6, 16),
+                      quant::binary_config(16)),
+    [](const ::testing::TestParamInfo<quant::PrecisionConfig>& info) {
+      return info.param.id();
+    });
+
+TEST(NfuSim, ExactForPureFixedDotProduct) {
+  // Single inner-product layer with small fan-in: float32 accumulation
+  // is exact, so the two paths must agree bit-for-bit.
+  auto net = std::make_unique<nn::Network>("dot");
+  net->add<nn::InnerProduct>(8, 4);
+  Rng rng(5);
+  net->init_weights(rng);
+  Tensor input(Shape{3, 8});
+  input.fill_uniform(rng, 0, 1);
+
+  quant::QuantizedNetwork qnet(*net, quant::fixed_config(8, 8));
+  qnet.calibrate(input);
+  const Tensor float_path = qnet.forward(input);
+  qnet.restore_masters();
+  const NfuSimulator sim(*net, qnet, Shape{1, 8});
+  const Tensor int_path = sim.forward(input);
+  for (std::int64_t i = 0; i < float_path.count(); ++i)
+    EXPECT_FLOAT_EQ(float_path[i], int_path[i]);
+}
+
+TEST(NfuSim, RejectsFloatConfig) {
+  auto net = tiny_cnn();
+  quant::QuantizedNetwork qnet(*net, quant::float_config());
+  EXPECT_THROW(NfuSimulator(*net, qnet, Shape{1, 2, 8, 8}), CheckError);
+}
+
+TEST(NfuSim, RejectsUncalibratedNetwork) {
+  auto net = tiny_cnn();
+  quant::QuantizedNetwork qnet(*net, quant::fixed_config(8, 8));
+  EXPECT_THROW(NfuSimulator(*net, qnet, Shape{1, 2, 8, 8}), CheckError);
+}
+
+TEST(NfuSim, MastersRestoredAfterConstruction) {
+  auto net = tiny_cnn();
+  const Tensor master = net->trainable_params()[0]->value;
+  quant::QuantizedNetwork qnet(*net, quant::fixed_config(8, 8));
+  qnet.calibrate(tiny_input());
+  const NfuSimulator sim(*net, qnet, Shape{1, 2, 8, 8});
+  const Tensor& after = net->trainable_params()[0]->value;
+  for (std::int64_t i = 0; i < master.count(); ++i)
+    EXPECT_EQ(after[i], master[i]);
+}
+
+TEST(NfuSim, StageCountMatchesLayers) {
+  auto net = tiny_cnn();
+  quant::QuantizedNetwork qnet(*net, quant::fixed_config(8, 8));
+  qnet.calibrate(tiny_input());
+  const NfuSimulator sim(*net, qnet, Shape{1, 2, 8, 8});
+  EXPECT_EQ(sim.num_stages(), net->num_layers());
+}
+
+TEST(NfuSim, LenetScaleEquivalence) {
+  // A realistic architecture (scaled LeNet) stays within one grid step
+  // at 8 bits across a batch of real synthetic digits.
+  nn::ZooConfig zc;
+  zc.channel_scale = 0.2;
+  auto net = nn::make_lenet(zc);
+  Rng rng(11);
+  Tensor input(Shape{2, 1, 28, 28});
+  input.fill_uniform(rng, 0, 1);
+  const double worst = max_diff_in_steps(
+      *net, quant::fixed_config(8, 8), Shape{1, 1, 28, 28}, input);
+  EXPECT_LE(worst, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace qnn::hw

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "nn/trainer.h"
+#include "nn/zoo.h"
+#include "quant/noise_model.h"
+
+namespace qnn::quant {
+namespace {
+
+struct Fixture {
+  data::Split split;
+  std::unique_ptr<nn::Network> net;
+
+  Fixture() {
+    data::SyntheticConfig dc;
+    dc.num_train = 300;
+    dc.num_test = 120;
+    dc.seed = 21;
+    split = data::make_mnist_like(dc);
+    nn::ZooConfig zc;
+    zc.channel_scale = 0.25;
+    net = nn::make_lenet(zc);
+    nn::TrainConfig tc;
+    tc.epochs = 2;
+    tc.batch_size = 30;
+    tc.sgd.learning_rate = 0.02;
+    nn::train(*net, split.train, tc);
+  }
+
+  NoiseReport report_for(const PrecisionConfig& cfg) {
+    QuantizedNetwork qnet(*net, cfg);
+    qnet.calibrate(data::batch_images(split.train, 0, 64));
+    return analyze_noise(*net, qnet, split.test, 64);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+TEST(NoiseModel, SiteCountMatchesNetwork) {
+  const NoiseReport r = fixture().report_for(fixed_config(8, 8));
+  EXPECT_EQ(r.measured.size(), fixture().net->num_layers() + 1);
+  EXPECT_EQ(r.predicted_noise_power.size(), r.measured.size());
+}
+
+TEST(NoiseModel, MeasuredNoiseGrowsAsBitsShrink) {
+  const double n16 =
+      fixture().report_for(fixed_config(16, 16)).measured.back().noise_power;
+  const double n8 =
+      fixture().report_for(fixed_config(8, 8)).measured.back().noise_power;
+  const double n4 =
+      fixture().report_for(fixed_config(4, 4)).measured.back().noise_power;
+  EXPECT_LT(n16, n8);
+  EXPECT_LT(n8, n4);
+}
+
+TEST(NoiseModel, SqnrRanksPrecisionsCorrectly) {
+  const double s16 =
+      fixture().report_for(fixed_config(16, 16)).final_measured_sqnr_db();
+  const double s8 =
+      fixture().report_for(fixed_config(8, 8)).final_measured_sqnr_db();
+  EXPECT_GT(s16, s8);
+  EXPECT_GT(s16, 40.0);  // 16-bit should be high-fidelity
+}
+
+TEST(NoiseModel, PredictionTracksMeasurementWithinOrderOfMagnitude) {
+  for (int bits : {8, 16}) {
+    const NoiseReport r = fixture().report_for(fixed_config(bits, bits));
+    const double measured = r.measured.back().noise_power;
+    const double predicted = r.predicted_noise_power.back();
+    ASSERT_GT(measured, 0.0);
+    ASSERT_GT(predicted, 0.0);
+    const double ratio = predicted / measured;
+    EXPECT_GT(ratio, 0.05) << bits << " bits";
+    EXPECT_LT(ratio, 50.0) << bits << " bits";
+  }
+}
+
+TEST(NoiseModel, PredictedSqnrRanksLikeMeasured) {
+  const NoiseReport r8 = fixture().report_for(fixed_config(8, 8));
+  const NoiseReport r4 = fixture().report_for(fixed_config(4, 4));
+  EXPECT_GT(r8.final_predicted_sqnr_db(), r4.final_predicted_sqnr_db());
+}
+
+TEST(NoiseModel, FlipRatesGrowAsBitsShrink) {
+  const NoiseReport r16 = fixture().report_for(fixed_config(16, 16));
+  const NoiseReport r4 = fixture().report_for(fixed_config(4, 4));
+  EXPECT_LE(r16.measured_flip_rate, r4.measured_flip_rate);
+  EXPECT_LE(r16.predicted_flip_rate, r4.predicted_flip_rate + 1e-9);
+}
+
+TEST(NoiseModel, FloatConfigIsNoiseless) {
+  const NoiseReport r = fixture().report_for(float_config());
+  EXPECT_DOUBLE_EQ(r.measured.back().noise_power, 0.0);
+  EXPECT_DOUBLE_EQ(r.measured_flip_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace qnn::quant

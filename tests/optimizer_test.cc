@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/optimizer.h"
+
+namespace qnn::nn {
+namespace {
+
+Param make_param(std::vector<float> w, std::vector<float> g) {
+  Param p("w", Shape{static_cast<std::int64_t>(w.size())});
+  p.value = Tensor(p.value.shape(), std::move(w));
+  p.grad = Tensor(p.grad.shape(), std::move(g));
+  return p;
+}
+
+SgdConfig plain_sgd(double lr) {
+  SgdConfig c;
+  c.learning_rate = lr;
+  c.momentum = 0;
+  c.weight_decay = 0;
+  c.clip_grad_norm = 0;
+  return c;
+}
+
+TEST(Sgd, VanillaStep) {
+  Param p = make_param({1.0f, -2.0f}, {0.5f, -1.0f});
+  Sgd opt(plain_sgd(0.1));
+  opt.step({&p});
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(p.value[1], -2.0f + 0.1f * 1.0f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  SgdConfig c = plain_sgd(0.1);
+  c.momentum = 0.9;
+  Param p = make_param({0.0f}, {1.0f});
+  Sgd opt(c);
+  opt.step({&p});  // v = -0.1, w = -0.1
+  EXPECT_FLOAT_EQ(p.value[0], -0.1f);
+  opt.step({&p});  // v = -0.09 - 0.1 = -0.19, w = -0.29
+  EXPECT_FLOAT_EQ(p.value[0], -0.29f);
+}
+
+TEST(Sgd, WeightDecayPullsTowardZero) {
+  SgdConfig c = plain_sgd(0.1);
+  c.weight_decay = 0.5;
+  Param p = make_param({2.0f}, {0.0f});
+  Sgd opt(c);
+  opt.step({&p});
+  EXPECT_FLOAT_EQ(p.value[0], 2.0f - 0.1f * 0.5f * 2.0f);
+}
+
+TEST(Sgd, StepDecaySchedule) {
+  SgdConfig c = plain_sgd(1.0);
+  c.step_epochs = 2;
+  c.gamma = 0.1;
+  Sgd opt(c);
+  Param p = make_param({0.0f}, {0.0f});
+  opt.step({&p});
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 1.0);
+  opt.on_epoch_end(0);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 1.0);
+  opt.on_epoch_end(1);  // epoch 2 boundary
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.1);
+  opt.on_epoch_end(3);
+  EXPECT_NEAR(opt.learning_rate(), 0.01, 1e-12);
+}
+
+TEST(Sgd, LearningRateOverride) {
+  Sgd opt(plain_sgd(0.5));
+  opt.set_learning_rate(0.125);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.125);
+}
+
+TEST(Sgd, ZeroGradClears) {
+  Param p = make_param({1.0f}, {3.0f});
+  Sgd::zero_grad({&p});
+  EXPECT_FLOAT_EQ(p.grad[0], 0.0f);
+}
+
+TEST(Sgd, ClipGradientsRescalesAboveThreshold) {
+  Param p = make_param({0.0f, 0.0f}, {3.0f, 4.0f});  // norm 5
+  Sgd::clip_gradients({&p}, 1.0);
+  EXPECT_NEAR(p.grad[0], 0.6f, 1e-6);
+  EXPECT_NEAR(p.grad[1], 0.8f, 1e-6);
+}
+
+TEST(Sgd, ClipGradientsLeavesSmallAlone) {
+  Param p = make_param({0.0f}, {0.5f});
+  Sgd::clip_gradients({&p}, 1.0);
+  EXPECT_FLOAT_EQ(p.grad[0], 0.5f);
+}
+
+TEST(Sgd, ClipGradientsGlobalAcrossParams) {
+  Param a = make_param({0.0f}, {3.0f});
+  Param b = make_param({0.0f}, {4.0f});
+  Sgd::clip_gradients({&a, &b}, 1.0);  // global norm 5
+  EXPECT_NEAR(a.grad[0], 0.6f, 1e-6);
+  EXPECT_NEAR(b.grad[0], 0.8f, 1e-6);
+}
+
+TEST(Sgd, ClipDisabledWhenNonPositive) {
+  Param p = make_param({0.0f}, {100.0f});
+  Sgd::clip_gradients({&p}, 0.0);
+  EXPECT_FLOAT_EQ(p.grad[0], 100.0f);
+}
+
+TEST(Sgd, RebindingDifferentParamListThrows) {
+  Param a = make_param({0.0f}, {1.0f});
+  Param b = make_param({0.0f}, {1.0f});
+  Sgd opt(plain_sgd(0.1));
+  opt.step({&a});
+  EXPECT_THROW(opt.step({&a, &b}), CheckError);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  // Minimize f(w) = (w - 3)^2 with gradient 2(w-3).
+  SgdConfig c = plain_sgd(0.1);
+  c.momentum = 0.9;
+  Param p = make_param({0.0f}, {0.0f});
+  Sgd opt(c);
+  for (int i = 0; i < 200; ++i) {
+    p.grad[0] = 2.0f * (p.value[0] - 3.0f);
+    opt.step({&p});
+  }
+  EXPECT_NEAR(p.value[0], 3.0f, 1e-3);
+}
+
+}  // namespace
+}  // namespace qnn::nn

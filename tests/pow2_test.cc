@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fixed/pow2_format.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace qnn {
+namespace {
+
+TEST(Pow2Format, Geometry) {
+  Pow2Format f(6, 0);  // paper's 6-bit: sign + 5 exponent bits
+  EXPECT_EQ(f.total_bits(), 6);
+  EXPECT_EQ(f.num_exponents(), 31);
+  EXPECT_EQ(f.exp_max(), 0);
+  EXPECT_EQ(f.exp_min(), -30);
+  EXPECT_DOUBLE_EQ(f.max_value(), 1.0);
+  EXPECT_DOUBLE_EQ(f.min_positive(), std::ldexp(1.0, -30));
+}
+
+TEST(Pow2Format, QuantizesToExactPowers) {
+  Pow2Format f(6, 2);
+  EXPECT_DOUBLE_EQ(f.quantize(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.quantize(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(f.quantize(-0.25), -0.25);
+  EXPECT_DOUBLE_EQ(f.quantize(3.0), 4.0);   // 3 = 1.5*2 rounds up
+  EXPECT_DOUBLE_EQ(f.quantize(2.9), 2.0);   // below midpoint 3.0
+  EXPECT_DOUBLE_EQ(f.quantize(0.0), 0.0);
+}
+
+TEST(Pow2Format, SaturatesAtExpMax) {
+  Pow2Format f(4, 0);  // exponents [-6, 0]
+  EXPECT_DOUBLE_EQ(f.quantize(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.quantize(-100.0), -1.0);
+}
+
+TEST(Pow2Format, TinyValuesUnderflowToZero) {
+  Pow2Format f(4, 0);
+  const double below = 0.4 * f.min_positive();
+  EXPECT_DOUBLE_EQ(f.quantize(below), 0.0);
+  const double above = 0.9 * f.min_positive();
+  EXPECT_DOUBLE_EQ(f.quantize(above), f.min_positive());
+}
+
+TEST(Pow2Format, MinimizesAbsoluteError) {
+  Pow2Format f(6, 4);
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-10, 10);
+    const double q = f.quantize(v);
+    // Check the neighbouring exponents don't beat the chosen value.
+    if (q != 0.0) {
+      const double qe = std::fabs(q) ;
+      for (double alt : {qe * 2, qe / 2}) {
+        if (alt > f.max_value() || alt < f.min_positive()) continue;
+        const double signed_alt = v < 0 ? -alt : alt;
+        EXPECT_LE(std::fabs(q - v), std::fabs(signed_alt - v) + 1e-12)
+            << "v=" << v;
+      }
+    }
+  }
+}
+
+TEST(Pow2Format, RawRoundTrip) {
+  Pow2Format f(6, 1);
+  Rng rng(101);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(-3, 3);
+    const std::int64_t raw = f.to_raw(v);
+    EXPECT_LT(raw, 1 << 6);
+    EXPECT_GE(raw, 0);
+    EXPECT_DOUBLE_EQ(f.from_raw(raw), f.quantize(v)) << "v=" << v;
+  }
+}
+
+TEST(Pow2Format, ZeroHasDedicatedCode) {
+  Pow2Format f(6, 0);
+  EXPECT_EQ(f.to_raw(0.0), 0);
+  EXPECT_DOUBLE_EQ(f.from_raw(0), 0.0);
+}
+
+TEST(Pow2Format, ForRangeCoversMax) {
+  const auto f = Pow2Format::for_range(6, 0.37);
+  EXPECT_GE(f.max_value(), 0.37);
+  EXPECT_LE(f.max_value(), 0.74 + 1e-12);  // not overly generous
+  const auto g = Pow2Format::for_range(6, 5.0);
+  EXPECT_EQ(g.exp_max(), 3);  // 2^3 = 8 >= 5
+}
+
+TEST(Pow2Format, QuantizeIdempotent) {
+  Pow2Format f(6, 2);
+  Rng rng(55);
+  for (int i = 0; i < 500; ++i) {
+    const double q = f.quantize(rng.uniform(-5, 5));
+    EXPECT_DOUBLE_EQ(f.quantize(q), q);
+  }
+}
+
+TEST(Pow2Format, InvalidBitsThrow) {
+  EXPECT_THROW(Pow2Format(1, 0), CheckError);
+  EXPECT_THROW(Pow2Format(17, 0), CheckError);
+}
+
+// Every representable magnitude is an exact power of two — the property
+// that lets the accelerator replace multipliers with shifts.
+class Pow2Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Pow2Property, AllOutputsArePowersOfTwoOrZero) {
+  Pow2Format f(GetParam(), 2);
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 2000; ++i) {
+    const double q = f.quantize(rng.uniform(-8, 8));
+    if (q == 0.0) continue;
+    const double e = std::log2(std::fabs(q));
+    EXPECT_DOUBLE_EQ(e, std::round(e)) << "q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, Pow2Property, ::testing::Values(3, 4, 6, 8));
+
+}  // namespace
+}  // namespace qnn

@@ -1,0 +1,130 @@
+// QAT integration tests: the paper's central training-time claim is that
+// fine-tuning with the dual-weight scheme recovers accuracy lost to
+// post-training quantization.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "nn/trainer.h"
+#include "nn/zoo.h"
+#include "quant/qat.h"
+
+namespace qnn::quant {
+namespace {
+
+struct Fixture {
+  data::Split split;
+  std::unique_ptr<nn::Network> float_net;
+  double float_acc;
+
+  Fixture() {
+    data::SyntheticConfig dc;
+    dc.num_train = 300;
+    dc.num_test = 100;
+    dc.seed = 7;
+    split = data::make_mnist_like(dc);
+    nn::ZooConfig zc;
+    zc.channel_scale = 0.25;
+    float_net = nn::make_lenet(zc);
+    nn::TrainConfig tc;
+    tc.epochs = 3;
+    tc.batch_size = 25;
+    tc.sgd.learning_rate = 0.02;
+    nn::train(*float_net, split.train, tc);
+    float_acc = nn::evaluate(*float_net, split.test);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;  // train the float baseline once for all tests
+  return f;
+}
+
+nn::TrainConfig finetune_config() {
+  nn::TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 25;
+  tc.sgd.learning_rate = 0.01;
+  return tc;
+}
+
+TEST(Qat, FloatBaselineLearned) {
+  EXPECT_GT(fixture().float_acc, 85.0);
+}
+
+TEST(Qat, Fixed8RetainsAccuracy) {
+  auto& f = fixture();
+  nn::ZooConfig zc;
+  zc.channel_scale = 0.25;
+  auto net = nn::make_lenet(zc);
+  net->copy_params_from(*f.float_net);
+  QuantizedNetwork qnet(*net, fixed_config(8, 8));
+  QatConfig qc;
+  qc.train = finetune_config();
+  qat_finetune(qnet, f.split.train, qc);
+  const double acc = nn::evaluate(qnet, f.split.test);
+  qnet.restore_masters();
+  EXPECT_GT(acc, f.float_acc - 4.0);
+}
+
+TEST(Qat, FinetuneBeatsPostTrainingQuantizationAt4Bit) {
+  auto& f = fixture();
+  nn::ZooConfig zc;
+  zc.channel_scale = 0.25;
+
+  // Post-training quantization: calibrate only, no fine-tune.
+  auto ptq_net = nn::make_lenet(zc);
+  ptq_net->copy_params_from(*f.float_net);
+  QuantizedNetwork ptq(*ptq_net, fixed_config(4, 4));
+  ptq.calibrate(data::batch_images(f.split.train, 0, 64));
+  const double ptq_acc = nn::evaluate(ptq, f.split.test);
+  ptq.restore_masters();
+
+  // QAT.
+  auto qat_net = nn::make_lenet(zc);
+  qat_net->copy_params_from(*f.float_net);
+  QuantizedNetwork qat(*qat_net, fixed_config(4, 4));
+  QatConfig qc;
+  qc.train = finetune_config();
+  qat_finetune(qat, f.split.train, qc);
+  const double qat_acc = nn::evaluate(qat, f.split.test);
+  qat.restore_masters();
+
+  EXPECT_GE(qat_acc, ptq_acc - 1.0)
+      << "QAT should not lose to PTQ (ptq=" << ptq_acc
+      << ", qat=" << qat_acc << ")";
+}
+
+TEST(Qat, MastersStayFullPrecisionAfterFinetune) {
+  auto& f = fixture();
+  nn::ZooConfig zc;
+  zc.channel_scale = 0.25;
+  auto net = nn::make_lenet(zc);
+  net->copy_params_from(*f.float_net);
+  QuantizedNetwork qnet(*net, binary_config(16));
+  QatConfig qc;
+  qc.train = finetune_config();
+  qat_finetune(qnet, f.split.train, qc);
+  // Masters restored: weights must NOT be two-valued (they are the
+  // accumulated full-precision shadow weights).
+  const auto params = net->trainable_params();
+  const Tensor& w = params[0]->value;
+  std::set<float> magnitudes;
+  for (std::int64_t i = 0; i < w.count(); ++i)
+    magnitudes.insert(std::fabs(w[i]));
+  EXPECT_GT(magnitudes.size(), 4u);
+}
+
+TEST(Qat, RejectsConflictingAfterStepHook) {
+  auto& f = fixture();
+  nn::ZooConfig zc;
+  zc.channel_scale = 0.25;
+  auto net = nn::make_lenet(zc);
+  QuantizedNetwork qnet(*net, fixed_config(8, 8));
+  QatConfig qc;
+  qc.train = finetune_config();
+  qc.train.after_step = [] {};
+  EXPECT_THROW(qat_finetune(qnet, f.split.train, qc), CheckError);
+}
+
+}  // namespace
+}  // namespace qnn::quant

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "quant/qconfig.h"
+#include "util/check.h"
+
+namespace qnn::quant {
+namespace {
+
+TEST(PrecisionConfig, PaperLabels) {
+  EXPECT_EQ(float_config().label(), "Floating-Point (32,32)");
+  EXPECT_EQ(fixed_config(16, 16).label(), "Fixed-Point (16,16)");
+  EXPECT_EQ(pow2_config().label(), "Powers of Two (6,16)");
+  EXPECT_EQ(binary_config().label(), "Binary Net (1,16)");
+}
+
+TEST(PrecisionConfig, Ids) {
+  EXPECT_EQ(float_config().id(), "float_32_32");
+  EXPECT_EQ(fixed_config(8, 8).id(), "fixed_8_8");
+  EXPECT_EQ(pow2_config().id(), "pow2_6_16");
+  EXPECT_EQ(binary_config().id(), "binary_1_16");
+}
+
+TEST(PrecisionConfig, PaperListHasSevenDesignPoints) {
+  const auto list = paper_precisions();
+  ASSERT_EQ(list.size(), 7u);
+  EXPECT_TRUE(list[0].is_float());
+  // Fixed-point widths in the paper's order: 32, 16, 8, 4.
+  EXPECT_EQ(list[1].weight_bits, 32);
+  EXPECT_EQ(list[2].weight_bits, 16);
+  EXPECT_EQ(list[3].weight_bits, 8);
+  EXPECT_EQ(list[4].weight_bits, 4);
+  EXPECT_EQ(list[5].kind, PrecisionKind::kPow2);
+  EXPECT_EQ(list[6].kind, PrecisionKind::kBinary);
+  EXPECT_EQ(list[6].weight_bits, 1);
+  EXPECT_EQ(list[6].input_bits, 16);
+}
+
+TEST(PrecisionConfig, LookupByIdOrLabel) {
+  EXPECT_EQ(precision_by_name("fixed_8_8").label(), "Fixed-Point (8,8)");
+  EXPECT_EQ(precision_by_name("Binary Net (1,16)").id(), "binary_1_16");
+  EXPECT_THROW(precision_by_name("fixed_7_7"), CheckError);
+}
+
+TEST(PrecisionConfig, DefaultsAreRistrettoFaithful) {
+  const PrecisionConfig c = fixed_config(8, 8);
+  EXPECT_EQ(c.radix_policy, RadixPolicy::kPerLayer);
+  EXPECT_EQ(c.calibration, CalibrationRule::kMse);
+}
+
+}  // namespace
+}  // namespace qnn::quant

@@ -1,0 +1,123 @@
+// Parameterized invariants of the quantized-network machinery across
+// every paper precision × radix policy.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "nn/activation.h"
+#include "nn/conv.h"
+#include "nn/inner_product.h"
+#include "nn/loss.h"
+#include "nn/pool.h"
+#include "quant/qnetwork.h"
+
+namespace qnn::quant {
+namespace {
+
+std::unique_ptr<nn::Network> probe_net() {
+  auto net = std::make_unique<nn::Network>("probe");
+  nn::ConvSpec c;
+  c.out_channels = 3;
+  c.kernel = 3;
+  net->add<nn::Conv2d>(1, c);
+  net->add<nn::Pool2d>(nn::PoolSpec{nn::PoolMode::kMax, 2, 2, 0});
+  net->add<nn::Relu>();
+  net->add<nn::InnerProduct>(3 * 3 * 3, 4);
+  Rng rng(8);
+  net->init_weights(rng);
+  return net;
+}
+
+Tensor probe_batch(std::uint64_t seed = 2) {
+  Tensor t(Shape{6, 1, 8, 8});
+  Rng rng(seed);
+  t.fill_uniform(rng, 0, 1);
+  return t;
+}
+
+using Param = std::tuple<PrecisionConfig, RadixPolicy>;
+
+class QNetSweep : public ::testing::TestWithParam<Param> {
+ protected:
+  PrecisionConfig config() const {
+    PrecisionConfig c = std::get<0>(GetParam());
+    c.radix_policy = std::get<1>(GetParam());
+    return c;
+  }
+};
+
+TEST_P(QNetSweep, ForwardDeterministic) {
+  auto net = probe_net();
+  QuantizedNetwork qnet(*net, config());
+  qnet.calibrate(probe_batch());
+  const Tensor a = qnet.forward(probe_batch());
+  const Tensor b = qnet.forward(probe_batch());
+  for (std::int64_t i = 0; i < a.count(); ++i) ASSERT_EQ(a[i], b[i]);
+  qnet.restore_masters();
+}
+
+TEST_P(QNetSweep, BackwardProducesGradientsAndRestores) {
+  auto net = probe_net();
+  const Tensor master = net->trainable_params()[0]->value;
+  QuantizedNetwork qnet(*net, config());
+  qnet.calibrate(probe_batch());
+  auto params = qnet.trainable_params();
+  for (auto* p : params) p->zero_grad();
+  const Tensor logits = qnet.forward(probe_batch());
+  const auto lr =
+      nn::softmax_cross_entropy(logits, {0, 1, 2, 3, 0, 1});
+  qnet.backward(lr.grad_logits);
+  double norm = 0;
+  for (auto* p : params)
+    for (std::int64_t i = 0; i < p->grad.count(); ++i)
+      norm += std::abs(p->grad[i]);
+  EXPECT_GT(norm, 0.0) << config().label();
+  // Masters restored after backward.
+  for (std::int64_t i = 0; i < master.count(); ++i)
+    ASSERT_EQ(net->trainable_params()[0]->value[i], master[i]);
+}
+
+TEST_P(QNetSweep, ClipMastersIsIdempotent) {
+  auto net = probe_net();
+  QuantizedNetwork qnet(*net, config());
+  qnet.calibrate(probe_batch());
+  qnet.clip_masters();
+  std::vector<Tensor> once;
+  for (auto* p : qnet.trainable_params()) once.push_back(p->value);
+  qnet.clip_masters();
+  auto params = qnet.trainable_params();
+  for (std::size_t i = 0; i < params.size(); ++i)
+    for (std::int64_t j = 0; j < params[i]->count(); ++j)
+      ASSERT_EQ(params[i]->value[j], once[i][j]);
+}
+
+TEST_P(QNetSweep, QuantizedOutputsBounded) {
+  auto net = probe_net();
+  QuantizedNetwork qnet(*net, config());
+  qnet.calibrate(probe_batch());
+  const Tensor out = qnet.forward(probe_batch(9));
+  qnet.restore_masters();
+  if (config().is_float()) return;
+  const auto* fq = dynamic_cast<const FixedQuantizer*>(
+      &qnet.data_quantizer(qnet.num_sites() - 1));
+  ASSERT_NE(fq, nullptr);
+  for (std::int64_t i = 0; i < out.count(); ++i) {
+    EXPECT_LE(out[i], fq->format()->max_value() + 1e-9);
+    EXPECT_GE(out[i], fq->format()->min_value() - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigs, QNetSweep,
+    ::testing::Combine(::testing::ValuesIn(paper_precisions()),
+                       ::testing::Values(RadixPolicy::kPerLayer,
+                                         RadixPolicy::kGlobal)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::get<0>(info.param).id() +
+             (std::get<1>(info.param) == RadixPolicy::kGlobal
+                  ? "_global"
+                  : "_perlayer");
+    });
+
+}  // namespace
+}  // namespace qnn::quant

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activation.h"
+#include "nn/inner_product.h"
+#include "nn/network.h"
+#include "quant/qnetwork.h"
+
+namespace qnn::quant {
+namespace {
+
+std::unique_ptr<nn::Network> small_net(std::uint64_t seed = 4) {
+  auto net = std::make_unique<nn::Network>("q");
+  net->add<nn::InnerProduct>(6, 8);
+  net->add<nn::Relu>();
+  net->add<nn::InnerProduct>(8, 3);
+  Rng rng(seed);
+  net->init_weights(rng);
+  return net;
+}
+
+Tensor batch(std::int64_t n = 8, std::uint64_t seed = 1) {
+  Tensor t(Shape{n, 6});
+  Rng rng(seed);
+  t.fill_uniform(rng, 0, 1);
+  return t;
+}
+
+TEST(QuantizedNetwork, FloatConfigIsTransparent) {
+  auto net = small_net();
+  QuantizedNetwork qnet(*net, float_config());
+  EXPECT_TRUE(qnet.calibrated());  // float needs no calibration
+  const Tensor x = batch();
+  const Tensor direct = net->forward(x);
+  const Tensor via = qnet.forward(x);
+  for (std::int64_t i = 0; i < direct.count(); ++i)
+    EXPECT_FLOAT_EQ(via[i], direct[i]);
+}
+
+TEST(QuantizedNetwork, ForwardBeforeCalibrateThrows) {
+  auto net = small_net();
+  QuantizedNetwork qnet(*net, fixed_config(8, 8));
+  EXPECT_THROW(qnet.forward(batch()), CheckError);
+}
+
+TEST(QuantizedNetwork, MastersRestoredAfterBackward) {
+  auto net = small_net();
+  QuantizedNetwork qnet(*net, fixed_config(8, 8));
+  qnet.calibrate(batch());
+  const auto params = net->trainable_params();
+  const Tensor master_copy = params[0]->value;
+
+  const Tensor out = qnet.forward(batch());
+  Tensor g(out.shape());
+  g.fill(0.1f);
+  qnet.backward(g);
+  for (std::int64_t i = 0; i < master_copy.count(); ++i)
+    EXPECT_EQ(params[0]->value[i], master_copy[i])
+        << "master weight perturbed at " << i;
+}
+
+TEST(QuantizedNetwork, WeightsAreQuantizedDuringForward) {
+  auto net = small_net();
+  QuantizedNetwork qnet(*net, binary_config(16));
+  qnet.calibrate(batch());
+  // Run forward, then inspect live (quantized) weights before restoring.
+  (void)qnet.forward(batch());
+  const auto params = net->trainable_params();
+  // First param is a weight matrix -> exactly two distinct magnitudes.
+  const Tensor& w = params[0]->value;
+  const float mag = std::fabs(w[0]);
+  for (std::int64_t i = 0; i < w.count(); ++i)
+    EXPECT_FLOAT_EQ(std::fabs(w[i]), mag);
+  qnet.restore_masters();
+}
+
+TEST(QuantizedNetwork, OutputsLieOnDataGrid) {
+  auto net = small_net();
+  QuantizedNetwork qnet(*net, fixed_config(8, 8));
+  qnet.calibrate(batch());
+  const Tensor out = qnet.forward(batch());
+  const auto& dq =
+      dynamic_cast<const FixedQuantizer&>(qnet.data_quantizer(
+          qnet.num_sites() - 1));
+  ASSERT_TRUE(dq.format().has_value());
+  for (std::int64_t i = 0; i < out.count(); ++i)
+    EXPECT_TRUE(dq.format()->representable(out[i])) << out[i];
+}
+
+TEST(QuantizedNetwork, ForwardIsIdempotentAcrossCalls) {
+  auto net = small_net();
+  QuantizedNetwork qnet(*net, fixed_config(8, 8));
+  qnet.calibrate(batch());
+  const Tensor a = qnet.forward(batch());
+  const Tensor b = qnet.forward(batch());  // must restore then requantize
+  for (std::int64_t i = 0; i < a.count(); ++i) EXPECT_EQ(a[i], b[i]);
+  qnet.restore_masters();
+}
+
+TEST(QuantizedNetwork, PerLayerFormatsDifferWhenRangesDiffer) {
+  auto net = small_net();
+  // Make layer-2 weights much larger than layer-0 weights.
+  auto params = net->trainable_params();
+  params[2]->value.scale(20.0f);
+  PrecisionConfig cfg = fixed_config(8, 8);
+  cfg.radix_policy = RadixPolicy::kPerLayer;
+  QuantizedNetwork qnet(*net, cfg);
+  qnet.calibrate(batch());
+  const auto& q0 = dynamic_cast<const FixedQuantizer&>(qnet.weight_quantizer(0));
+  const auto& q2 = dynamic_cast<const FixedQuantizer&>(qnet.weight_quantizer(2));
+  EXPECT_NE(q0.format()->frac_bits(), q2.format()->frac_bits());
+}
+
+TEST(QuantizedNetwork, GlobalPolicySharesFormats) {
+  auto net = small_net();
+  auto params = net->trainable_params();
+  params[2]->value.scale(20.0f);
+  PrecisionConfig cfg = fixed_config(8, 8);
+  cfg.radix_policy = RadixPolicy::kGlobal;
+  QuantizedNetwork qnet(*net, cfg);
+  qnet.calibrate(batch());
+  const auto& q0 = dynamic_cast<const FixedQuantizer&>(qnet.weight_quantizer(0));
+  const auto& q2 = dynamic_cast<const FixedQuantizer&>(qnet.weight_quantizer(2));
+  EXPECT_EQ(q0.format()->frac_bits(), q2.format()->frac_bits());
+}
+
+TEST(QuantizedNetwork, ClipMastersBoundsWeights) {
+  auto net = small_net();
+  QuantizedNetwork qnet(*net, binary_config(16));
+  qnet.calibrate(batch());
+  auto params = net->trainable_params();
+  params[0]->value[0] = 5.0f;
+  params[0]->value[1] = -5.0f;
+  qnet.clip_masters();
+  EXPECT_FLOAT_EQ(params[0]->value[0], 1.0f);   // BinaryConnect clip
+  EXPECT_FLOAT_EQ(params[0]->value[1], -1.0f);
+}
+
+TEST(QuantizedNetwork, BiasesUseDataWidthForBinaryNets) {
+  auto net = small_net();
+  QuantizedNetwork qnet(*net, binary_config(16));
+  // Param order: w0, b0, w2, b2 — biases are FixedQuantizer(16).
+  EXPECT_EQ(qnet.weight_quantizer(0).bits(), 1);
+  EXPECT_EQ(qnet.weight_quantizer(1).bits(), 16);
+  EXPECT_EQ(qnet.weight_quantizer(2).bits(), 1);
+  EXPECT_EQ(qnet.weight_quantizer(3).bits(), 16);
+}
+
+TEST(QuantizedNetwork, QuantizationChangesOutputsAtLowPrecision) {
+  auto net = small_net();
+  const Tensor x = batch();
+  const Tensor float_out = net->forward(x);
+  QuantizedNetwork qnet(*net, fixed_config(4, 4));
+  qnet.calibrate(x);
+  const Tensor q_out = qnet.forward(x);
+  qnet.restore_masters();
+  double diff = 0;
+  for (std::int64_t i = 0; i < q_out.count(); ++i)
+    diff += std::fabs(q_out[i] - float_out[i]);
+  EXPECT_GT(diff, 1e-4);  // 4-bit must visibly perturb outputs
+}
+
+TEST(QuantizedNetwork, HigherPrecisionIsCloserToFloat) {
+  auto net = small_net();
+  const Tensor x = batch();
+  const Tensor float_out = net->forward(x);
+  auto err_for = [&](const PrecisionConfig& cfg) {
+    QuantizedNetwork qnet(*net, cfg);
+    qnet.calibrate(x);
+    const Tensor out = qnet.forward(x);
+    qnet.restore_masters();
+    double e = 0;
+    for (std::int64_t i = 0; i < out.count(); ++i)
+      e += std::fabs(out[i] - float_out[i]);
+    return e;
+  };
+  const double e16 = err_for(fixed_config(16, 16));
+  const double e4 = err_for(fixed_config(4, 4));
+  EXPECT_LT(e16, e4);
+}
+
+}  // namespace
+}  // namespace qnn::quant

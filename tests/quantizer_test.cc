@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/quantizer.h"
+#include "util/rng.h"
+
+namespace qnn::quant {
+namespace {
+
+Tensor random_tensor(std::int64_t n, double lo, double hi,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(Shape{n});
+  t.fill_uniform(rng, static_cast<float>(lo), static_cast<float>(hi));
+  return t;
+}
+
+TEST(IdentityQuantizer, LeavesValuesUntouched) {
+  IdentityQuantizer q;
+  Tensor t = random_tensor(64, -3, 3, 1);
+  const Tensor before = t;
+  q.apply(t);
+  for (std::int64_t i = 0; i < t.count(); ++i)
+    EXPECT_EQ(t[i], before[i]);
+  EXPECT_EQ(q.bits(), 32);
+  EXPECT_DOUBLE_EQ(q.clip_limit(), 0.0);
+}
+
+TEST(FixedQuantizer, UncalibratedApplyThrows) {
+  FixedQuantizer q(8);
+  Tensor t(Shape{4});
+  EXPECT_THROW(q.apply(t), CheckError);
+}
+
+TEST(FixedQuantizer, ValuesLandOnGrid) {
+  FixedQuantizer q(8);
+  q.calibrate(1.0);
+  ASSERT_TRUE(q.format().has_value());
+  Tensor t = random_tensor(256, -1.5, 1.5, 2);
+  q.apply(t);
+  for (std::int64_t i = 0; i < t.count(); ++i)
+    EXPECT_TRUE(q.format()->representable(t[i])) << t[i];
+}
+
+TEST(FixedQuantizer, MseCalibrationPrefersClippingForHeavyTails) {
+  // Mass at ±0.05 with a single moderate outlier at 1.0: at 4 bits the
+  // MSE-optimal format trades the outlier for resolution on the mass.
+  std::vector<float> samples(901);
+  for (std::size_t i = 0; i < 900; ++i)
+    samples[i] = (i % 2 == 0) ? 0.05f : -0.05f;
+  samples[900] = 1.0f;
+  FixedQuantizer covering(4), mse(4);
+  covering.calibrate(1.0);
+  mse.calibrate_with_samples(samples, 1.0);
+  EXPECT_GT(mse.format()->frac_bits(), covering.format()->frac_bits());
+  EXPECT_LT(mse.format()->max_value(), 1.0);
+}
+
+TEST(FixedQuantizer, MseCalibrationKeepsRangeForUniformData) {
+  // Uniform data up to max: covering format is already MSE-optimal (or
+  // close); the chosen max must still cover most of the data.
+  std::vector<float> samples(2000);
+  Rng rng(4);
+  for (float& v : samples) v = static_cast<float>(rng.uniform(-1, 1));
+  FixedQuantizer q(8);
+  q.calibrate_with_samples(samples, 1.0);
+  EXPECT_GE(q.format()->max_value(), 0.5);
+}
+
+TEST(FixedQuantizer, ClipLimitTracksFormatMax) {
+  FixedQuantizer q(8);
+  q.calibrate(2.0);
+  EXPECT_DOUBLE_EQ(q.clip_limit(), q.format()->max_value());
+}
+
+TEST(Pow2Quantizer, ValuesArePowersOfTwoOrZero) {
+  Pow2Quantizer q(6);
+  q.calibrate(0.5);
+  Tensor t = random_tensor(256, -0.6, 0.6, 5);
+  q.apply(t);
+  for (std::int64_t i = 0; i < t.count(); ++i) {
+    if (t[i] == 0.0f) continue;
+    const double e = std::log2(std::fabs(static_cast<double>(t[i])));
+    EXPECT_DOUBLE_EQ(e, std::round(e));
+  }
+}
+
+TEST(Pow2Quantizer, MseCalibrationNeverWorseThanCovering) {
+  // Power-of-two grids span ~31 octaves, so the search usually keeps the
+  // covering exponent; it must never pick something that fails to cover
+  // better than the covering format does on the samples themselves.
+  std::vector<float> samples(1000);
+  Rng rng(6);
+  for (float& v : samples) v = static_cast<float>(rng.uniform(-0.5, 0.5));
+  Pow2Quantizer q(6);
+  q.calibrate_with_samples(samples, 0.5);
+  ASSERT_TRUE(q.format().has_value());
+  double mse = 0, covering_mse = 0;
+  const Pow2Format covering = Pow2Format::for_range(6, 0.5);
+  for (float v : samples) {
+    const double e1 = q.format()->quantize(v) - v;
+    const double e2 = covering.quantize(v) - v;
+    mse += e1 * e1;
+    covering_mse += e2 * e2;
+  }
+  EXPECT_LE(mse, covering_mse + 1e-9);
+}
+
+TEST(BinaryQuantizer, MeanAbsProducesTwoLevels) {
+  BinaryQuantizer q(BinaryScaleMode::kMeanAbs);
+  Tensor t(Shape{4}, {0.5f, -0.25f, 0.75f, -0.5f});
+  q.apply(t);  // scale = 0.5
+  EXPECT_FLOAT_EQ(t[0], 0.5f);
+  EXPECT_FLOAT_EQ(t[1], -0.5f);
+  EXPECT_FLOAT_EQ(t[2], 0.5f);
+  EXPECT_FLOAT_EQ(t[3], -0.5f);
+}
+
+TEST(BinaryQuantizer, PlusMinusOneMode) {
+  BinaryQuantizer q(BinaryScaleMode::kPlusMinusOne);
+  Tensor t(Shape{3}, {0.01f, -0.7f, 0.0f});
+  q.apply(t);
+  EXPECT_FLOAT_EQ(t[0], 1.0f);
+  EXPECT_FLOAT_EQ(t[1], -1.0f);
+  EXPECT_FLOAT_EQ(t[2], 1.0f);
+  EXPECT_EQ(q.bits(), 1);
+  EXPECT_DOUBLE_EQ(q.clip_limit(), 1.0);
+}
+
+TEST(Factory, WeightQuantizerMatchesKind) {
+  EXPECT_EQ(make_weight_quantizer(float_config())->bits(), 32);
+  EXPECT_EQ(make_weight_quantizer(fixed_config(8, 8))->bits(), 8);
+  EXPECT_EQ(make_weight_quantizer(pow2_config())->bits(), 6);
+  EXPECT_EQ(make_weight_quantizer(binary_config())->bits(), 1);
+}
+
+TEST(Factory, DataQuantizerIsFixedForNonFloat) {
+  // Pow2/binary nets still use 16-bit fixed-point data (paper §IV-A).
+  auto q = make_data_quantizer(pow2_config());
+  EXPECT_EQ(q->bits(), 16);
+  auto b = make_data_quantizer(binary_config());
+  EXPECT_EQ(b->bits(), 16);
+  auto f = make_data_quantizer(float_config());
+  EXPECT_EQ(f->bits(), 32);
+}
+
+TEST(QuantizeIdempotence, AllQuantizersStableUnderReapplication) {
+  for (auto config : paper_precisions()) {
+    auto q = make_weight_quantizer(config);
+    q->calibrate(1.0);
+    Tensor t = random_tensor(128, -1.2, 1.2, 9);
+    q->apply(t);
+    Tensor once = t;
+    q->apply(t);
+    for (std::int64_t i = 0; i < t.count(); ++i)
+      EXPECT_EQ(t[i], once[i]) << config.label();
+  }
+}
+
+}  // namespace
+}  // namespace qnn::quant

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "nn/serialize.h"
+#include "nn/zoo.h"
+
+namespace qnn::nn {
+namespace {
+
+TEST(Serialize, RoundTripInMemory) {
+  ZooConfig zc;
+  zc.channel_scale = 0.2;
+  auto a = make_lenet(zc);
+  const std::string bytes = serialize_params(*a);
+  EXPECT_GT(bytes.size(), sizeof(float) * static_cast<std::size_t>(
+                              a->num_params()));
+
+  ZooConfig zc2 = zc;
+  zc2.init_seed = 999;  // different init → different weights
+  auto b = make_lenet(zc2);
+  deserialize_params(*b, bytes);
+  const auto pa = a->trainable_params();
+  const auto pb = b->trainable_params();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    for (std::int64_t j = 0; j < pa[i]->count(); ++j)
+      ASSERT_EQ(pa[i]->value[j], pb[i]->value[j]);
+}
+
+TEST(Serialize, RoundTripOnDisk) {
+  const std::string path = ::testing::TempDir() + "/qnn_snapshot.bin";
+  ZooConfig zc;
+  zc.channel_scale = 0.2;
+  auto a = make_alex(zc);
+  save_params(*a, path);
+
+  ZooConfig zc2 = zc;
+  zc2.init_seed = 7;
+  auto b = make_alex(zc2);
+  load_params(*b, path);
+  Tensor in(Shape{1, 3, 32, 32});
+  Rng rng(4);
+  in.fill_uniform(rng, 0, 1);
+  const Tensor oa = a->forward(in);
+  const Tensor ob = b->forward(in);
+  for (std::int64_t i = 0; i < oa.count(); ++i) EXPECT_EQ(oa[i], ob[i]);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, RejectsWrongArchitecture) {
+  ZooConfig zc;
+  zc.channel_scale = 0.2;
+  auto lenet = make_lenet(zc);
+  const std::string bytes = serialize_params(*lenet);
+  auto alex = make_alex(zc);
+  EXPECT_THROW(deserialize_params(*alex, bytes), CheckError);
+}
+
+TEST(Serialize, RejectsGarbage) {
+  ZooConfig zc;
+  zc.channel_scale = 0.2;
+  auto net = make_lenet(zc);
+  EXPECT_THROW(deserialize_params(*net, "not a snapshot"), CheckError);
+  EXPECT_THROW(deserialize_params(*net, ""), CheckError);
+}
+
+TEST(Serialize, RejectsTruncated) {
+  ZooConfig zc;
+  zc.channel_scale = 0.2;
+  auto net = make_lenet(zc);
+  std::string bytes = serialize_params(*net);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(deserialize_params(*net, bytes), CheckError);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  ZooConfig zc;
+  zc.channel_scale = 0.2;
+  auto net = make_lenet(zc);
+  EXPECT_THROW(load_params(*net, "/nonexistent/path.bin"), CheckError);
+}
+
+}  // namespace
+}  // namespace qnn::nn

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+#include "util/check.h"
+
+namespace qnn {
+namespace {
+
+TEST(Shape, CountAndRank) {
+  Shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.rank(), 4u);
+  EXPECT_EQ(s.count(), 120);
+  EXPECT_EQ(s.count_from(1), 60);
+  EXPECT_EQ(s.count_from(4), 1);
+}
+
+TEST(Shape, EmptyShapeCountsOne) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.count(), 1);
+}
+
+TEST(Shape, NchwAccessors) {
+  Shape s{2, 3, 28, 32};
+  EXPECT_EQ(s.n(), 2);
+  EXPECT_EQ(s.c(), 3);
+  EXPECT_EQ(s.h(), 28);
+  EXPECT_EQ(s.w(), 32);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({1, 2}), Shape({1, 2}));
+  EXPECT_NE(Shape({1, 2}), Shape({2, 1}));
+  EXPECT_NE(Shape({1, 2}), Shape({1, 2, 1}));
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ(Shape({1, 3, 28, 28}).to_string(), "(1, 3, 28, 28)");
+  EXPECT_EQ(Shape({7}).to_string(), "(7)");
+}
+
+TEST(Shape, NegativeDimThrows) {
+  EXPECT_THROW(Shape({2, -1}), CheckError);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{2, 3});
+  for (std::int64_t i = 0; i < t.count(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillAndIndex) {
+  Tensor t(Shape{4});
+  t.fill(2.5f);
+  EXPECT_EQ(t[3], 2.5f);
+  t[1] = -1.0f;
+  EXPECT_EQ(t[1], -1.0f);
+}
+
+TEST(Tensor, NchwAtMatchesFlatLayout) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 9.0f;
+  // Flat offset: ((1*3+2)*4+3)*5+4 = 119
+  EXPECT_EQ(t[119], 9.0f);
+}
+
+TEST(Tensor, ConstructFromDataValidatesSize) {
+  EXPECT_NO_THROW(Tensor(Shape{2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor(Shape{2, 2}, {1, 2, 3}), CheckError);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t(Shape{2, 6}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+  Tensor r = t.reshaped(Shape{3, 4});
+  EXPECT_EQ(r.shape(), Shape({3, 4}));
+  EXPECT_EQ(r[7], 7.0f);
+  EXPECT_THROW(t.reshaped(Shape{5, 2}), CheckError);
+}
+
+TEST(Tensor, AddAxpyScale) {
+  Tensor a(Shape{3}, {1, 2, 3});
+  Tensor b(Shape{3}, {10, 20, 30});
+  a.add(b);
+  EXPECT_EQ(a[2], 33.0f);
+  a.axpy(0.5f, b);
+  EXPECT_EQ(a[0], 16.0f);
+  a.scale(2.0f);
+  EXPECT_EQ(a[1], 64.0f);
+}
+
+TEST(Tensor, AddShapeMismatchThrows) {
+  Tensor a(Shape{3}), b(Shape{4});
+  EXPECT_THROW(a.add(b), CheckError);
+}
+
+TEST(Tensor, MaxAbsSumMean) {
+  Tensor t(Shape{4}, {-3, 1, 2, -1});
+  EXPECT_FLOAT_EQ(t.max_abs(), 3.0f);
+  EXPECT_DOUBLE_EQ(t.sum(), -1.0);
+  EXPECT_DOUBLE_EQ(t.mean(), -0.25);
+}
+
+TEST(Tensor, FillUniformWithinBounds) {
+  Rng rng(3);
+  Tensor t(Shape{1000});
+  t.fill_uniform(rng, -0.5f, 0.5f);
+  EXPECT_LE(t.max_abs(), 0.5f);
+  // Should not be all equal.
+  EXPECT_NE(t[0], t[1]);
+}
+
+TEST(Tensor, At2RankTwoAccess) {
+  Tensor t(Shape{2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at2(1, 2), 5.0f);
+  t.at2(0, 1) = 7.0f;
+  EXPECT_EQ(t[1], 7.0f);
+}
+
+}  // namespace
+}  // namespace qnn

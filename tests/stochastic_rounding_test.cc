@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fixed/fixed_format.h"
+
+namespace qnn {
+namespace {
+
+TEST(StochasticRounding, ExactIntegersUntouched) {
+  seed_stochastic_rounding(1);
+  for (double v : {-3.0, 0.0, 7.0})
+    EXPECT_EQ(round_with_mode(v, Rounding::kStochastic), v);
+}
+
+TEST(StochasticRounding, AlwaysAdjacentInteger) {
+  seed_stochastic_rounding(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = -5.0 + i * 0.013;
+    const double r = round_with_mode(v, Rounding::kStochastic);
+    EXPECT_TRUE(r == std::floor(v) || r == std::ceil(v)) << v;
+  }
+}
+
+TEST(StochasticRounding, UnbiasedInExpectation) {
+  seed_stochastic_rounding(3);
+  const double v = 2.3;
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    sum += round_with_mode(v, Rounding::kStochastic);
+  EXPECT_NEAR(sum / n, v, 0.02);
+
+  const double w = -1.75;
+  sum = 0;
+  for (int i = 0; i < n; ++i)
+    sum += round_with_mode(w, Rounding::kStochastic);
+  EXPECT_NEAR(sum / n, w, 0.02);
+}
+
+TEST(StochasticRounding, SeedReproducible) {
+  seed_stochastic_rounding(42);
+  std::vector<double> a;
+  for (int i = 0; i < 32; ++i)
+    a.push_back(round_with_mode(0.5, Rounding::kStochastic));
+  seed_stochastic_rounding(42);
+  for (int i = 0; i < 32; ++i)
+    EXPECT_EQ(round_with_mode(0.5, Rounding::kStochastic), a[static_cast<std::size_t>(i)]);
+}
+
+TEST(StochasticRounding, FormatQuantizeStaysOnGridAndSaturates) {
+  seed_stochastic_rounding(7);
+  FixedPointFormat f(8, 4, Rounding::kStochastic);
+  for (int i = 0; i < 500; ++i) {
+    const double q = f.quantize(0.1 + i * 0.01);
+    EXPECT_LE(q, f.max_value());
+    // On-grid check with deterministic representable().
+    EXPECT_TRUE(FixedPointFormat(8, 4).representable(q)) << q;
+  }
+  EXPECT_DOUBLE_EQ(f.quantize(1000.0), f.max_value());
+}
+
+TEST(StochasticRounding, MeanOfQuantizedValuesApproachesInput) {
+  seed_stochastic_rounding(9);
+  FixedPointFormat f(8, 4, Rounding::kStochastic);
+  const double v = 0.07;  // between grid points 0.0625 and 0.125
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += f.quantize(v);
+  EXPECT_NEAR(sum / n, v, 0.002);
+}
+
+}  // namespace
+}  // namespace qnn

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/glyphs.h"
+#include "data/synthetic.h"
+
+namespace qnn::data {
+namespace {
+
+SyntheticConfig small_config() {
+  SyntheticConfig c;
+  c.num_train = 60;
+  c.num_test = 20;
+  c.seed = 123;
+  return c;
+}
+
+TEST(Glyphs, AllTenDigitsHaveSegments) {
+  std::set<std::size_t> sizes;
+  for (int d = 0; d < 10; ++d) {
+    const auto& segs = glyph_segments(d);
+    EXPECT_GE(segs.size(), 3u) << "digit " << d;
+    sizes.insert(segs.size());
+  }
+  EXPECT_GE(sizes.size(), 3u);  // glyph complexity varies across digits
+}
+
+TEST(Glyphs, DistinctClassesDifferAsImages) {
+  // Render each digit untransformed and require pairwise L2 distance.
+  const int h = 28, w = 28;
+  std::vector<std::vector<float>> imgs(10, std::vector<float>(h * w, 0.f));
+  for (int d = 0; d < 10; ++d)
+    render_glyph(d, Affine{}, 0.05f, 1.0f, imgs[static_cast<std::size_t>(d)].data(), h, w);
+  for (int a = 0; a < 10; ++a)
+    for (int b = a + 1; b < 10; ++b) {
+      double dist = 0;
+      for (int i = 0; i < h * w; ++i) {
+        const double diff = imgs[static_cast<std::size_t>(a)][static_cast<std::size_t>(i)] -
+                            imgs[static_cast<std::size_t>(b)][static_cast<std::size_t>(i)];
+        dist += diff * diff;
+      }
+      EXPECT_GT(dist, 1.0) << "digits " << a << " and " << b
+                           << " render nearly identically";
+    }
+}
+
+TEST(Glyphs, RenderStaysInUnitRange) {
+  std::vector<float> img(32 * 32, 0.f);
+  render_glyph(8, Affine::jitter(0.2f, 1.1f, 0.05f, -0.05f, 0.1f), 0.05f,
+               1.0f, img.data(), 32, 32);
+  float mx = 0;
+  for (float v : img) {
+    EXPECT_GE(v, 0.0f);
+    mx = std::max(mx, v);
+  }
+  EXPECT_GT(mx, 0.5f);  // something was drawn
+  EXPECT_LE(mx, 1.0f);
+}
+
+TEST(Synthetic, MnistShapesAndLabels) {
+  const Split s = make_mnist_like(small_config());
+  EXPECT_EQ(s.train.images.shape(), Shape({60, 1, 28, 28}));
+  EXPECT_EQ(s.test.images.shape(), Shape({20, 1, 28, 28}));
+  EXPECT_EQ(s.train.num_classes, 10);
+  for (int y : s.train.labels) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 10);
+  }
+}
+
+TEST(Synthetic, SvhnAndCifarAreColor) {
+  const Split svhn = make_svhn_like(small_config());
+  EXPECT_EQ(svhn.train.images.shape(), Shape({60, 3, 32, 32}));
+  const Split cifar = make_cifar_like(small_config());
+  EXPECT_EQ(cifar.train.images.shape(), Shape({60, 3, 32, 32}));
+}
+
+TEST(Synthetic, PixelsInUnitInterval) {
+  for (const char* name : {"mnist", "svhn", "cifar"}) {
+    const Split s = make_dataset(name, small_config());
+    for (std::int64_t i = 0; i < s.train.images.count(); ++i) {
+      EXPECT_GE(s.train.images[i], 0.0f) << name;
+      EXPECT_LE(s.train.images[i], 1.0f) << name;
+    }
+  }
+}
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  const Split a = make_cifar_like(small_config());
+  const Split b = make_cifar_like(small_config());
+  ASSERT_EQ(a.train.images.count(), b.train.images.count());
+  for (std::int64_t i = 0; i < a.train.images.count(); ++i)
+    ASSERT_EQ(a.train.images[i], b.train.images[i]) << "at " << i;
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  SyntheticConfig c1 = small_config(), c2 = small_config();
+  c2.seed = 999;
+  const Split a = make_mnist_like(c1), b = make_mnist_like(c2);
+  double dist = 0;
+  for (std::int64_t i = 0; i < a.train.images.count(); ++i)
+    dist += std::abs(a.train.images[i] - b.train.images[i]);
+  EXPECT_GT(dist, 1.0);
+}
+
+TEST(Synthetic, ClassesBalanced) {
+  const Split s = make_svhn_like(small_config());
+  std::vector<int> counts(10, 0);
+  for (int y : s.train.labels) counts[static_cast<std::size_t>(y)]++;
+  for (int c : counts) EXPECT_EQ(c, 6);
+}
+
+TEST(Synthetic, TrainAndTestDisjointContent) {
+  const Split s = make_mnist_like(small_config());
+  // Not a strict guarantee, but train[0] and test[0] share a label class
+  // (both are digit 0) yet should differ as images (independent draws).
+  double dist = 0;
+  for (std::int64_t i = 0; i < 28 * 28; ++i)
+    dist += std::abs(s.train.images[i] - s.test.images[i]);
+  EXPECT_GT(dist, 0.5);
+}
+
+TEST(Synthetic, UnknownDatasetThrows) {
+  EXPECT_THROW(make_dataset("imagenet", small_config()), CheckError);
+}
+
+TEST(Synthetic, NoiseScaleIncreasesVariance) {
+  SyntheticConfig quiet = small_config();
+  quiet.noise_scale = 0.0;
+  SyntheticConfig loud = small_config();
+  loud.noise_scale = 2.0;
+  const Split a = make_mnist_like(quiet), b = make_mnist_like(loud);
+  // Background pixels (first row corner) should be exactly 0 without
+  // noise and usually nonzero with it.
+  int nonzero_quiet = 0, nonzero_loud = 0;
+  for (std::int64_t s = 0; s < 20; ++s) {
+    if (a.train.images[s * 28 * 28] != 0.0f) ++nonzero_quiet;
+    if (b.train.images[s * 28 * 28] != 0.0f) ++nonzero_loud;
+  }
+  EXPECT_EQ(nonzero_quiet, 0);
+  EXPECT_GT(nonzero_loud, 5);
+}
+
+}  // namespace
+}  // namespace qnn::data

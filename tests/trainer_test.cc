@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "nn/inner_product.h"
+#include "nn/network.h"
+#include "nn/trainer.h"
+
+namespace qnn::nn {
+namespace {
+
+// Two linearly separable Gaussian blobs rendered as 1×2×2 "images".
+data::Dataset blob_dataset(std::int64_t n, std::uint64_t seed) {
+  data::Dataset d;
+  d.name = "blobs";
+  d.num_classes = 2;
+  d.images = Tensor(Shape{n, 1, 2, 2});
+  d.labels.resize(static_cast<std::size_t>(n));
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int y = static_cast<int>(i % 2);
+    d.labels[static_cast<std::size_t>(i)] = y;
+    const double cx = y == 0 ? -1.0 : 1.0;
+    for (int j = 0; j < 4; ++j)
+      d.images[i * 4 + j] = static_cast<float>(cx + rng.normal(0, 0.3));
+  }
+  return d;
+}
+
+std::unique_ptr<Network> linear_model() {
+  auto net = std::make_unique<Network>("probe");
+  net->add<InnerProduct>(4, 2);
+  Rng rng(5);
+  net->init_weights(rng);
+  return net;
+}
+
+TEST(Trainer, LearnsSeparableBlobs) {
+  auto net = linear_model();
+  const auto train_set = blob_dataset(200, 1);
+  const auto test_set = blob_dataset(50, 2);
+  TrainConfig tc;
+  tc.epochs = 5;
+  tc.batch_size = 16;
+  tc.sgd.learning_rate = 0.1;
+  const TrainResult r = train(*net, train_set, tc);
+  EXPECT_LT(r.final_loss(), 0.2);
+  EXPECT_GT(evaluate(*net, test_set), 95.0);
+}
+
+TEST(Trainer, LossDecreasesAcrossEpochs) {
+  auto net = linear_model();
+  const auto train_set = blob_dataset(200, 3);
+  TrainConfig tc;
+  tc.epochs = 4;
+  tc.batch_size = 16;
+  tc.sgd.learning_rate = 0.05;
+  const TrainResult r = train(*net, train_set, tc);
+  ASSERT_EQ(r.epochs.size(), 4u);
+  EXPECT_LT(r.epochs.back().mean_loss, r.epochs.front().mean_loss);
+}
+
+TEST(Trainer, TracksTrainAccuracy) {
+  auto net = linear_model();
+  const auto train_set = blob_dataset(100, 4);
+  TrainConfig tc;
+  tc.epochs = 5;
+  tc.batch_size = 10;
+  tc.sgd.learning_rate = 0.1;
+  const TrainResult r = train(*net, train_set, tc);
+  EXPECT_GT(r.epochs.back().train_accuracy, 90.0);
+}
+
+TEST(Trainer, AfterStepHookRunsPerBatch) {
+  auto net = linear_model();
+  const auto train_set = blob_dataset(64, 5);
+  int calls = 0;
+  TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 16;
+  tc.after_step = [&calls] { ++calls; };
+  train(*net, train_set, tc);
+  EXPECT_EQ(calls, 2 * 4);
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+  const auto train_set = blob_dataset(100, 6);
+  TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 16;
+  auto a = linear_model();
+  auto b = linear_model();
+  const TrainResult ra = train(*a, train_set, tc);
+  const TrainResult rb = train(*b, train_set, tc);
+  EXPECT_DOUBLE_EQ(ra.final_loss(), rb.final_loss());
+}
+
+TEST(Trainer, EmptyDatasetThrows) {
+  auto net = linear_model();
+  data::Dataset empty;
+  empty.images = Tensor(Shape{0, 1, 2, 2});
+  empty.num_classes = 2;
+  TrainConfig tc;
+  EXPECT_THROW(train(*net, empty, tc), CheckError);
+}
+
+TEST(Evaluate, PartialFinalBatchHandled) {
+  auto net = linear_model();
+  const auto d = blob_dataset(37, 7);  // not a multiple of batch size
+  const double acc = evaluate(*net, d, 16);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 100.0);
+}
+
+}  // namespace
+}  // namespace qnn::nn

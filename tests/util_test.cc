@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace qnn {
+namespace {
+
+TEST(Check, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(QNN_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingConditionThrowsCheckError) {
+  EXPECT_THROW(QNN_CHECK(false), CheckError);
+}
+
+TEST(Check, MessageIncludesExpressionAndLocation) {
+  try {
+    QNN_CHECK_MSG(2 < 1, "custom detail " << 42);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("custom detail 42"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cc"), std::string::npos);
+  }
+}
+
+TEST(Logging, ThresholdFiltersLevels) {
+  set_log_threshold(LogLevel::kError);
+  // Below threshold: must not crash and must not emit (can't capture
+  // stderr portably here; just exercise the path).
+  QNN_LOG(Info) << "suppressed";
+  set_log_threshold(LogLevel::kInfo);
+  EXPECT_EQ(log_threshold(), LogLevel::kInfo);
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i)
+    if (a.uniform() == b.uniform()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 4);
+}
+
+TEST(Rng, NormalHasRoughMoments) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(1.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork();
+  // The child stream should not replay the parent's next values.
+  Rng b(5);
+  (void)b.fork();
+  EXPECT_NE(child.uniform(), a.uniform());
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"Name", "Value"});
+  t.add_row({"alpha", "1.0"});
+  t.add_row({"b", "22.5"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22.5"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  Table t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, SeparatorRows) {
+  Table t({"Alpha", "Beta"});
+  t.add_row({"x", "1"});
+  t.add_separator();
+  t.add_row({"y", "2"});
+  const std::string s = t.to_string();
+  // Two full-width rules: one under the header, one separator.
+  const auto first = s.find("----");
+  ASSERT_NE(first, std::string::npos);
+  const auto next_line = s.find('\n', first);
+  const auto second = s.find("----", next_line);
+  EXPECT_NE(second, std::string::npos);
+}
+
+TEST(Table, NumericFormatters) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_percent(85.406, 2), "85.41");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/qnn_csv_test.csv";
+  {
+    CsvWriter w(path, {"a", "b"});
+    w.add_row({"1", "x,y"});
+    w.add_row({"2", "line\"quote"});
+  }
+  std::ifstream in(path);
+  std::string l1, l2, l3;
+  std::getline(in, l1);
+  std::getline(in, l2);
+  std::getline(in, l3);
+  EXPECT_EQ(l1, "a,b");
+  EXPECT_EQ(l2, "1,\"x,y\"");
+  EXPECT_EQ(l3, "2,\"line\"\"quote\"");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, ArityEnforced) {
+  const std::string path = ::testing::TempDir() + "/qnn_csv_arity.csv";
+  CsvWriter w(path, {"a", "b"});
+  EXPECT_THROW(w.add_row({"1"}), CheckError);
+  w.close();
+  std::filesystem::remove(path);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  const double t0 = sw.seconds();
+  EXPECT_GE(t0, 0.0);
+  sw.reset();
+  EXPECT_LT(sw.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace qnn

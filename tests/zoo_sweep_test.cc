@@ -1,0 +1,115 @@
+// Parameterized structural sweep over every zoo architecture: shape
+// chains, op accounting, backward plumbing, and hardware schedulability
+// must hold for all five networks at multiple channel scales.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "exp/sweep.h"
+#include "nn/loss.h"
+#include "nn/zoo.h"
+
+namespace qnn::nn {
+namespace {
+
+class ZooSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, double>> {};
+
+TEST_P(ZooSweep, ForwardShapeAndDescribeAgree) {
+  const auto [name, scale] = GetParam();
+  ZooConfig zc;
+  zc.channel_scale = scale;
+  auto net = make_network(name, zc);
+  const Shape in = input_shape_for(name);
+  const auto descs = net->describe(in);
+
+  Tensor x(in);
+  Rng rng(3);
+  x.fill_uniform(rng, 0, 1);
+  for (std::size_t i = 0; i < net->num_layers(); ++i) {
+    x = net->layer(i).forward(x);
+    ASSERT_EQ(x.shape(), descs[i].out)
+        << name << " layer " << i << " (" << descs[i].kind << ')';
+  }
+  EXPECT_EQ(x.shape(), Shape({1, 10}));
+}
+
+TEST_P(ZooSweep, OpAccountingConsistent) {
+  const auto [name, scale] = GetParam();
+  ZooConfig zc;
+  zc.channel_scale = scale;
+  auto net = make_network(name, zc);
+  std::int64_t total_macs = 0, total_weights = 0;
+  for (const auto& d : net->describe(input_shape_for(name))) {
+    EXPECT_GE(d.macs, 0);
+    EXPECT_GE(d.weights, 0);
+    if (d.kind == "conv" || d.kind == "inner_product") {
+      EXPECT_GT(d.macs, 0) << d.name;
+      EXPECT_GT(d.fan_in, 0) << d.name;
+      // MACs = fan_in × output elements for both layer kinds.
+      EXPECT_EQ(d.macs, d.fan_in * d.out.count_from(1)) << d.name;
+    }
+    total_macs += d.macs;
+    total_weights += d.weights + d.biases;
+  }
+  EXPECT_GT(total_macs, 0);
+  EXPECT_EQ(total_weights, net->num_params());
+}
+
+TEST_P(ZooSweep, BackwardReachesEveryParameter) {
+  const auto [name, scale] = GetParam();
+  ZooConfig zc;
+  zc.channel_scale = scale;
+  auto net = make_network(name, zc);
+  const Shape in_shape = input_shape_for(name);
+  Tensor x(Shape{std::vector<std::int64_t>{2, in_shape[1], in_shape[2],
+                                           in_shape[3]}});
+  Rng rng(5);
+  x.fill_uniform(rng, 0, 1);
+  auto params = net->trainable_params();
+  for (auto* p : params) p->zero_grad();
+  const Tensor logits = net->forward(x);
+  const auto lr = softmax_cross_entropy(logits, {1, 7});
+  net->backward(lr.grad_logits);
+  for (auto* p : params) {
+    double norm = 0;
+    for (std::int64_t i = 0; i < p->grad.count(); ++i)
+      norm += std::abs(p->grad[i]);
+    EXPECT_GT(norm, 0.0) << name << " param " << p->name;
+  }
+}
+
+TEST_P(ZooSweep, SchedulableOnAccelerator) {
+  const auto [name, scale] = GetParam();
+  ZooConfig zc;
+  zc.channel_scale = scale;
+  auto net = make_network(name, zc);
+  hw::AcceleratorConfig cfg;
+  cfg.precision = quant::fixed_config(16, 16);
+  const hw::Accelerator acc(cfg);
+  const auto sched =
+      hw::schedule_network(net->describe(input_shape_for(name)), acc);
+  EXPECT_GT(sched.total_cycles, 0);
+  EXPECT_GT(sched.energy_uj(acc), 0.0);
+  // Tiling can never beat the MAC bound.
+  std::int64_t macs = 0;
+  for (const auto& d : net->describe(input_shape_for(name)))
+    macs += d.macs;
+  EXPECT_GE(sched.total_cycles, macs / 256);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNetworks, ZooSweep,
+    ::testing::Combine(::testing::Values("lenet", "convnet", "alex",
+                                         "alex+", "alex++"),
+                       ::testing::Values(0.2, 1.0)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, double>>&
+           info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name)
+        if (c == '+') c = 'p';
+      return name + (std::get<1>(info.param) < 1.0 ? "_scaled" : "_full");
+    });
+
+}  // namespace
+}  // namespace qnn::nn

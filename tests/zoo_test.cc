@@ -1,0 +1,120 @@
+// Validates the Table I / Table II architectures: shapes flow, and at
+// channel_scale 1 the parameter counts reproduce the paper's §V-B
+// memory numbers (≈1650 KB LeNet, ≈2150 KB ConvNet, ≈350 KB ALEX,
+// ≈1250 KB ALEX+, ≈9400 KB ALEX++ at 32-bit).
+#include <gtest/gtest.h>
+
+#include "nn/zoo.h"
+#include "util/check.h"
+
+namespace qnn::nn {
+namespace {
+
+TEST(Zoo, LenetShapes) {
+  auto net = make_lenet();
+  Tensor in(Shape{1, 1, 28, 28});
+  const Tensor out = net->forward(in);
+  EXPECT_EQ(out.shape(), Shape({1, 10}));
+}
+
+TEST(Zoo, LenetParamCountMatchesPaper) {
+  auto net = make_lenet();
+  // conv1 20*25+20, conv2 50*20*25+50, ip 500*800+500, ip 10*500+10
+  EXPECT_EQ(net->num_params(), 500 + 20 + 25000 + 50 + 400000 + 500 + 5000 + 10);
+  const double kb = static_cast<double>(net->num_params()) * 4 / 1024;
+  EXPECT_NEAR(kb, 1650, 60);  // paper: ~1650 KB at full precision
+}
+
+TEST(Zoo, ConvnetShapesAndParams) {
+  auto net = make_convnet();
+  Tensor in(Shape{2, 3, 32, 32});
+  EXPECT_EQ(net->forward(in).shape(), Shape({2, 10}));
+  const double kb = static_cast<double>(net->num_params()) * 4 / 1024;
+  EXPECT_NEAR(kb, 2150, 100);  // paper: ~2150 KB
+}
+
+TEST(Zoo, AlexShapesAndParams) {
+  auto net = make_alex();
+  Tensor in(Shape{1, 3, 32, 32});
+  EXPECT_EQ(net->forward(in).shape(), Shape({1, 10}));
+  const double kb = static_cast<double>(net->num_params()) * 4 / 1024;
+  EXPECT_NEAR(kb, 350, 25);  // paper: ~350 KB
+}
+
+TEST(Zoo, AlexPlusParams) {
+  auto net = make_alex_plus();
+  Tensor in(Shape{1, 3, 32, 32});
+  EXPECT_EQ(net->forward(in).shape(), Shape({1, 10}));
+  const double kb = static_cast<double>(net->num_params()) * 4 / 1024;
+  EXPECT_NEAR(kb, 1250, 80);  // paper: ~1250 KB
+}
+
+TEST(Zoo, AlexPlusPlusParams) {
+  auto net = make_alex_plus_plus();
+  Tensor in(Shape{1, 3, 32, 32});
+  EXPECT_EQ(net->forward(in).shape(), Shape({1, 10}));
+  const double kb = static_cast<double>(net->num_params()) * 4 / 1024;
+  EXPECT_NEAR(kb, 9400, 400);  // paper: ~9400 KB
+}
+
+TEST(Zoo, AlexPlusDoublesAlexChannels) {
+  // ALEX+ = ALEX with doubled conv channels (Table II): its conv layers
+  // must carry 4x the weights (2x in, 2x out), modulo the first layer.
+  const auto alex = make_alex()->describe(Shape{1, 3, 32, 32});
+  const auto plus = make_alex_plus()->describe(Shape{1, 3, 32, 32});
+  ASSERT_EQ(alex.size(), plus.size());
+  // First conv: input channels fixed at 3 -> exactly 2x weights.
+  EXPECT_EQ(plus[0].weights, 2 * alex[0].weights);
+}
+
+TEST(Zoo, ChannelScaleShrinksParams) {
+  ZooConfig half;
+  half.channel_scale = 0.5;
+  EXPECT_LT(make_lenet(half)->num_params(), make_lenet()->num_params() / 2);
+  // Output layer width unaffected.
+  Tensor in(Shape{1, 1, 28, 28});
+  EXPECT_EQ(make_lenet(half)->forward(in).shape(), Shape({1, 10}));
+}
+
+TEST(Zoo, MakeNetworkByName) {
+  for (const char* name : {"lenet", "convnet", "alex", "alex+", "alex++"}) {
+    ZooConfig c;
+    c.channel_scale = 0.25;
+    auto net = make_network(name, c);
+    EXPECT_EQ(net->name(), name);
+    Tensor in(input_shape_for(name));
+    EXPECT_EQ(net->forward(in).shape(), Shape({1, 10}));
+  }
+  EXPECT_THROW(make_network("resnet", {}), CheckError);
+  EXPECT_THROW(input_shape_for("vgg"), CheckError);
+}
+
+TEST(Zoo, MacCountsOrdering) {
+  // Per-image MACs: ALEX < ALEX+ and ALEX < ALEX++ (Table V energy).
+  auto macs = [](const std::string& name) {
+    std::int64_t total = 0;
+    for (const auto& d :
+         make_network(name, {})->describe(input_shape_for(name)))
+      total += d.macs;
+    return total;
+  };
+  const auto alex = macs("alex");
+  EXPECT_GT(macs("alex+"), 3 * alex);
+  EXPECT_GT(macs("alex++"), 2 * alex);
+  // LeNet ≈ 2.3 MMACs/image (DianNao-era figure for 28×28 LeNet).
+  EXPECT_NEAR(static_cast<double>(macs("lenet")), 2.3e6, 0.4e6);
+}
+
+TEST(Zoo, InitSeedChangesWeights) {
+  ZooConfig a, b;
+  a.init_seed = 1;
+  b.init_seed = 2;
+  auto na = make_alex(a);
+  auto nb = make_alex(b);
+  const auto pa = na->trainable_params();
+  const auto pb = nb->trainable_params();
+  EXPECT_NE(pa[0]->value[0], pb[0]->value[0]);
+}
+
+}  // namespace
+}  // namespace qnn::nn
