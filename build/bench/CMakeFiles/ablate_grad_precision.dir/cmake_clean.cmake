@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_grad_precision.dir/ablate_grad_precision.cc.o"
+  "CMakeFiles/ablate_grad_precision.dir/ablate_grad_precision.cc.o.d"
+  "ablate_grad_precision"
+  "ablate_grad_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_grad_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

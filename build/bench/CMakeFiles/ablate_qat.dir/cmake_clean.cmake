@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_qat.dir/ablate_qat.cc.o"
+  "CMakeFiles/ablate_qat.dir/ablate_qat.cc.o.d"
+  "ablate_qat"
+  "ablate_qat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_qat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

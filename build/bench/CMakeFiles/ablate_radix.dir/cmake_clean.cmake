@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_radix.dir/ablate_radix.cc.o"
+  "CMakeFiles/ablate_radix.dir/ablate_radix.cc.o.d"
+  "ablate_radix"
+  "ablate_radix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_radix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

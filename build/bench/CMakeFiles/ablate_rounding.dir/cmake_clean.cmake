@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_rounding.dir/ablate_rounding.cc.o"
+  "CMakeFiles/ablate_rounding.dir/ablate_rounding.cc.o.d"
+  "ablate_rounding"
+  "ablate_rounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_rounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_arithmetic.dir/approx_arithmetic.cc.o"
+  "CMakeFiles/approx_arithmetic.dir/approx_arithmetic.cc.o.d"
+  "approx_arithmetic"
+  "approx_arithmetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_arithmetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

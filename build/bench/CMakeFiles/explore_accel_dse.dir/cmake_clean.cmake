@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_accel_dse.dir/explore_accel_dse.cc.o"
+  "CMakeFiles/explore_accel_dse.dir/explore_accel_dse.cc.o.d"
+  "explore_accel_dse"
+  "explore_accel_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_accel_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

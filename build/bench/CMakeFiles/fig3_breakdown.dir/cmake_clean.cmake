@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_breakdown.dir/fig3_breakdown.cc.o"
+  "CMakeFiles/fig3_breakdown.dir/fig3_breakdown.cc.o.d"
+  "fig3_breakdown"
+  "fig3_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

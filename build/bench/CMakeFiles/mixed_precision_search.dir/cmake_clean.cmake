@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_precision_search.dir/mixed_precision_search.cc.o"
+  "CMakeFiles/mixed_precision_search.dir/mixed_precision_search.cc.o.d"
+  "mixed_precision_search"
+  "mixed_precision_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_precision_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_prediction.dir/noise_prediction.cc.o"
+  "CMakeFiles/noise_prediction.dir/noise_prediction.cc.o.d"
+  "noise_prediction"
+  "noise_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

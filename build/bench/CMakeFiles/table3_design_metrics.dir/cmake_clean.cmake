@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_design_metrics.dir/table3_design_metrics.cc.o"
+  "CMakeFiles/table3_design_metrics.dir/table3_design_metrics.cc.o.d"
+  "table3_design_metrics"
+  "table3_design_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_design_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

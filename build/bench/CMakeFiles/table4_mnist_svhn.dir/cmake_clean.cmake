@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_mnist_svhn.dir/table4_mnist_svhn.cc.o"
+  "CMakeFiles/table4_mnist_svhn.dir/table4_mnist_svhn.cc.o.d"
+  "table4_mnist_svhn"
+  "table4_mnist_svhn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_mnist_svhn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

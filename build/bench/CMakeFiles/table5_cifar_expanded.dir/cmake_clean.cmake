@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_cifar_expanded.dir/table5_cifar_expanded.cc.o"
+  "CMakeFiles/table5_cifar_expanded.dir/table5_cifar_expanded.cc.o.d"
+  "table5_cifar_expanded"
+  "table5_cifar_expanded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_cifar_expanded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_preview.dir/dataset_preview.cpp.o"
+  "CMakeFiles/dataset_preview.dir/dataset_preview.cpp.o.d"
+  "dataset_preview"
+  "dataset_preview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_preview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

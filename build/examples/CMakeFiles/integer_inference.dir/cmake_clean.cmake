@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integer_inference.dir/integer_inference.cpp.o"
+  "CMakeFiles/integer_inference.dir/integer_inference.cpp.o.d"
+  "integer_inference"
+  "integer_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integer_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

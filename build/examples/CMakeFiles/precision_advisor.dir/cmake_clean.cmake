@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precision_advisor.dir/precision_advisor.cpp.o"
+  "CMakeFiles/precision_advisor.dir/precision_advisor.cpp.o.d"
+  "precision_advisor"
+  "precision_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precision_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

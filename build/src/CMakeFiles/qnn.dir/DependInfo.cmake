@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/builders.cc" "src/CMakeFiles/qnn.dir/config/builders.cc.o" "gcc" "src/CMakeFiles/qnn.dir/config/builders.cc.o.d"
+  "/root/repo/src/config/config_node.cc" "src/CMakeFiles/qnn.dir/config/config_node.cc.o" "gcc" "src/CMakeFiles/qnn.dir/config/config_node.cc.o.d"
+  "/root/repo/src/data/augment.cc" "src/CMakeFiles/qnn.dir/data/augment.cc.o" "gcc" "src/CMakeFiles/qnn.dir/data/augment.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/qnn.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/qnn.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/glyphs.cc" "src/CMakeFiles/qnn.dir/data/glyphs.cc.o" "gcc" "src/CMakeFiles/qnn.dir/data/glyphs.cc.o.d"
+  "/root/repo/src/data/image_io.cc" "src/CMakeFiles/qnn.dir/data/image_io.cc.o" "gcc" "src/CMakeFiles/qnn.dir/data/image_io.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/qnn.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/qnn.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/exp/sweep.cc" "src/CMakeFiles/qnn.dir/exp/sweep.cc.o" "gcc" "src/CMakeFiles/qnn.dir/exp/sweep.cc.o.d"
+  "/root/repo/src/fixed/approx_mult.cc" "src/CMakeFiles/qnn.dir/fixed/approx_mult.cc.o" "gcc" "src/CMakeFiles/qnn.dir/fixed/approx_mult.cc.o.d"
+  "/root/repo/src/fixed/binary_format.cc" "src/CMakeFiles/qnn.dir/fixed/binary_format.cc.o" "gcc" "src/CMakeFiles/qnn.dir/fixed/binary_format.cc.o.d"
+  "/root/repo/src/fixed/fixed_arith.cc" "src/CMakeFiles/qnn.dir/fixed/fixed_arith.cc.o" "gcc" "src/CMakeFiles/qnn.dir/fixed/fixed_arith.cc.o.d"
+  "/root/repo/src/fixed/fixed_format.cc" "src/CMakeFiles/qnn.dir/fixed/fixed_format.cc.o" "gcc" "src/CMakeFiles/qnn.dir/fixed/fixed_format.cc.o.d"
+  "/root/repo/src/fixed/plan_sigmoid.cc" "src/CMakeFiles/qnn.dir/fixed/plan_sigmoid.cc.o" "gcc" "src/CMakeFiles/qnn.dir/fixed/plan_sigmoid.cc.o.d"
+  "/root/repo/src/fixed/pow2_format.cc" "src/CMakeFiles/qnn.dir/fixed/pow2_format.cc.o" "gcc" "src/CMakeFiles/qnn.dir/fixed/pow2_format.cc.o.d"
+  "/root/repo/src/hw/accelerator.cc" "src/CMakeFiles/qnn.dir/hw/accelerator.cc.o" "gcc" "src/CMakeFiles/qnn.dir/hw/accelerator.cc.o.d"
+  "/root/repo/src/hw/logic_model.cc" "src/CMakeFiles/qnn.dir/hw/logic_model.cc.o" "gcc" "src/CMakeFiles/qnn.dir/hw/logic_model.cc.o.d"
+  "/root/repo/src/hw/nfu_sim.cc" "src/CMakeFiles/qnn.dir/hw/nfu_sim.cc.o" "gcc" "src/CMakeFiles/qnn.dir/hw/nfu_sim.cc.o.d"
+  "/root/repo/src/hw/schedule.cc" "src/CMakeFiles/qnn.dir/hw/schedule.cc.o" "gcc" "src/CMakeFiles/qnn.dir/hw/schedule.cc.o.d"
+  "/root/repo/src/nn/activation.cc" "src/CMakeFiles/qnn.dir/nn/activation.cc.o" "gcc" "src/CMakeFiles/qnn.dir/nn/activation.cc.o.d"
+  "/root/repo/src/nn/conv.cc" "src/CMakeFiles/qnn.dir/nn/conv.cc.o" "gcc" "src/CMakeFiles/qnn.dir/nn/conv.cc.o.d"
+  "/root/repo/src/nn/inner_product.cc" "src/CMakeFiles/qnn.dir/nn/inner_product.cc.o" "gcc" "src/CMakeFiles/qnn.dir/nn/inner_product.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/CMakeFiles/qnn.dir/nn/layer.cc.o" "gcc" "src/CMakeFiles/qnn.dir/nn/layer.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/CMakeFiles/qnn.dir/nn/loss.cc.o" "gcc" "src/CMakeFiles/qnn.dir/nn/loss.cc.o.d"
+  "/root/repo/src/nn/lrn.cc" "src/CMakeFiles/qnn.dir/nn/lrn.cc.o" "gcc" "src/CMakeFiles/qnn.dir/nn/lrn.cc.o.d"
+  "/root/repo/src/nn/metrics.cc" "src/CMakeFiles/qnn.dir/nn/metrics.cc.o" "gcc" "src/CMakeFiles/qnn.dir/nn/metrics.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/CMakeFiles/qnn.dir/nn/network.cc.o" "gcc" "src/CMakeFiles/qnn.dir/nn/network.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/qnn.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/qnn.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/pool.cc" "src/CMakeFiles/qnn.dir/nn/pool.cc.o" "gcc" "src/CMakeFiles/qnn.dir/nn/pool.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/qnn.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/qnn.dir/nn/serialize.cc.o.d"
+  "/root/repo/src/nn/trainer.cc" "src/CMakeFiles/qnn.dir/nn/trainer.cc.o" "gcc" "src/CMakeFiles/qnn.dir/nn/trainer.cc.o.d"
+  "/root/repo/src/nn/zoo.cc" "src/CMakeFiles/qnn.dir/nn/zoo.cc.o" "gcc" "src/CMakeFiles/qnn.dir/nn/zoo.cc.o.d"
+  "/root/repo/src/quant/memory.cc" "src/CMakeFiles/qnn.dir/quant/memory.cc.o" "gcc" "src/CMakeFiles/qnn.dir/quant/memory.cc.o.d"
+  "/root/repo/src/quant/mixed_precision.cc" "src/CMakeFiles/qnn.dir/quant/mixed_precision.cc.o" "gcc" "src/CMakeFiles/qnn.dir/quant/mixed_precision.cc.o.d"
+  "/root/repo/src/quant/noise_model.cc" "src/CMakeFiles/qnn.dir/quant/noise_model.cc.o" "gcc" "src/CMakeFiles/qnn.dir/quant/noise_model.cc.o.d"
+  "/root/repo/src/quant/qat.cc" "src/CMakeFiles/qnn.dir/quant/qat.cc.o" "gcc" "src/CMakeFiles/qnn.dir/quant/qat.cc.o.d"
+  "/root/repo/src/quant/qconfig.cc" "src/CMakeFiles/qnn.dir/quant/qconfig.cc.o" "gcc" "src/CMakeFiles/qnn.dir/quant/qconfig.cc.o.d"
+  "/root/repo/src/quant/qnetwork.cc" "src/CMakeFiles/qnn.dir/quant/qnetwork.cc.o" "gcc" "src/CMakeFiles/qnn.dir/quant/qnetwork.cc.o.d"
+  "/root/repo/src/quant/quantizer.cc" "src/CMakeFiles/qnn.dir/quant/quantizer.cc.o" "gcc" "src/CMakeFiles/qnn.dir/quant/quantizer.cc.o.d"
+  "/root/repo/src/quant/range_analysis.cc" "src/CMakeFiles/qnn.dir/quant/range_analysis.cc.o" "gcc" "src/CMakeFiles/qnn.dir/quant/range_analysis.cc.o.d"
+  "/root/repo/src/tensor/gemm.cc" "src/CMakeFiles/qnn.dir/tensor/gemm.cc.o" "gcc" "src/CMakeFiles/qnn.dir/tensor/gemm.cc.o.d"
+  "/root/repo/src/tensor/im2col.cc" "src/CMakeFiles/qnn.dir/tensor/im2col.cc.o" "gcc" "src/CMakeFiles/qnn.dir/tensor/im2col.cc.o.d"
+  "/root/repo/src/tensor/shape.cc" "src/CMakeFiles/qnn.dir/tensor/shape.cc.o" "gcc" "src/CMakeFiles/qnn.dir/tensor/shape.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/qnn.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/qnn.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/qnn.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/qnn.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/qnn.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/qnn.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/qnn.dir/util/table.cc.o" "gcc" "src/CMakeFiles/qnn.dir/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activation_extra_test.dir/activation_extra_test.cc.o"
+  "CMakeFiles/activation_extra_test.dir/activation_extra_test.cc.o.d"
+  "activation_extra_test"
+  "activation_extra_test.pdb"
+  "activation_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activation_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_mult_test.dir/approx_mult_test.cc.o"
+  "CMakeFiles/approx_mult_test.dir/approx_mult_test.cc.o.d"
+  "approx_mult_test"
+  "approx_mult_test.pdb"
+  "approx_mult_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_mult_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

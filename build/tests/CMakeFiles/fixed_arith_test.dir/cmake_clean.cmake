@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixed_arith_test.dir/fixed_arith_test.cc.o"
+  "CMakeFiles/fixed_arith_test.dir/fixed_arith_test.cc.o.d"
+  "fixed_arith_test"
+  "fixed_arith_test.pdb"
+  "fixed_arith_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixed_arith_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

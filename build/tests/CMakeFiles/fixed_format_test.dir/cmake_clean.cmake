@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixed_format_test.dir/fixed_format_test.cc.o"
+  "CMakeFiles/fixed_format_test.dir/fixed_format_test.cc.o.d"
+  "fixed_format_test"
+  "fixed_format_test.pdb"
+  "fixed_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixed_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

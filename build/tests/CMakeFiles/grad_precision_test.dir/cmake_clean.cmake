@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grad_precision_test.dir/grad_precision_test.cc.o"
+  "CMakeFiles/grad_precision_test.dir/grad_precision_test.cc.o.d"
+  "grad_precision_test"
+  "grad_precision_test.pdb"
+  "grad_precision_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grad_precision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

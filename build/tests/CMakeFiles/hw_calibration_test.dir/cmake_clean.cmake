@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_calibration_test.dir/hw_calibration_test.cc.o"
+  "CMakeFiles/hw_calibration_test.dir/hw_calibration_test.cc.o.d"
+  "hw_calibration_test"
+  "hw_calibration_test.pdb"
+  "hw_calibration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

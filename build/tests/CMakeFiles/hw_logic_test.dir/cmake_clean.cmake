@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_logic_test.dir/hw_logic_test.cc.o"
+  "CMakeFiles/hw_logic_test.dir/hw_logic_test.cc.o.d"
+  "hw_logic_test"
+  "hw_logic_test.pdb"
+  "hw_logic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_logic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

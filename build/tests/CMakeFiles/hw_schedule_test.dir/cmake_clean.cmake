@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_schedule_test.dir/hw_schedule_test.cc.o"
+  "CMakeFiles/hw_schedule_test.dir/hw_schedule_test.cc.o.d"
+  "hw_schedule_test"
+  "hw_schedule_test.pdb"
+  "hw_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_io_test.dir/image_io_test.cc.o"
+  "CMakeFiles/image_io_test.dir/image_io_test.cc.o.d"
+  "image_io_test"
+  "image_io_test.pdb"
+  "image_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_precision_test.dir/mixed_precision_test.cc.o"
+  "CMakeFiles/mixed_precision_test.dir/mixed_precision_test.cc.o.d"
+  "mixed_precision_test"
+  "mixed_precision_test.pdb"
+  "mixed_precision_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_precision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

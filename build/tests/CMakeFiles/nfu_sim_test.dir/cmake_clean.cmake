@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfu_sim_test.dir/nfu_sim_test.cc.o"
+  "CMakeFiles/nfu_sim_test.dir/nfu_sim_test.cc.o.d"
+  "nfu_sim_test"
+  "nfu_sim_test.pdb"
+  "nfu_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfu_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

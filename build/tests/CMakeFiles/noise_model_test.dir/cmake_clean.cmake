@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_model_test.dir/noise_model_test.cc.o"
+  "CMakeFiles/noise_model_test.dir/noise_model_test.cc.o.d"
+  "noise_model_test"
+  "noise_model_test.pdb"
+  "noise_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_sigmoid_test.dir/plan_sigmoid_test.cc.o"
+  "CMakeFiles/plan_sigmoid_test.dir/plan_sigmoid_test.cc.o.d"
+  "plan_sigmoid_test"
+  "plan_sigmoid_test.pdb"
+  "plan_sigmoid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_sigmoid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

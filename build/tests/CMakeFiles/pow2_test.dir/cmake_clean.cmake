@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pow2_test.dir/pow2_test.cc.o"
+  "CMakeFiles/pow2_test.dir/pow2_test.cc.o.d"
+  "pow2_test"
+  "pow2_test.pdb"
+  "pow2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pow2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

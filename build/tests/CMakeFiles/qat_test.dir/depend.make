@@ -1,0 +1,2 @@
+# Empty dependencies file for qat_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qconfig_test.dir/qconfig_test.cc.o"
+  "CMakeFiles/qconfig_test.dir/qconfig_test.cc.o.d"
+  "qconfig_test"
+  "qconfig_test.pdb"
+  "qconfig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qconfig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

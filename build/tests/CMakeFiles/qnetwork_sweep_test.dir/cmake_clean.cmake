@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnetwork_sweep_test.dir/qnetwork_sweep_test.cc.o"
+  "CMakeFiles/qnetwork_sweep_test.dir/qnetwork_sweep_test.cc.o.d"
+  "qnetwork_sweep_test"
+  "qnetwork_sweep_test.pdb"
+  "qnetwork_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnetwork_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnetwork_test.dir/qnetwork_test.cc.o"
+  "CMakeFiles/qnetwork_test.dir/qnetwork_test.cc.o.d"
+  "qnetwork_test"
+  "qnetwork_test.pdb"
+  "qnetwork_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnetwork_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

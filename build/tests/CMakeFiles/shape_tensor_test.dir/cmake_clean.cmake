@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shape_tensor_test.dir/shape_tensor_test.cc.o"
+  "CMakeFiles/shape_tensor_test.dir/shape_tensor_test.cc.o.d"
+  "shape_tensor_test"
+  "shape_tensor_test.pdb"
+  "shape_tensor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shape_tensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stochastic_rounding_test.dir/stochastic_rounding_test.cc.o"
+  "CMakeFiles/stochastic_rounding_test.dir/stochastic_rounding_test.cc.o.d"
+  "stochastic_rounding_test"
+  "stochastic_rounding_test.pdb"
+  "stochastic_rounding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stochastic_rounding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
