@@ -19,7 +19,14 @@ struct Token {
 // whitespace), braces. '#' comments to end of line.
 class Lexer {
  public:
-  explicit Lexer(const std::string& text) : text_(text) {}
+  Lexer(const std::string& text, const std::string& source)
+      : text_(text), source_(source) {}
+
+  // "<source>:<line>" prefix for parse errors.
+  std::string where(int line) const {
+    return source_ + ":" + std::to_string(line);
+  }
+  std::string where() const { return where(line_); }
 
   Token next() {
     skip_space_and_comments();
@@ -34,9 +41,8 @@ class Lexer {
       return {Token::kCloseBrace, "}", line_};
     }
     QNN_CHECK_MSG(std::isalpha(static_cast<unsigned char>(c)) || c == '_',
-                  "config parse error at line " << line_
-                                                << ": unexpected '" << c
-                                                << '\'');
+                  where() << ": config parse error: unexpected '" << c
+                          << '\'');
     const std::size_t start = pos_;
     while (pos_ < text_.size() &&
            (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
@@ -55,9 +61,9 @@ class Lexer {
              text_[pos_] != '#' && text_[pos_] != '}')
         ++pos_;
       std::string value = text_.substr(vstart, pos_ - vstart);
-      QNN_CHECK_MSG(!value.empty(), "config parse error at line "
-                                        << line_ << ": empty value for '"
-                                        << ident << '\'');
+      QNN_CHECK_MSG(!value.empty(),
+                    where() << ": config parse error: empty value for '"
+                            << ident << '\'');
       return {Token::kColonValue, ident + "\n" + value, line_};
     }
     return {Token::kIdent, std::move(ident), line_};
@@ -86,6 +92,7 @@ class Lexer {
   }
 
   const std::string& text_;
+  const std::string source_;
   std::size_t pos_ = 0;
   int line_ = 1;
 };
@@ -95,13 +102,14 @@ void parse_block(Lexer& lexer, ConfigNode& node, bool top_level) {
     const Token t = lexer.next();
     switch (t.kind) {
       case Token::kEnd:
-        QNN_CHECK_MSG(top_level, "config parse error: unexpected end of "
-                                 "input inside a block");
+        QNN_CHECK_MSG(top_level,
+                      lexer.where(t.line)
+                          << ": config parse error: unexpected end of "
+                             "input inside a block");
         return;
       case Token::kCloseBrace:
-        QNN_CHECK_MSG(!top_level,
-                      "config parse error at line " << t.line
-                                                    << ": stray '}'");
+        QNN_CHECK_MSG(!top_level, lexer.where(t.line)
+                                      << ": config parse error: stray '}'");
         return;
       case Token::kColonValue: {
         const auto split = t.text.find('\n');
@@ -111,15 +119,15 @@ void parse_block(Lexer& lexer, ConfigNode& node, bool top_level) {
       case Token::kIdent: {
         const Token open = lexer.next();
         QNN_CHECK_MSG(open.kind == Token::kOpenBrace,
-                      "config parse error at line "
-                          << open.line << ": expected '{' after '"
+                      lexer.where(open.line)
+                          << ": config parse error: expected '{' after '"
                           << t.text << '\'');
         parse_block(lexer, node.add_block(t.text), /*top_level=*/false);
         break;
       }
       case Token::kOpenBrace:
-        QNN_CHECK_MSG(false, "config parse error at line "
-                                 << t.line << ": unexpected '{'");
+        QNN_CHECK_MSG(false, lexer.where(t.line)
+                                 << ": config parse error: unexpected '{'");
     }
   }
 }
@@ -226,9 +234,10 @@ std::vector<std::string> ConfigNode::keys() const {
   return out;
 }
 
-ConfigNode parse_config(const std::string& text) {
+ConfigNode parse_config(const std::string& text,
+                        const std::string& source_name) {
   ConfigNode root;
-  Lexer lexer(text);
+  Lexer lexer(text, source_name);
   parse_block(lexer, root, /*top_level=*/true);
   return root;
 }
@@ -238,7 +247,7 @@ ConfigNode load_config(const std::string& path) {
   QNN_CHECK_MSG(in.good(), "cannot open config " << path);
   std::ostringstream ss;
   ss << in.rdbuf();
-  return parse_config(ss.str());
+  return parse_config(ss.str(), path);
 }
 
 }  // namespace qnn::config

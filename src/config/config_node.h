@@ -55,9 +55,11 @@ class ConfigNode {
   std::map<std::string, std::vector<ConfigNode>> children_;
 };
 
-// Parses the text format; throws CheckError with line information on
-// malformed input.
-ConfigNode parse_config(const std::string& text);
+// Parses the text format; throws CheckError on malformed input with
+// "<source_name>:<line>" context (load_config passes the file path as
+// the source name, so errors read "lenet_fixed8.cfg:12: ...").
+ConfigNode parse_config(const std::string& text,
+                        const std::string& source_name = "<config>");
 
 // Reads and parses a file.
 ConfigNode load_config(const std::string& path);

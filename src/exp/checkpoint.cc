@@ -1,0 +1,224 @@
+#include "exp/checkpoint.h"
+
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/crc32.h"
+#include "util/fileio.h"
+#include "util/logging.h"
+
+namespace qnn::exp {
+namespace {
+
+// Canonical text fragment for a double: max precision, locale-free.
+void put(std::ostream& os, double v) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << v
+     << '|';
+}
+
+void put(std::ostream& os, const std::string& s) { os << s << '|'; }
+
+void put_train(std::ostream& os, const nn::TrainConfig& t) {
+  os << t.epochs << '|' << t.batch_size << '|' << t.shuffle_seed << '|';
+  put(os, t.sgd.learning_rate);
+  put(os, t.sgd.momentum);
+  put(os, t.sgd.weight_decay);
+  put(os, t.sgd.gamma);
+  os << t.sgd.step_epochs << '|';
+  put(os, t.sgd.clip_grad_norm);
+  os << t.augment.mirror << '|' << t.augment.pad_crop << '|'
+     << t.augment.seed << '|';
+}
+
+void put_precision(std::ostream& os, const quant::PrecisionConfig& p) {
+  os << p.id() << '|' << static_cast<int>(p.radix_policy) << '|'
+     << static_cast<int>(p.calibration) << '|'
+     << static_cast<int>(p.binary_scale) << '|'
+     << static_cast<int>(p.rounding) << '|' << p.gradient_bits << '|';
+}
+
+const char kCrcPrefix[] = "crc32 ";
+
+}  // namespace
+
+std::uint32_t sweep_fingerprint(
+    const ExperimentSpec& spec,
+    const std::vector<quant::PrecisionConfig>& precisions,
+    double reference_energy_uj, const FaultCampaignSpec& faults) {
+  std::ostringstream os;
+  put(os, spec.network);
+  put(os, spec.dataset);
+  put(os, spec.channel_scale);
+  os << spec.data.num_train << '|' << spec.data.num_test << '|'
+     << spec.data.seed << '|';
+  put(os, spec.data.noise_scale);
+  put_train(os, spec.float_train);
+  put_train(os, spec.qat_train);
+  os << static_cast<int>(spec.radix_policy) << '|' << spec.seed << '|';
+  put(os, reference_energy_uj);
+  os << faults.trials << '|' << faults.domains << '|' << faults.seed << '|'
+     << faults.trial_retries << '|';
+  for (double rate : faults.bit_error_rates) put(os, rate);
+  os << '#';
+  for (const quant::PrecisionConfig& p : precisions) put_precision(os, p);
+  const std::string canon = os.str();
+  return crc32(canon);
+}
+
+json::Value precision_result_to_json(const PrecisionResult& point) {
+  json::Value v = json::Value::object();
+  v.set("precision", point.precision.id());
+  v.set("accuracy", point.accuracy);
+  v.set("converged", point.converged);
+  v.set("energy_uj", point.energy_uj);
+  v.set("energy_saving_percent", point.energy_saving_percent);
+  v.set("area_mm2", point.area_mm2);
+  v.set("power_mw", point.power_mw);
+  v.set("param_kb", point.param_kb);
+  v.set("cycles", point.cycles);
+  json::Value guards = json::Value::object();
+  guards.set("values", point.guards.values);
+  guards.set("saturated", point.guards.saturated);
+  guards.set("nan", point.guards.nan);
+  guards.set("inf", point.guards.inf);
+  v.set("guards", std::move(guards));
+  v.set("attempts", point.attempts);
+  v.set("degraded", point.degraded);
+  json::Value campaigns = json::Value::array();
+  for (const FaultPointResult& c : point.fault_campaigns) {
+    json::Value cv = json::Value::object();
+    cv.set("bit_error_rate", c.bit_error_rate);
+    cv.set("trials", c.trials);
+    cv.set("failed_trials", c.failed_trials);
+    cv.set("mean_accuracy", c.mean_accuracy);
+    cv.set("min_accuracy", c.min_accuracy);
+    cv.set("total_flips", c.total_flips);
+    campaigns.push_back(std::move(cv));
+  }
+  v.set("fault_campaigns", std::move(campaigns));
+  return v;
+}
+
+PrecisionResult precision_result_from_json(
+    const json::Value& v, const quant::PrecisionConfig& precision) {
+  PrecisionResult point;
+  QNN_CHECK_MSG(v.at("precision").as_string() == precision.id(),
+                "checkpoint point is " << v.at("precision").as_string()
+                                       << ", expected " << precision.id());
+  point.precision = precision;
+  point.accuracy = v.at("accuracy").as_double();
+  point.converged = v.at("converged").as_bool();
+  point.energy_uj = v.at("energy_uj").as_double();
+  point.energy_saving_percent = v.at("energy_saving_percent").as_double();
+  point.area_mm2 = v.at("area_mm2").as_double();
+  point.power_mw = v.at("power_mw").as_double();
+  point.param_kb = v.at("param_kb").as_double();
+  point.cycles = v.at("cycles").as_int();
+  const json::Value& guards = v.at("guards");
+  point.guards.values = guards.at("values").as_int();
+  point.guards.saturated = guards.at("saturated").as_int();
+  point.guards.nan = guards.at("nan").as_int();
+  point.guards.inf = guards.at("inf").as_int();
+  point.attempts = static_cast<int>(v.at("attempts").as_int());
+  point.degraded = v.at("degraded").as_bool();
+  for (const json::Value& cv : v.at("fault_campaigns").items()) {
+    FaultPointResult c;
+    c.bit_error_rate = cv.at("bit_error_rate").as_double();
+    c.trials = static_cast<int>(cv.at("trials").as_int());
+    c.failed_trials = static_cast<int>(cv.at("failed_trials").as_int());
+    c.mean_accuracy = cv.at("mean_accuracy").as_double();
+    c.min_accuracy = cv.at("min_accuracy").as_double();
+    c.total_flips = cv.at("total_flips").as_int();
+    point.fault_campaigns.push_back(c);
+  }
+  return point;
+}
+
+void save_sweep_checkpoint(const std::string& path,
+                           const SweepCheckpoint& checkpoint) {
+  json::Value root = json::Value::object();
+  root.set("version", kCheckpointVersion);
+  root.set("fingerprint", static_cast<std::int64_t>(checkpoint.fingerprint));
+  root.set("network", checkpoint.network);
+  root.set("dataset", checkpoint.dataset);
+  root.set("float_trained", checkpoint.float_trained);
+  root.set("float_accuracy", checkpoint.float_accuracy);
+  root.set("float_energy_uj", checkpoint.float_energy_uj);
+  json::Value points = json::Value::array();
+  for (const PrecisionResult& p : checkpoint.points)
+    points.push_back(precision_result_to_json(p));
+  root.set("points", std::move(points));
+
+  std::string payload = root.dump();
+  payload += '\n';
+  std::ostringstream trailer;
+  trailer << kCrcPrefix << std::hex << std::setw(8) << std::setfill('0')
+          << crc32(payload) << '\n';
+  write_file_atomic(path, payload + trailer.str());
+}
+
+bool load_sweep_checkpoint(
+    const std::string& path, std::uint32_t expected_fingerprint,
+    const std::vector<quant::PrecisionConfig>& precisions,
+    SweepCheckpoint* out) {
+  if (!file_exists(path)) return false;
+  try {
+    const std::string bytes = read_file(path);
+    // Split off the trailer line: payload ends at the last '\n' before it.
+    const std::size_t trailer_at = bytes.rfind(kCrcPrefix);
+    QNN_CHECK_MSG(trailer_at != std::string::npos && trailer_at > 0 &&
+                      bytes[trailer_at - 1] == '\n',
+                  "checkpoint " << path << " has no CRC trailer");
+    const std::string payload = bytes.substr(0, trailer_at);
+    const std::string trailer = bytes.substr(trailer_at);
+    std::uint32_t stored = 0;
+    {
+      std::istringstream ts(trailer.substr(sizeof(kCrcPrefix) - 1));
+      ts >> std::hex >> stored;
+      QNN_CHECK_MSG(!ts.fail(), "checkpoint " << path
+                                              << " has a malformed CRC "
+                                                 "trailer");
+    }
+    QNN_CHECK_MSG(crc32(payload) == stored,
+                  "checkpoint " << path << " failed CRC validation "
+                                << "(torn write or corruption)");
+
+    const json::Value root = json::parse(payload, path);
+    QNN_CHECK_MSG(root.at("version").as_int() == kCheckpointVersion,
+                  "checkpoint " << path << " has unsupported version "
+                                << root.at("version").as_int());
+    SweepCheckpoint ck;
+    ck.fingerprint =
+        static_cast<std::uint32_t>(root.at("fingerprint").as_int());
+    if (ck.fingerprint != expected_fingerprint) {
+      QNN_LOG(Warn) << "checkpoint " << path
+                    << " belongs to a different sweep (fingerprint "
+                    << ck.fingerprint << " != " << expected_fingerprint
+                    << "); starting fresh";
+      return false;
+    }
+    ck.network = root.at("network").as_string();
+    ck.dataset = root.at("dataset").as_string();
+    ck.float_trained = root.at("float_trained").as_bool();
+    ck.float_accuracy = root.at("float_accuracy").as_double();
+    ck.float_energy_uj = root.at("float_energy_uj").as_double();
+    const json::Value& points = root.at("points");
+    QNN_CHECK_MSG(points.size() <= precisions.size(),
+                  "checkpoint " << path << " has " << points.size()
+                                << " points but the sweep only has "
+                                << precisions.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+      ck.points.push_back(
+          precision_result_from_json(points.at(i), precisions[i]));
+    *out = std::move(ck);
+    return true;
+  } catch (const std::exception& e) {
+    QNN_LOG(Warn) << "ignoring unusable checkpoint " << path << ": "
+                  << e.what();
+    return false;
+  }
+}
+
+}  // namespace qnn::exp

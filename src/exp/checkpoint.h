@@ -1,0 +1,73 @@
+// Crash-safe sweep checkpoints.
+//
+// File layout: one JSON document, a newline, and a trailing line
+// "crc32 <8 hex digits>" covering every byte up to and including that
+// newline. Files are written via write_file_atomic (temp + rename), so a
+// crash at any instant leaves either the previous checkpoint or the new
+// one — never a torn file. The loader treats anything invalid (missing,
+// truncated, CRC mismatch, JSON error, wrong version, foreign
+// fingerprint) as "no checkpoint" so a damaged file degrades to a fresh
+// run instead of an abort.
+//
+// The fingerprint is a CRC32 over a canonical dump of everything that
+// affects sweep numerics (spec, precision list, reference energy, fault
+// campaign spec). Resuming with any of those changed starts over.
+//
+// Alongside the JSON, the sweep stores the trained float baseline in
+// "<path>.weights" (nn::save_params format, itself CRC-protected); the
+// flag `float_trained` records that the snapshot is valid. Because every
+// per-point computation depends only on those float weights and on
+// per-point seeds, a resumed sweep reproduces the uninterrupted run
+// byte-for-byte (tested in tests/checkpoint_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/sweep.h"
+#include "util/json.h"
+
+namespace qnn::exp {
+
+inline constexpr int kCheckpointVersion = 1;
+
+struct SweepCheckpoint {
+  std::uint32_t fingerprint = 0;
+  std::string network;
+  std::string dataset;
+  bool float_trained = false;  // "<path>.weights" holds the baseline
+  double float_accuracy = 0.0;
+  double float_energy_uj = 0.0;
+  std::vector<PrecisionResult> points;  // completed points, in order
+};
+
+std::uint32_t sweep_fingerprint(
+    const ExperimentSpec& spec,
+    const std::vector<quant::PrecisionConfig>& precisions,
+    double reference_energy_uj, const FaultCampaignSpec& faults);
+
+// Atomic save (JSON + CRC trailer).
+void save_sweep_checkpoint(const std::string& path,
+                           const SweepCheckpoint& checkpoint);
+
+// Loads `path` into *out, reattaching each completed point's
+// PrecisionConfig from the prefix of `precisions` (checkpoints store
+// only precision ids). Returns false — leaving *out untouched — when the
+// file is missing, corrupt, a different version, carries a fingerprint
+// other than `expected_fingerprint`, or its points do not match a prefix
+// of `precisions`.
+bool load_sweep_checkpoint(
+    const std::string& path, std::uint32_t expected_fingerprint,
+    const std::vector<quant::PrecisionConfig>& precisions,
+    SweepCheckpoint* out);
+
+// JSON (de)serialization of one point; exposed for tests. Deserialization
+// reattaches `precision` (the checkpoint stores only its id, which is
+// verified) because PrecisionConfig itself is derived from the caller's
+// precision list on resume.
+json::Value precision_result_to_json(const PrecisionResult& point);
+PrecisionResult precision_result_from_json(
+    const json::Value& v, const quant::PrecisionConfig& precision);
+
+}  // namespace qnn::exp

@@ -1,6 +1,13 @@
 #include "exp/sweep.h"
 
+#include <cmath>
+
+#include "exp/checkpoint.h"
+#include "faults/campaign.h"
+#include "faults/injector.h"
+#include "nn/serialize.h"
 #include "util/check.h"
+#include "util/fileio.h"
 #include "util/logging.h"
 
 namespace qnn::exp {
@@ -28,10 +35,115 @@ double inference_energy_uj(const nn::Network& net, const Shape& input,
   return hw::schedule_network(net.describe(input), acc).energy_uj(acc);
 }
 
+namespace {
+
+// Runs the fault campaigns of one precision point. `point_index` salts
+// the per-rate seeds so every (point, rate) pair draws an independent,
+// reproducible stream.
+void run_point_campaigns(quant::QuantizedNetwork& qnet,
+                         const data::Dataset& test,
+                         const FaultCampaignSpec& spec,
+                         const hw::Accelerator& acc,
+                         std::size_t point_index, PrecisionResult& pr) {
+  pr.fault_campaigns.clear();
+  for (std::size_t ri = 0; ri < spec.bit_error_rates.size(); ++ri) {
+    faults::CampaignConfig cc;
+    cc.trials = spec.trials;
+    cc.bit_error_rate = spec.bit_error_rates[ri];
+    cc.domains = spec.domains;
+    cc.trial_retries = spec.trial_retries;
+    cc.accumulator_bits = acc.accumulator_bits();
+    cc.seed = faults::derive_seed(spec.seed, point_index * 797003ull + ri);
+    const faults::CampaignResult r =
+        faults::run_fault_campaign(qnet, test, cc);
+    FaultPointResult out;
+    out.bit_error_rate = cc.bit_error_rate;
+    out.trials = r.trials;
+    out.failed_trials = r.failed_trials;
+    out.mean_accuracy = r.mean_accuracy;
+    out.min_accuracy = r.min_accuracy;
+    out.total_flips = r.total_flips;
+    pr.fault_campaigns.push_back(out);
+  }
+}
+
+// One quantized precision point: fresh copy of the float weights, QAT
+// fine-tune, clean evaluation with guard counters, optional fault
+// campaigns. Throws on numerical failure; the caller owns retries.
+void compute_quantized_point(const ExperimentSpec& spec,
+                             const nn::ZooConfig& zc,
+                             const nn::Network& float_net,
+                             const data::Split& split,
+                             const hw::Accelerator& acc,
+                             const SweepOptions& options,
+                             std::size_t point_index, int attempt,
+                             PrecisionResult& pr) {
+  auto net = nn::make_network(spec.network, zc);
+  net->copy_params_from(float_net);
+  quant::QuantizedNetwork qnet(*net, pr.precision);
+  quant::QatConfig qat;
+  qat.train = spec.qat_train;
+  // Retries nudge the shuffle schedule; attempt 0 is the canonical run,
+  // so a resumed sweep replays the identical attempt ladder.
+  qat.train.shuffle_seed += static_cast<std::uint64_t>(attempt);
+  quant::qat_finetune(qnet, split.train, qat);
+  qnet.reset_guards();
+  const double acc_pct = nn::evaluate(qnet, split.test);
+  QNN_CHECK_MSG(std::isfinite(acc_pct),
+                "evaluation produced non-finite accuracy " << acc_pct);
+  pr.accuracy = acc_pct;
+  pr.guards = qnet.total_guards();
+  if (options.faults.enabled())
+    run_point_campaigns(qnet, split.test, options.faults, acc,
+                        point_index, pr);
+  qnet.restore_masters();
+}
+
+// Float baseline point: accuracy is already known; with campaigns
+// enabled, wrap a disposable copy so injected faults cannot leak into
+// the shared float weights.
+void compute_float_point(const ExperimentSpec& spec, const nn::ZooConfig& zc,
+                         const nn::Network& float_net,
+                         const data::Split& split, const hw::Accelerator& acc,
+                         const SweepOptions& options, std::size_t point_index,
+                         double float_acc, PrecisionResult& pr) {
+  pr.accuracy = float_acc;
+  if (!options.faults.enabled()) return;
+  auto net = nn::make_network(spec.network, zc);
+  net->copy_params_from(float_net);
+  quant::QuantizedNetwork qnet(*net, pr.precision);
+  qnet.reset_guards();
+  nn::evaluate(qnet, split.test);  // identical numerics; fills guards
+  pr.guards = qnet.total_guards();
+  run_point_campaigns(qnet, split.test, options.faults, acc, point_index,
+                      pr);
+  qnet.restore_masters();
+}
+
+}  // namespace
+
 SweepResult run_precision_sweep(
     const ExperimentSpec& spec,
     const std::vector<quant::PrecisionConfig>& precisions,
-    double reference_energy_uj) {
+    double reference_energy_uj, const SweepOptions& options) {
+  const bool checkpointing = !options.checkpoint_path.empty();
+  const std::uint32_t fingerprint = sweep_fingerprint(
+      spec, precisions, reference_energy_uj, options.faults);
+  const std::string weights_path = options.checkpoint_path + ".weights";
+
+  // The sweep-wide radix policy overrides each point's; apply it up
+  // front so resumed points carry the same effective config.
+  std::vector<quant::PrecisionConfig> effective = precisions;
+  for (quant::PrecisionConfig& p : effective)
+    p.radix_policy = spec.radix_policy;
+
+  SweepCheckpoint ck;
+  ck.fingerprint = fingerprint;
+  bool resumed =
+      checkpointing &&
+      load_sweep_checkpoint(options.checkpoint_path, fingerprint,
+                            effective, &ck);
+
   const data::Split split = data::make_dataset(spec.dataset, spec.data);
   const Shape input = nn::input_shape_for(spec.network);
 
@@ -41,10 +153,31 @@ SweepResult run_precision_sweep(
 
   // Train the full-precision reference once; every QAT run starts from
   // these weights (paper §IV-A: "initialize the parameters for lower
-  // precision training from the floating point counterpart").
+  // precision training from the floating point counterpart"). On resume
+  // the trained baseline is reloaded from the checkpoint's snapshot.
   auto float_net = nn::make_network(spec.network, zc);
-  nn::train(*float_net, split.train, spec.float_train);
-  const double float_acc = nn::evaluate(*float_net, split.test);
+  double float_acc = 0.0;
+  bool baseline_loaded = false;
+  if (resumed && ck.float_trained) {
+    try {
+      nn::load_params(*float_net, weights_path);
+      float_acc = ck.float_accuracy;
+      baseline_loaded = true;
+      QNN_LOG(Info) << "resumed sweep from " << options.checkpoint_path
+                    << " with " << ck.points.size()
+                    << " completed point(s)";
+    } catch (const std::exception& e) {
+      QNN_LOG(Warn) << "cannot reload float baseline " << weights_path
+                    << " (" << e.what() << "); retraining from scratch";
+      resumed = false;
+      ck.points.clear();
+      float_net = nn::make_network(spec.network, zc);
+    }
+  }
+  if (!baseline_loaded) {
+    nn::train(*float_net, split.train, spec.float_train);
+    float_acc = nn::evaluate(*float_net, split.test);
+  }
 
   SweepResult result;
   result.network = spec.network;
@@ -53,13 +186,24 @@ SweepResult run_precision_sweep(
       inference_energy_uj(*float_net, input, quant::float_config());
   const double reference = reference_energy_uj > 0 ? reference_energy_uj
                                                    : result.float_energy_uj;
+  result.points = ck.points;
 
-  for (quant::PrecisionConfig precision : precisions) {
-    precision.radix_policy = spec.radix_policy;
+  ck.network = spec.network;
+  ck.dataset = spec.dataset;
+  ck.float_accuracy = float_acc;
+  ck.float_energy_uj = result.float_energy_uj;
+  if (checkpointing && !baseline_loaded) {
+    nn::save_params(*float_net, weights_path);
+    ck.float_trained = true;
+    save_sweep_checkpoint(options.checkpoint_path, ck);
+  }
+
+  for (std::size_t k = result.points.size(); k < effective.size(); ++k) {
+    const quant::PrecisionConfig& precision = effective[k];
     PrecisionResult pr;
     pr.precision = precision;
 
-    // Hardware metrics are training-independent.
+    // Hardware metrics are training-independent (never retried).
     hw::AcceleratorConfig acfg;
     acfg.precision = precision;
     const hw::Accelerator acc(acfg);
@@ -72,27 +216,46 @@ SweepResult run_precision_sweep(
     pr.param_kb =
         quant::memory_footprint(*float_net, input, precision).param_kb();
 
-    if (precision.is_float()) {
-      pr.accuracy = float_acc;
-    } else {
-      // Fresh structural copy initialized from the float weights, then
-      // quantization-aware fine-tuning.
-      auto net = nn::make_network(spec.network, zc);
-      net->copy_params_from(*float_net);
-      quant::QuantizedNetwork qnet(*net, precision);
-      quant::QatConfig qat;
-      qat.train = spec.qat_train;
-      quant::qat_finetune(qnet, split.train, qat);
-      pr.accuracy = nn::evaluate(qnet, split.test);
-      qnet.restore_masters();
+    bool done = false;
+    for (int attempt = 0; attempt <= options.point_retries && !done;
+         ++attempt) {
+      try {
+        if (precision.is_float()) {
+          compute_float_point(spec, zc, *float_net, split, acc, options, k,
+                              float_acc, pr);
+        } else {
+          compute_quantized_point(spec, zc, *float_net, split, acc,
+                                  options, k, attempt, pr);
+        }
+        pr.attempts = attempt + 1;
+        done = true;
+      } catch (const std::exception& e) {
+        QNN_LOG(Warn) << spec.network << '/' << spec.dataset << ' '
+                      << precision.label() << " attempt " << attempt
+                      << " failed: " << e.what();
+      }
+    }
+    if (!done) {
+      // Exhausted retries: keep the hardware metrics, mark the point
+      // degraded instead of aborting the sweep.
+      pr.accuracy = 0.0;
+      pr.attempts = options.point_retries + 1;
+      pr.degraded = true;
     }
     const double chance = 100.0 / split.test.num_classes;
-    pr.converged = pr.accuracy >= kConvergenceFactor * chance;
+    pr.converged = !pr.degraded && pr.accuracy >= kConvergenceFactor * chance;
     QNN_LOG(Info) << spec.network << '/' << spec.dataset << ' '
                   << precision.label() << ": acc=" << pr.accuracy
                   << "% energy=" << pr.energy_uj << "uJ"
-                  << (pr.converged ? "" : " [did not converge]");
+                  << (pr.converged ? "" : " [did not converge]")
+                  << (pr.degraded ? " [degraded]" : "");
     result.points.push_back(std::move(pr));
+
+    if (checkpointing) {
+      ck.points = result.points;
+      save_sweep_checkpoint(options.checkpoint_path, ck);
+    }
+    if (options.after_point) options.after_point(k);
   }
   return result;
 }

@@ -1,15 +1,25 @@
 // Experiment orchestration: the paper's end-to-end flow per design point
 // (train float → QAT per precision → accuracy + hardware metrics), used
 // by the Table IV / Table V / Fig. 4 benches and the examples.
+//
+// A sweep can additionally (a) run an N-trial fault-injection campaign
+// per precision point at one or more bit-error rates (src/faults), and
+// (b) checkpoint itself after every completed point into an atomic,
+// CRC32-validated file (src/exp/checkpoint) so an interrupted multi-hour
+// run resumes from the last completed point with byte-identical results.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "data/synthetic.h"
+#include "faults/fault_model.h"
 #include "hw/schedule.h"
 #include "nn/trainer.h"
 #include "nn/zoo.h"
+#include "quant/guards.h"
 #include "quant/memory.h"
 #include "quant/qat.h"
 
@@ -28,6 +38,16 @@ struct ExperimentSpec {
   std::uint64_t seed = 1;
 };
 
+// Outcome of one fault campaign (one bit-error rate) at one precision.
+struct FaultPointResult {
+  double bit_error_rate = 0.0;
+  int trials = 0;
+  int failed_trials = 0;
+  double mean_accuracy = 0.0;  // % top-1 under injection
+  double min_accuracy = 0.0;   // worst trial
+  std::int64_t total_flips = 0;
+};
+
 struct PrecisionResult {
   quant::PrecisionConfig precision;
   double accuracy = 0.0;   // % top-1 on the test split
@@ -38,6 +58,17 @@ struct PrecisionResult {
   double power_mw = 0.0;
   double param_kb = 0.0;   // parameter memory at this precision
   std::int64_t cycles = 0;
+  // Numerical guard rails observed during the clean test evaluation
+  // (zero for the float baseline unless a campaign wrapped it).
+  quant::GuardCounters guards;
+  // How many attempts the point took (retries kick in when QAT or
+  // evaluation throws / produces non-finite accuracy); `degraded` marks
+  // a point that exhausted its retries and carries no accuracy.
+  int attempts = 1;
+  bool degraded = false;
+  // One entry per requested bit-error rate, in request order (empty
+  // when the sweep ran without fault campaigns).
+  std::vector<FaultPointResult> fault_campaigns;
 };
 
 struct SweepResult {
@@ -60,12 +91,41 @@ double inference_energy_uj(const nn::Network& net, const Shape& input,
 // to converge (the paper reports such rows as NA or chance accuracy).
 inline constexpr double kConvergenceFactor = 1.8;
 
+// Per-point fault campaign configuration for a sweep. Disabled unless
+// both a trial count and at least one bit-error rate are given.
+struct FaultCampaignSpec {
+  int trials = 0;
+  std::vector<double> bit_error_rates;
+  unsigned domains = faults::kAllDomains;
+  std::uint64_t seed = 0xfa117ull;
+  int trial_retries = 2;
+
+  bool enabled() const { return trials > 0 && !bit_error_rates.empty(); }
+};
+
+struct SweepOptions {
+  // Non-empty enables crash-safe checkpointing: the sweep writes
+  // `checkpoint_path` (CRC32-validated JSON, atomic rename) after every
+  // completed point plus `<checkpoint_path>.weights` for the trained
+  // float baseline, and a later call with identical arguments resumes
+  // from the last completed point.
+  std::string checkpoint_path;
+  FaultCampaignSpec faults;
+  // Re-attempts for a precision point whose QAT/evaluation throws or
+  // yields a non-finite accuracy; exhausted points are marked degraded
+  // instead of aborting the sweep.
+  int point_retries = 2;
+  // Test hook invoked after each newly computed point is finished (and
+  // checkpointed); throwing from it simulates a mid-sweep crash.
+  std::function<void(std::size_t point_index)> after_point;
+};
+
 // Runs the full sweep. `reference_energy_uj` sets the baseline for the
 // savings column (Table V references the *ALEX* float design even for
 // ALEX+ / ALEX++); pass 0 to use this network's own float energy.
 SweepResult run_precision_sweep(
     const ExperimentSpec& spec,
     const std::vector<quant::PrecisionConfig>& precisions,
-    double reference_energy_uj = 0.0);
+    double reference_energy_uj = 0.0, const SweepOptions& options = {});
 
 }  // namespace qnn::exp

@@ -1,0 +1,120 @@
+#include "faults/campaign.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "nn/trainer.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace qnn::faults {
+namespace {
+
+// One trial: install injection hooks, evaluate, tear down. Restores the
+// network state even when evaluation throws.
+double run_trial(quant::QuantizedNetwork& qnet,
+                 const data::Dataset& test_set,
+                 const CampaignConfig& config, std::uint64_t trial_seed,
+                 const std::vector<std::unique_ptr<ValueCodec>>& weight_codecs,
+                 const std::vector<std::unique_ptr<ValueCodec>>& data_codecs,
+                 std::int64_t* flips) {
+  FaultInjector injector(trial_seed);
+  const double ber = config.bit_error_rate;
+  const bool float_datapath = qnet.config().is_float();
+
+  quant::ForwardHooks hooks;
+  if (config.domains & kWeightMemory) {
+    hooks.on_quantized_param = [&](std::size_t i, Tensor& w) {
+      *flips += injector.inject(w, *weight_codecs[i], ber);
+    };
+  }
+  if (config.domains & kFeatureMap) {
+    hooks.on_quantized_site = [&](std::size_t site, Tensor& x) {
+      *flips += injector.inject(x, *data_codecs[site], ber);
+    };
+  }
+  if (config.domains & kAccumulator) {
+    hooks.on_accumulator = [&](std::size_t, Tensor& x) {
+      const auto codec = accumulator_codec(
+          config.accumulator_bits, static_cast<double>(x.max_abs()),
+          float_datapath);
+      *flips += injector.inject(x, *codec, ber);
+    };
+  }
+  qnet.set_forward_hooks(std::move(hooks));
+  try {
+    const double acc = nn::evaluate(qnet, test_set);
+    qnet.clear_forward_hooks();
+    qnet.restore_masters();
+    return acc;
+  } catch (...) {
+    qnet.clear_forward_hooks();
+    qnet.restore_masters();
+    throw;
+  }
+}
+
+}  // namespace
+
+CampaignResult run_fault_campaign(quant::QuantizedNetwork& qnet,
+                                  const data::Dataset& test_set,
+                                  const CampaignConfig& config) {
+  QNN_CHECK_MSG(qnet.calibrated(),
+                "fault campaign requires a calibrated network");
+  QNN_CHECK_MSG(config.trials > 0, "campaign needs at least one trial");
+
+  // Codecs are fixed per campaign: the quantizers' formats do not change
+  // between trials.
+  std::vector<std::unique_ptr<ValueCodec>> weight_codecs;
+  std::vector<std::unique_ptr<ValueCodec>> data_codecs;
+  const auto params = qnet.trainable_params();
+  for (std::size_t i = 0; i < params.size(); ++i)
+    weight_codecs.push_back(codec_for(qnet.weight_quantizer(i)));
+  for (std::size_t s = 0; s < qnet.num_sites(); ++s)
+    data_codecs.push_back(codec_for(qnet.data_quantizer(s)));
+
+  CampaignResult result;
+  double sum = 0.0;
+  result.min_accuracy = 100.0;
+  result.max_accuracy = 0.0;
+  for (int trial = 0; trial < config.trials; ++trial) {
+    bool done = false;
+    for (int attempt = 0; attempt <= config.trial_retries && !done;
+         ++attempt) {
+      // Retries re-derive the seed so a numerically doomed flip pattern
+      // is not replayed verbatim.
+      const std::uint64_t trial_seed = derive_seed(
+          config.seed, static_cast<std::uint64_t>(trial) * 1000003ull +
+                           static_cast<std::uint64_t>(attempt));
+      std::int64_t flips = 0;
+      try {
+        const double acc =
+            run_trial(qnet, test_set, config, trial_seed, weight_codecs,
+                      data_codecs, &flips);
+        QNN_CHECK_MSG(std::isfinite(acc),
+                      "trial accuracy is not finite: " << acc);
+        ++result.trials;
+        result.total_flips += flips;
+        sum += acc;
+        result.min_accuracy = std::min(result.min_accuracy, acc);
+        result.max_accuracy = std::max(result.max_accuracy, acc);
+        done = true;
+      } catch (const std::exception& e) {
+        QNN_LOG(Warn) << "fault trial " << trial << " attempt " << attempt
+                      << " failed: " << e.what();
+      }
+    }
+    if (!done) ++result.failed_trials;
+  }
+  if (result.trials > 0) {
+    result.mean_accuracy = sum / result.trials;
+  } else {
+    result.min_accuracy = 0.0;
+    result.max_accuracy = 0.0;
+  }
+  return result;
+}
+
+}  // namespace qnn::faults

@@ -1,0 +1,49 @@
+// Fault-injection campaigns: repeated evaluation of a quantized network
+// under transient bit upsets in the accelerator's storage domains.
+//
+// Each trial seeds an independent FaultInjector (derive_seed(seed, trial))
+// and evaluates the full test set; every forward pass experiences a fresh
+// exposure of its weight, feature-map, and accumulator storage at the
+// configured bit-error rate — matching the transient-upset model where
+// the SRAM buffers are rewritten per tile and upsets do not persist.
+// Trials whose evaluation throws or returns a non-finite accuracy are
+// retried with a re-derived seed up to `trial_retries` times, then
+// counted as failed rather than aborting the campaign.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "faults/injector.h"
+#include "quant/qnetwork.h"
+
+namespace qnn::faults {
+
+struct CampaignConfig {
+  int trials = 8;
+  double bit_error_rate = 1e-4;  // per stored bit, per exposure
+  unsigned domains = kAllDomains;
+  std::uint64_t seed = 0xfa117ull;
+  int trial_retries = 2;
+  // Adder-tree accumulator width for the kAccumulator domain (use
+  // hw::Accelerator::accumulator_bits() for the modeled design).
+  int accumulator_bits = 24;
+};
+
+struct CampaignResult {
+  int trials = 0;         // successful trials
+  int failed_trials = 0;  // trials that exhausted their retries
+  double mean_accuracy = 0.0;
+  double min_accuracy = 0.0;
+  double max_accuracy = 0.0;
+  std::int64_t total_flips = 0;  // bits flipped across successful trials
+};
+
+// Runs the campaign on `qnet` (must be calibrated) against `test_set`.
+// Hooks are cleared and master weights restored before returning, even
+// on failure paths.
+CampaignResult run_fault_campaign(quant::QuantizedNetwork& qnet,
+                                  const data::Dataset& test_set,
+                                  const CampaignConfig& config);
+
+}  // namespace qnn::faults

@@ -1,0 +1,84 @@
+#include "faults/fault_model.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace qnn::faults {
+
+std::string domains_to_string(unsigned domains) {
+  std::string out;
+  const auto add = [&out](const char* name) {
+    if (!out.empty()) out += '+';
+    out += name;
+  };
+  if (domains & kWeightMemory) add("sb");
+  if (domains & kFeatureMap) add("bin/bout");
+  if (domains & kAccumulator) add("acc");
+  return out.empty() ? "none" : out;
+}
+
+float FloatCodec::flip(float v, int bit) const {
+  QNN_DCHECK(bit >= 0 && bit < 32);
+  std::uint32_t u;
+  std::memcpy(&u, &v, sizeof u);
+  u ^= std::uint32_t{1} << bit;
+  float out;
+  std::memcpy(&out, &u, sizeof out);
+  return out;
+}
+
+float FixedCodec::flip(float v, int bit) const {
+  const int w = format_.total_bits();
+  QNN_DCHECK(bit >= 0 && bit < w);
+  const std::uint64_t mask = (w == 64) ? ~std::uint64_t{0}
+                                       : (std::uint64_t{1} << w) - 1;
+  std::uint64_t u =
+      static_cast<std::uint64_t>(format_.to_raw(v)) & mask;
+  u ^= std::uint64_t{1} << bit;
+  // Reinterpret as a signed w-bit two's-complement word.
+  std::int64_t raw = static_cast<std::int64_t>(u);
+  if (u & (std::uint64_t{1} << (w - 1)))
+    raw = static_cast<std::int64_t>(u) - (std::int64_t{1} << w);
+  return static_cast<float>(format_.from_raw(raw));
+}
+
+float Pow2Codec::flip(float v, int bit) const {
+  QNN_DCHECK(bit >= 0 && bit < format_.total_bits());
+  const std::int64_t raw =
+      format_.to_raw(v) ^ (std::int64_t{1} << bit);
+  return static_cast<float>(format_.from_raw(raw));
+}
+
+std::unique_ptr<ValueCodec> codec_for(const quant::ValueQuantizer& q) {
+  if (dynamic_cast<const quant::IdentityQuantizer*>(&q) != nullptr)
+    return std::make_unique<FloatCodec>();
+  if (const auto* fq = dynamic_cast<const quant::FixedQuantizer*>(&q)) {
+    QNN_CHECK_MSG(fq->format().has_value(),
+                  "cannot build a fault codec for an uncalibrated fixed "
+                  "quantizer");
+    return std::make_unique<FixedCodec>(*fq->format());
+  }
+  if (const auto* pq = dynamic_cast<const quant::Pow2Quantizer*>(&q)) {
+    QNN_CHECK_MSG(pq->format().has_value(),
+                  "cannot build a fault codec for an uncalibrated pow2 "
+                  "quantizer");
+    return std::make_unique<Pow2Codec>(*pq->format());
+  }
+  if (dynamic_cast<const quant::BinaryQuantizer*>(&q) != nullptr)
+    return std::make_unique<BinaryCodec>();
+  QNN_CHECK_MSG(false, "no fault codec for quantizer " << q.describe());
+  return nullptr;  // unreachable
+}
+
+std::unique_ptr<ValueCodec> accumulator_codec(int accumulator_bits,
+                                              double max_abs,
+                                              bool float_datapath) {
+  if (float_datapath) return std::make_unique<FloatCodec>();
+  const int bits = std::min(accumulator_bits, 32);  // format cap
+  return std::make_unique<FixedCodec>(
+      FixedPointFormat::for_range(bits, max_abs > 0 ? max_abs : 1.0));
+}
+
+}  // namespace qnn::faults

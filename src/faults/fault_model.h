@@ -1,0 +1,115 @@
+// Fault model: transient single-bit upsets in the accelerator's storage.
+//
+// The DianNao-style accelerator (hw/accelerator.h) keeps all state in
+// three SRAM buffer subsystems — SB (weights), Bin/Bout (feature maps) —
+// plus the adder-tree accumulator registers. An SRAM upset flips one
+// stored bit; what that does to the *value* depends entirely on the
+// number format holding it:
+//
+//   float32  — IEEE-754 bit flip (an exponent flip can be catastrophic,
+//              a low mantissa flip invisible);
+//   fixed    — two's-complement raw flip: bit k perturbs by 2^k * step,
+//              a sign-bit flip jumps across the whole range;
+//   pow2     — flip of the sign/exponent-code word: a code flip changes
+//              the magnitude by a power of two, or zeroes the weight;
+//   binary   — the single stored bit IS the sign, so every flip negates
+//              the weight (maximally destructive per bit).
+//
+// A ValueCodec captures "bits per stored value + what flipping bit k does
+// to the decoded value" for one format; faults/injector.h samples flip
+// sites deterministically from a seed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "fixed/fixed_format.h"
+#include "fixed/pow2_format.h"
+#include "quant/quantizer.h"
+
+namespace qnn::faults {
+
+// Storage domains a campaign may target (bitmask).
+enum FaultDomain : unsigned {
+  kWeightMemory = 1u << 0,  // SB — quantized weights/biases
+  kFeatureMap = 1u << 1,    // Bin/Bout — quantized activations per site
+  kAccumulator = 1u << 2,   // adder-tree partial sums, pre-requantization
+};
+inline constexpr unsigned kAllDomains =
+    kWeightMemory | kFeatureMap | kAccumulator;
+
+std::string domains_to_string(unsigned domains);
+
+// Encoding of one stored value: width in bits plus the effect of a
+// single-bit upset on the decoded value.
+class ValueCodec {
+ public:
+  virtual ~ValueCodec() = default;
+
+  // Stored bits per value in this domain.
+  virtual int bits() const = 0;
+
+  // Value after flipping stored bit `bit` (0 = LSB) of v's encoding.
+  virtual float flip(float v, int bit) const = 0;
+
+  virtual std::string describe() const = 0;
+};
+
+// IEEE-754 single precision: flips the raw bit pattern. The result may
+// be NaN/Inf — that is the point; the guard-rail counters in
+// quant::QuantizedNetwork make such corruption observable.
+class FloatCodec final : public ValueCodec {
+ public:
+  int bits() const override { return 32; }
+  float flip(float v, int bit) const override;
+  std::string describe() const override { return "float32"; }
+};
+
+// Two's-complement fixed point at the format's width.
+class FixedCodec final : public ValueCodec {
+ public:
+  explicit FixedCodec(const FixedPointFormat& format) : format_(format) {}
+  int bits() const override { return format_.total_bits(); }
+  float flip(float v, int bit) const override;
+  std::string describe() const override { return format_.to_string(); }
+  const FixedPointFormat& format() const { return format_; }
+
+ private:
+  FixedPointFormat format_;
+};
+
+// Sign bit + exponent-code word of a Pow2Format.
+class Pow2Codec final : public ValueCodec {
+ public:
+  explicit Pow2Codec(const Pow2Format& format) : format_(format) {}
+  int bits() const override { return format_.total_bits(); }
+  float flip(float v, int bit) const override;
+  std::string describe() const override { return format_.to_string(); }
+
+ private:
+  Pow2Format format_;
+};
+
+// One stored bit per weight: any flip negates the value (±scale).
+class BinaryCodec final : public ValueCodec {
+ public:
+  int bits() const override { return 1; }
+  float flip(float v, int) const override { return -v; }
+  std::string describe() const override { return "binary"; }
+};
+
+// Codec matching the storage format behind a (calibrated) quantizer:
+// FixedQuantizer -> FixedCodec, Pow2Quantizer -> Pow2Codec,
+// BinaryQuantizer -> BinaryCodec, IdentityQuantizer -> FloatCodec.
+// Throws CheckError for uncalibrated range-dependent quantizers.
+std::unique_ptr<ValueCodec> codec_for(const quant::ValueQuantizer& q);
+
+// Codec of the adder-tree accumulator domain: a wide fixed-point word
+// (`accumulator_bits`, cf. hw::Accelerator::accumulator_bits()) whose
+// range covers `max_abs`; float configs accumulate in float32 instead.
+std::unique_ptr<ValueCodec> accumulator_codec(int accumulator_bits,
+                                              double max_abs,
+                                              bool float_datapath);
+
+}  // namespace qnn::faults

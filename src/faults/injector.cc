@@ -1,0 +1,50 @@
+#include "faults/injector.h"
+
+#include <random>
+
+#include "util/check.h"
+
+namespace qnn::faults {
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t salt) {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed)
+    : seed_(seed), engine_(seed) {}
+
+std::vector<BitFlip> FaultInjector::plan(std::int64_t num_values,
+                                         int bits_per_value,
+                                         double bit_error_rate) {
+  QNN_CHECK_MSG(bit_error_rate >= 0.0 && bit_error_rate <= 1.0,
+                "bit_error_rate " << bit_error_rate << " out of [0,1]");
+  QNN_CHECK(num_values >= 0 && bits_per_value > 0);
+  std::vector<BitFlip> flips;
+  if (num_values == 0 || bit_error_rate == 0.0) return flips;
+
+  const std::int64_t total_bits = num_values * bits_per_value;
+  const std::int64_t n = std::binomial_distribution<std::int64_t>(
+      total_bits, bit_error_rate)(engine_);
+  flips.reserve(static_cast<std::size_t>(n));
+  std::uniform_int_distribution<std::int64_t> site(0, total_bits - 1);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t s = site(engine_);
+    flips.push_back({s / bits_per_value,
+                     static_cast<int>(s % bits_per_value)});
+  }
+  return flips;
+}
+
+std::int64_t FaultInjector::inject(Tensor& t, const ValueCodec& codec,
+                                   double bit_error_rate) {
+  const std::vector<BitFlip> flips =
+      plan(t.count(), codec.bits(), bit_error_rate);
+  float* d = t.data();
+  for (const BitFlip& f : flips) d[f.index] = codec.flip(d[f.index], f.bit);
+  return static_cast<std::int64_t>(flips.size());
+}
+
+}  // namespace qnn::faults

@@ -1,0 +1,56 @@
+// Deterministic, seedable bit-flip injection.
+//
+// A FaultInjector owns one RNG stream; every flip it ever samples is a
+// pure function of the construction seed and the call sequence, so a
+// campaign replayed with the same seed hits bit-identical sites (tested
+// in tests/faults_test.cc). Flip counts follow a binomial draw over the
+// domain's total stored bits at the configured bit-error rate — the
+// standard transient-upset model where each SRAM bit flips independently
+// per exposure. Sites are drawn with replacement: at realistic rates
+// collisions are vanishingly unlikely, and a double flip restoring the
+// original bit is physically meaningful anyway.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "faults/fault_model.h"
+#include "tensor/tensor.h"
+
+namespace qnn::faults {
+
+struct BitFlip {
+  std::int64_t index = 0;  // element index within the tensor
+  int bit = 0;             // 0 = LSB of the stored encoding
+
+  bool operator==(const BitFlip&) const = default;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed);
+
+  // Samples the upset sites for one exposure of `num_values` stored
+  // values of `bits_per_value` bits each at per-bit flip probability
+  // `bit_error_rate`. Deterministic given the injector's state.
+  std::vector<BitFlip> plan(std::int64_t num_values, int bits_per_value,
+                            double bit_error_rate);
+
+  // Plans and applies encoding-aware flips to `t` in place; returns the
+  // number of bits flipped.
+  std::int64_t inject(Tensor& t, const ValueCodec& codec,
+                      double bit_error_rate);
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  std::mt19937_64 engine_;
+};
+
+// Stateless seed derivation for independent per-trial / per-point
+// streams (splitmix64 finalizer).
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t salt);
+
+}  // namespace qnn::faults

@@ -1,16 +1,18 @@
 #include "nn/serialize.h"
 
 #include <cstring>
-#include <fstream>
-#include <sstream>
 
 #include "util/check.h"
+#include "util/crc32.h"
+#include "util/fileio.h"
 
 namespace qnn::nn {
 namespace {
 
 constexpr char kMagic[4] = {'Q', 'N', 'N', 'W'};
-constexpr std::uint32_t kVersion = 1;
+// Version 2 adds the trailing CRC32; version 1 (no CRC) is still read.
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kOldestLoadableVersion = 1;
 
 template <typename T>
 void put(std::string& out, const T& v) {
@@ -19,8 +21,11 @@ void put(std::string& out, const T& v) {
 }
 
 template <typename T>
-T take(const std::string& in, std::size_t& pos) {
-  QNN_CHECK_MSG(pos + sizeof(T) <= in.size(), "truncated snapshot");
+T take(const std::string& in, std::size_t& pos, const char* what) {
+  QNN_CHECK_MSG(pos + sizeof(T) <= in.size(),
+                "truncated snapshot: ran out of bytes reading " << what
+                    << " at offset " << pos << " (file has " << in.size()
+                    << " bytes)");
   T v;
   std::memcpy(&v, in.data() + pos, sizeof(T));
   pos += sizeof(T);
@@ -47,62 +52,86 @@ std::string serialize_params(Network& net) {
     out.append(reinterpret_cast<const char*>(p.value.data()),
                sizeof(float) * static_cast<std::size_t>(p.value.count()));
   }
+  put(out, crc32(out));
   return out;
 }
 
 void deserialize_params(Network& net, const std::string& bytes) {
   std::size_t pos = 0;
-  QNN_CHECK_MSG(bytes.size() >= 4 &&
-                    std::memcmp(bytes.data(), kMagic, 4) == 0,
-                "not a QNNW snapshot");
-  pos = 4;
-  const auto version = take<std::uint32_t>(bytes, pos);
-  QNN_CHECK_MSG(version == kVersion, "unsupported snapshot version "
-                                         << version);
-  const auto count = take<std::uint64_t>(bytes, pos);
+  QNN_CHECK_MSG(bytes.size() >= sizeof kMagic + sizeof(std::uint32_t),
+                "not a QNNW snapshot: file is only " << bytes.size()
+                    << " bytes");
+  QNN_CHECK_MSG(std::memcmp(bytes.data(), kMagic, sizeof kMagic) == 0,
+                "not a QNNW snapshot: bad magic");
+  pos = sizeof kMagic;
+  const auto version = take<std::uint32_t>(bytes, pos, "version");
+  QNN_CHECK_MSG(version >= kOldestLoadableVersion && version <= kVersion,
+                "unsupported snapshot version " << version
+                    << " (this build reads versions "
+                    << kOldestLoadableVersion << ".." << kVersion << ')');
+
+  // Validate the trailing CRC before trusting any payload bytes.
+  std::size_t end = bytes.size();
+  if (version >= 2) {
+    QNN_CHECK_MSG(bytes.size() >= pos + sizeof(std::uint32_t),
+                  "truncated snapshot: missing CRC32 trailer");
+    end = bytes.size() - sizeof(std::uint32_t);
+    std::uint32_t stored;
+    std::memcpy(&stored, bytes.data() + end, sizeof stored);
+    const std::uint32_t actual = crc32(bytes.data(), end);
+    QNN_CHECK_MSG(actual == stored,
+                  "snapshot CRC mismatch (stored " << stored << ", computed "
+                      << actual << ") — file is corrupt or truncated");
+  }
+
+  const auto count = take<std::uint64_t>(bytes, pos, "param count");
   const auto params = net.trainable_params();
   QNN_CHECK_MSG(count == params.size(),
                 "snapshot has " << count << " params, network has "
                                 << params.size());
   for (std::size_t pi = 0; pi < params.size(); ++pi) {
     Param& p = *params[pi];
-    const auto name_len = take<std::uint64_t>(bytes, pos);
-    QNN_CHECK(pos + name_len <= bytes.size());
+    const auto name_len = take<std::uint64_t>(bytes, pos, "param name size");
+    QNN_CHECK_MSG(name_len <= end - pos,
+                  "truncated snapshot: param name of " << name_len
+                      << " bytes exceeds remaining file");
     const std::string name = bytes.substr(pos, name_len);
     pos += name_len;
     const std::string expected = p.name + "#" + std::to_string(pi);
     QNN_CHECK_MSG(name == expected, "snapshot param '"
                                         << name << "' does not match '"
                                         << expected << '\'');
-    const auto rank = take<std::uint64_t>(bytes, pos);
+    const auto rank = take<std::uint64_t>(bytes, pos, "shape rank");
+    QNN_CHECK_MSG(rank <= 8, "implausible snapshot shape rank " << rank);
     std::vector<std::int64_t> dims;
     for (std::uint64_t d = 0; d < rank; ++d)
-      dims.push_back(static_cast<std::int64_t>(take<std::uint64_t>(bytes, pos)));
+      dims.push_back(static_cast<std::int64_t>(
+          take<std::uint64_t>(bytes, pos, "shape dim")));
     QNN_CHECK_MSG(Shape(dims) == p.value.shape(),
                   "snapshot shape mismatch for " << name);
     const std::size_t nbytes =
         sizeof(float) * static_cast<std::size_t>(p.value.count());
-    QNN_CHECK_MSG(pos + nbytes <= bytes.size(), "truncated snapshot data");
+    QNN_CHECK_MSG(nbytes <= end - pos,
+                  "truncated snapshot data for " << name);
     std::memcpy(p.value.data(), bytes.data() + pos, nbytes);
     pos += nbytes;
   }
-  QNN_CHECK_MSG(pos == bytes.size(), "trailing bytes in snapshot");
+  QNN_CHECK_MSG(pos == end, "trailing bytes in snapshot");
 }
 
 void save_params(Network& net, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  QNN_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
-  const std::string bytes = serialize_params(net);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  QNN_CHECK_MSG(out.good(), "write failed: " << path);
+  // Atomic: the snapshot lands in "<path>.tmp" and is renamed into
+  // place, so a crash mid-write cannot leave a torn file at `path`.
+  write_file_atomic(path, serialize_params(net));
 }
 
 void load_params(Network& net, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  QNN_CHECK_MSG(in.good(), "cannot open " << path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  deserialize_params(net, ss.str());
+  const std::string bytes = read_file(path);
+  try {
+    deserialize_params(net, bytes);
+  } catch (const CheckError& e) {
+    throw CheckError(std::string("loading ") + path + ": " + e.what());
+  }
 }
 
 }  // namespace qnn::nn

@@ -3,9 +3,14 @@
 // Binary format (little-endian, as written by the host):
 //   magic "QNNW", u32 version, u64 param count, then per parameter:
 //   u64 name length + bytes, u64 rank, u64 dims..., f32 data...
+// Version 2 appends a trailing u32 CRC-32 over everything before it, so
+// truncation and bit rot are detected instead of loading silently
+// corrupt weights; version-1 snapshots (no CRC) still load.
+//
 // Loading requires an identically-shaped network (same architecture);
 // names are checked too, so a LeNet snapshot cannot silently load into
-// a ConvNet.
+// a ConvNet. save_params writes atomically (temp file + rename): a crash
+// mid-write never leaves a torn snapshot at the target path.
 #pragma once
 
 #include <string>

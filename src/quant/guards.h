@@ -1,0 +1,51 @@
+// Numerical guard-rail counters for quantized forward passes.
+//
+// Fixed-point quantizers clip out-of-range values silently; a fault or a
+// miscalibrated radix point can also push NaN/Inf through a layer and
+// the downstream quantizer maps them to 0/±max without a trace. These
+// counters make both observable: QuantizedNetwork accumulates one
+// GuardCounters per activation site and per parameter tensor during
+// every forward, and exp::PrecisionResult surfaces the totals.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace qnn::quant {
+
+struct GuardCounters {
+  std::int64_t values = 0;     // values inspected
+  std::int64_t saturated = 0;  // |v| beyond the representable range
+  std::int64_t nan = 0;        // NaN before quantization (mapped to 0)
+  std::int64_t inf = 0;        // ±Inf before quantization (saturates)
+
+  // Inspects `v` against the format's clip limit (largest representable
+  // magnitude; <= 0 means the format is unbounded, e.g. float).
+  void observe(float v, double limit) {
+    ++values;
+    if (std::isnan(v)) {
+      ++nan;
+    } else if (std::isinf(v)) {
+      ++inf;
+    } else if (limit > 0.0 && std::fabs(static_cast<double>(v)) > limit) {
+      ++saturated;
+    }
+  }
+
+  GuardCounters& operator+=(const GuardCounters& o) {
+    values += o.values;
+    saturated += o.saturated;
+    nan += o.nan;
+    inf += o.inf;
+    return *this;
+  }
+
+  bool clean() const { return saturated == 0 && nan == 0 && inf == 0; }
+  double saturation_rate() const {
+    return values == 0 ? 0.0
+                       : static_cast<double>(saturated) /
+                             static_cast<double>(values);
+  }
+};
+
+}  // namespace qnn::quant

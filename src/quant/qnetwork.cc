@@ -32,6 +32,8 @@ QuantizedNetwork::QuantizedNetwork(nn::Network& net,
   for (std::size_t site = 0; site <= net_.num_layers(); ++site)
     data_quantizers_.push_back(make_data_quantizer(config_));
   clip_limits_.assign(params_.size(), 0.0);
+  site_guards_.assign(data_quantizers_.size(), GuardCounters{});
+  param_guards_.assign(params_.size(), GuardCounters{});
   if (config_.is_float()) calibrated_ = true;  // nothing to calibrate
 }
 
@@ -60,6 +62,8 @@ QuantizedNetwork::QuantizedNetwork(
   for (std::size_t site = 0; site <= net_.num_layers(); ++site)
     data_quantizers_.push_back(make_data_quantizer(config_));
   clip_limits_.assign(params_.size(), 0.0);
+  site_guards_.assign(data_quantizers_.size(), GuardCounters{});
+  param_guards_.assign(params_.size(), GuardCounters{});
 }
 
 void QuantizedNetwork::calibrate(const Tensor& calibration_batch) {
@@ -112,9 +116,38 @@ void QuantizedNetwork::restore_masters() {
   masters_saved_ = false;
 }
 
+namespace {
+
+// Counts NaN/Inf and values beyond the format's representable magnitude
+// before the quantizer clips them to the grid.
+void guard_scan(const Tensor& t, double limit, GuardCounters& guards) {
+  const float* d = t.data();
+  const std::int64_t n = t.count();
+  for (std::int64_t i = 0; i < n; ++i) guards.observe(d[i], limit);
+}
+
+}  // namespace
+
 void QuantizedNetwork::quantize_params() {
-  for (std::size_t i = 0; i < params_.size(); ++i)
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    guard_scan(params_[i]->value, weight_quantizers_[i]->clip_limit(),
+               param_guards_[i]);
     weight_quantizers_[i]->apply(params_[i]->value);
+    if (hooks_.on_quantized_param)
+      hooks_.on_quantized_param(i, params_[i]->value);
+  }
+}
+
+void QuantizedNetwork::reset_guards() {
+  site_guards_.assign(data_quantizers_.size(), GuardCounters{});
+  param_guards_.assign(params_.size(), GuardCounters{});
+}
+
+GuardCounters QuantizedNetwork::total_guards() const {
+  GuardCounters total;
+  for (const GuardCounters& g : site_guards_) total += g;
+  for (const GuardCounters& g : param_guards_) total += g;
+  return total;
 }
 
 Tensor QuantizedNetwork::forward(const Tensor& input) {
@@ -129,11 +162,17 @@ Tensor QuantizedNetwork::forward_observed(const Tensor& input,
   quantize_params();
 
   Tensor x = input;
+  guard_scan(x, data_quantizers_[0]->clip_limit(), site_guards_[0]);
   data_quantizers_[0]->apply(x);
+  if (hooks_.on_quantized_site) hooks_.on_quantized_site(0, x);
   if (observer) observer(0, x);
   for (std::size_t i = 0; i < net_.num_layers(); ++i) {
     x = net_.layer(i).forward(x);
+    if (hooks_.on_accumulator) hooks_.on_accumulator(i + 1, x);
+    guard_scan(x, data_quantizers_[i + 1]->clip_limit(),
+               site_guards_[i + 1]);
     data_quantizers_[i + 1]->apply(x);
+    if (hooks_.on_quantized_site) hooks_.on_quantized_site(i + 1, x);
     if (observer) observer(i + 1, x);
   }
   return x;

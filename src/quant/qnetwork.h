@@ -22,11 +22,29 @@
 #include <vector>
 
 #include "nn/network.h"
+#include "quant/guards.h"
 #include "quant/qconfig.h"
 #include "quant/quantizer.h"
 #include "quant/range_analysis.h"
 
 namespace qnn::quant {
+
+// Mutation points the fault-injection layer (src/faults) hooks into.
+// Each callback may be empty; non-empty callbacks run on every forward
+// and may mutate the tensor in place. Sites are numbered as in
+// forward_observed (site 0 = quantized input, site i+1 = layer i output).
+struct ForwardHooks {
+  // After parameter `param_index` is quantized for this forward —
+  // models upsets in the SB weight buffer.
+  std::function<void(std::size_t param_index, Tensor& values)>
+      on_quantized_param;
+  // After layer i-1 produces site i's raw output, before its data
+  // quantizer runs — models upsets in the adder-tree accumulators.
+  std::function<void(std::size_t site, Tensor& values)> on_accumulator;
+  // After site i's data quantizer runs — models upsets in the Bin/Bout
+  // feature-map buffers.
+  std::function<void(std::size_t site, Tensor& values)> on_quantized_site;
+};
 
 class QuantizedNetwork final : public nn::Model {
  public:
@@ -79,6 +97,23 @@ class QuantizedNetwork final : public nn::Model {
   const PrecisionConfig& config() const { return config_; }
   bool calibrated() const { return calibrated_; }
 
+  // Fault-injection hooks (see ForwardHooks). Passing {} clears them.
+  void set_forward_hooks(ForwardHooks hooks) { hooks_ = std::move(hooks); }
+  void clear_forward_hooks() { hooks_ = ForwardHooks{}; }
+
+  // Guard-rail counters, accumulated across every forward since the last
+  // reset_guards(): per activation site, per parameter tensor, and their
+  // sum. Saturation is counted against each quantizer's clip limit on
+  // the value *before* it is clipped to the grid.
+  void reset_guards();
+  const GuardCounters& site_guards(std::size_t site) const {
+    return site_guards_.at(site);
+  }
+  const GuardCounters& param_guards(std::size_t param_index) const {
+    return param_guards_.at(param_index);
+  }
+  GuardCounters total_guards() const;
+
   // Introspection for tests/reports.
   const ValueQuantizer& weight_quantizer(std::size_t param_index) const {
     return *weight_quantizers_.at(param_index);
@@ -106,6 +141,10 @@ class QuantizedNetwork final : public nn::Model {
   bool masters_saved_ = false;
   bool calibrated_ = false;
   std::vector<double> clip_limits_;  // per param; 0 disables
+
+  ForwardHooks hooks_;
+  std::vector<GuardCounters> site_guards_;   // one per activation site
+  std::vector<GuardCounters> param_guards_;  // one per parameter tensor
 };
 
 }  // namespace qnn::quant

@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — used to
+// validate parameter snapshots and sweep checkpoints against torn writes
+// and bit rot. Matches zlib's crc32, so external tools can verify files.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace qnn {
+
+// Streaming form: feed `seed` the previous return value to continue a
+// running checksum (start from 0).
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+inline std::uint32_t crc32(std::string_view bytes, std::uint32_t seed = 0) {
+  return crc32(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace qnn

@@ -1,24 +1,29 @@
 #include "util/csv.h"
 
 #include "util/check.h"
+#include "util/fileio.h"
 
 namespace qnn {
 
 CsvWriter::CsvWriter(const std::string& path,
                      std::vector<std::string> header)
-    : out_(path), arity_(header.size()) {
-  QNN_CHECK_MSG(out_.good(), "cannot open CSV file " << path);
-  QNN_CHECK(arity_ > 0);
+    : out_(path), path_(path), arity_(header.size()) {
+  QNN_CHECK_MSG(out_.good(), "cannot open CSV file " << path_
+                                 << " for writing");
+  QNN_CHECK_MSG(arity_ > 0, "CSV " << path_ << ": header must not be empty");
   add_row(header);
 }
 
 void CsvWriter::add_row(const std::vector<std::string>& cells) {
-  QNN_CHECK(cells.size() == arity_);
+  QNN_CHECK_MSG(cells.size() == arity_,
+                "CSV " << path_ << " row " << (rows_written_ + 1) << ": got "
+                       << cells.size() << " cells, header has " << arity_);
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i) out_ << ',';
     out_ << escape(cells[i]);
   }
   out_ << '\n';
+  ++rows_written_;
 }
 
 void CsvWriter::close() {
@@ -38,6 +43,83 @@ std::string CsvWriter::escape(const std::string& s) {
   }
   q += '"';
   return q;
+}
+
+std::vector<std::vector<std::string>> parse_csv(
+    const std::string& text, const std::string& source_name) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_was_quoted = false;
+  bool row_has_content = false;
+  int line = 1;
+
+  const auto fail = [&](const std::string& what) {
+    QNN_CHECK_MSG(false, source_name << ':' << line << ": " << what);
+  };
+  const auto end_cell = [&] {
+    row.push_back(cell);
+    cell.clear();
+    cell_was_quoted = false;
+  };
+  const auto end_row = [&] {
+    if (row_has_content || !row.empty()) {
+      end_cell();
+      rows.push_back(row);
+      row.clear();
+    }
+    row_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        if (c == '\n') ++line;
+        cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!cell.empty() || cell_was_quoted)
+          fail("unexpected '\"' inside an unquoted cell");
+        in_quotes = true;
+        cell_was_quoted = true;
+        row_has_content = true;
+        break;
+      case ',':
+        end_cell();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;  // accept CRLF
+      case '\n':
+        end_row();
+        ++line;
+        break;
+      default:
+        if (cell_was_quoted) fail("garbage after closing '\"'");
+        cell += c;
+        row_has_content = true;
+        break;
+    }
+  }
+  if (in_quotes) fail("unterminated quoted cell at end of input");
+  end_row();
+  return rows;
+}
+
+std::vector<std::vector<std::string>> read_csv(const std::string& path) {
+  return parse_csv(read_file(path), path);
 }
 
 }  // namespace qnn

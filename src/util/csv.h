@@ -1,5 +1,8 @@
-// CSV writer for exporting experiment results (e.g. the Fig. 4 scatter
-// points) so they can be re-plotted outside the harness.
+// CSV writer/reader for experiment results (e.g. the Fig. 4 scatter
+// points) so they can be re-plotted outside the harness and read back by
+// tooling. Quoting follows RFC 4180: cells containing ',', '"', or a
+// newline are double-quoted with embedded quotes doubled; the reader
+// accepts exactly what the writer emits (plus CRLF line endings).
 #pragma once
 
 #include <fstream>
@@ -14,7 +17,8 @@ class CsvWriter {
   // if the file cannot be opened.
   CsvWriter(const std::string& path, std::vector<std::string> header);
 
-  // Writes one row; must match the header arity.
+  // Writes one row; must match the header arity. Errors name the file
+  // and the 1-based row being written.
   void add_row(const std::vector<std::string>& cells);
 
   // Flushes and closes; also called by the destructor.
@@ -28,7 +32,18 @@ class CsvWriter {
   static std::string escape(const std::string& s);
 
   std::ofstream out_;
+  std::string path_;
   std::size_t arity_;
+  std::size_t rows_written_ = 0;
 };
+
+// Parses CSV text into rows of cells. Malformed input (unterminated
+// quote, garbage after a closing quote) throws CheckError with
+// "<source_name>:<line>" context. Empty lines are skipped.
+std::vector<std::vector<std::string>> parse_csv(
+    const std::string& text, const std::string& source_name = "<csv>");
+
+// Reads and parses a CSV file; errors carry the file name and line.
+std::vector<std::vector<std::string>> read_csv(const std::string& path);
 
 }  // namespace qnn

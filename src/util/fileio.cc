@@ -1,0 +1,45 @@
+#include "util/fileio.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace qnn {
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  QNN_CHECK_MSG(in.good(), "cannot open " << path << " for reading");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  QNN_CHECK_MSG(!in.bad(), "read failed: " << path);
+  return ss.str();
+}
+
+void write_file_atomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    QNN_CHECK_MSG(out.good(), "cannot open " << tmp << " for writing");
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      QNN_CHECK_MSG(false, "write failed: " << tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    QNN_CHECK_MSG(false, "rename " << tmp << " -> " << path << " failed");
+  }
+}
+
+}  // namespace qnn

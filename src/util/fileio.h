@@ -1,0 +1,25 @@
+// Small file helpers shared by snapshot and checkpoint writers.
+//
+// write_file_atomic is the crash-safety primitive: the bytes land in
+// "<path>.tmp" first and are moved into place with std::rename, which is
+// atomic on POSIX filesystems — a reader (or a resumed process) either
+// sees the complete previous file or the complete new one, never a torn
+// mixture.
+#pragma once
+
+#include <string>
+
+namespace qnn {
+
+bool file_exists(const std::string& path);
+
+// Reads the whole file in binary mode; throws CheckError (with the path
+// in the message) if the file cannot be opened or read.
+std::string read_file(const std::string& path);
+
+// Writes `bytes` to "<path>.tmp" and renames it over `path`. Throws
+// CheckError on any I/O failure; on failure the destination is left
+// untouched (the temp file is removed best-effort).
+void write_file_atomic(const std::string& path, const std::string& bytes);
+
+}  // namespace qnn

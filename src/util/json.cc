@@ -1,0 +1,362 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace qnn::json {
+
+Value::Value(std::uint64_t u) : kind_(Kind::kInt) {
+  QNN_CHECK_MSG(u <= static_cast<std::uint64_t>(
+                         std::numeric_limits<std::int64_t>::max()),
+                "json integer " << u << " overflows int64");
+  int_ = static_cast<std::int64_t>(u);
+}
+
+Value::Value(double d) : kind_(Kind::kDouble), double_(d) {
+  QNN_CHECK_MSG(std::isfinite(d),
+                "json numbers must be finite (got " << d << ')');
+}
+
+void Value::expect(Kind kind, const char* what) const {
+  QNN_CHECK_MSG(kind_ == kind, "json value is not " << what);
+}
+
+bool Value::as_bool() const {
+  expect(Kind::kBool, "a bool");
+  return bool_;
+}
+
+std::int64_t Value::as_int() const {
+  expect(Kind::kInt, "an integer");
+  return int_;
+}
+
+double Value::as_double() const {
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  expect(Kind::kDouble, "a number");
+  return double_;
+}
+
+const std::string& Value::as_string() const {
+  expect(Kind::kString, "a string");
+  return string_;
+}
+
+void Value::push_back(Value v) {
+  expect(Kind::kArray, "an array");
+  array_.push_back(std::move(v));
+}
+
+std::size_t Value::size() const {
+  if (kind_ == Kind::kObject) return object_.size();
+  expect(Kind::kArray, "an array or object");
+  return array_.size();
+}
+
+const std::vector<Value>& Value::items() const {
+  expect(Kind::kArray, "an array");
+  return array_;
+}
+
+const Value& Value::at(std::size_t i) const {
+  expect(Kind::kArray, "an array");
+  QNN_CHECK_MSG(i < array_.size(), "json array index " << i
+                                       << " out of range (size "
+                                       << array_.size() << ')');
+  return array_[i];
+}
+
+Value& Value::set(const std::string& key, Value v) {
+  expect(Kind::kObject, "an object");
+  for (auto& [k, existing] : object_)
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  object_.emplace_back(key, std::move(v));
+  return object_.back().second;
+}
+
+bool Value::contains(const std::string& key) const {
+  if (kind_ != Kind::kObject) return false;
+  for (const auto& [k, v] : object_)
+    if (k == key) return true;
+  return false;
+}
+
+const Value& Value::at(const std::string& key) const {
+  expect(Kind::kObject, "an object");
+  for (const auto& [k, v] : object_)
+    if (k == key) return v;
+  QNN_CHECK_MSG(false, "json object has no key '" << key << '\'');
+  std::abort();  // unreachable: QNN_CHECK_MSG throws
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::members() const {
+  expect(Kind::kObject, "an object");
+  return object_;
+}
+
+namespace {
+
+void dump_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void dump_value(std::ostream& os, const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kNull: os << "null"; break;
+    case Value::Kind::kBool: os << (v.as_bool() ? "true" : "false"); break;
+    case Value::Kind::kInt: os << v.as_int(); break;
+    case Value::Kind::kDouble: {
+      std::ostringstream num;
+      num << std::setprecision(std::numeric_limits<double>::max_digits10)
+          << v.as_double();
+      std::string t = num.str();
+      // Keep doubles distinguishable from ints so the round trip
+      // preserves the kind.
+      if (t.find_first_of(".eE") == std::string::npos) t += ".0";
+      os << t;
+      break;
+    }
+    case Value::Kind::kString: dump_string(os, v.as_string()); break;
+    case Value::Kind::kArray: {
+      os << '[';
+      bool first = true;
+      for (const Value& item : v.items()) {
+        if (!first) os << ',';
+        first = false;
+        dump_value(os, item);
+      }
+      os << ']';
+      break;
+    }
+    case Value::Kind::kObject: {
+      os << '{';
+      bool first = true;
+      for (const auto& [k, item] : v.members()) {
+        if (!first) os << ',';
+        first = false;
+        dump_string(os, k);
+        os << ':';
+        dump_value(os, item);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  Parser(const std::string& text, const std::string& source)
+      : text_(text), source_(source) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    QNN_CHECK_MSG(pos_ == text_.size(),
+                  where() << ": trailing characters after json value");
+    return v;
+  }
+
+ private:
+  std::string where() const {
+    std::ostringstream os;
+    os << source_ << ':' << line_;
+    return os.str();
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') ++line_;
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    QNN_CHECK_MSG(pos_ < text_.size(),
+                  where() << ": unexpected end of json input");
+    return text_[pos_];
+  }
+
+  void expect_char(char c) {
+    QNN_CHECK_MSG(peek() == c, where() << ": expected '" << c << "', got '"
+                                       << text_[pos_] << '\'');
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Value(parse_string());
+    if (consume_literal("true")) return Value(true);
+    if (consume_literal("false")) return Value(false);
+    if (consume_literal("null")) return Value();
+    QNN_CHECK_MSG(c == '-' || (c >= '0' && c <= '9'),
+                  where() << ": unexpected character '" << c << '\'');
+    return parse_number();
+  }
+
+  Value parse_object() {
+    expect_char('{');
+    Value obj = Value::object();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      QNN_CHECK_MSG(peek() == '"', where() << ": expected object key");
+      std::string key = parse_string();
+      expect_char(':');
+      obj.set(key, parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return obj;
+      QNN_CHECK_MSG(c == ',', where() << ": expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array() {
+    expect_char('[');
+    Value arr = Value::array();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return arr;
+      QNN_CHECK_MSG(c == ',', where() << ": expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect_char('"');
+    std::string out;
+    for (;;) {
+      QNN_CHECK_MSG(pos_ < text_.size(),
+                    where() << ": unterminated json string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      QNN_CHECK_MSG(c != '\n', where() << ": raw newline in json string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      QNN_CHECK_MSG(pos_ < text_.size(),
+                    where() << ": unterminated escape in json string");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          QNN_CHECK_MSG(pos_ + 4 <= text_.size(),
+                        where() << ": truncated \\u escape");
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          char* end = nullptr;
+          const long code = std::strtol(hex.c_str(), &end, 16);
+          QNN_CHECK_MSG(end == hex.c_str() + 4 && code < 0x80,
+                        where() << ": unsupported \\u escape \\u" << hex);
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          QNN_CHECK_MSG(false,
+                        where() << ": bad escape '\\" << e << '\'');
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (text_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string tok = text_.substr(start, pos_ - start);
+    errno = 0;
+    char* end = nullptr;
+    if (!is_double) {
+      const long long i = std::strtoll(tok.c_str(), &end, 10);
+      if (errno == 0 && end == tok.c_str() + tok.size())
+        return Value(static_cast<std::int64_t>(i));
+    }
+    errno = 0;
+    const double d = std::strtod(tok.c_str(), &end);
+    QNN_CHECK_MSG(errno == 0 && end == tok.c_str() + tok.size() &&
+                      std::isfinite(d),
+                  where() << ": bad json number '" << tok << '\'');
+    return Value(d);
+  }
+
+  const std::string& text_;
+  const std::string& source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+std::string Value::dump() const {
+  std::ostringstream os;
+  dump_value(os, *this);
+  return os.str();
+}
+
+Value parse(const std::string& text, const std::string& source_name) {
+  return Parser(text, source_name).parse_document();
+}
+
+}  // namespace qnn::json

@@ -1,0 +1,263 @@
+// Crash-safety tests for the sweep checkpoint layer: exact JSON
+// round-trips, corruption rejection, and the headline guarantee — a
+// sweep killed mid-run resumes from its checkpoint and reproduces the
+// uninterrupted run byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "exp/checkpoint.h"
+#include "util/fileio.h"
+
+namespace qnn::exp {
+namespace {
+
+ExperimentSpec tiny_spec() {
+  ExperimentSpec spec;
+  spec.network = "lenet";
+  spec.dataset = "mnist";
+  spec.channel_scale = 0.2;
+  spec.data.num_train = 200;
+  spec.data.num_test = 100;
+  spec.data.seed = 5;
+  spec.float_train.epochs = 2;
+  spec.float_train.batch_size = 20;
+  spec.float_train.sgd.learning_rate = 0.02;
+  spec.qat_train = spec.float_train;
+  spec.qat_train.epochs = 1;
+  spec.qat_train.sgd.learning_rate = 0.01;
+  return spec;
+}
+
+std::vector<quant::PrecisionConfig> tiny_precisions() {
+  return {quant::float_config(), quant::fixed_config(8, 8),
+          quant::binary_config(16)};
+}
+
+PrecisionResult sample_point() {
+  PrecisionResult pr;
+  pr.precision = quant::fixed_config(8, 8);
+  pr.accuracy = 100.0 / 3.0;  // not representable in decimal
+  pr.converged = true;
+  pr.energy_uj = 0.1;
+  pr.energy_saving_percent = 12.3456789012345;
+  pr.area_mm2 = 1.0 / 7.0;
+  pr.power_mw = 450.25;
+  pr.param_kb = 17.5;
+  pr.cycles = 123456789012345;
+  pr.guards.values = 1000;
+  pr.guards.saturated = 3;
+  pr.guards.nan = 1;
+  pr.guards.inf = 2;
+  pr.attempts = 2;
+  pr.degraded = false;
+  FaultPointResult fc;
+  fc.bit_error_rate = 1e-4;
+  fc.trials = 8;
+  fc.failed_trials = 1;
+  fc.mean_accuracy = 2.0 / 3.0 * 100.0;
+  fc.min_accuracy = 59.999999999999;
+  fc.total_flips = 4242;
+  pr.fault_campaigns.push_back(fc);
+  return pr;
+}
+
+void expect_point_eq(const PrecisionResult& a, const PrecisionResult& b) {
+  EXPECT_EQ(a.precision.id(), b.precision.id());
+  EXPECT_EQ(a.precision.radix_policy, b.precision.radix_policy);
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_DOUBLE_EQ(a.energy_uj, b.energy_uj);
+  EXPECT_DOUBLE_EQ(a.energy_saving_percent, b.energy_saving_percent);
+  EXPECT_DOUBLE_EQ(a.area_mm2, b.area_mm2);
+  EXPECT_DOUBLE_EQ(a.power_mw, b.power_mw);
+  EXPECT_DOUBLE_EQ(a.param_kb, b.param_kb);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.guards.values, b.guards.values);
+  EXPECT_EQ(a.guards.saturated, b.guards.saturated);
+  EXPECT_EQ(a.guards.nan, b.guards.nan);
+  EXPECT_EQ(a.guards.inf, b.guards.inf);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.degraded, b.degraded);
+  ASSERT_EQ(a.fault_campaigns.size(), b.fault_campaigns.size());
+  for (std::size_t i = 0; i < a.fault_campaigns.size(); ++i) {
+    const auto& fa = a.fault_campaigns[i];
+    const auto& fb = b.fault_campaigns[i];
+    EXPECT_DOUBLE_EQ(fa.bit_error_rate, fb.bit_error_rate);
+    EXPECT_EQ(fa.trials, fb.trials);
+    EXPECT_EQ(fa.failed_trials, fb.failed_trials);
+    EXPECT_DOUBLE_EQ(fa.mean_accuracy, fb.mean_accuracy);
+    EXPECT_DOUBLE_EQ(fa.min_accuracy, fb.min_accuracy);
+    EXPECT_EQ(fa.total_flips, fb.total_flips);
+  }
+}
+
+TEST(Checkpoint, PointJsonRoundTripIsExact) {
+  const PrecisionResult pr = sample_point();
+  // Through text and back: doubles must survive bit-for-bit.
+  const std::string text = precision_result_to_json(pr).dump();
+  const json::Value v = json::parse(text, "<test>");
+  const PrecisionResult back =
+      precision_result_from_json(v, pr.precision);
+  expect_point_eq(pr, back);
+}
+
+TEST(Checkpoint, FromJsonRejectsForeignPrecisionId) {
+  const PrecisionResult pr = sample_point();
+  const json::Value v = precision_result_to_json(pr);
+  EXPECT_THROW(precision_result_from_json(v, quant::fixed_config(4, 4)),
+               CheckError);
+}
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ck_roundtrip.json";
+  SweepCheckpoint ck;
+  ck.fingerprint = 0xdeadbeef;
+  ck.network = "lenet";
+  ck.dataset = "mnist";
+  ck.float_trained = true;
+  ck.float_accuracy = 98.7654321;
+  ck.float_energy_uj = 0.123456;
+  ck.points.push_back(sample_point());
+
+  save_sweep_checkpoint(path, ck);
+  SweepCheckpoint back;
+  ASSERT_TRUE(load_sweep_checkpoint(path, 0xdeadbeef,
+                                    {quant::fixed_config(8, 8)}, &back));
+  EXPECT_EQ(back.fingerprint, ck.fingerprint);
+  EXPECT_EQ(back.network, "lenet");
+  EXPECT_TRUE(back.float_trained);
+  EXPECT_DOUBLE_EQ(back.float_accuracy, ck.float_accuracy);
+  EXPECT_DOUBLE_EQ(back.float_energy_uj, ck.float_energy_uj);
+  ASSERT_EQ(back.points.size(), 1u);
+  expect_point_eq(ck.points[0], back.points[0]);
+  // No temp file left behind by the atomic write.
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, LoadRejectsCorruption) {
+  const std::string path = ::testing::TempDir() + "/ck_corrupt.json";
+  SweepCheckpoint ck;
+  ck.fingerprint = 1;
+  ck.network = "lenet";
+  save_sweep_checkpoint(path, ck);
+  const std::vector<quant::PrecisionConfig> precisions;
+
+  SweepCheckpoint out;
+  // Intact file loads.
+  ASSERT_TRUE(load_sweep_checkpoint(path, 1, precisions, &out));
+  // Wrong fingerprint: rejected.
+  EXPECT_FALSE(load_sweep_checkpoint(path, 2, precisions, &out));
+  // Missing file: rejected.
+  EXPECT_FALSE(load_sweep_checkpoint(path + ".nope", 1, precisions, &out));
+
+  // Flip one byte inside the JSON: the CRC trailer must catch it.
+  std::string bytes = read_file(path);
+  const auto brace = bytes.find("lenet");
+  ASSERT_NE(brace, std::string::npos);
+  bytes[brace] = 'X';
+  write_file_atomic(path, bytes);
+  EXPECT_FALSE(load_sweep_checkpoint(path, 1, precisions, &out));
+
+  // Truncation (CRC line gone): rejected.
+  write_file_atomic(path, read_file(path).substr(0, 10));
+  EXPECT_FALSE(load_sweep_checkpoint(path, 1, precisions, &out));
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, LoadRejectsMorePointsThanPrecisions) {
+  const std::string path = ::testing::TempDir() + "/ck_extra.json";
+  SweepCheckpoint ck;
+  ck.fingerprint = 7;
+  ck.points.push_back(sample_point());
+  save_sweep_checkpoint(path, ck);
+  SweepCheckpoint out;
+  // Empty precision list cannot absorb one completed point.
+  EXPECT_FALSE(load_sweep_checkpoint(path, 7, {}, &out));
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, FingerprintTracksEveryInput) {
+  const auto spec = tiny_spec();
+  const auto precisions = tiny_precisions();
+  FaultCampaignSpec faults;
+  const auto base = sweep_fingerprint(spec, precisions, 0.0, faults);
+  EXPECT_EQ(sweep_fingerprint(spec, precisions, 0.0, faults), base);
+
+  ExperimentSpec spec2 = spec;
+  spec2.seed = 99;
+  EXPECT_NE(sweep_fingerprint(spec2, precisions, 0.0, faults), base);
+
+  EXPECT_NE(sweep_fingerprint(spec, {quant::float_config()}, 0.0, faults),
+            base);
+  EXPECT_NE(sweep_fingerprint(spec, precisions, 1.5, faults), base);
+
+  FaultCampaignSpec faults2;
+  faults2.trials = 4;
+  faults2.bit_error_rates = {1e-4};
+  EXPECT_NE(sweep_fingerprint(spec, precisions, 0.0, faults2), base);
+}
+
+// The acceptance test: kill the sweep after point k, resume, and demand
+// byte-identical results versus an uninterrupted run.
+TEST(Checkpoint, KilledSweepResumesByteIdentical) {
+  const std::string dir = ::testing::TempDir();
+  const std::string ck_a = dir + "/sweep_killed.json";
+  const std::string ck_b = dir + "/sweep_straight.json";
+  for (const auto& p :
+       {ck_a, ck_b, ck_a + ".weights", ck_b + ".weights"})
+    std::filesystem::remove(p);
+
+  const auto spec = tiny_spec();
+  const auto precisions = tiny_precisions();
+
+  SweepOptions opts;
+  opts.faults.trials = 2;
+  opts.faults.bit_error_rates = {1e-3};
+
+  // Run A, killed after point 1 (two of three points completed).
+  struct Killed {};
+  SweepOptions kill = opts;
+  kill.checkpoint_path = ck_a;
+  kill.after_point = [](std::size_t k) {
+    if (k == 1) throw Killed{};
+  };
+  EXPECT_THROW(run_precision_sweep(spec, precisions, 0.0, kill), Killed);
+  ASSERT_TRUE(file_exists(ck_a));
+
+  // Run A resumed: must only compute the missing point.
+  std::vector<std::size_t> resumed_points;
+  SweepOptions resume = opts;
+  resume.checkpoint_path = ck_a;
+  resume.after_point = [&](std::size_t k) { resumed_points.push_back(k); };
+  const SweepResult a = run_precision_sweep(spec, precisions, 0.0, resume);
+  EXPECT_EQ(resumed_points, (std::vector<std::size_t>{2}));
+
+  // Run B, uninterrupted, fresh checkpoint.
+  SweepOptions straight = opts;
+  straight.checkpoint_path = ck_b;
+  const SweepResult b =
+      run_precision_sweep(spec, precisions, 0.0, straight);
+
+  ASSERT_EQ(a.points.size(), precisions.size());
+  ASSERT_EQ(b.points.size(), precisions.size());
+  EXPECT_DOUBLE_EQ(a.float_energy_uj, b.float_energy_uj);
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    SCOPED_TRACE("point " + std::to_string(i));
+    expect_point_eq(a.points[i], b.points[i]);
+  }
+
+  // And the resumed checkpoint file itself round-trips all points.
+  SweepCheckpoint final_ck;
+  const auto fp = sweep_fingerprint(spec, precisions, 0.0, opts.faults);
+  ASSERT_TRUE(load_sweep_checkpoint(ck_a, fp, precisions, &final_ck));
+  EXPECT_EQ(final_ck.points.size(), precisions.size());
+
+  for (const auto& p :
+       {ck_a, ck_b, ck_a + ".weights", ck_b + ".weights"})
+    std::filesystem::remove(p);
+}
+
+}  // namespace
+}  // namespace qnn::exp

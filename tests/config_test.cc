@@ -52,6 +52,24 @@ TEST(ConfigParse, Errors) {
   EXPECT_THROW(parse_config("name value"), CheckError);
 }
 
+TEST(ConfigParse, ErrorsCarrySourceAndLine) {
+  try {
+    parse_config("epochs: 5\nlr: 0.02\n}", "lenet.cfg");
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lenet.cfg:3"), std::string::npos);
+    EXPECT_NE(what.find("config parse error"), std::string::npos);
+  }
+  // The default source name still gives a line number.
+  try {
+    parse_config("ok: 1\n\nbad:\n");
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("<config>:3"), std::string::npos);
+  }
+}
+
 TEST(ConfigParse, TypedAccessErrors) {
   const ConfigNode c = parse_config("x: abc\nb: maybe\n");
   EXPECT_THROW(c.get_int("x"), std::exception);

@@ -1,0 +1,270 @@
+// Fault-injection unit tests: codec encoding fidelity, injector
+// determinism, and campaign behavior (determinism + state restoration).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "data/synthetic.h"
+#include "faults/campaign.h"
+#include "faults/fault_model.h"
+#include "faults/injector.h"
+#include "nn/trainer.h"
+#include "nn/zoo.h"
+
+namespace qnn::faults {
+namespace {
+
+// --- codecs -------------------------------------------------------------
+
+TEST(FaultModel, FixedCodecLsbFlipMovesOneStep) {
+  const FixedPointFormat fmt(8, 4);  // step = 1/16
+  const FixedCodec codec(fmt);
+  ASSERT_EQ(codec.bits(), 8);
+  // 1.0 encodes as raw 16 (even): LSB flip adds one step.
+  EXPECT_FLOAT_EQ(codec.flip(1.0f, 0), 1.0f + static_cast<float>(fmt.step()));
+  // raw 17 (odd): LSB flip subtracts one step.
+  const float odd = static_cast<float>(17 * fmt.step());
+  EXPECT_FLOAT_EQ(codec.flip(odd, 0), odd - static_cast<float>(fmt.step()));
+}
+
+TEST(FaultModel, FixedCodecSignBitFlipJumpsAcrossRange) {
+  const FixedPointFormat fmt(8, 4);
+  const FixedCodec codec(fmt);
+  // +1.0 = raw 16 = 0b0001'0000; flipping bit 7 gives 0b1001'0000,
+  // which sign-extends to raw 16 - 128 = -112 → -7.0.
+  EXPECT_FLOAT_EQ(codec.flip(1.0f, 7),
+                  static_cast<float>((16 - 128) * fmt.step()));
+  // Flipping it back restores the original value.
+  EXPECT_FLOAT_EQ(codec.flip(codec.flip(1.0f, 7), 7), 1.0f);
+}
+
+TEST(FaultModel, FixedCodecFlipIsInvolution) {
+  const FixedPointFormat fmt(6, 3);
+  const FixedCodec codec(fmt);
+  for (int bit = 0; bit < codec.bits(); ++bit)
+    for (float v : {-2.0f, -0.125f, 0.0f, 0.625f, 3.875f})
+      EXPECT_FLOAT_EQ(codec.flip(codec.flip(v, bit), bit), v)
+          << "bit " << bit << " value " << v;
+}
+
+TEST(FaultModel, FloatCodecFlipsIeeeBits) {
+  const FloatCodec codec;
+  ASSERT_EQ(codec.bits(), 32);
+  // Bit 31 is the IEEE sign bit.
+  EXPECT_FLOAT_EQ(codec.flip(3.5f, 31), -3.5f);
+  // A high exponent-bit flip is catastrophic: 1.0 (0x3f800000) with bit
+  // 30 flipped becomes 0x7f800000 * ... -> check via raw pattern.
+  const float flipped = codec.flip(1.0f, 30);
+  std::uint32_t raw;
+  std::memcpy(&raw, &flipped, sizeof raw);
+  EXPECT_EQ(raw, 0x3f800000u ^ (1u << 30));
+  // Involution.
+  EXPECT_FLOAT_EQ(codec.flip(flipped, 30), 1.0f);
+}
+
+TEST(FaultModel, BinaryCodecNegates) {
+  const BinaryCodec codec;
+  EXPECT_EQ(codec.bits(), 1);
+  EXPECT_FLOAT_EQ(codec.flip(0.25f, 0), -0.25f);
+  EXPECT_FLOAT_EQ(codec.flip(-0.25f, 0), 0.25f);
+}
+
+TEST(FaultModel, Pow2CodecSignAndCodeFlips) {
+  const Pow2Format fmt(6, 0);  // 1 sign + 5 code bits, exp_max = 0
+  const Pow2Codec codec(fmt);
+  ASSERT_EQ(codec.bits(), 6);
+  // Sign bit is the top bit.
+  EXPECT_FLOAT_EQ(codec.flip(1.0f, 5), -1.0f);
+  // A code-bit flip changes the magnitude by a power of two (or zeroes):
+  // the result must still be representable.
+  for (int bit = 0; bit < 5; ++bit) {
+    const float flipped = codec.flip(0.5f, bit);
+    EXPECT_FLOAT_EQ(static_cast<float>(fmt.quantize(flipped)), flipped);
+    EXPECT_FLOAT_EQ(codec.flip(flipped, bit), 0.5f);
+  }
+}
+
+// --- injector -----------------------------------------------------------
+
+TEST(Injector, SameSeedSameSites) {
+  FaultInjector a(123), b(123);
+  for (int round = 0; round < 5; ++round) {
+    const auto pa = a.plan(1000, 8, 1e-3);
+    const auto pb = b.plan(1000, 8, 1e-3);
+    ASSERT_EQ(pa, pb) << "round " << round;
+  }
+}
+
+TEST(Injector, DifferentSeedsDiverge) {
+  FaultInjector a(1), b(2);
+  // With ~8000 bits at BER 1e-2 both plans are almost surely non-empty
+  // and almost surely different.
+  EXPECT_NE(a.plan(1000, 8, 1e-2), b.plan(1000, 8, 1e-2));
+}
+
+TEST(Injector, ZeroRateMeansNoFlips) {
+  FaultInjector inj(9);
+  EXPECT_TRUE(inj.plan(1 << 20, 32, 0.0).empty());
+  Tensor t(Shape{16});
+  t.fill(1.0f);
+  EXPECT_EQ(inj.inject(t, FloatCodec(), 0.0), 0);
+  for (std::int64_t i = 0; i < t.count(); ++i) EXPECT_EQ(t[i], 1.0f);
+}
+
+TEST(Injector, FullRateFlipsEveryBitBudget) {
+  FaultInjector inj(9);
+  // p = 1 → the binomial draw is exactly num_values * bits sites.
+  EXPECT_EQ(static_cast<std::int64_t>(inj.plan(100, 8, 1.0).size()),
+            100 * 8);
+}
+
+TEST(Injector, PlanSitesInRange) {
+  FaultInjector inj(77);
+  for (const auto& flip : inj.plan(50, 6, 0.05)) {
+    EXPECT_GE(flip.index, 0);
+    EXPECT_LT(flip.index, 50);
+    EXPECT_GE(flip.bit, 0);
+    EXPECT_LT(flip.bit, 6);
+  }
+}
+
+TEST(Injector, RejectsBadRate) {
+  FaultInjector inj(1);
+  EXPECT_THROW(inj.plan(10, 8, -0.1), CheckError);
+  EXPECT_THROW(inj.plan(10, 8, 1.5), CheckError);
+}
+
+TEST(Injector, DeriveSeedSpreadsSalts) {
+  const auto s0 = derive_seed(42, 0);
+  const auto s1 = derive_seed(42, 1);
+  const auto t0 = derive_seed(43, 0);
+  EXPECT_NE(s0, s1);
+  EXPECT_NE(s0, t0);
+  // Stateless: same inputs, same output.
+  EXPECT_EQ(derive_seed(42, 0), s0);
+}
+
+TEST(Injector, InjectChangesTensorAtHighRate) {
+  FaultInjector inj(5);
+  Tensor t(Shape{64});
+  t.fill(1.0f);
+  const FixedPointFormat fmt(8, 4);
+  const std::int64_t flips = inj.inject(t, FixedCodec(fmt), 0.05);
+  EXPECT_GT(flips, 0);
+  int changed = 0;
+  for (std::int64_t i = 0; i < t.count(); ++i)
+    if (t[i] != 1.0f) ++changed;
+  EXPECT_GT(changed, 0);
+}
+
+// --- campaign -----------------------------------------------------------
+
+struct CampaignFixture {
+  data::Split split;
+  std::unique_ptr<nn::Network> net;
+
+  CampaignFixture() {
+    data::SyntheticConfig dc;
+    dc.num_train = 150;
+    dc.num_test = 60;
+    dc.seed = 11;
+    split = data::make_mnist_like(dc);
+    nn::ZooConfig zc;
+    zc.channel_scale = 0.2;
+    net = nn::make_lenet(zc);
+    nn::TrainConfig tc;
+    tc.epochs = 2;
+    tc.batch_size = 25;
+    tc.sgd.learning_rate = 0.02;
+    nn::train(*net, split.train, tc);
+  }
+};
+
+TEST(Campaign, DeterministicAndRestoresState) {
+  CampaignFixture f;
+  quant::QuantizedNetwork qnet(*f.net, quant::fixed_config(8, 8));
+  qnet.calibrate(f.split.train.images);
+
+  const double clean = nn::evaluate(qnet, f.split.test);
+  qnet.restore_masters();
+
+  CampaignConfig cc;
+  cc.trials = 3;
+  cc.bit_error_rate = 1e-3;
+  cc.seed = 2024;
+  const CampaignResult r1 = run_fault_campaign(qnet, f.split.test, cc);
+  const CampaignResult r2 = run_fault_campaign(qnet, f.split.test, cc);
+
+  EXPECT_EQ(r1.trials, 3);
+  EXPECT_EQ(r1.failed_trials, 0);
+  EXPECT_GT(r1.total_flips, 0);
+  // Same seed → byte-identical campaign.
+  EXPECT_DOUBLE_EQ(r1.mean_accuracy, r2.mean_accuracy);
+  EXPECT_DOUBLE_EQ(r1.min_accuracy, r2.min_accuracy);
+  EXPECT_EQ(r1.total_flips, r2.total_flips);
+  // Accuracies are percentages.
+  EXPECT_GE(r1.min_accuracy, 0.0);
+  EXPECT_LE(r1.max_accuracy, 100.0);
+  EXPECT_GE(r1.max_accuracy, r1.mean_accuracy);
+  EXPECT_GE(r1.mean_accuracy, r1.min_accuracy);
+
+  // Masters restored + hooks cleared: a clean evaluation afterwards
+  // reproduces the pre-campaign accuracy exactly.
+  EXPECT_DOUBLE_EQ(nn::evaluate(qnet, f.split.test), clean);
+}
+
+TEST(Campaign, ZeroRateMatchesCleanAccuracy) {
+  CampaignFixture f;
+  quant::QuantizedNetwork qnet(*f.net, quant::fixed_config(16, 16));
+  qnet.calibrate(f.split.train.images);
+  const double clean = nn::evaluate(qnet, f.split.test);
+  qnet.restore_masters();
+
+  CampaignConfig cc;
+  cc.trials = 2;
+  cc.bit_error_rate = 0.0;
+  const CampaignResult r = run_fault_campaign(qnet, f.split.test, cc);
+  EXPECT_EQ(r.total_flips, 0);
+  EXPECT_DOUBLE_EQ(r.mean_accuracy, clean);
+  EXPECT_DOUBLE_EQ(r.min_accuracy, clean);
+}
+
+TEST(Campaign, RequiresCalibration) {
+  CampaignFixture f;
+  quant::QuantizedNetwork qnet(*f.net, quant::fixed_config(8, 8));
+  CampaignConfig cc;
+  cc.trials = 1;
+  EXPECT_THROW(run_fault_campaign(qnet, f.split.test, cc), CheckError);
+}
+
+TEST(FaultModel, CodecForMatchesQuantizerFormat) {
+  CampaignFixture f;
+  quant::QuantizedNetwork qnet(*f.net, quant::fixed_config(8, 8));
+  qnet.calibrate(f.split.train.images);
+  const auto codec = codec_for(qnet.weight_quantizer(0));
+  EXPECT_EQ(codec->bits(), 8);
+
+  quant::QuantizedNetwork fnet(*f.net, quant::float_config());
+  fnet.calibrate(f.split.train.images);
+  EXPECT_EQ(codec_for(fnet.weight_quantizer(0))->bits(), 32);
+}
+
+TEST(FaultModel, AccumulatorCodecWidths) {
+  EXPECT_EQ(accumulator_codec(24, 10.0, /*float_datapath=*/false)->bits(),
+            24);
+  EXPECT_EQ(accumulator_codec(24, 10.0, /*float_datapath=*/true)->bits(),
+            32);
+  // Widths beyond 32 are capped at the implementation's 32-bit raw.
+  EXPECT_EQ(accumulator_codec(48, 10.0, /*float_datapath=*/false)->bits(),
+            32);
+}
+
+TEST(FaultModel, DomainsToString) {
+  EXPECT_EQ(domains_to_string(kWeightMemory), "sb");
+  EXPECT_EQ(domains_to_string(kAllDomains), "sb+bin/bout+acc");
+  EXPECT_EQ(domains_to_string(0), "none");
+}
+
+}  // namespace
+}  // namespace qnn::faults

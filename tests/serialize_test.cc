@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 
 #include "nn/serialize.h"
 #include "nn/zoo.h"
@@ -78,6 +81,105 @@ TEST(Serialize, MissingFileThrows) {
   zc.channel_scale = 0.2;
   auto net = make_lenet(zc);
   EXPECT_THROW(load_params(*net, "/nonexistent/path.bin"), CheckError);
+}
+
+TEST(Serialize, CrcCatchesPayloadCorruption) {
+  ZooConfig zc;
+  zc.channel_scale = 0.2;
+  auto net = make_lenet(zc);
+  std::string bytes = serialize_params(*net);
+  // Flip one bit deep inside the weight payload — the structural checks
+  // can't see it, the CRC must.
+  bytes[bytes.size() / 2] ^= 0x01;
+  try {
+    deserialize_params(*net, bytes);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos);
+  }
+}
+
+TEST(Serialize, LoadsVersion1SnapshotsWithoutCrc) {
+  ZooConfig zc;
+  zc.channel_scale = 0.2;
+  auto a = make_lenet(zc);
+  std::string bytes = serialize_params(*a);
+  // Rewrite as a v1 file: version field 1, no CRC trailer.
+  const std::uint32_t v1 = 1;
+  std::memcpy(bytes.data() + 4, &v1, sizeof v1);
+  bytes.resize(bytes.size() - sizeof(std::uint32_t));
+
+  ZooConfig zc2 = zc;
+  zc2.init_seed = 31;
+  auto b = make_lenet(zc2);
+  deserialize_params(*b, bytes);
+  const auto pa = a->trainable_params();
+  const auto pb = b->trainable_params();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    for (std::int64_t j = 0; j < pa[i]->count(); ++j)
+      ASSERT_EQ(pa[i]->value[j], pb[i]->value[j]);
+}
+
+TEST(Serialize, RejectsUnknownVersion) {
+  ZooConfig zc;
+  zc.channel_scale = 0.2;
+  auto net = make_lenet(zc);
+  std::string bytes = serialize_params(*net);
+  const std::uint32_t future = 99;
+  std::memcpy(bytes.data() + 4, &future, sizeof future);
+  try {
+    deserialize_params(*net, bytes);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("version 99"), std::string::npos);
+    EXPECT_NE(what.find("1..2"), std::string::npos);
+  }
+}
+
+TEST(Serialize, TruncationErrorNamesWhatRanOut) {
+  ZooConfig zc;
+  zc.channel_scale = 0.2;
+  auto net = make_lenet(zc);
+  std::string bytes = serialize_params(*net);
+  bytes.resize(6);  // magic + half the version field
+  try {
+    deserialize_params(*net, bytes);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("6 bytes"), std::string::npos);
+  }
+}
+
+TEST(Serialize, SaveIsAtomicAndLoadNamesPath) {
+  const std::string path = ::testing::TempDir() + "/qnn_atomic_params.bin";
+  ZooConfig zc;
+  zc.channel_scale = 0.2;
+  auto net = make_lenet(zc);
+  save_params(*net, path);
+  // No staging file left behind.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  // Corrupt the file on disk: load_params must prefix the path.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  bytes[bytes.size() / 2] ^= 0x10;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  try {
+    load_params(*net, path);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos);
+    EXPECT_NE(what.find("CRC"), std::string::npos);
+  }
+  std::filesystem::remove(path);
 }
 
 }  // namespace

@@ -6,7 +6,10 @@
 #include <set>
 
 #include "util/check.h"
+#include "util/crc32.h"
 #include "util/csv.h"
+#include "util/fileio.h"
+#include "util/json.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -184,6 +187,133 @@ TEST(Stopwatch, MeasuresElapsedTime) {
   EXPECT_GE(t0, 0.0);
   sw.reset();
   EXPECT_LT(sw.seconds(), 1.0);
+}
+
+TEST(Crc32, KnownVectors) {
+  // The standard zlib-compatible check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+  // Incremental: crc of "ab" equals crc("b") seeded with crc("a").
+  EXPECT_EQ(crc32("ab"),
+            crc32(std::string_view("b"), crc32(std::string_view("a"))));
+}
+
+TEST(Crc32, DetectsSingleBitChange) {
+  std::string data(256, '\0');
+  const auto base = crc32(data);
+  data[100] ^= 1;
+  EXPECT_NE(crc32(data), base);
+}
+
+TEST(FileIo, AtomicWriteRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/qnn_atomic.bin";
+  const std::string payload = std::string("bin\0ary", 7) + "\ndata";
+  write_file_atomic(path, payload);
+  EXPECT_EQ(read_file(path), payload);
+  // The temp staging file must not survive.
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  // Overwrite in place.
+  write_file_atomic(path, "second");
+  EXPECT_EQ(read_file(path), "second");
+  std::filesystem::remove(path);
+}
+
+TEST(FileIo, ReadMissingFileNamesPath) {
+  try {
+    read_file("/nonexistent/qnn_nope.bin");
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("qnn_nope.bin"),
+              std::string::npos);
+  }
+}
+
+TEST(CsvParse, RoundTripsWriterQuoting) {
+  const std::string path = ::testing::TempDir() + "/qnn_csv_rt.csv";
+  {
+    CsvWriter w(path, {"a", "b"});
+    w.add_row({"1", "x,y"});
+    w.add_row({"2", "line\"quote"});
+    w.add_row({"3", "multi\nline"});
+  }
+  const auto rows = read_csv(path);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "x,y"}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"2", "line\"quote"}));
+  EXPECT_EQ(rows[3], (std::vector<std::string>{"3", "multi\nline"}));
+  std::filesystem::remove(path);
+}
+
+TEST(CsvParse, AcceptsCrlfAndSkipsBlankLines) {
+  const auto rows = parse_csv("a,b\r\n\r\n1,2\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvParse, ErrorsCarrySourceAndLine) {
+  try {
+    parse_csv("ok,row\nbad\"cell,x\n", "data.csv");
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("data.csv:2"), std::string::npos);
+  }
+  try {
+    parse_csv("a,\"unterminated\n...", "data.csv");
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("unterminated"),
+              std::string::npos);
+  }
+  EXPECT_THROW(parse_csv("a,\"b\"garbage\n"), CheckError);
+}
+
+TEST(Json, DumpParseRoundTrip) {
+  json::Value obj = json::Value::object();
+  obj.set("name", json::Value("sweep"));
+  obj.set("count", json::Value(std::int64_t{42}));
+  obj.set("exact", json::Value(1.0 / 3.0));
+  obj.set("flag", json::Value(true));
+  obj.set("nothing", json::Value());
+  json::Value arr = json::Value::array();
+  arr.push_back(json::Value(std::int64_t{-1}));
+  arr.push_back(json::Value(std::string("x\"y\n")));
+  obj.set("list", std::move(arr));
+
+  const json::Value back = json::parse(obj.dump(), "<test>");
+  EXPECT_EQ(back.at("name").as_string(), "sweep");
+  EXPECT_EQ(back.at("count").as_int(), 42);
+  // Doubles survive text round-trips bit-for-bit (max_digits10).
+  EXPECT_DOUBLE_EQ(back.at("exact").as_double(), 1.0 / 3.0);
+  EXPECT_TRUE(back.at("flag").as_bool());
+  EXPECT_EQ(back.at("nothing").kind(), json::Value::Kind::kNull);
+  EXPECT_EQ(back.at("list").at(1).as_string(), "x\"y\n");
+  // A whole double dumps with ".0" so the kind round-trips too.
+  EXPECT_EQ(back.at("exact").kind(), json::Value::Kind::kDouble);
+}
+
+TEST(Json, ParseErrorsCarrySourceAndLine) {
+  try {
+    json::parse("{\n  \"a\": 1,\n  oops\n}", "ck.json");
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("ck.json:3"), std::string::npos);
+  }
+  EXPECT_THROW(json::parse("{\"a\": }"), CheckError);
+  EXPECT_THROW(json::parse("[1, 2"), CheckError);
+  EXPECT_THROW(json::parse(""), CheckError);
+  EXPECT_THROW(json::parse("{} trailing"), CheckError);
+}
+
+TEST(Json, AccessorsAreChecked) {
+  const json::Value v = json::parse("{\"n\": 1}");
+  EXPECT_THROW(v.at("missing"), CheckError);
+  EXPECT_THROW(v.at("n").as_string(), CheckError);
+  EXPECT_THROW(v.at(std::size_t{0}), CheckError);  // not an array
+  EXPECT_EQ(v.at("n").as_int(), 1);
+  // Ints widen to double on request.
+  EXPECT_DOUBLE_EQ(v.at("n").as_double(), 1.0);
 }
 
 }  // namespace
