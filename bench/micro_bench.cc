@@ -1,14 +1,29 @@
 // Google-benchmark microbenchmarks of the performance-critical kernels:
 // GEMM, im2col, quantizer application, full network forward, range
 // analysis, and the (pure-arithmetic) hardware model evaluation.
+//
+// After the google-benchmark suite runs, main() times a few headline
+// workloads serially (1 thread) and on the full pool and writes the
+// comparison to BENCH_micro.json in the working directory.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "data/synthetic.h"
 #include "exp/sweep.h"
+#include "nn/trainer.h"
 #include "nn/zoo.h"
 #include "quant/qnetwork.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
+#include "util/fileio.h"
+#include "util/json.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace qnn {
 namespace {
@@ -139,7 +154,102 @@ void BM_SyntheticCifarGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_SyntheticCifarGeneration);
 
+// --- serial vs N-thread scaling report ---------------------------------
+
+// Best-of-`reps` wall time of fn() in milliseconds (one warm-up call).
+template <typename F>
+double best_of_ms(int reps, F&& fn) {
+  fn();
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    fn();
+    best = std::min(best, sw.millis());
+  }
+  return best;
+}
+
+struct ScalingRow {
+  std::string name;
+  double serial_ms = 0;
+  double parallel_ms = 0;
+};
+
+// Times each workload with a 1-thread pool and with the environment's
+// pool (QNN_THREADS or hardware_concurrency) and writes BENCH_micro.json.
+// The workloads are the thread-pool's three sharding layers: raw GEMM
+// (M-row sharding), a network forward (batch sharding inside every
+// layer), and a quantized evaluation (batch sharding plus guard scans).
+void write_scaling_report() {
+  const int threads = ThreadPool::env_threads();
+
+  Rng rng(1);
+  const std::int64_t n = 384;
+  Tensor a(Shape{n, n}), b(Shape{n, n}), c(Shape{n, n});
+  a.fill_uniform(rng, -1, 1);
+  b.fill_uniform(rng, -1, 1);
+
+  auto net = nn::make_lenet();
+  Tensor batch(Shape{32, 1, 28, 28});
+  batch.fill_uniform(rng, 0, 1);
+
+  data::SyntheticConfig dc;
+  dc.num_train = 64;
+  dc.num_test = 128;
+  const data::Split split = data::make_mnist_like(dc);
+  quant::QuantizedNetwork qnet(*net, quant::fixed_config(8, 8));
+  qnet.calibrate(split.train.images);
+
+  std::vector<ScalingRow> rows = {
+      {"gemm_384", 0, 0},
+      {"lenet_forward_b32", 0, 0},
+      {"quantized_evaluate_128", 0, 0},
+  };
+  const std::vector<std::function<void()>> workloads = {
+      [&] { gemm(n, n, n, a.data(), b.data(), c.data()); },
+      [&] { benchmark::DoNotOptimize(net->forward(batch).data()); },
+      [&] { benchmark::DoNotOptimize(nn::evaluate(qnet, split.test)); },
+  };
+
+  ThreadPool::set_global_threads(1);
+  for (std::size_t w = 0; w < workloads.size(); ++w)
+    rows[w].serial_ms = best_of_ms(3, workloads[w]);
+  ThreadPool::set_global_threads(threads);
+  for (std::size_t w = 0; w < workloads.size(); ++w)
+    rows[w].parallel_ms = threads > 1 ? best_of_ms(3, workloads[w])
+                                      : rows[w].serial_ms;
+  qnet.restore_masters();
+
+  json::Value doc = json::Value::object();
+  doc.set("threads", threads);
+  json::Value arr = json::Value::array();
+  for (const ScalingRow& row : rows) {
+    json::Value entry = json::Value::object();
+    entry.set("name", row.name);
+    entry.set("serial_ms", row.serial_ms);
+    entry.set("threads_ms", row.parallel_ms);
+    entry.set("speedup",
+              row.parallel_ms > 0 ? row.serial_ms / row.parallel_ms : 0.0);
+    arr.push_back(std::move(entry));
+  }
+  doc.set("workloads", std::move(arr));
+  write_file_atomic("BENCH_micro.json", doc.dump() + "\n");
+
+  std::cout << "\nThread scaling (1 vs " << threads << " threads):\n";
+  for (const ScalingRow& row : rows)
+    std::cout << "  " << row.name << ": " << row.serial_ms << " ms -> "
+              << row.parallel_ms << " ms\n";
+  std::cout << "wrote BENCH_micro.json\n";
+}
+
 }  // namespace
 }  // namespace qnn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  qnn::write_scaling_report();
+  return 0;
+}

@@ -1,14 +1,17 @@
 #include "exp/sweep.h"
 
 #include <cmath>
+#include <mutex>
 
 #include "exp/checkpoint.h"
 #include "faults/campaign.h"
 #include "faults/injector.h"
+#include "fixed/fixed_format.h"
 #include "nn/serialize.h"
 #include "util/check.h"
 #include "util/fileio.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace qnn::exp {
 
@@ -53,7 +56,9 @@ void run_point_campaigns(quant::QuantizedNetwork& qnet,
     cc.domains = spec.domains;
     cc.trial_retries = spec.trial_retries;
     cc.accumulator_bits = acc.accumulator_bits();
-    cc.seed = faults::derive_seed(spec.seed, point_index * 797003ull + ri);
+    // 2D mix: the former point_index * 797003 + ri linear combination
+    // could collide campaign seeds across (point, rate) pairs.
+    cc.seed = faults::derive_seed2(spec.seed, point_index, ri);
     const faults::CampaignResult r =
         faults::run_fault_campaign(qnet, test, cc);
     FaultPointResult out;
@@ -81,6 +86,11 @@ void compute_quantized_point(const ExperimentSpec& spec,
   auto net = nn::make_network(spec.network, zc);
   net->copy_params_from(float_net);
   quant::QuantizedNetwork qnet(*net, pr.precision);
+  // Pin the (thread-local) stochastic-rounding stream to this point and
+  // attempt so results cannot depend on which worker computes the point.
+  seed_stochastic_rounding(faults::derive_seed2(
+      spec.seed ^ 0x5eed5eedull, point_index,
+      static_cast<std::uint64_t>(attempt)));
   quant::QatConfig qat;
   qat.train = spec.qat_train;
   // Retries nudge the shuffle schedule; attempt 0 is the canonical run,
@@ -198,7 +208,23 @@ SweepResult run_precision_sweep(
     save_sweep_checkpoint(options.checkpoint_path, ck);
   }
 
-  for (std::size_t k = result.points.size(); k < effective.size(); ++k) {
+  // Remaining points compute in parallel (each is independent given the
+  // trained float baseline), but everything stateful — logging, appending
+  // to result.points, checkpoint writes, the after_point hook — funnels
+  // through a single ordered emitter: a finished point parks in
+  // `pending` until every earlier point has been emitted. Checkpoint
+  // bytes and resume behavior are therefore identical to the serial
+  // sweep for every thread count.
+  const std::size_t first = result.points.size();
+  const std::size_t remaining = effective.size() - first;
+  std::vector<PrecisionResult> pending(remaining);
+  std::vector<char> ready(remaining, 0);
+  std::mutex emit_m;
+  std::size_t next_emit = 0;
+  bool emit_aborted = false;
+
+  parallel_run(static_cast<std::int64_t>(remaining), [&](std::int64_t pi) {
+    const std::size_t k = first + static_cast<std::size_t>(pi);
     const quant::PrecisionConfig& precision = effective[k];
     PrecisionResult pr;
     pr.precision = precision;
@@ -243,20 +269,35 @@ SweepResult run_precision_sweep(
       pr.degraded = true;
     }
     const double chance = 100.0 / split.test.num_classes;
-    pr.converged = !pr.degraded && pr.accuracy >= kConvergenceFactor * chance;
-    QNN_LOG(Info) << spec.network << '/' << spec.dataset << ' '
-                  << precision.label() << ": acc=" << pr.accuracy
-                  << "% energy=" << pr.energy_uj << "uJ"
-                  << (pr.converged ? "" : " [did not converge]")
-                  << (pr.degraded ? " [degraded]" : "");
-    result.points.push_back(std::move(pr));
+    pr.converged =
+        !pr.degraded && pr.accuracy >= kConvergenceFactor * chance;
 
-    if (checkpointing) {
-      ck.points = result.points;
-      save_sweep_checkpoint(options.checkpoint_path, ck);
+    std::lock_guard<std::mutex> lock(emit_m);
+    pending[static_cast<std::size_t>(pi)] = std::move(pr);
+    ready[static_cast<std::size_t>(pi)] = 1;
+    if (emit_aborted) return;  // an earlier emit already threw
+    try {
+      while (next_emit < remaining && ready[next_emit]) {
+        PrecisionResult& epr = pending[next_emit];
+        const std::size_t ek = first + next_emit;
+        QNN_LOG(Info) << spec.network << '/' << spec.dataset << ' '
+                      << epr.precision.label() << ": acc=" << epr.accuracy
+                      << "% energy=" << epr.energy_uj << "uJ"
+                      << (epr.converged ? "" : " [did not converge]")
+                      << (epr.degraded ? " [degraded]" : "");
+        result.points.push_back(std::move(epr));
+        ++next_emit;
+        if (checkpointing) {
+          ck.points = result.points;
+          save_sweep_checkpoint(options.checkpoint_path, ck);
+        }
+        if (options.after_point) options.after_point(ek);
+      }
+    } catch (...) {
+      emit_aborted = true;
+      throw;
     }
-    if (options.after_point) options.after_point(k);
-  }
+  });
   return result;
 }
 

@@ -5,9 +5,11 @@
 #include <memory>
 #include <vector>
 
+#include "fixed/fixed_format.h"
 #include "nn/trainer.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace qnn::faults {
 namespace {
@@ -21,6 +23,10 @@ double run_trial(quant::QuantizedNetwork& qnet,
                  const std::vector<std::unique_ptr<ValueCodec>>& data_codecs,
                  std::int64_t* flips) {
   FaultInjector injector(trial_seed);
+  // Pin the stochastic-rounding stream to the trial seed: the engine is
+  // thread-local, so without this a trial's rounding draws would depend
+  // on which worker ran it.
+  seed_stochastic_rounding(derive_seed(trial_seed, 0x5eedull));
   const double ber = config.bit_error_rate;
   const bool float_datapath = qnet.config().is_float();
 
@@ -56,32 +62,28 @@ double run_trial(quant::QuantizedNetwork& qnet,
   }
 }
 
-}  // namespace
+struct TrialOutcome {
+  bool ok = false;
+  double accuracy = 0.0;
+  std::int64_t flips = 0;
+};
 
-CampaignResult run_fault_campaign(quant::QuantizedNetwork& qnet,
-                                  const data::Dataset& test_set,
-                                  const CampaignConfig& config) {
-  QNN_CHECK_MSG(qnet.calibrated(),
-                "fault campaign requires a calibrated network");
-  QNN_CHECK_MSG(config.trials > 0, "campaign needs at least one trial");
-
-  // Codecs are fixed per campaign: the quantizers' formats do not change
-  // between trials.
-  std::vector<std::unique_ptr<ValueCodec>> weight_codecs;
-  std::vector<std::unique_ptr<ValueCodec>> data_codecs;
-  const auto params = qnet.trainable_params();
-  for (std::size_t i = 0; i < params.size(); ++i)
-    weight_codecs.push_back(codec_for(qnet.weight_quantizer(i)));
-  for (std::size_t s = 0; s < qnet.num_sites(); ++s)
-    data_codecs.push_back(codec_for(qnet.data_quantizer(s)));
-
-  CampaignResult result;
-  double sum = 0.0;
-  result.min_accuracy = 100.0;
-  result.max_accuracy = 0.0;
-  for (int trial = 0; trial < config.trials; ++trial) {
-    bool done = false;
-    for (int attempt = 0; attempt <= config.trial_retries && !done;
+// Runs trials [begin, end) serially on one replica, storing per-trial
+// outcomes. A trial's outcome is a pure function of its seed and the
+// replica's (identical) starting state, so which replica runs it does
+// not affect the result.
+void run_trial_range(quant::QuantizedNetwork& qnet,
+                     const data::Dataset& test_set,
+                     const CampaignConfig& config,
+                     const std::vector<std::unique_ptr<ValueCodec>>&
+                         weight_codecs,
+                     const std::vector<std::unique_ptr<ValueCodec>>&
+                         data_codecs,
+                     std::int64_t begin, std::int64_t end,
+                     std::vector<TrialOutcome>& outcomes) {
+  for (std::int64_t trial = begin; trial < end; ++trial) {
+    TrialOutcome& out = outcomes[static_cast<std::size_t>(trial)];
+    for (int attempt = 0; attempt <= config.trial_retries && !out.ok;
          ++attempt) {
       // Retries re-derive the seed so a numerically doomed flip pattern
       // is not replayed verbatim.
@@ -90,23 +92,92 @@ CampaignResult run_fault_campaign(quant::QuantizedNetwork& qnet,
                            static_cast<std::uint64_t>(attempt));
       std::int64_t flips = 0;
       try {
-        const double acc =
-            run_trial(qnet, test_set, config, trial_seed, weight_codecs,
-                      data_codecs, &flips);
+        const double acc = run_trial(qnet, test_set, config, trial_seed,
+                                     weight_codecs, data_codecs, &flips);
         QNN_CHECK_MSG(std::isfinite(acc),
                       "trial accuracy is not finite: " << acc);
-        ++result.trials;
-        result.total_flips += flips;
-        sum += acc;
-        result.min_accuracy = std::min(result.min_accuracy, acc);
-        result.max_accuracy = std::max(result.max_accuracy, acc);
-        done = true;
+        out.ok = true;
+        out.accuracy = acc;
+        out.flips = flips;
       } catch (const std::exception& e) {
         QNN_LOG(Warn) << "fault trial " << trial << " attempt " << attempt
                       << " failed: " << e.what();
       }
     }
-    if (!done) ++result.failed_trials;
+  }
+}
+
+}  // namespace
+
+CampaignResult run_fault_campaign(quant::QuantizedNetwork& qnet,
+                                  const data::Dataset& test_set,
+                                  const CampaignConfig& config) {
+  QNN_CHECK_MSG(qnet.calibrated(),
+                "fault campaign requires a calibrated network");
+  QNN_CHECK_MSG(config.trials > 0, "campaign needs at least one trial");
+  qnet.restore_masters();  // replicas must copy full-precision state
+
+  // Codecs are fixed per campaign: the quantizers' formats do not change
+  // between trials. Read-only, shared by every replica.
+  std::vector<std::unique_ptr<ValueCodec>> weight_codecs;
+  std::vector<std::unique_ptr<ValueCodec>> data_codecs;
+  const auto params = qnet.trainable_params();
+  for (std::size_t i = 0; i < params.size(); ++i)
+    weight_codecs.push_back(codec_for(qnet.weight_quantizer(i)));
+  for (std::size_t s = 0; s < qnet.num_sites(); ++s)
+    data_codecs.push_back(codec_for(qnet.data_quantizer(s)));
+
+  // Replica 0 is `qnet` itself; further replicas wrap deep clones of the
+  // underlying network so concurrent trials never share mutable state.
+  // Nested inside another parallel region this degrades to one replica
+  // (serial trials), the 1-thread order.
+  const std::int64_t max_replicas =
+      ThreadPool::in_worker()
+          ? 1
+          : std::min<std::int64_t>(config.trials,
+                                   ThreadPool::global().size());
+  const std::vector<Shard> shards =
+      make_shards(config.trials, max_replicas);
+  std::vector<std::unique_ptr<nn::Network>> replica_nets;
+  std::vector<std::unique_ptr<quant::QuantizedNetwork>> replicas;
+  for (std::size_t r = 1; r < shards.size(); ++r) {
+    replica_nets.push_back(
+        std::make_unique<nn::Network>(qnet.network().clone()));
+    replicas.push_back(std::make_unique<quant::QuantizedNetwork>(
+        qnet.clone_onto(*replica_nets.back())));
+  }
+
+  std::vector<TrialOutcome> outcomes(
+      static_cast<std::size_t>(config.trials));
+  parallel_run(static_cast<std::int64_t>(shards.size()),
+               [&](std::int64_t si) {
+                 quant::QuantizedNetwork& replica =
+                     si == 0 ? qnet
+                             : *replicas[static_cast<std::size_t>(si - 1)];
+                 const Shard& sh = shards[static_cast<std::size_t>(si)];
+                 run_trial_range(replica, test_set, config, weight_codecs,
+                                 data_codecs, sh.begin, sh.end, outcomes);
+               });
+
+  // Fold replica guard counters back into the original so accumulated
+  // totals are independent of the replica count.
+  for (const auto& replica : replicas) qnet.merge_guards_from(*replica);
+
+  // Reduce in trial order — identical for every replica count.
+  CampaignResult result;
+  double sum = 0.0;
+  result.min_accuracy = 100.0;
+  result.max_accuracy = 0.0;
+  for (const TrialOutcome& out : outcomes) {
+    if (!out.ok) {
+      ++result.failed_trials;
+      continue;
+    }
+    ++result.trials;
+    result.total_flips += out.flips;
+    sum += out.accuracy;
+    result.min_accuracy = std::min(result.min_accuracy, out.accuracy);
+    result.max_accuracy = std::max(result.max_accuracy, out.accuracy);
   }
   if (result.trials > 0) {
     result.mean_accuracy = sum / result.trials;

@@ -1,5 +1,6 @@
 #include "faults/injector.h"
 
+#include <mutex>
 #include <random>
 
 #include "util/check.h"
@@ -11,6 +12,11 @@ std::uint64_t derive_seed(std::uint64_t base, std::uint64_t salt) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
   return z ^ (z >> 31);
+}
+
+std::uint64_t derive_seed2(std::uint64_t base, std::uint64_t a,
+                           std::uint64_t b) {
+  return derive_seed(derive_seed(base, a), b);
 }
 
 FaultInjector::FaultInjector(std::uint64_t seed)
@@ -26,8 +32,17 @@ std::vector<BitFlip> FaultInjector::plan(std::int64_t num_values,
   if (num_values == 0 || bit_error_rate == 0.0) return flips;
 
   const std::int64_t total_bits = num_values * bits_per_value;
-  const std::int64_t n = std::binomial_distribution<std::int64_t>(
-      total_bits, bit_error_rate)(engine_);
+  std::int64_t n;
+  {
+    // std::binomial_distribution evaluates std::lgamma, which writes the
+    // process-global `signgam` (glibc). Serialize the draw so concurrent
+    // fault trials do not race on it; the engine stays per-injector, so
+    // the sampled values are unchanged.
+    static std::mutex lgamma_m;
+    const std::lock_guard<std::mutex> lock(lgamma_m);
+    n = std::binomial_distribution<std::int64_t>(total_bits,
+                                                 bit_error_rate)(engine_);
+  }
   flips.reserve(static_cast<std::size_t>(n));
   std::uniform_int_distribution<std::int64_t> site(0, total_bits - 1);
   for (std::int64_t i = 0; i < n; ++i) {

@@ -53,4 +53,11 @@ class FaultInjector {
 // streams (splitmix64 finalizer).
 std::uint64_t derive_seed(std::uint64_t base, std::uint64_t salt);
 
+// Two-dimensional derivation: mixes each salt through the finalizer in
+// turn, so distinct (a, b) pairs cannot collide the way a linear
+// combination a * K + b can once both axes grow (the sweep's former
+// point_index * 797003 + trial scheme).
+std::uint64_t derive_seed2(std::uint64_t base, std::uint64_t a,
+                           std::uint64_t b);
+
 }  // namespace qnn::faults

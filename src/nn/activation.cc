@@ -3,13 +3,27 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace qnn::nn {
+namespace {
+
+// Elementwise map over a tensor, sharded with disjoint writes.
+template <typename F>
+void elementwise(Tensor& t, F&& fn) {
+  parallel_for_shards(t.count(), kReductionShards,
+                      [&](std::size_t, std::int64_t begin, std::int64_t end) {
+                        for (std::int64_t i = begin; i < end; ++i) fn(i);
+                      });
+}
+
+}  // namespace
 
 Tensor Relu::forward(const Tensor& in) {
   Tensor out = in;
-  for (std::int64_t i = 0; i < out.count(); ++i)
+  elementwise(out, [&](std::int64_t i) {
     if (out[i] < 0) out[i] = 0;
+  });
   cached_out_ = out;
   return out;
 }
@@ -18,15 +32,17 @@ Tensor Relu::backward(const Tensor& grad_out) {
   QNN_CHECK_MSG(!cached_out_.empty(), "backward before forward");
   QNN_CHECK(grad_out.shape() == cached_out_.shape());
   Tensor grad_in = grad_out;
-  for (std::int64_t i = 0; i < grad_in.count(); ++i)
+  elementwise(grad_in, [&](std::int64_t i) {
     if (cached_out_[i] <= 0) grad_in[i] = 0;
+  });
   return grad_in;
 }
 
 Tensor Sigmoid::forward(const Tensor& in) {
   Tensor out = in;
-  for (std::int64_t i = 0; i < out.count(); ++i)
+  elementwise(out, [&](std::int64_t i) {
     out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+  });
   cached_out_ = out;
   return out;
 }
@@ -35,17 +51,16 @@ Tensor Sigmoid::backward(const Tensor& grad_out) {
   QNN_CHECK_MSG(!cached_out_.empty(), "backward before forward");
   QNN_CHECK(grad_out.shape() == cached_out_.shape());
   Tensor grad_in = grad_out;
-  for (std::int64_t i = 0; i < grad_in.count(); ++i) {
+  elementwise(grad_in, [&](std::int64_t i) {
     const float y = cached_out_[i];
     grad_in[i] *= y * (1.0f - y);
-  }
+  });
   return grad_in;
 }
 
 Tensor Tanh::forward(const Tensor& in) {
   Tensor out = in;
-  for (std::int64_t i = 0; i < out.count(); ++i)
-    out[i] = std::tanh(out[i]);
+  elementwise(out, [&](std::int64_t i) { out[i] = std::tanh(out[i]); });
   cached_out_ = out;
   return out;
 }
@@ -54,10 +69,10 @@ Tensor Tanh::backward(const Tensor& grad_out) {
   QNN_CHECK_MSG(!cached_out_.empty(), "backward before forward");
   QNN_CHECK(grad_out.shape() == cached_out_.shape());
   Tensor grad_in = grad_out;
-  for (std::int64_t i = 0; i < grad_in.count(); ++i) {
+  elementwise(grad_in, [&](std::int64_t i) {
     const float y = cached_out_[i];
     grad_in[i] *= 1.0f - y * y;
-  }
+  });
   return grad_in;
 }
 
@@ -75,6 +90,8 @@ Tensor Dropout::forward(const Tensor& in) {
   const float keep_scale = static_cast<float>(1.0 / (1.0 - p_));
   mask_.resize(static_cast<std::size_t>(in.count()));
   Tensor out = in;
+  // Intentionally serial: the mask consumes one sequential RNG stream,
+  // and sharding it would make the draws depend on the thread count.
   for (std::int64_t i = 0; i < out.count(); ++i) {
     const float m = rng_.bernoulli(p_) ? 0.0f : keep_scale;
     mask_[static_cast<std::size_t>(i)] = m;
@@ -87,8 +104,9 @@ Tensor Dropout::backward(const Tensor& grad_out) {
   if (mask_.empty()) return grad_out;  // eval-mode / p == 0 forward
   QNN_CHECK(static_cast<std::size_t>(grad_out.count()) == mask_.size());
   Tensor grad_in = grad_out;
-  for (std::int64_t i = 0; i < grad_in.count(); ++i)
+  elementwise(grad_in, [&](std::int64_t i) {
     grad_in[i] *= mask_[static_cast<std::size_t>(i)];
+  });
   return grad_in;
 }
 

@@ -12,6 +12,7 @@ class Relu final : public Layer {
   Shape output_shape(const Shape& in) const override { return in; }
   Tensor forward(const Tensor& in) override;
   Tensor backward(const Tensor& grad_out) override;
+  LayerPtr clone() const override { return std::make_unique<Relu>(*this); }
 
  private:
   Tensor cached_out_;
@@ -25,6 +26,7 @@ class Sigmoid final : public Layer {
   Shape output_shape(const Shape& in) const override { return in; }
   Tensor forward(const Tensor& in) override;
   Tensor backward(const Tensor& grad_out) override;
+  LayerPtr clone() const override { return std::make_unique<Sigmoid>(*this); }
 
  private:
   Tensor cached_out_;
@@ -37,6 +39,7 @@ class Tanh final : public Layer {
   Shape output_shape(const Shape& in) const override { return in; }
   Tensor forward(const Tensor& in) override;
   Tensor backward(const Tensor& grad_out) override;
+  LayerPtr clone() const override { return std::make_unique<Tanh>(*this); }
 
  private:
   Tensor cached_out_;
@@ -53,6 +56,7 @@ class Dropout final : public Layer {
   Shape output_shape(const Shape& in) const override { return in; }
   Tensor forward(const Tensor& in) override;
   Tensor backward(const Tensor& grad_out) override;
+  LayerPtr clone() const override { return std::make_unique<Dropout>(*this); }
 
   void set_training(bool training) { training_ = training; }
   void set_training_mode(bool training) override {

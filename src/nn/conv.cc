@@ -1,12 +1,24 @@
 #include "nn/conv.h"
 
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 #include "tensor/gemm.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace qnn::nn {
+namespace {
+
+void ensure_scratch(std::vector<std::vector<float>>& bufs,
+                    std::size_t shards, std::size_t elems) {
+  if (bufs.size() < shards) bufs.resize(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    if (bufs[i].size() < elems) bufs[i].resize(elems);
+}
+
+}  // namespace
 
 Conv2d::Conv2d(std::int64_t in_channels, const ConvSpec& spec)
     : in_channels_(in_channels),
@@ -47,23 +59,27 @@ Tensor Conv2d::forward(const Tensor& in) {
   const std::int64_t cout = spec_.out_channels;
 
   Tensor out(Shape{n, cout, g.out_h(), g.out_w()});
-  std::vector<float> colbuf(static_cast<std::size_t>(rows * cols));
   const std::int64_t in_sample = in.shape().count_from(1);
   const std::int64_t out_sample = cout * cols;
+  const float* bias = bias_.value.empty() ? nullptr : bias_.value.data();
 
-  for (std::int64_t s = 0; s < n; ++s) {
-    im2col(g, in.data() + s * in_sample, colbuf.data());
-    // out[Cout, OHW] = W[Cout, rows] * cols[rows, OHW]
-    gemm(cout, cols, rows, weight_.value.data(), colbuf.data(),
-         out.data() + s * out_sample);
-    if (!bias_.value.empty()) {
-      for (std::int64_t c = 0; c < cout; ++c) {
-        const float b = bias_.value[c];
-        float* dst = out.data() + s * out_sample + c * cols;
-        for (std::int64_t i = 0; i < cols; ++i) dst[i] += b;
-      }
-    }
-  }
+  const std::vector<Shard> shards = make_shards(n, kReductionShards);
+  ensure_scratch(colbuf_, shards.size(),
+                 static_cast<std::size_t>(rows * cols));
+  // Samples write disjoint output rows, so sharding the batch is
+  // bit-deterministic; each shard reuses its own im2col scratch.
+  parallel_run(static_cast<std::int64_t>(shards.size()),
+               [&](std::int64_t si) {
+                 float* colbuf = colbuf_[static_cast<std::size_t>(si)].data();
+                 const Shard& sh = shards[static_cast<std::size_t>(si)];
+                 for (std::int64_t s = sh.begin; s < sh.end; ++s) {
+                   im2col(g, in.data() + s * in_sample, colbuf);
+                   // out[Cout, OHW] = W[Cout, rows] * cols[rows, OHW],
+                   // bias folded into the gemm epilogue.
+                   gemm_row_bias(cout, cols, rows, weight_.value.data(),
+                                 colbuf, out.data() + s * out_sample, bias);
+                 }
+               });
   cached_in_ = in;
   return out;
 }
@@ -79,29 +95,59 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   QNN_CHECK(grad_out.shape() == output_shape(in.shape()));
 
   Tensor grad_in(in.shape());
-  std::vector<float> colbuf(static_cast<std::size_t>(rows * cols));
-  std::vector<float> gcol(static_cast<std::size_t>(rows * cols));
   const std::int64_t in_sample = in.shape().count_from(1);
   const std::int64_t out_sample = cout * cols;
+  const std::size_t wcount = static_cast<std::size_t>(weight_.count());
+  const bool has_bias = !bias_.value.empty();
 
-  for (std::int64_t s = 0; s < n; ++s) {
-    const float* go = grad_out.data() + s * out_sample;
-    // dW[Cout, rows] += gO[Cout, cols] * cols^T  (cols stored [rows, cols])
-    im2col(g, in.data() + s * in_sample, colbuf.data());
-    gemm_bt_accumulate(cout, rows, cols, go, colbuf.data(),
-                       weight_.grad.data());
-    // db[c] += sum of gO over spatial positions
-    if (!bias_.value.empty()) {
-      for (std::int64_t c = 0; c < cout; ++c) {
-        double acc = 0.0;
-        const float* src = go + c * cols;
-        for (std::int64_t i = 0; i < cols; ++i) acc += src[i];
-        bias_.grad[c] += static_cast<float>(acc);
-      }
+  const std::vector<Shard> shards = make_shards(n, kReductionShards);
+  ensure_scratch(colbuf_, shards.size(),
+                 static_cast<std::size_t>(rows * cols));
+  ensure_scratch(gcol_, shards.size(), static_cast<std::size_t>(rows * cols));
+  ensure_scratch(dw_, shards.size(), wcount);
+  if (db_.size() < shards.size()) db_.resize(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i)
+    if (db_[i].size() < static_cast<std::size_t>(cout))
+      db_[i].resize(static_cast<std::size_t>(cout));
+
+  // Each shard accumulates weight/bias gradients into its own partials;
+  // grad_in writes are disjoint per sample. Partials merge below in
+  // shard-index order, so the reduction is thread-count independent.
+  parallel_run(
+      static_cast<std::int64_t>(shards.size()), [&](std::int64_t si) {
+        const std::size_t u = static_cast<std::size_t>(si);
+        float* colbuf = colbuf_[u].data();
+        float* gcol = gcol_[u].data();
+        float* dw = dw_[u].data();
+        double* db = db_[u].data();
+        std::memset(dw, 0, sizeof(float) * wcount);
+        for (std::int64_t c = 0; c < cout; ++c) db[c] = 0.0;
+        const Shard& sh = shards[u];
+        for (std::int64_t s = sh.begin; s < sh.end; ++s) {
+          const float* go = grad_out.data() + s * out_sample;
+          // dW[Cout, rows] += gO[Cout, cols] * cols^T
+          im2col(g, in.data() + s * in_sample, colbuf);
+          gemm_bt_accumulate(cout, rows, cols, go, colbuf, dw);
+          // db[c] += sum of gO over spatial positions
+          if (has_bias) {
+            for (std::int64_t c = 0; c < cout; ++c) {
+              const float* src = go + c * cols;
+              for (std::int64_t i = 0; i < cols; ++i) db[c] += src[i];
+            }
+          }
+          // dcols[rows, cols] = W^T[rows, Cout] * gO[Cout, cols]
+          gemm_at(rows, cols, cout, weight_.value.data(), go, gcol);
+          col2im(g, gcol, grad_in.data() + s * in_sample);
+        }
+      });
+
+  for (std::size_t si = 0; si < shards.size(); ++si) {
+    const float* dw = dw_[si].data();
+    for (std::size_t w = 0; w < wcount; ++w) weight_.grad[w] += dw[w];
+    if (has_bias) {
+      for (std::int64_t c = 0; c < cout; ++c)
+        bias_.grad[c] += static_cast<float>(db_[si][c]);
     }
-    // dcols[rows, cols] = W^T[rows, Cout] * gO[Cout, cols]
-    gemm_at(rows, cols, cout, weight_.value.data(), go, gcol.data());
-    col2im(g, gcol.data(), grad_in.data() + s * in_sample);
   }
   return grad_in;
 }

@@ -26,6 +26,7 @@ class Conv2d final : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override;
   LayerDesc describe(const Shape& in) const override;
+  LayerPtr clone() const override { return std::make_unique<Conv2d>(*this); }
 
   // He-uniform initialization (fan-in based).
   void init_weights(Rng& rng);
@@ -43,6 +44,15 @@ class Conv2d final : public Layer {
   Param weight_;  // (Cout, Cin, K, K)
   Param bias_;    // (Cout) — empty when spec.bias == false
   Tensor cached_in_;
+
+  // Per-shard scratch reused across calls instead of heap-allocating
+  // rows*cols floats on every forward/backward. One slot per sample
+  // shard so the batch loop can run on the thread pool; sized lazily in
+  // forward/backward (clone() copies are resized on first use).
+  std::vector<std::vector<float>> colbuf_;   // im2col patches
+  std::vector<std::vector<float>> gcol_;     // column-space gradients
+  std::vector<std::vector<float>> dw_;       // weight-grad partials
+  std::vector<std::vector<double>> db_;      // bias-grad partials
 };
 
 }  // namespace qnn::nn

@@ -4,6 +4,7 @@
 
 #include "tensor/gemm.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace qnn::nn {
 
@@ -38,14 +39,11 @@ Tensor InnerProduct::forward(const Tensor& in) {
   cached_in_ = in.reshaped(Shape{n, f});
 
   Tensor out(Shape{n, out_features_});
-  // out[N, Out] = x[N, In] * W^T (W stored [Out, In])
-  gemm_bt(n, out_features_, f, cached_in_.data(), weight_.value.data(),
-          out.data());
-  if (!bias_.value.empty()) {
-    for (std::int64_t s = 0; s < n; ++s)
-      for (std::int64_t o = 0; o < out_features_; ++o)
-        out.at2(s, o) += bias_.value[o];
-  }
+  // out[N, Out] = x[N, In] * W^T (W stored [Out, In]), bias folded into
+  // the gemm epilogue.
+  gemm_bt_col_bias(n, out_features_, f, cached_in_.data(),
+                   weight_.value.data(), out.data(),
+                   bias_.value.empty() ? nullptr : bias_.value.data());
   return out;
 }
 
@@ -55,16 +53,24 @@ Tensor InnerProduct::backward(const Tensor& grad_out) {
   QNN_CHECK(grad_out.shape() == Shape({n, out_features_}));
 
   // dW[Out, In] += gO^T[Out, N] * x[N, In]; gemm_at overwrites, so go
-  // through a scratch tensor and accumulate.
-  Tensor dw(weight_.grad.shape());
+  // through a persistent scratch tensor and accumulate.
+  if (dw_scratch_.empty()) dw_scratch_ = Tensor(weight_.grad.shape());
   gemm_at(out_features_, in_features_, n, grad_out.data(),
-          cached_in_.data(), dw.data());
-  weight_.grad.add(dw);
+          cached_in_.data(), dw_scratch_.data());
+  weight_.grad.add(dw_scratch_);
 
   if (!bias_.value.empty()) {
-    for (std::int64_t s = 0; s < n; ++s)
-      for (std::int64_t o = 0; o < out_features_; ++o)
-        bias_.grad[o] += grad_out.at2(s, o);
+    // Each output feature accumulates its own double partial over the
+    // batch — disjoint writes, order-independent of the sharding.
+    parallel_for_shards(
+        out_features_, kReductionShards,
+        [&](std::size_t, std::int64_t begin, std::int64_t end) {
+          for (std::int64_t o = begin; o < end; ++o) {
+            double acc = 0.0;
+            for (std::int64_t s = 0; s < n; ++s) acc += grad_out.at2(s, o);
+            bias_.grad[o] += static_cast<float>(acc);
+          }
+        });
   }
 
   // dX[N, In] = gO[N, Out] * W[Out, In]

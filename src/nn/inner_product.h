@@ -18,6 +18,9 @@ class InnerProduct final : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override;
   LayerDesc describe(const Shape& in) const override;
+  LayerPtr clone() const override {
+    return std::make_unique<InnerProduct>(*this);
+  }
 
   void init_weights(Rng& rng);
 
@@ -35,6 +38,7 @@ class InnerProduct final : public Layer {
   Param bias_;    // (Out)
   Tensor cached_in_;  // flattened (N, In)
   Shape cached_orig_shape_;
+  Tensor dw_scratch_;  // reused across backward calls (was per-call)
 };
 
 }  // namespace qnn::nn

@@ -48,6 +48,12 @@ class Layer {
 
   virtual std::vector<Param*> params() { return {}; }
 
+  // Deep copy of this layer (parameters, gradients, cached state). Used
+  // to build per-thread network replicas for parallel fault trials.
+  // Layers that cannot be copied may return nullptr; Network::clone
+  // treats that as a hard error.
+  virtual std::unique_ptr<Layer> clone() const { return nullptr; }
+
   // Train/eval mode switch (only stochastic layers such as Dropout
   // care). nn::train enables it; nn::evaluate disables it.
   virtual void set_training_mode(bool) {}

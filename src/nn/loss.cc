@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace qnn::nn {
 
@@ -11,18 +12,23 @@ Tensor softmax(const Tensor& logits) {
   QNN_CHECK(logits.shape().rank() == 2);
   const std::int64_t n = logits.shape()[0], k = logits.shape()[1];
   Tensor probs(logits.shape());
-  for (std::int64_t s = 0; s < n; ++s) {
-    const float* row = logits.data() + s * k;
-    float* out = probs.data() + s * k;
-    const float mx = *std::max_element(row, row + k);
-    double denom = 0.0;
-    for (std::int64_t j = 0; j < k; ++j) {
-      out[j] = std::exp(row[j] - mx);
-      denom += out[j];
+  // Rows are independent; sharding the sample loop changes nothing.
+  parallel_for_shards(n, kReductionShards, [&](std::size_t,
+                                               std::int64_t begin,
+                                               std::int64_t end) {
+    for (std::int64_t s = begin; s < end; ++s) {
+      const float* row = logits.data() + s * k;
+      float* out = probs.data() + s * k;
+      const float mx = *std::max_element(row, row + k);
+      double denom = 0.0;
+      for (std::int64_t j = 0; j < k; ++j) {
+        out[j] = std::exp(row[j] - mx);
+        denom += out[j];
+      }
+      for (std::int64_t j = 0; j < k; ++j)
+        out[j] = static_cast<float>(out[j] / denom);
     }
-    for (std::int64_t j = 0; j < k; ++j)
-      out[j] = static_cast<float>(out[j] / denom);
-  }
+  });
   return probs;
 }
 
@@ -36,18 +42,29 @@ LossResult softmax_cross_entropy(const Tensor& logits,
   r.grad_logits = softmax(logits);
   r.predictions.resize(static_cast<std::size_t>(n));
 
+  // Per-shard double partial sums, merged below in shard-index order so
+  // the reported loss is independent of the thread count.
+  const std::vector<Shard> shards = make_shards(n, kReductionShards);
+  std::vector<double> partial(shards.size(), 0.0);
+  parallel_run(static_cast<std::int64_t>(shards.size()), [&](std::int64_t
+                                                                 si) {
+    double total = 0.0;
+    const Shard& sh = shards[static_cast<std::size_t>(si)];
+    for (std::int64_t s = sh.begin; s < sh.end; ++s) {
+      float* row = r.grad_logits.data() + s * k;
+      const int y = labels[static_cast<std::size_t>(s)];
+      QNN_CHECK(y >= 0 && y < k);
+      // Clamp to avoid log(0) when the softmax saturates in low precision.
+      total += -std::log(std::max(row[y], 1e-12f));
+      r.predictions[static_cast<std::size_t>(s)] = static_cast<int>(
+          std::max_element(row, row + k) - row);
+      row[y] -= 1.0f;
+      for (std::int64_t j = 0; j < k; ++j) row[j] /= static_cast<float>(n);
+    }
+    partial[static_cast<std::size_t>(si)] = total;
+  });
   double total = 0.0;
-  for (std::int64_t s = 0; s < n; ++s) {
-    float* row = r.grad_logits.data() + s * k;
-    const int y = labels[static_cast<std::size_t>(s)];
-    QNN_CHECK(y >= 0 && y < k);
-    // Clamp to avoid log(0) when the softmax saturates in low precision.
-    total += -std::log(std::max(row[y], 1e-12f));
-    r.predictions[static_cast<std::size_t>(s)] = static_cast<int>(
-        std::max_element(row, row + k) - row);
-    row[y] -= 1.0f;
-    for (std::int64_t j = 0; j < k; ++j) row[j] /= static_cast<float>(n);
-  }
+  for (const double p : partial) total += p;
   r.loss = total / static_cast<double>(n);
   return r;
 }

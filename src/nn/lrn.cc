@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace qnn::nn {
 
@@ -20,26 +21,35 @@ Tensor Lrn::forward(const Tensor& in) {
       spec_.alpha / static_cast<double>(spec_.local_size);
 
   Tensor out(s);
-  cached_scale_ = Tensor(s);
+  // Reuse the scale cache across calls; every element is overwritten
+  // below, so no clearing is needed (was reallocated per forward).
+  if (cached_scale_.shape() != s) cached_scale_ = Tensor(s);
   const std::int64_t plane = s.h() * s.w();
-  for (std::int64_t n = 0; n < s.n(); ++n) {
-    for (std::int64_t p = 0; p < plane; ++p) {
-      for (std::int64_t c = 0; c < s.c(); ++c) {
-        double sum = 0.0;
-        const std::int64_t lo = std::max<std::int64_t>(0, c - half);
-        const std::int64_t hi = std::min<std::int64_t>(s.c() - 1, c + half);
-        for (std::int64_t j = lo; j <= hi; ++j) {
-          const float v = in[(n * s.c() + j) * plane + p];
-          sum += static_cast<double>(v) * v;
+  // Normalization windows span channels within one sample, so samples
+  // are independent and the batch loop shards without changing results.
+  parallel_for_shards(s.n(), kReductionShards, [&](std::size_t,
+                                                   std::int64_t begin,
+                                                   std::int64_t end) {
+    for (std::int64_t n = begin; n < end; ++n) {
+      for (std::int64_t p = 0; p < plane; ++p) {
+        for (std::int64_t c = 0; c < s.c(); ++c) {
+          double sum = 0.0;
+          const std::int64_t lo = std::max<std::int64_t>(0, c - half);
+          const std::int64_t hi =
+              std::min<std::int64_t>(s.c() - 1, c + half);
+          for (std::int64_t j = lo; j <= hi; ++j) {
+            const float v = in[(n * s.c() + j) * plane + p];
+            sum += static_cast<double>(v) * v;
+          }
+          const double scale = spec_.k + alpha_over_n * sum;
+          const std::int64_t idx = (n * s.c() + c) * plane + p;
+          cached_scale_[idx] = static_cast<float>(scale);
+          out[idx] = static_cast<float>(in[idx] *
+                                        std::pow(scale, -spec_.beta));
         }
-        const double scale = spec_.k + alpha_over_n * sum;
-        const std::int64_t idx = (n * s.c() + c) * plane + p;
-        cached_scale_[idx] = static_cast<float>(scale);
-        out[idx] = static_cast<float>(in[idx] *
-                                      std::pow(scale, -spec_.beta));
       }
     }
-  }
+  });
   cached_in_ = in;
   return out;
 }
@@ -55,31 +65,37 @@ Tensor Lrn::backward(const Tensor& grad_out) {
   // d out[c] / d in[i] = scale[c]^-beta * [c == i]
   //   - 2 beta alpha/n * in[c] * in[i] * scale[c]^-(beta+1)  for i in
   //     window(c). Accumulate over all output channels c whose window
-  //     contains i.
+  //     contains i. Cross terms never leave the sample, so the batch
+  //     loop shards with disjoint writes.
   Tensor grad_in(s);
   const std::int64_t plane = s.h() * s.w();
-  for (std::int64_t n = 0; n < s.n(); ++n) {
-    for (std::int64_t p = 0; p < plane; ++p) {
-      for (std::int64_t c = 0; c < s.c(); ++c) {
-        const std::int64_t idx_c = (n * s.c() + c) * plane + p;
-        const double scale = cached_scale_[idx_c];
-        const double go = grad_out[idx_c];
-        const double pow_beta = std::pow(scale, -spec_.beta);
-        // Diagonal term.
-        grad_in[idx_c] += static_cast<float>(go * pow_beta);
-        // Cross terms.
-        const double common = -2.0 * spec_.beta * alpha_over_n * go *
-                              cached_in_[idx_c] * pow_beta / scale;
-        const std::int64_t lo = std::max<std::int64_t>(0, c - half);
-        const std::int64_t hi = std::min<std::int64_t>(s.c() - 1, c + half);
-        for (std::int64_t i = lo; i <= hi; ++i) {
-          const std::int64_t idx_i = (n * s.c() + i) * plane + p;
-          grad_in[idx_i] +=
-              static_cast<float>(common * cached_in_[idx_i]);
+  parallel_for_shards(s.n(), kReductionShards, [&](std::size_t,
+                                                   std::int64_t begin,
+                                                   std::int64_t end) {
+    for (std::int64_t n = begin; n < end; ++n) {
+      for (std::int64_t p = 0; p < plane; ++p) {
+        for (std::int64_t c = 0; c < s.c(); ++c) {
+          const std::int64_t idx_c = (n * s.c() + c) * plane + p;
+          const double scale = cached_scale_[idx_c];
+          const double go = grad_out[idx_c];
+          const double pow_beta = std::pow(scale, -spec_.beta);
+          // Diagonal term.
+          grad_in[idx_c] += static_cast<float>(go * pow_beta);
+          // Cross terms.
+          const double common = -2.0 * spec_.beta * alpha_over_n * go *
+                                cached_in_[idx_c] * pow_beta / scale;
+          const std::int64_t lo = std::max<std::int64_t>(0, c - half);
+          const std::int64_t hi =
+              std::min<std::int64_t>(s.c() - 1, c + half);
+          for (std::int64_t i = lo; i <= hi; ++i) {
+            const std::int64_t idx_i = (n * s.c() + i) * plane + p;
+            grad_in[idx_i] +=
+                static_cast<float>(common * cached_in_[idx_i]);
+          }
         }
       }
     }
-  }
+  });
   return grad_in;
 }
 

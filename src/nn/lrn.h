@@ -25,6 +25,7 @@ class Lrn final : public Layer {
   Shape output_shape(const Shape& in) const override { return in; }
   Tensor forward(const Tensor& in) override;
   Tensor backward(const Tensor& grad_out) override;
+  LayerPtr clone() const override { return std::make_unique<Lrn>(*this); }
   const LrnSpec& spec() const { return spec_; }
 
  private:

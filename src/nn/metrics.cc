@@ -6,6 +6,7 @@
 
 #include "nn/loss.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace qnn::nn {
 
@@ -82,21 +83,34 @@ EvalMetrics evaluate_metrics(Model& model, const data::Dataset& d, int k,
     ++batches;
 
     const std::int64_t classes = logits.shape()[1];
-    std::vector<int> order(static_cast<std::size_t>(classes));
-    for (std::int64_t s = 0; s < count; ++s) {
-      const float* row = logits.data() + s * classes;
+    // Confusion cells can collide across samples, so those adds stay on
+    // this thread; the top-k partial sorts shard with per-shard scratch
+    // and counts merged in shard order.
+    for (std::int64_t s = 0; s < count; ++s)
       m.confusion.add(y[static_cast<std::size_t>(s)],
                       lr.predictions[static_cast<std::size_t>(s)]);
-      std::iota(order.begin(), order.end(), 0);
-      std::partial_sort(order.begin(), order.begin() + k, order.end(),
-                        [&](int a, int b) { return row[a] > row[b]; });
-      for (int j = 0; j < k; ++j)
-        if (order[static_cast<std::size_t>(j)] ==
-            y[static_cast<std::size_t>(s)]) {
-          ++topk_hits;
-          break;
-        }
-    }
+    const std::vector<Shard> shards = make_shards(count, kReductionShards);
+    std::vector<std::int64_t> partial(shards.size(), 0);
+    parallel_run(
+        static_cast<std::int64_t>(shards.size()), [&](std::int64_t si) {
+          std::vector<int> order(static_cast<std::size_t>(classes));
+          std::int64_t hits = 0;
+          const Shard& sh = shards[static_cast<std::size_t>(si)];
+          for (std::int64_t s = sh.begin; s < sh.end; ++s) {
+            const float* row = logits.data() + s * classes;
+            std::iota(order.begin(), order.end(), 0);
+            std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                              [&](int a, int b) { return row[a] > row[b]; });
+            for (int j = 0; j < k; ++j)
+              if (order[static_cast<std::size_t>(j)] ==
+                  y[static_cast<std::size_t>(s)]) {
+                ++hits;
+                break;
+              }
+          }
+          partial[static_cast<std::size_t>(si)] = hits;
+        });
+    for (const std::int64_t hits : partial) topk_hits += hits;
   }
   m.top1 = m.confusion.accuracy();
   m.topk = 100.0 * static_cast<double>(topk_hits) /

@@ -56,6 +56,19 @@ std::int64_t Network::num_params() const {
   return total;
 }
 
+Network Network::clone() const {
+  Network copy(name_);
+  copy.layers_.reserve(layers_.size());
+  for (const auto& layer : layers_) {
+    LayerPtr c = layer->clone();
+    QNN_CHECK_MSG(c != nullptr,
+                  "layer " << layer->name() << " does not support clone()");
+    c->set_name(layer->name());
+    copy.layers_.push_back(std::move(c));
+  }
+  return copy;
+}
+
 void Network::copy_params_from(const Network& other) {
   auto dst = trainable_params();
   auto src = const_cast<Network&>(other).trainable_params();

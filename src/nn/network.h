@@ -70,6 +70,11 @@ class Network final : public Model {
   // identical network.
   void copy_params_from(const Network& other);
 
+  // Deep copy of the whole network (layers, parameters, cached state);
+  // fails if any layer does not implement clone(). Used to build
+  // per-thread replicas for parallel fault trials.
+  Network clone() const;
+
  private:
   std::string name_;
   std::vector<LayerPtr> layers_;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace qnn::nn {
 
@@ -34,11 +35,16 @@ Tensor Pool2d::forward(const Tensor& in) {
   if (is_max) argmax_.assign(static_cast<std::size_t>(out.count()), -1);
 
   const std::int64_t ih = s.h(), iw = s.w(), oh = os.h(), ow = os.w();
-  std::int64_t oidx = 0;
-  for (std::int64_t n = 0; n < s.n(); ++n) {
-    for (std::int64_t c = 0; c < s.c(); ++c) {
-      const float* plane = in.data() + (n * s.c() + c) * ih * iw;
-      const std::int64_t plane_base = (n * s.c() + c) * ih * iw;
+  const std::int64_t planes = s.n() * s.c();
+  // Every (sample, channel) plane reads and writes disjoint regions, so
+  // the plane loop shards freely without changing any result.
+  parallel_for_shards(planes, kReductionShards, [&](std::size_t,
+                                                    std::int64_t begin,
+                                                    std::int64_t end) {
+    for (std::int64_t p = begin; p < end; ++p) {
+      const float* plane = in.data() + p * ih * iw;
+      const std::int64_t plane_base = p * ih * iw;
+      std::int64_t oidx = p * oh * ow;
       for (std::int64_t y = 0; y < oh; ++y) {
         const std::int64_t y0 = std::max<std::int64_t>(
             0, y * spec_.stride - spec_.pad);
@@ -75,7 +81,7 @@ Tensor Pool2d::forward(const Tensor& in) {
         }
       }
     }
-  }
+  });
   cached_in_shape_ = s;
   return out;
 }
@@ -87,20 +93,30 @@ Tensor Pool2d::backward(const Tensor& grad_out) {
   QNN_CHECK(grad_out.shape() == os);
   Tensor grad_in(s);
 
+  const std::int64_t ih = s.h(), iw = s.w(), oh = os.h(), ow = os.w();
+  const std::int64_t planes = s.n() * s.c();
+
   if (spec_.mode == PoolMode::kMax) {
-    for (std::int64_t i = 0; i < grad_out.count(); ++i) {
-      const std::int64_t src = argmax_[static_cast<std::size_t>(i)];
-      QNN_DCHECK(src >= 0);
-      grad_in[src] += grad_out[i];
-    }
+    // argmax indices stay inside their own plane, so plane sharding
+    // keeps the scatter writes disjoint.
+    parallel_for_shards(
+        planes, kReductionShards,
+        [&](std::size_t, std::int64_t begin, std::int64_t end) {
+          for (std::int64_t i = begin * oh * ow; i < end * oh * ow; ++i) {
+            const std::int64_t src = argmax_[static_cast<std::size_t>(i)];
+            QNN_DCHECK(src >= 0);
+            grad_in[src] += grad_out[i];
+          }
+        });
     return grad_in;
   }
 
-  const std::int64_t ih = s.h(), iw = s.w(), oh = os.h(), ow = os.w();
-  std::int64_t oidx = 0;
-  for (std::int64_t n = 0; n < s.n(); ++n) {
-    for (std::int64_t c = 0; c < s.c(); ++c) {
-      float* plane = grad_in.data() + (n * s.c() + c) * ih * iw;
+  parallel_for_shards(planes, kReductionShards, [&](std::size_t,
+                                                    std::int64_t begin,
+                                                    std::int64_t end) {
+    for (std::int64_t p = begin; p < end; ++p) {
+      float* plane = grad_in.data() + p * ih * iw;
+      std::int64_t oidx = p * oh * ow;
       for (std::int64_t y = 0; y < oh; ++y) {
         const std::int64_t y0 =
             std::max<std::int64_t>(0, y * spec_.stride - spec_.pad);
@@ -120,7 +136,7 @@ Tensor Pool2d::backward(const Tensor& grad_out) {
         }
       }
     }
-  }
+  });
   return grad_in;
 }
 

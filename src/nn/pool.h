@@ -32,6 +32,7 @@ class Pool2d final : public Layer {
   Tensor forward(const Tensor& in) override;
   Tensor backward(const Tensor& grad_out) override;
   LayerDesc describe(const Shape& in) const override;
+  LayerPtr clone() const override { return std::make_unique<Pool2d>(*this); }
 
   const PoolSpec& spec() const { return spec_; }
 

@@ -5,6 +5,7 @@
 #include "nn/loss.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace qnn::nn {
 
@@ -73,12 +74,23 @@ double evaluate(Model& model, const data::Dataset& d,
     const Tensor logits = model.forward(x);
     QNN_CHECK(logits.shape().rank() == 2);
     const std::int64_t k = logits.shape()[1];
-    for (std::int64_t s = 0; s < count; ++s) {
-      const float* row = logits.data() + s * k;
-      const int pred = static_cast<int>(
-          std::max_element(row, row + k) - row);
-      if (pred == y[static_cast<std::size_t>(s)]) ++correct;
-    }
+    // Per-shard counts merged in shard order: the fixed shard plan keeps
+    // the reduction identical for every thread count.
+    const std::vector<Shard> shards = make_shards(count, kReductionShards);
+    std::vector<std::int64_t> partial(shards.size(), 0);
+    parallel_run(static_cast<std::int64_t>(shards.size()),
+                 [&](std::int64_t si) {
+                   std::int64_t hits = 0;
+                   const Shard& sh = shards[static_cast<std::size_t>(si)];
+                   for (std::int64_t s = sh.begin; s < sh.end; ++s) {
+                     const float* row = logits.data() + s * k;
+                     const int pred = static_cast<int>(
+                         std::max_element(row, row + k) - row);
+                     if (pred == y[static_cast<std::size_t>(s)]) ++hits;
+                   }
+                   partial[static_cast<std::size_t>(si)] = hits;
+                 });
+    for (const std::int64_t hits : partial) correct += hits;
   }
   return 100.0 * static_cast<double>(correct) / static_cast<double>(d.size());
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace qnn::quant {
 namespace {
@@ -119,11 +120,28 @@ void QuantizedNetwork::restore_masters() {
 namespace {
 
 // Counts NaN/Inf and values beyond the format's representable magnitude
-// before the quantizer clips them to the grid.
+// before the quantizer clips them to the grid. Large tensors scan in
+// per-shard counters merged in shard order (integer sums, so the totals
+// are order-independent by construction; the fixed order keeps the
+// policy uniform).
 void guard_scan(const Tensor& t, double limit, GuardCounters& guards) {
   const float* d = t.data();
   const std::int64_t n = t.count();
-  for (std::int64_t i = 0; i < n; ++i) guards.observe(d[i], limit);
+  constexpr std::int64_t kSerialCutoff = 1 << 14;
+  if (n < kSerialCutoff) {
+    for (std::int64_t i = 0; i < n; ++i) guards.observe(d[i], limit);
+    return;
+  }
+  const std::vector<Shard> shards = make_shards(n, kReductionShards);
+  std::vector<GuardCounters> partial(shards.size());
+  parallel_run(static_cast<std::int64_t>(shards.size()),
+               [&](std::int64_t si) {
+                 GuardCounters& g = partial[static_cast<std::size_t>(si)];
+                 const Shard& sh = shards[static_cast<std::size_t>(si)];
+                 for (std::int64_t i = sh.begin; i < sh.end; ++i)
+                   g.observe(d[i], limit);
+               });
+  for (const GuardCounters& g : partial) guards += g;
 }
 
 }  // namespace
@@ -206,6 +224,32 @@ void QuantizedNetwork::backward(const Tensor& grad_output) {
 
 std::vector<nn::Param*> QuantizedNetwork::trainable_params() {
   return params_;
+}
+
+QuantizedNetwork QuantizedNetwork::clone_onto(nn::Network& target) const {
+  QNN_CHECK_MSG(!masters_saved_,
+                "clone_onto while quantized weights are live; call "
+                "restore_masters() first");
+  QuantizedNetwork copy(target, config_);
+  QNN_CHECK_MSG(copy.params_.size() == params_.size() &&
+                    copy.data_quantizers_.size() == data_quantizers_.size(),
+                "clone_onto target does not match the wrapped network");
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    copy.weight_quantizers_[i] = weight_quantizers_[i]->clone();
+  for (std::size_t s = 0; s < data_quantizers_.size(); ++s)
+    copy.data_quantizers_[s] = data_quantizers_[s]->clone();
+  copy.clip_limits_ = clip_limits_;
+  copy.calibrated_ = calibrated_;
+  return copy;
+}
+
+void QuantizedNetwork::merge_guards_from(const QuantizedNetwork& other) {
+  QNN_CHECK(other.site_guards_.size() == site_guards_.size() &&
+            other.param_guards_.size() == param_guards_.size());
+  for (std::size_t s = 0; s < site_guards_.size(); ++s)
+    site_guards_[s] += other.site_guards_[s];
+  for (std::size_t i = 0; i < param_guards_.size(); ++i)
+    param_guards_[i] += other.param_guards_[i];
 }
 
 std::string QuantizedNetwork::name() const {

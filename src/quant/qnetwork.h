@@ -96,6 +96,21 @@ class QuantizedNetwork final : public nn::Model {
 
   const PrecisionConfig& config() const { return config_; }
   bool calibrated() const { return calibrated_; }
+  nn::Network& network() const { return net_; }
+
+  // Builds a replica of this quantized network around `target`, which
+  // must be a clone of the wrapped network (same structure and
+  // parameter values). Quantizers, clip limits, and calibration state
+  // are deep-copied; hooks and guard counters start empty. Masters must
+  // be restored first (call restore_masters()) so the replica's
+  // parameters hold full-precision values. Used for parallel fault
+  // trials, one replica per worker.
+  QuantizedNetwork clone_onto(nn::Network& target) const;
+
+  // Adds a replica's guard counters into this network's, so counters
+  // accumulated by per-thread replicas fold back into the original and
+  // the totals stay independent of the replica count (integer sums).
+  void merge_guards_from(const QuantizedNetwork& other);
 
   // Fault-injection hooks (see ForwardHooks). Passing {} clears them.
   void set_forward_hooks(ForwardHooks hooks) { hooks_ = std::move(hooks); }

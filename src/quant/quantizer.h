@@ -43,6 +43,10 @@ class ValueQuantizer {
 
   virtual std::string describe() const = 0;
   virtual int bits() const = 0;
+
+  // Deep copy, including calibrated format state. Used to build
+  // per-thread QuantizedNetwork replicas for parallel fault trials.
+  virtual std::unique_ptr<ValueQuantizer> clone() const = 0;
 };
 
 // Float baseline: no-op.
@@ -52,6 +56,9 @@ class IdentityQuantizer final : public ValueQuantizer {
   void apply(Tensor&) const override {}
   std::string describe() const override { return "float32"; }
   int bits() const override { return 32; }
+  std::unique_ptr<ValueQuantizer> clone() const override {
+    return std::make_unique<IdentityQuantizer>(*this);
+  }
 };
 
 class FixedQuantizer final : public ValueQuantizer {
@@ -69,6 +76,9 @@ class FixedQuantizer final : public ValueQuantizer {
   }
   std::string describe() const override;
   int bits() const override { return bits_; }
+  std::unique_ptr<ValueQuantizer> clone() const override {
+    return std::make_unique<FixedQuantizer>(*this);
+  }
   const std::optional<FixedPointFormat>& format() const { return format_; }
 
  private:
@@ -91,6 +101,9 @@ class Pow2Quantizer final : public ValueQuantizer {
   }
   std::string describe() const override;
   int bits() const override { return bits_; }
+  std::unique_ptr<ValueQuantizer> clone() const override {
+    return std::make_unique<Pow2Quantizer>(*this);
+  }
   const std::optional<Pow2Format>& format() const { return format_; }
 
  private:
@@ -109,6 +122,9 @@ class BinaryQuantizer final : public ValueQuantizer {
   double clip_limit() const override { return 1.0; }
   std::string describe() const override { return format_.to_string(); }
   int bits() const override { return 1; }
+  std::unique_ptr<ValueQuantizer> clone() const override {
+    return std::make_unique<BinaryQuantizer>(*this);
+  }
 
  private:
   BinaryFormat format_;

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <vector>
 
+#include "util/thread_pool.h"
+
 namespace qnn {
 namespace {
 
@@ -51,20 +53,84 @@ void block_kernel(std::int64_t mb, std::int64_t nb, std::int64_t kb,
   }
 }
 
-void gemm_impl(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
-               const float* b, float* c, bool accumulate) {
-  if (!accumulate) std::memset(c, 0, sizeof(float) * m * n);
-  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
-    const std::int64_t mb = std::min(kBlockM, m - i0);
-    for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
-      const std::int64_t kb = std::min(kBlockK, k - p0);
-      for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
-        const std::int64_t nb = std::min(kBlockN, n - j0);
-        block_kernel(mb, nb, kb, a + i0 * k + p0, k, b + p0 * n + j0, n,
-                     c + i0 * n + j0, n);
-      }
+// One M block: all K and N blocks for rows [i0, i0 + mb), then the
+// optional per-row bias epilogue. Writes only rows [i0, i0 + mb) of C,
+// and every element's accumulation order over K is independent of how
+// the M dimension is chunked — the basis for deterministic row sharding.
+void run_m_block(std::int64_t i0, std::int64_t mb, std::int64_t n,
+                 std::int64_t k, const float* a, const float* b, float* c,
+                 bool accumulate, const float* row_bias) {
+  float* cblock = c + i0 * n;
+  if (!accumulate)
+    std::memset(cblock, 0, sizeof(float) * static_cast<std::size_t>(mb * n));
+  for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
+    const std::int64_t kb = std::min(kBlockK, k - p0);
+    for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+      const std::int64_t nb = std::min(kBlockN, n - j0);
+      block_kernel(mb, nb, kb, a + i0 * k + p0, k, b + p0 * n + j0, n,
+                   cblock + j0, n);
     }
   }
+  if (row_bias != nullptr) {
+    for (std::int64_t i = 0; i < mb; ++i) {
+      const float bias = row_bias[i0 + i];
+      float* ci = cblock + i * n;
+      for (std::int64_t j = 0; j < n; ++j) ci[j] += bias;
+    }
+  }
+}
+
+void gemm_impl(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+               const float* b, float* c, bool accumulate,
+               const float* row_bias = nullptr) {
+  const std::int64_t blocks = (m + kBlockM - 1) / kBlockM;
+  parallel_run(blocks, [&](std::int64_t bi) {
+    const std::int64_t i0 = bi * kBlockM;
+    run_m_block(i0, std::min(kBlockM, m - i0), n, k, a, b, c, accumulate,
+                row_bias);
+  });
+}
+
+// Per-column bias epilogue, sharded over rows (disjoint writes).
+void add_col_bias(std::int64_t m, std::int64_t n, float* c,
+                  const float* col_bias) {
+  if (col_bias == nullptr) return;
+  parallel_for_shards(m, kReductionShards,
+                      [&](std::size_t, std::int64_t begin, std::int64_t end) {
+                        for (std::int64_t i = begin; i < end; ++i) {
+                          float* ci = c + i * n;
+                          for (std::int64_t j = 0; j < n; ++j)
+                            ci[j] += col_bias[j];
+                        }
+                      });
+}
+
+std::vector<float> transpose_a(std::int64_t m, std::int64_t k,
+                               const float* a) {
+  // Materialize A^T once; the transpose cost is negligible next to the
+  // O(mnk) multiply and keeps the inner kernel contiguous.
+  std::vector<float> at(static_cast<std::size_t>(m * k));
+  parallel_for_shards(k, kReductionShards,
+                      [&](std::size_t, std::int64_t begin, std::int64_t end) {
+                        for (std::int64_t p = begin; p < end; ++p)
+                          for (std::int64_t i = 0; i < m; ++i)
+                            at[static_cast<std::size_t>(i * k + p)] =
+                                a[p * m + i];
+                      });
+  return at;
+}
+
+std::vector<float> transpose_b(std::int64_t n, std::int64_t k,
+                               const float* b) {
+  std::vector<float> bt(static_cast<std::size_t>(k * n));
+  parallel_for_shards(n, kReductionShards,
+                      [&](std::size_t, std::int64_t begin, std::int64_t end) {
+                        for (std::int64_t j = begin; j < end; ++j)
+                          for (std::int64_t p = 0; p < k; ++p)
+                            bt[static_cast<std::size_t>(p * n + j)] =
+                                b[j * k + p];
+                      });
+  return bt;
 }
 
 }  // namespace
@@ -74,6 +140,12 @@ void gemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
   gemm_impl(m, n, k, a, b, c, /*accumulate=*/false);
 }
 
+void gemm_row_bias(std::int64_t m, std::int64_t n, std::int64_t k,
+                   const float* a, const float* b, float* c,
+                   const float* row_bias) {
+  gemm_impl(m, n, k, a, b, c, /*accumulate=*/false, row_bias);
+}
+
 void gemm_accumulate(std::int64_t m, std::int64_t n, std::int64_t k,
                      const float* a, const float* b, float* c) {
   gemm_impl(m, n, k, a, b, c, /*accumulate=*/true);
@@ -81,27 +153,27 @@ void gemm_accumulate(std::int64_t m, std::int64_t n, std::int64_t k,
 
 void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
              const float* b, float* c) {
-  // Materialize A^T once; the transpose cost is negligible next to the
-  // O(mnk) multiply and keeps the inner kernel contiguous.
-  std::vector<float> at(static_cast<std::size_t>(m * k));
-  for (std::int64_t p = 0; p < k; ++p)
-    for (std::int64_t i = 0; i < m; ++i) at[i * k + p] = a[p * m + i];
+  const std::vector<float> at = transpose_a(m, k, a);
   gemm_impl(m, n, k, at.data(), b, c, /*accumulate=*/false);
 }
 
 void gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
              const float* b, float* c) {
-  std::vector<float> bt(static_cast<std::size_t>(k * n));
-  for (std::int64_t j = 0; j < n; ++j)
-    for (std::int64_t p = 0; p < k; ++p) bt[p * n + j] = b[j * k + p];
+  const std::vector<float> bt = transpose_b(n, k, b);
   gemm_impl(m, n, k, a, bt.data(), c, /*accumulate=*/false);
+}
+
+void gemm_bt_col_bias(std::int64_t m, std::int64_t n, std::int64_t k,
+                      const float* a, const float* b, float* c,
+                      const float* col_bias) {
+  const std::vector<float> bt = transpose_b(n, k, b);
+  gemm_impl(m, n, k, a, bt.data(), c, /*accumulate=*/false);
+  add_col_bias(m, n, c, col_bias);
 }
 
 void gemm_bt_accumulate(std::int64_t m, std::int64_t n, std::int64_t k,
                         const float* a, const float* b, float* c) {
-  std::vector<float> bt(static_cast<std::size_t>(k * n));
-  for (std::int64_t j = 0; j < n; ++j)
-    for (std::int64_t p = 0; p < k; ++p) bt[p * n + j] = b[j * k + p];
+  const std::vector<float> bt = transpose_b(n, k, b);
   gemm_impl(m, n, k, a, bt.data(), c, /*accumulate=*/true);
 }
 

@@ -2,8 +2,17 @@
 //
 // Convolution (via im2col) and fully-connected layers lower to these.
 // The implementation is a register-blocked, cache-tiled scalar kernel —
-// fast enough for the paper's small networks on one core, with no
-// external BLAS dependency.
+// no external BLAS dependency — sharded across the global thread pool
+// along the M dimension. Row sharding is bit-deterministic for any
+// chunking: each output element's accumulation order over K is fixed by
+// the cache blocking alone, so N-thread and 1-thread runs produce
+// identical bytes. (K-dimension sharding would need a cross-thread
+// reduction whose merge order differs from the serial order; it is
+// deliberately not offered.)
+//
+// The *_bias variants fold the layer bias into the kernel epilogue: the
+// bias is added to each finished output element after its K accumulation
+// completes, exactly as the layers' former scalar post-pass did.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +22,12 @@ namespace qnn {
 // C[M,N] = A[M,K] * B[K,N]   (row-major, C overwritten)
 void gemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
           const float* b, float* c);
+
+// C[M,N] = A[M,K] * B[K,N], then C[i,j] += row_bias[i] (skipped when
+// row_bias is null). Conv2d's per-output-channel bias.
+void gemm_row_bias(std::int64_t m, std::int64_t n, std::int64_t k,
+                   const float* a, const float* b, float* c,
+                   const float* row_bias);
 
 // C[M,N] += A[M,K] * B[K,N]
 void gemm_accumulate(std::int64_t m, std::int64_t n, std::int64_t k,
@@ -25,6 +40,12 @@ void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
 // C[M,N] = A[M,K] * B^T[K,N] where B is stored [N,K] row-major.
 void gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
              const float* b, float* c);
+
+// C[M,N] = A[M,K] * B^T, then C[i,j] += col_bias[j] (skipped when
+// col_bias is null). InnerProduct's per-output-feature bias.
+void gemm_bt_col_bias(std::int64_t m, std::int64_t n, std::int64_t k,
+                      const float* a, const float* b, float* c,
+                      const float* col_bias);
 
 // C[M,N] += A[M,K] * B^T where B is stored [N,K] row-major.
 void gemm_bt_accumulate(std::int64_t m, std::int64_t n, std::int64_t k,

@@ -1,0 +1,152 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+#include "util/check.h"
+
+namespace qnn {
+namespace {
+
+// Set while a thread (worker or participating caller) executes pool
+// tasks; makes nested run() calls degrade to inline serial execution.
+thread_local bool t_in_pool_task = false;
+
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  QNN_CHECK_MSG(threads >= 1, "thread pool needs at least one thread");
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+bool ThreadPool::in_worker() { return t_in_pool_task; }
+
+void ThreadPool::execute_tasks(Job& job) {
+  const bool was_in_task = t_in_pool_task;
+  t_in_pool_task = true;
+  for (;;) {
+    if (job.failed.load(std::memory_order_acquire)) break;
+    const std::int64_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.count) break;
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.m);
+      if (job.error_index < 0 || i < job.error_index) {
+        job.error = std::current_exception();
+        job.error_index = i;
+      }
+      job.failed.store(true, std::memory_order_release);
+    }
+  }
+  t_in_pool_task = was_in_task;
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(m_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    wake_cv_.wait(lock, [&] {
+      return stop_ || (job_ != nullptr && generation_ != seen);
+    });
+    if (stop_) return;
+    seen = generation_;
+    Job* job = job_;
+    ++attached_;
+    lock.unlock();
+    execute_tasks(*job);
+    lock.lock();
+    if (--attached_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run(std::int64_t count,
+                     const std::function<void(std::int64_t)>& fn) {
+  if (count <= 0) return;
+  if (count == 1 || workers_.empty() || in_worker()) {
+    // Inline serial path: identical to the 1-thread execution order, and
+    // the policy for nested parallel regions.
+    for (std::int64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> top(run_m_);
+  Job job;
+  job.fn = &fn;
+  job.count = count;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    job_ = &job;
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+  execute_tasks(job);
+  {
+    // Unpublish the job, then wait for every attached worker to detach
+    // so `job` can safely leave scope.
+    std::unique_lock<std::mutex> lock(m_);
+    job_ = nullptr;
+    done_cv_.wait(lock, [&] { return attached_ == 0; });
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+int ThreadPool::env_threads() {
+  if (const char* v = std::getenv("QNN_THREADS")) {
+    const int n = std::atoi(v);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  auto& slot = global_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>(env_threads());
+  return *slot;
+}
+
+void ThreadPool::set_global_threads(int threads) {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  auto& slot = global_slot();
+  slot.reset();  // join old workers before spawning replacements
+  slot = std::make_unique<ThreadPool>(std::max(threads, 1));
+}
+
+std::vector<Shard> make_shards(std::int64_t total, std::int64_t max_shards) {
+  std::vector<Shard> shards;
+  if (total <= 0) return shards;
+  QNN_CHECK(max_shards >= 1);
+  const std::int64_t n = std::min(total, max_shards);
+  const std::int64_t base = total / n;
+  const std::int64_t rem = total % n;
+  shards.reserve(static_cast<std::size_t>(n));
+  std::int64_t begin = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t len = base + (i < rem ? 1 : 0);
+    shards.push_back({begin, begin + len});
+    begin += len;
+  }
+  return shards;
+}
+
+}  // namespace qnn

@@ -1,0 +1,147 @@
+// Deterministic parallel runtime: a small, work-stealing-free thread
+// pool plus the fixed shard plans every parallel loop in the tree uses.
+//
+// Determinism policy (DESIGN.md §Threading): an N-thread run and a
+// 1-thread run must produce bit-identical results. Two rules enforce it:
+//
+//  1. Work is split by *shard plans* that depend only on the problem
+//     size (make_shards with a constant shard cap), never on the thread
+//     count. Reductions accumulate into per-shard slots and merge on the
+//     calling thread in shard-index order, so floating-point summation
+//     order is a pure function of the input.
+//  2. A task's result may not depend on which thread executed it.
+//     Loops whose iterations share mutable state (e.g. Dropout's RNG
+//     stream, stochastic-rounding draws) stay serial or re-seed
+//     per-task.
+//
+// Nesting: run() invoked from inside a pool task executes inline and
+// serially on the calling thread. Outer loops (sweep points, fault
+// trials) therefore claim the pool and inner loops (GEMM, conv batch
+// sharding) degrade to their serial order — which is exactly the
+// 1-thread order, keeping rule 1 intact at every level.
+//
+// The global pool is sized by the QNN_THREADS environment variable
+// (unset/0 = std::thread::hardware_concurrency), and can be resized
+// programmatically with set_global_threads() while no work is running.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qnn {
+
+class ThreadPool {
+ public:
+  // `threads` is the total concurrency including the calling thread, so
+  // ThreadPool(1) spawns no workers and run() executes inline.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Invokes fn(i) for every i in [0, count), blocking until all tasks
+  // finish. Tasks are claimed in index order but may run concurrently on
+  // any thread; the caller participates. If tasks throw, the exception
+  // with the lowest task index is rethrown after in-flight tasks drain;
+  // tasks not yet claimed when a failure is recorded are skipped (the
+  // serial behavior of "stop at the first throw").
+  //
+  // Calls from inside a pool task run inline and serially (see header
+  // comment); concurrent top-level calls serialize against each other.
+  void run(std::int64_t count, const std::function<void(std::int64_t)>& fn);
+
+  // True on a thread currently executing pool tasks (workers and the
+  // participating caller alike).
+  static bool in_worker();
+
+  // Process-wide pool, created on first use with env_threads() threads.
+  static ThreadPool& global();
+  // Threads requested by the environment: QNN_THREADS if set and > 0,
+  // otherwise hardware_concurrency (at least 1).
+  static int env_threads();
+  // Rebuilds the global pool with `threads` (clamped to >= 1). Must not
+  // race with run() calls; intended for tests and bench harnesses.
+  static void set_global_threads(int threads);
+
+ private:
+  struct Job {
+    const std::function<void(std::int64_t)>* fn = nullptr;
+    std::int64_t count = 0;
+    std::atomic<std::int64_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex m;                     // guards error fields
+    std::exception_ptr error;
+    std::int64_t error_index = -1;
+  };
+
+  void worker_loop();
+  static void execute_tasks(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex m_;                    // guards job_/generation_/attached_/stop_
+  std::condition_variable wake_cv_;  // workers wait here for a job
+  std::condition_variable done_cv_;  // run() waits here for detach
+  Job* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int attached_ = 0;  // workers currently inside execute_tasks
+  bool stop_ = false;
+  std::mutex run_m_;  // serializes concurrent top-level run() calls
+};
+
+// Contiguous index range [begin, end).
+struct Shard {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t size() const { return end - begin; }
+};
+
+// Fixed shard cap used by every deterministic reduction in the tree.
+// The resulting shard plan — and therefore the floating-point merge
+// order — depends only on the problem size, never on the thread count.
+inline constexpr std::int64_t kReductionShards = 16;
+
+// Splits [0, total) into min(total, max_shards) contiguous near-equal
+// shards (earlier shards take the remainder). total == 0 yields no
+// shards.
+std::vector<Shard> make_shards(std::int64_t total, std::int64_t max_shards);
+
+// Runs fn(i) for i in [0, count) on the global pool. The serial cases
+// (count <= 1, single-thread pool, nested inside a pool task) loop
+// inline without materializing a std::function.
+template <typename F>
+void parallel_run(std::int64_t count, F&& fn) {
+  if (count <= 0) return;
+  if (count == 1 || ThreadPool::in_worker()) {
+    for (std::int64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::global();
+  if (pool.size() == 1) {
+    for (std::int64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  pool.run(count, std::function<void(std::int64_t)>(std::forward<F>(fn)));
+}
+
+// Shard-plan convenience: fn(shard_index, begin, end) per shard of
+// make_shards(total, max_shards).
+template <typename F>
+void parallel_for_shards(std::int64_t total, std::int64_t max_shards,
+                         F&& fn) {
+  const std::vector<Shard> shards = make_shards(total, max_shards);
+  parallel_run(static_cast<std::int64_t>(shards.size()),
+               [&](std::int64_t si) {
+                 const Shard& s = shards[static_cast<std::size_t>(si)];
+                 fn(static_cast<std::size_t>(si), s.begin, s.end);
+               });
+}
+
+}  // namespace qnn

@@ -8,6 +8,7 @@
 
 #include "exp/checkpoint.h"
 #include "util/fileio.h"
+#include "util/thread_pool.h"
 
 namespace qnn::exp {
 namespace {
@@ -199,12 +200,14 @@ TEST(Checkpoint, FingerprintTracksEveryInput) {
   EXPECT_NE(sweep_fingerprint(spec, precisions, 0.0, faults2), base);
 }
 
-// The acceptance test: kill the sweep after point k, resume, and demand
-// byte-identical results versus an uninterrupted run.
-TEST(Checkpoint, KilledSweepResumesByteIdentical) {
+// The acceptance scenario: kill the sweep after point k, resume, and
+// demand byte-identical results versus an uninterrupted run. Shared by
+// the serial and threaded variants below — the ordered emitter must
+// keep kill/resume semantics identical at any pool size.
+void run_kill_and_resume_scenario(const std::string& tag) {
   const std::string dir = ::testing::TempDir();
-  const std::string ck_a = dir + "/sweep_killed.json";
-  const std::string ck_b = dir + "/sweep_straight.json";
+  const std::string ck_a = dir + "/sweep_killed_" + tag + ".json";
+  const std::string ck_b = dir + "/sweep_straight_" + tag + ".json";
   for (const auto& p :
        {ck_a, ck_b, ck_a + ".weights", ck_b + ".weights"})
     std::filesystem::remove(p);
@@ -257,6 +260,22 @@ TEST(Checkpoint, KilledSweepResumesByteIdentical) {
   for (const auto& p :
        {ck_a, ck_b, ck_a + ".weights", ck_b + ".weights"})
     std::filesystem::remove(p);
+}
+
+TEST(Checkpoint, KilledSweepResumesByteIdentical) {
+  ThreadPool::set_global_threads(1);
+  run_kill_and_resume_scenario("serial");
+  ThreadPool::set_global_threads(ThreadPool::env_threads());
+}
+
+TEST(Checkpoint, KilledThreadedSweepResumesByteIdentical) {
+  // With a 4-thread pool, points compute concurrently but emit through
+  // the ordered single writer: after_point(1) throwing must still leave
+  // exactly points {0, 1} in the checkpoint, and the resume must only
+  // compute point 2.
+  ThreadPool::set_global_threads(4);
+  run_kill_and_resume_scenario("threaded");
+  ThreadPool::set_global_threads(ThreadPool::env_threads());
 }
 
 }  // namespace

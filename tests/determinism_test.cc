@@ -1,0 +1,237 @@
+// The headline guarantee of the parallel runtime: an N-thread run and a
+// 1-thread run produce bit-identical results — GEMM output buffers,
+// evaluation accuracy, guard counters, fault-campaign statistics, and
+// sweep checkpoint files.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "exp/sweep.h"
+#include "faults/campaign.h"
+#include "nn/trainer.h"
+#include "nn/zoo.h"
+#include "quant/qnetwork.h"
+#include "tensor/gemm.h"
+#include "util/fileio.h"
+#include "util/thread_pool.h"
+
+namespace qnn {
+namespace {
+
+// Restores the global pool to its environment size no matter how a test
+// exits.
+struct ThreadGuard {
+  ~ThreadGuard() {
+    ThreadPool::set_global_threads(ThreadPool::env_threads());
+  }
+};
+
+std::vector<float> random_matrix(std::int64_t count, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> out(static_cast<std::size_t>(count));
+  for (float& v : out) v = dist(rng);
+  return out;
+}
+
+TEST(Determinism, GemmIsBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  // Sizes straddle the kernel's 64-row M blocks so the parallel run
+  // actually splits work.
+  const std::int64_t m = 193, n = 71, k = 83;
+  const auto a = random_matrix(m * k, 1);
+  const auto b = random_matrix(k * n, 2);
+  const auto bias = random_matrix(m, 3);
+
+  std::vector<float> c1(static_cast<std::size_t>(m * n));
+  std::vector<float> c1b(static_cast<std::size_t>(m * n));
+  ThreadPool::set_global_threads(1);
+  gemm(m, n, k, a.data(), b.data(), c1.data());
+  gemm_row_bias(m, n, k, a.data(), b.data(), c1b.data(), bias.data());
+
+  for (int threads : {2, 4, 7}) {
+    ThreadPool::set_global_threads(threads);
+    std::vector<float> cn(static_cast<std::size_t>(m * n));
+    gemm(m, n, k, a.data(), b.data(), cn.data());
+    EXPECT_EQ(std::memcmp(c1.data(), cn.data(), c1.size() * sizeof(float)),
+              0)
+        << threads << " threads";
+    gemm_row_bias(m, n, k, a.data(), b.data(), cn.data(), bias.data());
+    EXPECT_EQ(
+        std::memcmp(c1b.data(), cn.data(), c1b.size() * sizeof(float)), 0)
+        << threads << " threads (row bias)";
+  }
+}
+
+TEST(Determinism, GemmBtColBiasIsBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  const std::int64_t m = 130, n = 37, k = 29;
+  const auto a = random_matrix(m * k, 4);
+  const auto b = random_matrix(n * k, 5);
+  const auto bias = random_matrix(n, 6);
+
+  std::vector<float> c1(static_cast<std::size_t>(m * n));
+  ThreadPool::set_global_threads(1);
+  gemm_bt_col_bias(m, n, k, a.data(), b.data(), c1.data(), bias.data());
+
+  ThreadPool::set_global_threads(4);
+  std::vector<float> c4(static_cast<std::size_t>(m * n));
+  gemm_bt_col_bias(m, n, k, a.data(), b.data(), c4.data(), bias.data());
+  EXPECT_EQ(std::memcmp(c1.data(), c4.data(), c1.size() * sizeof(float)),
+            0);
+}
+
+// Shared fixture: a small trained LeNet on synthetic MNIST-like data.
+// Training runs once (serial order is itself deterministic) and the
+// quantized evaluations under test reuse the same weights.
+struct EvalFixture {
+  data::Split split;
+  std::unique_ptr<nn::Network> net;
+
+  EvalFixture() {
+    data::SyntheticConfig dc;
+    dc.num_train = 150;
+    dc.num_test = 60;
+    dc.seed = 11;
+    split = data::make_mnist_like(dc);
+    nn::ZooConfig zc;
+    zc.channel_scale = 0.2;
+    net = nn::make_lenet(zc);
+    nn::TrainConfig tc;
+    tc.epochs = 2;
+    tc.batch_size = 25;
+    tc.sgd.learning_rate = 0.02;
+    nn::train(*net, split.train, tc);
+  }
+};
+
+TEST(Determinism, EvaluateAccuracyAndGuardsMatchSerial) {
+  ThreadGuard guard;
+  EvalFixture f;
+  quant::QuantizedNetwork qnet(*f.net, quant::fixed_config(8, 8));
+  qnet.calibrate(f.split.train.images);
+
+  ThreadPool::set_global_threads(1);
+  qnet.reset_guards();
+  const double acc1 = nn::evaluate(qnet, f.split.test);
+  const quant::GuardCounters g1 = qnet.total_guards();
+  qnet.restore_masters();
+
+  for (int threads : {2, 4}) {
+    ThreadPool::set_global_threads(threads);
+    qnet.reset_guards();
+    const double accn = nn::evaluate(qnet, f.split.test);
+    const quant::GuardCounters gn = qnet.total_guards();
+    qnet.restore_masters();
+    EXPECT_EQ(acc1, accn) << threads << " threads";  // bit-identical
+    EXPECT_EQ(g1.values, gn.values) << threads << " threads";
+    EXPECT_EQ(g1.saturated, gn.saturated) << threads << " threads";
+    EXPECT_EQ(g1.nan, gn.nan) << threads << " threads";
+    EXPECT_EQ(g1.inf, gn.inf) << threads << " threads";
+  }
+}
+
+TEST(Determinism, FaultCampaignMatchesSerial) {
+  ThreadGuard guard;
+  EvalFixture f;
+  quant::QuantizedNetwork qnet(*f.net, quant::fixed_config(8, 8));
+  qnet.calibrate(f.split.train.images);
+
+  faults::CampaignConfig cc;
+  cc.trials = 5;
+  cc.bit_error_rate = 1e-3;
+  cc.seed = 2024;
+
+  ThreadPool::set_global_threads(1);
+  qnet.reset_guards();
+  const faults::CampaignResult r1 =
+      faults::run_fault_campaign(qnet, f.split.test, cc);
+  const quant::GuardCounters g1 = qnet.total_guards();
+
+  ThreadPool::set_global_threads(4);
+  qnet.reset_guards();
+  const faults::CampaignResult r4 =
+      faults::run_fault_campaign(qnet, f.split.test, cc);
+  const quant::GuardCounters g4 = qnet.total_guards();
+
+  EXPECT_EQ(r1.trials, r4.trials);
+  EXPECT_EQ(r1.failed_trials, r4.failed_trials);
+  EXPECT_EQ(r1.total_flips, r4.total_flips);
+  EXPECT_EQ(r1.mean_accuracy, r4.mean_accuracy);  // bit-identical
+  EXPECT_EQ(r1.min_accuracy, r4.min_accuracy);
+  EXPECT_EQ(r1.max_accuracy, r4.max_accuracy);
+  // Replica guard counters fold back into the original, so the totals
+  // cannot depend on how many replicas the pool spawned.
+  EXPECT_EQ(g1.values, g4.values);
+  EXPECT_EQ(g1.saturated, g4.saturated);
+  EXPECT_EQ(g1.nan, g4.nan);
+  EXPECT_EQ(g1.inf, g4.inf);
+}
+
+TEST(Determinism, SweepCheckpointBytesMatchSerial) {
+  ThreadGuard guard;
+  const std::string dir = ::testing::TempDir();
+  const std::string ck1 = dir + "/det_sweep_t1.json";
+  const std::string ck4 = dir + "/det_sweep_t4.json";
+  for (const auto& p : {ck1, ck4, ck1 + ".weights", ck4 + ".weights"})
+    std::filesystem::remove(p);
+
+  exp::ExperimentSpec spec;
+  spec.network = "lenet";
+  spec.dataset = "mnist";
+  spec.channel_scale = 0.2;
+  spec.data.num_train = 200;
+  spec.data.num_test = 100;
+  spec.data.seed = 5;
+  spec.float_train.epochs = 2;
+  spec.float_train.batch_size = 20;
+  spec.float_train.sgd.learning_rate = 0.02;
+  spec.qat_train = spec.float_train;
+  spec.qat_train.epochs = 1;
+  spec.qat_train.sgd.learning_rate = 0.01;
+
+  const std::vector<quant::PrecisionConfig> precisions = {
+      quant::float_config(), quant::fixed_config(8, 8),
+      quant::binary_config(16)};
+
+  exp::SweepOptions opts;
+  opts.faults.trials = 2;
+  opts.faults.bit_error_rates = {1e-3};
+
+  ThreadPool::set_global_threads(1);
+  exp::SweepOptions o1 = opts;
+  o1.checkpoint_path = ck1;
+  const exp::SweepResult r1 =
+      exp::run_precision_sweep(spec, precisions, 0.0, o1);
+
+  ThreadPool::set_global_threads(4);
+  exp::SweepOptions o4 = opts;
+  o4.checkpoint_path = ck4;
+  const exp::SweepResult r4 =
+      exp::run_precision_sweep(spec, precisions, 0.0, o4);
+
+  ASSERT_EQ(r1.points.size(), precisions.size());
+  ASSERT_EQ(r4.points.size(), precisions.size());
+  for (std::size_t i = 0; i < r1.points.size(); ++i) {
+    SCOPED_TRACE("point " + std::to_string(i));
+    EXPECT_EQ(r1.points[i].accuracy, r4.points[i].accuracy);
+    EXPECT_EQ(r1.points[i].guards.values, r4.points[i].guards.values);
+    EXPECT_EQ(r1.points[i].guards.saturated,
+              r4.points[i].guards.saturated);
+  }
+
+  // The strongest form of the guarantee: the serialized checkpoints are
+  // byte-for-byte identical, doubles and all.
+  EXPECT_EQ(read_file(ck1), read_file(ck4));
+
+  for (const auto& p : {ck1, ck4, ck1 + ".weights", ck4 + ".weights"})
+    std::filesystem::remove(p);
+}
+
+}  // namespace
+}  // namespace qnn
