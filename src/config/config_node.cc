@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/check.h"
+#include "util/fileio.h"
 
 namespace qnn::config {
 namespace {
@@ -20,7 +21,7 @@ struct Token {
 class Lexer {
  public:
   Lexer(const std::string& text, const std::string& source)
-      : text_(text), source_(source) {}
+      : text_(text), source_(source), pos_(utf8_bom_offset(text)) {}
 
   // "<source>:<line>" prefix for parse errors.
   std::string where(int line) const {

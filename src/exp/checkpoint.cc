@@ -61,6 +61,16 @@ std::uint32_t sweep_fingerprint(
   os << faults.trials << '|' << faults.domains << '|' << faults.seed << '|'
      << faults.trial_retries << '|';
   for (double rate : faults.bit_error_rates) put(os, rate);
+  // Protection shape: the policy list and every knob that changes
+  // campaign numerics. Changing any of these must start a fresh sweep.
+  for (const protect::ProtectionPolicy p : faults.policies)
+    os << static_cast<int>(p) << '|';
+  os << '@' << faults.protection.max_layer_retries << '|';
+  put(os, faults.protection.envelope_margin);
+  os << faults.protection.abft << '|'
+     << faults.protection.always_vote_data_bits << '|';
+  put(os, faults.protection.abft_options.tolerance_scale);
+  os << faults.protection.abft_options.max_reexecutions << '|';
   os << '#';
   for (const quant::PrecisionConfig& p : precisions) put_precision(os, p);
   const std::string canon = os.str();
@@ -90,11 +100,23 @@ json::Value precision_result_to_json(const PrecisionResult& point) {
   for (const FaultPointResult& c : point.fault_campaigns) {
     json::Value cv = json::Value::object();
     cv.set("bit_error_rate", c.bit_error_rate);
+    cv.set("policy", std::string(protect::policy_name(c.policy)));
     cv.set("trials", c.trials);
     cv.set("failed_trials", c.failed_trials);
     cv.set("mean_accuracy", c.mean_accuracy);
     cv.set("min_accuracy", c.min_accuracy);
     cv.set("total_flips", c.total_flips);
+    json::Value prot = json::Value::object();
+    prot.set("values", c.protection.values);
+    prot.set("out_of_envelope", c.protection.out_of_envelope);
+    prot.set("clamped", c.protection.clamped);
+    prot.set("layer_retries", c.protection.layer_retries);
+    prot.set("degraded_forwards", c.protection.degraded_forwards);
+    prot.set("abft_blocks", c.protection.abft.blocks_checked);
+    prot.set("abft_mismatches", c.protection.abft.mismatches);
+    prot.set("abft_reexecutions", c.protection.abft.reexecutions);
+    prot.set("abft_unrecovered", c.protection.abft.unrecovered);
+    cv.set("protection", std::move(prot));
     campaigns.push_back(std::move(cv));
   }
   v.set("fault_campaigns", std::move(campaigns));
@@ -126,11 +148,22 @@ PrecisionResult precision_result_from_json(
   for (const json::Value& cv : v.at("fault_campaigns").items()) {
     FaultPointResult c;
     c.bit_error_rate = cv.at("bit_error_rate").as_double();
+    c.policy = protect::policy_from_name(cv.at("policy").as_string());
     c.trials = static_cast<int>(cv.at("trials").as_int());
     c.failed_trials = static_cast<int>(cv.at("failed_trials").as_int());
     c.mean_accuracy = cv.at("mean_accuracy").as_double();
     c.min_accuracy = cv.at("min_accuracy").as_double();
     c.total_flips = cv.at("total_flips").as_int();
+    const json::Value& prot = cv.at("protection");
+    c.protection.values = prot.at("values").as_int();
+    c.protection.out_of_envelope = prot.at("out_of_envelope").as_int();
+    c.protection.clamped = prot.at("clamped").as_int();
+    c.protection.layer_retries = prot.at("layer_retries").as_int();
+    c.protection.degraded_forwards = prot.at("degraded_forwards").as_int();
+    c.protection.abft.blocks_checked = prot.at("abft_blocks").as_int();
+    c.protection.abft.mismatches = prot.at("abft_mismatches").as_int();
+    c.protection.abft.reexecutions = prot.at("abft_reexecutions").as_int();
+    c.protection.abft.unrecovered = prot.at("abft_unrecovered").as_int();
     point.fault_campaigns.push_back(c);
   }
   return point;

@@ -30,7 +30,10 @@
 
 namespace qnn::exp {
 
-inline constexpr int kCheckpointVersion = 1;
+// Version 2 added the per-campaign protection policy and counters.
+// Older checkpoints fail the version check and degrade to a fresh run
+// (the documented behavior for any unusable checkpoint).
+inline constexpr int kCheckpointVersion = 2;
 
 struct SweepCheckpoint {
   std::uint32_t fingerprint = 0;

@@ -49,26 +49,37 @@ void run_point_campaigns(quant::QuantizedNetwork& qnet,
                          const hw::Accelerator& acc,
                          std::size_t point_index, PrecisionResult& pr) {
   pr.fault_campaigns.clear();
+  const std::vector<protect::ProtectionPolicy> policies =
+      spec.effective_policies();
   for (std::size_t ri = 0; ri < spec.bit_error_rates.size(); ++ri) {
-    faults::CampaignConfig cc;
-    cc.trials = spec.trials;
-    cc.bit_error_rate = spec.bit_error_rates[ri];
-    cc.domains = spec.domains;
-    cc.trial_retries = spec.trial_retries;
-    cc.accumulator_bits = acc.accumulator_bits();
-    // 2D mix: the former point_index * 797003 + ri linear combination
-    // could collide campaign seeds across (point, rate) pairs.
-    cc.seed = faults::derive_seed2(spec.seed, point_index, ri);
-    const faults::CampaignResult r =
-        faults::run_fault_campaign(qnet, test, cc);
-    FaultPointResult out;
-    out.bit_error_rate = cc.bit_error_rate;
-    out.trials = r.trials;
-    out.failed_trials = r.failed_trials;
-    out.mean_accuracy = r.mean_accuracy;
-    out.min_accuracy = r.min_accuracy;
-    out.total_flips = r.total_flips;
-    pr.fault_campaigns.push_back(out);
+    for (const protect::ProtectionPolicy policy : policies) {
+      faults::CampaignConfig cc;
+      cc.trials = spec.trials;
+      cc.bit_error_rate = spec.bit_error_rates[ri];
+      cc.domains = spec.domains;
+      cc.trial_retries = spec.trial_retries;
+      cc.accumulator_bits = acc.accumulator_bits();
+      // 2D mix: the former point_index * 797003 + ri linear combination
+      // could collide campaign seeds across (point, rate) pairs. The
+      // seed deliberately ignores the policy: every policy at this
+      // (point, rate) replays the identical fault streams, so rows
+      // differ only by the protection response.
+      cc.seed = faults::derive_seed2(spec.seed, point_index, ri);
+      cc.protection = spec.protection;
+      cc.protection.policy = policy;
+      const faults::CampaignResult r =
+          faults::run_fault_campaign(qnet, test, cc);
+      FaultPointResult out;
+      out.bit_error_rate = cc.bit_error_rate;
+      out.policy = policy;
+      out.trials = r.trials;
+      out.failed_trials = r.failed_trials;
+      out.mean_accuracy = r.mean_accuracy;
+      out.min_accuracy = r.min_accuracy;
+      out.total_flips = r.total_flips;
+      out.protection = r.protection;
+      pr.fault_campaigns.push_back(out);
+    }
   }
 }
 

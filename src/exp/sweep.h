@@ -16,6 +16,7 @@
 
 #include "data/synthetic.h"
 #include "faults/fault_model.h"
+#include "protect/protected_network.h"
 #include "hw/schedule.h"
 #include "nn/trainer.h"
 #include "nn/zoo.h"
@@ -38,14 +39,22 @@ struct ExperimentSpec {
   std::uint64_t seed = 1;
 };
 
-// Outcome of one fault campaign (one bit-error rate) at one precision.
+// Outcome of one fault campaign (one bit-error rate, one protection
+// policy) at one precision.
 struct FaultPointResult {
   double bit_error_rate = 0.0;
+  // Protection policy the campaign ran under (kOff for the classic
+  // unprotected campaign). Campaigns for the same (point, rate) share
+  // their injection seed across policies, so rows differ only by the
+  // protection response.
+  protect::ProtectionPolicy policy = protect::ProtectionPolicy::kOff;
   int trials = 0;
   int failed_trials = 0;
   double mean_accuracy = 0.0;  // % top-1 under injection
   double min_accuracy = 0.0;   // worst trial
   std::int64_t total_flips = 0;
+  // Protection activity over successful trials (zero under kOff).
+  protect::ProtectionCounters protection;
 };
 
 struct PrecisionResult {
@@ -99,8 +108,20 @@ struct FaultCampaignSpec {
   unsigned domains = faults::kAllDomains;
   std::uint64_t seed = 0xfa117ull;
   int trial_retries = 2;
+  // Protection policies to run per (point, rate); empty means the
+  // classic unprotected campaign only. Each policy reuses the same
+  // campaign seed, so protected rows face the identical fault streams
+  // as their unprotected siblings.
+  std::vector<protect::ProtectionPolicy> policies;
+  // Knob template shared by every protected campaign (its `policy`
+  // field is overridden per entry of `policies`).
+  protect::ProtectionConfig protection;
 
   bool enabled() const { return trials > 0 && !bit_error_rates.empty(); }
+  std::vector<protect::ProtectionPolicy> effective_policies() const {
+    if (policies.empty()) return {protect::ProtectionPolicy::kOff};
+    return policies;
+  }
 };
 
 struct SweepOptions {

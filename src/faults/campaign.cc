@@ -17,11 +17,13 @@ namespace {
 // One trial: install injection hooks, evaluate, tear down. Restores the
 // network state even when evaluation throws.
 double run_trial(quant::QuantizedNetwork& qnet,
+                 protect::ProtectedNetwork* pnet,
                  const data::Dataset& test_set,
                  const CampaignConfig& config, std::uint64_t trial_seed,
                  const std::vector<std::unique_ptr<ValueCodec>>& weight_codecs,
                  const std::vector<std::unique_ptr<ValueCodec>>& data_codecs,
-                 std::int64_t* flips) {
+                 std::int64_t* flips,
+                 protect::ProtectionCounters* protection) {
   FaultInjector injector(trial_seed);
   // Pin the stochastic-rounding stream to the trial seed: the engine is
   // thread-local, so without this a trial's rounding draws would depend
@@ -51,7 +53,17 @@ double run_trial(quant::QuantizedNetwork& qnet,
   }
   qnet.set_forward_hooks(std::move(hooks));
   try {
-    const double acc = nn::evaluate(qnet, test_set);
+    // A protected trial evaluates through the wrapper — same injection
+    // hooks, same seeds — so the policy is the only difference between
+    // protected and unprotected campaigns.
+    double acc;
+    if (pnet != nullptr) {
+      pnet->reset_counters();
+      acc = nn::evaluate(*pnet, test_set);
+      *protection = pnet->counters();
+    } else {
+      acc = nn::evaluate(qnet, test_set);
+    }
     qnet.clear_forward_hooks();
     qnet.restore_masters();
     return acc;
@@ -66,6 +78,7 @@ struct TrialOutcome {
   bool ok = false;
   double accuracy = 0.0;
   std::int64_t flips = 0;
+  protect::ProtectionCounters protection;
 };
 
 // Runs trials [begin, end) serially on one replica, storing per-trial
@@ -73,6 +86,7 @@ struct TrialOutcome {
 // replica's (identical) starting state, so which replica runs it does
 // not affect the result.
 void run_trial_range(quant::QuantizedNetwork& qnet,
+                     protect::ProtectedNetwork* pnet,
                      const data::Dataset& test_set,
                      const CampaignConfig& config,
                      const std::vector<std::unique_ptr<ValueCodec>>&
@@ -91,14 +105,17 @@ void run_trial_range(quant::QuantizedNetwork& qnet,
           config.seed, static_cast<std::uint64_t>(trial) * 1000003ull +
                            static_cast<std::uint64_t>(attempt));
       std::int64_t flips = 0;
+      protect::ProtectionCounters protection;
       try {
-        const double acc = run_trial(qnet, test_set, config, trial_seed,
-                                     weight_codecs, data_codecs, &flips);
+        const double acc =
+            run_trial(qnet, pnet, test_set, config, trial_seed,
+                      weight_codecs, data_codecs, &flips, &protection);
         QNN_CHECK_MSG(std::isfinite(acc),
                       "trial accuracy is not finite: " << acc);
         out.ok = true;
         out.accuracy = acc;
         out.flips = flips;
+        out.protection = protection;
       } catch (const std::exception& e) {
         QNN_LOG(Warn) << "fault trial " << trial << " attempt " << attempt
                       << " failed: " << e.what();
@@ -127,6 +144,18 @@ CampaignResult run_fault_campaign(quant::QuantizedNetwork& qnet,
   for (std::size_t s = 0; s < qnet.num_sites(); ++s)
     data_codecs.push_back(codec_for(qnet.data_quantizer(s)));
 
+  // Protected campaigns calibrate the activation envelopes once from a
+  // clean pass (no hooks are installed yet) and share copies across the
+  // replica wrappers, so every trial judges values against identical
+  // bounds regardless of which replica runs it.
+  const bool protected_run =
+      config.protection.policy != protect::ProtectionPolicy::kOff;
+  protect::EnvelopeSet envelopes;
+  if (protected_run) {
+    envelopes = protect::calibrate_envelopes(
+        qnet, test_set.images, config.protection.envelope_margin);
+  }
+
   // Replica 0 is `qnet` itself; further replicas wrap deep clones of the
   // underlying network so concurrent trials never share mutable state.
   // Nested inside another parallel region this degrades to one replica
@@ -146,17 +175,29 @@ CampaignResult run_fault_campaign(quant::QuantizedNetwork& qnet,
     replicas.push_back(std::make_unique<quant::QuantizedNetwork>(
         qnet.clone_onto(*replica_nets.back())));
   }
+  std::vector<std::unique_ptr<protect::ProtectedNetwork>> wrappers;
+  if (protected_run) {
+    for (std::size_t r = 0; r < shards.size(); ++r) {
+      quant::QuantizedNetwork& replica = r == 0 ? qnet : *replicas[r - 1];
+      wrappers.push_back(std::make_unique<protect::ProtectedNetwork>(
+          replica, config.protection));
+      wrappers.back()->set_envelopes(envelopes);
+    }
+  }
 
   std::vector<TrialOutcome> outcomes(
       static_cast<std::size_t>(config.trials));
   parallel_run(static_cast<std::int64_t>(shards.size()),
                [&](std::int64_t si) {
+                 const std::size_t u = static_cast<std::size_t>(si);
                  quant::QuantizedNetwork& replica =
-                     si == 0 ? qnet
-                             : *replicas[static_cast<std::size_t>(si - 1)];
-                 const Shard& sh = shards[static_cast<std::size_t>(si)];
-                 run_trial_range(replica, test_set, config, weight_codecs,
-                                 data_codecs, sh.begin, sh.end, outcomes);
+                     si == 0 ? qnet : *replicas[u - 1];
+                 protect::ProtectedNetwork* pnet =
+                     protected_run ? wrappers[u].get() : nullptr;
+                 const Shard& sh = shards[u];
+                 run_trial_range(replica, pnet, test_set, config,
+                                 weight_codecs, data_codecs, sh.begin,
+                                 sh.end, outcomes);
                });
 
   // Fold replica guard counters back into the original so accumulated
@@ -175,6 +216,7 @@ CampaignResult run_fault_campaign(quant::QuantizedNetwork& qnet,
     }
     ++result.trials;
     result.total_flips += out.flips;
+    result.protection += out.protection;
     sum += out.accuracy;
     result.min_accuracy = std::min(result.min_accuracy, out.accuracy);
     result.max_accuracy = std::max(result.max_accuracy, out.accuracy);

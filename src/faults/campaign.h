@@ -15,6 +15,7 @@
 
 #include "data/dataset.h"
 #include "faults/injector.h"
+#include "protect/protected_network.h"
 #include "quant/qnetwork.h"
 
 namespace qnn::faults {
@@ -28,6 +29,14 @@ struct CampaignConfig {
   // Adder-tree accumulator width for the kAccumulator domain (use
   // hw::Accelerator::accumulator_bits() for the modeled design).
   int accumulator_bits = 24;
+  // Fault-tolerance policy applied during trials (kOff = the classic
+  // unprotected campaign). With any other policy, activation envelopes
+  // are calibrated from a clean pass over the test set before trials
+  // start and every trial evaluates through a ProtectedNetwork wrapper.
+  // The injection seed sequence is identical for every policy, so
+  // protected and unprotected campaigns with the same `seed` see the
+  // same fault streams.
+  protect::ProtectionConfig protection;
 };
 
 struct CampaignResult {
@@ -37,6 +46,9 @@ struct CampaignResult {
   double min_accuracy = 0.0;
   double max_accuracy = 0.0;
   std::int64_t total_flips = 0;  // bits flipped across successful trials
+  // Protection activity summed over successful trials in trial order
+  // (all zero when protection.policy == kOff).
+  protect::ProtectionCounters protection;
 };
 
 // Runs the campaign on `qnet` (must be calibrated) against `test_set`.

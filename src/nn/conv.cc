@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "protect/abft.h"
 #include "tensor/gemm.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -75,9 +76,13 @@ Tensor Conv2d::forward(const Tensor& in) {
                  for (std::int64_t s = sh.begin; s < sh.end; ++s) {
                    im2col(g, in.data() + s * in_sample, colbuf);
                    // out[Cout, OHW] = W[Cout, rows] * cols[rows, OHW],
-                   // bias folded into the gemm epilogue.
-                   gemm_row_bias(cout, cols, rows, weight_.value.data(),
-                                 colbuf, out.data() + s * out_sample, bias);
+                   // bias folded into the gemm epilogue. The guarded
+                   // entry adds ABFT checksums when a protect::AbftScope
+                   // is active (inherited via the pool task context);
+                   // otherwise it is the plain kernel.
+                   protect::gemm_row_bias_guarded(
+                       cout, cols, rows, weight_.value.data(), colbuf,
+                       out.data() + s * out_sample, bias);
                  }
                });
   cached_in_ = in;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "protect/abft.h"
 #include "tensor/gemm.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -40,10 +41,11 @@ Tensor InnerProduct::forward(const Tensor& in) {
 
   Tensor out(Shape{n, out_features_});
   // out[N, Out] = x[N, In] * W^T (W stored [Out, In]), bias folded into
-  // the gemm epilogue.
-  gemm_bt_col_bias(n, out_features_, f, cached_in_.data(),
-                   weight_.value.data(), out.data(),
-                   bias_.value.empty() ? nullptr : bias_.value.data());
+  // the gemm epilogue. Guarded: ABFT-verified when a protect::AbftScope
+  // is active, the plain kernel otherwise.
+  protect::gemm_bt_col_bias_guarded(
+      n, out_features_, f, cached_in_.data(), weight_.value.data(),
+      out.data(), bias_.value.empty() ? nullptr : bias_.value.data());
   return out;
 }
 

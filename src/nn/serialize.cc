@@ -10,8 +10,12 @@ namespace qnn::nn {
 namespace {
 
 constexpr char kMagic[4] = {'Q', 'N', 'N', 'W'};
-// Version 2 adds the trailing CRC32; version 1 (no CRC) is still read.
+// Version 2 adds the trailing CRC32; version 3 adds the activation-
+// envelope section (emitted only when envelopes are present, so
+// parameter-only snapshots remain byte-identical to version 2).
+// Versions 1..3 are all readable.
 constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kEnvelopeVersion = 3;
 constexpr std::uint32_t kOldestLoadableVersion = 1;
 
 template <typename T>
@@ -32,13 +36,13 @@ T take(const std::string& in, std::size_t& pos, const char* what) {
   return v;
 }
 
-}  // namespace
-
-std::string serialize_params(Network& net) {
+std::string serialize_params_impl(Network& net,
+                                  const protect::EnvelopeSet* envelopes) {
+  const bool with_envelopes = envelopes != nullptr && !envelopes->empty();
   const auto params = net.trainable_params();
   std::string out;
   out.append(kMagic, sizeof kMagic);
-  put(out, kVersion);
+  put(out, with_envelopes ? kEnvelopeVersion : kVersion);
   put(out, static_cast<std::uint64_t>(params.size()));
   for (std::size_t pi = 0; pi < params.size(); ++pi) {
     const Param& p = *params[pi];
@@ -52,11 +56,21 @@ std::string serialize_params(Network& net) {
     out.append(reinterpret_cast<const char*>(p.value.data()),
                sizeof(float) * static_cast<std::size_t>(p.value.count()));
   }
+  if (with_envelopes) {
+    const auto& sites = envelopes->sites();
+    put(out, static_cast<std::uint64_t>(sites.size()));
+    for (const protect::SiteEnvelope& e : sites) {
+      put(out, static_cast<std::uint8_t>(e.valid ? 1 : 0));
+      put(out, e.lo);
+      put(out, e.hi);
+    }
+  }
   put(out, crc32(out));
   return out;
 }
 
-void deserialize_params(Network& net, const std::string& bytes) {
+void deserialize_params_impl(Network& net, const std::string& bytes,
+                             protect::EnvelopeSet* envelopes) {
   std::size_t pos = 0;
   QNN_CHECK_MSG(bytes.size() >= sizeof kMagic + sizeof(std::uint32_t),
                 "not a QNNW snapshot: file is only " << bytes.size()
@@ -65,10 +79,11 @@ void deserialize_params(Network& net, const std::string& bytes) {
                 "not a QNNW snapshot: bad magic");
   pos = sizeof kMagic;
   const auto version = take<std::uint32_t>(bytes, pos, "version");
-  QNN_CHECK_MSG(version >= kOldestLoadableVersion && version <= kVersion,
-                "unsupported snapshot version " << version
-                    << " (this build reads versions "
-                    << kOldestLoadableVersion << ".." << kVersion << ')');
+  QNN_CHECK_MSG(
+      version >= kOldestLoadableVersion && version <= kEnvelopeVersion,
+      "unsupported snapshot version " << version
+          << " (this build reads versions " << kOldestLoadableVersion << ".."
+          << kEnvelopeVersion << ')');
 
   // Validate the trailing CRC before trusting any payload bytes.
   std::size_t end = bytes.size();
@@ -116,7 +131,45 @@ void deserialize_params(Network& net, const std::string& bytes) {
     std::memcpy(p.value.data(), bytes.data() + pos, nbytes);
     pos += nbytes;
   }
+  if (envelopes != nullptr) *envelopes = protect::EnvelopeSet{};
+  if (version >= kEnvelopeVersion) {
+    const auto sites = take<std::uint64_t>(bytes, pos, "envelope site count");
+    QNN_CHECK_MSG(sites <= (1u << 20),
+                  "implausible snapshot envelope site count " << sites);
+    std::vector<protect::SiteEnvelope> loaded(
+        static_cast<std::size_t>(sites));
+    for (std::uint64_t s = 0; s < sites; ++s) {
+      protect::SiteEnvelope& e = loaded[static_cast<std::size_t>(s)];
+      e.valid = take<std::uint8_t>(bytes, pos, "envelope flag") != 0;
+      e.lo = take<double>(bytes, pos, "envelope lo");
+      e.hi = take<double>(bytes, pos, "envelope hi");
+    }
+    // The section is parsed even when the caller does not want it, so
+    // the trailing-bytes check below stays meaningful for v3 files.
+    if (envelopes != nullptr)
+      *envelopes = protect::EnvelopeSet(std::move(loaded));
+  }
   QNN_CHECK_MSG(pos == end, "trailing bytes in snapshot");
+}
+
+}  // namespace
+
+std::string serialize_params(Network& net) {
+  return serialize_params_impl(net, nullptr);
+}
+
+std::string serialize_params(Network& net,
+                             const protect::EnvelopeSet& envelopes) {
+  return serialize_params_impl(net, &envelopes);
+}
+
+void deserialize_params(Network& net, const std::string& bytes) {
+  deserialize_params_impl(net, bytes, nullptr);
+}
+
+void deserialize_params(Network& net, const std::string& bytes,
+                        protect::EnvelopeSet* envelopes) {
+  deserialize_params_impl(net, bytes, envelopes);
 }
 
 void save_params(Network& net, const std::string& path) {
@@ -125,10 +178,25 @@ void save_params(Network& net, const std::string& path) {
   write_file_atomic(path, serialize_params(net));
 }
 
+void save_params(Network& net, const std::string& path,
+                 const protect::EnvelopeSet& envelopes) {
+  write_file_atomic(path, serialize_params(net, envelopes));
+}
+
 void load_params(Network& net, const std::string& path) {
   const std::string bytes = read_file(path);
   try {
     deserialize_params(net, bytes);
+  } catch (const CheckError& e) {
+    throw CheckError(std::string("loading ") + path + ": " + e.what());
+  }
+}
+
+void load_params(Network& net, const std::string& path,
+                 protect::EnvelopeSet* envelopes) {
+  const std::string bytes = read_file(path);
+  try {
+    deserialize_params(net, bytes, envelopes);
   } catch (const CheckError& e) {
     throw CheckError(std::string("loading ") + path + ": " + e.what());
   }

@@ -6,6 +6,12 @@
 // Version 2 appends a trailing u32 CRC-32 over everything before it, so
 // truncation and bit rot are detected instead of loading silently
 // corrupt weights; version-1 snapshots (no CRC) still load.
+// Version 3 inserts an activation-envelope section (per-site range
+// guards from protect/envelope, see DESIGN.md §10) between the last
+// parameter and the CRC: u64 site count, then per site u8 valid,
+// f64 lo, f64 hi. The writer only emits version 3 when envelopes are
+// passed — parameter-only snapshots stay byte-identical to version 2 —
+// and the reader accepts versions 1..3.
 //
 // Loading requires an identically-shaped network (same architecture);
 // names are checked too, so a LeNet snapshot cannot silently load into
@@ -16,6 +22,7 @@
 #include <string>
 
 #include "nn/network.h"
+#include "protect/envelope.h"
 
 namespace qnn::nn {
 
@@ -25,5 +32,19 @@ void load_params(Network& net, const std::string& path);
 // In-memory variants (used by tests and by save/load internally).
 std::string serialize_params(Network& net);
 void deserialize_params(Network& net, const std::string& bytes);
+
+// Envelope-carrying variants. Serializing with a non-empty envelope set
+// writes a version-3 snapshot; an empty set writes plain version 2.
+// Deserializing fills *envelopes from the snapshot's envelope section
+// when present and clears it for older (v1/v2) snapshots, so the caller
+// can distinguish "no envelopes recorded" from "empty envelopes".
+std::string serialize_params(Network& net,
+                             const protect::EnvelopeSet& envelopes);
+void deserialize_params(Network& net, const std::string& bytes,
+                        protect::EnvelopeSet* envelopes);
+void save_params(Network& net, const std::string& path,
+                 const protect::EnvelopeSet& envelopes);
+void load_params(Network& net, const std::string& path,
+                 protect::EnvelopeSet* envelopes);
 
 }  // namespace qnn::nn

@@ -1,0 +1,236 @@
+#include "protect/abft.h"
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "util/thread_pool.h"
+
+namespace qnn::protect {
+
+AbftCounters& AbftCounters::operator+=(const AbftCounters& o) {
+  blocks_checked += o.blocks_checked;
+  mismatches += o.mismatches;
+  reexecutions += o.reexecutions;
+  unrecovered += o.unrecovered;
+  return *this;
+}
+
+namespace detail {
+
+// Shared state behind an AbftScope, reachable from any thread executing
+// inside the scope via ThreadPool::task_context(). The context slot is
+// currently owned exclusively by AbftScope (see thread_pool.h); relaxed
+// atomics suffice because integer sums are order-independent, keeping
+// totals bit-identical across thread counts.
+struct AbftContext {
+  AbftOptions options;
+  std::atomic<std::int64_t> blocks_checked{0};
+  std::atomic<std::int64_t> mismatches{0};
+  std::atomic<std::int64_t> reexecutions{0};
+  std::atomic<std::int64_t> unrecovered{0};
+
+  void add(const AbftCounters& c) {
+    blocks_checked.fetch_add(c.blocks_checked, std::memory_order_relaxed);
+    mismatches.fetch_add(c.mismatches, std::memory_order_relaxed);
+    reexecutions.fetch_add(c.reexecutions, std::memory_order_relaxed);
+    unrecovered.fetch_add(c.unrecovered, std::memory_order_relaxed);
+  }
+
+  AbftCounters snapshot() const {
+    AbftCounters c;
+    c.blocks_checked = blocks_checked.load(std::memory_order_relaxed);
+    c.mismatches = mismatches.load(std::memory_order_relaxed);
+    c.reexecutions = reexecutions.load(std::memory_order_relaxed);
+    c.unrecovered = unrecovered.load(std::memory_order_relaxed);
+    return c;
+  }
+};
+
+}  // namespace detail
+
+namespace {
+
+// Unit roundoff of float32 (half of FLT_EPSILON).
+constexpr double kUnitRoundoff = 1.0 / 16777216.0;  // 2^-24
+
+// Huang–Abraham column-sum check for output rows [i0, i0+mb):
+//
+//   got[j]    = Σ_i C[i0+i, j]                       (the shard's column sums)
+//   expect[j] = Σ_k' r[k']·B[k',j] + bias terms      (checksum-row product)
+//   r[k']     = Σ_i A[i0+i, k']
+//
+// both accumulated in double. The two agree exactly in real arithmetic;
+// in float32 they differ by at most the accumulated rounding of the mb
+// K-length dot products, bounded by u·(k+mb+slack)·mag[j] where mag[j]
+// aggregates Σ|a||b| (+ |bias|) for column j. `b_at(k', j)` abstracts
+// over B's storage layout ([K,N] plain vs [N,K] transposed).
+template <typename BAt>
+bool shard_checksum_ok(std::int64_t i0, std::int64_t mb, std::int64_t n,
+                       std::int64_t k, const float* a, BAt&& b_at,
+                       const float* c, const float* row_bias,
+                       const float* col_bias, double tolerance_scale,
+                       std::vector<double>& r, std::vector<double>& ra) {
+  for (std::int64_t kp = 0; kp < k; ++kp) r[kp] = ra[kp] = 0.0;
+  for (std::int64_t i = 0; i < mb; ++i) {
+    const float* arow = a + (i0 + i) * k;
+    for (std::int64_t kp = 0; kp < k; ++kp) {
+      const double v = static_cast<double>(arow[kp]);
+      r[kp] += v;
+      ra[kp] += std::abs(v);
+    }
+  }
+  double bias_sum = 0.0;
+  double bias_mag = 0.0;
+  if (row_bias != nullptr) {
+    for (std::int64_t i = 0; i < mb; ++i) {
+      const double v = static_cast<double>(row_bias[i0 + i]);
+      bias_sum += v;
+      bias_mag += std::abs(v);
+    }
+  }
+  const double tol_factor = tolerance_scale * kUnitRoundoff *
+                            static_cast<double>(k + mb + 8);
+  for (std::int64_t j = 0; j < n; ++j) {
+    double got = 0.0;
+    for (std::int64_t i = 0; i < mb; ++i)
+      got += static_cast<double>(c[(i0 + i) * n + j]);
+    double expect = bias_sum;
+    double mag = bias_mag;
+    for (std::int64_t kp = 0; kp < k; ++kp) {
+      const double bv = b_at(kp, j);
+      expect += r[kp] * bv;
+      mag += ra[kp] * std::abs(bv);
+    }
+    if (col_bias != nullptr) {
+      const double cb = static_cast<double>(col_bias[j]);
+      expect += static_cast<double>(mb) * cb;
+      mag += static_cast<double>(mb) * std::abs(cb);
+    }
+    const double tol = tol_factor * mag + 1e-300;
+    // A NaN/Inf in `got` fails this comparison and flags the shard.
+    if (!(std::abs(got - expect) <= tol)) return false;
+  }
+  return true;
+}
+
+// Shard loop shared by both variants: verify each kGemmBlockM-row shard
+// in order, re-executing mismatched shards via `recompute(i0, mb)` up to
+// the retry budget. Runs serially on the calling thread, after the
+// (possibly parallel) full-product computation — verification order and
+// all checksum arithmetic are independent of the thread count.
+template <typename BAt, typename Recompute>
+AbftCounters verify_shards(std::int64_t m, std::int64_t n, std::int64_t k,
+                           const float* a, BAt&& b_at, float* c,
+                           const float* row_bias, const float* col_bias,
+                           const AbftOptions& options,
+                           const AbftFaultHook& hook, Recompute&& recompute) {
+  AbftCounters counters;
+  std::vector<double> r(static_cast<std::size_t>(k));
+  std::vector<double> ra(static_cast<std::size_t>(k));
+  for (std::int64_t i0 = 0; i0 < m; i0 += kGemmBlockM) {
+    const std::int64_t mb = std::min(kGemmBlockM, m - i0);
+    ++counters.blocks_checked;
+    if (hook) hook(i0, mb, n, c + i0 * n, /*attempt=*/0);
+    bool ok = shard_checksum_ok(i0, mb, n, k, a, b_at, c, row_bias, col_bias,
+                                options.tolerance_scale, r, ra);
+    if (ok) continue;
+    ++counters.mismatches;
+    int attempt = 0;
+    while (!ok && attempt < options.max_reexecutions) {
+      ++attempt;
+      ++counters.reexecutions;
+      recompute(i0, mb);
+      if (hook) hook(i0, mb, n, c + i0 * n, attempt);
+      ok = shard_checksum_ok(i0, mb, n, k, a, b_at, c, row_bias, col_bias,
+                             options.tolerance_scale, r, ra);
+    }
+    if (!ok) ++counters.unrecovered;
+  }
+  return counters;
+}
+
+}  // namespace
+
+AbftCounters abft_gemm_row_bias(std::int64_t m, std::int64_t n,
+                                std::int64_t k, const float* a,
+                                const float* b, float* c,
+                                const float* row_bias,
+                                const AbftOptions& options,
+                                const AbftFaultHook& hook) {
+  gemm_row_bias(m, n, k, a, b, c, row_bias);
+  const auto b_at = [b, n](std::int64_t kp, std::int64_t j) {
+    return static_cast<double>(b[kp * n + j]);
+  };
+  // Re-executing rows [i0, i0+mb) as a fresh gemm on the sliced operands
+  // reproduces the original block bytes exactly (tensor/gemm.h).
+  const auto recompute = [&](std::int64_t i0, std::int64_t mb) {
+    gemm_row_bias(mb, n, k, a + i0 * k, b, c + i0 * n,
+                  row_bias != nullptr ? row_bias + i0 : nullptr);
+  };
+  return verify_shards(m, n, k, a, b_at, c, row_bias, /*col_bias=*/nullptr,
+                       options, hook, recompute);
+}
+
+AbftCounters abft_gemm_bt_col_bias(std::int64_t m, std::int64_t n,
+                                   std::int64_t k, const float* a,
+                                   const float* b, float* c,
+                                   const float* col_bias,
+                                   const AbftOptions& options,
+                                   const AbftFaultHook& hook) {
+  gemm_bt_col_bias(m, n, k, a, b, c, col_bias);
+  // B is stored [N,K] row-major; verify against it directly rather than
+  // materializing the transpose a second time.
+  const auto b_at = [b, k](std::int64_t kp, std::int64_t j) {
+    return static_cast<double>(b[j * k + kp]);
+  };
+  const auto recompute = [&](std::int64_t i0, std::int64_t mb) {
+    gemm_bt_col_bias(mb, n, k, a + i0 * k, b, c + i0 * n, col_bias);
+  };
+  return verify_shards(m, n, k, a, b_at, c, /*row_bias=*/nullptr, col_bias,
+                       options, hook, recompute);
+}
+
+AbftScope::AbftScope(const AbftOptions& options)
+    : impl_(std::make_unique<detail::AbftContext>()) {
+  impl_->options = options;
+  prev_context_ = ThreadPool::task_context();
+  ThreadPool::set_task_context(impl_.get());
+}
+
+AbftScope::~AbftScope() { ThreadPool::set_task_context(prev_context_); }
+
+AbftCounters AbftScope::counters() const { return impl_->snapshot(); }
+
+namespace {
+
+detail::AbftContext* current_abft_context() {
+  return static_cast<detail::AbftContext*>(ThreadPool::task_context());
+}
+
+}  // namespace
+
+void gemm_row_bias_guarded(std::int64_t m, std::int64_t n, std::int64_t k,
+                           const float* a, const float* b, float* c,
+                           const float* row_bias) {
+  detail::AbftContext* ctx = current_abft_context();
+  if (ctx == nullptr) {
+    gemm_row_bias(m, n, k, a, b, c, row_bias);
+    return;
+  }
+  ctx->add(abft_gemm_row_bias(m, n, k, a, b, c, row_bias, ctx->options));
+}
+
+void gemm_bt_col_bias_guarded(std::int64_t m, std::int64_t n, std::int64_t k,
+                              const float* a, const float* b, float* c,
+                              const float* col_bias) {
+  detail::AbftContext* ctx = current_abft_context();
+  if (ctx == nullptr) {
+    gemm_bt_col_bias(m, n, k, a, b, c, col_bias);
+    return;
+  }
+  ctx->add(abft_gemm_bt_col_bias(m, n, k, a, b, c, col_bias, ctx->options));
+}
+
+}  // namespace qnn::protect

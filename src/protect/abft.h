@@ -1,0 +1,116 @@
+// Algorithm-based fault tolerance (ABFT) for the GEMM kernels.
+//
+// Classic Huang–Abraham checksums, applied per M-shard *around* the
+// untouched tensor/gemm kernels: for each block of kGemmBlockM output
+// rows, the column sums of C must equal (column sums of the A slice) · B
+// up to floating-point rounding. The checksum arithmetic runs in double
+// precision, serially, on the calling thread, in shard-index order — so
+// enabling verification never perturbs the product bytes and the
+// N-thread == 1-thread bit-identity contract (DESIGN.md §9) holds with
+// protection on.
+//
+// On a checksum mismatch the affected shard alone is recomputed with a
+// fresh gemm call on the sliced operands, which reproduces the original
+// block bytes exactly (see kGemmBlockM in tensor/gemm.h). Detection is
+// bounded below by the rounding tolerance: corruption smaller than the
+// accumulated float rounding of a K-length dot product is
+// indistinguishable from legitimate arithmetic and passes unnoticed —
+// by design, since such perturbations are also harmless.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace qnn::protect {
+
+struct AbftOptions {
+  // Checksum comparison tolerance, as a multiple of the rigorous
+  // worst-case rounding bound eps_f32 * (k + mb) * Σ|a||b|. Values >= 1
+  // cannot false-positive on clean arithmetic.
+  double tolerance_scale = 2.0;
+  // Recomputations attempted per mismatched shard before giving up.
+  int max_reexecutions = 2;
+
+  friend bool operator==(const AbftOptions&, const AbftOptions&) = default;
+};
+
+struct AbftCounters {
+  std::int64_t blocks_checked = 0;   // M-shards verified
+  std::int64_t mismatches = 0;       // shards that failed at least once
+  std::int64_t reexecutions = 0;     // shard recomputations performed
+  std::int64_t unrecovered = 0;      // shards still failing after retries
+
+  bool clean() const { return mismatches == 0 && unrecovered == 0; }
+  AbftCounters& operator+=(const AbftCounters& o);
+  friend bool operator==(const AbftCounters&, const AbftCounters&) = default;
+};
+
+// Test/bench corruption hook: invoked after each (re)computation of rows
+// [i0, i0+mb) and before their verification, with `c_rows` pointing at
+// row i0 (row stride n). `attempt` is 0 for the initial pass, then 1..N
+// for re-executions — a hook that corrupts only at attempt 0 models a
+// transient upset; one that always corrupts models a hard fault.
+using AbftFaultHook =
+    std::function<void(std::int64_t i0, std::int64_t mb, std::int64_t n,
+                       float* c_rows, int attempt)>;
+
+// Checksum-verified variants of the two forward-path GEMMs. Results are
+// bit-identical to the unverified kernels whenever no corruption occurs
+// (and after successful re-execution when it does).
+AbftCounters abft_gemm_row_bias(std::int64_t m, std::int64_t n,
+                                std::int64_t k, const float* a,
+                                const float* b, float* c,
+                                const float* row_bias,
+                                const AbftOptions& options,
+                                const AbftFaultHook& hook = {});
+
+// B stored [N,K] row-major, per-column bias — InnerProduct's forward.
+AbftCounters abft_gemm_bt_col_bias(std::int64_t m, std::int64_t n,
+                                   std::int64_t k, const float* a,
+                                   const float* b, float* c,
+                                   const float* col_bias,
+                                   const AbftOptions& options,
+                                   const AbftFaultHook& hook = {});
+
+// ---------------------------------------------------------------------
+// Scope-based dispatch for the inference stack.
+//
+// Layers call the *_guarded entry points below; they forward to the
+// plain kernels unless an AbftScope is active. The scope registers
+// itself through ThreadPool's task context, so GEMMs issued from pool
+// workers inside the scope (conv's per-sample batch sharding) are
+// verified too. Counter accumulation uses relaxed atomics — integer
+// sums are order-independent, so totals stay bit-identical across
+// thread counts.
+
+namespace detail {
+struct AbftContext;
+}
+
+class AbftScope {
+ public:
+  explicit AbftScope(const AbftOptions& options);
+  ~AbftScope();
+
+  AbftScope(const AbftScope&) = delete;
+  AbftScope& operator=(const AbftScope&) = delete;
+
+  // Snapshot of the counters accumulated so far inside this scope.
+  AbftCounters counters() const;
+
+ private:
+  std::unique_ptr<detail::AbftContext> impl_;
+  void* prev_context_ = nullptr;
+};
+
+// Forward to abft_* when an AbftScope is active on this thread (directly
+// or inherited through the pool's task context), plain gemm otherwise.
+void gemm_row_bias_guarded(std::int64_t m, std::int64_t n, std::int64_t k,
+                           const float* a, const float* b, float* c,
+                           const float* row_bias);
+void gemm_bt_col_bias_guarded(std::int64_t m, std::int64_t n, std::int64_t k,
+                              const float* a, const float* b, float* c,
+                              const float* col_bias);
+
+}  // namespace qnn::protect

@@ -1,0 +1,85 @@
+#include "protect/envelope.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qnn::protect {
+namespace {
+
+// In-envelope replacement for a NaN: the representable value nearest
+// zero. Deterministic and magnitude-neutral — a corrupted value carries
+// no information, so the least-damaging substitute is the smallest one
+// the envelope allows.
+float nan_replacement(const SiteEnvelope& e) {
+  if (e.lo <= 0.0 && 0.0 <= e.hi) return 0.0f;
+  return static_cast<float>(e.lo > 0.0 ? e.lo : e.hi);
+}
+
+}  // namespace
+
+void EnvelopeSet::observe(std::size_t site, const float* data,
+                          std::int64_t count) {
+  if (site >= sites_.size()) sites_.resize(site + 1);
+  SiteEnvelope& e = sites_[site];
+  for (std::int64_t i = 0; i < count; ++i) {
+    const double v = static_cast<double>(data[i]);
+    if (!std::isfinite(v)) continue;
+    if (!e.valid) {
+      e.lo = e.hi = v;
+      e.valid = true;
+    } else {
+      e.lo = std::min(e.lo, v);
+      e.hi = std::max(e.hi, v);
+    }
+  }
+}
+
+void EnvelopeSet::expand_margins(double fraction) {
+  for (SiteEnvelope& e : sites_) {
+    if (!e.valid) continue;
+    const double slack = (e.hi - e.lo) * fraction + 1e-6;
+    e.lo -= slack;
+    e.hi += slack;
+  }
+}
+
+std::int64_t EnvelopeSet::count_violations(std::size_t site, const float* data,
+                                           std::int64_t count) const {
+  if (site >= sites_.size() || !sites_[site].valid) return 0;
+  const SiteEnvelope& e = sites_[site];
+  const double lo = e.lo;
+  const double hi = e.hi;
+  std::int64_t violations = 0;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const double v = static_cast<double>(data[i]);
+    // NaN fails both comparisons below, so test it explicitly.
+    if (std::isnan(v) || v < lo || v > hi) ++violations;
+  }
+  return violations;
+}
+
+std::int64_t EnvelopeSet::clamp(std::size_t site, float* data,
+                                std::int64_t count) const {
+  if (site >= sites_.size() || !sites_[site].valid) return 0;
+  const SiteEnvelope& e = sites_[site];
+  const float nan_sub = nan_replacement(e);
+  std::int64_t modified = 0;
+  // Same double-precision comparisons as count_violations so the two
+  // counters agree on which values are out of envelope.
+  for (std::int64_t i = 0; i < count; ++i) {
+    const double v = static_cast<double>(data[i]);
+    if (std::isnan(v)) {
+      data[i] = nan_sub;
+      ++modified;
+    } else if (v < e.lo) {
+      data[i] = static_cast<float>(e.lo);
+      ++modified;
+    } else if (v > e.hi) {
+      data[i] = static_cast<float>(e.hi);
+      ++modified;
+    }
+  }
+  return modified;
+}
+
+}  // namespace qnn::protect

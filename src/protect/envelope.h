@@ -1,0 +1,70 @@
+// Per-site activation range envelopes.
+//
+// An envelope [lo, hi] records the value range a quantization site (the
+// network input plus each layer output — the same site numbering as
+// QuantizedNetwork's guard counters) produced during a clean calibration
+// pass, widened by a safety margin. At inference time a value outside
+// its site envelope is evidence of corruption: transient bit-flips in
+// high-order or exponent bits land far outside the calibrated range,
+// while legitimate activations stay inside it by construction (the
+// calibration pass observes the same deterministic forward the protected
+// run replays).
+//
+// This header is a leaf (no nn/ or quant/ includes) so nn::serialize can
+// embed envelopes in the snapshot stream without an include cycle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qnn::protect {
+
+struct SiteEnvelope {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool valid = false;  // false until at least one value was observed
+
+  friend bool operator==(const SiteEnvelope&, const SiteEnvelope&) = default;
+};
+
+// Ordered collection of per-site envelopes. Sites grow on demand during
+// observation; querying a site that was never observed (or is beyond the
+// calibrated range) is a no-op — nothing is flagged or clamped.
+class EnvelopeSet {
+ public:
+  EnvelopeSet() = default;
+  explicit EnvelopeSet(std::vector<SiteEnvelope> sites)
+      : sites_(std::move(sites)) {}
+
+  bool empty() const { return sites_.empty(); }
+  std::size_t size() const { return sites_.size(); }
+  const std::vector<SiteEnvelope>& sites() const { return sites_; }
+
+  // Folds [data, data+count) into site's min/max. NaN/Inf values are
+  // ignored (a calibration pass is expected to be clean; skipping keeps
+  // a pathological calibration from producing an infinite envelope).
+  void observe(std::size_t site, const float* data, std::int64_t count);
+
+  // Widens every valid envelope by `fraction` of its range on each side
+  // (plus a tiny absolute slack so a degenerate lo == hi envelope does
+  // not flag the very value it calibrated on).
+  void expand_margins(double fraction);
+
+  // Number of values in [data, data+count) outside the site envelope.
+  // NaN counts as a violation; so do ±Inf (they compare outside any
+  // finite envelope). Returns 0 for unknown or invalid sites.
+  std::int64_t count_violations(std::size_t site, const float* data,
+                                std::int64_t count) const;
+
+  // Clamps values into the site envelope in place: v < lo -> lo,
+  // v > hi -> hi, NaN -> the in-envelope value nearest zero. Returns the
+  // number of values modified. No-op for unknown or invalid sites.
+  std::int64_t clamp(std::size_t site, float* data, std::int64_t count) const;
+
+  friend bool operator==(const EnvelopeSet&, const EnvelopeSet&) = default;
+
+ private:
+  std::vector<SiteEnvelope> sites_;
+};
+
+}  // namespace qnn::protect

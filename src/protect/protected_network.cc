@@ -1,0 +1,215 @@
+#include "protect/protected_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace qnn::protect {
+namespace {
+
+// Elementwise median across redundant executions of one layer (the
+// voting half of retry+clamp). Fault patterns are independent per draw,
+// so an upset confined to a minority of executions loses the vote even
+// when every individual draw violates its envelope somewhere. NaN sorts
+// above every other value, so it wins only when it appears in a
+// majority of draws; for an even draw count the upper median is used.
+// Serial per element — no ordering freedom, so the result is
+// thread-count invariant.
+Tensor vote_elementwise(const std::vector<Tensor>& draws) {
+  Tensor out = draws.front();
+  const std::size_t k = draws.size();
+  std::vector<const float*> src;
+  src.reserve(k);
+  for (const Tensor& d : draws) src.push_back(d.data());
+  std::vector<float> buf(k);
+  float* o = out.data();
+  for (std::int64_t j = 0; j < out.count(); ++j) {
+    for (std::size_t d = 0; d < k; ++d) buf[d] = src[d][j];
+    std::sort(buf.begin(), buf.end(), [](float a, float b) {
+      if (std::isnan(a)) return false;
+      if (std::isnan(b)) return true;
+      return a < b;
+    });
+    o[j] = buf[k / 2];
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* policy_name(ProtectionPolicy policy) {
+  switch (policy) {
+    case ProtectionPolicy::kOff:
+      return "off";
+    case ProtectionPolicy::kDetectOnly:
+      return "detect";
+    case ProtectionPolicy::kClamp:
+      return "clamp";
+    case ProtectionPolicy::kRetryClamp:
+      return "retry+clamp";
+  }
+  QNN_CHECK_MSG(false, "unknown ProtectionPolicy "
+                           << static_cast<int>(policy));
+}
+
+ProtectionPolicy policy_from_name(const std::string& name) {
+  if (name == "off") return ProtectionPolicy::kOff;
+  if (name == "detect") return ProtectionPolicy::kDetectOnly;
+  if (name == "clamp") return ProtectionPolicy::kClamp;
+  if (name == "retry+clamp") return ProtectionPolicy::kRetryClamp;
+  QNN_CHECK_MSG(false, "unknown protection policy name \"" << name << '"');
+}
+
+ProtectionCounters& ProtectionCounters::operator+=(
+    const ProtectionCounters& o) {
+  values += o.values;
+  out_of_envelope += o.out_of_envelope;
+  clamped += o.clamped;
+  layer_retries += o.layer_retries;
+  degraded_forwards += o.degraded_forwards;
+  abft += o.abft;
+  return *this;
+}
+
+ProtectedNetwork::ProtectedNetwork(quant::QuantizedNetwork& qnet,
+                                   ProtectionConfig config)
+    : qnet_(qnet), config_(config) {}
+
+void ProtectedNetwork::calibrate_envelopes(const Tensor& batch) {
+  envelopes_ = protect::calibrate_envelopes(qnet_, batch,
+                                            config_.envelope_margin);
+}
+
+EnvelopeSet calibrate_envelopes(quant::QuantizedNetwork& qnet,
+                                const Tensor& batch, double margin) {
+  EnvelopeSet envelopes;
+  qnet.forward_observed(batch,
+                        [&](std::size_t site, const Tensor& activations) {
+                          envelopes.observe(site, activations.data(),
+                                            activations.count());
+                        });
+  qnet.restore_masters();
+  envelopes.expand_margins(margin);
+  return envelopes;
+}
+
+std::string ProtectedNetwork::name() const {
+  return qnet_.name() + "+" + policy_name(config_.policy);
+}
+
+void ProtectedNetwork::reset_counters() { counters_ = ProtectionCounters{}; }
+
+Tensor ProtectedNetwork::forward(const Tensor& input) {
+  if (config_.policy == ProtectionPolicy::kOff) {
+    // Exact pass-through: no scope, no envelope checks, no counters.
+    last_forward_degraded_ = false;
+    return qnet_.forward(input);
+  }
+  QNN_CHECK_MSG(!envelopes_.empty(),
+                "ProtectedNetwork::forward before calibrate_envelopes()");
+  last_forward_degraded_ = false;
+
+  // ABFT verification covers every forward-path GEMM issued below,
+  // including those dispatched to pool workers (conv batch shards).
+  std::optional<AbftScope> abft;
+  if (config_.abft) abft.emplace(config_.abft_options);
+
+  Tensor x = qnet_.forward_prologue(input);
+  // Site 0 is the quantized input — there is no layer to re-execute, so
+  // the strongest available response is clamping.
+  {
+    const std::int64_t violations =
+        envelopes_.count_violations(0, x.data(), x.count());
+    counters_.values += x.count();
+    counters_.out_of_envelope += violations;
+    if (violations > 0 && config_.policy != ProtectionPolicy::kDetectOnly)
+      counters_.clamped += envelopes_.clamp(0, x.data(), x.count());
+  }
+
+  // At data widths where range detection is structurally blind (see
+  // ProtectionConfig::always_vote_data_bits), retry+clamp cannot wait
+  // for an envelope violation that will never come — every layer is
+  // executed redundantly and voted instead.
+  const bool always_vote =
+      config_.policy == ProtectionPolicy::kRetryClamp &&
+      config_.max_layer_retries > 0 && !qnet_.config().is_float() &&
+      qnet_.config().input_bits <= config_.always_vote_data_bits;
+
+  const std::size_t layers = qnet_.network().num_layers();
+  for (std::size_t i = 0; i < layers; ++i) {
+    const std::size_t site = i + 1;
+    if (always_vote) {
+      std::vector<Tensor> draws;
+      draws.reserve(static_cast<std::size_t>(config_.max_layer_retries) + 1);
+      for (int a = 0; a <= config_.max_layer_retries; ++a) {
+        if (a > 0) {
+          ++counters_.layer_retries;
+          qnet_.rescrub_layer_params(i);
+        }
+        draws.push_back(qnet_.forward_step(i, x));
+        counters_.values += draws.back().count();
+        counters_.out_of_envelope += envelopes_.count_violations(
+            site, draws.back().data(), draws.back().count());
+      }
+      Tensor y = vote_elementwise(draws);
+      const std::int64_t voted_violations =
+          envelopes_.count_violations(site, y.data(), y.count());
+      if (voted_violations > 0) {
+        counters_.clamped += envelopes_.clamp(site, y.data(), y.count());
+        last_forward_degraded_ = true;
+      }
+      x = std::move(y);
+      continue;
+    }
+    int attempt = 0;
+    std::vector<Tensor> draws;  // retry+clamp: kept for the exhaustion vote
+    for (;;) {
+      Tensor y = qnet_.forward_step(i, x);
+      const std::int64_t violations =
+          envelopes_.count_violations(site, y.data(), y.count());
+      counters_.values += y.count();
+      counters_.out_of_envelope += violations;
+      if (violations == 0) {
+        x = std::move(y);
+        break;
+      }
+      if (config_.policy == ProtectionPolicy::kRetryClamp &&
+          attempt < config_.max_layer_retries) {
+        // Scrub the layer's weights from the (ECC-protected) masters,
+        // then re-execute: the re-fetch re-draws weight-memory faults
+        // and the re-execution re-draws accumulator/feature-map faults.
+        // Without the scrub a weight upset would defeat every retry
+        // (forward_step reuses the quantized image from the prologue).
+        draws.push_back(std::move(y));
+        ++attempt;
+        ++counters_.layer_retries;
+        qnet_.rescrub_layer_params(i);
+        continue;
+      }
+      if (config_.policy != ProtectionPolicy::kDetectOnly) {
+        if (!draws.empty()) {
+          // Every redundant execution violated its envelope (at high
+          // fault rates a violation-free draw may not exist). Vote the
+          // draws down to their elementwise median, then clamp whatever
+          // corruption survives the vote.
+          draws.push_back(std::move(y));
+          y = vote_elementwise(draws);
+        }
+        counters_.clamped += envelopes_.clamp(site, y.data(), y.count());
+        if (config_.policy == ProtectionPolicy::kRetryClamp)
+          last_forward_degraded_ = true;
+      }
+      x = std::move(y);
+      break;
+    }
+  }
+  if (last_forward_degraded_) ++counters_.degraded_forwards;
+  if (abft) counters_.abft += abft->counters();
+  return x;
+}
+
+}  // namespace qnn::protect

@@ -1,0 +1,147 @@
+// ProtectedNetwork: opt-in fault-tolerance wrapper around a
+// QuantizedNetwork (DESIGN.md §10).
+//
+// Three mechanisms compose, selected by ProtectionPolicy:
+//
+//  * ABFT checksummed GEMM (protect/abft) verifies every forward-path
+//    matrix product and transparently re-executes corrupted M-shards;
+//  * range-guard envelopes (protect/envelope), calibrated from a clean
+//    reference pass, flag activations outside each site's known range;
+//  * layer-level redundant re-execution retries a layer whose output
+//    violates its envelope up to max_layer_retries times — each retry
+//    scrubs the layer's weights from the (ECC-protected) masters and
+//    re-draws every fault domain. When every draw violates (at high
+//    fault rates a clean draw may not exist), the draws are voted down
+//    to their elementwise median — upsets confined to a minority of
+//    executions lose the vote — then the layer degrades gracefully by
+//    clamping residual violations and raising the `degraded` flag.
+//
+// The policy lattice orders strictly by intervention:
+//   off         — exact pass-through, byte-identical to the unwrapped net
+//   detect-only — count envelope violations + ABFT stats, change nothing
+//   clamp       — detect, then clamp out-of-envelope values in place
+//   retry+clamp — detect, re-execute the layer, clamp only when retries
+//                 are exhausted (degraded) — the strongest policy
+//
+// Every decision is made serially on the calling thread from
+// deterministic inputs, so protected runs keep the N-thread == 1-thread
+// bit-identity contract (§9) — accuracy, counters, and retry counts are
+// all reproducible across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "protect/abft.h"
+#include "protect/envelope.h"
+#include "quant/qnetwork.h"
+
+namespace qnn::protect {
+
+enum class ProtectionPolicy : int {
+  kOff = 0,
+  kDetectOnly = 1,
+  kClamp = 2,
+  kRetryClamp = 3,
+};
+
+// Stable identifiers used in checkpoints, CSV output, and config files.
+const char* policy_name(ProtectionPolicy policy);
+ProtectionPolicy policy_from_name(const std::string& name);
+
+struct ProtectionConfig {
+  ProtectionPolicy policy = ProtectionPolicy::kOff;
+  // Layer re-executions per envelope violation (retry+clamp only).
+  int max_layer_retries = 2;
+  // Envelope widening on each side, as a fraction of the calibrated
+  // range (see EnvelopeSet::expand_margins).
+  double envelope_margin = 0.05;
+  // Verify forward GEMMs with ABFT checksums (any policy but off).
+  bool abft = true;
+  AbftOptions abft_options;
+  // Range guards only see excursions OUTSIDE the clean activation
+  // range, and at very coarse data widths nearly every upset lands back
+  // inside it (a 4-bit MSB flip moves a value half the grid and stays
+  // in-envelope), so envelope detection is structurally blind there.
+  // For non-float formats whose data path is this many bits or fewer,
+  // retry+clamp escalates to unconditional temporal redundancy: every
+  // layer runs 1 + max_layer_retries times and the draws are voted
+  // down to their elementwise median. 0 disables the escalation.
+  int always_vote_data_bits = 4;
+
+  friend bool operator==(const ProtectionConfig&,
+                         const ProtectionConfig&) = default;
+};
+
+struct ProtectionCounters {
+  std::int64_t values = 0;           // activation values inspected
+  std::int64_t out_of_envelope = 0;  // envelope violations observed
+  std::int64_t clamped = 0;          // values clamped into envelope
+  std::int64_t layer_retries = 0;    // layer re-executions performed
+  std::int64_t degraded_forwards = 0;  // forwards that exhausted retries
+  AbftCounters abft;
+
+  ProtectionCounters& operator+=(const ProtectionCounters& o);
+  friend bool operator==(const ProtectionCounters&,
+                         const ProtectionCounters&) = default;
+};
+
+class ProtectedNetwork final : public nn::Model {
+ public:
+  // Wraps `qnet` (not owned; must outlive this object and be calibrated
+  // before the first protected forward).
+  ProtectedNetwork(quant::QuantizedNetwork& qnet, ProtectionConfig config);
+
+  // Builds the per-site envelopes from a clean forward over `batch`
+  // (injection hooks should be cleared first) and applies the configured
+  // margin. Per-sample layer outputs are independent of batch
+  // composition, so calibrating on the evaluation set guarantees a
+  // fault-free forward never violates its envelope.
+  void calibrate_envelopes(const Tensor& batch);
+
+  const EnvelopeSet& envelopes() const { return envelopes_; }
+  void set_envelopes(EnvelopeSet envelopes) {
+    envelopes_ = std::move(envelopes);
+  }
+
+  // Model interface. forward() applies the configured policy; backward
+  // and parameter access delegate unchanged (protection is an inference
+  // mechanism — training runs unprotected).
+  Tensor forward(const Tensor& input) override;
+  void backward(const Tensor& grad_output) override {
+    qnet_.backward(grad_output);
+  }
+  std::vector<nn::Param*> trainable_params() override {
+    return qnet_.trainable_params();
+  }
+  std::string name() const override;
+  void set_training_mode(bool training) override {
+    qnet_.set_training_mode(training);
+  }
+
+  const ProtectionConfig& config() const { return config_; }
+  quant::QuantizedNetwork& wrapped() { return qnet_; }
+
+  // Counters accumulate across forwards until reset_counters().
+  const ProtectionCounters& counters() const { return counters_; }
+  void reset_counters();
+
+  // True when the most recent forward exhausted its retries and fell
+  // back to clamping (retry+clamp only).
+  bool last_forward_degraded() const { return last_forward_degraded_; }
+
+ private:
+  quant::QuantizedNetwork& qnet_;
+  ProtectionConfig config_;
+  EnvelopeSet envelopes_;
+  ProtectionCounters counters_;
+  bool last_forward_degraded_ = false;
+};
+
+// Standalone calibration helper: clean forward over `batch` on `qnet`,
+// margins applied. Lets campaign code calibrate once and share copies
+// across replica wrappers.
+EnvelopeSet calibrate_envelopes(quant::QuantizedNetwork& qnet,
+                                const Tensor& batch, double margin);
+
+}  // namespace qnn::protect

@@ -35,6 +35,7 @@ QuantizedNetwork::QuantizedNetwork(nn::Network& net,
   clip_limits_.assign(params_.size(), 0.0);
   site_guards_.assign(data_quantizers_.size(), GuardCounters{});
   param_guards_.assign(params_.size(), GuardCounters{});
+  build_param_spans();
   if (config_.is_float()) calibrated_ = true;  // nothing to calibrate
 }
 
@@ -65,6 +66,19 @@ QuantizedNetwork::QuantizedNetwork(
   clip_limits_.assign(params_.size(), 0.0);
   site_guards_.assign(data_quantizers_.size(), GuardCounters{});
   param_guards_.assign(params_.size(), GuardCounters{});
+  build_param_spans();
+}
+
+void QuantizedNetwork::build_param_spans() {
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < net_.num_layers(); ++i) {
+    const std::size_t n = net_.layer(i).params().size();
+    layer_param_spans_.emplace_back(off, off + n);
+    off += n;
+  }
+  QNN_CHECK_MSG(off == params_.size(),
+                "trainable_params() is not the per-layer concatenation ("
+                    << off << " vs " << params_.size() << ")");
 }
 
 void QuantizedNetwork::calibrate(const Tensor& calibration_batch) {
@@ -174,6 +188,16 @@ Tensor QuantizedNetwork::forward(const Tensor& input) {
 
 Tensor QuantizedNetwork::forward_observed(const Tensor& input,
                                           const SiteObserver& observer) {
+  Tensor x = forward_prologue(input);
+  if (observer) observer(0, x);
+  for (std::size_t i = 0; i < net_.num_layers(); ++i) {
+    x = forward_step(i, x);
+    if (observer) observer(i + 1, x);
+  }
+  return x;
+}
+
+Tensor QuantizedNetwork::forward_prologue(const Tensor& input) {
   QNN_CHECK_MSG(calibrated_, "QuantizedNetwork::forward before calibrate()");
   restore_masters();
   save_masters();
@@ -183,17 +207,30 @@ Tensor QuantizedNetwork::forward_observed(const Tensor& input,
   guard_scan(x, data_quantizers_[0]->clip_limit(), site_guards_[0]);
   data_quantizers_[0]->apply(x);
   if (hooks_.on_quantized_site) hooks_.on_quantized_site(0, x);
-  if (observer) observer(0, x);
-  for (std::size_t i = 0; i < net_.num_layers(); ++i) {
-    x = net_.layer(i).forward(x);
-    if (hooks_.on_accumulator) hooks_.on_accumulator(i + 1, x);
-    guard_scan(x, data_quantizers_[i + 1]->clip_limit(),
-               site_guards_[i + 1]);
-    data_quantizers_[i + 1]->apply(x);
-    if (hooks_.on_quantized_site) hooks_.on_quantized_site(i + 1, x);
-    if (observer) observer(i + 1, x);
-  }
   return x;
+}
+
+void QuantizedNetwork::rescrub_layer_params(std::size_t layer_index) {
+  QNN_CHECK_MSG(masters_saved_,
+                "rescrub_layer_params outside a forward");
+  const auto [begin, end] = layer_param_spans_.at(layer_index);
+  for (std::size_t i = begin; i < end; ++i) {
+    params_[i]->value = masters_[i];
+    weight_quantizers_[i]->apply(params_[i]->value);
+    if (hooks_.on_quantized_param)
+      hooks_.on_quantized_param(i, params_[i]->value);
+  }
+}
+
+Tensor QuantizedNetwork::forward_step(std::size_t i, const Tensor& x) {
+  QNN_CHECK_MSG(masters_saved_,
+                "forward_step without a preceding forward_prologue");
+  Tensor y = net_.layer(i).forward(x);
+  if (hooks_.on_accumulator) hooks_.on_accumulator(i + 1, y);
+  guard_scan(y, data_quantizers_[i + 1]->clip_limit(), site_guards_[i + 1]);
+  data_quantizers_[i + 1]->apply(y);
+  if (hooks_.on_quantized_site) hooks_.on_quantized_site(i + 1, y);
+  return y;
 }
 
 void QuantizedNetwork::backward(const Tensor& grad_output) {

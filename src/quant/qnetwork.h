@@ -80,6 +80,33 @@ class QuantizedNetwork final : public nn::Model {
       std::function<void(std::size_t site, const Tensor& activations)>;
   Tensor forward_observed(const Tensor& input,
                           const SiteObserver& observer);
+
+  // Step-wise forward, used by protect::ProtectedNetwork to bound
+  // re-execution to a single layer: forward(input) is exactly
+  // forward_prologue(input) followed by forward_step(0..L-1). The
+  // prologue quantizes parameters (masters saved first) and the input
+  // site; each step runs layer i and quantizes site i+1, firing the
+  // same hooks/guard scans as forward(). Steps must run between a
+  // prologue and the next restore_masters(); re-running a step re-fires
+  // its injection hooks (a fresh transient-fault draw), while parameter
+  // faults persist until the next prologue — matching the hardware
+  // model where SB weight corruption survives a layer re-execution
+  // unless the retry path explicitly scrubs the weights first (see
+  // rescrub_layer_params).
+  Tensor forward_prologue(const Tensor& input);
+  Tensor forward_step(std::size_t layer_index, const Tensor& x);
+
+  // Re-reads layer `layer_index`'s parameters from the saved masters:
+  // restores their full-precision values, re-quantizes them, and fires
+  // on_quantized_param again — a fresh weight-memory read. This is the
+  // scrub half of protect::ProtectedNetwork's retry path: re-executing
+  // a layer re-fetches its weights from (ECC-protected) master storage
+  // instead of reusing a possibly corrupted SB image, so weight upsets
+  // are survivable rather than fatal to every retry. Only valid between
+  // forward_prologue and the next restore_masters(). Does not rescan
+  // guard counters — the prologue already scanned these masters, and
+  // clip statistics must not depend on how often a layer was retried.
+  void rescrub_layer_params(std::size_t layer_index);
   void backward(const Tensor& grad_output) override;
   std::vector<nn::Param*> trainable_params() override;
   std::string name() const override;
@@ -141,10 +168,15 @@ class QuantizedNetwork final : public nn::Model {
  private:
   void save_masters();
   void quantize_params();
+  void build_param_spans();
 
   nn::Network& net_;
   PrecisionConfig config_;
   std::vector<nn::Param*> params_;
+
+  // Half-open [begin, end) range into params_ owned by each layer, in
+  // layer order — trainable_params() is the per-layer concatenation.
+  std::vector<std::pair<std::size_t, std::size_t>> layer_param_spans_;
 
   // One quantizer per parameter tensor and one per activation site
   // (site 0 = input). Under kGlobal they share calibration statistics

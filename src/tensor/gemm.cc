@@ -10,7 +10,7 @@ namespace qnn {
 namespace {
 
 // Cache-blocking parameters sized for a typical 32 KiB L1 / 256 KiB L2.
-constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockM = kGemmBlockM;
 constexpr std::int64_t kBlockN = 256;
 constexpr std::int64_t kBlockK = 256;
 

@@ -19,6 +19,14 @@
 
 namespace qnn {
 
+// M-dimension cache-block size. Work is sharded across threads in whole
+// M-blocks, and re-executing any block-aligned row range [i0, i0+mb) via
+// a fresh gemm call on the sliced operands reproduces the original bytes
+// exactly (the K accumulation order per element depends only on the
+// cache blocking). protect/abft relies on both properties to verify and
+// recompute individual shards.
+inline constexpr std::int64_t kGemmBlockM = 64;
+
 // C[M,N] = A[M,K] * B[K,N]   (row-major, C overwritten)
 void gemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
           const float* b, float* c);

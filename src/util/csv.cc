@@ -72,7 +72,9 @@ std::vector<std::vector<std::string>> parse_csv(
     row_has_content = false;
   };
 
-  for (std::size_t i = 0; i < text.size(); ++i) {
+  // Skip a leading UTF-8 BOM; without this it lands in the first header
+  // cell and every lookup of that column silently fails.
+  for (std::size_t i = utf8_bom_offset(text); i < text.size(); ++i) {
     const char c = text[i];
     if (in_quotes) {
       if (c == '"') {

@@ -1,5 +1,8 @@
 #include "util/fileio.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -23,6 +26,30 @@ std::string read_file(const std::string& path) {
   return ss.str();
 }
 
+namespace {
+
+// fsyncs the directory containing `path` so the rename's directory entry
+// is on stable storage. Without this, a crash after rename() but before
+// the kernel flushes the directory can lose BOTH the old and new file:
+// rename is atomic in the namespace, not durable on disk.
+void fsync_parent_dir(const std::string& path) {
+  std::string dir = std::filesystem::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  QNN_CHECK_MSG(dfd >= 0, "cannot open directory " << dir << " for fsync");
+  const int rc = ::fsync(dfd);
+  ::close(dfd);
+  QNN_CHECK_MSG(rc == 0, "fsync of directory " << dir << " failed");
+}
+
+}  // namespace
+
+// Durability guarantee: after write_file_atomic returns, `path` holds the
+// complete new bytes and survives a crash or power loss at ANY point —
+// the data is fsynced before the rename (so the new name can never point
+// at truncated content) and the parent directory is fsynced after it (so
+// the rename itself cannot be lost). Readers still only ever observe the
+// complete old file or the complete new one.
 void write_file_atomic(const std::string& path, const std::string& bytes) {
   const std::string tmp = path + ".tmp";
   {
@@ -36,10 +63,29 @@ void write_file_atomic(const std::string& path, const std::string& bytes) {
       QNN_CHECK_MSG(false, "write failed: " << tmp);
     }
   }
+  {
+    // Flush the temp file's data to disk before the rename publishes it.
+    const int fd = ::open(tmp.c_str(), O_RDONLY);
+    if (fd < 0 || ::fsync(fd) != 0) {
+      if (fd >= 0) ::close(fd);
+      std::remove(tmp.c_str());
+      QNN_CHECK_MSG(false, "fsync failed: " << tmp);
+    }
+    ::close(fd);
+  }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     QNN_CHECK_MSG(false, "rename " << tmp << " -> " << path << " failed");
   }
+  fsync_parent_dir(path);
+}
+
+std::size_t utf8_bom_offset(const std::string& text) {
+  if (text.size() >= 3 && text[0] == '\xEF' && text[1] == '\xBB' &&
+      text[2] == '\xBF') {
+    return 3;
+  }
+  return 0;
 }
 
 }  // namespace qnn

@@ -7,6 +7,7 @@
 // mixture.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 namespace qnn {
@@ -17,9 +18,15 @@ bool file_exists(const std::string& path);
 // in the message) if the file cannot be opened or read.
 std::string read_file(const std::string& path);
 
-// Writes `bytes` to "<path>.tmp" and renames it over `path`. Throws
-// CheckError on any I/O failure; on failure the destination is left
-// untouched (the temp file is removed best-effort).
+// Writes `bytes` to "<path>.tmp", fsyncs it, renames it over `path`, and
+// fsyncs the parent directory. Throws CheckError on any I/O failure; on
+// failure the destination is left untouched (the temp file is removed
+// best-effort).
 void write_file_atomic(const std::string& path, const std::string& bytes);
+
+// Returns the byte offset past a leading UTF-8 BOM (EF BB BF), or 0 when
+// the text does not start with one. Text readers (CSV, config, JSON) call
+// this so a BOM emitted by Windows editors cannot poison the first token.
+std::size_t utf8_bom_offset(const std::string& text);
 
 }  // namespace qnn

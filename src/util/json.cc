@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "util/check.h"
+#include "util/fileio.h"
 
 namespace qnn::json {
 
@@ -172,7 +173,7 @@ void dump_value(std::ostream& os, const Value& v) {
 class Parser {
  public:
   Parser(const std::string& text, const std::string& source)
-      : text_(text), source_(source) {}
+      : text_(text), source_(source), pos_(utf8_bom_offset(text)) {}
 
   Value parse_document() {
     Value v = parse_value();

@@ -13,6 +13,10 @@ namespace {
 // tasks; makes nested run() calls degrade to inline serial execution.
 thread_local bool t_in_pool_task = false;
 
+// Per-thread opaque context; propagated from the run() caller to every
+// worker for the duration of a job (see thread_pool.h).
+thread_local void* t_task_context = nullptr;
+
 std::mutex g_global_mutex;
 std::unique_ptr<ThreadPool>& global_slot() {
   static std::unique_ptr<ThreadPool> pool;
@@ -39,9 +43,15 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::in_worker() { return t_in_pool_task; }
 
+void* ThreadPool::task_context() { return t_task_context; }
+
+void ThreadPool::set_task_context(void* ctx) { t_task_context = ctx; }
+
 void ThreadPool::execute_tasks(Job& job) {
   const bool was_in_task = t_in_pool_task;
   t_in_pool_task = true;
+  void* const prev_context = t_task_context;
+  t_task_context = job.context;
   for (;;) {
     if (job.failed.load(std::memory_order_acquire)) break;
     const std::int64_t i = job.next.fetch_add(1, std::memory_order_relaxed);
@@ -58,6 +68,7 @@ void ThreadPool::execute_tasks(Job& job) {
     }
   }
   t_in_pool_task = was_in_task;
+  t_task_context = prev_context;
 }
 
 void ThreadPool::worker_loop() {
@@ -91,6 +102,7 @@ void ThreadPool::run(std::int64_t count,
   std::lock_guard<std::mutex> top(run_m_);
   Job job;
   job.fn = &fn;
+  job.context = t_task_context;
   job.count = count;
   {
     std::lock_guard<std::mutex> lock(m_);

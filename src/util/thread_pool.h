@@ -62,6 +62,16 @@ class ThreadPool {
   // participating caller alike).
   static bool in_worker();
 
+  // Opaque per-thread task context, inherited by every thread that
+  // executes tasks of a run() issued while the context was set: workers
+  // see the submitting thread's context for the duration of the job.
+  // Used by scope objects (e.g. protect::AbftScope) whose effect must
+  // extend into parallel regions they enclose. The slot is a single
+  // pointer — scopes save and restore the previous value; anything they
+  // mutate through it from task code must be thread-safe.
+  static void* task_context();
+  static void set_task_context(void* ctx);
+
   // Process-wide pool, created on first use with env_threads() threads.
   static ThreadPool& global();
   // Threads requested by the environment: QNN_THREADS if set and > 0,
@@ -74,6 +84,7 @@ class ThreadPool {
  private:
   struct Job {
     const std::function<void(std::int64_t)>* fn = nullptr;
+    void* context = nullptr;  // submitting thread's task_context()
     std::int64_t count = 0;
     std::atomic<std::int64_t> next{0};
     std::atomic<bool> failed{false};

@@ -54,11 +54,21 @@ PrecisionResult sample_point() {
   pr.degraded = false;
   FaultPointResult fc;
   fc.bit_error_rate = 1e-4;
+  fc.policy = protect::ProtectionPolicy::kRetryClamp;
   fc.trials = 8;
   fc.failed_trials = 1;
   fc.mean_accuracy = 2.0 / 3.0 * 100.0;
   fc.min_accuracy = 59.999999999999;
   fc.total_flips = 4242;
+  fc.protection.values = 987654;
+  fc.protection.out_of_envelope = 321;
+  fc.protection.clamped = 100;
+  fc.protection.layer_retries = 17;
+  fc.protection.degraded_forwards = 2;
+  fc.protection.abft.blocks_checked = 55555;
+  fc.protection.abft.mismatches = 3;
+  fc.protection.abft.reexecutions = 4;
+  fc.protection.abft.unrecovered = 1;
   pr.fault_campaigns.push_back(fc);
   return pr;
 }
@@ -90,6 +100,8 @@ void expect_point_eq(const PrecisionResult& a, const PrecisionResult& b) {
     EXPECT_DOUBLE_EQ(fa.mean_accuracy, fb.mean_accuracy);
     EXPECT_DOUBLE_EQ(fa.min_accuracy, fb.min_accuracy);
     EXPECT_EQ(fa.total_flips, fb.total_flips);
+    EXPECT_EQ(fa.policy, fb.policy);
+    EXPECT_EQ(fa.protection, fb.protection);
   }
 }
 
@@ -198,6 +210,32 @@ TEST(Checkpoint, FingerprintTracksEveryInput) {
   faults2.trials = 4;
   faults2.bit_error_rates = {1e-4};
   EXPECT_NE(sweep_fingerprint(spec, precisions, 0.0, faults2), base);
+
+  // Protection shape is part of the sweep identity: adding policies or
+  // turning any protection knob must invalidate old checkpoints.
+  FaultCampaignSpec faults3;
+  faults3.policies = {protect::ProtectionPolicy::kOff,
+                      protect::ProtectionPolicy::kRetryClamp};
+  const auto with_policies =
+      sweep_fingerprint(spec, precisions, 0.0, faults3);
+  EXPECT_NE(with_policies, base);
+
+  FaultCampaignSpec faults4 = faults3;
+  faults4.protection.max_layer_retries = 5;
+  EXPECT_NE(sweep_fingerprint(spec, precisions, 0.0, faults4),
+            with_policies);
+  FaultCampaignSpec faults5 = faults3;
+  faults5.protection.envelope_margin = 0.25;
+  EXPECT_NE(sweep_fingerprint(spec, precisions, 0.0, faults5),
+            with_policies);
+  FaultCampaignSpec faults6 = faults3;
+  faults6.protection.abft = false;
+  EXPECT_NE(sweep_fingerprint(spec, precisions, 0.0, faults6),
+            with_policies);
+  FaultCampaignSpec faults7 = faults3;
+  faults7.protection.always_vote_data_bits = 6;
+  EXPECT_NE(sweep_fingerprint(spec, precisions, 0.0, faults7),
+            with_policies);
 }
 
 // The acceptance scenario: kill the sweep after point k, resume, and

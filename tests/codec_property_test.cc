@@ -1,0 +1,226 @@
+// Property tests for the fault-model value codecs.
+//
+// For every storage format the single-bit-flip map must be closed over
+// the representable set (a flip can never produce a value the format
+// cannot store) and must be an involution at the encoding level:
+// flipping the same bit twice restores the original value. These hold
+// by construction for raw two's-complement words; the codecs re-encode
+// through the *value* domain on every call, so the properties are worth
+// checking at extreme radix points (all-fractional, negative frac_bits,
+// frac_bits > total_bits) and at the saturation boundaries where
+// to_raw clamps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "faults/fault_model.h"
+#include "fixed/fixed_format.h"
+#include "fixed/pow2_format.h"
+
+namespace qnn::faults {
+namespace {
+
+// Formats spanning the radix-point freedom the paper exploits: ordinary
+// Q3.4, all-fractional (integer_bits < 0), coarser-than-integer grids
+// (frac_bits < 0), sub-unit micro-grids (frac_bits > total_bits), and a
+// full 16-bit word.
+std::vector<FixedPointFormat> extreme_fixed_formats() {
+  return {
+      FixedPointFormat(8, 4),    // Q3.4 — the common case
+      FixedPointFormat(4, 4),    // integer_bits = -1: |v| < 0.5
+      FixedPointFormat(8, -2),   // step = 4: grid coarser than 1
+      FixedPointFormat(6, 10),   // frac_bits > total_bits
+      FixedPointFormat(16, 16),  // widest paper config, all fractional
+      FixedPointFormat(16, -4),  // wide word, huge range
+      FixedPointFormat(2, 0),    // minimal width: raws {-2,-1,0,1}
+  };
+}
+
+// Visit every raw code for narrow formats and a strided sample (always
+// including both saturation endpoints) for 16-bit ones.
+template <typename Fn>
+void for_each_raw(const FixedPointFormat& fmt, Fn&& fn) {
+  const std::int64_t span = fmt.raw_max() - fmt.raw_min() + 1;
+  const std::int64_t stride = span > 4096 ? 257 : 1;  // odd: hits both ends
+  for (std::int64_t raw = fmt.raw_min(); raw <= fmt.raw_max(); raw += stride)
+    fn(raw);
+  fn(fmt.raw_max());
+}
+
+TEST(CodecProperty, FixedFlipStaysRepresentableAtExtremeRadixPoints) {
+  for (const FixedPointFormat& fmt : extreme_fixed_formats()) {
+    const FixedCodec codec(fmt);
+    for_each_raw(fmt, [&](std::int64_t raw) {
+      const float v = static_cast<float>(fmt.from_raw(raw));
+      ASSERT_TRUE(fmt.representable(v)) << fmt.to_string() << " raw " << raw;
+      for (int bit = 0; bit < codec.bits(); ++bit) {
+        const float flipped = codec.flip(v, bit);
+        ASSERT_TRUE(fmt.representable(flipped))
+            << fmt.to_string() << " raw " << raw << " bit " << bit;
+        ASSERT_GE(flipped, static_cast<float>(fmt.min_value()));
+        ASSERT_LE(flipped, static_cast<float>(fmt.max_value()));
+      }
+    });
+  }
+}
+
+TEST(CodecProperty, FixedFlipIsInvolutionAtExtremeRadixPoints) {
+  for (const FixedPointFormat& fmt : extreme_fixed_formats()) {
+    const FixedCodec codec(fmt);
+    for_each_raw(fmt, [&](std::int64_t raw) {
+      const float v = static_cast<float>(fmt.from_raw(raw));
+      for (int bit = 0; bit < codec.bits(); ++bit)
+        ASSERT_EQ(codec.flip(codec.flip(v, bit), bit), v)
+            << fmt.to_string() << " raw " << raw << " bit " << bit;
+    });
+  }
+}
+
+TEST(CodecProperty, FixedFlipSaturatesOffGridInputs) {
+  // A value beyond the representable range first saturates to the
+  // boundary code, so its flips match the boundary's flips exactly.
+  for (const FixedPointFormat& fmt : extreme_fixed_formats()) {
+    const FixedCodec codec(fmt);
+    const float lo = static_cast<float>(fmt.min_value());
+    const float hi = static_cast<float>(fmt.max_value());
+    for (int bit = 0; bit < codec.bits(); ++bit) {
+      EXPECT_EQ(codec.flip(1e30f, bit), codec.flip(hi, bit))
+          << fmt.to_string() << " bit " << bit;
+      EXPECT_EQ(codec.flip(-1e30f, bit), codec.flip(lo, bit))
+          << fmt.to_string() << " bit " << bit;
+    }
+  }
+}
+
+TEST(CodecProperty, FixedSignBitFlipCrossesZeroAtBoundaries) {
+  for (const FixedPointFormat& fmt : extreme_fixed_formats()) {
+    const FixedCodec codec(fmt);
+    const int sign_bit = fmt.total_bits() - 1;
+    // raw_min (1000...0) flips to raw 0; raw_max (0111...1) flips to -1.
+    EXPECT_EQ(codec.flip(static_cast<float>(fmt.min_value()), sign_bit), 0.0f)
+        << fmt.to_string();
+    EXPECT_EQ(codec.flip(static_cast<float>(fmt.max_value()), sign_bit),
+              static_cast<float>(-fmt.step()))
+        << fmt.to_string();
+  }
+}
+
+TEST(CodecProperty, Pow2AllCodesClosedUnderFlips) {
+  for (const Pow2Format& fmt :
+       {Pow2Format(6, 0), Pow2Format(4, 3), Pow2Format(3, -8),
+        Pow2Format(2, 0), Pow2Format(8, -1)}) {
+    const Pow2Codec codec(fmt);
+    const std::int64_t num_raws = std::int64_t{1} << fmt.total_bits();
+    for (std::int64_t raw = 0; raw < num_raws; ++raw) {
+      const float v = static_cast<float>(fmt.from_raw(raw));
+      for (int bit = 0; bit < codec.bits(); ++bit) {
+        const float flipped = codec.flip(v, bit);
+        // Closure: every flip result is exactly representable.
+        ASSERT_EQ(static_cast<float>(fmt.quantize(flipped)), flipped)
+            << fmt.to_string() << " raw " << raw << " bit " << bit;
+        ASSERT_LE(std::fabs(flipped), static_cast<float>(fmt.max_value()));
+      }
+    }
+  }
+}
+
+TEST(CodecProperty, Pow2FlipIsInvolutionExceptThroughSignedZero) {
+  // Pow2Codec re-encodes through the value domain, and value zero cannot
+  // carry a sign: a code-bit flip that zeroes a *negative* weight loses
+  // the sign bit, so flipping back yields +magnitude. That is the one
+  // sanctioned exception; everywhere else the flip is an involution.
+  for (const Pow2Format& fmt :
+       {Pow2Format(6, 0), Pow2Format(4, 3), Pow2Format(3, -8),
+        Pow2Format(2, 0)}) {
+    const Pow2Codec codec(fmt);
+    const std::int64_t num_raws = std::int64_t{1} << fmt.total_bits();
+    for (std::int64_t raw = 0; raw < num_raws; ++raw) {
+      const float v = static_cast<float>(fmt.from_raw(raw));
+      for (int bit = 0; bit < codec.bits(); ++bit) {
+        const float flipped = codec.flip(v, bit);
+        const float back = codec.flip(flipped, bit);
+        if (flipped == 0.0f && v < 0.0f) {
+          EXPECT_EQ(back, -v)
+              << fmt.to_string() << " raw " << raw << " bit " << bit;
+        } else {
+          EXPECT_EQ(back, v)
+              << fmt.to_string() << " raw " << raw << " bit " << bit;
+        }
+      }
+    }
+  }
+}
+
+TEST(CodecProperty, FloatFlipIsInvolutionIncludingDenormals) {
+  const FloatCodec codec;
+  const std::vector<float> values = {
+      0.0f,
+      -0.0f,
+      1.0f,
+      -3.5f,
+      std::numeric_limits<float>::denorm_min(),
+      -std::numeric_limits<float>::denorm_min(),
+      std::numeric_limits<float>::min(),         // smallest normal
+      std::numeric_limits<float>::min() / 2.0f,  // denormal
+      std::numeric_limits<float>::max(),
+      std::numeric_limits<float>::lowest(),
+  };
+  for (float v : values) {
+    for (int bit = 0; bit < codec.bits(); ++bit) {
+      const float once = codec.flip(v, bit);
+      const float twice = codec.flip(once, bit);
+      // Compare bit patterns: NaN != NaN and 0.0f == -0.0f would both
+      // report the wrong thing at the value level.
+      std::uint32_t a, b;
+      std::memcpy(&a, &v, sizeof a);
+      std::memcpy(&b, &twice, sizeof b);
+      ASSERT_EQ(a, b) << "value " << v << " bit " << bit;
+    }
+  }
+}
+
+TEST(CodecProperty, FloatFlipAtDenormalBoundary) {
+  const FloatCodec codec;
+  // Flipping bit 0 of +0.0 yields the smallest denormal and back.
+  const float denorm = codec.flip(0.0f, 0);
+  EXPECT_EQ(denorm, std::numeric_limits<float>::denorm_min());
+  EXPECT_EQ(codec.flip(denorm, 0), 0.0f);
+  // Flipping bit 23 of the largest denormal crosses into normal range.
+  const float largest_denorm =
+      std::nextafterf(std::numeric_limits<float>::min(), 0.0f);
+  const float crossed = codec.flip(largest_denorm, 23);
+  EXPECT_TRUE(std::isnormal(crossed));
+  EXPECT_EQ(codec.flip(crossed, 23), largest_denorm);
+}
+
+TEST(CodecProperty, BinaryFlipIsInvolution) {
+  const BinaryCodec codec;
+  for (float v : {0.25f, -0.25f, 1.0f, 0.0f}) {
+    EXPECT_EQ(codec.flip(v, 0), -v);
+    EXPECT_EQ(codec.flip(codec.flip(v, 0), 0), v);
+  }
+}
+
+TEST(CodecProperty, FixedForRangeHoldsItsCalibrationPoint) {
+  // for_range must place the radix point so the calibration magnitude
+  // survives a quantize round trip without saturating — including
+  // magnitudes at exact powers of two and far below 1.
+  for (double max_abs : {0.0078125, 0.4, 1.0, 3.7, 64.0, 1000.0}) {
+    for (int bits : {4, 8, 16}) {
+      const FixedPointFormat fmt = FixedPointFormat::for_range(bits, max_abs);
+      // max_value = 2^integer_bits * (1 - 2^(1-bits)) with
+      // 2^integer_bits >= max_abs, so:
+      EXPECT_GE(fmt.max_value(), max_abs * (1.0 - std::ldexp(1.0, 1 - bits)))
+          << "bits " << bits << " max_abs " << max_abs;
+      // The quantized calibration point must not collapse to the
+      // opposite saturation rail.
+      EXPECT_GE(fmt.quantize(max_abs), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qnn::faults

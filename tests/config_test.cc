@@ -44,6 +44,25 @@ TEST(ConfigParse, ValueStopsAtBraceAndComment) {
   EXPECT_EQ(c.blocks("layer")[0].get("type"), "conv");
 }
 
+TEST(ConfigParse, StripsUtf8ByteOrderMarkAndAcceptsCrlf) {
+  // Config files hand-edited on Windows arrive with a BOM and CRLF line
+  // endings; both must parse as if absent.
+  const ConfigNode c = parse_config(
+      "\xEF\xBB\xBF"
+      "epochs: 5\r\n"
+      "train { lr: 0.02 }\r\n");
+  EXPECT_EQ(c.get_int("epochs"), 5);
+  EXPECT_DOUBLE_EQ(c.block("train").get_double("lr"), 0.02);
+
+  // The BOM does not shift error line numbers.
+  try {
+    parse_config("\xEF\xBB\xBFok: 1\n}", "win.cfg");
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("win.cfg:2"), std::string::npos);
+  }
+}
+
 TEST(ConfigParse, Errors) {
   EXPECT_THROW(parse_config("}"), CheckError);
   EXPECT_THROW(parse_config("block {"), CheckError);

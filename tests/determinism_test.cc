@@ -173,6 +173,128 @@ TEST(Determinism, FaultCampaignMatchesSerial) {
   EXPECT_EQ(g1.inf, g4.inf);
 }
 
+TEST(Determinism, ProtectedCampaignMatchesSerial) {
+  // The fault-tolerance layer must preserve the bit-identity contract:
+  // ABFT verification, envelope checks, and layer retries are all made
+  // serially on the calling thread, so a protected campaign's accuracy,
+  // protection counters, and guard counters cannot depend on pool size.
+  ThreadGuard guard;
+  EvalFixture f;
+  quant::QuantizedNetwork qnet(*f.net, quant::fixed_config(8, 8));
+  qnet.calibrate(f.split.train.images);
+
+  faults::CampaignConfig cc;
+  cc.trials = 4;
+  cc.bit_error_rate = 1e-3;
+  cc.seed = 2024;
+  cc.protection.policy = protect::ProtectionPolicy::kRetryClamp;
+
+  ThreadPool::set_global_threads(1);
+  qnet.reset_guards();
+  const faults::CampaignResult r1 =
+      faults::run_fault_campaign(qnet, f.split.test, cc);
+  const quant::GuardCounters g1 = qnet.total_guards();
+
+  for (int threads : {2, 8}) {
+    ThreadPool::set_global_threads(threads);
+    qnet.reset_guards();
+    const faults::CampaignResult rn =
+        faults::run_fault_campaign(qnet, f.split.test, cc);
+    const quant::GuardCounters gn = qnet.total_guards();
+    SCOPED_TRACE(std::to_string(threads) + " threads");
+    EXPECT_EQ(r1.trials, rn.trials);
+    EXPECT_EQ(r1.failed_trials, rn.failed_trials);
+    EXPECT_EQ(r1.total_flips, rn.total_flips);
+    EXPECT_EQ(r1.mean_accuracy, rn.mean_accuracy);  // bit-identical
+    EXPECT_EQ(r1.min_accuracy, rn.min_accuracy);
+    EXPECT_EQ(r1.max_accuracy, rn.max_accuracy);
+    // The full protection ledger: envelope violations, clamps, layer
+    // retries, degraded forwards, and ABFT block counts.
+    EXPECT_EQ(r1.protection, rn.protection);
+    EXPECT_EQ(g1.values, gn.values);
+    EXPECT_EQ(g1.saturated, gn.saturated);
+    EXPECT_EQ(g1.nan, gn.nan);
+    EXPECT_EQ(g1.inf, gn.inf);
+  }
+}
+
+TEST(Determinism, ProtectedSweepSurvivesKillAndResumeAcrossThreads) {
+  // A sweep with protection policies enabled, killed after its first
+  // point and resumed on a different pool size, must reproduce the
+  // uninterrupted serial run's checkpoint byte-for-byte.
+  ThreadGuard guard;
+  const std::string dir = ::testing::TempDir();
+  const std::string ck_killed = dir + "/det_prot_killed.json";
+  const std::string ck_straight = dir + "/det_prot_straight.json";
+  for (const auto& p : {ck_killed, ck_straight, ck_killed + ".weights",
+                        ck_straight + ".weights"})
+    std::filesystem::remove(p);
+
+  exp::ExperimentSpec spec;
+  spec.network = "lenet";
+  spec.dataset = "mnist";
+  spec.channel_scale = 0.2;
+  spec.data.num_train = 200;
+  spec.data.num_test = 100;
+  spec.data.seed = 5;
+  spec.float_train.epochs = 2;
+  spec.float_train.batch_size = 20;
+  spec.float_train.sgd.learning_rate = 0.02;
+  spec.qat_train = spec.float_train;
+  spec.qat_train.epochs = 1;
+  spec.qat_train.sgd.learning_rate = 0.01;
+
+  const std::vector<quant::PrecisionConfig> precisions = {
+      quant::fixed_config(8, 8), quant::binary_config(16)};
+
+  exp::SweepOptions opts;
+  opts.faults.trials = 2;
+  opts.faults.bit_error_rates = {1e-3};
+  opts.faults.policies = {protect::ProtectionPolicy::kDetectOnly,
+                          protect::ProtectionPolicy::kRetryClamp};
+
+  // Uninterrupted serial reference.
+  ThreadPool::set_global_threads(1);
+  exp::SweepOptions straight = opts;
+  straight.checkpoint_path = ck_straight;
+  const exp::SweepResult ref =
+      exp::run_precision_sweep(spec, precisions, 0.0, straight);
+  ASSERT_EQ(ref.points.size(), precisions.size());
+  for (const auto& point : ref.points)
+    for (const auto& c : point.fault_campaigns)
+      if (c.policy != protect::ProtectionPolicy::kOff) {
+        EXPECT_GT(c.protection.values, 0);
+      }
+
+  // Kill a 4-thread run after point 0, resume with 2 threads.
+  ThreadPool::set_global_threads(4);
+  struct Killed {};
+  exp::SweepOptions kill = opts;
+  kill.checkpoint_path = ck_killed;
+  kill.after_point = [](std::size_t k) {
+    if (k == 0) throw Killed{};
+  };
+  EXPECT_THROW(exp::run_precision_sweep(spec, precisions, 0.0, kill),
+               Killed);
+  ASSERT_TRUE(file_exists(ck_killed));
+
+  ThreadPool::set_global_threads(2);
+  std::vector<std::size_t> resumed_points;
+  exp::SweepOptions resume = opts;
+  resume.checkpoint_path = ck_killed;
+  resume.after_point = [&](std::size_t k) { resumed_points.push_back(k); };
+  const exp::SweepResult resumed =
+      exp::run_precision_sweep(spec, precisions, 0.0, resume);
+  EXPECT_EQ(resumed_points, (std::vector<std::size_t>{1}));
+  ASSERT_EQ(resumed.points.size(), precisions.size());
+
+  EXPECT_EQ(read_file(ck_killed), read_file(ck_straight));
+
+  for (const auto& p : {ck_killed, ck_straight, ck_killed + ".weights",
+                        ck_straight + ".weights"})
+    std::filesystem::remove(p);
+}
+
 TEST(Determinism, SweepCheckpointBytesMatchSerial) {
   ThreadGuard guard;
   const std::string dir = ::testing::TempDir();

@@ -120,6 +120,110 @@ TEST(Serialize, LoadsVersion1SnapshotsWithoutCrc) {
       ASSERT_EQ(pa[i]->value[j], pb[i]->value[j]);
 }
 
+TEST(SerializeV3, EnvelopeRoundTrip) {
+  ZooConfig zc;
+  zc.channel_scale = 0.2;
+  auto a = make_lenet(zc);
+  std::vector<protect::SiteEnvelope> sites(5);
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    sites[s].lo = -1.5 * static_cast<double>(s + 1);
+    sites[s].hi = 2.25 * static_cast<double>(s + 1);
+    sites[s].valid = true;
+  }
+  sites[3].valid = false;  // never-observed site survives the round trip
+  const protect::EnvelopeSet env{sites};
+  const std::string bytes = serialize_params(*a, env);
+  // Version word is 3 for envelope-carrying snapshots.
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 4, sizeof version);
+  EXPECT_EQ(version, 3u);
+
+  ZooConfig zc2 = zc;
+  zc2.init_seed = 999;
+  auto b = make_lenet(zc2);
+  protect::EnvelopeSet loaded;
+  deserialize_params(*b, bytes, &loaded);
+  EXPECT_EQ(loaded, env);
+  const auto pa = a->trainable_params();
+  const auto pb = b->trainable_params();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    for (std::int64_t j = 0; j < pa[i]->count(); ++j)
+      ASSERT_EQ(pa[i]->value[j], pb[i]->value[j]);
+}
+
+TEST(SerializeV3, NoEnvelopesWritesByteIdenticalVersion2) {
+  ZooConfig zc;
+  zc.channel_scale = 0.2;
+  auto net = make_lenet(zc);
+  const std::string plain = serialize_params(*net);
+  const std::string with_empty = serialize_params(*net,
+                                                  protect::EnvelopeSet{});
+  EXPECT_EQ(plain, with_empty);
+  std::uint32_t version = 0;
+  std::memcpy(&version, plain.data() + 4, sizeof version);
+  EXPECT_EQ(version, 2u);
+}
+
+TEST(SerializeV3, Version2ReadClearsEnvelopes) {
+  ZooConfig zc;
+  zc.channel_scale = 0.2;
+  auto net = make_lenet(zc);
+  const std::string v2 = serialize_params(*net);
+  protect::EnvelopeSet loaded{std::vector<protect::SiteEnvelope>(3)};
+  deserialize_params(*net, v2, &loaded);
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(SerializeV3, PlainReaderAcceptsVersion3) {
+  // A caller that does not ask for envelopes still loads a v3 snapshot's
+  // parameters (the section is skipped, not treated as trailing bytes).
+  ZooConfig zc;
+  zc.channel_scale = 0.2;
+  auto a = make_lenet(zc);
+  protect::EnvelopeSet env{std::vector<protect::SiteEnvelope>(
+      {{-1.0, 1.0, true}, {0.0, 4.0, true}})};
+  const std::string bytes = serialize_params(*a, env);
+  ZooConfig zc2 = zc;
+  zc2.init_seed = 123;
+  auto b = make_lenet(zc2);
+  deserialize_params(*b, bytes);
+  const auto pa = a->trainable_params();
+  const auto pb = b->trainable_params();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    for (std::int64_t j = 0; j < pa[i]->count(); ++j)
+      ASSERT_EQ(pa[i]->value[j], pb[i]->value[j]);
+}
+
+TEST(SerializeV3, TruncatedEnvelopeSectionThrows) {
+  ZooConfig zc;
+  zc.channel_scale = 0.2;
+  auto net = make_lenet(zc);
+  protect::EnvelopeSet env{std::vector<protect::SiteEnvelope>(
+      {{-1.0, 1.0, true}, {0.0, 4.0, true}})};
+  std::string bytes = serialize_params(*net, env);
+  // Drop one envelope record (17 bytes) plus the CRC; the loader must
+  // reject it (CRC first, and structurally even if the CRC were fixed).
+  bytes.resize(bytes.size() - sizeof(std::uint32_t) - 17);
+  EXPECT_THROW(deserialize_params(*net, bytes), CheckError);
+}
+
+TEST(SerializeV3, OnDiskRoundTripWithEnvelopes) {
+  const std::string path = ::testing::TempDir() + "/qnn_snapshot_v3.bin";
+  ZooConfig zc;
+  zc.channel_scale = 0.2;
+  auto a = make_lenet(zc);
+  protect::EnvelopeSet env{std::vector<protect::SiteEnvelope>(
+      {{-0.5, 0.5, true}, {0.0, 6.0, true}, {0.0, 0.0, false}})};
+  save_params(*a, path, env);
+  ZooConfig zc2 = zc;
+  zc2.init_seed = 77;
+  auto b = make_lenet(zc2);
+  protect::EnvelopeSet loaded;
+  load_params(*b, path, &loaded);
+  EXPECT_EQ(loaded, env);
+  std::filesystem::remove(path);
+}
+
 TEST(Serialize, RejectsUnknownVersion) {
   ZooConfig zc;
   zc.channel_scale = 0.2;
@@ -133,7 +237,7 @@ TEST(Serialize, RejectsUnknownVersion) {
   } catch (const CheckError& e) {
     const std::string what = e.what();
     EXPECT_NE(what.find("version 99"), std::string::npos);
-    EXPECT_NE(what.find("1..2"), std::string::npos);
+    EXPECT_NE(what.find("1..3"), std::string::npos);
   }
 }
 

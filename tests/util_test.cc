@@ -252,6 +252,35 @@ TEST(CsvParse, AcceptsCrlfAndSkipsBlankLines) {
   EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
 }
 
+TEST(CsvParse, StripsUtf8ByteOrderMark) {
+  // Spreadsheet exports routinely prepend a UTF-8 BOM; it must not leak
+  // into the first header cell.
+  const auto rows = parse_csv("\xEF\xBB\xBFid,label\n1,cat\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"id", "label"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "cat"}));
+
+  // BOM + CRLF together — the classic "edited on Windows" file.
+  const auto crlf = parse_csv("\xEF\xBB\xBF" "a,b\r\n1,2\r\n");
+  ASSERT_EQ(crlf.size(), 2u);
+  EXPECT_EQ(crlf[0], (std::vector<std::string>{"a", "b"}));
+
+  // A BOM alone (or a truncated BOM prefix) is not a row.
+  EXPECT_TRUE(parse_csv("\xEF\xBB\xBF").empty());
+  const auto partial = parse_csv("\xEF\xBBx,y\n");
+  ASSERT_EQ(partial.size(), 1u);
+  EXPECT_EQ(partial[0], (std::vector<std::string>{"\xEF\xBBx", "y"}));
+}
+
+TEST(CsvParse, BomDoesNotShiftErrorLineNumbers) {
+  try {
+    parse_csv("\xEF\xBB\xBFok,row\nbad\"cell,x\n", "data.csv");
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("data.csv:2"), std::string::npos);
+  }
+}
+
 TEST(CsvParse, ErrorsCarrySourceAndLine) {
   try {
     parse_csv("ok,row\nbad\"cell,x\n", "data.csv");
@@ -291,6 +320,24 @@ TEST(Json, DumpParseRoundTrip) {
   EXPECT_EQ(back.at("list").at(1).as_string(), "x\"y\n");
   // A whole double dumps with ".0" so the kind round-trips too.
   EXPECT_EQ(back.at("exact").kind(), json::Value::Kind::kDouble);
+}
+
+TEST(Json, StripsUtf8ByteOrderMark) {
+  const json::Value v =
+      json::parse("\xEF\xBB\xBF{\"a\": 1}", "bom.json");
+  EXPECT_EQ(v.at("a").as_int(), 1);
+  // BOM + CRLF, and errors keep their file:line anchors.
+  const json::Value crlf =
+      json::parse("\xEF\xBB\xBF{\r\n  \"b\": 2\r\n}", "bom.json");
+  EXPECT_EQ(crlf.at("b").as_int(), 2);
+  try {
+    json::parse("\xEF\xBB\xBF{\n  oops\n}", "ck.json");
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("ck.json:2"), std::string::npos);
+  }
+  // A lone BOM is still an empty document.
+  EXPECT_THROW(json::parse("\xEF\xBB\xBF"), CheckError);
 }
 
 TEST(Json, ParseErrorsCarrySourceAndLine) {
