@@ -80,7 +80,8 @@ void run() {
 }  // namespace
 }  // namespace qnn
 
-int main() {
+int main(int argc, char** argv) {
+  qnn::bench::Session session("ablate_grad_precision", &argc, argv);
   qnn::run();
   return 0;
 }

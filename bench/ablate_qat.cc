@@ -87,7 +87,8 @@ void run() {
 }  // namespace
 }  // namespace qnn
 
-int main() {
+int main(int argc, char** argv) {
+  qnn::bench::Session session("ablate_qat", &argc, argv);
   qnn::run();
   return 0;
 }

@@ -97,7 +97,8 @@ void run() {
 }  // namespace
 }  // namespace qnn
 
-int main() {
+int main(int argc, char** argv) {
+  qnn::bench::Session session("ablate_rounding", &argc, argv);
   qnn::run();
   return 0;
 }

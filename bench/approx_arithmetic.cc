@@ -117,7 +117,8 @@ void run() {
 }  // namespace
 }  // namespace qnn
 
-int main() {
+int main(int argc, char** argv) {
+  qnn::bench::Session session("approx_arithmetic", &argc, argv);
   qnn::run();
   return 0;
 }

@@ -50,7 +50,8 @@ void run() {
 }  // namespace
 }  // namespace qnn
 
-int main() {
+int main(int argc, char** argv) {
+  qnn::bench::Session session("explore_accel_dse", &argc, argv);
   qnn::run();
   return 0;
 }

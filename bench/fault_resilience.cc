@@ -202,7 +202,8 @@ void run() {
 }  // namespace
 }  // namespace qnn
 
-int main() {
+int main(int argc, char** argv) {
+  qnn::bench::Session session("fault_resilience", &argc, argv);
   qnn::run();
   return 0;
 }

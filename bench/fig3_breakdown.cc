@@ -66,7 +66,8 @@ void run() {
 }  // namespace
 }  // namespace qnn
 
-int main() {
+int main(int argc, char** argv) {
+  qnn::bench::Session session("fig3_breakdown", &argc, argv);
   qnn::run();
   return 0;
 }

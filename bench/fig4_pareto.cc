@@ -111,7 +111,8 @@ void run() {
 }  // namespace
 }  // namespace qnn
 
-int main() {
+int main(int argc, char** argv) {
+  qnn::bench::Session session("fig4_pareto", &argc, argv);
   qnn::run();
   return 0;
 }

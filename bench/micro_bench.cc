@@ -4,7 +4,11 @@
 //
 // After the google-benchmark suite runs, main() times a few headline
 // workloads serially (1 thread) and on the full pool and writes the
-// comparison to BENCH_micro.json in the working directory.
+// comparison to BENCH_micro.json in the working directory. Each phase's
+// per-rep wall times also feed "phase.<name>.{serial,threads}_us"
+// histograms in the metrics registry, summarized in the JSON under
+// "phases". Run with --trace/--report (bench::Session) for a
+// chrome://tracing profile and a RunReport.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -13,10 +17,13 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "data/synthetic.h"
 #include "exp/sweep.h"
 #include "nn/trainer.h"
 #include "nn/zoo.h"
+#include "obs/metrics.h"
+#include "protect/protected_network.h"
 #include "quant/qnetwork.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
@@ -156,15 +163,24 @@ BENCHMARK(BM_SyntheticCifarGeneration);
 
 // --- serial vs N-thread scaling report ---------------------------------
 
+// Wall-time histogram bounds: 1 µs .. ~4.2 s in powers of two.
+std::vector<std::int64_t> phase_bounds() {
+  return obs::exponential_bounds(std::int64_t{1} << 22);
+}
+
 // Best-of-`reps` wall time of fn() in milliseconds (one warm-up call).
+// Every timed rep (warm-up excluded) is also observed into `hist` so
+// the report captures the rep-to-rep spread, not just the best.
 template <typename F>
-double best_of_ms(int reps, F&& fn) {
+double best_of_ms(int reps, obs::Histogram hist, F&& fn) {
   fn();
   double best = 1e300;
   for (int r = 0; r < reps; ++r) {
     Stopwatch sw;
     fn();
-    best = std::min(best, sw.millis());
+    const double ms = sw.millis();
+    hist.observe(static_cast<std::int64_t>(ms * 1000.0));
+    best = std::min(best, ms);
   }
   return best;
 }
@@ -177,10 +193,12 @@ struct ScalingRow {
 
 // Times each workload with a 1-thread pool and with the environment's
 // pool (QNN_THREADS or hardware_concurrency) and writes BENCH_micro.json.
-// The workloads are the thread-pool's three sharding layers: raw GEMM
+// The workloads are the thread-pool's three sharding layers — raw GEMM
 // (M-row sharding), a network forward (batch sharding inside every
-// layer), and a quantized evaluation (batch sharding plus guard scans).
-void write_scaling_report() {
+// layer), and a quantized evaluation (batch sharding plus guard scans) —
+// plus an ABFT-protected evaluation, so a --trace run profiles the
+// checksum/verify path too.
+void write_scaling_report(bench::Session& session) {
   const int threads = ThreadPool::env_threads();
 
   Rng rng(1);
@@ -200,25 +218,48 @@ void write_scaling_report() {
   quant::QuantizedNetwork qnet(*net, quant::fixed_config(8, 8));
   qnet.calibrate(split.train.images);
 
+  protect::ProtectionConfig pcfg;
+  pcfg.policy = protect::ProtectionPolicy::kDetectOnly;
+  protect::ProtectedNetwork pnet(qnet, pcfg);
+  pnet.calibrate_envelopes(split.test.images);
+
   std::vector<ScalingRow> rows = {
       {"gemm_384", 0, 0},
       {"lenet_forward_b32", 0, 0},
       {"quantized_evaluate_128", 0, 0},
+      {"protected_evaluate_128", 0, 0},
   };
   const std::vector<std::function<void()>> workloads = {
       [&] { gemm(n, n, n, a.data(), b.data(), c.data()); },
       [&] { benchmark::DoNotOptimize(net->forward(batch).data()); },
       [&] { benchmark::DoNotOptimize(nn::evaluate(qnet, split.test)); },
+      [&] { benchmark::DoNotOptimize(nn::evaluate(pnet, split.test)); },
+  };
+
+  obs::Registry& reg = obs::Registry::global();
+  const auto phase_hist = [&](const ScalingRow& row, const char* mode) {
+    return reg.histogram("phase." + row.name + "." + mode + "_us",
+                         phase_bounds());
   };
 
   ThreadPool::set_global_threads(1);
   for (std::size_t w = 0; w < workloads.size(); ++w)
-    rows[w].serial_ms = best_of_ms(3, workloads[w]);
+    rows[w].serial_ms =
+        best_of_ms(3, phase_hist(rows[w], "serial"), workloads[w]);
   ThreadPool::set_global_threads(threads);
   for (std::size_t w = 0; w < workloads.size(); ++w)
-    rows[w].parallel_ms = threads > 1 ? best_of_ms(3, workloads[w])
-                                      : rows[w].serial_ms;
+    rows[w].parallel_ms =
+        threads > 1
+            ? best_of_ms(3, phase_hist(rows[w], "threads"), workloads[w])
+            : rows[w].serial_ms;
   qnet.restore_masters();
+
+  // Fold the per-phase histograms into the document. The pre-existing
+  // schema ("threads" + "workloads") is untouched; "phases" is additive.
+  const obs::Snapshot snap = reg.snapshot();
+  json::Value phases = json::Value::array();
+  for (const obs::MetricSnapshot& m : snap.metrics)
+    if (m.name.rfind("phase.", 0) == 0) phases.push_back(m.to_json());
 
   json::Value doc = json::Value::object();
   doc.set("threads", threads);
@@ -233,7 +274,11 @@ void write_scaling_report() {
     arr.push_back(std::move(entry));
   }
   doc.set("workloads", std::move(arr));
+  doc.set("phases", std::move(phases));
   write_file_atomic("BENCH_micro.json", doc.dump() + "\n");
+
+  session.report().add_guards("guards", qnet.total_guards());
+  session.report().add_protection("protection", pnet.counters());
 
   std::cout << "\nThread scaling (1 vs " << threads << " threads):\n";
   for (const ScalingRow& row : rows)
@@ -246,10 +291,12 @@ void write_scaling_report() {
 }  // namespace qnn
 
 int main(int argc, char** argv) {
+  // Strip --trace/--report before benchmark::Initialize sees argv.
+  qnn::bench::Session session("micro_bench", &argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  qnn::write_scaling_report();
+  qnn::write_scaling_report(session);
   return 0;
 }

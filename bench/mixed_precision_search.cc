@@ -94,7 +94,8 @@ void run() {
 }  // namespace
 }  // namespace qnn
 
-int main() {
+int main(int argc, char** argv) {
+  qnn::bench::Session session("mixed_precision_search", &argc, argv);
   qnn::run();
   return 0;
 }

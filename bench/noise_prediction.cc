@@ -70,7 +70,8 @@ void run() {
 }  // namespace
 }  // namespace qnn
 
-int main() {
+int main(int argc, char** argv) {
+  qnn::bench::Session session("noise_prediction", &argc, argv);
   qnn::run();
   return 0;
 }

@@ -77,7 +77,8 @@ void run() {
 }  // namespace
 }  // namespace qnn
 
-int main() {
+int main(int argc, char** argv) {
+  qnn::bench::Session session("table3_design_metrics", &argc, argv);
   qnn::run();
   return 0;
 }

@@ -142,7 +142,8 @@ void run() {
 }  // namespace
 }  // namespace qnn
 
-int main() {
+int main(int argc, char** argv) {
+  qnn::bench::Session session("table4_mnist_svhn", &argc, argv);
   qnn::run();
   return 0;
 }

@@ -125,7 +125,8 @@ void run() {
 }  // namespace
 }  // namespace qnn
 
-int main() {
+int main(int argc, char** argv) {
+  qnn::bench::Session session("table5_cifar_expanded", &argc, argv);
   qnn::run();
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/crc32.h"
 #include "util/fileio.h"
@@ -171,6 +172,8 @@ PrecisionResult precision_result_from_json(
 
 void save_sweep_checkpoint(const std::string& path,
                            const SweepCheckpoint& checkpoint) {
+  QNN_SPAN_N("checkpoint_save", "exp",
+             static_cast<std::int64_t>(checkpoint.points.size()));
   json::Value root = json::Value::object();
   root.set("version", kCheckpointVersion);
   root.set("fingerprint", static_cast<std::int64_t>(checkpoint.fingerprint));

@@ -8,6 +8,7 @@
 #include "faults/injector.h"
 #include "fixed/fixed_format.h"
 #include "nn/serialize.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/fileio.h"
 #include "util/logging.h"
@@ -236,6 +237,7 @@ SweepResult run_precision_sweep(
 
   parallel_run(static_cast<std::int64_t>(remaining), [&](std::int64_t pi) {
     const std::size_t k = first + static_cast<std::size_t>(pi);
+    QNN_SPAN_N("sweep_point", "exp", static_cast<std::int64_t>(k));
     const quant::PrecisionConfig& precision = effective[k];
     PrecisionResult pr;
     pr.precision = precision;

@@ -7,6 +7,7 @@
 
 #include "fixed/fixed_format.h"
 #include "nn/trainer.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -96,6 +97,7 @@ void run_trial_range(quant::QuantizedNetwork& qnet,
                      std::int64_t begin, std::int64_t end,
                      std::vector<TrialOutcome>& outcomes) {
   for (std::int64_t trial = begin; trial < end; ++trial) {
+    QNN_SPAN_N("campaign_trial", "faults", trial);
     TrialOutcome& out = outcomes[static_cast<std::size_t>(trial)];
     for (int attempt = 0; attempt <= config.trial_retries && !out.ok;
          ++attempt) {

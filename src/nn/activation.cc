@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -20,6 +21,7 @@ void elementwise(Tensor& t, F&& fn) {
 }  // namespace
 
 Tensor Relu::forward(const Tensor& in) {
+  QNN_SPAN("relu_forward", "layer");
   Tensor out = in;
   elementwise(out, [&](std::int64_t i) {
     if (out[i] < 0) out[i] = 0;
@@ -39,6 +41,7 @@ Tensor Relu::backward(const Tensor& grad_out) {
 }
 
 Tensor Sigmoid::forward(const Tensor& in) {
+  QNN_SPAN("sigmoid_forward", "layer");
   Tensor out = in;
   elementwise(out, [&](std::int64_t i) {
     out[i] = 1.0f / (1.0f + std::exp(-out[i]));
@@ -59,6 +62,7 @@ Tensor Sigmoid::backward(const Tensor& grad_out) {
 }
 
 Tensor Tanh::forward(const Tensor& in) {
+  QNN_SPAN("tanh_forward", "layer");
   Tensor out = in;
   elementwise(out, [&](std::int64_t i) { out[i] = std::tanh(out[i]); });
   cached_out_ = out;
@@ -83,6 +87,7 @@ Dropout::Dropout(double drop_probability, std::uint64_t seed)
 }
 
 Tensor Dropout::forward(const Tensor& in) {
+  QNN_SPAN("dropout_forward", "layer");
   if (!training_ || p_ == 0.0) {
     mask_.clear();
     return in;

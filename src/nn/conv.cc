@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/trace.h"
 #include "protect/abft.h"
 #include "tensor/gemm.h"
 #include "util/check.h"
@@ -53,6 +54,7 @@ Shape Conv2d::output_shape(const Shape& in) const {
 }
 
 Tensor Conv2d::forward(const Tensor& in) {
+  QNN_SPAN_N("conv_forward", "layer", in.shape().n());
   const ConvGeometry g = geometry(in.shape());
   const std::int64_t n = in.shape().n();
   const std::int64_t rows = g.col_rows();   // Cin*K*K

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "protect/abft.h"
 #include "tensor/gemm.h"
 #include "util/check.h"
@@ -34,6 +35,7 @@ Shape InnerProduct::output_shape(const Shape& in) const {
 }
 
 Tensor InnerProduct::forward(const Tensor& in) {
+  QNN_SPAN_N("inner_product_forward", "layer", in.shape()[0]);
   const std::int64_t n = in.shape()[0];
   const std::int64_t f = flat_features(in.shape());
   cached_orig_shape_ = in.shape();

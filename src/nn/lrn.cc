@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -14,6 +15,7 @@ Lrn::Lrn(const LrnSpec& spec) : spec_(spec) {
 }
 
 Tensor Lrn::forward(const Tensor& in) {
+  QNN_SPAN("lrn_forward", "layer");
   const Shape& s = in.shape();
   QNN_CHECK(s.rank() == 4);
   const std::int64_t half = spec_.local_size / 2;

@@ -2,11 +2,13 @@
 
 #include "nn/conv.h"
 #include "nn/inner_product.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace qnn::nn {
 
 Tensor Network::forward(const Tensor& input) {
+  QNN_SPAN_N("net_forward", "nn", input.shape()[0]);
   Tensor x = input;
   for (auto& layer : layers_) x = layer->forward(x);
   return x;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -28,6 +29,7 @@ Shape Pool2d::output_shape(const Shape& in) const {
 }
 
 Tensor Pool2d::forward(const Tensor& in) {
+  QNN_SPAN("pool_forward", "layer");
   const Shape& s = in.shape();
   const Shape os = output_shape(s);
   Tensor out(os);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "nn/loss.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -20,6 +21,7 @@ TrainResult train(Model& model, const data::Dataset& train,
 
   TrainResult result;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    QNN_SPAN_N("train_epoch", "nn", epoch);
     const auto order = data::shuffled_indices(train.size(), shuffle_rng);
     const data::Dataset shuffled = train.gather(order);
 
@@ -64,6 +66,7 @@ TrainResult train(Model& model, const data::Dataset& train,
 
 double evaluate(Model& model, const data::Dataset& d,
                 std::int64_t batch_size) {
+  QNN_SPAN_N("evaluate", "nn", d.size());
   QNN_CHECK(d.size() > 0);
   model.set_training_mode(false);
   std::int64_t correct = 0;

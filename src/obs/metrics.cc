@@ -1,0 +1,166 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace qnn::obs {
+
+const char* metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:   return "counter";
+    case MetricKind::kGauge:     return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+namespace detail {
+
+int stripe_index() {
+  static std::atomic<int> next{0};
+  thread_local const int id =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricStripes;
+  return id;
+}
+
+}  // namespace detail
+
+Registry& Registry::global() {
+  static Registry* registry = new Registry();  // never destroyed: worker
+  return *registry;                            // threads may outlive main
+}
+
+detail::MetricData* Registry::find_or_create(
+    const std::string& name, MetricKind kind,
+    std::vector<std::int64_t> bounds) {
+  QNN_CHECK_MSG(!name.empty(), "metric name must not be empty");
+  for (std::size_t i = 1; i < bounds.size(); ++i)
+    QNN_CHECK_MSG(bounds[i - 1] < bounds[i],
+                  "histogram bounds must be strictly ascending in \""
+                      << name << '"');
+  std::lock_guard<std::mutex> lock(m_);
+  for (const auto& m : metrics_) {
+    if (m->name != name) continue;
+    QNN_CHECK_MSG(m->kind == kind,
+                  "metric \"" << name << "\" already registered as "
+                              << metric_kind_name(m->kind));
+    QNN_CHECK_MSG(m->bounds == bounds,
+                  "histogram \"" << name
+                                 << "\" re-registered with different bounds");
+    return m.get();
+  }
+  auto m = std::make_unique<detail::MetricData>();
+  m->name = name;
+  m->kind = kind;
+  m->bounds = std::move(bounds);
+  m->stride =
+      kind == MetricKind::kHistogram ? m->bounds.size() + 2 : 1;
+  const std::size_t cells =
+      static_cast<std::size_t>(kMetricStripes) * m->stride;
+  m->cells = std::make_unique<std::atomic<std::int64_t>[]>(cells);
+  for (std::size_t i = 0; i < cells; ++i)
+    m->cells[i].store(0, std::memory_order_relaxed);
+  metrics_.push_back(std::move(m));
+  return metrics_.back().get();
+}
+
+Counter Registry::counter(const std::string& name) {
+  return Counter(find_or_create(name, MetricKind::kCounter, {}));
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  return Gauge(find_or_create(name, MetricKind::kGauge, {}));
+}
+
+Histogram Registry::histogram(const std::string& name,
+                              std::vector<std::int64_t> bounds) {
+  return Histogram(
+      find_or_create(name, MetricKind::kHistogram, std::move(bounds)));
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(m_);
+  snap.metrics.reserve(metrics_.size());
+  for (const auto& m : metrics_) {
+    MetricSnapshot s;
+    s.name = m->name;
+    s.kind = m->kind;
+    s.bounds = m->bounds;
+    if (m->kind == MetricKind::kHistogram) {
+      const std::size_t nbuckets = m->bounds.size() + 1;
+      s.buckets.assign(nbuckets, 0);
+      for (int stripe = 0; stripe < kMetricStripes; ++stripe) {
+        for (std::size_t b = 0; b < nbuckets; ++b)
+          s.buckets[b] +=
+              m->cell(stripe, b).load(std::memory_order_relaxed);
+        s.sum +=
+            m->cell(stripe, m->stride - 1).load(std::memory_order_relaxed);
+      }
+      for (const std::int64_t c : s.buckets) s.count += c;
+    } else if (m->kind == MetricKind::kCounter) {
+      for (int stripe = 0; stripe < kMetricStripes; ++stripe)
+        s.value += m->cell(stripe, 0).load(std::memory_order_relaxed);
+    } else {
+      s.value = m->cell(0, 0).load(std::memory_order_relaxed);
+    }
+    snap.metrics.push_back(std::move(s));
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(m_);
+  for (const auto& m : metrics_) {
+    const std::size_t cells =
+        static_cast<std::size_t>(kMetricStripes) * m->stride;
+    for (std::size_t i = 0; i < cells; ++i)
+      m->cells[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+const MetricSnapshot* Snapshot::find(const std::string& name) const {
+  for (const MetricSnapshot& m : metrics)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+json::Value MetricSnapshot::to_json() const {
+  json::Value v = json::Value::object();
+  v.set("name", name);
+  v.set("kind", metric_kind_name(kind));
+  if (kind == MetricKind::kHistogram) {
+    json::Value jb = json::Value::array();
+    for (const std::int64_t b : bounds) jb.push_back(b);
+    json::Value jc = json::Value::array();
+    for (const std::int64_t c : buckets) jc.push_back(c);
+    v.set("bounds", std::move(jb));
+    v.set("buckets", std::move(jc));
+    v.set("count", count);
+    v.set("sum", sum);
+    v.set("mean", mean());
+  } else {
+    v.set("value", value);
+  }
+  return v;
+}
+
+json::Value Snapshot::to_json() const {
+  json::Value arr = json::Value::array();
+  for (const MetricSnapshot& m : metrics) arr.push_back(m.to_json());
+  return arr;
+}
+
+std::vector<std::int64_t> exponential_bounds(std::int64_t max) {
+  QNN_CHECK(max >= 1);
+  std::vector<std::int64_t> bounds;
+  for (std::int64_t b = 1; b <= max; b *= 2) bounds.push_back(b);
+  return bounds;
+}
+
+}  // namespace qnn::obs

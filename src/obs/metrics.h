@@ -1,0 +1,190 @@
+// Process-wide metrics registry: monotonic counters, gauges, and
+// fixed-bucket histograms (DESIGN.md §11).
+//
+// The fast path is lock-free and allocation-free: every metric owns a
+// fixed array of per-thread stripes and an update is a single relaxed
+// fetch_add on the calling thread's stripe. Stripes fold into totals
+// only when a snapshot is taken, and every folded quantity is an
+// integer, so totals are exact and independent of thread count and
+// interleaving — recording metrics can never perturb the N-thread ==
+// 1-thread bit-identity contract (§9), because metrics never feed back
+// into any computation.
+//
+// Registration (by name, on the Registry mutex) is the slow path and is
+// expected at startup or first use; handles are trivially copyable and
+// remain valid for the life of the process. Re-registering a name
+// returns the existing metric and checks that kind and bucket bounds
+// match.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace qnn::obs {
+
+// Stripe count: concurrent writers land on (mostly) distinct cache
+// lines. Thread ids beyond the stripe count share stripes, which stays
+// correct because every update is an atomic add.
+inline constexpr int kMetricStripes = 64;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+const char* metric_kind_name(MetricKind kind);
+
+namespace detail {
+
+// Storage behind one metric. Cells are laid out stripe-major:
+//   counter    stride 1: [total]
+//   gauge      stride 1, stripe 0 only: [value]
+//   histogram  stride buckets+1: [bucket 0 .. bucket B-1, sum]
+// where B = bounds.size() + 1 (the last bucket is the overflow bucket).
+struct MetricData {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::vector<std::int64_t> bounds;  // ascending inclusive upper bounds
+  std::size_t stride = 1;
+  std::unique_ptr<std::atomic<std::int64_t>[]> cells;
+
+  std::atomic<std::int64_t>& cell(int stripe, std::size_t slot) {
+    return cells[static_cast<std::size_t>(stripe) * stride + slot];
+  }
+};
+
+// Small dense id of the calling thread, assigned on first use.
+int stripe_index();
+
+}  // namespace detail
+
+// Monotonic counter. add() with a negative delta is a programming error
+// but is not checked on the hot path.
+class Counter {
+ public:
+  Counter() = default;
+  void inc() { add(1); }
+  void add(std::int64_t v) {
+    d_->cell(detail::stripe_index(), 0)
+        .fetch_add(v, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  explicit Counter(detail::MetricData* d) : d_(d) {}
+  detail::MetricData* d_ = nullptr;
+};
+
+// Last-write-wins gauge (single shared cell; set() is expected to be
+// rare relative to counter updates).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::int64_t v) {
+    d_->cell(0, 0).store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t v) {
+    d_->cell(0, 0).fetch_add(v, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  explicit Gauge(detail::MetricData* d) : d_(d) {}
+  detail::MetricData* d_ = nullptr;
+};
+
+// Fixed-bucket histogram of int64 samples (durations in microseconds,
+// sizes in bytes, ...). Bucket i counts samples <= bounds[i]; samples
+// above the last bound land in the overflow bucket.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(std::int64_t v) {
+    const std::vector<std::int64_t>& b = d_->bounds;
+    std::size_t lo = 0, hi = b.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (v <= b[mid]) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    const int stripe = detail::stripe_index();
+    d_->cell(stripe, lo).fetch_add(1, std::memory_order_relaxed);
+    d_->cell(stripe, d_->stride - 1)
+        .fetch_add(v, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  explicit Histogram(detail::MetricData* d) : d_(d) {}
+  detail::MetricData* d_ = nullptr;
+};
+
+// Folded view of one metric at snapshot time.
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::int64_t value = 0;  // counter total / gauge value
+  // Histogram only: per-bucket counts (bounds.size() + 1 entries, last
+  // is overflow), total sample count, and sample sum.
+  std::vector<std::int64_t> bounds;
+  std::vector<std::int64_t> buckets;
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  json::Value to_json() const;
+};
+
+struct Snapshot {
+  std::vector<MetricSnapshot> metrics;  // sorted by name
+
+  const MetricSnapshot* find(const std::string& name) const;
+  json::Value to_json() const;
+};
+
+class Registry {
+ public:
+  // Process-wide registry used by all built-in instrumentation.
+  static Registry& global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Each returns a handle to the named metric, creating it on first
+  // use. Throws CheckError if the name exists with a different kind (or
+  // different bounds, for histograms).
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  Histogram histogram(const std::string& name,
+                      std::vector<std::int64_t> bounds);
+
+  // Folds every stripe into totals, sorted by metric name.
+  Snapshot snapshot() const;
+
+  // Zeroes all cells. Handles stay valid; registrations are kept.
+  void reset();
+
+ private:
+  detail::MetricData* find_or_create(const std::string& name,
+                                     MetricKind kind,
+                                     std::vector<std::int64_t> bounds);
+
+  mutable std::mutex m_;
+  std::vector<std::unique_ptr<detail::MetricData>> metrics_;
+};
+
+// Power-of-two bucket bounds {1, 2, 4, ..., <= max}: the default shape
+// for duration histograms, where spans range from sub-microsecond task
+// dispatch to multi-second sweep points.
+std::vector<std::int64_t> exponential_bounds(std::int64_t max);
+
+}  // namespace qnn::obs

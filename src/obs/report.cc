@@ -1,0 +1,75 @@
+#include "obs/report.h"
+
+#include "obs/trace.h"
+#include "util/fileio.h"
+#include "util/thread_pool.h"
+
+namespace qnn::obs {
+
+json::Value to_json(const quant::GuardCounters& g) {
+  json::Value v = json::Value::object();
+  v.set("values", g.values);
+  v.set("saturated", g.saturated);
+  v.set("nan", g.nan);
+  v.set("inf", g.inf);
+  v.set("saturation_rate", g.saturation_rate());
+  return v;
+}
+
+json::Value to_json(const protect::AbftCounters& a) {
+  json::Value v = json::Value::object();
+  v.set("blocks_checked", a.blocks_checked);
+  v.set("mismatches", a.mismatches);
+  v.set("reexecutions", a.reexecutions);
+  v.set("unrecovered", a.unrecovered);
+  return v;
+}
+
+json::Value to_json(const protect::ProtectionCounters& p) {
+  json::Value v = json::Value::object();
+  v.set("values", p.values);
+  v.set("out_of_envelope", p.out_of_envelope);
+  v.set("clamped", p.clamped);
+  v.set("layer_retries", p.layer_retries);
+  v.set("degraded_forwards", p.degraded_forwards);
+  v.set("abft", to_json(p.abft));
+  return v;
+}
+
+RunReport::RunReport(std::string tool) : root_(json::Value::object()) {
+  root_.set("schema", "qnn.run_report/1");
+  root_.set("tool", std::move(tool));
+  root_.set("threads", ThreadPool::env_threads());
+}
+
+void RunReport::set(const std::string& key, json::Value v) {
+  root_.set(key, std::move(v));
+}
+
+void RunReport::add_guards(const std::string& key,
+                           const quant::GuardCounters& g) {
+  root_.set(key, to_json(g));
+}
+
+void RunReport::add_protection(const std::string& key,
+                               const protect::ProtectionCounters& p) {
+  root_.set(key, to_json(p));
+}
+
+void RunReport::add_metrics(const Registry& registry) {
+  root_.set("metrics", registry.snapshot().to_json());
+}
+
+void RunReport::add_trace_summary() {
+  json::Value v = json::Value::object();
+  v.set("enabled", trace_enabled());
+  v.set("events", trace_event_count());
+  v.set("dropped", trace_dropped_count());
+  root_.set("trace", std::move(v));
+}
+
+void RunReport::write(const std::string& path) const {
+  write_file_atomic(path, dump() + "\n");
+}
+
+}  // namespace qnn::obs

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/gemm.h"
 #include "util/thread_pool.h"
 
@@ -120,12 +122,28 @@ bool shard_checksum_ok(std::int64_t i0, std::int64_t mb, std::int64_t n,
 // the retry budget. Runs serially on the calling thread, after the
 // (possibly parallel) full-product computation — verification order and
 // all checksum arithmetic are independent of the thread count.
+// Process-wide mirror of ABFT activity for RunReport (see the guard
+// metrics in quant/qnetwork.cc for the rationale).
+struct AbftMetrics {
+  obs::Counter blocks_checked, mismatches, reexecutions, unrecovered;
+};
+
+AbftMetrics& abft_metrics() {
+  obs::Registry& r = obs::Registry::global();
+  static AbftMetrics m{r.counter("abft.blocks_checked"),
+                       r.counter("abft.mismatches"),
+                       r.counter("abft.reexecutions"),
+                       r.counter("abft.unrecovered")};
+  return m;
+}
+
 template <typename BAt, typename Recompute>
 AbftCounters verify_shards(std::int64_t m, std::int64_t n, std::int64_t k,
                            const float* a, BAt&& b_at, float* c,
                            const float* row_bias, const float* col_bias,
                            const AbftOptions& options,
                            const AbftFaultHook& hook, Recompute&& recompute) {
+  QNN_SPAN_N("abft_verify", "protect", m);
   AbftCounters counters;
   std::vector<double> r(static_cast<std::size_t>(k));
   std::vector<double> ra(static_cast<std::size_t>(k));
@@ -141,13 +159,21 @@ AbftCounters verify_shards(std::int64_t m, std::int64_t n, std::int64_t k,
     while (!ok && attempt < options.max_reexecutions) {
       ++attempt;
       ++counters.reexecutions;
-      recompute(i0, mb);
+      {
+        QNN_SPAN_N("abft_reexec", "protect", i0);
+        recompute(i0, mb);
+      }
       if (hook) hook(i0, mb, n, c + i0 * n, attempt);
       ok = shard_checksum_ok(i0, mb, n, k, a, b_at, c, row_bias, col_bias,
                              options.tolerance_scale, r, ra);
     }
     if (!ok) ++counters.unrecovered;
   }
+  AbftMetrics& am = abft_metrics();
+  am.blocks_checked.add(counters.blocks_checked);
+  am.mismatches.add(counters.mismatches);
+  am.reexecutions.add(counters.reexecutions);
+  am.unrecovered.add(counters.unrecovered);
   return counters;
 }
 

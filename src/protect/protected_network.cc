@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace qnn::protect {
@@ -20,6 +21,8 @@ namespace {
 // Serial per element — no ordering freedom, so the result is
 // thread-count invariant.
 Tensor vote_elementwise(const std::vector<Tensor>& draws) {
+  QNN_SPAN_N("vote", "protect",
+             static_cast<std::int64_t>(draws.size()));
   Tensor out = draws.front();
   const std::size_t k = draws.size();
   std::vector<const float*> src;
@@ -104,6 +107,7 @@ std::string ProtectedNetwork::name() const {
 void ProtectedNetwork::reset_counters() { counters_ = ProtectionCounters{}; }
 
 Tensor ProtectedNetwork::forward(const Tensor& input) {
+  QNN_SPAN_N("protected_forward", "protect", input.shape()[0]);
   if (config_.policy == ProtectionPolicy::kOff) {
     // Exact pass-through: no scope, no envelope checks, no counters.
     last_forward_degraded_ = false;
@@ -147,6 +151,8 @@ Tensor ProtectedNetwork::forward(const Tensor& input) {
       draws.reserve(static_cast<std::size_t>(config_.max_layer_retries) + 1);
       for (int a = 0; a <= config_.max_layer_retries; ++a) {
         if (a > 0) {
+          QNN_SPAN_N("layer_retry", "protect",
+                     static_cast<std::int64_t>(i));
           ++counters_.layer_retries;
           qnet_.rescrub_layer_params(i);
         }
@@ -184,6 +190,7 @@ Tensor ProtectedNetwork::forward(const Tensor& input) {
         // and the re-execution re-draws accumulator/feature-map faults.
         // Without the scrub a weight upset would defeat every retry
         // (forward_step reuses the quantized image from the prologue).
+        QNN_SPAN_N("layer_retry", "protect", static_cast<std::int64_t>(i));
         draws.push_back(std::move(y));
         ++attempt;
         ++counters_.layer_retries;

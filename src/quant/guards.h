@@ -13,22 +13,37 @@
 
 namespace qnn::quant {
 
+// Exclusive classification of one value against a clip limit: every
+// value lands in exactly one class, so the anomaly counters partition
+// the anomalies (an Inf is counted as inf only, never also saturated,
+// even though its magnitude exceeds every finite limit).
+enum class GuardClass { kOk, kSaturated, kNan, kInf };
+
+// `limit` is the format's largest representable magnitude; <= 0 means
+// the format is unbounded (e.g. float), so nothing finite saturates.
+inline GuardClass classify_guard(float v, double limit) {
+  if (std::isnan(v)) return GuardClass::kNan;
+  if (std::isinf(v)) return GuardClass::kInf;
+  if (limit > 0.0 && std::fabs(static_cast<double>(v)) > limit)
+    return GuardClass::kSaturated;
+  return GuardClass::kOk;
+}
+
 struct GuardCounters {
   std::int64_t values = 0;     // values inspected
   std::int64_t saturated = 0;  // |v| beyond the representable range
   std::int64_t nan = 0;        // NaN before quantization (mapped to 0)
   std::int64_t inf = 0;        // ±Inf before quantization (saturates)
 
-  // Inspects `v` against the format's clip limit (largest representable
-  // magnitude; <= 0 means the format is unbounded, e.g. float).
+  // Inspects `v`: classified exactly once, then the matching counter
+  // (and `values`) is bumped.
   void observe(float v, double limit) {
     ++values;
-    if (std::isnan(v)) {
-      ++nan;
-    } else if (std::isinf(v)) {
-      ++inf;
-    } else if (limit > 0.0 && std::fabs(static_cast<double>(v)) > limit) {
-      ++saturated;
+    switch (classify_guard(v, limit)) {
+      case GuardClass::kOk:        break;
+      case GuardClass::kSaturated: ++saturated; break;
+      case GuardClass::kNan:       ++nan; break;
+      case GuardClass::kInf:       ++inf; break;
     }
   }
 

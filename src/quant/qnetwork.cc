@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -138,29 +140,52 @@ namespace {
 // per-shard counters merged in shard order (integer sums, so the totals
 // are order-independent by construction; the fixed order keeps the
 // policy uniform).
+// Process-wide mirror of every guard scan: lets RunReport surface the
+// quantization health of a whole run without plumbing per-site counters
+// out of each QuantizedNetwork instance.
+struct GuardMetrics {
+  obs::Counter values, saturated, nan, inf;
+};
+
+GuardMetrics& guard_metrics() {
+  obs::Registry& r = obs::Registry::global();
+  static GuardMetrics m{
+      r.counter("quant.guard.values"), r.counter("quant.guard.saturated"),
+      r.counter("quant.guard.nan"), r.counter("quant.guard.inf")};
+  return m;
+}
+
 void guard_scan(const Tensor& t, double limit, GuardCounters& guards) {
+  QNN_SPAN_N("guard_scan", "quant", t.count());
+  const GuardCounters before = guards;
   const float* d = t.data();
   const std::int64_t n = t.count();
   constexpr std::int64_t kSerialCutoff = 1 << 14;
   if (n < kSerialCutoff) {
     for (std::int64_t i = 0; i < n; ++i) guards.observe(d[i], limit);
-    return;
+  } else {
+    const std::vector<Shard> shards = make_shards(n, kReductionShards);
+    std::vector<GuardCounters> partial(shards.size());
+    parallel_run(static_cast<std::int64_t>(shards.size()),
+                 [&](std::int64_t si) {
+                   GuardCounters& g = partial[static_cast<std::size_t>(si)];
+                   const Shard& sh = shards[static_cast<std::size_t>(si)];
+                   for (std::int64_t i = sh.begin; i < sh.end; ++i)
+                     g.observe(d[i], limit);
+                 });
+    for (const GuardCounters& g : partial) guards += g;
   }
-  const std::vector<Shard> shards = make_shards(n, kReductionShards);
-  std::vector<GuardCounters> partial(shards.size());
-  parallel_run(static_cast<std::int64_t>(shards.size()),
-               [&](std::int64_t si) {
-                 GuardCounters& g = partial[static_cast<std::size_t>(si)];
-                 const Shard& sh = shards[static_cast<std::size_t>(si)];
-                 for (std::int64_t i = sh.begin; i < sh.end; ++i)
-                   g.observe(d[i], limit);
-               });
-  for (const GuardCounters& g : partial) guards += g;
+  GuardMetrics& gm = guard_metrics();
+  gm.values.add(guards.values - before.values);
+  gm.saturated.add(guards.saturated - before.saturated);
+  gm.nan.add(guards.nan - before.nan);
+  gm.inf.add(guards.inf - before.inf);
 }
 
 }  // namespace
 
 void QuantizedNetwork::quantize_params() {
+  QNN_SPAN("quantize_params", "quant");
   for (std::size_t i = 0; i < params_.size(); ++i) {
     guard_scan(params_[i]->value, weight_quantizers_[i]->clip_limit(),
                param_guards_[i]);
@@ -205,7 +230,10 @@ Tensor QuantizedNetwork::forward_prologue(const Tensor& input) {
 
   Tensor x = input;
   guard_scan(x, data_quantizers_[0]->clip_limit(), site_guards_[0]);
-  data_quantizers_[0]->apply(x);
+  {
+    QNN_SPAN_N("quantize", "quant", 0);
+    data_quantizers_[0]->apply(x);
+  }
   if (hooks_.on_quantized_site) hooks_.on_quantized_site(0, x);
   return x;
 }
@@ -228,7 +256,10 @@ Tensor QuantizedNetwork::forward_step(std::size_t i, const Tensor& x) {
   Tensor y = net_.layer(i).forward(x);
   if (hooks_.on_accumulator) hooks_.on_accumulator(i + 1, y);
   guard_scan(y, data_quantizers_[i + 1]->clip_limit(), site_guards_[i + 1]);
-  data_quantizers_[i + 1]->apply(y);
+  {
+    QNN_SPAN_N("quantize", "quant", static_cast<std::int64_t>(i) + 1);
+    data_quantizers_[i + 1]->apply(y);
+  }
   if (hooks_.on_quantized_site) hooks_.on_quantized_site(i + 1, y);
   return y;
 }

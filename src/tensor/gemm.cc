@@ -4,10 +4,23 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace qnn {
 namespace {
+
+struct GemmMetrics {
+  obs::Counter calls;
+  obs::Counter macs;
+};
+
+GemmMetrics& gemm_metrics() {
+  static GemmMetrics m{obs::Registry::global().counter("gemm.calls"),
+                       obs::Registry::global().counter("gemm.macs")};
+  return m;
+}
 
 // Cache-blocking parameters sized for a typical 32 KiB L1 / 256 KiB L2.
 constexpr std::int64_t kBlockM = kGemmBlockM;
@@ -83,8 +96,13 @@ void run_m_block(std::int64_t i0, std::int64_t mb, std::int64_t n,
 void gemm_impl(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
                const float* b, float* c, bool accumulate,
                const float* row_bias = nullptr) {
+  QNN_SPAN_N("gemm", "tensor", m * n * k);
+  GemmMetrics& gm = gemm_metrics();
+  gm.calls.inc();
+  gm.macs.add(m * n * k);
   const std::int64_t blocks = (m + kBlockM - 1) / kBlockM;
   parallel_run(blocks, [&](std::int64_t bi) {
+    QNN_SPAN_N("gemm_shard", "tensor", bi);
     const std::int64_t i0 = bi * kBlockM;
     run_m_block(i0, std::min(kBlockM, m - i0), n, k, a, b, c, accumulate,
                 row_bias);

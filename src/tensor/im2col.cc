@@ -1,8 +1,11 @@
 #include "tensor/im2col.h"
 
+#include "obs/trace.h"
+
 namespace qnn {
 
 void im2col(const ConvGeometry& g, const float* image, float* cols) {
+  QNN_SPAN("im2col", "tensor");
   const std::int64_t oh = g.out_h(), ow = g.out_w();
   std::int64_t row = 0;
   for (std::int64_t c = 0; c < g.in_c; ++c) {
@@ -29,6 +32,7 @@ void im2col(const ConvGeometry& g, const float* image, float* cols) {
 }
 
 void col2im(const ConvGeometry& g, const float* cols, float* image) {
+  QNN_SPAN("col2im", "tensor");
   const std::int64_t oh = g.out_h(), ow = g.out_w();
   std::int64_t row = 0;
   for (std::int64_t c = 0; c < g.in_c; ++c) {

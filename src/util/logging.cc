@@ -1,12 +1,15 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <ctime>
 
 namespace qnn {
 namespace {
-
-std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
 
 // Strips the directory part so log lines stay short.
 const char* basename_of(const char* path) {
@@ -14,12 +17,27 @@ const char* basename_of(const char* path) {
   return slash != nullptr ? slash + 1 : path;
 }
 
+LogLevel initial_threshold() {
+  if (const char* v = std::getenv("QNN_LOG_LEVEL")) {
+    LogLevel parsed;
+    if (parse_log_level(v, &parsed)) return parsed;
+  }
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel>& threshold_slot() {
+  static std::atomic<LogLevel> threshold{initial_threshold()};
+  return threshold;
+}
+
 }  // namespace
 
-LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
+LogLevel log_threshold() {
+  return threshold_slot().load(std::memory_order_relaxed);
+}
 
 void set_log_threshold(LogLevel level) {
-  g_threshold.store(level, std::memory_order_relaxed);
+  threshold_slot().store(level, std::memory_order_relaxed);
 }
 
 const char* log_level_name(LogLevel level) {
@@ -32,21 +50,64 @@ const char* log_level_name(LogLevel level) {
   return "?";
 }
 
+bool parse_log_level(const std::string& name, LogLevel* out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name)
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "debug" || lower == "0") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "1") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning" || lower == "2") {
+    *out = LogLevel::kWarn;
+  } else if (lower == "error" || lower == "3") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int log_thread_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::string format_log_prefix(LogLevel level, const char* file, int line) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  localtime_r(&secs, &tm);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "[%s %02d:%02d:%02d.%03d t%d %s:%d] ",
+                log_level_name(level), tm.tm_hour, tm.tm_min, tm.tm_sec,
+                static_cast<int>(ms), log_thread_id(), basename_of(file),
+                line);
+  return buf;
+}
+
 namespace detail {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(level >= log_threshold()) {
-  if (enabled_) {
-    stream_ << '[' << log_level_name(level) << ' ' << basename_of(file) << ':'
-            << line << "] ";
-  }
+  if (enabled_) stream_ << format_log_prefix(level, file, line);
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) {
-    stream_ << '\n';
-    std::cerr << stream_.str();
-  }
+  if (!enabled_) return;
+  stream_ << '\n';
+  const std::string line = stream_.str();
+  // One fwrite per message: POSIX stdio streams lock around each call,
+  // so concurrent writers interleave whole lines, never fragments.
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
 }
 
 }  // namespace detail

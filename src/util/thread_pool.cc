@@ -1,13 +1,33 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace qnn {
 namespace {
+
+// Pool telemetry. Per-task timing costs two clock reads per task, so it
+// is gated on trace_enabled(); run counts are a single relaxed add and
+// stay on unconditionally.
+struct PoolMetrics {
+  obs::Counter runs, tasks;
+  obs::Histogram task_us;
+};
+
+PoolMetrics& pool_metrics() {
+  obs::Registry& r = obs::Registry::global();
+  static PoolMetrics m{
+      r.counter("pool.runs"), r.counter("pool.tasks"),
+      r.histogram("pool.task_us",
+                  obs::exponential_bounds(std::int64_t{1} << 20))};
+  return m;
+}
 
 // Set while a thread (worker or participating caller) executes pool
 // tasks; makes nested run() calls degrade to inline serial execution.
@@ -57,7 +77,18 @@ void ThreadPool::execute_tasks(Job& job) {
     const std::int64_t i = job.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job.count) break;
     try {
-      (*job.fn)(i);
+      if (obs::trace_enabled()) {
+        obs::TraceSpan span("pool_task", "pool", i);
+        const auto t0 = std::chrono::steady_clock::now();
+        (*job.fn)(i);
+        PoolMetrics& pm = pool_metrics();
+        pm.tasks.inc();
+        pm.task_us.observe(std::chrono::duration_cast<std::chrono::microseconds>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
+      } else {
+        (*job.fn)(i);
+      }
     } catch (...) {
       std::lock_guard<std::mutex> lock(job.m);
       if (job.error_index < 0 || i < job.error_index) {
@@ -100,6 +131,7 @@ void ThreadPool::run(std::int64_t count,
   }
 
   std::lock_guard<std::mutex> top(run_m_);
+  pool_metrics().runs.inc();
   Job job;
   job.fn = &fn;
   job.context = t_task_context;

@@ -15,6 +15,7 @@
 #include "faults/campaign.h"
 #include "nn/trainer.h"
 #include "nn/zoo.h"
+#include "obs/trace.h"
 #include "quant/qnetwork.h"
 #include "tensor/gemm.h"
 #include "util/fileio.h"
@@ -292,6 +293,115 @@ TEST(Determinism, ProtectedSweepSurvivesKillAndResumeAcrossThreads) {
 
   for (const auto& p : {ck_killed, ck_straight, ck_killed + ".weights",
                         ck_straight + ".weights"})
+    std::filesystem::remove(p);
+}
+
+TEST(Determinism, TracingOnDoesNotPerturbResults) {
+  // Observability must be a pure observer: recording spans changes no
+  // numeric output, no guard counter, and no campaign statistic, at any
+  // thread count (DESIGN.md §11).
+  ThreadGuard guard;
+  struct TraceOff {
+    ~TraceOff() {
+      obs::set_trace_enabled(false);
+      obs::clear_trace();
+    }
+  } trace_off;
+  EvalFixture f;
+  quant::QuantizedNetwork qnet(*f.net, quant::fixed_config(8, 8));
+  qnet.calibrate(f.split.train.images);
+
+  faults::CampaignConfig cc;
+  cc.trials = 3;
+  cc.bit_error_rate = 1e-3;
+  cc.seed = 99;
+
+  obs::set_trace_enabled(false);
+  ThreadPool::set_global_threads(1);
+  qnet.reset_guards();
+  const double acc_ref = nn::evaluate(qnet, f.split.test);
+  const quant::GuardCounters g_ref = qnet.total_guards();
+  qnet.restore_masters();
+  qnet.reset_guards();
+  const faults::CampaignResult c_ref =
+      faults::run_fault_campaign(qnet, f.split.test, cc);
+
+  obs::set_trace_enabled(true);
+  for (int threads : {1, 4, 8}) {
+    SCOPED_TRACE(std::to_string(threads) + " threads, tracing on");
+    ThreadPool::set_global_threads(threads);
+    qnet.reset_guards();
+    const double acc = nn::evaluate(qnet, f.split.test);
+    const quant::GuardCounters g = qnet.total_guards();
+    qnet.restore_masters();
+    EXPECT_EQ(acc_ref, acc);  // bit-identical
+    EXPECT_EQ(g_ref.values, g.values);
+    EXPECT_EQ(g_ref.saturated, g.saturated);
+    EXPECT_EQ(g_ref.nan, g.nan);
+    EXPECT_EQ(g_ref.inf, g.inf);
+
+    qnet.reset_guards();
+    const faults::CampaignResult c =
+        faults::run_fault_campaign(qnet, f.split.test, cc);
+    EXPECT_EQ(c_ref.mean_accuracy, c.mean_accuracy);  // bit-identical
+    EXPECT_EQ(c_ref.total_flips, c.total_flips);
+    EXPECT_EQ(c_ref.failed_trials, c.failed_trials);
+  }
+  EXPECT_GT(obs::trace_event_count(), 0);
+}
+
+TEST(Determinism, CheckpointBytesMatchWithTracingOn) {
+  // The strongest observer-purity check: a sweep traced at 4 threads
+  // writes the same checkpoint bytes as an untraced serial sweep.
+  ThreadGuard guard;
+  struct TraceOff {
+    ~TraceOff() {
+      obs::set_trace_enabled(false);
+      obs::clear_trace();
+    }
+  } trace_off;
+  const std::string dir = ::testing::TempDir();
+  const std::string ck_off = dir + "/det_trace_off.json";
+  const std::string ck_on = dir + "/det_trace_on.json";
+  for (const auto& p : {ck_off, ck_on, ck_off + ".weights",
+                        ck_on + ".weights"})
+    std::filesystem::remove(p);
+
+  exp::ExperimentSpec spec;
+  spec.network = "lenet";
+  spec.dataset = "mnist";
+  spec.channel_scale = 0.2;
+  spec.data.num_train = 150;
+  spec.data.num_test = 60;
+  spec.data.seed = 7;
+  spec.float_train.epochs = 1;
+  spec.float_train.batch_size = 25;
+  spec.float_train.sgd.learning_rate = 0.02;
+  spec.qat_train = spec.float_train;
+
+  const std::vector<quant::PrecisionConfig> precisions = {
+      quant::fixed_config(8, 8)};
+
+  exp::SweepOptions opts;
+  opts.faults.trials = 2;
+  opts.faults.bit_error_rates = {1e-3};
+
+  obs::set_trace_enabled(false);
+  ThreadPool::set_global_threads(1);
+  exp::SweepOptions off = opts;
+  off.checkpoint_path = ck_off;
+  exp::run_precision_sweep(spec, precisions, 0.0, off);
+
+  obs::set_trace_enabled(true);
+  ThreadPool::set_global_threads(4);
+  exp::SweepOptions on = opts;
+  on.checkpoint_path = ck_on;
+  exp::run_precision_sweep(spec, precisions, 0.0, on);
+
+  EXPECT_EQ(read_file(ck_off), read_file(ck_on));
+
+  for (const auto& p : {ck_off, ck_on, ck_off + ".weights",
+                        ck_on + ".weights"})
     std::filesystem::remove(p);
 }
 

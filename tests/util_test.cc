@@ -4,6 +4,8 @@
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <string>
+#include <thread>
 
 #include "util/check.h"
 #include "util/crc32.h"
@@ -50,6 +52,64 @@ TEST(Logging, ThresholdFiltersLevels) {
 TEST(Logging, LevelNames) {
   EXPECT_STREQ(log_level_name(LogLevel::kDebug), "DEBUG");
   EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+}
+
+TEST(Logging, ParseLogLevelAcceptsNamesAndDigits) {
+  LogLevel lvl = LogLevel::kInfo;
+  EXPECT_TRUE(parse_log_level("debug", &lvl));
+  EXPECT_EQ(lvl, LogLevel::kDebug);
+  EXPECT_TRUE(parse_log_level("WARN", &lvl));
+  EXPECT_EQ(lvl, LogLevel::kWarn);
+  EXPECT_TRUE(parse_log_level("Warning", &lvl));
+  EXPECT_EQ(lvl, LogLevel::kWarn);
+  EXPECT_TRUE(parse_log_level("error", &lvl));
+  EXPECT_EQ(lvl, LogLevel::kError);
+  EXPECT_TRUE(parse_log_level("0", &lvl));
+  EXPECT_EQ(lvl, LogLevel::kDebug);
+  EXPECT_TRUE(parse_log_level("3", &lvl));
+  EXPECT_EQ(lvl, LogLevel::kError);
+
+  // Unrecognized spellings leave *out untouched.
+  lvl = LogLevel::kInfo;
+  EXPECT_FALSE(parse_log_level("", &lvl));
+  EXPECT_FALSE(parse_log_level("verbose", &lvl));
+  EXPECT_FALSE(parse_log_level("4", &lvl));
+  EXPECT_FALSE(parse_log_level("1x", &lvl));
+  EXPECT_EQ(lvl, LogLevel::kInfo);
+}
+
+TEST(Logging, PrefixCarriesLevelThreadAndSourceSite) {
+  // "[WARN HH:MM:SS.mmm tN file.cc:42] " — the whole prefix the single
+  // fwrite line starts with. The timestamp is wall-clock so only its
+  // shape is checked.
+  const std::string p =
+      format_log_prefix(LogLevel::kWarn, "/a/b/sweep.cc", 42);
+  EXPECT_EQ(p.rfind("[WARN ", 0), 0u);
+  EXPECT_NE(p.find(" t" + std::to_string(log_thread_id()) + " "),
+            std::string::npos);
+  EXPECT_NE(p.find(" sweep.cc:42] "), std::string::npos);
+  EXPECT_EQ(p.find("/a/b/"), std::string::npos);  // basename only
+  EXPECT_EQ(p.back(), ' ');
+  // HH:MM:SS.mmm right after the level name: digits and separators.
+  const std::string ts = p.substr(6, 12);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (i == 2 || i == 5)
+      EXPECT_EQ(ts[i], ':') << ts;
+    else if (i == 8)
+      EXPECT_EQ(ts[i], '.') << ts;
+    else
+      EXPECT_TRUE(ts[i] >= '0' && ts[i] <= '9') << ts;
+  }
+}
+
+TEST(Logging, ThreadIdsAreSmallDenseAndStable) {
+  const int here = log_thread_id();
+  EXPECT_GE(here, 0);
+  EXPECT_EQ(here, log_thread_id());  // stable within a thread
+  int other = -1;
+  std::thread([&] { other = log_thread_id(); }).join();
+  EXPECT_GE(other, 0);
+  EXPECT_NE(other, here);
 }
 
 TEST(Rng, DeterministicForSameSeed) {
