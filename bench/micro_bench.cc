@@ -49,6 +49,26 @@ void BM_Gemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
 
+void BM_GemmTallK(benchmark::State& state) {
+  // Inner-product forward shape: batch rows M too small to fill the
+  // pool, reduction K spanning many chunks — the K-parallel schedule's
+  // target case (DESIGN.md §9). B is stored [N, K] as InnerProduct
+  // stores weights; the hoisted scratch keeps the transpose and the
+  // chunk partials across iterations, as the layer does.
+  const std::int64_t m = 8, n = 512, k = state.range(0);
+  Rng rng(7);
+  Tensor a(Shape{m, k}), b(Shape{n, k}), c(Shape{m, n});
+  a.fill_uniform(rng, -1, 1);
+  b.fill_uniform(rng, -1, 1);
+  GemmScratch scratch;
+  for (auto _ : state) {
+    gemm_bt(m, n, k, a.data(), b.data(), c.data(), &scratch);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * n * k);
+}
+BENCHMARK(BM_GemmTallK)->Arg(2048)->Arg(8192);
+
 void BM_Im2col(benchmark::State& state) {
   ConvGeometry g;
   g.in_c = 32;
@@ -193,11 +213,11 @@ struct ScalingRow {
 
 // Times each workload with a 1-thread pool and with the environment's
 // pool (QNN_THREADS or hardware_concurrency) and writes BENCH_micro.json.
-// The workloads are the thread-pool's three sharding layers — raw GEMM
-// (M-row sharding), a network forward (batch sharding inside every
-// layer), and a quantized evaluation (batch sharding plus guard scans) —
-// plus an ABFT-protected evaluation, so a --trace run profiles the
-// checksum/verify path too.
+// The workloads are the thread-pool's sharding layers — raw GEMM
+// (M-row sharding), a tall-K inner-product GEMM (K-chunk sharding), a
+// network forward (batch sharding inside every layer), and a quantized
+// evaluation (batch sharding plus guard scans) — plus an ABFT-protected
+// evaluation, so a --trace run profiles the checksum/verify path too.
 void write_scaling_report(bench::Session& session) {
   const int threads = ThreadPool::env_threads();
 
@@ -206,6 +226,16 @@ void write_scaling_report(bench::Session& session) {
   Tensor a(Shape{n, n}), b(Shape{n, n}), c(Shape{n, n});
   a.fill_uniform(rng, -1, 1);
   b.fill_uniform(rng, -1, 1);
+
+  // Tall-K inner-product shape: M (batch) too small to occupy the pool,
+  // so only the K-parallel schedule can use the extra threads. B stored
+  // [N, K] as InnerProduct stores weights; scratch hoisted like the
+  // layer's.
+  const std::int64_t tm = 8, tn = 512, tk = 8192;
+  Tensor ta(Shape{tm, tk}), tb(Shape{tn, tk}), tc(Shape{tm, tn});
+  ta.fill_uniform(rng, -1, 1);
+  tb.fill_uniform(rng, -1, 1);
+  GemmScratch tscratch;
 
   auto net = nn::make_lenet();
   Tensor batch(Shape{32, 1, 28, 28});
@@ -225,12 +255,16 @@ void write_scaling_report(bench::Session& session) {
 
   std::vector<ScalingRow> rows = {
       {"gemm_384", 0, 0},
+      {"gemm_tallk_ip_8x512x8192", 0, 0},
       {"lenet_forward_b32", 0, 0},
       {"quantized_evaluate_128", 0, 0},
       {"protected_evaluate_128", 0, 0},
   };
   const std::vector<std::function<void()>> workloads = {
       [&] { gemm(n, n, n, a.data(), b.data(), c.data()); },
+      [&] {
+        gemm_bt(tm, tn, tk, ta.data(), tb.data(), tc.data(), &tscratch);
+      },
       [&] { benchmark::DoNotOptimize(net->forward(batch).data()); },
       [&] { benchmark::DoNotOptimize(nn::evaluate(qnet, split.test)); },
       [&] { benchmark::DoNotOptimize(nn::evaluate(pnet, split.test)); },

@@ -69,12 +69,16 @@ Tensor Conv2d::forward(const Tensor& in) {
   const std::vector<Shard> shards = make_shards(n, kReductionShards);
   ensure_scratch(colbuf_, shards.size(),
                  static_cast<std::size_t>(rows * cols));
+  if (gemm_scratch_.size() < shards.size())
+    gemm_scratch_.resize(shards.size());
   // Samples write disjoint output rows, so sharding the batch is
-  // bit-deterministic; each shard reuses its own im2col scratch.
+  // bit-deterministic; each shard reuses its own im2col and gemm
+  // scratch (rows > kGemmKChunk makes the per-sample product K-chunked).
   parallel_run(static_cast<std::int64_t>(shards.size()),
                [&](std::int64_t si) {
-                 float* colbuf = colbuf_[static_cast<std::size_t>(si)].data();
-                 const Shard& sh = shards[static_cast<std::size_t>(si)];
+                 const std::size_t u = static_cast<std::size_t>(si);
+                 float* colbuf = colbuf_[u].data();
+                 const Shard& sh = shards[u];
                  for (std::int64_t s = sh.begin; s < sh.end; ++s) {
                    im2col(g, in.data() + s * in_sample, colbuf);
                    // out[Cout, OHW] = W[Cout, rows] * cols[rows, OHW],
@@ -84,7 +88,8 @@ Tensor Conv2d::forward(const Tensor& in) {
                    // otherwise it is the plain kernel.
                    protect::gemm_row_bias_guarded(
                        cout, cols, rows, weight_.value.data(), colbuf,
-                       out.data() + s * out_sample, bias);
+                       out.data() + s * out_sample, bias,
+                       &gemm_scratch_[u]);
                  }
                });
   cached_in_ = in;
@@ -112,6 +117,8 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
                  static_cast<std::size_t>(rows * cols));
   ensure_scratch(gcol_, shards.size(), static_cast<std::size_t>(rows * cols));
   ensure_scratch(dw_, shards.size(), wcount);
+  if (gemm_scratch_.size() < shards.size())
+    gemm_scratch_.resize(shards.size());
   if (db_.size() < shards.size()) db_.resize(shards.size());
   for (std::size_t i = 0; i < shards.size(); ++i)
     if (db_[i].size() < static_cast<std::size_t>(cout))
@@ -134,7 +141,8 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
           const float* go = grad_out.data() + s * out_sample;
           // dW[Cout, rows] += gO[Cout, cols] * cols^T
           im2col(g, in.data() + s * in_sample, colbuf);
-          gemm_bt_accumulate(cout, rows, cols, go, colbuf, dw);
+          gemm_bt_accumulate(cout, rows, cols, go, colbuf, dw,
+                             &gemm_scratch_[u]);
           // db[c] += sum of gO over spatial positions
           if (has_bias) {
             for (std::int64_t c = 0; c < cout; ++c) {
@@ -143,7 +151,8 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
             }
           }
           // dcols[rows, cols] = W^T[rows, Cout] * gO[Cout, cols]
-          gemm_at(rows, cols, cout, weight_.value.data(), go, gcol);
+          gemm_at(rows, cols, cout, weight_.value.data(), go, gcol,
+                  &gemm_scratch_[u]);
           col2im(g, gcol, grad_in.data() + s * in_sample);
         }
       });

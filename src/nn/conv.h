@@ -3,6 +3,7 @@
 #pragma once
 
 #include "nn/layer.h"
+#include "tensor/gemm.h"
 #include "tensor/im2col.h"
 #include "util/rng.h"
 
@@ -53,6 +54,10 @@ class Conv2d final : public Layer {
   std::vector<std::vector<float>> gcol_;     // column-space gradients
   std::vector<std::vector<float>> dw_;       // weight-grad partials
   std::vector<std::vector<double>> db_;      // bias-grad partials
+  // Per-shard gemm workspaces: Cin*K*K exceeds the K-chunk width for
+  // the paper's larger convolutions, so each shard's gemms carry their
+  // own chunk-partial (and bt transpose) buffers across calls.
+  std::vector<GemmScratch> gemm_scratch_;
 };
 
 }  // namespace qnn::nn

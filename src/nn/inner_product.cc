@@ -44,10 +44,13 @@ Tensor InnerProduct::forward(const Tensor& in) {
   Tensor out(Shape{n, out_features_});
   // out[N, Out] = x[N, In] * W^T (W stored [Out, In]), bias folded into
   // the gemm epilogue. Guarded: ABFT-verified when a protect::AbftScope
-  // is active, the plain kernel otherwise.
+  // is active, the plain kernel otherwise. This is the canonical tall-K
+  // K-sharded shape (M = batch, K = in_features), so the hoisted
+  // scratch carries the weight transpose and the chunk partials.
   protect::gemm_bt_col_bias_guarded(
       n, out_features_, f, cached_in_.data(), weight_.value.data(),
-      out.data(), bias_.value.empty() ? nullptr : bias_.value.data());
+      out.data(), bias_.value.empty() ? nullptr : bias_.value.data(),
+      &fwd_scratch_);
   return out;
 }
 
@@ -60,7 +63,7 @@ Tensor InnerProduct::backward(const Tensor& grad_out) {
   // through a persistent scratch tensor and accumulate.
   if (dw_scratch_.empty()) dw_scratch_ = Tensor(weight_.grad.shape());
   gemm_at(out_features_, in_features_, n, grad_out.data(),
-          cached_in_.data(), dw_scratch_.data());
+          cached_in_.data(), dw_scratch_.data(), &bwd_scratch_);
   weight_.grad.add(dw_scratch_);
 
   if (!bias_.value.empty()) {
@@ -80,7 +83,7 @@ Tensor InnerProduct::backward(const Tensor& grad_out) {
   // dX[N, In] = gO[N, Out] * W[Out, In]
   Tensor grad_flat(Shape{n, in_features_});
   gemm(n, in_features_, out_features_, grad_out.data(),
-       weight_.value.data(), grad_flat.data());
+       weight_.value.data(), grad_flat.data(), &bwd_scratch_);
   return grad_flat.reshaped(cached_orig_shape_);
 }
 

@@ -3,6 +3,7 @@
 #pragma once
 
 #include "nn/layer.h"
+#include "tensor/gemm.h"
 #include "util/rng.h"
 
 namespace qnn::nn {
@@ -39,6 +40,12 @@ class InnerProduct final : public Layer {
   Tensor cached_in_;  // flattened (N, In)
   Shape cached_orig_shape_;
   Tensor dw_scratch_;  // reused across backward calls (was per-call)
+  // Hoisted gemm workspaces (weight transpose + K-shard partials) so the
+  // tall-K forward/backward products stop heap-allocating per call. The
+  // forward gemm is the K-sharded hot path: M = batch is too small to
+  // saturate the pool, K = in_features is large (tensor/gemm.h).
+  GemmScratch fwd_scratch_;
+  GemmScratch bwd_scratch_;
 };
 
 }  // namespace qnn::nn

@@ -184,16 +184,19 @@ AbftCounters abft_gemm_row_bias(std::int64_t m, std::int64_t n,
                                 const float* b, float* c,
                                 const float* row_bias,
                                 const AbftOptions& options,
-                                const AbftFaultHook& hook) {
-  gemm_row_bias(m, n, k, a, b, c, row_bias);
+                                const AbftFaultHook& hook,
+                                GemmScratch* scratch) {
+  gemm_row_bias(m, n, k, a, b, c, row_bias, scratch);
   const auto b_at = [b, n](std::int64_t kp, std::int64_t j) {
     return static_cast<double>(b[kp * n + j]);
   };
   // Re-executing rows [i0, i0+mb) as a fresh gemm on the sliced operands
-  // reproduces the original block bytes exactly (tensor/gemm.h).
+  // reproduces the original block bytes exactly: the K-chunk plan and
+  // its merge tree depend only on K (gemm_k_plan), which the slice
+  // shares with the full product.
   const auto recompute = [&](std::int64_t i0, std::int64_t mb) {
     gemm_row_bias(mb, n, k, a + i0 * k, b, c + i0 * n,
-                  row_bias != nullptr ? row_bias + i0 : nullptr);
+                  row_bias != nullptr ? row_bias + i0 : nullptr, scratch);
   };
   return verify_shards(m, n, k, a, b_at, c, row_bias, /*col_bias=*/nullptr,
                        options, hook, recompute);
@@ -204,15 +207,17 @@ AbftCounters abft_gemm_bt_col_bias(std::int64_t m, std::int64_t n,
                                    const float* b, float* c,
                                    const float* col_bias,
                                    const AbftOptions& options,
-                                   const AbftFaultHook& hook) {
-  gemm_bt_col_bias(m, n, k, a, b, c, col_bias);
+                                   const AbftFaultHook& hook,
+                                   GemmScratch* scratch) {
+  gemm_bt_col_bias(m, n, k, a, b, c, col_bias, scratch);
   // B is stored [N,K] row-major; verify against it directly rather than
   // materializing the transpose a second time.
   const auto b_at = [b, k](std::int64_t kp, std::int64_t j) {
     return static_cast<double>(b[j * k + kp]);
   };
   const auto recompute = [&](std::int64_t i0, std::int64_t mb) {
-    gemm_bt_col_bias(mb, n, k, a + i0 * k, b, c + i0 * n, col_bias);
+    gemm_bt_col_bias(mb, n, k, a + i0 * k, b, c + i0 * n, col_bias,
+                     scratch);
   };
   return verify_shards(m, n, k, a, b_at, c, /*row_bias=*/nullptr, col_bias,
                        options, hook, recompute);
@@ -239,24 +244,26 @@ detail::AbftContext* current_abft_context() {
 
 void gemm_row_bias_guarded(std::int64_t m, std::int64_t n, std::int64_t k,
                            const float* a, const float* b, float* c,
-                           const float* row_bias) {
+                           const float* row_bias, GemmScratch* scratch) {
   detail::AbftContext* ctx = current_abft_context();
   if (ctx == nullptr) {
-    gemm_row_bias(m, n, k, a, b, c, row_bias);
+    gemm_row_bias(m, n, k, a, b, c, row_bias, scratch);
     return;
   }
-  ctx->add(abft_gemm_row_bias(m, n, k, a, b, c, row_bias, ctx->options));
+  ctx->add(abft_gemm_row_bias(m, n, k, a, b, c, row_bias, ctx->options, {},
+                              scratch));
 }
 
 void gemm_bt_col_bias_guarded(std::int64_t m, std::int64_t n, std::int64_t k,
                               const float* a, const float* b, float* c,
-                              const float* col_bias) {
+                              const float* col_bias, GemmScratch* scratch) {
   detail::AbftContext* ctx = current_abft_context();
   if (ctx == nullptr) {
-    gemm_bt_col_bias(m, n, k, a, b, c, col_bias);
+    gemm_bt_col_bias(m, n, k, a, b, c, col_bias, scratch);
     return;
   }
-  ctx->add(abft_gemm_bt_col_bias(m, n, k, a, b, c, col_bias, ctx->options));
+  ctx->add(abft_gemm_bt_col_bias(m, n, k, a, b, c, col_bias, ctx->options,
+                                 {}, scratch));
 }
 
 }  // namespace qnn::protect

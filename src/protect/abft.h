@@ -11,16 +11,25 @@
 //
 // On a checksum mismatch the affected shard alone is recomputed with a
 // fresh gemm call on the sliced operands, which reproduces the original
-// block bytes exactly (see kGemmBlockM in tensor/gemm.h). Detection is
-// bounded below by the rounding tolerance: corruption smaller than the
-// accumulated float rounding of a K-length dot product is
-// indistinguishable from legitimate arithmetic and passes unnoticed —
-// by design, since such perturbations are also harmless.
+// block bytes exactly: the K-chunk plan and its fixed merge tree are a
+// pure function of K alone (gemm_k_plan in tensor/gemm.h), so an
+// M-sliced re-execution walks the identical canonical order as the
+// first pass and a verified retry cannot differ from a clean run by
+// merge order. Detection is bounded below by the rounding tolerance:
+// corruption smaller than the accumulated float rounding of a K-length
+// dot product is indistinguishable from legitimate arithmetic and
+// passes unnoticed — by design, since such perturbations are also
+// harmless. (The serial-fold bound also covers the fixed-tree order,
+// whose accumulated rounding is strictly smaller.)
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+
+namespace qnn {
+class GemmScratch;
+}
 
 namespace qnn::protect {
 
@@ -57,13 +66,16 @@ using AbftFaultHook =
 
 // Checksum-verified variants of the two forward-path GEMMs. Results are
 // bit-identical to the unverified kernels whenever no corruption occurs
-// (and after successful re-execution when it does).
+// (and after successful re-execution when it does). `scratch`, when
+// given, is forwarded to the product and to every re-execution so
+// steady-state layer forwards stop heap-allocating (tensor/gemm.h).
 AbftCounters abft_gemm_row_bias(std::int64_t m, std::int64_t n,
                                 std::int64_t k, const float* a,
                                 const float* b, float* c,
                                 const float* row_bias,
                                 const AbftOptions& options,
-                                const AbftFaultHook& hook = {});
+                                const AbftFaultHook& hook = {},
+                                GemmScratch* scratch = nullptr);
 
 // B stored [N,K] row-major, per-column bias — InnerProduct's forward.
 AbftCounters abft_gemm_bt_col_bias(std::int64_t m, std::int64_t n,
@@ -71,7 +83,8 @@ AbftCounters abft_gemm_bt_col_bias(std::int64_t m, std::int64_t n,
                                    const float* b, float* c,
                                    const float* col_bias,
                                    const AbftOptions& options,
-                                   const AbftFaultHook& hook = {});
+                                   const AbftFaultHook& hook = {},
+                                   GemmScratch* scratch = nullptr);
 
 // ---------------------------------------------------------------------
 // Scope-based dispatch for the inference stack.
@@ -108,9 +121,11 @@ class AbftScope {
 // or inherited through the pool's task context), plain gemm otherwise.
 void gemm_row_bias_guarded(std::int64_t m, std::int64_t n, std::int64_t k,
                            const float* a, const float* b, float* c,
-                           const float* row_bias);
+                           const float* row_bias,
+                           GemmScratch* scratch = nullptr);
 void gemm_bt_col_bias_guarded(std::int64_t m, std::int64_t n, std::int64_t k,
                               const float* a, const float* b, float* c,
-                              const float* col_bias);
+                              const float* col_bias,
+                              GemmScratch* scratch = nullptr);
 
 }  // namespace qnn::protect

@@ -14,18 +14,29 @@ namespace {
 struct GemmMetrics {
   obs::Counter calls;
   obs::Counter macs;
+  obs::Counter k_sharded_calls;  // calls whose plan has >= 2 K chunks
+  obs::Counter k_chunks;         // chunk partials those calls computed
 };
 
 GemmMetrics& gemm_metrics() {
-  static GemmMetrics m{obs::Registry::global().counter("gemm.calls"),
-                       obs::Registry::global().counter("gemm.macs")};
+  obs::Registry& r = obs::Registry::global();
+  static GemmMetrics m{r.counter("gemm.calls"), r.counter("gemm.macs"),
+                       r.counter("gemm.k_sharded_calls"),
+                       r.counter("gemm.k_chunks")};
   return m;
 }
 
 // Cache-blocking parameters sized for a typical 32 KiB L1 / 256 KiB L2.
+// The K block doubles as the fixed-tree chunk width (gemm_k_plan), so a
+// chunk partial is exactly one inner-kernel pass over its K range.
 constexpr std::int64_t kBlockM = kGemmBlockM;
 constexpr std::int64_t kBlockN = 256;
-constexpr std::int64_t kBlockK = 256;
+constexpr std::int64_t kBlockK = kGemmKChunk;
+
+// K-parallel partial buffers above this size fall back to serial-chunk
+// execution inside each M-block task (bytes are unaffected — only the
+// schedule and scratch footprint change).
+constexpr std::int64_t kMaxKParallelFloats = std::int64_t{1} << 24;
 
 // Inner kernel: C[mb, nb] += A[mb, kb] * B[kb, nb] over one cache block.
 // Unrolled 4 rows at a time so the compiler keeps C accumulators in
@@ -66,10 +77,11 @@ void block_kernel(std::int64_t mb, std::int64_t nb, std::int64_t kb,
   }
 }
 
-// One M block: all K and N blocks for rows [i0, i0 + mb), then the
-// optional per-row bias epilogue. Writes only rows [i0, i0 + mb) of C,
-// and every element's accumulation order over K is independent of how
-// the M dimension is chunked — the basis for deterministic row sharding.
+// One M block of the single-chunk (count == 1) plan: all K and N blocks
+// for rows [i0, i0 + mb), then the optional per-row bias epilogue.
+// Writes only rows [i0, i0 + mb) of C, and every element's accumulation
+// order over K is independent of how the M dimension is chunked — the
+// basis for deterministic row sharding.
 void run_m_block(std::int64_t i0, std::int64_t mb, std::int64_t n,
                  std::int64_t k, const float* a, const float* b, float* c,
                  bool accumulate, const float* row_bias) {
@@ -93,19 +105,163 @@ void run_m_block(std::int64_t i0, std::int64_t mb, std::int64_t n,
   }
 }
 
+// One chunk partial of the canonical order (gemm.h): rows [i0, i0+mb) of
+// A times chunk `ci`'s K slice of B, accumulated from zero into the
+// mb*n buffer `dst`.
+void compute_chunk_partial(std::int64_t i0, std::int64_t mb, std::int64_t n,
+                           std::int64_t k, const GemmKPlan& plan,
+                           std::int64_t ci, const float* a, const float* b,
+                           float* dst) {
+  const std::int64_t p0 = ci * plan.chunk;
+  const std::int64_t kb = std::min(plan.chunk, k - p0);
+  std::memset(dst, 0, sizeof(float) * static_cast<std::size_t>(mb * n));
+  for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+    const std::int64_t nb = std::min(kBlockN, n - j0);
+    block_kernel(mb, nb, kb, a + i0 * k + p0, k, b + p0 * n + j0, n,
+                 dst + j0, n);
+  }
+}
+
+// Fixed binary tree over `count` partials of `elems` floats spaced
+// `slot` floats apart: combine partial[lo] += partial[lo + stride] for
+// stride = 1, 2, 4, ... The merge order is a pure function of `count`,
+// and the result lands in partial[0].
+void tree_combine(float* partials, std::int64_t count, std::int64_t elems,
+                  std::int64_t slot) {
+  for (std::int64_t stride = 1; stride < count; stride *= 2) {
+    for (std::int64_t lo = 0; lo + stride < count; lo += 2 * stride) {
+      float* dst = partials + lo * slot;
+      const float* src = partials + (lo + stride) * slot;
+      for (std::int64_t e = 0; e < elems; ++e) dst[e] += src[e];
+    }
+  }
+}
+
+// Epilogue of the chunked path: move the tree result into C (overwrite
+// or accumulate) and apply the optional per-row bias.
+void write_block_from_tree(std::int64_t i0, std::int64_t mb, std::int64_t n,
+                           const float* tree, float* c, bool accumulate,
+                           const float* row_bias) {
+  float* cblock = c + i0 * n;
+  const std::int64_t elems = mb * n;
+  if (accumulate) {
+    for (std::int64_t e = 0; e < elems; ++e) cblock[e] += tree[e];
+  } else {
+    std::memcpy(cblock, tree, sizeof(float) * static_cast<std::size_t>(elems));
+  }
+  if (row_bias != nullptr) {
+    for (std::int64_t i = 0; i < mb; ++i) {
+      const float bias = row_bias[i0 + i];
+      float* ci = cblock + i * n;
+      for (std::int64_t j = 0; j < n; ++j) ci[j] += bias;
+    }
+  }
+}
+
+// Serial-chunk execution of one M block: compute every chunk partial in
+// chunk order into `partials` (count * mb * n floats), tree-combine,
+// write out. Byte-identical to the K-parallel schedule by construction.
+void run_m_block_chunked(std::int64_t i0, std::int64_t mb, std::int64_t n,
+                         std::int64_t k, const GemmKPlan& plan,
+                         const float* a, const float* b, float* c,
+                         bool accumulate, const float* row_bias,
+                         float* partials) {
+  const std::int64_t slot = mb * n;
+  for (std::int64_t ci = 0; ci < plan.count; ++ci)
+    compute_chunk_partial(i0, mb, n, k, plan, ci, a, b,
+                          partials + ci * slot);
+  tree_combine(partials, plan.count, slot, slot);
+  write_block_from_tree(i0, mb, n, partials, c, accumulate, row_bias);
+}
+
+// Growth-only per-thread buffer for M-block tasks whose chunk partials
+// cannot share a caller-provided scratch (several blocks in flight).
+float* thread_partials(std::size_t elems) {
+  thread_local std::vector<float> buf;
+  if (buf.size() < elems) buf.resize(elems);
+  return buf.data();
+}
+
 void gemm_impl(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
                const float* b, float* c, bool accumulate,
-               const float* row_bias = nullptr) {
+               const float* row_bias = nullptr,
+               GemmScratch* scratch = nullptr) {
   QNN_SPAN_N("gemm", "tensor", m * n * k);
   GemmMetrics& gm = gemm_metrics();
   gm.calls.inc();
   gm.macs.add(m * n * k);
+  const GemmKPlan plan = gemm_k_plan(k);
   const std::int64_t blocks = (m + kBlockM - 1) / kBlockM;
+
+  if (plan.count <= 1) {
+    parallel_run(blocks, [&](std::int64_t bi) {
+      QNN_SPAN_N("gemm_shard", "tensor", bi);
+      const std::int64_t i0 = bi * kBlockM;
+      run_m_block(i0, std::min(kBlockM, m - i0), n, k, a, b, c, accumulate,
+                  row_bias);
+    });
+    return;
+  }
+
+  gm.k_sharded_calls.inc();
+  gm.k_chunks.add(blocks * plan.count);
+
+  // K-parallelism engages when the M blocks alone cannot saturate the
+  // pool — the tall-K inner-product case. The choice (and the scratch
+  // it implies) is pure scheduling: both paths below compute the same
+  // chunk partials and run the same merge tree, so the bytes match.
+  const std::int64_t kshard_floats = blocks * plan.count * kBlockM * n;
+  const bool k_parallel = !ThreadPool::in_worker() &&
+                          ThreadPool::global().size() > 1 &&
+                          blocks < ThreadPool::global().size() &&
+                          kshard_floats <= kMaxKParallelFloats;
+  if (k_parallel) {
+    QNN_SPAN_N("gemm_kshard", "tensor", blocks * plan.count);
+    // Block bi's chunk partials pack at base(bi) = bi * count * kBlockM
+    // * n with per-chunk stride mb * n (mb < kBlockM only for the last
+    // block, so bases never overlap).
+    std::vector<float> local;
+    float* partials;
+    if (scratch != nullptr) {
+      partials = scratch->partials(static_cast<std::size_t>(kshard_floats));
+    } else {
+      local.resize(static_cast<std::size_t>(kshard_floats));
+      partials = local.data();
+    }
+    parallel_run(blocks * plan.count, [&](std::int64_t ti) {
+      QNN_SPAN_N("gemm_kchunk", "tensor", ti);
+      const std::int64_t bi = ti / plan.count;
+      const std::int64_t ci = ti % plan.count;
+      const std::int64_t i0 = bi * kBlockM;
+      const std::int64_t mb = std::min(kBlockM, m - i0);
+      float* base = partials + bi * plan.count * kBlockM * n;
+      compute_chunk_partial(i0, mb, n, k, plan, ci, a, b,
+                            base + ci * mb * n);
+    });
+    parallel_run(blocks, [&](std::int64_t bi) {
+      QNN_SPAN_N("gemm_kcombine", "tensor", bi);
+      const std::int64_t i0 = bi * kBlockM;
+      const std::int64_t mb = std::min(kBlockM, m - i0);
+      float* base = partials + bi * plan.count * kBlockM * n;
+      tree_combine(base, plan.count, mb * n, mb * n);
+      write_block_from_tree(i0, mb, n, base, c, accumulate, row_bias);
+    });
+    return;
+  }
+
+  // Serial-chunk schedule: each M-block task owns its chunk loop. A
+  // caller scratch is safe only when a single block can be in flight.
   parallel_run(blocks, [&](std::int64_t bi) {
     QNN_SPAN_N("gemm_shard", "tensor", bi);
     const std::int64_t i0 = bi * kBlockM;
-    run_m_block(i0, std::min(kBlockM, m - i0), n, k, a, b, c, accumulate,
-                row_bias);
+    const std::int64_t mb = std::min(kBlockM, m - i0);
+    const std::size_t elems =
+        static_cast<std::size_t>(plan.count * mb * n);
+    float* partials = (scratch != nullptr && blocks == 1)
+                          ? scratch->partials(elems)
+                          : thread_partials(elems);
+    run_m_block_chunked(i0, mb, n, k, plan, a, b, c, accumulate, row_bias,
+                        partials);
   });
 }
 
@@ -123,76 +279,115 @@ void add_col_bias(std::int64_t m, std::int64_t n, float* c,
                       });
 }
 
-std::vector<float> transpose_a(std::int64_t m, std::int64_t k,
-                               const float* a) {
-  // Materialize A^T once; the transpose cost is negligible next to the
-  // O(mnk) multiply and keeps the inner kernel contiguous.
-  std::vector<float> at(static_cast<std::size_t>(m * k));
-  parallel_for_shards(k, kReductionShards,
-                      [&](std::size_t, std::int64_t begin, std::int64_t end) {
-                        for (std::int64_t p = begin; p < end; ++p)
-                          for (std::int64_t i = 0; i < m; ++i)
-                            at[static_cast<std::size_t>(i * k + p)] =
-                                a[p * m + i];
-                      });
+// Tiled out-of-place transpose: dst[r*cols + c] = src[c*rows + r].
+// Naive loops touch a new cache line on every element of the strided
+// side (worth ~10x on a tall-K weight matrix); square tiles keep both
+// the contiguous writes and the strided reads in a cache-resident
+// footprint. Pure data movement sharded over destination row tiles
+// (disjoint writes), so the bytes are identical at any pool size.
+// 16 floats = one 64-byte cache line per row segment on both sides of
+// the copy, the sweet spot measured on the tall-K weight shapes.
+constexpr std::int64_t kTransposeTile = 16;
+
+void transpose_into(float* dst, const float* src, std::int64_t rows,
+                    std::int64_t cols) {
+  const std::int64_t row_tiles = (rows + kTransposeTile - 1) / kTransposeTile;
+  parallel_for_shards(
+      row_tiles, kReductionShards,
+      [&](std::size_t, std::int64_t begin, std::int64_t end) {
+        for (std::int64_t rt = begin; rt < end; ++rt) {
+          const std::int64_t r0 = rt * kTransposeTile;
+          const std::int64_t r1 = std::min(rows, r0 + kTransposeTile);
+          for (std::int64_t c0 = 0; c0 < cols; c0 += kTransposeTile) {
+            const std::int64_t c1 = std::min(cols, c0 + kTransposeTile);
+            for (std::int64_t r = r0; r < r1; ++r) {
+              float* d = dst + r * cols;
+              for (std::int64_t c = c0; c < c1; ++c)
+                d[c] = src[c * rows + r];
+            }
+          }
+        }
+      });
+}
+
+// Materialize A^T (or B^T) once; the transpose cost is small next to
+// the O(mnk) multiply and keeps the inner kernel contiguous. The
+// destination comes from the caller's scratch when provided (steady-
+// state layer forwards stop heap-allocating), a local vector otherwise.
+float* transpose_a(std::int64_t m, std::int64_t k, const float* a,
+                   GemmScratch* scratch, std::vector<float>& local) {
+  float* at;
+  if (scratch != nullptr) {
+    at = scratch->transpose(static_cast<std::size_t>(m * k));
+  } else {
+    local.resize(static_cast<std::size_t>(m * k));
+    at = local.data();
+  }
+  transpose_into(at, a, m, k);  // at[i*k + p] = a[p*m + i]
   return at;
 }
 
-std::vector<float> transpose_b(std::int64_t n, std::int64_t k,
-                               const float* b) {
-  std::vector<float> bt(static_cast<std::size_t>(k * n));
-  parallel_for_shards(n, kReductionShards,
-                      [&](std::size_t, std::int64_t begin, std::int64_t end) {
-                        for (std::int64_t j = begin; j < end; ++j)
-                          for (std::int64_t p = 0; p < k; ++p)
-                            bt[static_cast<std::size_t>(p * n + j)] =
-                                b[j * k + p];
-                      });
+float* transpose_b(std::int64_t n, std::int64_t k, const float* b,
+                   GemmScratch* scratch, std::vector<float>& local) {
+  float* bt;
+  if (scratch != nullptr) {
+    bt = scratch->transpose(static_cast<std::size_t>(k * n));
+  } else {
+    local.resize(static_cast<std::size_t>(k * n));
+    bt = local.data();
+  }
+  transpose_into(bt, b, k, n);  // bt[p*n + j] = b[j*k + p]
   return bt;
 }
 
 }  // namespace
 
 void gemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
-          const float* b, float* c) {
-  gemm_impl(m, n, k, a, b, c, /*accumulate=*/false);
+          const float* b, float* c, GemmScratch* scratch) {
+  gemm_impl(m, n, k, a, b, c, /*accumulate=*/false, nullptr, scratch);
 }
 
 void gemm_row_bias(std::int64_t m, std::int64_t n, std::int64_t k,
                    const float* a, const float* b, float* c,
-                   const float* row_bias) {
-  gemm_impl(m, n, k, a, b, c, /*accumulate=*/false, row_bias);
+                   const float* row_bias, GemmScratch* scratch) {
+  gemm_impl(m, n, k, a, b, c, /*accumulate=*/false, row_bias, scratch);
 }
 
 void gemm_accumulate(std::int64_t m, std::int64_t n, std::int64_t k,
-                     const float* a, const float* b, float* c) {
-  gemm_impl(m, n, k, a, b, c, /*accumulate=*/true);
+                     const float* a, const float* b, float* c,
+                     GemmScratch* scratch) {
+  gemm_impl(m, n, k, a, b, c, /*accumulate=*/true, nullptr, scratch);
 }
 
 void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
-             const float* b, float* c) {
-  const std::vector<float> at = transpose_a(m, k, a);
-  gemm_impl(m, n, k, at.data(), b, c, /*accumulate=*/false);
+             const float* b, float* c, GemmScratch* scratch) {
+  std::vector<float> local;
+  const float* at = transpose_a(m, k, a, scratch, local);
+  gemm_impl(m, n, k, at, b, c, /*accumulate=*/false, nullptr, scratch);
 }
 
 void gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
-             const float* b, float* c) {
-  const std::vector<float> bt = transpose_b(n, k, b);
-  gemm_impl(m, n, k, a, bt.data(), c, /*accumulate=*/false);
+             const float* b, float* c, GemmScratch* scratch) {
+  std::vector<float> local;
+  const float* bt = transpose_b(n, k, b, scratch, local);
+  gemm_impl(m, n, k, a, bt, c, /*accumulate=*/false, nullptr, scratch);
 }
 
 void gemm_bt_col_bias(std::int64_t m, std::int64_t n, std::int64_t k,
                       const float* a, const float* b, float* c,
-                      const float* col_bias) {
-  const std::vector<float> bt = transpose_b(n, k, b);
-  gemm_impl(m, n, k, a, bt.data(), c, /*accumulate=*/false);
+                      const float* col_bias, GemmScratch* scratch) {
+  std::vector<float> local;
+  const float* bt = transpose_b(n, k, b, scratch, local);
+  gemm_impl(m, n, k, a, bt, c, /*accumulate=*/false, nullptr, scratch);
   add_col_bias(m, n, c, col_bias);
 }
 
 void gemm_bt_accumulate(std::int64_t m, std::int64_t n, std::int64_t k,
-                        const float* a, const float* b, float* c) {
-  const std::vector<float> bt = transpose_b(n, k, b);
-  gemm_impl(m, n, k, a, bt.data(), c, /*accumulate=*/true);
+                        const float* a, const float* b, float* c,
+                        GemmScratch* scratch) {
+  std::vector<float> local;
+  const float* bt = transpose_b(n, k, b, scratch, local);
+  gemm_impl(m, n, k, a, bt, c, /*accumulate=*/true, nullptr, scratch);
 }
 
 }  // namespace qnn

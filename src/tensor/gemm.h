@@ -3,12 +3,11 @@
 // Convolution (via im2col) and fully-connected layers lower to these.
 // The implementation is a register-blocked, cache-tiled scalar kernel —
 // no external BLAS dependency — sharded across the global thread pool
-// along the M dimension. Row sharding is bit-deterministic for any
-// chunking: each output element's accumulation order over K is fixed by
-// the cache blocking alone, so N-thread and 1-thread runs produce
-// identical bytes. (K-dimension sharding would need a cross-thread
-// reduction whose merge order differs from the serial order; it is
-// deliberately not offered.)
+// along the M dimension and, for tall-K problems, along K through a
+// fixed-tree reduction. Both shardings are bit-deterministic: every
+// output element's accumulation order is a pure function of the problem
+// shape (see GemmKPlan below), so N-thread and 1-thread runs produce
+// identical bytes.
 //
 // The *_bias variants fold the layer bias into the kernel epilogue: the
 // bias is added to each finished output element after its K accumulation
@@ -16,47 +15,109 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace qnn {
 
 // M-dimension cache-block size. Work is sharded across threads in whole
 // M-blocks, and re-executing any block-aligned row range [i0, i0+mb) via
 // a fresh gemm call on the sliced operands reproduces the original bytes
-// exactly (the K accumulation order per element depends only on the
-// cache blocking). protect/abft relies on both properties to verify and
-// recompute individual shards.
+// exactly (the K accumulation order per element depends only on K, never
+// on M or the thread count). protect/abft relies on both properties to
+// verify and recompute individual shards.
 inline constexpr std::int64_t kGemmBlockM = 64;
+
+// K-dimension chunk width for the fixed-tree reduction. Matches the
+// kernel's K cache block, so one chunk is exactly one pass of the inner
+// kernel over its K range.
+inline constexpr std::int64_t kGemmKChunk = 256;
+
+// The fixed K-chunk plan: K splits into `count` chunks of width `chunk`
+// (the last chunk takes the remainder). The plan is a pure function of
+// K alone — never of M, N, QNN_THREADS, or the pool state — which makes
+// the canonical accumulation order below a pure function of the problem
+// shape:
+//
+//   partial[c][i][j] = serial float left-fold of A[i, c·chunk .. ) ·
+//                      B[.. , j] over chunk c's K range (from zero)
+//   C[i][j]          = fixed binary tree over partial[0..count):
+//                      combine partial[lo] += partial[lo+stride] for
+//                      stride = 1, 2, 4, ... — then + bias / + old C
+//                      for the epilogue/accumulate variants.
+//
+// count == 1 (K <= kGemmKChunk) degenerates to the classic single
+// serial left-fold over K. Whether the chunks are *computed* in
+// parallel is a scheduling choice (K-parallelism engages when M is too
+// small to saturate the pool); it can never change the bytes, because
+// chunk boundaries and the merge tree are fixed by this plan. ABFT
+// re-execution of an M-sliced range therefore reuses the same plan as
+// the original full-M call and reproduces its bytes exactly.
+struct GemmKPlan {
+  std::int64_t chunk = 0;  // width of each full chunk
+  std::int64_t count = 1;  // number of chunks, >= 1
+
+  friend bool operator==(const GemmKPlan&, const GemmKPlan&) = default;
+};
+
+inline GemmKPlan gemm_k_plan(std::int64_t k) {
+  if (k <= kGemmKChunk) return GemmKPlan{k, 1};
+  return GemmKPlan{kGemmKChunk, (k + kGemmKChunk - 1) / kGemmKChunk};
+}
+
+// Reusable workspace for the K-sharded partial buffers and the operand
+// transposes the at/bt variants materialize. Layers hoist one per shard
+// so steady-state forwards stop heap-allocating. A scratch may not be
+// shared by two gemm calls that can run concurrently (conv holds one
+// per batch shard); buffers only grow, never shrink.
+class GemmScratch {
+ public:
+  // Returns a buffer of at least `elems` floats (contents unspecified).
+  float* partials(std::size_t elems) {
+    if (partials_.size() < elems) partials_.resize(elems);
+    return partials_.data();
+  }
+  float* transpose(std::size_t elems) {
+    if (transpose_.size() < elems) transpose_.resize(elems);
+    return transpose_.data();
+  }
+
+ private:
+  std::vector<float> partials_;
+  std::vector<float> transpose_;
+};
 
 // C[M,N] = A[M,K] * B[K,N]   (row-major, C overwritten)
 void gemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
-          const float* b, float* c);
+          const float* b, float* c, GemmScratch* scratch = nullptr);
 
 // C[M,N] = A[M,K] * B[K,N], then C[i,j] += row_bias[i] (skipped when
 // row_bias is null). Conv2d's per-output-channel bias.
 void gemm_row_bias(std::int64_t m, std::int64_t n, std::int64_t k,
                    const float* a, const float* b, float* c,
-                   const float* row_bias);
+                   const float* row_bias, GemmScratch* scratch = nullptr);
 
 // C[M,N] += A[M,K] * B[K,N]
 void gemm_accumulate(std::int64_t m, std::int64_t n, std::int64_t k,
-                     const float* a, const float* b, float* c);
+                     const float* a, const float* b, float* c,
+                     GemmScratch* scratch = nullptr);
 
 // C[M,N] = A^T[M,K] * B[K,N] where A is stored [K,M] row-major.
 void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
-             const float* b, float* c);
+             const float* b, float* c, GemmScratch* scratch = nullptr);
 
 // C[M,N] = A[M,K] * B^T[K,N] where B is stored [N,K] row-major.
 void gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
-             const float* b, float* c);
+             const float* b, float* c, GemmScratch* scratch = nullptr);
 
 // C[M,N] = A[M,K] * B^T, then C[i,j] += col_bias[j] (skipped when
 // col_bias is null). InnerProduct's per-output-feature bias.
 void gemm_bt_col_bias(std::int64_t m, std::int64_t n, std::int64_t k,
                       const float* a, const float* b, float* c,
-                      const float* col_bias);
+                      const float* col_bias, GemmScratch* scratch = nullptr);
 
 // C[M,N] += A[M,K] * B^T where B is stored [N,K] row-major.
 void gemm_bt_accumulate(std::int64_t m, std::int64_t n, std::int64_t k,
-                        const float* a, const float* b, float* c);
+                        const float* a, const float* b, float* c,
+                        GemmScratch* scratch = nullptr);
 
 }  // namespace qnn

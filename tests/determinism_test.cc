@@ -16,6 +16,7 @@
 #include "nn/trainer.h"
 #include "nn/zoo.h"
 #include "obs/trace.h"
+#include "protect/protected_network.h"
 #include "quant/qnetwork.h"
 #include "tensor/gemm.h"
 #include "util/fileio.h"
@@ -85,6 +86,30 @@ TEST(Determinism, GemmBtColBiasIsBitIdenticalAcrossThreadCounts) {
   gemm_bt_col_bias(m, n, k, a.data(), b.data(), c4.data(), bias.data());
   EXPECT_EQ(std::memcmp(c1.data(), c4.data(), c1.size() * sizeof(float)),
             0);
+}
+
+TEST(Determinism, TallKGemmKShardingIsBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  // M too small to saturate the pool and K far beyond kGemmKChunk: the
+  // inner-product shape where K-parallelism engages. The chunk plan and
+  // merge tree depend only on K, so every pool size reproduces the
+  // 1-thread bytes.
+  const std::int64_t m = 8, n = 96, k = 1500;
+  const auto a = random_matrix(m * k, 31);
+  const auto b = random_matrix(k * n, 32);
+
+  ThreadPool::set_global_threads(1);
+  std::vector<float> c1(static_cast<std::size_t>(m * n));
+  gemm(m, n, k, a.data(), b.data(), c1.data());
+
+  for (int threads : {2, 4, 8}) {
+    ThreadPool::set_global_threads(threads);
+    std::vector<float> cn(static_cast<std::size_t>(m * n));
+    gemm(m, n, k, a.data(), b.data(), cn.data());
+    EXPECT_EQ(std::memcmp(c1.data(), cn.data(), c1.size() * sizeof(float)),
+              0)
+        << threads << " threads";
+  }
 }
 
 // Shared fixture: a small trained LeNet on synthetic MNIST-like data.
@@ -217,6 +242,122 @@ TEST(Determinism, ProtectedCampaignMatchesSerial) {
     EXPECT_EQ(g1.nan, gn.nan);
     EXPECT_EQ(g1.inf, gn.inf);
   }
+}
+
+TEST(Determinism, TallKNetworksBitIdenticalEndToEndAcrossThreadCounts) {
+  // End-to-end pins over K-sharded GEMMs: full-size LeNet (conv2's
+  // im2col K = 500, ip1's K = 800 — both beyond kGemmKChunk, so every
+  // forward runs the chunked fixed-tree order). Float forward bytes,
+  // Network::evaluate, QuantizedNetwork, and ProtectedNetwork (whose
+  // ABFT checksums verify over the K-sharded partials) must all match
+  // the 1-thread run exactly at 2/4/8 threads.
+  ThreadGuard guard;
+  data::SyntheticConfig dc;
+  dc.num_train = 100;
+  dc.num_test = 40;
+  dc.seed = 17;
+  const data::Split split = data::make_mnist_like(dc);
+  auto net = nn::make_lenet();  // channel_scale 1.0: tall-K layers
+  nn::TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 20;
+  tc.sgd.learning_rate = 0.02;
+  nn::train(*net, split.train, tc);
+
+  quant::QuantizedNetwork qnet(*net, quant::fixed_config(8, 8));
+  qnet.calibrate(split.train.images);
+  protect::ProtectionConfig pcfg;
+  pcfg.policy = protect::ProtectionPolicy::kDetectOnly;
+  protect::ProtectedNetwork pnet(qnet, pcfg);
+  pnet.calibrate_envelopes(split.test.images);
+
+  const Tensor& batch = split.test.images;
+
+  ThreadPool::set_global_threads(1);
+  const Tensor out1 = net->forward(batch);
+  const double facc1 = nn::evaluate(*net, split.test);
+  qnet.reset_guards();
+  const double qacc1 = nn::evaluate(qnet, split.test);
+  const quant::GuardCounters g1 = qnet.total_guards();
+  qnet.restore_masters();
+  qnet.reset_guards();
+  pnet.reset_counters();
+  const double pacc1 = nn::evaluate(pnet, split.test);
+  const protect::ProtectionCounters pc1 = pnet.counters();
+  qnet.restore_masters();
+
+  for (int threads : {2, 4, 8}) {
+    SCOPED_TRACE(std::to_string(threads) + " threads");
+    ThreadPool::set_global_threads(threads);
+    const Tensor outn = net->forward(batch);
+    ASSERT_EQ(out1.count(), outn.count());
+    EXPECT_EQ(std::memcmp(out1.data(), outn.data(),
+                          static_cast<std::size_t>(out1.count()) *
+                              sizeof(float)),
+              0);
+    EXPECT_EQ(facc1, nn::evaluate(*net, split.test));  // bit-identical
+    qnet.reset_guards();
+    EXPECT_EQ(qacc1, nn::evaluate(qnet, split.test));
+    const quant::GuardCounters gn = qnet.total_guards();
+    qnet.restore_masters();
+    EXPECT_EQ(g1.values, gn.values);
+    EXPECT_EQ(g1.saturated, gn.saturated);
+    EXPECT_EQ(g1.nan, gn.nan);
+    EXPECT_EQ(g1.inf, gn.inf);
+    qnet.reset_guards();
+    pnet.reset_counters();
+    EXPECT_EQ(pacc1, nn::evaluate(pnet, split.test));
+    const protect::ProtectionCounters pcn = pnet.counters();
+    qnet.restore_masters();
+    // ABFT-over-K-sharded-partials must verify cleanly and count the
+    // same blocks at every pool size.
+    EXPECT_EQ(pc1, pcn);
+  }
+}
+
+TEST(Determinism, TallKSweepCheckpointBytesMatchSerial) {
+  // Checkpoint pin over K-sharded layers: a sweep through the full-size
+  // LeNet (tall-K conv2/ip1) writes byte-identical checkpoints at 1 and
+  // 4 threads.
+  ThreadGuard guard;
+  const std::string dir = ::testing::TempDir();
+  const std::string ck1 = dir + "/det_tallk_t1.json";
+  const std::string ck4 = dir + "/det_tallk_t4.json";
+  for (const auto& p : {ck1, ck4, ck1 + ".weights", ck4 + ".weights"})
+    std::filesystem::remove(p);
+
+  exp::ExperimentSpec spec;
+  spec.network = "lenet";
+  spec.dataset = "mnist";
+  spec.channel_scale = 1.0;  // K = 500 / 800 products stay chunked
+  spec.data.num_train = 80;
+  spec.data.num_test = 40;
+  spec.data.seed = 9;
+  spec.float_train.epochs = 1;
+  spec.float_train.batch_size = 20;
+  spec.float_train.sgd.learning_rate = 0.02;
+  spec.qat_train = spec.float_train;
+
+  const std::vector<quant::PrecisionConfig> precisions = {
+      quant::fixed_config(8, 8)};
+  exp::SweepOptions opts;
+  opts.faults.trials = 1;
+  opts.faults.bit_error_rates = {1e-3};
+
+  ThreadPool::set_global_threads(1);
+  exp::SweepOptions o1 = opts;
+  o1.checkpoint_path = ck1;
+  exp::run_precision_sweep(spec, precisions, 0.0, o1);
+
+  ThreadPool::set_global_threads(4);
+  exp::SweepOptions o4 = opts;
+  o4.checkpoint_path = ck4;
+  exp::run_precision_sweep(spec, precisions, 0.0, o4);
+
+  EXPECT_EQ(read_file(ck1), read_file(ck4));
+
+  for (const auto& p : {ck1, ck4, ck1 + ".weights", ck4 + ".weights"})
+    std::filesystem::remove(p);
 }
 
 TEST(Determinism, ProtectedSweepSurvivesKillAndResumeAcrossThreads) {

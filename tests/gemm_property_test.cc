@@ -1,0 +1,307 @@
+// Differential/property harness for the K-sharded GEMM (DESIGN.md §9).
+//
+// The kernels promise a *canonical order*: K splits into fixed chunks
+// (gemm_k_plan, a pure function of K), each chunk partial is a serial
+// float left-fold over its K range, and partials merge through a fixed
+// binary tree. Three properties pin it down:
+//
+//  1. Differential vs the kernel itself: a K-chunked product must equal,
+//     byte for byte, the fixed tree over single-chunk products computed
+//     by the same kernel on sliced operands. This holds regardless of
+//     how the compiler contracts the inner loop (both sides use the
+//     identical kernel), so it is the structural bit-exactness check.
+//  2. Differential vs a standalone naive reference in double precision,
+//     within a rounding tolerance — catches consistently-wrong math the
+//     self-differential check cannot see.
+//  3. Thread-count invariance: bytes at 1/2/4/8 threads are identical,
+//     with and without a caller GemmScratch, for every entry point.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace qnn {
+namespace {
+
+struct ThreadGuard {
+  ~ThreadGuard() {
+    ThreadPool::set_global_threads(ThreadPool::env_threads());
+  }
+};
+
+std::vector<float> random_matrix(std::int64_t elems, Rng& rng) {
+  std::vector<float> v(static_cast<std::size_t>(elems));
+  for (float& x : v) x = static_cast<float>(rng.uniform(-1, 1));
+  return v;
+}
+
+// The documented canonical order, built from the production kernel
+// itself: per-chunk single-chunk gemm calls (count == 1 plans, i.e. the
+// classic serial fold) on contiguous operand slices, merged by the
+// fixed binary tree. Any divergence between this and the one-shot
+// chunked kernel is a merge-order or chunk-boundary bug.
+std::vector<float> tree_of_single_chunk_gemms(std::int64_t m, std::int64_t n,
+                                              std::int64_t k, const float* a,
+                                              const float* b) {
+  const GemmKPlan plan = gemm_k_plan(k);
+  const std::size_t elems = static_cast<std::size_t>(m * n);
+  std::vector<std::vector<float>> parts(
+      static_cast<std::size_t>(plan.count), std::vector<float>(elems, 0.0f));
+  for (std::int64_t c = 0; c < plan.count; ++c) {
+    const std::int64_t p0 = c * plan.chunk;
+    const std::int64_t kb = std::min(plan.chunk, k - p0);
+    if (kb <= 0) continue;  // k == 0: the single empty chunk
+    // Contiguous slices A[:, p0:p0+kb] and B[p0:p0+kb, :].
+    std::vector<float> a_slice(static_cast<std::size_t>(m * kb));
+    for (std::int64_t i = 0; i < m; ++i)
+      std::memcpy(a_slice.data() + i * kb, a + i * k + p0,
+                  sizeof(float) * static_cast<std::size_t>(kb));
+    gemm(m, n, kb, a_slice.data(), b + p0 * n,
+         parts[static_cast<std::size_t>(c)].data());
+  }
+  // Fixed binary tree: combine parts[lo] += parts[lo + stride].
+  for (std::int64_t stride = 1; stride < plan.count; stride *= 2)
+    for (std::int64_t lo = 0; lo + stride < plan.count; lo += 2 * stride) {
+      float* dst = parts[static_cast<std::size_t>(lo)].data();
+      const float* src = parts[static_cast<std::size_t>(lo + stride)].data();
+      for (std::size_t e = 0; e < elems; ++e) dst[e] += src[e];
+    }
+  return parts.empty() ? std::vector<float>(elems, 0.0f)
+                       : std::move(parts.front());
+}
+
+void naive_gemm_double(std::int64_t m, std::int64_t n, std::int64_t k,
+                       const float* a, const float* b, double* c) {
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p)
+        acc += static_cast<double>(a[i * k + p]) *
+               static_cast<double>(b[p * n + j]);
+      c[i * n + j] = acc;
+    }
+}
+
+bool bytes_equal(const std::vector<float>& x, const std::vector<float>& y) {
+  return x.size() == y.size() &&
+         std::memcmp(x.data(), y.data(), x.size() * sizeof(float)) == 0;
+}
+
+// Shapes straddling every plan edge: K = 0, 1, chunk - 1, chunk,
+// chunk + 1, 2*chunk ± 1, and non-multiples; M straddling the 64-row
+// blocks; N straddling the 256-column cache blocks.
+struct Problem {
+  std::int64_t m, n, k;
+};
+
+std::vector<Problem> edge_problems() {
+  const std::int64_t ch = kGemmKChunk;
+  return {
+      {1, 1, 0},        {3, 5, 1},         {8, 33, ch - 1},
+      {8, 33, ch},      {8, 33, ch + 1},   {1, 300, 2 * ch - 1},
+      {5, 96, 2 * ch},  {5, 96, 2 * ch + 1}, {64, 17, 3 * ch + 7},
+      {65, 40, 700},    {130, 9, 1000},    {8, 257, 4 * ch + 13},
+  };
+}
+
+std::vector<Problem> random_problems(int count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Problem> out;
+  for (int i = 0; i < count; ++i) {
+    out.push_back({1 + static_cast<std::int64_t>(rng.uniform(0, 140)),
+                   1 + static_cast<std::int64_t>(rng.uniform(0, 300)),
+                   static_cast<std::int64_t>(rng.uniform(0, 1400))});
+  }
+  return out;
+}
+
+TEST(GemmKPlan, IsAPureShapeFunctionCoveringK) {
+  EXPECT_EQ(gemm_k_plan(0), (GemmKPlan{0, 1}));
+  EXPECT_EQ(gemm_k_plan(1), (GemmKPlan{1, 1}));
+  EXPECT_EQ(gemm_k_plan(kGemmKChunk), (GemmKPlan{kGemmKChunk, 1}));
+  EXPECT_EQ(gemm_k_plan(kGemmKChunk + 1), (GemmKPlan{kGemmKChunk, 2}));
+  for (std::int64_t k : {1, 255, 256, 257, 511, 512, 513, 1000, 100000}) {
+    const GemmKPlan p = gemm_k_plan(k);
+    ASSERT_GE(p.count, 1);
+    // Chunks tile [0, k): count-1 full chunks plus a non-empty tail.
+    EXPECT_LT(p.chunk * (p.count - 1), k) << k;
+    EXPECT_GE(p.chunk * p.count, k) << k;
+    // Pure function: recomputing yields the identical plan.
+    EXPECT_EQ(p, gemm_k_plan(k));
+  }
+}
+
+TEST(GemmProperty, ChunkedProductEqualsFixedTreeOfSingleChunkProducts) {
+  ThreadGuard guard;
+  auto problems = edge_problems();
+  const auto extra = random_problems(8, 20240807);
+  problems.insert(problems.end(), extra.begin(), extra.end());
+  for (const Problem& p : problems) {
+    SCOPED_TRACE("m=" + std::to_string(p.m) + " n=" + std::to_string(p.n) +
+                 " k=" + std::to_string(p.k));
+    Rng rng(static_cast<std::uint64_t>(p.m * 131071 + p.n * 8191 + p.k));
+    const auto a = random_matrix(p.m * std::max<std::int64_t>(p.k, 1), rng);
+    const auto b = random_matrix(std::max<std::int64_t>(p.k, 1) * p.n, rng);
+    const std::vector<float> ref =
+        tree_of_single_chunk_gemms(p.m, p.n, p.k, a.data(), b.data());
+    for (int threads : {1, 2, 4, 8}) {
+      ThreadPool::set_global_threads(threads);
+      std::vector<float> c(static_cast<std::size_t>(p.m * p.n), -7.0f);
+      gemm(p.m, p.n, p.k, a.data(), b.data(), c.data());
+      EXPECT_TRUE(bytes_equal(ref, c)) << threads << " threads";
+    }
+  }
+}
+
+TEST(GemmProperty, MatchesNaiveDoubleReferenceWithinRounding) {
+  ThreadGuard guard;
+  for (const Problem& p : edge_problems()) {
+    SCOPED_TRACE("m=" + std::to_string(p.m) + " n=" + std::to_string(p.n) +
+                 " k=" + std::to_string(p.k));
+    Rng rng(static_cast<std::uint64_t>(p.m * 31 + p.n * 977 + p.k + 5));
+    const auto a = random_matrix(p.m * std::max<std::int64_t>(p.k, 1), rng);
+    const auto b = random_matrix(std::max<std::int64_t>(p.k, 1) * p.n, rng);
+    std::vector<float> c(static_cast<std::size_t>(p.m * p.n));
+    std::vector<double> ref(c.size());
+    gemm(p.m, p.n, p.k, a.data(), b.data(), c.data());
+    naive_gemm_double(p.m, p.n, p.k, a.data(), b.data(), ref.data());
+    for (std::size_t i = 0; i < c.size(); ++i)
+      ASSERT_NEAR(c[i], ref[i], 1e-3 * (1.0 + std::abs(ref[i]))) << i;
+  }
+}
+
+// Every entry point, bit-identical across thread counts 1/2/4/8, with
+// and without a caller scratch. The serial (1-thread) bytes are the
+// canonical reference for each variant.
+TEST(GemmProperty, AllVariantsBitIdenticalAcrossThreadsAndScratch) {
+  ThreadGuard guard;
+  const std::vector<Problem> problems = {
+      {8, 96, 1500},   // tall-K inner-product shape: K-parallel engages
+      {130, 48, 700},  // several M blocks and several K chunks
+      {3, 33, 257},    // chunk + 1
+      {70, 20, 64},    // single-chunk plan: the legacy path
+  };
+  for (const Problem& p : problems) {
+    SCOPED_TRACE("m=" + std::to_string(p.m) + " n=" + std::to_string(p.n) +
+                 " k=" + std::to_string(p.k));
+    Rng rng(static_cast<std::uint64_t>(p.m + p.n * 53 + p.k * 10007));
+    const auto a = random_matrix(p.m * p.k, rng);
+    const auto b = random_matrix(p.k * p.n, rng);        // [K,N]
+    const auto a_t = random_matrix(p.k * p.m, rng);      // [K,M] for at
+    const auto b_t = random_matrix(p.n * p.k, rng);      // [N,K] for bt
+    const auto row_bias = random_matrix(p.m, rng);
+    const auto col_bias = random_matrix(p.n, rng);
+    const std::size_t elems = static_cast<std::size_t>(p.m * p.n);
+
+    struct Variant {
+      std::string name;
+      void (*run)(const Problem&, const float*, const float*, const float*,
+                  const float*, const float*, const float*, float*,
+                  GemmScratch*);
+    };
+    const std::vector<Variant> variants = {
+        {"gemm",
+         [](const Problem& q, const float* a_, const float* b_, const float*,
+            const float*, const float*, const float*, float* c,
+            GemmScratch* s) { gemm(q.m, q.n, q.k, a_, b_, c, s); }},
+        {"gemm_row_bias",
+         [](const Problem& q, const float* a_, const float* b_, const float*,
+            const float*, const float* rb, const float*, float* c,
+            GemmScratch* s) {
+           gemm_row_bias(q.m, q.n, q.k, a_, b_, c, rb, s);
+         }},
+        {"gemm_accumulate",
+         [](const Problem& q, const float* a_, const float* b_, const float*,
+            const float*, const float*, const float*, float* c,
+            GemmScratch* s) {
+           for (std::int64_t e = 0; e < q.m * q.n; ++e)
+             c[e] = 0.25f * static_cast<float>(e % 17);
+           gemm_accumulate(q.m, q.n, q.k, a_, b_, c, s);
+         }},
+        {"gemm_at",
+         [](const Problem& q, const float*, const float* b_,
+            const float* at, const float*, const float*, const float*,
+            float* c, GemmScratch* s) {
+           gemm_at(q.m, q.n, q.k, at, b_, c, s);
+         }},
+        {"gemm_bt",
+         [](const Problem& q, const float* a_, const float*, const float*,
+            const float* bt, const float*, const float*, float* c,
+            GemmScratch* s) { gemm_bt(q.m, q.n, q.k, a_, bt, c, s); }},
+        {"gemm_bt_col_bias",
+         [](const Problem& q, const float* a_, const float*, const float*,
+            const float* bt, const float*, const float* cb, float* c,
+            GemmScratch* s) {
+           gemm_bt_col_bias(q.m, q.n, q.k, a_, bt, c, cb, s);
+         }},
+        {"gemm_bt_accumulate",
+         [](const Problem& q, const float* a_, const float*, const float*,
+            const float* bt, const float*, const float*, float* c,
+            GemmScratch* s) {
+           for (std::int64_t e = 0; e < q.m * q.n; ++e)
+             c[e] = -0.5f + 0.125f * static_cast<float>(e % 9);
+           gemm_bt_accumulate(q.m, q.n, q.k, a_, bt, c, s);
+         }},
+    };
+
+    for (const Variant& v : variants) {
+      SCOPED_TRACE(v.name);
+      ThreadPool::set_global_threads(1);
+      std::vector<float> ref(elems);
+      v.run(p, a.data(), b.data(), a_t.data(), b_t.data(), row_bias.data(),
+            col_bias.data(), ref.data(), nullptr);
+      for (int threads : {1, 2, 4, 8}) {
+        ThreadPool::set_global_threads(threads);
+        std::vector<float> plain(elems), scratched(elems);
+        GemmScratch scratch;
+        v.run(p, a.data(), b.data(), a_t.data(), b_t.data(),
+              row_bias.data(), col_bias.data(), plain.data(), nullptr);
+        v.run(p, a.data(), b.data(), a_t.data(), b_t.data(),
+              row_bias.data(), col_bias.data(), scratched.data(), &scratch);
+        EXPECT_TRUE(bytes_equal(ref, plain)) << threads << " threads";
+        EXPECT_TRUE(bytes_equal(ref, scratched))
+            << threads << " threads (scratch)";
+        // A warm scratch (buffers already sized) must not change bytes.
+        std::vector<float> warm(elems);
+        v.run(p, a.data(), b.data(), a_t.data(), b_t.data(),
+              row_bias.data(), col_bias.data(), warm.data(), &scratch);
+        EXPECT_TRUE(bytes_equal(ref, warm))
+            << threads << " threads (warm scratch)";
+      }
+    }
+  }
+}
+
+// The transpose variants must agree byte-for-byte with the plain kernel
+// on materialized operands — they share gemm_impl, so any divergence is
+// a transpose bug.
+TEST(GemmProperty, TransposeVariantsMatchPlainKernelBytes) {
+  ThreadGuard guard;
+  const Problem p{13, 41, 600};
+  Rng rng(99);
+  const auto a_t = random_matrix(p.k * p.m, rng);  // [K,M]
+  const auto b_t = random_matrix(p.n * p.k, rng);  // [N,K]
+  std::vector<float> a(static_cast<std::size_t>(p.m * p.k));
+  std::vector<float> b(static_cast<std::size_t>(p.k * p.n));
+  for (std::int64_t q = 0; q < p.k; ++q)
+    for (std::int64_t i = 0; i < p.m; ++i) a[i * p.k + q] = a_t[q * p.m + i];
+  for (std::int64_t j = 0; j < p.n; ++j)
+    for (std::int64_t q = 0; q < p.k; ++q) b[q * p.n + j] = b_t[j * p.k + q];
+
+  const std::size_t elems = static_cast<std::size_t>(p.m * p.n);
+  std::vector<float> plain(elems), via_at(elems), via_bt(elems);
+  gemm(p.m, p.n, p.k, a.data(), b.data(), plain.data());
+  gemm_at(p.m, p.n, p.k, a_t.data(), b.data(), via_at.data());
+  gemm_bt(p.m, p.n, p.k, a.data(), b_t.data(), via_bt.data());
+  EXPECT_TRUE(bytes_equal(plain, via_at));
+  EXPECT_TRUE(bytes_equal(plain, via_bt));
+}
+
+}  // namespace
+}  // namespace qnn

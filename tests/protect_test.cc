@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "data/synthetic.h"
@@ -17,6 +18,7 @@
 #include "protect/envelope.h"
 #include "protect/protected_network.h"
 #include "tensor/gemm.h"
+#include "util/thread_pool.h"
 
 namespace qnn::protect {
 namespace {
@@ -99,6 +101,94 @@ TEST(Abft, TransientCorruptionIsDetectedAndRepaired) {
   EXPECT_EQ(std::memcmp(plain.data(), checked.data(),
                         plain.size() * sizeof(float)),
             0);
+}
+
+TEST(Abft, TallKRecoveryReusesChunkPlanAndRestoresExactBytes) {
+  // Regression for K-sharded re-execution: the recompute path slices the
+  // corrupted M-shard out of the operands and re-runs the kernel, and
+  // gemm_k_plan depends only on K — so the retried shard walks the same
+  // chunk boundaries and merge tree as the original pass and lands on
+  // identical bytes. k = 700 spans three chunks (256/256/188); verify at
+  // every pool size, since recovery must also be schedule-independent.
+  struct ThreadGuard {
+    ~ThreadGuard() {
+      ThreadPool::set_global_threads(ThreadPool::env_threads());
+    }
+  } guard;
+  const GemmProblem p(150, 33, 700);
+  std::vector<float> plain(p.m * p.n);
+  gemm_row_bias(p.m, p.n, p.k, p.a.data(), p.b.data(), plain.data(),
+                p.bias.data());
+  for (int threads : {1, 2, 4, 8}) {
+    SCOPED_TRACE(std::to_string(threads) + " threads");
+    ThreadPool::set_global_threads(threads);
+    std::vector<float> checked(p.m * p.n);
+    const AbftCounters c = abft_gemm_row_bias(
+        p.m, p.n, p.k, p.a.data(), p.b.data(), checked.data(),
+        p.bias.data(), AbftOptions{},
+        [](std::int64_t i0, std::int64_t, std::int64_t, float* c_rows,
+           int attempt) {
+          if (i0 == kGemmBlockM && attempt == 0) c_rows[0] += 1000.0f;
+        });
+    EXPECT_EQ(c.mismatches, 1);
+    EXPECT_EQ(c.reexecutions, 1);
+    EXPECT_EQ(c.unrecovered, 0);
+    // Recovered output == fault-free output, bit for bit.
+    EXPECT_EQ(std::memcmp(plain.data(), checked.data(),
+                          plain.size() * sizeof(float)),
+              0);
+  }
+}
+
+TEST(Abft, TallKBtRecoveryRestoresExactBytes) {
+  // Same plan-reuse guarantee through the transposed-B entry (the
+  // inner-product forward shape, where K-parallelism engages: small M,
+  // K across multiple chunks).
+  const GemmProblem p(8, 25, 600);
+  std::vector<float> bt(p.n * p.k);
+  for (std::size_t i = 0; i < bt.size(); ++i)
+    bt[i] = 0.03f * static_cast<float>((i * 41 + 3) % 31) - 0.45f;
+  std::vector<float> col_bias(p.n);
+  for (std::size_t j = 0; j < col_bias.size(); ++j)
+    col_bias[j] = 0.05f * static_cast<float>(j % 5);
+
+  std::vector<float> plain(p.m * p.n), checked(p.m * p.n);
+  gemm_bt_col_bias(p.m, p.n, p.k, p.a.data(), bt.data(), plain.data(),
+                   col_bias.data());
+  GemmScratch scratch;  // shared by initial pass and re-execution
+  const AbftCounters c = abft_gemm_bt_col_bias(
+      p.m, p.n, p.k, p.a.data(), bt.data(), checked.data(),
+      col_bias.data(), AbftOptions{},
+      [](std::int64_t i0, std::int64_t, std::int64_t, float* c_rows,
+         int attempt) {
+        if (i0 == 0 && attempt == 0) c_rows[1] -= 500.0f;
+      },
+      &scratch);
+  EXPECT_EQ(c.mismatches, 1);
+  EXPECT_EQ(c.unrecovered, 0);
+  EXPECT_EQ(std::memcmp(plain.data(), checked.data(),
+                        plain.size() * sizeof(float)),
+            0);
+}
+
+TEST(Abft, TallKCleanScopedGemmVerifiesOverShardedPartials) {
+  // The checksum relation must hold over the chunked fixed-tree order on
+  // a clean run: no false mismatches, and the guarded result stays
+  // byte-identical to the plain kernel.
+  const GemmProblem p(96, 17, 1000);
+  std::vector<float> plain(p.m * p.n), guarded(p.m * p.n);
+  gemm_row_bias(p.m, p.n, p.k, p.a.data(), p.b.data(), plain.data(),
+                p.bias.data());
+  AbftScope scope{AbftOptions{}};
+  gemm_row_bias_guarded(p.m, p.n, p.k, p.a.data(), p.b.data(),
+                        guarded.data(), p.bias.data());
+  EXPECT_EQ(std::memcmp(plain.data(), guarded.data(),
+                        plain.size() * sizeof(float)),
+            0);
+  const AbftCounters c = scope.counters();
+  EXPECT_EQ(c.blocks_checked, (p.m + kGemmBlockM - 1) / kGemmBlockM);
+  EXPECT_TRUE(c.clean());
+  EXPECT_EQ(c.reexecutions, 0);
 }
 
 TEST(Abft, PersistentCorruptionExhaustsRetriesAndReportsUnrecovered) {
