@@ -1,0 +1,245 @@
+// Open-loop load generator for the serving layer (DESIGN.md §12):
+// sweeps arrival rate x batch window x degradation policy over a
+// trained MNIST-like LeNet and reports, per cell, latency (p50/p99 in
+// virtual ticks), throughput, deadline-miss counts, energy per served
+// request (hw model), and an accuracy proxy (top-1 vs. the synthetic
+// test labels of the payloads actually served).
+//
+// Arrival rate is expressed as a multiple of the sustainable
+// full-precision throughput (1 / float-tier per-image service ticks),
+// so "2.0" is the acceptance-criteria overload point: there the degrade
+// policy must serve strictly more requests within deadline than both
+// the reject-only and no-admission baselines — precision downshift as
+// principled load shedding.
+//
+// Everything is virtual-time deterministic: the same seed produces the
+// same BENCH_serve.json bytes at any worker-thread count
+// (tests/serve_determinism_test.cc replays the same pipeline).
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/synthetic.h"
+#include "nn/trainer.h"
+#include "nn/zoo.h"
+#include "serve/server.h"
+#include "util/fileio.h"
+
+namespace qnn {
+namespace {
+
+std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, f, v);
+  return buf;
+}
+
+struct SweepRow {
+  double rate = 0.0;
+  serve::Tick window = 0;
+  serve::AdmissionPolicy policy = serve::AdmissionPolicy::kDegrade;
+  serve::ServeStats stats;
+  double accuracy_proxy = 0.0;  // top-1 on served payloads, percent
+  double energy_per_request_uj = 0.0;
+  double served_per_mtick = 0.0;
+  std::uint32_t digest = 0;
+};
+
+json::Value row_to_json(const SweepRow& r) {
+  json::Value v = json::Value::object();
+  v.set("rate_multiplier", json::Value(r.rate));
+  v.set("batch_window_ticks", json::Value(r.window));
+  v.set("policy", json::Value(serve::admission_policy_name(r.policy)));
+  v.set("stats", serve::serve_stats_to_json(r.stats));
+  v.set("accuracy_proxy_pct", json::Value(r.accuracy_proxy));
+  v.set("energy_per_request_uj", json::Value(r.energy_per_request_uj));
+  v.set("served_per_mtick", json::Value(r.served_per_mtick));
+  v.set("digest", json::Value(static_cast<std::int64_t>(r.digest)));
+  return v;
+}
+
+void run() {
+  const bool fast = bench::fast_mode();
+  bench::print_header(
+      "Serving under load — precision downshift vs. reject-only vs. "
+      "no-admission");
+
+  // One trained master network; replicas at every precision tier.
+  nn::ZooConfig zoo;
+  zoo.channel_scale = 0.5;
+  auto net = nn::make_lenet(zoo);
+  data::SyntheticConfig data_cfg;
+  data_cfg.num_train = fast ? 800 : 2000;
+  data_cfg.num_test = 500;
+  const data::Split split = data::make_mnist_like(data_cfg);
+  nn::TrainConfig train_cfg;
+  train_cfg.epochs = fast ? 2 : 4;
+  train_cfg.sgd.learning_rate = 0.05;
+  std::cout << "training lenet (scale " << zoo.channel_scale << ", "
+            << data_cfg.num_train << " images, " << train_cfg.epochs
+            << " epochs)...\n";
+  nn::train(*net, split.train, train_cfg);
+
+  std::vector<serve::TierSpec> tiers = serve::default_tier_lattice();
+  serve::derive_tier_costs(*net, nn::input_shape_for("lenet"), &tiers);
+  const Tensor calibration = data::batch_images(split.train, 0, 64);
+  serve::ReplicaPool pool(*net, calibration, tiers);
+
+  // Sustainable full-precision service rate: one image every
+  // `sustain` ticks through the float tier at the default batch size.
+  const serve::Tick ticks0 = tiers[0].ticks_per_image;
+  const serve::Tick sustain = ticks0 + tiers[0].batch_overhead_ticks / 8;
+  std::cout << "tier costs:";
+  for (const auto& t : tiers) {
+    std::cout << "  " << t.name << "=" << t.ticks_per_image << " ticks, "
+              << fmt("%.2f", t.energy_per_image_uj) << " uJ/img;";
+  }
+  std::cout << "\n\n";
+
+  const std::vector<double> rates = fast ? std::vector<double>{1.0, 2.0}
+                                         : std::vector<double>{0.5, 1.0, 2.0};
+  const std::vector<serve::Tick> windows{0, 4 * sustain};
+  const std::vector<serve::AdmissionPolicy> policies{
+      serve::AdmissionPolicy::kDegrade, serve::AdmissionPolicy::kRejectOnly,
+      serve::AdmissionPolicy::kNoAdmission};
+  const std::int64_t num_requests = fast ? 150 : 400;
+  const serve::Tick deadline = 12 * sustain;
+
+  // Payloads are test-set images, so "accuracy proxy" is real top-1 on
+  // whatever subset each policy managed to serve.
+  const auto payload = [&split](const serve::TraceRequest& tr,
+                                const Shape&) {
+    const std::int64_t idx = tr.id % split.test.images.shape()[0];
+    return data::batch_images(split.test, idx, 1);
+  };
+
+  Table table({"Rate", "Window", "Policy", "Served", "In-deadline",
+               "Rejected", "Expired", "p50", "p99", "uJ/req", "Top-1%"});
+  std::vector<SweepRow> rows;
+  for (double rate : rates) {
+    serve::OpenLoopSpec spec;
+    spec.num_requests = num_requests;
+    spec.mean_interarrival_ticks = static_cast<double>(sustain) / rate;
+    spec.relative_deadline_ticks = deadline;
+    spec.seed = 20260807;
+    // The trace depends only on the rate: every window x policy cell at
+    // a given rate replays the IDENTICAL arrivals and payloads.
+    const serve::ArrivalTrace trace = serve::make_open_loop_trace(
+        spec, {1, 28, 28});
+    for (serve::Tick window : windows) {
+      for (serve::AdmissionPolicy policy : policies) {
+        serve::ServerConfig cfg;
+        cfg.queue_capacity = 32;
+        cfg.batcher.max_batch = 8;
+        cfg.batcher.batch_window = window;
+        cfg.controller.high_depth_fraction = 0.5;
+        cfg.controller.low_depth_fraction = 0.125;
+        cfg.controller.p99_high_ticks = deadline / 2;
+        cfg.controller.p99_low_ticks = deadline / 4;
+        cfg.controller.dwell_ticks = 4 * sustain;
+        cfg.policy = policy;
+        cfg.payload = payload;
+        serve::Server server(pool, cfg);
+        const serve::ServeResult result = server.run_trace(trace);
+
+        SweepRow row;
+        row.rate = rate;
+        row.window = window;
+        row.policy = policy;
+        row.stats = result.stats;
+        row.digest = result.digest();
+        std::int64_t correct = 0;
+        for (const serve::Response& resp : result.responses) {
+          const std::size_t idx = static_cast<std::size_t>(
+              resp.id % split.test.images.shape()[0]);
+          if (resp.predicted == split.test.labels[idx]) ++correct;
+        }
+        row.accuracy_proxy =
+            result.responses.empty()
+                ? 0.0
+                : 100.0 * static_cast<double>(correct) /
+                      static_cast<double>(result.responses.size());
+        row.energy_per_request_uj =
+            row.stats.served == 0
+                ? 0.0
+                : row.stats.total_energy_uj /
+                      static_cast<double>(row.stats.served);
+        row.served_per_mtick =
+            row.stats.end_tick == 0
+                ? 0.0
+                : 1e6 * static_cast<double>(row.stats.served) /
+                      static_cast<double>(row.stats.end_tick);
+        rows.push_back(row);
+
+        table.add_row(
+            {fmt("%.1fx", rate), std::to_string(window),
+             serve::admission_policy_name(policy),
+             std::to_string(row.stats.served),
+             std::to_string(row.stats.served_within_deadline),
+             std::to_string(row.stats.rejected_full +
+                            row.stats.rejected_expired +
+                            row.stats.rejected_shutdown),
+             std::to_string(row.stats.expired_in_queue),
+             std::to_string(
+                 static_cast<std::int64_t>(row.stats.p50_latency_ticks)),
+             std::to_string(
+                 static_cast<std::int64_t>(row.stats.p99_latency_ticks)),
+             fmt("%.2f", row.energy_per_request_uj),
+             fmt("%.1f", row.accuracy_proxy)});
+      }
+      table.add_separator();
+    }
+  }
+  std::cout << table.to_string();
+
+  // Acceptance check (ISSUE criterion): at every >= 2x overload cell the
+  // degrade policy must serve strictly more within-deadline requests
+  // than both baselines.
+  bool accepted = true;
+  for (double rate : rates) {
+    if (rate < 2.0) continue;
+    for (serve::Tick window : windows) {
+      std::int64_t degrade = -1, reject = -1, noadm = -1;
+      for (const SweepRow& r : rows) {
+        if (r.rate != rate || r.window != window) continue;
+        const std::int64_t in = r.stats.served_within_deadline;
+        if (r.policy == serve::AdmissionPolicy::kDegrade) degrade = in;
+        if (r.policy == serve::AdmissionPolicy::kRejectOnly) reject = in;
+        if (r.policy == serve::AdmissionPolicy::kNoAdmission) noadm = in;
+      }
+      const bool ok = degrade > reject && degrade > noadm;
+      accepted = accepted && ok;
+      std::cout << (ok ? "PASS" : "FAIL") << ": rate " << fmt("%.1fx", rate)
+                << " window " << window << " — degrade " << degrade
+                << " in-deadline vs reject-only " << reject
+                << " vs no-admission " << noadm << "\n";
+    }
+  }
+
+  json::Value doc = json::Value::object();
+  doc.set("version", json::Value("qnn.bench_serve/1"));
+  doc.set("network", json::Value("lenet"));
+  doc.set("channel_scale", json::Value(zoo.channel_scale));
+  doc.set("num_requests", json::Value(num_requests));
+  doc.set("sustainable_ticks_per_image", json::Value(sustain));
+  doc.set("deadline_ticks", json::Value(deadline));
+  doc.set("overload_acceptance", json::Value(accepted));
+  json::Value jrows = json::Value::array();
+  for (const SweepRow& r : rows) jrows.push_back(row_to_json(r));
+  doc.set("rows", std::move(jrows));
+  write_file_atomic("BENCH_serve.json", doc.dump());
+  std::cout << "\nwrote BENCH_serve.json (" << rows.size() << " cells), "
+            << "overload acceptance: " << (accepted ? "PASS" : "FAIL")
+            << "\n";
+}
+
+}  // namespace
+}  // namespace qnn
+
+int main(int argc, char** argv) {
+  qnn::bench::Session session("serve_loadgen", &argc, argv);
+  qnn::run();
+  return 0;
+}

@@ -10,6 +10,18 @@
 
 namespace qnn::nn {
 
+int argmax_row(const Tensor& logits, std::int64_t row) {
+  QNN_CHECK(logits.shape().rank() == 2);
+  QNN_CHECK(row >= 0 && row < logits.shape()[0]);
+  const std::int64_t classes = logits.shape()[1];
+  QNN_CHECK(classes > 0);
+  const float* r = logits.data() + row * classes;
+  int best = 0;
+  for (std::int64_t c = 1; c < classes; ++c)
+    if (r[c] > r[best]) best = static_cast<int>(c);
+  return best;
+}
+
 ConfusionMatrix::ConfusionMatrix(int num_classes)
     : num_classes_(num_classes),
       cells_(static_cast<std::size_t>(num_classes) * num_classes, 0) {

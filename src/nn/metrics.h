@@ -47,4 +47,9 @@ struct EvalMetrics {
 EvalMetrics evaluate_metrics(Model& model, const data::Dataset& d, int k = 3,
                              std::int64_t batch_size = 64);
 
+// Index of the largest logit in row `row` of a rank-2 (N, classes)
+// tensor; ties break to the lowest index. The single prediction rule
+// shared by the loss path and the serving layer's per-request labels.
+int argmax_row(const Tensor& logits, std::int64_t row);
+
 }  // namespace qnn::nn

@@ -130,6 +130,39 @@ const MetricSnapshot* Snapshot::find(const std::string& name) const {
   return nullptr;
 }
 
+double MetricSnapshot::quantile(double q) const {
+  QNN_CHECK_MSG(kind == MetricKind::kHistogram,
+                "quantile() on non-histogram \"" << name << '"');
+  QNN_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile q out of [0, 1]: " << q);
+  if (count == 0) return 0.0;
+  const double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (in_bucket == 0.0) continue;
+    if (cum + in_bucket >= target) {
+      if (i >= bounds.size()) {
+        // Overflow bucket: unbounded above, clamp to the last finite
+        // bound (or 0 for a bound-less histogram).
+        return bounds.empty() ? 0.0
+                              : static_cast<double>(bounds.back());
+      }
+      const double lo = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+      const double hi = static_cast<double>(bounds[i]);
+      const double f = std::max(target - cum, 0.0) / in_bucket;
+      return lo + f * (hi - lo);
+    }
+    cum += in_bucket;
+  }
+  return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+}
+
+double Snapshot::quantile(const std::string& name, double q) const {
+  const MetricSnapshot* m = find(name);
+  QNN_CHECK_MSG(m != nullptr, "no metric named \"" << name << '"');
+  return m->quantile(q);
+}
+
 json::Value MetricSnapshot::to_json() const {
   json::Value v = json::Value::object();
   v.set("name", name);

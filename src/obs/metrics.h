@@ -140,6 +140,21 @@ struct MetricSnapshot {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
+
+  // Histogram quantile (q in [0, 1]) with fixed-bucket linear
+  // interpolation — the one place p50/p99 are computed from bucket
+  // counts, so serving/bench code stops hand-rolling it. Convention:
+  //   * samples in bucket i are treated as uniform over (lo, hi], where
+  //     lo = bounds[i-1] (0 for the first bucket) and hi = bounds[i];
+  //   * the target rank is q * count; the result is lo + f * (hi - lo)
+  //     with f the fraction of the target rank inside its bucket;
+  //   * samples in the overflow bucket have no upper bound, so any
+  //     quantile landing there is clamped to the last finite bound
+  //     (a documented under-estimate — size the bounds to your tail);
+  //   * an empty histogram (count == 0) returns 0.
+  // Pinned by golden tests in tests/obs_test.cc.
+  double quantile(double q) const;
+
   json::Value to_json() const;
 };
 
@@ -147,6 +162,9 @@ struct Snapshot {
   std::vector<MetricSnapshot> metrics;  // sorted by name
 
   const MetricSnapshot* find(const std::string& name) const;
+  // Quantile of the named histogram (CheckError if the name is missing
+  // or not a histogram); see MetricSnapshot::quantile for semantics.
+  double quantile(const std::string& name, double q) const;
   json::Value to_json() const;
 };
 

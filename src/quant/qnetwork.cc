@@ -127,10 +127,21 @@ void QuantizedNetwork::save_masters() {
 }
 
 void QuantizedNetwork::restore_masters() {
+  frozen_ = false;
   if (!masters_saved_) return;
   for (std::size_t i = 0; i < params_.size(); ++i)
     params_[i]->value = masters_[i];
   masters_saved_ = false;
+}
+
+void QuantizedNetwork::freeze_inference() {
+  QNN_CHECK_MSG(calibrated_,
+                "freeze_inference before calibrate()");
+  if (frozen_) return;
+  restore_masters();
+  save_masters();
+  quantize_params();
+  frozen_ = true;
 }
 
 namespace {
@@ -224,9 +235,11 @@ Tensor QuantizedNetwork::forward_observed(const Tensor& input,
 
 Tensor QuantizedNetwork::forward_prologue(const Tensor& input) {
   QNN_CHECK_MSG(calibrated_, "QuantizedNetwork::forward before calibrate()");
-  restore_masters();
-  save_masters();
-  quantize_params();
+  if (!frozen_) {
+    restore_masters();
+    save_masters();
+    quantize_params();
+  }
 
   Tensor x = input;
   guard_scan(x, data_quantizers_[0]->clip_limit(), site_guards_[0]);
@@ -265,6 +278,9 @@ Tensor QuantizedNetwork::forward_step(std::size_t i, const Tensor& x) {
 }
 
 void QuantizedNetwork::backward(const Tensor& grad_output) {
+  QNN_CHECK_MSG(!frozen_,
+                "backward on an inference-frozen network; thaw_inference() "
+                "first");
   QNN_CHECK_MSG(masters_saved_, "backward without a preceding forward");
   // Straight-through estimator: activation and weight quantizers are
   // treated as identity for gradients, so the plain layer backward pass

@@ -112,8 +112,21 @@ class QuantizedNetwork final : public nn::Model {
   std::string name() const override;
 
   // Restores master weights if a forward left quantized values in the
-  // network (e.g. after evaluation). Idempotent.
+  // network (e.g. after evaluation). Idempotent. Also leaves inference
+  // freeze mode (see freeze_inference).
   void restore_masters();
+
+  // Inference-serving mode: quantizes the parameters ONCE (masters
+  // saved first, guard counters scanned once) so subsequent forwards
+  // reuse the live quantized image instead of re-running the per-call
+  // master save + parameter re-quantization — the dominant fixed cost
+  // when one replica serves many requests and the weights never change
+  // (src/serve's replica pool freezes every tier at build time).
+  // While frozen, backward() is disallowed; thaw_inference() (or
+  // restore_masters()) returns to the default train/eval behavior.
+  void freeze_inference();
+  void thaw_inference() { restore_masters(); }
+  bool inference_frozen() const { return frozen_; }
 
   // Clamps master weights into the representable range of the weight
   // format (BinaryConnect-style clipping; keeps masters from drifting
@@ -187,6 +200,7 @@ class QuantizedNetwork final : public nn::Model {
   std::vector<Tensor> masters_;
   bool masters_saved_ = false;
   bool calibrated_ = false;
+  bool frozen_ = false;  // inference freeze; see freeze_inference()
   std::vector<double> clip_limits_;  // per param; 0 disables
 
   ForwardHooks hooks_;

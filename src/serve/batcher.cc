@@ -1,0 +1,118 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace qnn::serve {
+namespace {
+
+struct BatcherMetrics {
+  obs::Counter closed_full, closed_window, closed_flush, expired;
+};
+
+BatcherMetrics& batcher_metrics() {
+  obs::Registry& r = obs::Registry::global();
+  static BatcherMetrics m{r.counter("serve.batch.closed_full"),
+                          r.counter("serve.batch.closed_window"),
+                          r.counter("serve.batch.closed_flush"),
+                          r.counter("serve.batch.expired_in_queue")};
+  return m;
+}
+
+}  // namespace
+
+DynamicBatcher::DynamicBatcher(const BatcherConfig& config, int num_tiers)
+    : config_(config),
+      pending_(static_cast<std::size_t>(num_tiers)) {
+  QNN_CHECK_MSG(config.max_batch >= 1, "max_batch must be positive");
+  QNN_CHECK_MSG(config.batch_window >= 0, "batch_window must be >= 0");
+  QNN_CHECK_MSG(num_tiers >= 1, "batcher needs at least one tier");
+}
+
+void DynamicBatcher::add(Request r, Tick now) {
+  const std::size_t tier = static_cast<std::size_t>(r.tier);
+  QNN_CHECK_MSG(tier < pending_.size(),
+                "request assigned to unknown tier " << r.tier);
+  pending_[tier].push_back(Pending{std::move(r), now});
+}
+
+void DynamicBatcher::drop_expired(Tick now, std::vector<Request>* expired) {
+  for (auto& dq : pending_) {
+    for (auto it = dq.begin(); it != dq.end();) {
+      if (it->request.deadline <= now) {
+        batcher_metrics().expired.inc();
+        expired->push_back(std::move(it->request));
+        it = dq.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+Batch DynamicBatcher::close_front(int tier, std::size_t count) {
+  auto& dq = pending_[static_cast<std::size_t>(tier)];
+  QNN_DCHECK(count <= dq.size());
+  Batch b;
+  b.tier = tier;
+  b.requests.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    b.requests.push_back(std::move(dq.front().request));
+    dq.pop_front();
+  }
+  return b;
+}
+
+std::vector<Batch> DynamicBatcher::poll(Tick now,
+                                        std::vector<Request>* expired) {
+  drop_expired(now, expired);
+  std::vector<Batch> out;
+  const std::size_t max = static_cast<std::size_t>(config_.max_batch);
+  for (int t = 0; t < static_cast<int>(pending_.size()); ++t) {
+    auto& dq = pending_[static_cast<std::size_t>(t)];
+    while (dq.size() >= max) {
+      out.push_back(close_front(t, max));
+      batcher_metrics().closed_full.inc();
+    }
+    if (!dq.empty() && now - dq.front().enqueued >= config_.batch_window) {
+      out.push_back(close_front(t, dq.size()));
+      batcher_metrics().closed_window.inc();
+    }
+  }
+  return out;
+}
+
+std::vector<Batch> DynamicBatcher::flush(Tick now,
+                                         std::vector<Request>* expired) {
+  drop_expired(now, expired);
+  std::vector<Batch> out;
+  const std::size_t max = static_cast<std::size_t>(config_.max_batch);
+  for (int t = 0; t < static_cast<int>(pending_.size()); ++t) {
+    auto& dq = pending_[static_cast<std::size_t>(t)];
+    while (!dq.empty()) {
+      out.push_back(close_front(t, std::min(dq.size(), max)));
+      batcher_metrics().closed_flush.inc();
+    }
+  }
+  return out;
+}
+
+Tick DynamicBatcher::next_window_tick() const {
+  Tick next = kNoTick;
+  for (const auto& dq : pending_) {
+    if (dq.empty()) continue;
+    const Tick due = dq.front().enqueued + config_.batch_window;
+    if (next == kNoTick || due < next) next = due;
+  }
+  return next;
+}
+
+std::size_t DynamicBatcher::pending_total() const {
+  std::size_t n = 0;
+  for (const auto& dq : pending_) n += dq.size();
+  return n;
+}
+
+}  // namespace qnn::serve

@@ -1,0 +1,76 @@
+// Deadline-aware dynamic batching (DESIGN.md §12).
+//
+// Requests wait in per-tier pending lists (batches never mix precision
+// tiers — each tier runs on its own replica). A tier's batch closes on
+// whichever comes first:
+//   * max-batch:      max_batch requests are pending, or
+//   * batch-window:   `batch_window` ticks have elapsed since the tier's
+//                     OLDEST pending request was added (window 0 closes
+//                     on the same tick the request arrives).
+// Before any close, requests whose deadline has already passed are
+// dropped and handed back through `expired` — executing them would burn
+// service capacity on work that can no longer meet its contract.
+//
+// Pure virtual-time data structure: poll(now) is a deterministic
+// function of the add() history, so batch composition replays
+// identically at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace qnn::serve {
+
+struct BatcherConfig {
+  int max_batch = 8;
+  Tick batch_window = 0;
+};
+
+struct Batch {
+  int tier = 0;
+  std::vector<Request> requests;  // batch-row order
+};
+
+class DynamicBatcher {
+ public:
+  DynamicBatcher(const BatcherConfig& config, int num_tiers);
+
+  // Adds an admitted request to its tier's pending list. `now` starts
+  // the tier's batch window if the list was empty.
+  void add(Request r, Tick now);
+
+  // Drops expired pending requests into `expired`, then closes every
+  // batch due at `now` (max-batch or window rule). Closed batches are
+  // returned in tier order, oldest first within a tier.
+  std::vector<Batch> poll(Tick now, std::vector<Request>* expired);
+
+  // Shutdown drain: drops expired requests, then closes ALL remaining
+  // pending work into max_batch-sized batches regardless of the window —
+  // in-flight requests are finished, never abandoned.
+  std::vector<Batch> flush(Tick now, std::vector<Request>* expired);
+
+  // Earliest future tick at which some tier's window rule comes due, or
+  // kNoTick when nothing is pending. Drives the replay event loop.
+  static constexpr Tick kNoTick = -1;
+  Tick next_window_tick() const;
+
+  std::size_t pending_total() const;
+  bool empty() const { return pending_total() == 0; }
+
+ private:
+  struct Pending {
+    Request request;
+    Tick enqueued = 0;
+  };
+
+  void drop_expired(Tick now, std::vector<Request>* expired);
+  Batch close_front(int tier, std::size_t count);
+
+  BatcherConfig config_;
+  std::vector<std::deque<Pending>> pending_;  // one list per tier
+};
+
+}  // namespace qnn::serve

@@ -1,0 +1,69 @@
+#include "serve/controller.h"
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace qnn::serve {
+namespace {
+
+struct ControllerMetrics {
+  obs::Counter downshifts, upshifts;
+  obs::Gauge tier;
+};
+
+ControllerMetrics& controller_metrics() {
+  obs::Registry& r = obs::Registry::global();
+  static ControllerMetrics m{r.counter("serve.controller.downshifts"),
+                             r.counter("serve.controller.upshifts"),
+                             r.gauge("serve.controller.tier")};
+  return m;
+}
+
+}  // namespace
+
+OverloadController::OverloadController(const ControllerConfig& config,
+                                       int num_tiers)
+    : config_(config), num_tiers_(num_tiers) {
+  QNN_CHECK_MSG(num_tiers >= 1, "controller needs at least one tier");
+  QNN_CHECK_MSG(config.low_depth_fraction <= config.high_depth_fraction,
+                "recover threshold above downshift threshold");
+  QNN_CHECK_MSG(config.p99_low_ticks <= config.p99_high_ticks,
+                "p99 recover threshold above downshift threshold");
+}
+
+void OverloadController::update(Tick now, std::size_t depth,
+                                std::size_t bound, double p99_ticks) {
+  if (ever_shifted_ && now - last_shift_ < config_.dwell_ticks) return;
+
+  const double frac =
+      bound > 0 ? static_cast<double>(depth) / static_cast<double>(bound)
+                : (depth > 0 ? 1.0 : 0.0);
+  const bool latency_signal = config_.p99_high_ticks > 0 && p99_ticks > 0;
+  const bool hot =
+      frac >= config_.high_depth_fraction ||
+      (latency_signal &&
+       p99_ticks >= static_cast<double>(config_.p99_high_ticks));
+  const bool cool =
+      frac <= config_.low_depth_fraction &&
+      (!latency_signal ||
+       p99_ticks <= static_cast<double>(config_.p99_low_ticks));
+
+  ControllerMetrics& m = controller_metrics();
+  if (hot && tier_ + 1 < num_tiers_) {
+    ++tier_;
+    ++downshifts_;
+    ever_shifted_ = true;
+    last_shift_ = now;
+    m.downshifts.inc();
+    m.tier.set(tier_);
+  } else if (cool && tier_ > 0) {
+    --tier_;
+    ++upshifts_;
+    ever_shifted_ = true;
+    last_shift_ = now;
+    m.upshifts.inc();
+    m.tier.set(tier_);
+  }
+}
+
+}  // namespace qnn::serve

@@ -1,0 +1,67 @@
+// Overload controller: precision-downshift graceful degradation with
+// hysteresis (DESIGN.md §12).
+//
+// The controller watches two pressure signals — backlog depth as a
+// fraction of the admission bound, and the observed p99 latency (read
+// from the obs registry's serve latency histogram via the quantile
+// helper) — and moves a single pointer through the tier lattice:
+// downshift new requests to the next-cheaper precision tier when either
+// signal is hot, recover one tier when BOTH are cool. Rejection is the
+// last resort, reached only when the queue is full while already at the
+// cheapest tier.
+//
+// Hysteresis: after any shift the controller holds its tier for at
+// least `dwell_ticks` of virtual time, and the recover thresholds sit
+// well below the downshift thresholds, so a pressure signal oscillating
+// around one threshold cannot make tier assignment flap.
+//
+// Everything is a pure function of (virtual time, integer signals), so
+// controller decisions replay bit-identically at any thread count.
+#pragma once
+
+#include <cstddef>
+
+#include "serve/request.h"
+
+namespace qnn::serve {
+
+struct ControllerConfig {
+  // Backlog fraction (depth / admission bound) thresholds.
+  double high_depth_fraction = 0.75;  // downshift at or above
+  double low_depth_fraction = 0.25;   // eligible to recover below
+  // Observed-p99 thresholds in virtual ticks; 0 disables the latency
+  // signal (depth-only control).
+  Tick p99_high_ticks = 0;
+  Tick p99_low_ticks = 0;
+  // Minimum virtual time between consecutive shifts.
+  Tick dwell_ticks = 0;
+};
+
+class OverloadController {
+ public:
+  OverloadController(const ControllerConfig& config, int num_tiers);
+
+  // Tier to assign to requests admitted now (0 = full precision).
+  int current_tier() const { return tier_; }
+
+  // Feeds one observation of the pressure signals and applies the
+  // hysteresis state machine. `depth`/`bound` describe the admission
+  // backlog; `p99_ticks` is the observed latency quantile (<= 0 when no
+  // completions have been observed yet).
+  void update(Tick now, std::size_t depth, std::size_t bound,
+              double p99_ticks);
+
+  std::int64_t downshifts() const { return downshifts_; }
+  std::int64_t upshifts() const { return upshifts_; }
+
+ private:
+  ControllerConfig config_;
+  int num_tiers_;
+  int tier_ = 0;
+  bool ever_shifted_ = false;
+  Tick last_shift_ = 0;
+  std::int64_t downshifts_ = 0;
+  std::int64_t upshifts_ = 0;
+};
+
+}  // namespace qnn::serve

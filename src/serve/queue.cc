@@ -1,0 +1,76 @@
+#include "serve/queue.h"
+
+#include "obs/metrics.h"
+
+namespace qnn::serve {
+namespace {
+
+// Process-wide admission counters; integer sums, so totals are exact
+// and thread-count-independent (obs contract, DESIGN.md §11).
+struct QueueMetrics {
+  obs::Counter admitted, rejected_full, rejected_expired,
+      rejected_shutdown;
+  obs::Gauge depth;
+};
+
+QueueMetrics& queue_metrics() {
+  obs::Registry& r = obs::Registry::global();
+  static QueueMetrics m{r.counter("serve.queue.admitted"),
+                        r.counter("serve.queue.rejected_full"),
+                        r.counter("serve.queue.rejected_expired"),
+                        r.counter("serve.queue.rejected_shutdown"),
+                        r.gauge("serve.queue.depth")};
+  return m;
+}
+
+}  // namespace
+
+BoundedQueue::BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+RejectReason BoundedQueue::try_push(Request r, Tick now,
+                                    std::size_t extra_backlog) {
+  QueueMetrics& m = queue_metrics();
+  std::lock_guard<std::mutex> lock(m_);
+  if (closed_) {
+    m.rejected_shutdown.inc();
+    return RejectReason::kShutdown;
+  }
+  if (r.deadline <= now) {
+    m.rejected_expired.inc();
+    return RejectReason::kDeadlineExpired;
+  }
+  if (q_.size() + extra_backlog >= capacity_) {
+    m.rejected_full.inc();
+    return RejectReason::kQueueFull;
+  }
+  q_.push_back(std::move(r));
+  m.admitted.inc();
+  m.depth.set(static_cast<std::int64_t>(q_.size()));
+  return RejectReason::kNone;
+}
+
+std::size_t BoundedQueue::drain(std::vector<Request>* out) {
+  std::lock_guard<std::mutex> lock(m_);
+  const std::size_t n = q_.size();
+  for (Request& r : q_) out->push_back(std::move(r));
+  q_.clear();
+  queue_metrics().depth.set(0);
+  return n;
+}
+
+void BoundedQueue::close() {
+  std::lock_guard<std::mutex> lock(m_);
+  closed_ = true;
+}
+
+bool BoundedQueue::closed() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return closed_;
+}
+
+std::size_t BoundedQueue::size() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return q_.size();
+}
+
+}  // namespace qnn::serve

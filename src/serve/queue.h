@@ -1,0 +1,65 @@
+// Bounded request queue — the admission-control boundary of the serving
+// layer (DESIGN.md §12).
+//
+// Contract: try_push NEVER blocks the producer. A full queue rejects
+// with RejectReason::kQueueFull, a closed queue with kShutdown, and a
+// request whose deadline has already passed with kDeadlineExpired —
+// typed errors, not waits, so an overloaded server sheds work at the
+// edge instead of propagating back-pressure into callers.
+//
+// The queue is mutex-protected and safe for concurrent producers and a
+// draining consumer (exercised under TSan). The deterministic replay
+// engine (serve::Server) drives it single-threaded in arrival order; the
+// thread safety is for the real-time ingestion path.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace qnn::serve {
+
+class BoundedQueue {
+ public:
+  // `capacity` 0 is legal and rejects every push (useful as a
+  // "no queueing" configuration and as an edge case).
+  explicit BoundedQueue(std::size_t capacity);
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Admits `r` unless the queue is closed, full, or the request's
+  // deadline is not strictly after `now`. Returns kNone on success,
+  // otherwise the typed rejection; never blocks.
+  //
+  // `extra_backlog` counts admitted-but-undispatched work that a
+  // composed server has already moved past this queue (batcher pending,
+  // closed batches awaiting an executor) against the same capacity
+  // bound, so the admission limit covers the WHOLE pre-execution
+  // backlog, not just the bytes currently sitting in this deque.
+  RejectReason try_push(Request r, Tick now, std::size_t extra_backlog = 0);
+
+  // Moves every queued request into `out` (appending, FIFO order) and
+  // returns how many were drained.
+  std::size_t drain(std::vector<Request>* out);
+
+  // Stops admission: subsequent try_push calls return kShutdown.
+  // Already-queued requests stay queued so a draining server can finish
+  // them ("shutdown drains in-flight work, never drops it").
+  void close();
+  bool closed() const;
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex m_;
+  std::deque<Request> q_;
+  bool closed_ = false;
+};
+
+}  // namespace qnn::serve

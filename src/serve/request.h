@@ -1,0 +1,80 @@
+// Core request/response vocabulary of the inference serving layer
+// (DESIGN.md §12).
+//
+// The serving layer runs in VIRTUAL TIME: every request carries an
+// arrival tick and a deadline tick from a recorded trace, service
+// durations come from a deterministic per-tier cost model, and the
+// scheduler advances a virtual clock event by event. Wall-clock never
+// enters any scheduling decision, which is what makes overload behavior
+// itself replayable: the same trace produces the same batch
+// composition, tier assignments, and output bytes at any worker-thread
+// count (tests/serve_determinism_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace qnn::serve {
+
+// Virtual-time instant/duration. The unit is abstract ("ticks"); the
+// tier cost model and traces just have to agree on it. bench/
+// serve_loadgen uses accelerator cycles.
+using Tick = std::int64_t;
+
+// Why a request was turned away at the admission boundary (or dropped
+// before execution). Typed so producers can distinguish back-pressure
+// (kQueueFull — retry later, maybe elsewhere) from a hopeless request
+// (kDeadlineExpired) and a terminal condition (kShutdown).
+enum class RejectReason {
+  kNone = 0,
+  kQueueFull,         // bounded queue at capacity (admission control)
+  kDeadlineExpired,   // deadline already passed at enqueue time
+  kShutdown,          // server draining; no new work accepted
+};
+
+inline const char* reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone:            return "none";
+    case RejectReason::kQueueFull:       return "queue_full";
+    case RejectReason::kDeadlineExpired: return "deadline_expired";
+    case RejectReason::kShutdown:        return "shutdown";
+  }
+  return "?";
+}
+
+// One inference request as it moves through queue -> batcher -> replica.
+struct Request {
+  std::int64_t id = 0;
+  Tick arrival = 0;      // when the producer submitted it
+  Tick deadline = 0;     // absolute tick; must complete strictly before
+  int tier = 0;          // precision tier assigned at admission
+  Tensor payload;        // one sample, shape (1, C, H, W)
+};
+
+// Completed request. `output` is the model's logits row for this
+// request — the bytes the determinism contract pins.
+struct Response {
+  std::int64_t id = 0;
+  int tier = 0;
+  Tick arrival = 0;
+  Tick dispatch = 0;     // when its batch started executing
+  Tick completion = 0;   // dispatch + modeled batch service time
+  bool within_deadline = false;
+  int predicted = 0;     // argmax of `output`
+  std::vector<float> output;
+
+  Tick latency() const { return completion - arrival; }
+};
+
+// One executed batch, recorded for replay verification and reports.
+struct BatchRecord {
+  int tier = 0;
+  Tick dispatch = 0;
+  Tick completion = 0;
+  std::vector<std::int64_t> request_ids;  // in batch-row order
+};
+
+}  // namespace qnn::serve

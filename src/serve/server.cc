@@ -1,0 +1,312 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <limits>
+#include <utility>
+
+#include "nn/metrics.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "obs/trace.h"
+#include "util/crc32.h"
+
+namespace qnn::serve {
+namespace {
+
+// Latencies are measured in virtual ticks and tiers can be ~1e6 ticks
+// per image, so the duration histograms need a deep tail.
+constexpr std::int64_t kMaxLatencyBound = std::int64_t{1} << 40;
+
+struct ServeMetrics {
+  obs::Histogram latency, wait, batch_size;
+};
+
+ServeMetrics& serve_metrics() {
+  obs::Registry& r = obs::Registry::global();
+  static ServeMetrics m{
+      r.histogram("serve.latency_ticks",
+                  obs::exponential_bounds(kMaxLatencyBound)),
+      r.histogram("serve.wait_ticks",
+                  obs::exponential_bounds(kMaxLatencyBound)),
+      r.histogram("serve.batch_size", obs::exponential_bounds(1024))};
+  return m;
+}
+
+// The obs registry is process-global and accumulates across runs, so
+// per-run quantiles are computed on the DELTA between the current
+// snapshot and the baseline captured at run start. Bucket counts are
+// exact integers, so the delta — and therefore the p99 the controller
+// feeds back on — is thread-count-independent.
+struct HistogramDelta {
+  obs::MetricSnapshot base;  // zero-valued when absent at baseline
+
+  double quantile(const obs::Snapshot& current, const std::string& name,
+                  double q) const {
+    const obs::MetricSnapshot* cur = current.find(name);
+    if (cur == nullptr) return 0.0;
+    obs::MetricSnapshot delta = *cur;
+    if (!base.buckets.empty()) {
+      QNN_CHECK_MSG(base.buckets.size() == delta.buckets.size(),
+                    "histogram " << name << " changed shape mid-run");
+      for (std::size_t i = 0; i < delta.buckets.size(); ++i) {
+        delta.buckets[i] -= base.buckets[i];
+      }
+      delta.count -= base.count;
+      delta.sum -= base.sum;
+    }
+    return delta.quantile(q);
+  }
+};
+
+HistogramDelta baseline_of(const obs::Snapshot& snap,
+                           const std::string& name) {
+  HistogramDelta d;
+  const obs::MetricSnapshot* m = snap.find(name);
+  if (m != nullptr) d.base = *m;
+  return d;
+}
+
+}  // namespace
+
+const char* admission_policy_name(AdmissionPolicy p) {
+  switch (p) {
+    case AdmissionPolicy::kDegrade:     return "degrade";
+    case AdmissionPolicy::kRejectOnly:  return "reject_only";
+    case AdmissionPolicy::kNoAdmission: return "no_admission";
+  }
+  return "?";
+}
+
+std::uint32_t ServeResult::digest() const {
+  std::uint32_t crc = 0;
+  for (const Response& r : responses) {
+    crc = crc32(&r.id, sizeof(r.id), crc);
+    crc = crc32(&r.tier, sizeof(r.tier), crc);
+    crc = crc32(&r.completion, sizeof(r.completion), crc);
+    crc = crc32(r.output.data(), r.output.size() * sizeof(float), crc);
+  }
+  return crc;
+}
+
+json::Value serve_stats_to_json(const ServeStats& s) {
+  json::Value v = json::Value::object();
+  v.set("offered", json::Value(s.offered));
+  v.set("admitted", json::Value(s.admitted));
+  v.set("rejected_full", json::Value(s.rejected_full));
+  v.set("rejected_expired", json::Value(s.rejected_expired));
+  v.set("rejected_shutdown", json::Value(s.rejected_shutdown));
+  v.set("expired_in_queue", json::Value(s.expired_in_queue));
+  v.set("served", json::Value(s.served));
+  v.set("served_within_deadline", json::Value(s.served_within_deadline));
+  v.set("served_late", json::Value(s.served_late));
+  json::Value per_tier = json::Value::array();
+  for (std::int64_t n : s.served_per_tier) per_tier.push_back(json::Value(n));
+  v.set("served_per_tier", std::move(per_tier));
+  v.set("downshifts", json::Value(s.downshifts));
+  v.set("upshifts", json::Value(s.upshifts));
+  v.set("end_tick", json::Value(s.end_tick));
+  v.set("total_energy_uj", json::Value(s.total_energy_uj));
+  v.set("p50_latency_ticks", json::Value(s.p50_latency_ticks));
+  v.set("p99_latency_ticks", json::Value(s.p99_latency_ticks));
+  return v;
+}
+
+Server::Server(ReplicaPool& pool, ServerConfig config)
+    : pool_(pool), config_(std::move(config)) {
+  QNN_CHECK_MSG(pool_.num_tiers() >= 1, "server needs at least one tier");
+}
+
+ServeResult Server::run_trace(const ArrivalTrace& trace) {
+  QNN_SPAN("serve.run_trace", "serve");
+  ServeMetrics& metrics = serve_metrics();
+  const HistogramDelta lat_delta =
+      baseline_of(obs::Registry::global().snapshot(), "serve.latency_ticks");
+
+  const Shape sample = trace.sample_shape();
+  const std::int64_t per_row = sample.count();
+  const PayloadProvider provider =
+      config_.payload ? config_.payload : PayloadProvider(&default_payload);
+
+  const bool bounded = config_.policy != AdmissionPolicy::kNoAdmission;
+  const std::size_t capacity =
+      bounded ? config_.queue_capacity
+              : std::numeric_limits<std::size_t>::max();
+  const bool degrade = config_.policy == AdmissionPolicy::kDegrade;
+
+  BoundedQueue queue(capacity);
+  DynamicBatcher batcher(config_.batcher, pool_.num_tiers());
+  OverloadController controller(config_.controller, pool_.num_tiers());
+
+  ServeResult result;
+  ServeStats& stats = result.stats;
+  stats.offered = static_cast<std::int64_t>(trace.requests.size());
+  stats.served_per_tier.assign(
+      static_cast<std::size_t>(pool_.num_tiers()), 0);
+
+  std::deque<Batch> ready;           // closed batches awaiting the executor
+  std::size_t ready_requests = 0;    // total requests across `ready`
+  Tick executor_free = 0;            // executor idle at this tick
+  std::size_t next = 0;              // next trace request to arrive
+  std::vector<int> round_robin(
+      static_cast<std::size_t>(pool_.num_tiers()), 0);
+  double cached_p99 = 0.0;  // refreshed only after completions
+  Tick vnow = 0;
+  bool shutdown_done = config_.shutdown_tick < 0;
+
+  std::vector<Request> scratch;  // queue drain buffer
+  std::vector<Request> expired;  // batcher drop buffer
+
+  while (true) {
+    // ---- pick the next event tick -------------------------------------
+    Tick now = -1;
+    const auto consider = [&now](Tick t) {
+      if (t >= 0 && (now < 0 || t < now)) now = t;
+    };
+    if (next < trace.requests.size()) consider(trace.requests[next].arrival);
+    if (!batcher.empty()) consider(batcher.next_window_tick());
+    if (!ready.empty()) consider(executor_free);
+    if (!shutdown_done) consider(config_.shutdown_tick);
+    if (now < 0) break;      // no arrivals, nothing pending: done
+    now = std::max(now, vnow);  // virtual time is monotone
+    vnow = now;
+
+    // ---- shutdown closes the admission boundary -----------------------
+    if (!shutdown_done && now >= config_.shutdown_tick) {
+      queue.close();
+      shutdown_done = true;
+    }
+
+    // ---- arrivals at this tick ----------------------------------------
+    // The whole burst lands before the queue drains, so a one-tick burst
+    // sees the capacity bound exactly as a real ingestion thread would.
+    while (next < trace.requests.size() &&
+           trace.requests[next].arrival <= now) {
+      const TraceRequest& tr = trace.requests[next];
+      ++next;
+      const std::size_t backlog =
+          queue.size() + batcher.pending_total() + ready_requests;
+      controller.update(now, backlog, config_.queue_capacity, cached_p99);
+      Request r;
+      r.id = tr.id;
+      r.arrival = tr.arrival;
+      r.deadline = tr.deadline;
+      r.tier = degrade ? controller.current_tier() : 0;
+      r.payload = provider(tr, sample);
+      QNN_CHECK_MSG(r.payload.count() == per_row,
+                    "payload provider returned " << r.payload.shape().to_string()
+                                                 << ", want " << sample.to_string());
+      switch (queue.try_push(std::move(r), now,
+                             batcher.pending_total() + ready_requests)) {
+        case RejectReason::kNone:            ++stats.admitted; break;
+        case RejectReason::kQueueFull:       ++stats.rejected_full; break;
+        case RejectReason::kDeadlineExpired: ++stats.rejected_expired; break;
+        case RejectReason::kShutdown:        ++stats.rejected_shutdown; break;
+      }
+    }
+
+    // ---- admitted work moves into the batcher -------------------------
+    scratch.clear();
+    queue.drain(&scratch);
+    for (Request& r : scratch) batcher.add(std::move(r), now);
+
+    // ---- close due batches (flush once no more work can arrive) -------
+    const bool draining = next >= trace.requests.size() || queue.closed();
+    expired.clear();
+    std::vector<Batch> closed = draining ? batcher.flush(now, &expired)
+                                         : batcher.poll(now, &expired);
+    stats.expired_in_queue += static_cast<std::int64_t>(expired.size());
+    for (Batch& b : closed) {
+      ready_requests += b.requests.size();
+      ready.push_back(std::move(b));
+    }
+
+    // ---- execute ready batches while the executor is idle -------------
+    bool completed_any = false;
+    while (!ready.empty() && executor_free <= now) {
+      Batch b = std::move(ready.front());
+      ready.pop_front();
+      const std::size_t batch_n = b.requests.size();
+      ready_requests -= batch_n;
+      const TierSpec& tier = pool_.tier(b.tier);
+
+      std::vector<std::int64_t> dims = sample.dims();
+      dims[0] = static_cast<std::int64_t>(batch_n);
+      Tensor input{Shape(dims)};
+      for (std::size_t i = 0; i < batch_n; ++i) {
+        std::memcpy(input.data() + static_cast<std::int64_t>(i) * per_row,
+                    b.requests[i].payload.data(),
+                    static_cast<std::size_t>(per_row) * sizeof(float));
+      }
+
+      const std::size_t ti = static_cast<std::size_t>(b.tier);
+      const int replica = round_robin[ti];
+      round_robin[ti] = (replica + 1) % pool_.replicas_per_tier();
+      const Tensor output = pool_.forward(b.tier, replica, input);
+      QNN_CHECK_MSG(output.shape().rank() == 2 &&
+                        output.shape()[0] == static_cast<std::int64_t>(batch_n),
+                    "replica output is not (batch, classes)");
+      const std::int64_t classes = output.shape()[1];
+
+      const Tick service = tier.batch_overhead_ticks +
+                           static_cast<Tick>(batch_n) * tier.ticks_per_image;
+      const Tick completion = now + service;
+      executor_free = completion;
+      stats.end_tick = std::max(stats.end_tick, completion);
+      stats.total_energy_uj +=
+          static_cast<double>(batch_n) * tier.energy_per_image_uj;
+
+      BatchRecord record;
+      record.tier = b.tier;
+      record.dispatch = now;
+      record.completion = completion;
+      for (std::size_t i = 0; i < batch_n; ++i) {
+        const Request& req = b.requests[i];
+        record.request_ids.push_back(req.id);
+        Response resp;
+        resp.id = req.id;
+        resp.tier = req.tier;
+        resp.arrival = req.arrival;
+        resp.dispatch = now;
+        resp.completion = completion;
+        resp.within_deadline = completion < req.deadline;
+        resp.predicted = nn::argmax_row(output, static_cast<std::int64_t>(i));
+        const float* row =
+            output.data() + static_cast<std::int64_t>(i) * classes;
+        resp.output.assign(row, row + classes);
+        metrics.latency.observe(resp.latency());
+        metrics.wait.observe(now - req.arrival);
+        ++stats.served;
+        ++stats.served_per_tier[ti];
+        if (resp.within_deadline) {
+          ++stats.served_within_deadline;
+        } else {
+          ++stats.served_late;
+        }
+        result.responses.push_back(std::move(resp));
+      }
+      metrics.batch_size.observe(static_cast<std::int64_t>(batch_n));
+      result.batches.push_back(std::move(record));
+      completed_any = true;
+    }
+
+    // ---- refresh the controller's latency signal ----------------------
+    if (completed_any) {
+      const obs::Snapshot snap = obs::Registry::global().snapshot();
+      cached_p99 = lat_delta.quantile(snap, "serve.latency_ticks", 0.99);
+    }
+    stats.end_tick = std::max(stats.end_tick, now);
+  }
+
+  stats.downshifts = controller.downshifts();
+  stats.upshifts = controller.upshifts();
+  const obs::Snapshot final_snap = obs::Registry::global().snapshot();
+  stats.p50_latency_ticks =
+      lat_delta.quantile(final_snap, "serve.latency_ticks", 0.5);
+  stats.p99_latency_ticks =
+      lat_delta.quantile(final_snap, "serve.latency_ticks", 0.99);
+  return result;
+}
+
+}  // namespace qnn::serve

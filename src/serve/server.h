@@ -1,0 +1,108 @@
+// Deterministic virtual-time inference server (DESIGN.md §12).
+//
+// The server replays a recorded ArrivalTrace through the full serving
+// pipeline — admission (BoundedQueue), deadline-aware batching
+// (DynamicBatcher), precision-downshift overload control
+// (OverloadController), and per-tier frozen replicas (ReplicaPool) —
+// entirely in virtual time. Service durations come from each tier's
+// modeled cost (accelerator schedule cycles scaled by operand bits),
+// never from wall clock, and the event loop itself is serial; the only
+// real parallelism is INSIDE each forward pass, which the deterministic
+// thread pool already guarantees is bit-identical at any thread count
+// (§9). Consequence: batch composition, tier assignments, rejections,
+// and output bytes replay identically at 1, 4, or 8 worker threads —
+// overload behavior is a testable function of the trace.
+//
+// The p99 feedback signal closes the loop THROUGH the obs registry: the
+// server observes per-request latency into a histogram and the
+// controller reads it back via Snapshot::quantile, as a delta against a
+// baseline snapshot taken at run start. Bucket counts are exact
+// integers, so even this feedback path is thread-count-independent.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/controller.h"
+#include "serve/queue.h"
+#include "serve/request.h"
+#include "serve/tiers.h"
+#include "serve/trace.h"
+#include "util/json.h"
+
+namespace qnn::serve {
+
+// What admission does when pressure rises.
+enum class AdmissionPolicy {
+  kDegrade,      // downshift tiers first, reject only when full
+  kRejectOnly,   // full precision always; full queue rejects
+  kNoAdmission,  // unbounded queue, full precision (baseline)
+};
+const char* admission_policy_name(AdmissionPolicy p);
+
+// Synthesizes a request's input tensor; defaults to default_payload.
+using PayloadProvider =
+    std::function<Tensor(const TraceRequest&, const Shape& sample_shape)>;
+
+struct ServerConfig {
+  std::size_t queue_capacity = 64;
+  BatcherConfig batcher;
+  ControllerConfig controller;
+  AdmissionPolicy policy = AdmissionPolicy::kDegrade;
+  // Virtual tick at which the queue closes (admission stops, in-flight
+  // work drains); -1 = never, the trace runs to completion.
+  Tick shutdown_tick = -1;
+  PayloadProvider payload;  // null -> default_payload
+};
+
+struct ServeStats {
+  std::int64_t offered = 0;
+  std::int64_t admitted = 0;
+  std::int64_t rejected_full = 0;
+  std::int64_t rejected_expired = 0;
+  std::int64_t rejected_shutdown = 0;
+  std::int64_t expired_in_queue = 0;  // admitted but dropped pre-dispatch
+  std::int64_t served = 0;
+  std::int64_t served_within_deadline = 0;
+  std::int64_t served_late = 0;
+  std::vector<std::int64_t> served_per_tier;
+  std::int64_t downshifts = 0;
+  std::int64_t upshifts = 0;
+  Tick end_tick = 0;
+  double total_energy_uj = 0.0;
+  double p50_latency_ticks = 0.0;
+  double p99_latency_ticks = 0.0;
+};
+
+struct ServeResult {
+  std::vector<Response> responses;  // completion order
+  std::vector<BatchRecord> batches;
+  ServeStats stats;
+
+  // Order-sensitive CRC over every response's (id, tier, completion,
+  // output bytes) — the replay-identity fingerprint compared across
+  // thread counts by the determinism suite.
+  std::uint32_t digest() const;
+};
+
+json::Value serve_stats_to_json(const ServeStats& stats);
+
+class Server {
+ public:
+  // The pool outlives the server; tier 0 must be the most accurate.
+  Server(ReplicaPool& pool, ServerConfig config);
+
+  // Replays `trace` to completion (or through shutdown drain) and
+  // returns every response plus aggregate statistics. Deterministic:
+  // same trace + config + pool => identical result bytes.
+  ServeResult run_trace(const ArrivalTrace& trace);
+
+ private:
+  ReplicaPool& pool_;
+  ServerConfig config_;
+};
+
+}  // namespace qnn::serve

@@ -1,0 +1,91 @@
+#include "serve/tiers.h"
+
+#include <algorithm>
+
+#include "hw/accelerator.h"
+#include "hw/schedule.h"
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace qnn::serve {
+
+std::vector<TierSpec> default_tier_lattice() {
+  std::vector<TierSpec> tiers(3);
+  tiers[0].name = "float";
+  tiers[0].precision = quant::float_config();
+  tiers[1].name = "fixed16";
+  tiers[1].precision = quant::fixed_config(16, 16);
+  tiers[2].name = "fixed8";
+  tiers[2].precision = quant::fixed_config(8, 8);
+  return tiers;
+}
+
+void derive_tier_costs(const nn::Network& net, const Shape& sample_input,
+                       std::vector<TierSpec>* tiers) {
+  QNN_CHECK(tiers != nullptr && !tiers->empty());
+  const std::vector<nn::LayerDesc> descs = net.describe(sample_input);
+  for (TierSpec& t : *tiers) {
+    hw::AcceleratorConfig cfg;
+    cfg.precision = t.precision;
+    const hw::Accelerator acc(cfg);
+    const hw::ScheduleResult sched = hw::schedule_network(descs, acc);
+    const int bits =
+        t.precision.is_float()
+            ? 32
+            : std::max(t.precision.weight_bits, t.precision.input_bits);
+    t.ticks_per_image = std::max<Tick>(
+        1, sched.total_cycles * bits / 32);
+    t.batch_overhead_ticks = std::max<Tick>(1, t.ticks_per_image / 8);
+    t.energy_per_image_uj = sched.energy_uj(acc);
+  }
+}
+
+ReplicaPool::ReplicaPool(const nn::Network& master,
+                         const Tensor& calibration_batch,
+                         std::vector<TierSpec> tiers, int replicas_per_tier)
+    : tiers_(std::move(tiers)), replicas_per_tier_(replicas_per_tier) {
+  QNN_CHECK_MSG(!tiers_.empty(), "replica pool needs at least one tier");
+  QNN_CHECK_MSG(replicas_per_tier_ >= 1,
+                "replicas_per_tier must be positive");
+  QNN_SPAN_N("replica_pool_build", "serve",
+             static_cast<std::int64_t>(tiers_.size()) * replicas_per_tier_);
+  for (const TierSpec& t : tiers_) {
+    // Tier prototype: fresh clone of the master, calibrated once.
+    nets_.push_back(std::make_unique<nn::Network>(master.clone()));
+    auto proto = std::make_unique<quant::QuantizedNetwork>(*nets_.back(),
+                                                           t.precision);
+    proto->calibrate(calibration_batch);
+    quant::QuantizedNetwork* proto_ptr = proto.get();
+    replicas_.push_back(std::move(proto));
+    // Extra replicas share the prototype's calibration via clone_onto.
+    for (int r = 1; r < replicas_per_tier_; ++r) {
+      nets_.push_back(std::make_unique<nn::Network>(master.clone()));
+      replicas_.push_back(std::make_unique<quant::QuantizedNetwork>(
+          proto_ptr->clone_onto(*nets_.back())));
+    }
+  }
+  // Freeze after all clone_onto calls: cloning requires restored
+  // masters, freezing quantizes them in place.
+  for (auto& q : replicas_) {
+    q->set_training_mode(false);
+    q->freeze_inference();
+  }
+}
+
+const TierSpec& ReplicaPool::tier(int t) const {
+  QNN_CHECK(t >= 0 && t < num_tiers());
+  return tiers_[static_cast<std::size_t>(t)];
+}
+
+quant::QuantizedNetwork& ReplicaPool::replica(int t, int r) {
+  QNN_CHECK(t >= 0 && t < num_tiers());
+  QNN_CHECK(r >= 0 && r < replicas_per_tier_);
+  return *replicas_[static_cast<std::size_t>(t * replicas_per_tier_ + r)];
+}
+
+Tensor ReplicaPool::forward(int t, int r, const Tensor& batch) {
+  QNN_SPAN_N("replica_forward", "serve", batch.shape()[0]);
+  return replica(t, r).forward(batch);
+}
+
+}  // namespace qnn::serve

@@ -1,0 +1,86 @@
+// Precision tiers and the replica pool behind the serving layer
+// (DESIGN.md §12).
+//
+// A tier is one precision point of the degradation lattice, ordered
+// from most expensive/most accurate (tier 0) to cheapest (last):
+// typically float -> fixed 16 -> fixed 8. Each tier carries a
+// deterministic service-cost model (virtual ticks per image, derived
+// from the accelerator schedule scaled by operand precision — the
+// bit-serial latency model of DynamicStripes-class designs) and the hw
+// model's per-image energy, so degrading a request to a lower tier buys
+// a KNOWN amount of latency and energy headroom for a KNOWN accuracy
+// cost — the paper's precision/accuracy/energy trade-off restated as a
+// load-shedding policy.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+#include "quant/qconfig.h"
+#include "quant/qnetwork.h"
+#include "serve/request.h"
+
+namespace qnn::serve {
+
+struct TierSpec {
+  std::string name;  // "float", "fixed16", ...
+  quant::PrecisionConfig precision;
+  // Modeled service time: a batch of B images costs
+  //   batch_overhead_ticks + B * ticks_per_image.
+  Tick ticks_per_image = 1;
+  Tick batch_overhead_ticks = 0;
+  double energy_per_image_uj = 0.0;  // hw model, per served image
+};
+
+// The default degradation lattice: float (32,32) -> fixed (16,16) ->
+// fixed (8,8), in that order.
+std::vector<TierSpec> default_tier_lattice();
+
+// Fills each tier's cost model from the hardware schedule of `net` on
+// the default 16x16 accelerator at the tier's precision: energy is the
+// schedule's per-image energy, and ticks scale the schedule's cycles by
+// effective operand bits / 32 (bit-serial style), so lower-precision
+// tiers are proportionally faster. batch_overhead_ticks models per-
+// batch weight streaming into Sb at 1/8 of one image's ticks.
+void derive_tier_costs(const nn::Network& net, const Shape& sample_input,
+                       std::vector<TierSpec>* tiers);
+
+// Per-tier model replicas. Tier replicas are built once from a trained
+// float master: clone the network, wrap it at the tier's precision,
+// calibrate on a shared batch, then freeze_inference() so serving
+// forwards skip per-call parameter re-quantization. Additional replicas
+// per tier (for future lane parallelism) are clone_onto copies of the
+// tier's calibrated prototype, exactly as the fault campaigns replicate
+// networks.
+class ReplicaPool {
+ public:
+  ReplicaPool(const nn::Network& master, const Tensor& calibration_batch,
+              std::vector<TierSpec> tiers, int replicas_per_tier = 1);
+
+  ReplicaPool(const ReplicaPool&) = delete;
+  ReplicaPool& operator=(const ReplicaPool&) = delete;
+
+  int num_tiers() const { return static_cast<int>(tiers_.size()); }
+  int replicas_per_tier() const { return replicas_per_tier_; }
+  const TierSpec& tier(int t) const;
+  const std::vector<TierSpec>& tiers() const { return tiers_; }
+
+  // Runs `batch` through replica `replica` of tier `t`. Replicas are
+  // frozen for inference; the forward itself parallelizes internally
+  // via the deterministic thread pool.
+  Tensor forward(int t, int replica, const Tensor& batch);
+
+  quant::QuantizedNetwork& replica(int t, int r);
+
+ private:
+  std::vector<TierSpec> tiers_;
+  int replicas_per_tier_;
+  // Indexed t * replicas_per_tier_ + r; unique_ptr for stable addresses
+  // (QuantizedNetwork holds a reference to its Network).
+  std::vector<std::unique_ptr<nn::Network>> nets_;
+  std::vector<std::unique_ptr<quant::QuantizedNetwork>> replicas_;
+};
+
+}  // namespace qnn::serve

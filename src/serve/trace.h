@@ -1,0 +1,66 @@
+// Recorded arrival traces: the replayable input format of the serving
+// layer (DESIGN.md §12).
+//
+// A trace is the COMPLETE external input of a serving run — per request:
+// arrival tick, absolute deadline tick, and a payload seed from which
+// the request's input tensor is synthesized deterministically. Replaying
+// a trace therefore reproduces every scheduling decision bit-for-bit,
+// which is what makes overload behavior itself testable: the determinism
+// suite replays one trace at 1/4/8 worker threads and compares response
+// bytes, tier assignments, and batch composition.
+//
+// Persistence is a CRC-less single JSON document written atomically
+// (write_file_atomic); traces are inputs, not recovery state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.h"
+#include "tensor/shape.h"
+
+namespace qnn::serve {
+
+struct TraceRequest {
+  std::int64_t id = 0;
+  Tick arrival = 0;
+  Tick deadline = 0;             // absolute tick
+  std::uint64_t payload_seed = 0;
+};
+
+struct ArrivalTrace {
+  // Payload shape of one sample WITHOUT the batch dimension, e.g.
+  // {1, 28, 28} for LeNet inputs; payloads materialize as (1, C, H, W).
+  std::vector<std::int64_t> sample_dims;
+  std::vector<TraceRequest> requests;  // nondecreasing arrival ticks
+
+  Shape sample_shape() const;  // (1, dims...)
+};
+
+// Open-loop trace generator: arrivals do NOT wait for responses (the
+// load-shedding scenario). Inter-arrival gaps are exponential with the
+// given mean (rounded to ticks, Poisson-style bursts included) or fixed
+// when `poisson` is false; everything derives from `seed`.
+struct OpenLoopSpec {
+  std::int64_t num_requests = 100;
+  double mean_interarrival_ticks = 100.0;
+  Tick relative_deadline_ticks = 1000;  // deadline = arrival + this
+  std::uint64_t seed = 1;
+  bool poisson = true;
+};
+
+ArrivalTrace make_open_loop_trace(const OpenLoopSpec& spec,
+                                  std::vector<std::int64_t> sample_dims);
+
+// Deterministic payload synthesis: uniform [0, 1) values from the
+// request's payload seed — the default provider when a server is not
+// wired to a dataset.
+Tensor default_payload(const TraceRequest& r, const Shape& sample_shape);
+
+// Atomic save / validated load. load_trace throws CheckError on
+// malformed files (wrong version, unsorted arrivals, bad shapes).
+void save_trace(const std::string& path, const ArrivalTrace& trace);
+ArrivalTrace load_trace(const std::string& path);
+
+}  // namespace qnn::serve

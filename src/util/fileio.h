@@ -7,7 +7,10 @@
 // mixture.
 #pragma once
 
+#include <sys/types.h>
+
 #include <cstddef>
+#include <functional>
 #include <string>
 
 namespace qnn {
@@ -22,7 +25,33 @@ std::string read_file(const std::string& path);
 // fsyncs the parent directory. Throws CheckError on any I/O failure; on
 // failure the destination is left untouched (the temp file is removed
 // best-effort).
+//
+// Transient-failure policy: EINTR and short writes are retried
+// immediately and do not count as failures; any other failure of the
+// write/fsync/rename sequence discards the temp file and re-attempts the
+// whole sequence up to kAtomicWriteAttempts times with exponential
+// backoff (1ms, 2ms, 4ms, ...) before the error surfaces. Every attempt
+// is a complete temp-write + rename, so the atomicity and durability
+// guarantees hold regardless of which attempt succeeds.
 void write_file_atomic(const std::string& path, const std::string& bytes);
+
+// Total attempts write_file_atomic makes before surfacing an error.
+inline constexpr int kAtomicWriteAttempts = 4;
+
+// Test seams for write_file_atomic's syscalls. Unset members fall
+// through to the real ::write/::fsync/::rename. Tests inject flaky
+// implementations (EINTR storms, short writes, transient ENOSPC) to
+// exercise the retry path; set_fileio_hooks_for_test({}) restores the
+// defaults. Not thread-safe — install before concurrent writers start.
+struct FileIoHooks {
+  std::function<ssize_t(int fd, const void* buf, std::size_t n)> write;
+  std::function<int(int fd)> fsync;
+  std::function<int(const char* from, const char* to)> rename;
+  // Backoff sleep between attempts, in milliseconds; tests stub it to
+  // avoid real sleeps and to record the backoff schedule.
+  std::function<void(int ms)> backoff;
+};
+void set_fileio_hooks_for_test(FileIoHooks hooks);
 
 // Returns the byte offset past a leading UTF-8 BOM (EF BB BF), or 0 when
 // the text does not start with one. Text readers (CSV, config, JSON) call

@@ -169,11 +169,13 @@ ThreadPool& ThreadPool::global() {
   return *slot;
 }
 
-void ThreadPool::set_global_threads(int threads) {
+int ThreadPool::set_global_threads(int threads) {
   std::lock_guard<std::mutex> lock(g_global_mutex);
   auto& slot = global_slot();
+  const int previous = slot ? slot->size() : env_threads();
   slot.reset();  // join old workers before spawning replacements
   slot = std::make_unique<ThreadPool>(std::max(threads, 1));
+  return previous;
 }
 
 std::vector<Shard> make_shards(std::int64_t total, std::int64_t max_shards) {

@@ -77,9 +77,10 @@ class ThreadPool {
   // Threads requested by the environment: QNN_THREADS if set and > 0,
   // otherwise hardware_concurrency (at least 1).
   static int env_threads();
-  // Rebuilds the global pool with `threads` (clamped to >= 1). Must not
-  // race with run() calls; intended for tests and bench harnesses.
-  static void set_global_threads(int threads);
+  // Rebuilds the global pool with `threads` (clamped to >= 1) and
+  // returns the previous size so callers can restore it. Must not race
+  // with run() calls; intended for tests and bench harnesses.
+  static int set_global_threads(int threads);
 
  private:
   struct Job {
@@ -105,6 +106,23 @@ class ThreadPool {
   int attached_ = 0;  // workers currently inside execute_tasks
   bool stop_ = false;
   std::mutex run_m_;  // serializes concurrent top-level run() calls
+};
+
+// RAII pool resize: rebuilds the global pool at `threads` and restores
+// the previous size on destruction. The standard way tests and benches
+// replay the same workload at several thread counts (determinism pins,
+// serve trace replay) without leaking a resized pool into later cases.
+class ScopedGlobalThreads {
+ public:
+  explicit ScopedGlobalThreads(int threads)
+      : previous_(ThreadPool::set_global_threads(threads)) {}
+  ~ScopedGlobalThreads() { ThreadPool::set_global_threads(previous_); }
+
+  ScopedGlobalThreads(const ScopedGlobalThreads&) = delete;
+  ScopedGlobalThreads& operator=(const ScopedGlobalThreads&) = delete;
+
+ private:
+  int previous_;
 };
 
 // Contiguous index range [begin, end).

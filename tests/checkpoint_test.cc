@@ -4,9 +4,16 @@
 // uninterrupted run byte-for-byte.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <filesystem>
+#include <vector>
 
 #include "exp/checkpoint.h"
+#include "util/check.h"
 #include "util/fileio.h"
 #include "util/thread_pool.h"
 
@@ -176,6 +183,150 @@ TEST(Checkpoint, LoadRejectsCorruption) {
   // Truncation (CRC line gone): rejected.
   write_file_atomic(path, read_file(path).substr(0, 10));
   EXPECT_FALSE(load_sweep_checkpoint(path, 1, precisions, &out));
+  std::filesystem::remove(path);
+}
+
+// --- transient-failure retry (injected flaky writer) -------------------
+
+// Restores the real syscalls no matter how a test exits.
+struct HooksGuard {
+  ~HooksGuard() { set_fileio_hooks_for_test({}); }
+};
+
+FileIoHooks counting_backoff(std::vector<int>* sleeps) {
+  FileIoHooks hooks;
+  hooks.backoff = [sleeps](int ms) { sleeps->push_back(ms); };
+  return hooks;
+}
+
+TEST(Checkpoint, AtomicWriteRetriesEintrStormsInvisibly) {
+  HooksGuard guard;
+  std::vector<int> sleeps;
+  FileIoHooks hooks = counting_backoff(&sleeps);
+  // Every syscall fails with EINTR twice before succeeding; EINTR is
+  // retried inline and must never consume a backoff attempt.
+  int write_fails = 2, fsync_fails = 2, rename_fails = 2;
+  hooks.write = [&](int fd, const void* buf, std::size_t n) -> ssize_t {
+    if (write_fails-- > 0) { errno = EINTR; return -1; }
+    return ::write(fd, buf, n);
+  };
+  hooks.fsync = [&](int fd) -> int {
+    if (fsync_fails-- > 0) { errno = EINTR; return -1; }
+    return ::fsync(fd);
+  };
+  hooks.rename = [&](const char* from, const char* to) -> int {
+    if (rename_fails-- > 0) { errno = EINTR; return -1; }
+    return ::rename(from, to);
+  };
+  set_fileio_hooks_for_test(hooks);
+
+  const std::string path = ::testing::TempDir() + "/ck_eintr.json";
+  SweepCheckpoint ck;
+  ck.fingerprint = 11;
+  ck.network = "lenet";
+  save_sweep_checkpoint(path, ck);
+  SweepCheckpoint out;
+  EXPECT_TRUE(load_sweep_checkpoint(path, 11, {}, &out));
+  EXPECT_TRUE(sleeps.empty()) << "EINTR must not trigger attempt backoff";
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, AtomicWriteHandlesShortWrites) {
+  HooksGuard guard;
+  FileIoHooks hooks;
+  // Dribble 7 bytes per call: the writer must loop until done.
+  hooks.write = [](int fd, const void* buf, std::size_t n) -> ssize_t {
+    return ::write(fd, buf, std::min<std::size_t>(n, 7));
+  };
+  set_fileio_hooks_for_test(hooks);
+
+  const std::string path = ::testing::TempDir() + "/ck_short.json";
+  SweepCheckpoint ck;
+  ck.fingerprint = 12;
+  ck.network = "lenet";
+  ck.dataset = "mnist";
+  ck.points.push_back(sample_point());
+  save_sweep_checkpoint(path, ck);
+  SweepCheckpoint out;
+  ASSERT_TRUE(load_sweep_checkpoint(path, 12, {quant::fixed_config(8, 8)},
+                                    &out));
+  expect_point_eq(ck.points[0], out.points[0]);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, AtomicWriteRetriesTransientFailuresWithBackoff) {
+  HooksGuard guard;
+  std::vector<int> sleeps;
+  FileIoHooks hooks = counting_backoff(&sleeps);
+  // First two whole attempts die with ENOSPC at fsync; the third works.
+  int attempts = 0;
+  hooks.fsync = [&](int fd) -> int {
+    if (++attempts <= 2) { errno = ENOSPC; return -1; }
+    return ::fsync(fd);
+  };
+  set_fileio_hooks_for_test(hooks);
+
+  const std::string path = ::testing::TempDir() + "/ck_flaky.json";
+  SweepCheckpoint ck;
+  ck.fingerprint = 13;
+  save_sweep_checkpoint(path, ck);
+  SweepCheckpoint out;
+  EXPECT_TRUE(load_sweep_checkpoint(path, 13, {}, &out));
+  // Exponential backoff between whole-sequence attempts: 1ms then 2ms.
+  EXPECT_EQ(sleeps, (std::vector<int>{1, 2}));
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, AtomicWriteGivesUpAfterBoundedAttempts) {
+  HooksGuard guard;
+  std::vector<int> sleeps;
+  FileIoHooks hooks = counting_backoff(&sleeps);
+  int calls = 0;
+  hooks.rename = [&](const char*, const char*) -> int {
+    ++calls;
+    errno = EIO;
+    return -1;  // permanent failure
+  };
+  set_fileio_hooks_for_test(hooks);
+
+  const std::string path = ::testing::TempDir() + "/ck_giveup.json";
+  SweepCheckpoint ck;
+  ck.fingerprint = 14;
+  EXPECT_THROW(save_sweep_checkpoint(path, ck), CheckError);
+  EXPECT_EQ(calls, kAtomicWriteAttempts);
+  EXPECT_EQ(sleeps.size(),
+            static_cast<std::size_t>(kAtomicWriteAttempts - 1));
+  // Failure leaves no destination and no temp litter.
+  EXPECT_FALSE(file_exists(path));
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+}
+
+TEST(Checkpoint, FailedAttemptNeverTearsPreviousCheckpoint) {
+  HooksGuard guard;
+  const std::string path = ::testing::TempDir() + "/ck_keep.json";
+  SweepCheckpoint ck;
+  ck.fingerprint = 15;
+  ck.network = "lenet";
+  save_sweep_checkpoint(path, ck);  // good previous version
+
+  std::vector<int> sleeps;
+  FileIoHooks hooks = counting_backoff(&sleeps);
+  hooks.write = [](int, const void*, std::size_t) -> ssize_t {
+    errno = EIO;
+    return -1;
+  };
+  set_fileio_hooks_for_test(hooks);
+  ck.dataset = "mnist";
+  EXPECT_THROW(save_sweep_checkpoint(path, ck), CheckError);
+  set_fileio_hooks_for_test({});
+
+  // The previous checkpoint is intact and still loads.
+  SweepCheckpoint out;
+  ASSERT_TRUE(load_sweep_checkpoint(path, 15, {}, &out));
+  EXPECT_EQ(out.network, "lenet");
+  EXPECT_EQ(out.dataset, "");
   std::filesystem::remove(path);
 }
 

@@ -156,6 +156,80 @@ TEST(ObsMetrics, GlobalRegistryIsAProcessSingleton) {
   EXPECT_EQ(&obs::Registry::global(), &obs::Registry::global());
 }
 
+// --- histogram quantiles -----------------------------------------------
+
+// Hand-built snapshot for quantile goldens; count is derived.
+obs::MetricSnapshot hist_snapshot(std::vector<std::int64_t> bounds,
+                                  std::vector<std::int64_t> buckets) {
+  obs::MetricSnapshot m;
+  m.name = "golden";
+  m.kind = obs::MetricKind::kHistogram;
+  m.bounds = std::move(bounds);
+  m.buckets = std::move(buckets);
+  for (std::int64_t b : m.buckets) m.count += b;
+  return m;
+}
+
+// Golden values for the documented fixed-bucket linear interpolation:
+// samples in bucket i are uniform over (lo, hi], target rank q * count.
+TEST(ObsMetrics, QuantileGoldenSingleBucket) {
+  const obs::MetricSnapshot m = hist_snapshot({10}, {4, 0});
+  EXPECT_DOUBLE_EQ(m.quantile(0.0), 0.0);    // rank 0: bucket floor
+  EXPECT_DOUBLE_EQ(m.quantile(0.5), 5.0);    // rank 2 of 4: halfway
+  EXPECT_DOUBLE_EQ(m.quantile(0.25), 2.5);   // rank 1 of 4
+  EXPECT_DOUBLE_EQ(m.quantile(1.0), 10.0);   // rank 4: bucket ceiling
+}
+
+TEST(ObsMetrics, QuantileGoldenInterpolatesAcrossBuckets) {
+  const obs::MetricSnapshot m = hist_snapshot({10, 20}, {2, 2, 0});
+  EXPECT_DOUBLE_EQ(m.quantile(0.5), 10.0);   // rank 2 exhausts bucket 0
+  EXPECT_DOUBLE_EQ(m.quantile(0.75), 15.0);  // rank 3: half of (10, 20]
+  EXPECT_DOUBLE_EQ(m.quantile(1.0), 20.0);
+}
+
+TEST(ObsMetrics, QuantileGoldenSkipsEmptyBuckets) {
+  const obs::MetricSnapshot m =
+      hist_snapshot({1, 2, 4, 8}, {0, 3, 0, 1, 0});
+  // Rank 1 of 4 lands a third into bucket (1, 2].
+  EXPECT_DOUBLE_EQ(m.quantile(0.25), 1.0 + 1.0 / 3.0);
+  // Rank 4 lands in bucket (4, 8] after skipping the empty (2, 4].
+  EXPECT_DOUBLE_EQ(m.quantile(1.0), 8.0);
+}
+
+TEST(ObsMetrics, QuantileOverflowClampsToLastFiniteBound) {
+  const obs::MetricSnapshot m = hist_snapshot({10, 20}, {0, 0, 5});
+  // The overflow bucket has no upper bound: documented under-estimate.
+  EXPECT_DOUBLE_EQ(m.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(m.quantile(0.99), 20.0);
+}
+
+TEST(ObsMetrics, QuantileEmptyHistogramIsZero) {
+  const obs::MetricSnapshot m = hist_snapshot({10}, {0, 0});
+  EXPECT_DOUBLE_EQ(m.quantile(0.5), 0.0);
+}
+
+TEST(ObsMetrics, QuantileChecksKindAndRange) {
+  obs::MetricSnapshot counter;
+  counter.kind = obs::MetricKind::kCounter;
+  EXPECT_THROW(counter.quantile(0.5), CheckError);
+  const obs::MetricSnapshot m = hist_snapshot({10}, {1, 0});
+  EXPECT_THROW(m.quantile(-0.1), CheckError);
+  EXPECT_THROW(m.quantile(1.1), CheckError);
+}
+
+TEST(ObsMetrics, SnapshotQuantileEndToEnd) {
+  obs::Registry reg;
+  obs::Histogram h = reg.histogram("q.lat", {1, 2, 4, 8});
+  for (std::int64_t v = 1; v <= 8; ++v) h.observe(v);
+  // Buckets: {1, 1, 2, 4} — p50 exhausts (2, 4], p100 exhausts (4, 8].
+  const obs::Snapshot snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.quantile("q.lat", 0.5), 4.0);
+  EXPECT_DOUBLE_EQ(snap.quantile("q.lat", 1.0), 8.0);
+  EXPECT_THROW(snap.quantile("missing", 0.5), CheckError);
+  reg.counter("q.not_hist").inc();
+  EXPECT_THROW(reg.snapshot().quantile("q.not_hist", 0.5), CheckError);
+}
+
 // --- tracer ------------------------------------------------------------
 
 // Pulls the "X" (complete span) events out of a chrome-trace document.
