@@ -15,6 +15,7 @@
 #include <functional>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -207,8 +208,16 @@ double best_of_ms(int reps, obs::Histogram hist, F&& fn) {
 
 struct ScalingRow {
   std::string name;
+  // Rows large enough that parallel execution must win; --min-speedup
+  // gates on these (the protected workload is dominated by ABFT
+  // checksum verification, not the sharded kernels, so it reports but
+  // does not gate).
+  bool gated = false;
   double serial_ms = 0;
   double parallel_ms = 0;
+  double speedup() const {
+    return parallel_ms > 0 ? serial_ms / parallel_ms : 0.0;
+  }
 };
 
 // Times each workload with a 1-thread pool and with the environment's
@@ -218,7 +227,7 @@ struct ScalingRow {
 // network forward (batch sharding inside every layer), and a quantized
 // evaluation (batch sharding plus guard scans) — plus an ABFT-protected
 // evaluation, so a --trace run profiles the checksum/verify path too.
-void write_scaling_report(bench::Session& session) {
+int write_scaling_report(bench::Session& session, double min_speedup) {
   const int threads = ThreadPool::env_threads();
 
   Rng rng(1);
@@ -226,6 +235,7 @@ void write_scaling_report(bench::Session& session) {
   Tensor a(Shape{n, n}), b(Shape{n, n}), c(Shape{n, n});
   a.fill_uniform(rng, -1, 1);
   b.fill_uniform(rng, -1, 1);
+  GemmScratch scratch;
 
   // Tall-K inner-product shape: M (batch) too small to occupy the pool,
   // so only the K-parallel schedule can use the extra threads. B stored
@@ -254,14 +264,14 @@ void write_scaling_report(bench::Session& session) {
   pnet.calibrate_envelopes(split.test.images);
 
   std::vector<ScalingRow> rows = {
-      {"gemm_384", 0, 0},
-      {"gemm_tallk_ip_8x512x8192", 0, 0},
-      {"lenet_forward_b32", 0, 0},
-      {"quantized_evaluate_128", 0, 0},
-      {"protected_evaluate_128", 0, 0},
+      {"gemm_384", true, 0, 0},
+      {"gemm_tallk_ip_8x512x8192", true, 0, 0},
+      {"lenet_forward_b32", true, 0, 0},
+      {"quantized_evaluate_128", true, 0, 0},
+      {"protected_evaluate_128", false, 0, 0},
   };
   const std::vector<std::function<void()>> workloads = {
-      [&] { gemm(n, n, n, a.data(), b.data(), c.data()); },
+      [&] { gemm(n, n, n, a.data(), b.data(), c.data(), &scratch); },
       [&] {
         gemm_bt(tm, tn, tk, ta.data(), tb.data(), tc.data(), &tscratch);
       },
@@ -297,14 +307,28 @@ void write_scaling_report(bench::Session& session) {
 
   json::Value doc = json::Value::object();
   doc.set("threads", threads);
+  // Scheduling/grain parameters of this build, so runs of different
+  // binaries (or future tunings) stay comparable.
+  json::Value params = json::Value::object();
+  params.set("hardware_concurrency",
+             static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  params.set("reduction_shards", kReductionShards);
+  params.set("min_shard_work", kMinShardWork);
+  params.set("claim_factor", ThreadPool::kClaimFactor);
+  params.set("claim_batch_max", ThreadPool::kClaimBatchMax);
+  params.set("worker_spin_iters",
+             static_cast<std::int64_t>(ThreadPool::global().spin_iterations()));
+  params.set("gemm_block_m", kGemmBlockM);
+  params.set("gemm_k_chunk", kGemmKChunk);
+  doc.set("params", std::move(params));
   json::Value arr = json::Value::array();
   for (const ScalingRow& row : rows) {
     json::Value entry = json::Value::object();
     entry.set("name", row.name);
+    entry.set("gated", row.gated);
     entry.set("serial_ms", row.serial_ms);
     entry.set("threads_ms", row.parallel_ms);
-    entry.set("speedup",
-              row.parallel_ms > 0 ? row.serial_ms / row.parallel_ms : 0.0);
+    entry.set("speedup", row.speedup());
     arr.push_back(std::move(entry));
   }
   doc.set("workloads", std::move(arr));
@@ -317,8 +341,39 @@ void write_scaling_report(bench::Session& session) {
   std::cout << "\nThread scaling (1 vs " << threads << " threads):\n";
   for (const ScalingRow& row : rows)
     std::cout << "  " << row.name << ": " << row.serial_ms << " ms -> "
-              << row.parallel_ms << " ms\n";
+              << row.parallel_ms << " ms (" << row.speedup() << "x)\n";
   std::cout << "wrote BENCH_micro.json\n";
+
+  // --min-speedup gate: every gated (large) workload must clear the
+  // bar, so a scheduling regression fails CI instead of shipping.
+  if (min_speedup <= 0.0) return 0;
+  if (threads <= 1) {
+    std::cout << "min-speedup gate skipped: pool has " << threads
+              << " thread(s); scaling is undefined\n";
+    return 0;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw < 2) {
+    // One core cannot speed anything up; the pool degrades to the
+    // inline serial path and the expected result is parity, not a
+    // ratio above 1. Report but don't gate.
+    std::cout << "min-speedup gate skipped: hardware_concurrency=" << hw
+              << "; expected 4-thread result is parity with serial\n";
+    return 0;
+  }
+  int failures = 0;
+  for (const ScalingRow& row : rows) {
+    if (!row.gated) continue;
+    if (row.speedup() < min_speedup) {
+      std::cerr << "FAIL " << row.name << ": speedup " << row.speedup()
+                << " < required " << min_speedup << "\n";
+      ++failures;
+    }
+  }
+  if (failures == 0)
+    std::cout << "min-speedup gate passed (>= " << min_speedup
+              << "x on all gated workloads)\n";
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -327,10 +382,30 @@ void write_scaling_report(bench::Session& session) {
 int main(int argc, char** argv) {
   // Strip --trace/--report before benchmark::Initialize sees argv.
   qnn::bench::Session session("micro_bench", &argc, argv);
+  // Strip --min-speedup <x> the same way: when set and any gated
+  // workload scales below x, exit nonzero (the CI perf gate).
+  double min_speedup = 0.0;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--min-speedup") {
+      if (i + 1 >= argc) {
+        std::cerr << "--min-speedup requires a value\n";
+        return 2;
+      }
+      min_speedup = std::atof(argv[++i]);
+      if (min_speedup <= 0.0) {
+        std::cerr << "--min-speedup wants a positive ratio, got "
+                  << argv[i] << "\n";
+        return 2;
+      }
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  qnn::write_scaling_report(session);
-  return 0;
+  return qnn::write_scaling_report(session, min_speedup);
 }

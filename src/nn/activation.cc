@@ -9,10 +9,12 @@
 namespace qnn::nn {
 namespace {
 
-// Elementwise map over a tensor, sharded with disjoint writes.
+// Elementwise map over a tensor, sharded with disjoint writes. The
+// per-element work is a handful of ops, so the grain keeps small
+// tensors (fc outputs, logits) in a single inline shard.
 template <typename F>
 void elementwise(Tensor& t, F&& fn) {
-  parallel_for_shards(t.count(), kReductionShards,
+  parallel_for_shards(t.count(), kReductionShards, shard_grain(4),
                       [&](std::size_t, std::int64_t begin, std::int64_t end) {
                         for (std::int64_t i = begin; i < end; ++i) fn(i);
                       });

@@ -68,9 +68,10 @@ Tensor InnerProduct::backward(const Tensor& grad_out) {
 
   if (!bias_.value.empty()) {
     // Each output feature accumulates its own double partial over the
-    // batch — disjoint writes, order-independent of the sharding.
+    // batch — disjoint writes, order-independent of the sharding. A
+    // feature costs one strided pass over the batch.
     parallel_for_shards(
-        out_features_, kReductionShards,
+        out_features_, kReductionShards, shard_grain(2 * n),
         [&](std::size_t, std::int64_t begin, std::int64_t end) {
           for (std::int64_t o = begin; o < end; ++o) {
             double acc = 0.0;

@@ -12,10 +12,12 @@ Tensor softmax(const Tensor& logits) {
   QNN_CHECK(logits.shape().rank() == 2);
   const std::int64_t n = logits.shape()[0], k = logits.shape()[1];
   Tensor probs(logits.shape());
-  // Rows are independent; sharding the sample loop changes nothing.
-  parallel_for_shards(n, kReductionShards, [&](std::size_t,
-                                               std::int64_t begin,
-                                               std::int64_t end) {
+  // Rows are independent; sharding the sample loop changes nothing. A
+  // row costs a few passes over k elements (max, exp, divide), so the
+  // grain folds small eval batches into one inline shard.
+  parallel_for_shards(n, kReductionShards, shard_grain(8 * k),
+                      [&](std::size_t, std::int64_t begin,
+                          std::int64_t end) {
     for (std::int64_t s = begin; s < end; ++s) {
       const float* row = logits.data() + s * k;
       float* out = probs.data() + s * k;
@@ -42,10 +44,12 @@ LossResult softmax_cross_entropy(const Tensor& logits,
   r.grad_logits = softmax(logits);
   r.predictions.resize(static_cast<std::size_t>(n));
 
-  // Per-shard double partial sums, merged below in shard-index order so
-  // the reported loss is independent of the thread count.
-  const std::vector<Shard> shards = make_shards(n, kReductionShards);
-  std::vector<double> partial(shards.size(), 0.0);
+  // Per-shard double partial sums in cache-line-padded slots, merged
+  // below in shard-index order so the reported loss is independent of
+  // the thread count; the grain keeps small batches inline.
+  const std::vector<Shard> shards =
+      make_shards(n, kReductionShards, shard_grain(6 * k));
+  std::vector<Padded<double>> partial(shards.size());
   parallel_run(static_cast<std::int64_t>(shards.size()), [&](std::int64_t
                                                                  si) {
     double total = 0.0;
@@ -61,10 +65,10 @@ LossResult softmax_cross_entropy(const Tensor& logits,
       row[y] -= 1.0f;
       for (std::int64_t j = 0; j < k; ++j) row[j] /= static_cast<float>(n);
     }
-    partial[static_cast<std::size_t>(si)] = total;
+    partial[static_cast<std::size_t>(si)].v = total;
   });
   double total = 0.0;
-  for (const double p : partial) total += p;
+  for (const Padded<double>& p : partial) total += p.v;
   r.loss = total / static_cast<double>(n);
   return r;
 }

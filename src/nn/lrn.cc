@@ -29,9 +29,11 @@ Tensor Lrn::forward(const Tensor& in) {
   const std::int64_t plane = s.h() * s.w();
   // Normalization windows span channels within one sample, so samples
   // are independent and the batch loop shards without changing results.
-  parallel_for_shards(s.n(), kReductionShards, [&](std::size_t,
-                                                   std::int64_t begin,
-                                                   std::int64_t end) {
+  // A sample costs one channel window per element.
+  const std::int64_t sample_cost = s.c() * plane * spec_.local_size;
+  parallel_for_shards(s.n(), kReductionShards, shard_grain(sample_cost),
+                      [&](std::size_t, std::int64_t begin,
+                          std::int64_t end) {
     for (std::int64_t n = begin; n < end; ++n) {
       for (std::int64_t p = 0; p < plane; ++p) {
         for (std::int64_t c = 0; c < s.c(); ++c) {
@@ -71,9 +73,10 @@ Tensor Lrn::backward(const Tensor& grad_out) {
   //     loop shards with disjoint writes.
   Tensor grad_in(s);
   const std::int64_t plane = s.h() * s.w();
-  parallel_for_shards(s.n(), kReductionShards, [&](std::size_t,
-                                                   std::int64_t begin,
-                                                   std::int64_t end) {
+  parallel_for_shards(s.n(), kReductionShards,
+                      shard_grain(2 * s.c() * plane * spec_.local_size),
+                      [&](std::size_t, std::int64_t begin,
+                          std::int64_t end) {
     for (std::int64_t n = begin; n < end; ++n) {
       for (std::int64_t p = 0; p < plane; ++p) {
         for (std::int64_t c = 0; c < s.c(); ++c) {

@@ -101,8 +101,9 @@ EvalMetrics evaluate_metrics(Model& model, const data::Dataset& d, int k,
     for (std::int64_t s = 0; s < count; ++s)
       m.confusion.add(y[static_cast<std::size_t>(s)],
                       lr.predictions[static_cast<std::size_t>(s)]);
-    const std::vector<Shard> shards = make_shards(count, kReductionShards);
-    std::vector<std::int64_t> partial(shards.size(), 0);
+    const std::vector<Shard> shards =
+        make_shards(count, kReductionShards, shard_grain(8 * classes));
+    std::vector<Padded<std::int64_t>> partial(shards.size());
     parallel_run(
         static_cast<std::int64_t>(shards.size()), [&](std::int64_t si) {
           std::vector<int> order(static_cast<std::size_t>(classes));
@@ -120,9 +121,9 @@ EvalMetrics evaluate_metrics(Model& model, const data::Dataset& d, int k,
                 break;
               }
           }
-          partial[static_cast<std::size_t>(si)] = hits;
+          partial[static_cast<std::size_t>(si)].v = hits;
         });
-    for (const std::int64_t hits : partial) topk_hits += hits;
+    for (const Padded<std::int64_t>& hits : partial) topk_hits += hits.v;
   }
   m.top1 = m.confusion.accuracy();
   m.topk = 100.0 * static_cast<double>(topk_hits) /

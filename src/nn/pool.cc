@@ -39,10 +39,13 @@ Tensor Pool2d::forward(const Tensor& in) {
   const std::int64_t ih = s.h(), iw = s.w(), oh = os.h(), ow = os.w();
   const std::int64_t planes = s.n() * s.c();
   // Every (sample, channel) plane reads and writes disjoint regions, so
-  // the plane loop shards freely without changing any result.
-  parallel_for_shards(planes, kReductionShards, [&](std::size_t,
-                                                    std::int64_t begin,
-                                                    std::int64_t end) {
+  // the plane loop shards freely without changing any result. A plane
+  // costs one window scan per output cell.
+  const std::int64_t plane_cost =
+      oh * ow * spec_.kernel * spec_.kernel;
+  parallel_for_shards(planes, kReductionShards, shard_grain(plane_cost),
+                      [&](std::size_t, std::int64_t begin,
+                          std::int64_t end) {
     for (std::int64_t p = begin; p < end; ++p) {
       const float* plane = in.data() + p * ih * iw;
       const std::int64_t plane_base = p * ih * iw;
@@ -102,7 +105,7 @@ Tensor Pool2d::backward(const Tensor& grad_out) {
     // argmax indices stay inside their own plane, so plane sharding
     // keeps the scatter writes disjoint.
     parallel_for_shards(
-        planes, kReductionShards,
+        planes, kReductionShards, shard_grain(2 * oh * ow),
         [&](std::size_t, std::int64_t begin, std::int64_t end) {
           for (std::int64_t i = begin * oh * ow; i < end * oh * ow; ++i) {
             const std::int64_t src = argmax_[static_cast<std::size_t>(i)];
@@ -113,9 +116,10 @@ Tensor Pool2d::backward(const Tensor& grad_out) {
     return grad_in;
   }
 
-  parallel_for_shards(planes, kReductionShards, [&](std::size_t,
-                                                    std::int64_t begin,
-                                                    std::int64_t end) {
+  parallel_for_shards(planes, kReductionShards,
+                      shard_grain(oh * ow * spec_.kernel * spec_.kernel),
+                      [&](std::size_t, std::int64_t begin,
+                          std::int64_t end) {
     for (std::int64_t p = begin; p < end; ++p) {
       float* plane = grad_in.data() + p * ih * iw;
       std::int64_t oidx = p * oh * ow;

@@ -77,10 +77,12 @@ double evaluate(Model& model, const data::Dataset& d,
     const Tensor logits = model.forward(x);
     QNN_CHECK(logits.shape().rank() == 2);
     const std::int64_t k = logits.shape()[1];
-    // Per-shard counts merged in shard order: the fixed shard plan keeps
-    // the reduction identical for every thread count.
-    const std::vector<Shard> shards = make_shards(count, kReductionShards);
-    std::vector<std::int64_t> partial(shards.size(), 0);
+    // Per-shard counts in padded slots, merged in shard order: the
+    // fixed shard plan keeps the reduction identical for every thread
+    // count, and the grain keeps small batches in one inline shard.
+    const std::vector<Shard> shards =
+        make_shards(count, kReductionShards, shard_grain(2 * k));
+    std::vector<Padded<std::int64_t>> partial(shards.size());
     parallel_run(static_cast<std::int64_t>(shards.size()),
                  [&](std::int64_t si) {
                    std::int64_t hits = 0;
@@ -91,9 +93,9 @@ double evaluate(Model& model, const data::Dataset& d,
                          std::max_element(row, row + k) - row);
                      if (pred == y[static_cast<std::size_t>(s)]) ++hits;
                    }
-                   partial[static_cast<std::size_t>(si)] = hits;
+                   partial[static_cast<std::size_t>(si)].v = hits;
                  });
-    for (const std::int64_t hits : partial) correct += hits;
+    for (const Padded<std::int64_t>& hits : partial) correct += hits.v;
   }
   return 100.0 * static_cast<double>(correct) / static_cast<double>(d.size());
 }

@@ -175,16 +175,19 @@ void guard_scan(const Tensor& t, double limit, GuardCounters& guards) {
   if (n < kSerialCutoff) {
     for (std::int64_t i = 0; i < n; ++i) guards.observe(d[i], limit);
   } else {
-    const std::vector<Shard> shards = make_shards(n, kReductionShards);
-    std::vector<GuardCounters> partial(shards.size());
+    // Padded counter slots: observe() bumps several int64 fields per
+    // element, so neighbor shards sharing a line would ping-pong it.
+    const std::vector<Shard> shards =
+        make_shards(n, kReductionShards, shard_grain(4));
+    std::vector<Padded<GuardCounters>> partial(shards.size());
     parallel_run(static_cast<std::int64_t>(shards.size()),
                  [&](std::int64_t si) {
-                   GuardCounters& g = partial[static_cast<std::size_t>(si)];
+                   GuardCounters& g = partial[static_cast<std::size_t>(si)].v;
                    const Shard& sh = shards[static_cast<std::size_t>(si)];
                    for (std::int64_t i = sh.begin; i < sh.end; ++i)
                      g.observe(d[i], limit);
                  });
-    for (const GuardCounters& g : partial) guards += g;
+    for (const Padded<GuardCounters>& g : partial) guards += g.v;
   }
   GuardMetrics& gm = guard_metrics();
   gm.values.add(guards.values - before.values);

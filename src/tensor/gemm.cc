@@ -176,7 +176,22 @@ void run_m_block_chunked(std::int64_t i0, std::int64_t mb, std::int64_t n,
 
 // Growth-only per-thread buffer for M-block tasks whose chunk partials
 // cannot share a caller-provided scratch (several blocks in flight).
+// Scratchless top-level calls reuse it for the K-parallel partial
+// buffer too: K-parallelism only engages outside pool tasks, and tasks
+// of that schedule never touch their own thread_partials, so the
+// caller's buffer is free — repeated scratchless calls (benches, ad-hoc
+// tools) stop paying a multi-MB allocation each.
 float* thread_partials(std::size_t elems) {
+  thread_local std::vector<float> buf;
+  if (buf.size() < elems) buf.resize(elems);
+  return buf.data();
+}
+
+// Growth-only per-thread destination for scratchless at/bt transposes.
+// Separate from thread_partials: the transposed operand must stay live
+// across the whole gemm_impl call, which may itself use
+// thread_partials on this thread for the serial-chunk path.
+float* thread_transpose(std::size_t elems) {
   thread_local std::vector<float> buf;
   if (buf.size() < elems) buf.resize(elems);
   return buf.data();
@@ -212,22 +227,19 @@ void gemm_impl(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
   // chunk partials and run the same merge tree, so the bytes match.
   const std::int64_t kshard_floats = blocks * plan.count * kBlockM * n;
   const bool k_parallel = !ThreadPool::in_worker() &&
-                          ThreadPool::global().size() > 1 &&
+                          ThreadPool::global().parallel_capacity() > 1 &&
                           blocks < ThreadPool::global().size() &&
                           kshard_floats <= kMaxKParallelFloats;
   if (k_parallel) {
     QNN_SPAN_N("gemm_kshard", "tensor", blocks * plan.count);
     // Block bi's chunk partials pack at base(bi) = bi * count * kBlockM
     // * n with per-chunk stride mb * n (mb < kBlockM only for the last
-    // block, so bases never overlap).
-    std::vector<float> local;
-    float* partials;
-    if (scratch != nullptr) {
-      partials = scratch->partials(static_cast<std::size_t>(kshard_floats));
-    } else {
-      local.resize(static_cast<std::size_t>(kshard_floats));
-      partials = local.data();
-    }
+    // block, so bases never overlap). Scratchless calls fall back to
+    // the calling thread's growth-only buffer instead of allocating.
+    float* partials =
+        scratch != nullptr
+            ? scratch->partials(static_cast<std::size_t>(kshard_floats))
+            : thread_partials(static_cast<std::size_t>(kshard_floats));
     parallel_run(blocks * plan.count, [&](std::int64_t ti) {
       QNN_SPAN_N("gemm_kchunk", "tensor", ti);
       const std::int64_t bi = ti / plan.count;
@@ -269,7 +281,7 @@ void gemm_impl(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
 void add_col_bias(std::int64_t m, std::int64_t n, float* c,
                   const float* col_bias) {
   if (col_bias == nullptr) return;
-  parallel_for_shards(m, kReductionShards,
+  parallel_for_shards(m, kReductionShards, shard_grain(2 * n),
                       [&](std::size_t, std::int64_t begin, std::int64_t end) {
                         for (std::int64_t i = begin; i < end; ++i) {
                           float* ci = c + i * n;
@@ -293,7 +305,7 @@ void transpose_into(float* dst, const float* src, std::int64_t rows,
                     std::int64_t cols) {
   const std::int64_t row_tiles = (rows + kTransposeTile - 1) / kTransposeTile;
   parallel_for_shards(
-      row_tiles, kReductionShards,
+      row_tiles, kReductionShards, shard_grain(2 * kTransposeTile * cols),
       [&](std::size_t, std::int64_t begin, std::int64_t end) {
         for (std::int64_t rt = begin; rt < end; ++rt) {
           const std::int64_t r0 = rt * kTransposeTile;
@@ -313,29 +325,22 @@ void transpose_into(float* dst, const float* src, std::int64_t rows,
 // Materialize A^T (or B^T) once; the transpose cost is small next to
 // the O(mnk) multiply and keeps the inner kernel contiguous. The
 // destination comes from the caller's scratch when provided (steady-
-// state layer forwards stop heap-allocating), a local vector otherwise.
+// state layer forwards stop heap-allocating), the calling thread's
+// growth-only buffer otherwise.
 float* transpose_a(std::int64_t m, std::int64_t k, const float* a,
-                   GemmScratch* scratch, std::vector<float>& local) {
-  float* at;
-  if (scratch != nullptr) {
-    at = scratch->transpose(static_cast<std::size_t>(m * k));
-  } else {
-    local.resize(static_cast<std::size_t>(m * k));
-    at = local.data();
-  }
+                   GemmScratch* scratch) {
+  float* at = scratch != nullptr
+                  ? scratch->transpose(static_cast<std::size_t>(m * k))
+                  : thread_transpose(static_cast<std::size_t>(m * k));
   transpose_into(at, a, m, k);  // at[i*k + p] = a[p*m + i]
   return at;
 }
 
 float* transpose_b(std::int64_t n, std::int64_t k, const float* b,
-                   GemmScratch* scratch, std::vector<float>& local) {
-  float* bt;
-  if (scratch != nullptr) {
-    bt = scratch->transpose(static_cast<std::size_t>(k * n));
-  } else {
-    local.resize(static_cast<std::size_t>(k * n));
-    bt = local.data();
-  }
+                   GemmScratch* scratch) {
+  float* bt = scratch != nullptr
+                  ? scratch->transpose(static_cast<std::size_t>(k * n))
+                  : thread_transpose(static_cast<std::size_t>(k * n));
   transpose_into(bt, b, k, n);  // bt[p*n + j] = b[j*k + p]
   return bt;
 }
@@ -361,23 +366,20 @@ void gemm_accumulate(std::int64_t m, std::int64_t n, std::int64_t k,
 
 void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
              const float* b, float* c, GemmScratch* scratch) {
-  std::vector<float> local;
-  const float* at = transpose_a(m, k, a, scratch, local);
+  const float* at = transpose_a(m, k, a, scratch);
   gemm_impl(m, n, k, at, b, c, /*accumulate=*/false, nullptr, scratch);
 }
 
 void gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
              const float* b, float* c, GemmScratch* scratch) {
-  std::vector<float> local;
-  const float* bt = transpose_b(n, k, b, scratch, local);
+  const float* bt = transpose_b(n, k, b, scratch);
   gemm_impl(m, n, k, a, bt, c, /*accumulate=*/false, nullptr, scratch);
 }
 
 void gemm_bt_col_bias(std::int64_t m, std::int64_t n, std::int64_t k,
                       const float* a, const float* b, float* c,
                       const float* col_bias, GemmScratch* scratch) {
-  std::vector<float> local;
-  const float* bt = transpose_b(n, k, b, scratch, local);
+  const float* bt = transpose_b(n, k, b, scratch);
   gemm_impl(m, n, k, a, bt, c, /*accumulate=*/false, nullptr, scratch);
   add_col_bias(m, n, c, col_bias);
 }
@@ -385,8 +387,7 @@ void gemm_bt_col_bias(std::int64_t m, std::int64_t n, std::int64_t k,
 void gemm_bt_accumulate(std::int64_t m, std::int64_t n, std::int64_t k,
                         const float* a, const float* b, float* c,
                         GemmScratch* scratch) {
-  std::vector<float> local;
-  const float* bt = transpose_b(n, k, b, scratch, local);
+  const float* bt = transpose_b(n, k, b, scratch);
   gemm_impl(m, n, k, a, bt, c, /*accumulate=*/true, nullptr, scratch);
 }
 

@@ -5,14 +5,21 @@
 // 1-thread run must produce bit-identical results. Two rules enforce it:
 //
 //  1. Work is split by *shard plans* that depend only on the problem
-//     size (make_shards with a constant shard cap), never on the thread
-//     count. Reductions accumulate into per-shard slots and merge on the
-//     calling thread in shard-index order, so floating-point summation
-//     order is a pure function of the input.
+//     size (make_shards with a constant shard cap and an optional
+//     grain), never on the thread count. Reductions accumulate into
+//     per-shard slots and merge on the calling thread in shard-index
+//     order, so floating-point summation order is a pure function of
+//     the input.
 //  2. A task's result may not depend on which thread executed it.
 //     Loops whose iterations share mutable state (e.g. Dropout's RNG
 //     stream, stochastic-rounding draws) stay serial or re-seed
 //     per-task.
+//
+// Scheduling (how shards are *claimed*) is free to depend on the thread
+// count, because rule 1 already fixed what every shard computes and how
+// partials merge. run() exploits that: tasks are claimed in contiguous
+// index-ordered batches sized by the pool width, which costs one
+// fetch_add per batch instead of one per task.
 //
 // Nesting: run() invoked from inside a pool task executes inline and
 // serially on the calling thread. Outer loops (sweep points, fault
@@ -21,19 +28,39 @@
 // 1-thread order, keeping rule 1 intact at every level.
 //
 // The global pool is sized by the QNN_THREADS environment variable
-// (unset/0 = std::thread::hardware_concurrency), and can be resized
-// programmatically with set_global_threads() while no work is running.
+// (malformed or out-of-range values fall back to hardware_concurrency
+// with a logged warning), and can be resized programmatically with
+// set_global_threads() while no work is running.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace qnn {
+
+// One cache line; per-shard reduction slots and the pool's hot atomics
+// pad to this stride so neighboring shards never ping-pong a line.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+// A value padded out to its own cache line. Reduction loops that give
+// every shard a slot in a contiguous array use Padded<T> elements so a
+// shard's accumulator writes stay local to its core:
+//
+//   std::vector<Padded<double>> partial(shards.size());
+//   ... shard si accumulates into partial[si].v ...
+//   for (const auto& p : partial) total += p.v;   // shard-index order
+template <typename T>
+struct alignas(kCacheLineBytes) Padded {
+  T v{};
+};
 
 class ThreadPool {
  public:
@@ -47,16 +74,47 @@ class ThreadPool {
 
   int size() const { return static_cast<int>(workers_.size()) + 1; }
 
+  // Threads this pool can actually run concurrently: min(size(),
+  // hardware_concurrency). Schedule choices that only pay off with real
+  // concurrency (e.g. the K-parallel GEMM schedule's larger partial
+  // footprint) consult this instead of size(), so an oversubscribed
+  // pool on a small machine keeps the cheaper serial schedule. Pure
+  // scheduling — plans and merge orders never depend on it.
+  int parallel_capacity() const { return std::min(size(), hw_threads_); }
+
   // Invokes fn(i) for every i in [0, count), blocking until all tasks
-  // finish. Tasks are claimed in index order but may run concurrently on
-  // any thread; the caller participates. If tasks throw, the exception
-  // with the lowest task index is rethrown after in-flight tasks drain;
-  // tasks not yet claimed when a failure is recorded are skipped (the
-  // serial behavior of "stop at the first throw").
+  // finish. Tasks are claimed in index order, in contiguous batches of
+  // claim_batch(count, size()) indices per atomic claim, and may run
+  // concurrently on any thread; the caller participates. If tasks
+  // throw, the exception with the lowest thrown task index is rethrown
+  // after in-flight tasks drain; batches not yet claimed when a failure
+  // is recorded are skipped (a claimed batch finishes — the batched
+  // analogue of the serial "stop at the first throw").
   //
   // Calls from inside a pool task run inline and serially (see header
   // comment); concurrent top-level calls serialize against each other.
+  // At most hardware_concurrency - 1 workers are woken per job: workers
+  // the hardware cannot host anyway would only preempt the threads
+  // doing real work, so an oversubscribed pool degrades smoothly toward
+  // the inline serial path (on one core it *is* the serial path).
   void run(std::int64_t count, const std::function<void(std::int64_t)>& fn);
+
+  // Allocation- and indirection-free flavor parallel_run dispatches
+  // through: `invoke(arg, i)` is called per task with `arg` pointing at
+  // the caller's callable, so no std::function is materialized per
+  // parallel loop. Same semantics as run() otherwise.
+  using RawFn = void (*)(void* arg, std::int64_t i);
+  void run_raw(std::int64_t count, RawFn invoke, void* arg);
+
+  // Indices claimed per fetch_add by run(): count / (threads *
+  // kClaimFactor), clamped to [1, kClaimBatchMax]. Pure scheduling —
+  // never affects results (rule 1 above) — so the batch may depend on
+  // the pool width. kClaimFactor leaves ~4 batches per thread for load
+  // balance; kClaimBatchMax bounds the work lost when a failure skips
+  // the rest of a run.
+  static constexpr std::int64_t kClaimFactor = 4;
+  static constexpr std::int64_t kClaimBatchMax = 64;
+  static std::int64_t claim_batch(std::int64_t count, int threads);
 
   // True on a thread currently executing pool tasks (workers and the
   // participating caller alike).
@@ -74,22 +132,38 @@ class ThreadPool {
 
   // Process-wide pool, created on first use with env_threads() threads.
   static ThreadPool& global();
-  // Threads requested by the environment: QNN_THREADS if set and > 0,
-  // otherwise hardware_concurrency (at least 1).
+  // Threads requested by the environment: QNN_THREADS if it parses as
+  // an integer in [1, kMaxEnvThreads], otherwise hardware_concurrency
+  // (at least 1). Garbage ("abc"), non-positive ("0", "-3"), trailing
+  // junk ("1e9"), and overflowing values are rejected with a logged
+  // warning rather than silently truncated by atoi.
   static int env_threads();
+  static constexpr long kMaxEnvThreads = 4096;
   // Rebuilds the global pool with `threads` (clamped to >= 1) and
   // returns the previous size so callers can restore it. Must not race
   // with run() calls; intended for tests and bench harnesses.
   static int set_global_threads(int threads);
 
+  // Iterations a worker spins (cpu-relax loop) checking for a new job
+  // before sleeping on the condvar. Nonzero only when the pool fits the
+  // hardware (spinning on an oversubscribed core steals cycles from the
+  // thread doing real work); see spin_iterations().
+  static constexpr int kWorkerSpinIters = 2048;
+  int spin_iterations() const { return spin_iters_; }
+
  private:
   struct Job {
-    const std::function<void(std::int64_t)>* fn = nullptr;
+    RawFn invoke = nullptr;
+    void* arg = nullptr;
     void* context = nullptr;  // submitting thread's task_context()
     std::int64_t count = 0;
-    std::atomic<std::int64_t> next{0};
-    std::atomic<bool> failed{false};
-    std::mutex m;                     // guards error fields
+    std::int64_t batch = 1;  // indices claimed per fetch_add
+    // The claim counter and failure flag are the job's only hot shared
+    // state; each gets its own cache line so claims never ping-pong the
+    // line the failure check reads.
+    alignas(kCacheLineBytes) std::atomic<std::int64_t> next{0};
+    alignas(kCacheLineBytes) std::atomic<bool> failed{false};
+    std::mutex m;  // guards error fields
     std::exception_ptr error;
     std::int64_t error_index = -1;
   };
@@ -98,13 +172,20 @@ class ThreadPool {
   static void execute_tasks(Job& job);
 
   std::vector<std::thread> workers_;
-  std::mutex m_;                    // guards job_/generation_/attached_/stop_
+  int spin_iters_ = 0;
+  int hw_threads_ = 1;  // hardware_concurrency, cached at construction
+  std::mutex m_;                     // pairs cv waits with the atomics below
   std::condition_variable wake_cv_;  // workers wait here for a job
   std::condition_variable done_cv_;  // run() waits here for detach
-  Job* job_ = nullptr;
-  std::uint64_t generation_ = 0;
-  int attached_ = 0;  // workers currently inside execute_tasks
-  bool stop_ = false;
+  // Publication protocol: run() stores job_ then bumps generation_;
+  // a worker attaches (attached_++) and only then loads job_, so a
+  // worker that observed the job is always visible to the caller's
+  // post-unpublish attached_ check. All seq_cst — these run once per
+  // job, not per task.
+  std::atomic<Job*> job_{nullptr};
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> generation_{0};
+  alignas(kCacheLineBytes) std::atomic<int> attached_{0};
+  std::atomic<bool> stop_{false};
   std::mutex run_m_;  // serializes concurrent top-level run() calls
 };
 
@@ -137,14 +218,38 @@ struct Shard {
 // order — depends only on the problem size, never on the thread count.
 inline constexpr std::int64_t kReductionShards = 16;
 
-// Splits [0, total) into min(total, max_shards) contiguous near-equal
-// shards (earlier shards take the remainder). total == 0 yields no
-// shards.
-std::vector<Shard> make_shards(std::int64_t total, std::int64_t max_shards);
+// Grain-size policy. A shard below roughly this many scalar-op units of
+// work costs more in pool handshake (wake, claim, detach) than its
+// parallelism wins, so shard plans stop splitting before shards get
+// smaller than this. The value is a constant of the build — part of
+// the plan, so still a pure function of the problem size.
+inline constexpr std::int64_t kMinShardWork = 32768;
+
+// Loop-index grain for a loop whose single iteration costs about
+// `cost_per_item` scalar-op units: the smallest shard size that carries
+// >= kMinShardWork units. Call sites estimate cost from the problem
+// shape (elements touched, window sizes, ...), never from the pool.
+inline constexpr std::int64_t shard_grain(std::int64_t cost_per_item) {
+  return cost_per_item <= 0
+             ? kMinShardWork
+             : (kMinShardWork + cost_per_item - 1) / cost_per_item;
+}
+
+// Splits [0, total) into contiguous near-equal shards (earlier shards
+// take the remainder): min(max_shards, max(1, total / grain)) of them,
+// so no shard carries fewer than `grain` items until the whole loop is
+// a single shard — which parallel_run then executes inline, with no
+// pool interaction at all. The plan depends only on (total, max_shards,
+// grain); call sites derive grain from the problem shape (shard_grain),
+// keeping the merge order a pure function of the problem size.
+// total == 0 yields no shards.
+std::vector<Shard> make_shards(std::int64_t total, std::int64_t max_shards,
+                               std::int64_t grain = 1);
 
 // Runs fn(i) for i in [0, count) on the global pool. The serial cases
 // (count <= 1, single-thread pool, nested inside a pool task) loop
-// inline without materializing a std::function.
+// inline; the pool path dispatches through run_raw with a direct
+// trampoline on F — no std::function, no per-loop allocation.
 template <typename F>
 void parallel_run(std::int64_t count, F&& fn) {
   if (count <= 0) return;
@@ -157,20 +262,32 @@ void parallel_run(std::int64_t count, F&& fn) {
     for (std::int64_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  pool.run(count, std::function<void(std::int64_t)>(std::forward<F>(fn)));
+  using Fn = std::remove_reference_t<F>;
+  pool.run_raw(
+      count,
+      [](void* arg, std::int64_t i) { (*static_cast<Fn*>(arg))(i); },
+      const_cast<void*>(static_cast<const void*>(std::addressof(fn))));
 }
 
 // Shard-plan convenience: fn(shard_index, begin, end) per shard of
-// make_shards(total, max_shards).
+// make_shards(total, max_shards, grain). Loops with cheap iterations
+// pass a shape-derived grain (shard_grain) so small problems collapse
+// to one shard and run inline.
 template <typename F>
 void parallel_for_shards(std::int64_t total, std::int64_t max_shards,
-                         F&& fn) {
-  const std::vector<Shard> shards = make_shards(total, max_shards);
+                         std::int64_t grain, F&& fn) {
+  const std::vector<Shard> shards = make_shards(total, max_shards, grain);
   parallel_run(static_cast<std::int64_t>(shards.size()),
                [&](std::int64_t si) {
                  const Shard& s = shards[static_cast<std::size_t>(si)];
                  fn(static_cast<std::size_t>(si), s.begin, s.end);
                });
+}
+
+template <typename F>
+void parallel_for_shards(std::int64_t total, std::int64_t max_shards,
+                         F&& fn) {
+  parallel_for_shards(total, max_shards, /*grain=*/1, std::forward<F>(fn));
 }
 
 }  // namespace qnn

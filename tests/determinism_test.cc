@@ -56,7 +56,7 @@ TEST(Determinism, GemmIsBitIdenticalAcrossThreadCounts) {
   gemm(m, n, k, a.data(), b.data(), c1.data());
   gemm_row_bias(m, n, k, a.data(), b.data(), c1b.data(), bias.data());
 
-  for (int threads : {2, 4, 7}) {
+  for (int threads : {2, 4, 7, 16}) {
     ThreadPool::set_global_threads(threads);
     std::vector<float> cn(static_cast<std::size_t>(m * n));
     gemm(m, n, k, a.data(), b.data(), cn.data());
@@ -102,7 +102,7 @@ TEST(Determinism, TallKGemmKShardingIsBitIdenticalAcrossThreadCounts) {
   std::vector<float> c1(static_cast<std::size_t>(m * n));
   gemm(m, n, k, a.data(), b.data(), c1.data());
 
-  for (int threads : {2, 4, 8}) {
+  for (int threads : {2, 4, 8, 16}) {
     ThreadPool::set_global_threads(threads);
     std::vector<float> cn(static_cast<std::size_t>(m * n));
     gemm(m, n, k, a.data(), b.data(), cn.data());
@@ -148,7 +148,7 @@ TEST(Determinism, EvaluateAccuracyAndGuardsMatchSerial) {
   const quant::GuardCounters g1 = qnet.total_guards();
   qnet.restore_masters();
 
-  for (int threads : {2, 4}) {
+  for (int threads : {2, 4, 8, 16}) {
     ThreadPool::set_global_threads(threads);
     qnet.reset_guards();
     const double accn = nn::evaluate(qnet, f.split.test);

@@ -13,7 +13,7 @@
 //  2. Differential vs a standalone naive reference in double precision,
 //     within a rounding tolerance — catches consistently-wrong math the
 //     self-differential check cannot see.
-//  3. Thread-count invariance: bytes at 1/2/4/8 threads are identical,
+//  3. Thread-count invariance: bytes at 1/2/4/8/16 threads are identical,
 //     with and without a caller GemmScratch, for every entry point.
 #include <gtest/gtest.h>
 
@@ -150,7 +150,7 @@ TEST(GemmProperty, ChunkedProductEqualsFixedTreeOfSingleChunkProducts) {
     const auto b = random_matrix(std::max<std::int64_t>(p.k, 1) * p.n, rng);
     const std::vector<float> ref =
         tree_of_single_chunk_gemms(p.m, p.n, p.k, a.data(), b.data());
-    for (int threads : {1, 2, 4, 8}) {
+    for (int threads : {1, 2, 4, 8, 16}) {
       ThreadPool::set_global_threads(threads);
       std::vector<float> c(static_cast<std::size_t>(p.m * p.n), -7.0f);
       gemm(p.m, p.n, p.k, a.data(), b.data(), c.data());
@@ -256,7 +256,7 @@ TEST(GemmProperty, AllVariantsBitIdenticalAcrossThreadsAndScratch) {
       std::vector<float> ref(elems);
       v.run(p, a.data(), b.data(), a_t.data(), b_t.data(), row_bias.data(),
             col_bias.data(), ref.data(), nullptr);
-      for (int threads : {1, 2, 4, 8}) {
+      for (int threads : {1, 2, 4, 8, 16}) {
         ThreadPool::set_global_threads(threads);
         std::vector<float> plain(elems), scratched(elems);
         GemmScratch scratch;

@@ -4,10 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace qnn {
@@ -181,6 +186,196 @@ TEST(ThreadPool, SetGlobalThreadsResizesPool) {
   EXPECT_EQ(ThreadPool::global().size(), 1);
   ThreadPool::set_global_threads(ThreadPool::env_threads());
   EXPECT_EQ(ThreadPool::global().size(), ThreadPool::env_threads());
+}
+
+TEST(MakeShards, GrainStopsSplittingSmallLoops) {
+  // 100 items at grain 200: the whole loop is below one grain of work,
+  // so the plan is a single shard (which parallel_run executes inline).
+  const auto one = make_shards(100, kReductionShards, 200);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].begin, 0);
+  EXPECT_EQ(one[0].end, 100);
+  // 1000 items at grain 64 support floor(1000 / 64) = 15 shards, one
+  // below the kReductionShards cap.
+  EXPECT_EQ(make_shards(1000, kReductionShards, 64).size(), 15u);
+  // Ample work: the cap binds, grain is irrelevant.
+  EXPECT_EQ(make_shards(1 << 20, kReductionShards, 64).size(),
+            static_cast<std::size_t>(kReductionShards));
+  // Grain never drops a shard below `grain` items (except the single-
+  // shard plan, which may be the whole short loop).
+  for (const Shard& s : make_shards(1000, kReductionShards, 64))
+    EXPECT_GE(s.size(), 64);
+}
+
+TEST(MakeShards, GrainPlanIgnoresThreadCount) {
+  const auto plan = make_shards(100000, kReductionShards, 4096);
+  ThreadPool::set_global_threads(7);
+  const auto plan2 = make_shards(100000, kReductionShards, 4096);
+  ThreadPool::set_global_threads(ThreadPool::env_threads());
+  ASSERT_EQ(plan.size(), plan2.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].begin, plan2[i].begin);
+    EXPECT_EQ(plan[i].end, plan2[i].end);
+  }
+}
+
+TEST(MakeShards, ShardGrainMath) {
+  // grain = ceil(kMinShardWork / cost_per_item), with a defensive
+  // fallback for nonsense costs.
+  EXPECT_EQ(shard_grain(1), kMinShardWork);
+  EXPECT_EQ(shard_grain(kMinShardWork), 1);
+  EXPECT_EQ(shard_grain(kMinShardWork + 1), 1);
+  EXPECT_EQ(shard_grain(kMinShardWork - 1), 2);
+  EXPECT_EQ(shard_grain(3), (kMinShardWork + 2) / 3);
+  EXPECT_EQ(shard_grain(0), kMinShardWork);
+  EXPECT_EQ(shard_grain(-5), kMinShardWork);
+}
+
+TEST(ThreadPool, PaddedSlotsOccupyWholeCacheLines) {
+  static_assert(sizeof(Padded<double>) == kCacheLineBytes);
+  static_assert(alignof(Padded<double>) == kCacheLineBytes);
+  static_assert(sizeof(Padded<std::int64_t>) == kCacheLineBytes);
+  // Adjacent reduction slots land on distinct lines.
+  std::vector<Padded<double>> slots(4);
+  for (std::size_t i = 1; i < slots.size(); ++i) {
+    const auto a = reinterpret_cast<std::uintptr_t>(&slots[i - 1].v);
+    const auto b = reinterpret_cast<std::uintptr_t>(&slots[i].v);
+    EXPECT_GE(b - a, kCacheLineBytes);
+  }
+}
+
+TEST(ThreadPool, ClaimBatchScalesWithWorkPerThread) {
+  // count / (threads * kClaimFactor), clamped to [1, kClaimBatchMax].
+  EXPECT_EQ(ThreadPool::claim_batch(16, 4), 1);
+  EXPECT_EQ(ThreadPool::claim_batch(100, 4), 6);
+  EXPECT_EQ(ThreadPool::claim_batch(1024, 4), 64);
+  EXPECT_EQ(ThreadPool::claim_batch(1 << 20, 2), ThreadPool::kClaimBatchMax);
+  EXPECT_EQ(ThreadPool::claim_batch(1, 8), 1);
+  EXPECT_EQ(ThreadPool::claim_batch(0, 8), 1);
+}
+
+TEST(ThreadPool, BatchedClaimingCoversEveryIndexOnce) {
+  // Counts straddling the batch boundaries of claim_batch(count, 4):
+  // exactly-one-execution must hold regardless of how the range tiles
+  // into batches.
+  ThreadPool pool(4);
+  for (const std::int64_t count :
+       {std::int64_t{1}, std::int64_t{2}, std::int64_t{15}, std::int64_t{16},
+        std::int64_t{17}, std::int64_t{63}, std::int64_t{64}, std::int64_t{65},
+        std::int64_t{100}, std::int64_t{1000}, std::int64_t{4099}}) {
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(count));
+    pool.run(count,
+             [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i)]; });
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1) << "count=" << count;
+  }
+}
+
+TEST(ThreadPool, RethrowsMinimumThrownIndexUnderBatchedClaiming) {
+  // Several tasks scattered across different claim batches throw; the
+  // rethrown exception must carry the smallest index that actually
+  // threw, not merely whichever failure was recorded first.
+  ThreadPool pool(4);
+  std::mutex m;
+  std::vector<std::int64_t> threw;
+  try {
+    pool.run(1000, [&](std::int64_t i) {
+      if (i % 97 == 13) {
+        {
+          std::lock_guard<std::mutex> lock(m);
+          threw.push_back(i);
+        }
+        throw std::runtime_error(std::to_string(i));
+      }
+    });
+    FAIL() << "run() must rethrow";
+  } catch (const std::runtime_error& e) {
+    ASSERT_FALSE(threw.empty());
+    const std::int64_t lowest = *std::min_element(threw.begin(), threw.end());
+    EXPECT_EQ(std::stoll(e.what()), lowest);
+  }
+}
+
+TEST(ThreadPool, StressResizeInterleavedWithRuns) {
+  // Pool teardown/rebuild interleaved with real work: every run must
+  // still execute each index exactly once, and no resize may deadlock
+  // against workers mid-spin or mid-sleep.
+  for (int round = 0; round < 24; ++round) {
+    ThreadPool::set_global_threads((round % 4) + 1);
+    std::atomic<std::int64_t> sum{0};
+    parallel_run(257, [&](std::int64_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 257 * 256 / 2) << "round " << round;
+  }
+  ThreadPool::set_global_threads(ThreadPool::env_threads());
+}
+
+TEST(ThreadPool, SpinOnlyWhenPoolFitsHardware) {
+  // A one-thread pool trivially fits; a pool one wider than the machine
+  // must not spin (idle spinners would preempt the working threads).
+  ThreadPool fits(1);
+  EXPECT_EQ(fits.spin_iterations(), ThreadPool::kWorkerSpinIters);
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+  ThreadPool oversub(hw + 1);
+  EXPECT_EQ(oversub.spin_iterations(), 0);
+}
+
+class EnvThreadsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* prev = std::getenv("QNN_THREADS");
+    if (prev != nullptr) saved_ = prev;
+    had_ = prev != nullptr;
+  }
+  void TearDown() override {
+    if (had_) {
+      setenv("QNN_THREADS", saved_.c_str(), 1);
+    } else {
+      unsetenv("QNN_THREADS");
+    }
+  }
+  static int fallback() {
+    return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+  bool had_ = false;
+  std::string saved_;
+};
+
+TEST_F(EnvThreadsTest, ParsesValidValues) {
+  setenv("QNN_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::env_threads(), 3);
+  setenv("QNN_THREADS", "1", 1);
+  EXPECT_EQ(ThreadPool::env_threads(), 1);
+  unsetenv("QNN_THREADS");
+  EXPECT_EQ(ThreadPool::env_threads(), fallback());
+}
+
+TEST_F(EnvThreadsTest, RejectsZero) {
+  setenv("QNN_THREADS", "0", 1);
+  EXPECT_EQ(ThreadPool::env_threads(), fallback());
+}
+
+TEST_F(EnvThreadsTest, RejectsNegative) {
+  setenv("QNN_THREADS", "-3", 1);
+  EXPECT_EQ(ThreadPool::env_threads(), fallback());
+}
+
+TEST_F(EnvThreadsTest, RejectsGarbage) {
+  setenv("QNN_THREADS", "abc", 1);
+  EXPECT_EQ(ThreadPool::env_threads(), fallback());
+  setenv("QNN_THREADS", "", 1);
+  EXPECT_EQ(ThreadPool::env_threads(), fallback());
+  setenv("QNN_THREADS", "4x", 1);
+  EXPECT_EQ(ThreadPool::env_threads(), fallback());
+}
+
+TEST_F(EnvThreadsTest, RejectsExponentAndOverflow) {
+  // "1e9" is not an integer (trailing junk), and huge plain integers
+  // exceed kMaxEnvThreads; neither may be silently truncated atoi-style.
+  setenv("QNN_THREADS", "1e9", 1);
+  EXPECT_EQ(ThreadPool::env_threads(), fallback());
+  setenv("QNN_THREADS", "1000000000", 1);
+  EXPECT_EQ(ThreadPool::env_threads(), fallback());
+  setenv("QNN_THREADS", "99999999999999999999", 1);
+  EXPECT_EQ(ThreadPool::env_threads(), fallback());
 }
 
 TEST(ThreadPool, ParallelForShardsMatchesPlan) {
