@@ -15,6 +15,11 @@
 // Everything is virtual-time deterministic: the same seed produces the
 // same BENCH_serve.json bytes at any worker-thread count
 // (tests/serve_determinism_test.cc replays the same pipeline).
+//
+// `--policy` selects the sweep: `overload` (the policy sweep above),
+// `chaos_redirect` (the fault-tolerance sweep: a fixed lane-fault
+// schedule against a 2-replica-per-tier pool, retry-with-redirect vs.
+// fail-stop, DESIGN.md §13), or `all` (default, both).
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -22,6 +27,7 @@
 
 #include "bench_common.h"
 #include "data/synthetic.h"
+#include "faults/lane_faults.h"
 #include "nn/trainer.h"
 #include "nn/zoo.h"
 #include "serve/server.h"
@@ -40,6 +46,9 @@ struct SweepRow {
   double rate = 0.0;
   serve::Tick window = 0;
   serve::AdmissionPolicy policy = serve::AdmissionPolicy::kDegrade;
+  // Row label in the report; admission_policy_name for the overload
+  // sweep, "chaos_redirect"/"chaos_failstop" for the chaos sweep.
+  std::string label;
   serve::ServeStats stats;
   double accuracy_proxy = 0.0;  // top-1 on served payloads, percent
   double energy_per_request_uj = 0.0;
@@ -51,7 +60,7 @@ json::Value row_to_json(const SweepRow& r) {
   json::Value v = json::Value::object();
   v.set("rate_multiplier", json::Value(r.rate));
   v.set("batch_window_ticks", json::Value(r.window));
-  v.set("policy", json::Value(serve::admission_policy_name(r.policy)));
+  v.set("policy", json::Value(r.label));
   v.set("stats", serve::serve_stats_to_json(r.stats));
   v.set("accuracy_proxy_pct", json::Value(r.accuracy_proxy));
   v.set("energy_per_request_uj", json::Value(r.energy_per_request_uj));
@@ -60,8 +69,10 @@ json::Value row_to_json(const SweepRow& r) {
   return v;
 }
 
-void run() {
+void run(const std::string& policy_arg) {
   const bool fast = bench::fast_mode();
+  const bool do_overload = policy_arg == "all" || policy_arg == "overload";
+  const bool do_chaos = policy_arg == "all" || policy_arg == "chaos_redirect";
   bench::print_header(
       "Serving under load — precision downshift vs. reject-only vs. "
       "no-admission");
@@ -118,7 +129,7 @@ void run() {
   Table table({"Rate", "Window", "Policy", "Served", "In-deadline",
                "Rejected", "Expired", "p50", "p99", "uJ/req", "Top-1%"});
   std::vector<SweepRow> rows;
-  for (double rate : rates) {
+  for (double rate : do_overload ? rates : std::vector<double>{}) {
     serve::OpenLoopSpec spec;
     spec.num_requests = num_requests;
     spec.mean_interarrival_ticks = static_cast<double>(sustain) / rate;
@@ -148,6 +159,7 @@ void run() {
         row.rate = rate;
         row.window = window;
         row.policy = policy;
+        row.label = serve::admission_policy_name(policy);
         row.stats = result.stats;
         row.digest = result.digest();
         std::int64_t correct = 0;
@@ -192,13 +204,13 @@ void run() {
       table.add_separator();
     }
   }
-  std::cout << table.to_string();
+  if (do_overload) std::cout << table.to_string();
 
   // Acceptance check (ISSUE criterion): at every >= 2x overload cell the
   // degrade policy must serve strictly more within-deadline requests
   // than both baselines.
   bool accepted = true;
-  for (double rate : rates) {
+  for (double rate : do_overload ? rates : std::vector<double>{}) {
     if (rate < 2.0) continue;
     for (serve::Tick window : windows) {
       std::int64_t degrade = -1, reject = -1, noadm = -1;
@@ -218,6 +230,96 @@ void run() {
     }
   }
 
+  // Chaos sweep (DESIGN.md §13): a fixed lane-fault schedule — hang,
+  // weight-memory corruption, and a crash — against a pool with two
+  // replica lanes per tier, at 2x overload. Retry-with-redirect must
+  // serve strictly more in-deadline requests than fail-stop under the
+  // IDENTICAL trace and faults.
+  bool chaos_accepted = true;
+  if (do_chaos) {
+    std::cout << "\nchaos sweep: 2 lanes/tier, hang + corrupt + crash vs "
+              << "redirect and fail-stop\n";
+    serve::ReplicaPool chaos_pool(*net, calibration, tiers, 2);
+    faults::LaneFaultSchedule schedule;
+    faults::LaneFault hang;
+    hang.kind = faults::LaneFaultKind::kHangLane;
+    hang.tier = 0;
+    hang.replica = 0;
+    hang.at_tick = 0;
+    hang.hang_ticks = 100 * sustain;
+    schedule.faults.push_back(hang);
+    faults::LaneFault corrupt;
+    corrupt.kind = faults::LaneFaultKind::kCorruptLane;
+    corrupt.tier = 0;
+    corrupt.replica = 1;
+    corrupt.at_tick = 4 * sustain;
+    corrupt.corrupt_flips = 16;
+    corrupt.seed = 7;
+    schedule.faults.push_back(corrupt);
+    faults::LaneFault crash;
+    crash.kind = faults::LaneFaultKind::kCrashLane;
+    crash.tier = 1;
+    crash.replica = 0;
+    crash.at_tick = 8 * sustain;
+    schedule.faults.push_back(crash);
+    faults::validate_schedule(schedule);
+
+    serve::OpenLoopSpec spec;
+    spec.num_requests = num_requests;
+    spec.mean_interarrival_ticks = static_cast<double>(sustain) / 2.0;
+    spec.relative_deadline_ticks = deadline;
+    spec.seed = 20260807;
+    const serve::ArrivalTrace trace =
+        serve::make_open_loop_trace(spec, {1, 28, 28});
+
+    std::int64_t redirect_in = -1, failstop_in = -1;
+    for (const bool redirect : {true, false}) {
+      serve::ServerConfig cfg;
+      cfg.queue_capacity = 32;
+      cfg.batcher.max_batch = 8;
+      cfg.batcher.batch_window = 4 * sustain;
+      cfg.controller.high_depth_fraction = 0.5;
+      cfg.controller.low_depth_fraction = 0.125;
+      cfg.controller.dwell_ticks = 4 * sustain;
+      cfg.executor.redirect_on_failure = redirect;
+      cfg.chaos = &schedule;
+      cfg.payload = payload;
+      serve::Server server(chaos_pool, cfg);
+      const serve::ServeResult result = server.run_trace(trace);
+
+      SweepRow row;
+      row.rate = 2.0;
+      row.window = cfg.batcher.batch_window;
+      row.label = redirect ? "chaos_redirect" : "chaos_failstop";
+      row.stats = result.stats;
+      row.digest = result.digest();
+      row.energy_per_request_uj =
+          row.stats.served == 0
+              ? 0.0
+              : row.stats.total_energy_uj /
+                    static_cast<double>(row.stats.served);
+      row.served_per_mtick =
+          row.stats.end_tick == 0
+              ? 0.0
+              : 1e6 * static_cast<double>(row.stats.served) /
+                    static_cast<double>(row.stats.end_tick);
+      rows.push_back(row);
+      (redirect ? redirect_in : failstop_in) =
+          row.stats.served_within_deadline;
+      std::cout << "  " << row.label << ": served "
+                << row.stats.served_within_deadline
+                << " in-deadline, failed " << row.stats.failed << ", hung "
+                << row.stats.hung_batches << ", corrupt "
+                << row.stats.corrupt_batches << ", crashed "
+                << row.stats.crashed_batches << ", rescrubs "
+                << row.stats.rescrubs << "\n";
+    }
+    chaos_accepted = redirect_in > failstop_in;
+    std::cout << (chaos_accepted ? "PASS" : "FAIL")
+              << ": chaos — redirect " << redirect_in
+              << " in-deadline vs fail-stop " << failstop_in << "\n";
+  }
+
   json::Value doc = json::Value::object();
   doc.set("version", json::Value("qnn.bench_serve/1"));
   doc.set("network", json::Value("lenet"));
@@ -225,13 +327,16 @@ void run() {
   doc.set("num_requests", json::Value(num_requests));
   doc.set("sustainable_ticks_per_image", json::Value(sustain));
   doc.set("deadline_ticks", json::Value(deadline));
+  doc.set("policy_mode", json::Value(policy_arg));
   doc.set("overload_acceptance", json::Value(accepted));
+  doc.set("chaos_acceptance", json::Value(chaos_accepted));
   json::Value jrows = json::Value::array();
   for (const SweepRow& r : rows) jrows.push_back(row_to_json(r));
   doc.set("rows", std::move(jrows));
   write_file_atomic("BENCH_serve.json", doc.dump());
   std::cout << "\nwrote BENCH_serve.json (" << rows.size() << " cells), "
             << "overload acceptance: " << (accepted ? "PASS" : "FAIL")
+            << ", chaos acceptance: " << (chaos_accepted ? "PASS" : "FAIL")
             << "\n";
 }
 
@@ -240,6 +345,17 @@ void run() {
 
 int main(int argc, char** argv) {
   qnn::bench::Session session("serve_loadgen", &argc, argv);
-  qnn::run();
+  std::string policy = "all";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--policy" && i + 1 < argc) {
+      policy = argv[++i];
+    }
+  }
+  if (policy != "all" && policy != "overload" && policy != "chaos_redirect") {
+    std::cerr << "unknown --policy " << policy
+              << " (want all | overload | chaos_redirect)\n";
+    return 1;
+  }
+  qnn::run(policy);
   return 0;
 }

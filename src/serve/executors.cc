@@ -1,0 +1,451 @@
+#include "serve/executors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "faults/fault_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace qnn::serve {
+namespace {
+
+struct LaneMetrics {
+  obs::Counter dispatches, retries, redirects, hung, corrupt, crashed,
+      discarded, failed;
+};
+
+LaneMetrics& lane_metrics() {
+  obs::Registry& r = obs::Registry::global();
+  static LaneMetrics m{r.counter("serve.lane.dispatches"),
+                       r.counter("serve.lane.retries"),
+                       r.counter("serve.lane.redirects"),
+                       r.counter("serve.lane.hung"),
+                       r.counter("serve.lane.corrupt"),
+                       r.counter("serve.lane.crashed"),
+                       r.counter("serve.lane.discarded"),
+                       r.counter("serve.lane.failed_requests")};
+  return m;
+}
+
+// A poisoned output is definite evidence the replica (not the input) is
+// broken: frozen inference over finite inputs cannot produce NaN/Inf
+// through a healthy lane, because every activation site was quantized
+// onto a finite grid.
+bool output_poisoned(const Tensor& t) {
+  const float* p = t.data();
+  const std::int64_t n = t.count();
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (std::isnan(p[i]) || std::isinf(p[i])) return true;
+  }
+  return false;
+}
+
+// Applies a corrupt-lane fault: `corrupt_flips` single-bit upsets at
+// seed-derived sites across the replica's frozen parameter image
+// (FloatCodec — the in-memory storage is float32 regardless of the
+// logical format).
+void corrupt_replica_params(quant::QuantizedNetwork& replica,
+                            const faults::LaneFault& f) {
+  const faults::FloatCodec codec;
+  std::vector<nn::Param*> params = replica.trainable_params();
+  QNN_CHECK_MSG(!params.empty(), "corrupt fault on a network without params");
+  Rng rng(f.seed);
+  for (int k = 0; k < f.corrupt_flips; ++k) {
+    nn::Param* p = params[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(params.size()) - 1))];
+    const std::int64_t i =
+        rng.uniform_int(0, static_cast<int>(p->value.count()) - 1);
+    const int bit = rng.uniform_int(0, codec.bits() - 1);
+    p->value.data()[i] = codec.flip(p->value.data()[i], bit);
+  }
+}
+
+}  // namespace
+
+ExecutorGroup::ExecutorGroup(ReplicaPool& pool, const ExecutorConfig& config,
+                             const HealthConfig& health,
+                             const faults::LaneFaultSchedule* chaos)
+    : pool_(pool),
+      config_(config),
+      health_(pool.num_lanes(), health),
+      chaos_(chaos),
+      lanes_(static_cast<std::size_t>(pool.num_lanes())),
+      round_robin_(static_cast<std::size_t>(pool.num_tiers()), 0) {
+  QNN_CHECK_MSG(config.watchdog_budget_factor >= 1.0,
+                "watchdog budget factor must be >= 1");
+  QNN_CHECK_MSG(config.max_attempts >= 1, "max_attempts must be positive");
+  QNN_CHECK_MSG(config.retry_backoff_ticks >= 0, "retry backoff must be >= 0");
+  if (chaos_ != nullptr) faults::validate_schedule(*chaos_);
+  for (int t = 0; t < pool_.num_tiers(); ++t) {
+    for (int r = 0; r < pool_.replicas_per_tier(); ++r) {
+      Lane& lane = lanes_[static_cast<std::size_t>(pool_.lane_index(t, r))];
+      lane.tier = t;
+      lane.replica = r;
+    }
+  }
+}
+
+Tick ExecutorGroup::next_event_tick() const {
+  Tick next = kNoTick;
+  const auto consider = [&next](Tick t) {
+    if (t >= 0 && (next == kNoTick || t < next)) next = t;
+  };
+  for (const Lane& lane : lanes_) {
+    if (lane.busy) {
+      consider(lane.completion);
+      if (!lane.doomed) consider(lane.watchdog_due);
+    } else {
+      // An idle quarantined lane wakes the loop when its rescrub comes
+      // due. A busy (wedged) one does not: its rescrub waits for the
+      // completion, which is already an event above.
+      consider(health_.rescrub_due(pool_.lane_index(lane.tier, lane.replica)));
+    }
+  }
+  if (chaos_ != nullptr && next_fault_ < chaos_->faults.size()) {
+    consider(chaos_->faults[next_fault_].at_tick);
+  }
+  // Backoffs: only strictly-future not_before ticks are events; an
+  // already-eligible pending batch is waiting on a lane, and lane state
+  // only changes at one of the ticks above.
+  for (const PendingBatch& p : pending_) {
+    if (p.not_before > vnow_) consider(p.not_before);
+  }
+  return next;
+}
+
+void ExecutorGroup::submit(Batch b) {
+  if (b.requests.empty()) return;
+  pending_.push_back(PendingBatch{std::move(b), /*attempt=*/1,
+                                  /*not_before=*/0});
+}
+
+void ExecutorGroup::fail_batch(Batch b, std::vector<Request>* failed) {
+  stats_.failed_requests += static_cast<std::int64_t>(b.requests.size());
+  lane_metrics().failed.add(static_cast<std::int64_t>(b.requests.size()));
+  for (Request& r : b.requests) failed->push_back(std::move(r));
+}
+
+void ExecutorGroup::requeue_or_fail(Batch b, int attempt, Tick now,
+                                    std::vector<Request>* failed) {
+  if (!config_.redirect_on_failure || attempt > config_.max_attempts) {
+    fail_batch(std::move(b), failed);
+    return;
+  }
+  ++stats_.retries;
+  lane_metrics().retries.inc();
+  Tick backoff = 0;
+  if (config_.retry_backoff_ticks > 0 && attempt >= 2) {
+    backoff = config_.retry_backoff_ticks << (attempt - 2);
+  }
+  // Retries jump the queue: they carry the oldest deadlines.
+  pending_.push_front(PendingBatch{std::move(b), attempt, now + backoff});
+}
+
+bool ExecutorGroup::tier_schedulable(int t) const {
+  for (int r = 0; r < pool_.replicas_per_tier(); ++r) {
+    if (health_.schedulable(pool_.lane_index(t, r))) return true;
+  }
+  return false;
+}
+
+int ExecutorGroup::resolve_tier(int preferred) const {
+  if (tier_schedulable(preferred)) return preferred;
+  if (config_.redirect_on_failure) {
+    // Down the precision lattice first (cheaper tiers), then back up.
+    for (int t = preferred + 1; t < pool_.num_tiers(); ++t) {
+      if (tier_schedulable(t)) return t;
+    }
+    for (int t = preferred - 1; t >= 0; --t) {
+      if (tier_schedulable(t)) return t;
+    }
+  }
+  // Nothing schedulable. Quarantined lanes will be rescrubbed and
+  // return; dead ones will not.
+  for (int i = 0; i < health_.num_lanes(); ++i) {
+    const bool candidate =
+        config_.redirect_on_failure ||
+        lanes_[static_cast<std::size_t>(i)].tier == preferred;
+    if (candidate && health_.state(i) == LaneState::kQuarantined) {
+      return kTierWait;
+    }
+  }
+  return kTierNever;
+}
+
+int ExecutorGroup::pick_lane(int t) const {
+  const int n = pool_.replicas_per_tier();
+  const int start = round_robin_[static_cast<std::size_t>(t)];
+  for (int k = 0; k < n; ++k) {
+    const int r = (start + k) % n;
+    const int lane = pool_.lane_index(t, r);
+    if (!health_.schedulable(lane)) continue;
+    if (lanes_[static_cast<std::size_t>(lane)].busy) continue;
+    return lane;
+  }
+  return -1;
+}
+
+void ExecutorGroup::execute(Lane& lane, Batch b, int attempt, Tick now) {
+  QNN_SPAN_N("lane_dispatch", "serve",
+             static_cast<std::int64_t>(b.requests.size()));
+  const TierSpec& tier = pool_.tier(lane.tier);
+  const std::size_t batch_n = b.requests.size();
+
+  // Assemble the batch input from the per-request payload rows.
+  const Shape& sample = b.requests.front().payload.shape();
+  const std::int64_t per_row = b.requests.front().payload.count();
+  std::vector<std::int64_t> dims = sample.dims();
+  dims[0] = static_cast<std::int64_t>(batch_n);
+  Tensor input{Shape(dims)};
+  for (std::size_t i = 0; i < batch_n; ++i) {
+    QNN_CHECK_MSG(b.requests[i].payload.count() == per_row,
+                  "mixed payload shapes inside one batch");
+    std::memcpy(input.data() + static_cast<std::int64_t>(i) * per_row,
+                b.requests[i].payload.data(),
+                static_cast<std::size_t>(per_row) * sizeof(float));
+  }
+
+  Tensor output = pool_.forward(lane.tier, lane.replica, input);
+  QNN_CHECK_MSG(output.shape().rank() == 2 &&
+                    output.shape()[0] == static_cast<std::int64_t>(batch_n),
+                "replica output is not (batch, classes)");
+
+  const Tick modeled = tier.batch_overhead_ticks +
+                       static_cast<Tick>(batch_n) * tier.ticks_per_image;
+  Tick service = modeled;
+  if (lane.hang_ticks > 0) {  // armed hang fault wedges this dispatch
+    service += lane.hang_ticks;
+    lane.hang_ticks = 0;
+  }
+  const Tick budget = std::max<Tick>(
+      modeled, static_cast<Tick>(std::llround(config_.watchdog_budget_factor *
+                                              static_cast<double>(modeled))));
+
+  lane.busy = true;
+  lane.batch = std::move(b);
+  lane.output = std::move(output);
+  lane.attempt = attempt;
+  lane.dispatch_tick = now;
+  lane.completion = now + service;
+  lane.watchdog_due = service > budget ? now + budget : kNoTick;
+  lane.doomed = false;
+
+  ++stats_.executions;
+  stats_.energy_uj += static_cast<double>(batch_n) * tier.energy_per_image_uj;
+  lane_metrics().dispatches.inc();
+}
+
+void ExecutorGroup::apply_due_faults(Tick now, std::vector<Request>* failed) {
+  if (chaos_ == nullptr) return;
+  while (next_fault_ < chaos_->faults.size() &&
+         chaos_->faults[next_fault_].at_tick <= now) {
+    const faults::LaneFault& f = chaos_->faults[next_fault_++];
+    QNN_CHECK_MSG(
+        f.tier < pool_.num_tiers() && f.replica < pool_.replicas_per_tier(),
+        "lane fault targets nonexistent lane (" << f.tier << "," << f.replica
+                                                << ")");
+    const int li = pool_.lane_index(f.tier, f.replica);
+    Lane& lane = lanes_[static_cast<std::size_t>(li)];
+    if (health_.state(li) == LaneState::kDead) continue;  // already gone
+    switch (f.kind) {
+      case faults::LaneFaultKind::kHangLane:
+        lane.hang_ticks += f.hang_ticks;
+        break;
+      case faults::LaneFaultKind::kCorruptLane:
+        corrupt_replica_params(pool_.replica(f.tier, f.replica), f);
+        break;
+      case faults::LaneFaultKind::kCrashLane: {
+        health_.on_crash(now, li);
+        if (lane.busy) {
+          lane.busy = false;
+          lane.output = Tensor();
+          Batch b = std::move(lane.batch);
+          lane.batch = Batch{};
+          if (lane.doomed) {
+            // The watchdog already condemned and re-dispatched this
+            // batch; the crash just ends the wedged execution early.
+            ++stats_.discarded;
+            lane_metrics().discarded.inc();
+          } else {
+            // The in-flight batch dies with the lane.
+            ++stats_.crashed_batches;
+            lane_metrics().crashed.inc();
+            requeue_or_fail(std::move(b), lane.attempt + 1, now, failed);
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+void ExecutorGroup::fire_watchdogs(Tick now, std::vector<Request>* failed) {
+  for (Lane& lane : lanes_) {
+    if (!lane.busy || lane.doomed) continue;
+    if (lane.watchdog_due == kNoTick || lane.watchdog_due > now) continue;
+    // Hung: the wedged lane keeps "running" until its (inflated)
+    // completion, but its result is already condemned and the batch
+    // re-dispatches now.
+    ++stats_.hung_batches;
+    lane_metrics().hung.inc();
+    const int li = pool_.lane_index(lane.tier, lane.replica);
+    if (config_.redirect_on_failure) {
+      health_.on_hang(now, li);
+    } else {
+      health_.on_fail_stop(now, li);
+    }
+    lane.doomed = true;
+    Batch b = std::move(lane.batch);
+    lane.batch = Batch{};
+    requeue_or_fail(std::move(b), lane.attempt + 1, now, failed);
+  }
+}
+
+void ExecutorGroup::retire_completions(Tick now,
+                                       std::vector<ExecutedBatch>* done,
+                                       std::vector<Request>* failed) {
+  for (Lane& lane : lanes_) {
+    if (!lane.busy || lane.completion > now) continue;
+    lane.busy = false;
+    Batch b = std::move(lane.batch);
+    Tensor output = std::move(lane.output);
+    lane.batch = Batch{};
+    lane.output = Tensor();
+    if (lane.doomed) {  // condemned by the watchdog; batch already moved on
+      ++stats_.discarded;
+      lane_metrics().discarded.inc();
+      continue;
+    }
+    const int li = pool_.lane_index(lane.tier, lane.replica);
+    // Completion audit: a poisoned output or a parameter image that no
+    // longer matches the tier's golden CRC taints the result.
+    const bool tainted = output_poisoned(output) ||
+                         pool_.param_crc(lane.tier, lane.replica) !=
+                             pool_.golden_param_crc(lane.tier);
+    if (tainted) {
+      ++stats_.corrupt_batches;
+      lane_metrics().corrupt.inc();
+      ++stats_.discarded;
+      lane_metrics().discarded.inc();
+      if (config_.redirect_on_failure) {
+        health_.on_corrupt(now, li);
+      } else {
+        health_.on_fail_stop(now, li);
+      }
+      requeue_or_fail(std::move(b), lane.attempt + 1, now, failed);
+      continue;
+    }
+    ExecutedBatch eb;
+    eb.batch = std::move(b);
+    eb.output = std::move(output);
+    eb.replica = lane.replica;
+    eb.attempt = lane.attempt;
+    eb.dispatch = lane.dispatch_tick;
+    eb.completion = lane.completion;
+    done->push_back(std::move(eb));
+  }
+}
+
+void ExecutorGroup::perform_due_rescrubs(Tick now) {
+  for (int li : health_.due_rescrubs(now)) {
+    const Lane& lane = lanes_[static_cast<std::size_t>(li)];
+    if (lane.busy) continue;  // wedged; rescrub after its completion
+    QNN_SPAN_N("lane_rescrub", "serve", li);
+    const bool ok = pool_.rescrub_replica(lane.tier, lane.replica);
+    health_.on_rescrubbed(now, li, ok);
+  }
+}
+
+void ExecutorGroup::advance(Tick now, std::vector<ExecutedBatch>* done,
+                            std::vector<Request>* expired,
+                            std::vector<Request>* failed) {
+  (void)expired;
+  vnow_ = now;
+  apply_due_faults(now, failed);
+  fire_watchdogs(now, failed);
+  retire_completions(now, done, failed);
+  perform_due_rescrubs(now);
+}
+
+void ExecutorGroup::dispatch(Tick now, std::vector<Request>* expired,
+                             std::vector<Request>* failed) {
+  vnow_ = now;
+  for (std::size_t i = 0; i < pending_.size();) {
+    PendingBatch& entry = pending_[i];
+    if (entry.not_before > now) {
+      ++i;
+      continue;
+    }
+    // Deadline-passed members can no longer be served; executing them
+    // would burn lane time on broken contracts.
+    auto& reqs = entry.batch.requests;
+    for (auto it = reqs.begin(); it != reqs.end();) {
+      if (it->deadline <= now) {
+        expired->push_back(std::move(*it));
+        it = reqs.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (reqs.empty()) {
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    const int target = resolve_tier(entry.batch.tier);
+    if (target == kTierWait) {
+      ++i;  // a quarantined lane will come back
+      continue;
+    }
+    if (target == kTierNever) {
+      Batch b = std::move(entry.batch);
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      fail_batch(std::move(b), failed);
+      continue;
+    }
+    const int li = pick_lane(target);
+    if (li < 0) {
+      ++i;  // every schedulable lane in the tier is busy; wait
+      continue;
+    }
+    if (target != entry.batch.tier) {  // redirect across the lattice
+      stats_.redirected_requests += static_cast<std::int64_t>(reqs.size());
+      lane_metrics().redirects.add(static_cast<std::int64_t>(reqs.size()));
+      entry.batch.tier = target;
+      for (Request& r : reqs) r.tier = target;
+    }
+    Lane& lane = lanes_[static_cast<std::size_t>(li)];
+    round_robin_[static_cast<std::size_t>(target)] =
+        (lane.replica + 1) % pool_.replicas_per_tier();
+    Batch b = std::move(entry.batch);
+    const int attempt = entry.attempt;
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+    execute(lane, std::move(b), attempt, now);
+    // No ++i: the erase shifted the next entry into slot i.
+  }
+}
+
+bool ExecutorGroup::idle() const {
+  if (!pending_.empty()) return false;
+  for (const Lane& lane : lanes_) {
+    if (lane.busy) return false;
+  }
+  return true;
+}
+
+std::size_t ExecutorGroup::backlog_requests() const {
+  std::size_t n = 0;
+  for (const PendingBatch& p : pending_) n += p.batch.requests.size();
+  return n;
+}
+
+double ExecutorGroup::capacity_fraction() const {
+  return static_cast<double>(health_.schedulable_count()) /
+         static_cast<double>(health_.num_lanes());
+}
+
+}  // namespace qnn::serve

@@ -1,0 +1,188 @@
+// Per-replica executor lanes with a virtual-time watchdog and
+// retry-with-redirect (DESIGN.md §13).
+//
+// The serving front end (queue -> batcher) closes precision-pure
+// batches; this layer runs them. Every (tier, replica) pair of the
+// ReplicaPool is one executor LANE with its own virtual-time occupancy,
+// so tiers no longer share a single implicit executor: a float batch
+// executing does not serialize behind a fixed8 batch. Lanes fail — the
+// chaos schedule (faults/lane_faults.h) can wedge one (hang), rot its
+// weight memory (corrupt), or kill it outright (crash) — and the group
+// keeps the batcher's contract anyway:
+//
+//   * watchdog: a batch whose virtual runtime exceeds
+//     `watchdog_budget_factor x` its modeled service time is declared
+//     hung at the budget tick; the wedged lane's eventual result is
+//     discarded (never published) and the batch re-dispatches.
+//   * audit: at each completion the lane's output is scanned for
+//     NaN/Inf and its frozen parameter bytes are CRC-audited against
+//     the tier's golden image (ReplicaPool::param_crc); a mismatch
+//     quarantines the lane for rescrub from masters and the tainted
+//     result is discarded.
+//   * retry-with-redirect: a failed batch re-dispatches with bounded
+//     attempts and exponential backoff — to a sibling replica in its
+//     tier while the tier has schedulable lanes, then DOWN the
+//     precision lattice (tier+1, ...) when the whole tier is out,
+//     falling back up toward tier 0 only when nothing cheaper is left.
+//     The degradation ladder of Moons et al.: a dead fixed16 lane
+//     redirects to fixed8, it does not drop work.
+//   * fail-stop (redirect_on_failure = false): the comparison baseline.
+//     Any fault retires the lane and fails its batch; no retries, no
+//     rescrubs, no redirects.
+//
+// Everything advances on the caller's virtual clock in a fixed order
+// (faults, watchdogs, completions, rescrubs, dispatches), so a chaos
+// replay is bit-identical at any worker-thread count. Conservation
+// invariant: every submitted request leaves exactly once — published,
+// expired, or failed — and no batch is ever published twice.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "faults/lane_faults.h"
+#include "serve/batcher.h"
+#include "serve/health.h"
+#include "serve/request.h"
+#include "serve/tiers.h"
+
+namespace qnn::serve {
+
+struct ExecutorConfig {
+  // A batch is hung when its virtual runtime exceeds this multiple of
+  // its modeled service time. Must be >= 1.
+  double watchdog_budget_factor = 4.0;
+  // Backoff before a re-dispatch: attempt 2 waits `retry_backoff_ticks`,
+  // attempt 3 twice that, and so on. 0 retries immediately.
+  Tick retry_backoff_ticks = 0;
+  // Total dispatch attempts per batch (first try included).
+  int max_attempts = 3;
+  // false = fail-stop baseline: faults retire lanes and fail batches.
+  bool redirect_on_failure = true;
+};
+
+// One published execution, ready for the server to turn into responses.
+struct ExecutedBatch {
+  Batch batch;
+  Tensor output;  // (batch, classes) logits
+  int replica = 0;
+  int attempt = 1;
+  Tick dispatch = 0;
+  Tick completion = 0;
+};
+
+struct ExecutorStats {
+  std::int64_t executions = 0;        // forwards run (incl. discarded)
+  std::int64_t discarded = 0;         // results never published
+  std::int64_t hung_batches = 0;      // watchdog firings
+  std::int64_t corrupt_batches = 0;   // audit failures at completion
+  std::int64_t crashed_batches = 0;   // in-flight batches lost to crash
+  std::int64_t retries = 0;           // re-dispatch attempts queued
+  std::int64_t redirected_requests = 0;  // requests moved across tiers
+  std::int64_t failed_requests = 0;      // retry budget/lanes exhausted
+  double energy_uj = 0.0;             // all executions, incl. discarded
+};
+
+class ExecutorGroup {
+ public:
+  // `chaos` may be null (no injected faults) and must outlive the group.
+  ExecutorGroup(ReplicaPool& pool, const ExecutorConfig& config,
+                const HealthConfig& health,
+                const faults::LaneFaultSchedule* chaos);
+
+  ExecutorGroup(const ExecutorGroup&) = delete;
+  ExecutorGroup& operator=(const ExecutorGroup&) = delete;
+
+  // Earliest future tick at which this group has work to do —
+  // completion, watchdog budget expiry, chaos fault, rescrub coming
+  // due, or a backoff expiring — or kNoTick when fully idle. Drives
+  // the server's event loop.
+  static constexpr Tick kNoTick = -1;
+  Tick next_event_tick() const;
+
+  // Accepts a closed batch from the batcher for dispatch.
+  void submit(Batch b);
+
+  // Advances internal state to `now` in deterministic order: applies
+  // chaos faults due, fires watchdogs, retires completions (publishing
+  // into `done`), performs due rescrubs. Requests that terminally leave
+  // the group are appended to `expired` (deadline passed before a
+  // dispatch) or `failed` (retry budget or lane supply exhausted).
+  void advance(Tick now, std::vector<ExecutedBatch>* done,
+               std::vector<Request>* expired, std::vector<Request>* failed);
+
+  // Starts every batch that can start at `now`: pending work (retries
+  // first) onto free schedulable lanes, redirecting across the lattice
+  // when a batch's tier has none. Call after advance() and submit()s.
+  void dispatch(Tick now, std::vector<Request>* expired,
+                std::vector<Request>* failed);
+
+  // True when nothing is pending or in flight.
+  bool idle() const;
+
+  // Requests accepted but not yet dispatched (admission backlog).
+  std::size_t backlog_requests() const;
+
+  // Schedulable lanes / total lanes — the capacity-loss signal fed to
+  // admission control as lanes die.
+  double capacity_fraction() const;
+
+  const HealthLattice& health() const { return health_; }
+  const ExecutorStats& stats() const { return stats_; }
+
+ private:
+  struct Lane {
+    int tier = 0;
+    int replica = 0;
+    // In-flight batch; busy when completion > kNoTick.
+    bool busy = false;
+    Batch batch;
+    Tensor output;
+    int attempt = 1;
+    Tick dispatch_tick = 0;
+    Tick completion = 0;
+    Tick watchdog_due = kNoTick;  // kNoTick: completes within budget
+    bool doomed = false;          // result will be discarded
+    // Armed hang fault: inflates the next dispatch's service time.
+    Tick hang_ticks = 0;
+  };
+
+  struct PendingBatch {
+    Batch batch;
+    int attempt = 1;
+    Tick not_before = 0;
+  };
+
+  void apply_due_faults(Tick now, std::vector<Request>* failed);
+  void fire_watchdogs(Tick now, std::vector<Request>* failed);
+  void retire_completions(Tick now, std::vector<ExecutedBatch>* done,
+                          std::vector<Request>* failed);
+  void perform_due_rescrubs(Tick now);
+  // Requeues a failed batch (bounded, with backoff) or fails its
+  // requests when retries/lanes are exhausted.
+  void requeue_or_fail(Batch b, int attempt, Tick now,
+                       std::vector<Request>* failed);
+  void fail_batch(Batch b, std::vector<Request>* failed);
+  // Tier resolution for dispatch; kTierWait = no schedulable lane
+  // anywhere but a quarantined lane will return, kTierNever = give up.
+  static constexpr int kTierWait = -1;
+  static constexpr int kTierNever = -2;
+  int resolve_tier(int preferred) const;
+  bool tier_schedulable(int t) const;
+  int pick_lane(int t) const;  // free schedulable lane or -1
+  void execute(Lane& lane, Batch b, int attempt, Tick now);
+
+  ReplicaPool& pool_;
+  ExecutorConfig config_;
+  HealthLattice health_;
+  const faults::LaneFaultSchedule* chaos_;
+  std::size_t next_fault_ = 0;  // first unapplied chaos entry
+  std::vector<Lane> lanes_;     // flat, tier-major (pool lane order)
+  std::deque<PendingBatch> pending_;
+  std::vector<int> round_robin_;  // per-tier lane cursor
+  Tick vnow_ = 0;                 // last advance/dispatch tick
+  ExecutorStats stats_;
+};
+
+}  // namespace qnn::serve

@@ -72,6 +72,8 @@ struct Response {
 // One executed batch, recorded for replay verification and reports.
 struct BatchRecord {
   int tier = 0;
+  int replica = 0;  // lane within the tier that published the result
+  int attempt = 1;  // dispatch attempt that succeeded (1 = first try)
   Tick dispatch = 0;
   Tick completion = 0;
   std::vector<std::int64_t> request_ids;  // in batch-row order

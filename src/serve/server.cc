@@ -2,14 +2,13 @@
 
 #include <algorithm>
 #include <cstring>
-#include <deque>
 #include <limits>
 #include <utility>
 
 #include "nn/metrics.h"
 #include "obs/metrics.h"
-#include "util/check.h"
 #include "obs/trace.h"
+#include "util/check.h"
 #include "util/crc32.h"
 
 namespace qnn::serve {
@@ -87,6 +86,13 @@ std::uint32_t ServeResult::digest() const {
     crc = crc32(&r.completion, sizeof(r.completion), crc);
     crc = crc32(r.output.data(), r.output.size() * sizeof(float), crc);
   }
+  for (const HealthTransition& t : health_log) {
+    const std::int32_t fields[4] = {
+        t.lane, static_cast<std::int32_t>(t.from),
+        static_cast<std::int32_t>(t.to), static_cast<std::int32_t>(t.reason)};
+    crc = crc32(&t.tick, sizeof(t.tick), crc);
+    crc = crc32(fields, sizeof(fields), crc);
+  }
   return crc;
 }
 
@@ -101,11 +107,19 @@ json::Value serve_stats_to_json(const ServeStats& s) {
   v.set("served", json::Value(s.served));
   v.set("served_within_deadline", json::Value(s.served_within_deadline));
   v.set("served_late", json::Value(s.served_late));
+  v.set("failed", json::Value(s.failed));
   json::Value per_tier = json::Value::array();
   for (std::int64_t n : s.served_per_tier) per_tier.push_back(json::Value(n));
   v.set("served_per_tier", std::move(per_tier));
   v.set("downshifts", json::Value(s.downshifts));
   v.set("upshifts", json::Value(s.upshifts));
+  v.set("hung_batches", json::Value(s.hung_batches));
+  v.set("corrupt_batches", json::Value(s.corrupt_batches));
+  v.set("crashed_batches", json::Value(s.crashed_batches));
+  v.set("retries", json::Value(s.retries));
+  v.set("redirected", json::Value(s.redirected));
+  v.set("rescrubs", json::Value(s.rescrubs));
+  v.set("discarded_results", json::Value(s.discarded_results));
   v.set("end_tick", json::Value(s.end_tick));
   v.set("total_energy_uj", json::Value(s.total_energy_uj));
   v.set("p50_latency_ticks", json::Value(s.p50_latency_ticks));
@@ -121,8 +135,9 @@ Server::Server(ReplicaPool& pool, ServerConfig config)
 ServeResult Server::run_trace(const ArrivalTrace& trace) {
   QNN_SPAN("serve.run_trace", "serve");
   ServeMetrics& metrics = serve_metrics();
-  const HistogramDelta lat_delta =
+  HistogramDelta lat_delta =
       baseline_of(obs::Registry::global().snapshot(), "serve.latency_ticks");
+  Tick window_start = 0;
 
   const Shape sample = trace.sample_shape();
   const std::int64_t per_row = sample.count();
@@ -135,9 +150,23 @@ ServeResult Server::run_trace(const ArrivalTrace& trace) {
               : std::numeric_limits<std::size_t>::max();
   const bool degrade = config_.policy == AdmissionPolicy::kDegrade;
 
+  // Pool hygiene: a previous chaos run may have left corrupted replica
+  // params behind. Repairing mismatched lanes up front makes run_trace
+  // idempotent — replays on a shared pool start from the golden image.
+  for (int t = 0; t < pool_.num_tiers(); ++t) {
+    for (int r = 0; r < pool_.replicas_per_tier(); ++r) {
+      if (pool_.param_crc(t, r) != pool_.golden_param_crc(t)) {
+        QNN_CHECK_MSG(pool_.rescrub_replica(t, r),
+                      "pre-run rescrub failed for tier " << t << " replica "
+                                                         << r);
+      }
+    }
+  }
+
   BoundedQueue queue(capacity);
   DynamicBatcher batcher(config_.batcher, pool_.num_tiers());
   OverloadController controller(config_.controller, pool_.num_tiers());
+  ExecutorGroup exec(pool_, config_.executor, config_.health, config_.chaos);
 
   ServeResult result;
   ServeStats& stats = result.stats;
@@ -145,18 +174,15 @@ ServeResult Server::run_trace(const ArrivalTrace& trace) {
   stats.served_per_tier.assign(
       static_cast<std::size_t>(pool_.num_tiers()), 0);
 
-  std::deque<Batch> ready;           // closed batches awaiting the executor
-  std::size_t ready_requests = 0;    // total requests across `ready`
-  Tick executor_free = 0;            // executor idle at this tick
-  std::size_t next = 0;              // next trace request to arrive
-  std::vector<int> round_robin(
-      static_cast<std::size_t>(pool_.num_tiers()), 0);
-  double cached_p99 = 0.0;  // refreshed only after completions
+  std::size_t next = 0;       // next trace request to arrive
+  double cached_p99 = 0.0;    // refreshed only after completions
   Tick vnow = 0;
   bool shutdown_done = config_.shutdown_tick < 0;
 
-  std::vector<Request> scratch;  // queue drain buffer
-  std::vector<Request> expired;  // batcher drop buffer
+  std::vector<Request> scratch;       // queue drain buffer
+  std::vector<Request> expired;       // pre-dispatch deadline drops
+  std::vector<Request> failed;        // executor terminal failures
+  std::vector<ExecutedBatch> done;    // published completions
 
   while (true) {
     // ---- pick the next event tick -------------------------------------
@@ -166,7 +192,7 @@ ServeResult Server::run_trace(const ArrivalTrace& trace) {
     };
     if (next < trace.requests.size()) consider(trace.requests[next].arrival);
     if (!batcher.empty()) consider(batcher.next_window_tick());
-    if (!ready.empty()) consider(executor_free);
+    consider(exec.next_event_tick());
     if (!shutdown_done) consider(config_.shutdown_tick);
     if (now < 0) break;      // no arrivals, nothing pending: done
     now = std::max(now, vnow);  // virtual time is monotone
@@ -178,16 +204,78 @@ ServeResult Server::run_trace(const ArrivalTrace& trace) {
       shutdown_done = true;
     }
 
+    // ---- executor state advances first --------------------------------
+    // Completions at `now` retire (freeing lanes and admission capacity)
+    // before this tick's arrivals are judged — the order a real pipeline
+    // would observe within one scheduling quantum.
+    done.clear();
+    expired.clear();
+    failed.clear();
+    exec.advance(now, &done, &expired, &failed);
+    const bool completed_any = !done.empty();
+    for (ExecutedBatch& eb : done) {
+      const std::size_t batch_n = eb.batch.requests.size();
+      const std::int64_t classes = eb.output.shape()[1];
+      const std::size_t ti = static_cast<std::size_t>(eb.batch.tier);
+      BatchRecord record;
+      record.tier = eb.batch.tier;
+      record.replica = eb.replica;
+      record.attempt = eb.attempt;
+      record.dispatch = eb.dispatch;
+      record.completion = eb.completion;
+      for (std::size_t i = 0; i < batch_n; ++i) {
+        const Request& req = eb.batch.requests[i];
+        record.request_ids.push_back(req.id);
+        Response resp;
+        resp.id = req.id;
+        resp.tier = req.tier;
+        resp.arrival = req.arrival;
+        resp.dispatch = eb.dispatch;
+        resp.completion = eb.completion;
+        resp.within_deadline = eb.completion < req.deadline;
+        resp.predicted =
+            nn::argmax_row(eb.output, static_cast<std::int64_t>(i));
+        const float* row =
+            eb.output.data() + static_cast<std::int64_t>(i) * classes;
+        resp.output.assign(row, row + classes);
+        metrics.latency.observe(resp.latency());
+        metrics.wait.observe(eb.dispatch - req.arrival);
+        ++stats.served;
+        ++stats.served_per_tier[ti];
+        if (resp.within_deadline) {
+          ++stats.served_within_deadline;
+        } else {
+          ++stats.served_late;
+        }
+        result.responses.push_back(std::move(resp));
+      }
+      metrics.batch_size.observe(static_cast<std::int64_t>(batch_n));
+      stats.end_tick = std::max(stats.end_tick, eb.completion);
+      result.batches.push_back(std::move(record));
+    }
+
     // ---- arrivals at this tick ----------------------------------------
     // The whole burst lands before the queue drains, so a one-tick burst
     // sees the capacity bound exactly as a real ingestion thread would.
+    // Lane loss tightens admission: the bound scales by the schedulable
+    // lane fraction, so a half-dead executor group sheds load at the
+    // edge instead of queueing work it cannot serve in time.
     while (next < trace.requests.size() &&
            trace.requests[next].arrival <= now) {
       const TraceRequest& tr = trace.requests[next];
       ++next;
-      const std::size_t backlog =
-          queue.size() + batcher.pending_total() + ready_requests;
-      controller.update(now, backlog, config_.queue_capacity, cached_p99);
+      std::size_t capacity_loss = 0;
+      std::size_t effective_bound = config_.queue_capacity;
+      if (bounded) {
+        effective_bound = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   static_cast<double>(config_.queue_capacity) *
+                   exec.capacity_fraction()));
+        capacity_loss = config_.queue_capacity - effective_bound;
+      }
+      const std::size_t backlog = queue.size() + batcher.pending_total() +
+                                  exec.backlog_requests();
+      controller.update(now, backlog, effective_bound, cached_p99);
       Request r;
       r.id = tr.id;
       r.arrival = tr.arrival;
@@ -198,7 +286,8 @@ ServeResult Server::run_trace(const ArrivalTrace& trace) {
                     "payload provider returned " << r.payload.shape().to_string()
                                                  << ", want " << sample.to_string());
       switch (queue.try_push(std::move(r), now,
-                             batcher.pending_total() + ready_requests)) {
+                             batcher.pending_total() +
+                                 exec.backlog_requests() + capacity_loss)) {
         case RejectReason::kNone:            ++stats.admitted; break;
         case RejectReason::kQueueFull:       ++stats.rejected_full; break;
         case RejectReason::kDeadlineExpired: ++stats.rejected_expired; break;
@@ -213,94 +302,61 @@ ServeResult Server::run_trace(const ArrivalTrace& trace) {
 
     // ---- close due batches (flush once no more work can arrive) -------
     const bool draining = next >= trace.requests.size() || queue.closed();
-    expired.clear();
     std::vector<Batch> closed = draining ? batcher.flush(now, &expired)
                                          : batcher.poll(now, &expired);
+    for (Batch& b : closed) exec.submit(std::move(b));
+
+    // ---- dispatch onto free lanes -------------------------------------
+    exec.dispatch(now, &expired, &failed);
     stats.expired_in_queue += static_cast<std::int64_t>(expired.size());
-    for (Batch& b : closed) {
-      ready_requests += b.requests.size();
-      ready.push_back(std::move(b));
-    }
-
-    // ---- execute ready batches while the executor is idle -------------
-    bool completed_any = false;
-    while (!ready.empty() && executor_free <= now) {
-      Batch b = std::move(ready.front());
-      ready.pop_front();
-      const std::size_t batch_n = b.requests.size();
-      ready_requests -= batch_n;
-      const TierSpec& tier = pool_.tier(b.tier);
-
-      std::vector<std::int64_t> dims = sample.dims();
-      dims[0] = static_cast<std::int64_t>(batch_n);
-      Tensor input{Shape(dims)};
-      for (std::size_t i = 0; i < batch_n; ++i) {
-        std::memcpy(input.data() + static_cast<std::int64_t>(i) * per_row,
-                    b.requests[i].payload.data(),
-                    static_cast<std::size_t>(per_row) * sizeof(float));
-      }
-
-      const std::size_t ti = static_cast<std::size_t>(b.tier);
-      const int replica = round_robin[ti];
-      round_robin[ti] = (replica + 1) % pool_.replicas_per_tier();
-      const Tensor output = pool_.forward(b.tier, replica, input);
-      QNN_CHECK_MSG(output.shape().rank() == 2 &&
-                        output.shape()[0] == static_cast<std::int64_t>(batch_n),
-                    "replica output is not (batch, classes)");
-      const std::int64_t classes = output.shape()[1];
-
-      const Tick service = tier.batch_overhead_ticks +
-                           static_cast<Tick>(batch_n) * tier.ticks_per_image;
-      const Tick completion = now + service;
-      executor_free = completion;
-      stats.end_tick = std::max(stats.end_tick, completion);
-      stats.total_energy_uj +=
-          static_cast<double>(batch_n) * tier.energy_per_image_uj;
-
-      BatchRecord record;
-      record.tier = b.tier;
-      record.dispatch = now;
-      record.completion = completion;
-      for (std::size_t i = 0; i < batch_n; ++i) {
-        const Request& req = b.requests[i];
-        record.request_ids.push_back(req.id);
-        Response resp;
-        resp.id = req.id;
-        resp.tier = req.tier;
-        resp.arrival = req.arrival;
-        resp.dispatch = now;
-        resp.completion = completion;
-        resp.within_deadline = completion < req.deadline;
-        resp.predicted = nn::argmax_row(output, static_cast<std::int64_t>(i));
-        const float* row =
-            output.data() + static_cast<std::int64_t>(i) * classes;
-        resp.output.assign(row, row + classes);
-        metrics.latency.observe(resp.latency());
-        metrics.wait.observe(now - req.arrival);
-        ++stats.served;
-        ++stats.served_per_tier[ti];
-        if (resp.within_deadline) {
-          ++stats.served_within_deadline;
-        } else {
-          ++stats.served_late;
-        }
-        result.responses.push_back(std::move(resp));
-      }
-      metrics.batch_size.observe(static_cast<std::int64_t>(batch_n));
-      result.batches.push_back(std::move(record));
-      completed_any = true;
-    }
+    stats.failed += static_cast<std::int64_t>(failed.size());
 
     // ---- refresh the controller's latency signal ----------------------
     if (completed_any) {
       const obs::Snapshot snap = obs::Registry::global().snapshot();
       cached_p99 = lat_delta.quantile(snap, "serve.latency_ticks", 0.99);
     }
+    // Sliding p99 window: past the window the baseline advances to the
+    // current snapshot, so a historical spike ages out and the upshift
+    // path re-opens once the pipeline has actually been quiet.
+    if (config_.p99_window_ticks > 0 &&
+        now - window_start >= config_.p99_window_ticks) {
+      lat_delta = baseline_of(obs::Registry::global().snapshot(),
+                              "serve.latency_ticks");
+      window_start = now;
+      cached_p99 = 0.0;
+    }
     stats.end_tick = std::max(stats.end_tick, now);
   }
 
+  QNN_CHECK_MSG(exec.idle(),
+                "event loop exited with work still pending in the executor");
+  QNN_CHECK_MSG(batcher.empty(),
+                "event loop exited with requests stuck in the batcher");
+
   stats.downshifts = controller.downshifts();
   stats.upshifts = controller.upshifts();
+  const ExecutorStats& es = exec.stats();
+  stats.hung_batches = es.hung_batches;
+  stats.corrupt_batches = es.corrupt_batches;
+  stats.crashed_batches = es.crashed_batches;
+  stats.retries = es.retries;
+  stats.redirected = es.redirected_requests;
+  stats.discarded_results = es.discarded;
+  stats.rescrubs = exec.health().rescrubs();
+  stats.total_energy_uj = es.energy_uj;
+  QNN_CHECK_MSG(stats.failed == es.failed_requests,
+                "executor failure accounting diverged from the event loop");
+  result.health_log = exec.health().log();
+
+  // Conservation: every admitted request left the pipeline exactly once.
+  QNN_CHECK_MSG(stats.admitted == stats.served + stats.expired_in_queue +
+                                      stats.failed,
+                "conservation violated: admitted "
+                    << stats.admitted << " != served " << stats.served
+                    << " + expired " << stats.expired_in_queue << " + failed "
+                    << stats.failed);
+
   const obs::Snapshot final_snap = obs::Registry::global().snapshot();
   stats.p50_latency_ticks =
       lat_delta.quantile(final_snap, "serve.latency_ticks", 0.5);

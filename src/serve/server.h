@@ -1,22 +1,33 @@
-// Deterministic virtual-time inference server (DESIGN.md §12).
+// Deterministic virtual-time inference server (DESIGN.md §12–§13).
 //
 // The server replays a recorded ArrivalTrace through the full serving
 // pipeline — admission (BoundedQueue), deadline-aware batching
 // (DynamicBatcher), precision-downshift overload control
-// (OverloadController), and per-tier frozen replicas (ReplicaPool) —
-// entirely in virtual time. Service durations come from each tier's
-// modeled cost (accelerator schedule cycles scaled by operand bits),
-// never from wall clock, and the event loop itself is serial; the only
-// real parallelism is INSIDE each forward pass, which the deterministic
-// thread pool already guarantees is bit-identical at any thread count
-// (§9). Consequence: batch composition, tier assignments, rejections,
+// (OverloadController), and per-lane executors over frozen replicas
+// (ExecutorGroup / ReplicaPool) — entirely in virtual time. Service
+// durations come from each tier's modeled cost (accelerator schedule
+// cycles scaled by operand bits), never from wall clock, and the event
+// loop itself is serial; the only real parallelism is INSIDE each
+// forward pass, which the deterministic thread pool already guarantees
+// is bit-identical at any thread count (§9). Consequence: batch
+// composition, tier assignments, rejections, lane health transitions,
 // and output bytes replay identically at 1, 4, or 8 worker threads —
-// overload behavior is a testable function of the trace.
+// overload AND failure behavior are testable functions of the trace.
+//
+// Fault tolerance (§13): each (tier, replica) pair is an executor lane
+// with its own health state machine. An optional chaos schedule injects
+// lane faults (hang / corrupt / crash) at fixed virtual ticks; the
+// watchdog, CRC audit, rescrub, and retry-with-redirect machinery keep
+// the conservation invariant — every admitted request is served,
+// expired, or failed exactly once, and no result is published twice.
 //
 // The p99 feedback signal closes the loop THROUGH the obs registry: the
 // server observes per-request latency into a histogram and the
 // controller reads it back via Snapshot::quantile, as a delta against a
-// baseline snapshot taken at run start. Bucket counts are exact
+// baseline snapshot. With `p99_window_ticks > 0` the baseline slides:
+// the delta covers only the most recent window, so a latency spike ages
+// out of the signal once the pipeline has been quiet (recovery is
+// possible after an overload burst ends). Bucket counts are exact
 // integers, so even this feedback path is thread-count-independent.
 #pragma once
 
@@ -25,8 +36,11 @@
 #include <string>
 #include <vector>
 
+#include "faults/lane_faults.h"
 #include "serve/batcher.h"
 #include "serve/controller.h"
+#include "serve/executors.h"
+#include "serve/health.h"
 #include "serve/queue.h"
 #include "serve/request.h"
 #include "serve/tiers.h"
@@ -52,6 +66,16 @@ struct ServerConfig {
   BatcherConfig batcher;
   ControllerConfig controller;
   AdmissionPolicy policy = AdmissionPolicy::kDegrade;
+  // Executor lanes: watchdog budget, retry/redirect policy (§13).
+  ExecutorConfig executor;
+  // Replica health lattice: strike/quarantine/rescrub budgets (§13).
+  HealthConfig health;
+  // Optional deterministic fault schedule; must outlive run_trace.
+  // nullptr = no injected faults.
+  const faults::LaneFaultSchedule* chaos = nullptr;
+  // Sliding window for the controller's p99 signal; 0 = whole-run delta
+  // (a past spike then suppresses upshift forever).
+  Tick p99_window_ticks = 0;
   // Virtual tick at which the queue closes (admission stops, in-flight
   // work drains); -1 = never, the trace runs to completion.
   Tick shutdown_tick = -1;
@@ -68,9 +92,20 @@ struct ServeStats {
   std::int64_t served = 0;
   std::int64_t served_within_deadline = 0;
   std::int64_t served_late = 0;
+  // Admitted requests terminally dropped by the executor layer: retry
+  // budget exhausted or no lane left that could ever run them.
+  std::int64_t failed = 0;
   std::vector<std::int64_t> served_per_tier;
   std::int64_t downshifts = 0;
   std::int64_t upshifts = 0;
+  // Fault-tolerance counters (§13). All zero in a fault-free run.
+  std::int64_t hung_batches = 0;     // watchdog firings
+  std::int64_t corrupt_batches = 0;  // completion-audit failures
+  std::int64_t crashed_batches = 0;  // in-flight batches lost to crashes
+  std::int64_t retries = 0;          // batch re-dispatches queued
+  std::int64_t redirected = 0;       // requests moved across tiers
+  std::int64_t rescrubs = 0;         // replica repairs performed
+  std::int64_t discarded_results = 0;  // executions never published
   Tick end_tick = 0;
   double total_energy_uj = 0.0;
   double p50_latency_ticks = 0.0;
@@ -80,11 +115,14 @@ struct ServeStats {
 struct ServeResult {
   std::vector<Response> responses;  // completion order
   std::vector<BatchRecord> batches;
+  // Every lane health transition, in virtual-time order — part of the
+  // replay identity.
+  std::vector<HealthTransition> health_log;
   ServeStats stats;
 
   // Order-sensitive CRC over every response's (id, tier, completion,
-  // output bytes) — the replay-identity fingerprint compared across
-  // thread counts by the determinism suite.
+  // output bytes) and every health transition — the replay-identity
+  // fingerprint compared across thread counts by the determinism suite.
   std::uint32_t digest() const;
 };
 
@@ -97,7 +135,8 @@ class Server {
 
   // Replays `trace` to completion (or through shutdown drain) and
   // returns every response plus aggregate statistics. Deterministic:
-  // same trace + config + pool => identical result bytes.
+  // same trace + config + pool => identical result bytes. Conservation
+  // is checked on exit: admitted == served + expired_in_queue + failed.
   ServeResult run_trace(const ArrivalTrace& trace);
 
  private:

@@ -6,6 +6,7 @@
 #include "hw/schedule.h"
 #include "obs/trace.h"
 #include "util/check.h"
+#include "util/crc32.h"
 
 namespace qnn::serve {
 
@@ -70,6 +71,19 @@ ReplicaPool::ReplicaPool(const nn::Network& master,
     q->set_training_mode(false);
     q->freeze_inference();
   }
+  // Pin the golden parameter image per tier: identical masters +
+  // identical calibration freeze to identical bytes, so one CRC per
+  // tier audits every replica in it.
+  golden_crcs_.resize(tiers_.size());
+  for (int t = 0; t < num_tiers(); ++t) {
+    golden_crcs_[static_cast<std::size_t>(t)] = param_crc(t, 0);
+    for (int r = 1; r < replicas_per_tier_; ++r) {
+      QNN_CHECK_MSG(param_crc(t, r) == golden_crcs_[static_cast<std::size_t>(t)],
+                    "tier " << tiers_[static_cast<std::size_t>(t)].name
+                            << " replica " << r
+                            << " froze to different parameter bytes");
+    }
+  }
 }
 
 const TierSpec& ReplicaPool::tier(int t) const {
@@ -86,6 +100,30 @@ quant::QuantizedNetwork& ReplicaPool::replica(int t, int r) {
 Tensor ReplicaPool::forward(int t, int r, const Tensor& batch) {
   QNN_SPAN_N("replica_forward", "serve", batch.shape()[0]);
   return replica(t, r).forward(batch);
+}
+
+std::uint32_t ReplicaPool::param_crc(int t, int r) {
+  std::uint32_t crc = 0;
+  for (const nn::Param* p : replica(t, r).trainable_params()) {
+    crc = crc32(p->value.data(),
+                static_cast<std::size_t>(p->value.count()) * sizeof(float),
+                crc);
+  }
+  return crc;
+}
+
+std::uint32_t ReplicaPool::golden_param_crc(int t) const {
+  QNN_CHECK(t >= 0 && t < num_tiers());
+  return golden_crcs_[static_cast<std::size_t>(t)];
+}
+
+bool ReplicaPool::rescrub_replica(int t, int r) {
+  QNN_SPAN_N("replica_rescrub", "serve", lane_index(t, r));
+  quant::QuantizedNetwork& q = replica(t, r);
+  const std::size_t layers =
+      nets_[static_cast<std::size_t>(lane_index(t, r))]->num_layers();
+  for (std::size_t i = 0; i < layers; ++i) q.rescrub_layer_params(i);
+  return param_crc(t, r) == golden_param_crc(t);
 }
 
 }  // namespace qnn::serve

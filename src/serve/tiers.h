@@ -13,6 +13,7 @@
 // load-shedding policy.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -74,6 +75,25 @@ class ReplicaPool {
 
   quant::QuantizedNetwork& replica(int t, int r);
 
+  // Flat lane index used by the executor/health layer (DESIGN.md §13).
+  int num_lanes() const { return num_tiers() * replicas_per_tier_; }
+  int lane_index(int t, int r) const { return t * replicas_per_tier_ + r; }
+
+  // CRC over the frozen quantized parameter bytes of one replica — the
+  // scrub-audit fingerprint. Every replica of a tier freezes to
+  // identical bytes (same masters, same calibration), pinned at build
+  // time as the tier's golden CRC; a mismatch later means the replica's
+  // weight memory was corrupted in place.
+  std::uint32_t param_crc(int t, int r);
+  std::uint32_t golden_param_crc(int t) const;
+
+  // Repairs a replica from its (ECC-protected) masters: re-reads every
+  // layer's parameters through QuantizedNetwork::rescrub_layer_params
+  // (restore from master, re-quantize, re-fire injection hooks — a
+  // fresh weight-memory load), then re-audits. Returns true when the
+  // post-scrub CRC matches the tier's golden image.
+  bool rescrub_replica(int t, int r);
+
  private:
   std::vector<TierSpec> tiers_;
   int replicas_per_tier_;
@@ -81,6 +101,7 @@ class ReplicaPool {
   // (QuantizedNetwork holds a reference to its Network).
   std::vector<std::unique_ptr<nn::Network>> nets_;
   std::vector<std::unique_ptr<quant::QuantizedNetwork>> replicas_;
+  std::vector<std::uint32_t> golden_crcs_;  // one per tier
 };
 
 }  // namespace qnn::serve

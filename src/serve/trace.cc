@@ -87,26 +87,66 @@ void save_trace(const std::string& path, const ArrivalTrace& trace) {
 }
 
 ArrivalTrace load_trace(const std::string& path) {
-  const json::Value doc = json::parse(read_file(path), path);
-  QNN_CHECK_MSG(doc.at("version").as_int() == kTraceVersion,
-                "unsupported trace version in " << path);
+  // Every failure below throws CheckError carrying `path` (and, for
+  // syntax errors, the line where json::parse gave up), so a truncated
+  // copy or an unrelated file dropped at the trace path is diagnosable
+  // from the message alone.
+  const std::string text = read_file(path);
+  QNN_CHECK_MSG(!text.empty(), "trace file " << path << " is empty");
+  const json::Value doc = json::parse(text, path);
+  QNN_CHECK_MSG(doc.kind() == json::Value::Kind::kObject,
+                "trace file " << path << " is not a JSON object");
+  for (const char* key : {"version", "sample_dims", "requests"}) {
+    QNN_CHECK_MSG(doc.contains(key),
+                  "trace file " << path << " is missing \"" << key << "\"");
+  }
+  QNN_CHECK_MSG(doc.at("version").kind() == json::Value::Kind::kInt &&
+                    doc.at("version").as_int() == kTraceVersion,
+                "unsupported trace version in " << path << " (want "
+                                                << kTraceVersion << ")");
   ArrivalTrace trace;
+  QNN_CHECK_MSG(doc.at("sample_dims").kind() == json::Value::Kind::kArray,
+                "\"sample_dims\" is not an array in " << path);
   for (const json::Value& d : doc.at("sample_dims").items()) {
-    QNN_CHECK_MSG(d.as_int() > 0, "non-positive sample dim in " << path);
+    QNN_CHECK_MSG(d.kind() == json::Value::Kind::kInt && d.as_int() > 0,
+                  "non-positive sample dim in " << path);
     trace.sample_dims.push_back(d.as_int());
   }
+  QNN_CHECK_MSG(!trace.sample_dims.empty(),
+                "trace file " << path << " has an empty sample shape");
+  QNN_CHECK_MSG(doc.at("requests").kind() == json::Value::Kind::kArray,
+                "\"requests\" is not an array in " << path);
   Tick prev_arrival = 0;
+  std::size_t index = 0;
   for (const json::Value& jr : doc.at("requests").items()) {
+    QNN_CHECK_MSG(jr.kind() == json::Value::Kind::kObject,
+                  "request " << index << " in " << path
+                             << " is not a JSON object");
+    for (const char* key : {"id", "arrival", "deadline", "payload_seed"}) {
+      QNN_CHECK_MSG(jr.contains(key) &&
+                        jr.at(key).kind() == json::Value::Kind::kInt,
+                    "request " << index << " in " << path
+                               << " is missing integer \"" << key << "\"");
+    }
     TraceRequest r;
     r.id = jr.at("id").as_int();
     r.arrival = jr.at("arrival").as_int();
     r.deadline = jr.at("deadline").as_int();
     r.payload_seed = static_cast<std::uint64_t>(jr.at("payload_seed").as_int());
-    QNN_CHECK_MSG(r.arrival >= 0, "negative arrival tick in " << path);
+    QNN_CHECK_MSG(r.id >= 0,
+                  "negative id on request " << index << " in " << path);
+    QNN_CHECK_MSG(r.arrival >= 0,
+                  "negative arrival tick on request " << index << " in "
+                                                      << path);
+    QNN_CHECK_MSG(r.deadline >= r.arrival,
+                  "deadline before arrival on request " << index << " in "
+                                                        << path);
     QNN_CHECK_MSG(r.arrival >= prev_arrival,
-                  "trace arrivals not sorted in " << path);
+                  "trace arrivals not sorted at request " << index << " in "
+                                                          << path);
     prev_arrival = r.arrival;
     trace.requests.push_back(r);
+    ++index;
   }
   return trace;
 }

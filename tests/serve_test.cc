@@ -268,6 +268,38 @@ TEST(OverloadController, LatencySignalDownshiftsAndGatesRecovery) {
   EXPECT_EQ(ctl.current_tier(), 0);
 }
 
+TEST(OverloadController, ZeroBoundNeverDivides) {
+  OverloadController ctl(depth_only_config(), 3);
+  // bound == 0 with work queued reads as full pressure, not a division.
+  ctl.update(0, 5, 0, 0.0);
+  EXPECT_EQ(ctl.current_tier(), 1);
+  // bound == 0 and nothing queued is no pressure at all: with the dwell
+  // elapsed the controller recovers instead of crashing or sticking.
+  ctl.update(10, 0, 0, 0.0);
+  EXPECT_EQ(ctl.current_tier(), 0);
+}
+
+TEST(OverloadController, SingleTierLatticeNeverShifts) {
+  OverloadController ctl(depth_only_config(), 1);
+  for (Tick t = 0; t < 100; t += 10) ctl.update(t, 100, 100, 0.0);
+  EXPECT_EQ(ctl.current_tier(), 0);
+  EXPECT_EQ(ctl.downshifts(), 0);
+  ctl.update(100, 0, 100, 0.0);
+  EXPECT_EQ(ctl.upshifts(), 0);
+}
+
+TEST(OverloadController, ShiftAllowedAtExactDwellBoundary) {
+  OverloadController ctl(depth_only_config(), 3);  // dwell_ticks = 10
+  ctl.update(0, 80, 100, 0.0);
+  EXPECT_EQ(ctl.current_tier(), 1);
+  // "at least dwell_ticks between shifts": the boundary tick itself
+  // (last_shift + dwell) is eligible, one tick earlier is not.
+  ctl.update(9, 80, 100, 0.0);
+  EXPECT_EQ(ctl.current_tier(), 1);
+  ctl.update(10, 80, 100, 0.0);
+  EXPECT_EQ(ctl.current_tier(), 2);
+}
+
 // --- tiers & replica pool ----------------------------------------------
 
 std::unique_ptr<nn::Network> tiny_net(std::uint64_t seed = 4) {
@@ -532,9 +564,47 @@ TEST(Server, StatsJsonHasEveryField) {
         "rejected_shutdown", "expired_in_queue", "served",
         "served_within_deadline", "served_late", "served_per_tier",
         "downshifts", "upshifts", "end_tick", "total_energy_uj",
-        "p50_latency_ticks", "p99_latency_ticks"}) {
+        "p50_latency_ticks", "p99_latency_ticks", "failed", "hung_batches",
+        "corrupt_batches", "crashed_batches", "retries", "redirected",
+        "rescrubs", "discarded_results"}) {
     EXPECT_TRUE(v.contains(key)) << key;
   }
+}
+
+// A latency spike must age out of the p99 signal once the pipeline has
+// been quiet: with a sliding window the baseline snapshot advances and
+// recovery re-enables; with the whole-run delta (window 0) the burst's
+// latencies gate upshift forever.
+TEST(Server, P99WindowReenablesRecoveryAfterQuietPeriod) {
+  ServeFixture f;
+  const Tick tpi = f.tiers[0].ticks_per_image;
+  // A hard burst followed by a long, sparse tail.
+  ArrivalTrace trace = f.overload_trace(3.0, 40);
+  Tick t = trace.requests.back().arrival;
+  for (std::int64_t i = 0; i < 30; ++i) {
+    t += 20 * tpi;
+    TraceRequest r;
+    r.id = 40 + i;
+    r.arrival = t;
+    r.deadline = t + 12 * tpi;
+    r.payload_seed = 1000 + static_cast<std::uint64_t>(i);
+    trace.requests.push_back(r);
+  }
+  auto run = [&](Tick window) {
+    ServerConfig cfg = f.config(AdmissionPolicy::kDegrade);
+    cfg.controller.p99_high_ticks = 6 * tpi;
+    cfg.controller.p99_low_ticks = 3 * tpi;
+    cfg.p99_window_ticks = window;
+    Server server(*f.pool, cfg);
+    return server.run_trace(trace).stats;
+  };
+  const ServeStats whole_run = run(0);
+  const ServeStats windowed = run(40 * tpi);
+  EXPECT_GT(whole_run.downshifts, 0) << "the burst must trip the signal";
+  EXPECT_GT(windowed.upshifts, whole_run.upshifts)
+      << "sliding window must let the quiet tail recover full precision";
+  // The tail is slow enough for tier 0: windowed runs serve it there.
+  EXPECT_GT(windowed.served_per_tier[0], whole_run.served_per_tier[0]);
 }
 
 }  // namespace
