@@ -64,6 +64,7 @@ class Session {
     if (!report_path_.empty()) {
       report_.add_metrics();
       report_.add_trace_summary();
+      report_.add_registry_summary();
       report_.write(report_path_);
       std::cout << "wrote run report to " << report_path_ << "\n";
     }

@@ -30,7 +30,10 @@
 #include "faults/lane_faults.h"
 #include "nn/trainer.h"
 #include "nn/zoo.h"
+#include "serve/request_trace.h"
 #include "serve/server.h"
+#include "serve/slo.h"
+#include "util/check.h"
 #include "util/fileio.h"
 
 namespace qnn {
@@ -50,6 +53,7 @@ struct SweepRow {
   // sweep, "chaos_redirect"/"chaos_failstop" for the chaos sweep.
   std::string label;
   serve::ServeStats stats;
+  serve::SloSummary slo;  // per-tier SLO/energy roll-up (DESIGN.md §14)
   double accuracy_proxy = 0.0;  // top-1 on served payloads, percent
   double energy_per_request_uj = 0.0;
   double served_per_mtick = 0.0;
@@ -62,6 +66,7 @@ json::Value row_to_json(const SweepRow& r) {
   v.set("batch_window_ticks", json::Value(r.window));
   v.set("policy", json::Value(r.label));
   v.set("stats", serve::serve_stats_to_json(r.stats));
+  v.set("slo", serve::slo_to_json(r.slo));
   v.set("accuracy_proxy_pct", json::Value(r.accuracy_proxy));
   v.set("energy_per_request_uj", json::Value(r.energy_per_request_uj));
   v.set("served_per_mtick", json::Value(r.served_per_mtick));
@@ -69,7 +74,8 @@ json::Value row_to_json(const SweepRow& r) {
   return v;
 }
 
-void run(const std::string& policy_arg) {
+void run(const std::string& policy_arg, bool trace_requests,
+         bench::Session& session) {
   const bool fast = bench::fast_mode();
   const bool do_overload = policy_arg == "all" || policy_arg == "overload";
   const bool do_chaos = policy_arg == "all" || policy_arg == "chaos_redirect";
@@ -152,8 +158,29 @@ void run(const std::string& policy_arg) {
         cfg.controller.dwell_ticks = 4 * sustain;
         cfg.policy = policy;
         cfg.payload = payload;
+        // Trace one designated overload cell: the hottest rate, degrade
+        // policy, widest window — the cell whose causal log is most
+        // interesting under pressure.
+        const bool trace_cell =
+            trace_requests && rate == rates.back() &&
+            policy == serve::AdmissionPolicy::kDegrade &&
+            window == windows.back();
+        cfg.trace_requests = trace_cell;
         serve::Server server(pool, cfg);
         const serve::ServeResult result = server.run_trace(trace);
+        if (trace_cell) {
+          serve::write_request_events_jsonl("REQUESTS_overload.jsonl",
+                                            result.request_events);
+          serve::write_lane_chrome_trace("LANES_overload.json",
+                                         result.lane_executions,
+                                         result.health_log,
+                                         result.request_events,
+                                         result.lane_names);
+          std::cout << "wrote REQUESTS_overload.jsonl ("
+                    << result.request_events.size()
+                    << " events) and LANES_overload.json ("
+                    << result.lane_executions.size() << " executions)\n";
+        }
 
         SweepRow row;
         row.rate = rate;
@@ -161,6 +188,10 @@ void run(const std::string& policy_arg) {
         row.policy = policy;
         row.label = serve::admission_policy_name(policy);
         row.stats = result.stats;
+        row.slo = serve::make_slo_summary(result, tiers);
+        QNN_CHECK_MSG(row.slo.conserved,
+                      "SLO summary not self-consistent for overload cell "
+                          << row.label);
         row.digest = result.digest();
         std::int64_t correct = 0;
         for (const serve::Response& resp : result.responses) {
@@ -284,14 +315,31 @@ void run(const std::string& policy_arg) {
       cfg.executor.redirect_on_failure = redirect;
       cfg.chaos = &schedule;
       cfg.payload = payload;
+      cfg.trace_requests = trace_requests && redirect;
       serve::Server server(chaos_pool, cfg);
       const serve::ServeResult result = server.run_trace(trace);
+      if (cfg.trace_requests) {
+        serve::write_request_events_jsonl("REQUESTS_chaos.jsonl",
+                                          result.request_events);
+        serve::write_lane_chrome_trace("LANES_chaos.json",
+                                       result.lane_executions,
+                                       result.health_log,
+                                       result.request_events,
+                                       result.lane_names);
+        std::cout << "  wrote REQUESTS_chaos.jsonl ("
+                  << result.request_events.size()
+                  << " events) and LANES_chaos.json ("
+                  << result.lane_executions.size() << " executions)\n";
+      }
 
       SweepRow row;
       row.rate = 2.0;
       row.window = cfg.batcher.batch_window;
       row.label = redirect ? "chaos_redirect" : "chaos_failstop";
       row.stats = result.stats;
+      row.slo = serve::make_slo_summary(result, tiers);
+      QNN_CHECK_MSG(row.slo.conserved,
+                    "SLO summary not self-consistent for " << row.label);
       row.digest = result.digest();
       row.energy_per_request_uj =
           row.stats.served == 0
@@ -330,13 +378,25 @@ void run(const std::string& policy_arg) {
   doc.set("policy_mode", json::Value(policy_arg));
   doc.set("overload_acceptance", json::Value(accepted));
   doc.set("chaos_acceptance", json::Value(chaos_accepted));
+  // Every row's SLO block already passed its own conservation check
+  // (QNN_CHECK above); re-state the conjunction so BENCH_serve.json
+  // consumers can gate on one field.
+  bool slo_consistent = true;
+  for (const SweepRow& r : rows) slo_consistent = slo_consistent && r.slo.conserved;
+  doc.set("slo_self_consistent", json::Value(slo_consistent));
   json::Value jrows = json::Value::array();
   for (const SweepRow& r : rows) jrows.push_back(row_to_json(r));
   doc.set("rows", std::move(jrows));
   write_file_atomic("BENCH_serve.json", doc.dump());
+  // Fold the last row's SLO block into the run report so --report
+  // captures the serving roll-up alongside metrics/trace/registry.
+  if (!rows.empty()) {
+    session.report().set("serve_slo", serve::slo_to_json(rows.back().slo));
+  }
   std::cout << "\nwrote BENCH_serve.json (" << rows.size() << " cells), "
             << "overload acceptance: " << (accepted ? "PASS" : "FAIL")
             << ", chaos acceptance: " << (chaos_accepted ? "PASS" : "FAIL")
+            << ", slo self-consistent: " << (slo_consistent ? "yes" : "no")
             << "\n";
 }
 
@@ -346,9 +406,12 @@ void run(const std::string& policy_arg) {
 int main(int argc, char** argv) {
   qnn::bench::Session session("serve_loadgen", &argc, argv);
   std::string policy = "all";
+  bool trace_requests = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--policy" && i + 1 < argc) {
       policy = argv[++i];
+    } else if (std::string(argv[i]) == "--trace-requests") {
+      trace_requests = true;
     }
   }
   if (policy != "all" && policy != "overload" && policy != "chaos_redirect") {
@@ -356,6 +419,6 @@ int main(int argc, char** argv) {
               << " (want all | overload | chaos_redirect)\n";
     return 1;
   }
-  qnn::run(policy);
+  qnn::run(policy, trace_requests, session);
   return 0;
 }

@@ -16,15 +16,30 @@ const char* metric_kind_name(MetricKind kind) {
 }
 
 namespace detail {
+namespace {
+
+// Dense thread-id source behind stripe_index(); also the basis of
+// stripe_stats() occupancy reporting.
+std::atomic<int> g_next_thread{0};
+
+}  // namespace
 
 int stripe_index() {
-  static std::atomic<int> next{0};
   thread_local const int id =
-      next.fetch_add(1, std::memory_order_relaxed) % kMetricStripes;
+      g_next_thread.fetch_add(1, std::memory_order_relaxed) % kMetricStripes;
   return id;
 }
 
 }  // namespace detail
+
+StripeStats stripe_stats() {
+  StripeStats s;
+  s.threads_registered =
+      detail::g_next_thread.load(std::memory_order_relaxed);
+  s.stripes_occupied = std::min(s.threads_registered, kMetricStripes);
+  s.aliased_threads = std::max(0, s.threads_registered - kMetricStripes);
+  return s;
+}
 
 Registry& Registry::global() {
   static Registry* registry = new Registry();  // never destroyed: worker
@@ -134,7 +149,7 @@ double MetricSnapshot::quantile(double q) const {
   QNN_CHECK_MSG(kind == MetricKind::kHistogram,
                 "quantile() on non-histogram \"" << name << '"');
   QNN_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile q out of [0, 1]: " << q);
-  if (count == 0) return 0.0;
+  if (count == 0) return kQuantileNoSamples;
   const double target = q * static_cast<double>(count);
   double cum = 0.0;
   for (std::size_t i = 0; i < buckets.size(); ++i) {
@@ -143,8 +158,9 @@ double MetricSnapshot::quantile(double q) const {
     if (cum + in_bucket >= target) {
       if (i >= bounds.size()) {
         // Overflow bucket: unbounded above, clamp to the last finite
-        // bound (or 0 for a bound-less histogram).
-        return bounds.empty() ? 0.0
+        // bound (sentinel for a bound-less histogram — nothing finite
+        // to clamp to).
+        return bounds.empty() ? kQuantileNoSamples
                               : static_cast<double>(bounds.back());
       }
       const double lo = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
@@ -154,7 +170,8 @@ double MetricSnapshot::quantile(double q) const {
     }
     cum += in_bucket;
   }
-  return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+  return bounds.empty() ? kQuantileNoSamples
+                        : static_cast<double>(bounds.back());
 }
 
 double Snapshot::quantile(const std::string& name, double q) const {

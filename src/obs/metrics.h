@@ -33,8 +33,28 @@ namespace qnn::obs {
 // correct because every update is an atomic add.
 inline constexpr int kMetricStripes = 64;
 
+// Sentinel returned by MetricSnapshot::quantile when the histogram has
+// no defined answer: zero samples, or a quantile landing in the
+// overflow bucket of a bound-less histogram. Negative so it can never
+// be confused with a real duration/size sample, and safe for the
+// serving controller's feedback gates, which only act on p99 > 0.
+inline constexpr double kQuantileNoSamples = -1.0;
+
 enum class MetricKind { kCounter, kGauge, kHistogram };
 const char* metric_kind_name(MetricKind kind);
+
+// Occupancy of the striped fast path: how many distinct threads have
+// ever recorded a metric, how many of the kMetricStripes stripes they
+// land on, and how many threads alias an already-taken stripe (beyond
+// kMetricStripes, thread ids wrap — still correct, just contended).
+struct StripeStats {
+  int stripes = kMetricStripes;
+  int threads_registered = 0;
+  int stripes_occupied = 0;
+  int aliased_threads = 0;
+};
+
+StripeStats stripe_stats();
 
 namespace detail {
 
@@ -151,7 +171,10 @@ struct MetricSnapshot {
   //   * samples in the overflow bucket have no upper bound, so any
   //     quantile landing there is clamped to the last finite bound
   //     (a documented under-estimate — size the bounds to your tail);
-  //   * an empty histogram (count == 0) returns 0.
+  //   * when there is no defined answer — count == 0, or the quantile
+  //     lands in the overflow bucket of a bound-less histogram — the
+  //     result is the kQuantileNoSamples sentinel (-1.0), never a
+  //     fabricated 0 that reads as "instant".
   // Pinned by golden tests in tests/obs_test.cc.
   double quantile(double q) const;
 

@@ -65,7 +65,28 @@ void RunReport::add_trace_summary() {
   v.set("enabled", trace_enabled());
   v.set("events", trace_event_count());
   v.set("dropped", trace_dropped_count());
+  v.set("capacity", static_cast<std::int64_t>(trace_buffer_capacity()));
+  json::Value per_thread = json::Value::array();
+  for (const TraceBufferStats& s : trace_buffer_stats()) {
+    json::Value t = json::Value::object();
+    t.set("tid", static_cast<std::int64_t>(s.tid));
+    t.set("buffered", s.buffered);
+    t.set("dropped", s.dropped);
+    t.set("capacity", s.capacity);
+    per_thread.push_back(std::move(t));
+  }
+  v.set("per_thread", std::move(per_thread));
   root_.set("trace", std::move(v));
+}
+
+void RunReport::add_registry_summary() {
+  const StripeStats s = stripe_stats();
+  json::Value v = json::Value::object();
+  v.set("stripes", static_cast<std::int64_t>(s.stripes));
+  v.set("threads_registered", static_cast<std::int64_t>(s.threads_registered));
+  v.set("stripes_occupied", static_cast<std::int64_t>(s.stripes_occupied));
+  v.set("aliased_threads", static_cast<std::int64_t>(s.aliased_threads));
+  root_.set("registry", std::move(v));
 }
 
 void RunReport::write(const std::string& path) const {

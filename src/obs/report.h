@@ -43,8 +43,13 @@ class RunReport {
   void add_metrics(const Registry& registry = Registry::global());
 
   // Tracer bookkeeping under "trace": enabled flag, buffered and
-  // dropped event counts.
+  // dropped event totals, ring capacity, and the per-thread occupancy
+  // breakdown behind them.
   void add_trace_summary();
+
+  // Metrics-registry stripe occupancy under "registry": stripe count,
+  // threads registered, stripes occupied, aliased threads.
+  void add_registry_summary();
 
   const json::Value& root() const { return root_; }
   std::string dump() const { return root_.dump(); }

@@ -121,6 +121,23 @@ std::int64_t trace_dropped_count() {
   return dropped;
 }
 
+std::vector<TraceBufferStats> trace_buffer_stats() {
+  std::lock_guard<std::mutex> lock(detail::g_buffers_m);
+  std::vector<TraceBufferStats> out;
+  for (const detail::ThreadBuffer* b : detail::buffer_list()) {
+    TraceBufferStats s;
+    s.tid = b->tid;
+    const std::uint64_t head = b->head.load(std::memory_order_acquire);
+    const std::uint64_t cap = b->ring.size();
+    s.capacity = static_cast<std::int64_t>(cap);
+    s.buffered =
+        static_cast<std::int64_t>(std::min<std::uint64_t>(head, cap));
+    s.dropped = head > cap ? static_cast<std::int64_t>(head - cap) : 0;
+    out.push_back(s);
+  }
+  return out;
+}
+
 void clear_trace() {
   std::lock_guard<std::mutex> lock(detail::g_buffers_m);
   for (detail::ThreadBuffer* b : detail::buffer_list())

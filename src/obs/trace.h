@@ -23,6 +23,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/json.h"
 
@@ -53,6 +54,19 @@ std::size_t trace_buffer_capacity();
 // Buffered events across all threads / events evicted by ring wrap.
 std::int64_t trace_event_count();
 std::int64_t trace_dropped_count();
+
+// Per-thread ring occupancy: events currently buffered, events evicted
+// by wrap, and the ring's capacity — the breakdown behind
+// trace_event_count()/trace_dropped_count(), exported into RunReport so
+// a drop total is traceable to the thread that overflowed.
+struct TraceBufferStats {
+  int tid = 0;
+  std::int64_t buffered = 0;
+  std::int64_t dropped = 0;
+  std::int64_t capacity = 0;
+};
+
+std::vector<TraceBufferStats> trace_buffer_stats();
 
 // Drops all buffered events (buffers and thread ids are kept). Callers
 // must ensure no spans are concurrently completing.

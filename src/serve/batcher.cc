@@ -43,6 +43,9 @@ void DynamicBatcher::drop_expired(Tick now, std::vector<Request>* expired) {
     for (auto it = dq.begin(); it != dq.end();) {
       if (it->request.deadline <= now) {
         batcher_metrics().expired.inc();
+        it->request.trace.record(now, RequestEventKind::kExpire,
+                                 it->request.tier, /*lane=*/-1, /*attempt=*/0,
+                                 /*detail=*/0);
         expired->push_back(std::move(it->request));
         it = dq.erase(it);
       } else {
@@ -52,15 +55,21 @@ void DynamicBatcher::drop_expired(Tick now, std::vector<Request>* expired) {
   }
 }
 
-Batch DynamicBatcher::close_front(int tier, std::size_t count) {
+Batch DynamicBatcher::close_front(int tier, std::size_t count, Tick now) {
   auto& dq = pending_[static_cast<std::size_t>(tier)];
   QNN_DCHECK(count <= dq.size());
   Batch b;
   b.tier = tier;
+  b.close_tick = now;
   b.requests.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     b.requests.push_back(std::move(dq.front().request));
     dq.pop_front();
+  }
+  for (const Request& r : b.requests) {
+    r.trace.record(now, RequestEventKind::kBatchClose, tier, /*lane=*/-1,
+                   /*attempt=*/0,
+                   /*detail=*/static_cast<std::int64_t>(b.requests.size()));
   }
   return b;
 }
@@ -73,11 +82,11 @@ std::vector<Batch> DynamicBatcher::poll(Tick now,
   for (int t = 0; t < static_cast<int>(pending_.size()); ++t) {
     auto& dq = pending_[static_cast<std::size_t>(t)];
     while (dq.size() >= max) {
-      out.push_back(close_front(t, max));
+      out.push_back(close_front(t, max, now));
       batcher_metrics().closed_full.inc();
     }
     if (!dq.empty() && now - dq.front().enqueued >= config_.batch_window) {
-      out.push_back(close_front(t, dq.size()));
+      out.push_back(close_front(t, dq.size(), now));
       batcher_metrics().closed_window.inc();
     }
   }
@@ -92,7 +101,7 @@ std::vector<Batch> DynamicBatcher::flush(Tick now,
   for (int t = 0; t < static_cast<int>(pending_.size()); ++t) {
     auto& dq = pending_[static_cast<std::size_t>(t)];
     while (!dq.empty()) {
-      out.push_back(close_front(t, std::min(dq.size(), max)));
+      out.push_back(close_front(t, std::min(dq.size(), max), now));
       batcher_metrics().closed_flush.inc();
     }
   }

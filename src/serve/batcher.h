@@ -31,6 +31,7 @@ struct BatcherConfig {
 
 struct Batch {
   int tier = 0;
+  Tick close_tick = 0;  // when the batcher closed it (queue wait ends)
   std::vector<Request> requests;  // batch-row order
 };
 
@@ -67,7 +68,7 @@ class DynamicBatcher {
   };
 
   void drop_expired(Tick now, std::vector<Request>* expired);
-  Batch close_front(int tier, std::size_t count);
+  Batch close_front(int tier, std::size_t count, Tick now);
 
   BatcherConfig config_;
   std::vector<std::deque<Pending>> pending_;  // one list per tier

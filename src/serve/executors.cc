@@ -69,11 +69,15 @@ void corrupt_replica_params(quant::QuantizedNetwork& replica,
 
 ExecutorGroup::ExecutorGroup(ReplicaPool& pool, const ExecutorConfig& config,
                              const HealthConfig& health,
-                             const faults::LaneFaultSchedule* chaos)
+                             const faults::LaneFaultSchedule* chaos,
+                             RequestTracer* tracer,
+                             obs::AttributionLedger* ledger)
     : pool_(pool),
       config_(config),
       health_(pool.num_lanes(), health),
       chaos_(chaos),
+      tracer_(tracer),
+      ledger_(ledger),
       lanes_(static_cast<std::size_t>(pool.num_lanes())),
       round_robin_(static_cast<std::size_t>(pool.num_tiers()), 0) {
   QNN_CHECK_MSG(config.watchdog_budget_factor >= 1.0,
@@ -87,6 +91,16 @@ ExecutorGroup::ExecutorGroup(ReplicaPool& pool, const ExecutorConfig& config,
       lane.tier = t;
       lane.replica = r;
     }
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // Mirror every health transition into the causal log as a
+    // lane-scoped event, at the tick the lattice recorded it.
+    health_.set_observer([this](const HealthTransition& t) {
+      tracer_->record(t.tick, /*request_id=*/-1, RequestEventKind::kHealth,
+                      lanes_[static_cast<std::size_t>(t.lane)].tier, t.lane,
+                      /*attempt=*/0, static_cast<std::int64_t>(t.reason),
+                      static_cast<std::int64_t>(t.to));
+    });
   }
 }
 
@@ -127,7 +141,10 @@ void ExecutorGroup::submit(Batch b) {
 void ExecutorGroup::fail_batch(Batch b, std::vector<Request>* failed) {
   stats_.failed_requests += static_cast<std::int64_t>(b.requests.size());
   lane_metrics().failed.add(static_cast<std::int64_t>(b.requests.size()));
-  for (Request& r : b.requests) failed->push_back(std::move(r));
+  for (Request& r : b.requests) {
+    r.trace.record(vnow_, RequestEventKind::kFail, b.tier);
+    failed->push_back(std::move(r));
+  }
 }
 
 void ExecutorGroup::requeue_or_fail(Batch b, int attempt, Tick now,
@@ -141,6 +158,10 @@ void ExecutorGroup::requeue_or_fail(Batch b, int attempt, Tick now,
   Tick backoff = 0;
   if (config_.retry_backoff_ticks > 0 && attempt >= 2) {
     backoff = config_.retry_backoff_ticks << (attempt - 2);
+  }
+  for (const Request& r : b.requests) {
+    r.trace.record(now, RequestEventKind::kRetry, b.tier, /*lane=*/-1, attempt,
+                   /*detail=*/now + backoff);
   }
   // Retries jump the queue: they carry the oldest deadlines.
   pending_.push_front(PendingBatch{std::move(b), attempt, now + backoff});
@@ -238,6 +259,35 @@ void ExecutorGroup::execute(Lane& lane, Batch b, int attempt, Tick now) {
   ++stats_.executions;
   stats_.energy_uj += static_cast<double>(batch_n) * tier.energy_per_image_uj;
   lane_metrics().dispatches.inc();
+
+  // Attribution: every member of the batch is charged the tier's
+  // per-image cost at dispatch, published or not — discarded executions
+  // become the request's wasted-energy share (DESIGN.md §14).
+  const int li = pool_.lane_index(lane.tier, lane.replica);
+  for (const Request& r : lane.batch.requests) {
+    r.trace.record(now, RequestEventKind::kDispatch, lane.tier, li, attempt);
+    if (ledger_ != nullptr) {
+      ledger_->charge(obs::EnergyCharge{r.id, now, lane.tier, li, attempt,
+                                        tier.macs_per_image,
+                                        tier.energy_per_image_uj * 1e6,
+                                        /*published=*/false});
+    }
+  }
+  lane.exec_record = RequestTracer::kNoExecution;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    LaneExecution ex;
+    ex.lane = li;
+    ex.tier = lane.tier;
+    ex.replica = lane.replica;
+    ex.attempt = attempt;
+    ex.dispatch = now;
+    ex.completion = lane.completion;
+    ex.batch_n = static_cast<std::int64_t>(batch_n);
+    ex.energy_pj =
+        static_cast<double>(batch_n) * tier.energy_per_image_uj * 1e6;
+    for (const Request& r : lane.batch.requests) ex.request_ids.push_back(r.id);
+    lane.exec_record = tracer_->begin_execution(std::move(ex));
+  }
 }
 
 void ExecutorGroup::apply_due_faults(Tick now, std::vector<Request>* failed) {
@@ -266,6 +316,13 @@ void ExecutorGroup::apply_due_faults(Tick now, std::vector<Request>* failed) {
           lane.output = Tensor();
           Batch b = std::move(lane.batch);
           lane.batch = Batch{};
+          if (tracer_ != nullptr) {
+            tracer_->finish_execution(lane.exec_record, now,
+                                      lane.doomed
+                                          ? LaneExecution::Outcome::kDoomed
+                                          : LaneExecution::Outcome::kCrashed);
+          }
+          lane.exec_record = RequestTracer::kNoExecution;
           if (lane.doomed) {
             // The watchdog already condemned and re-dispatched this
             // batch; the crash just ends the wedged execution early.
@@ -275,6 +332,10 @@ void ExecutorGroup::apply_due_faults(Tick now, std::vector<Request>* failed) {
             // The in-flight batch dies with the lane.
             ++stats_.crashed_batches;
             lane_metrics().crashed.inc();
+            for (const Request& r : b.requests) {
+              r.trace.record(now, RequestEventKind::kCrash, lane.tier, li,
+                             lane.attempt);
+            }
             requeue_or_fail(std::move(b), lane.attempt + 1, now, failed);
           }
         }
@@ -294,6 +355,10 @@ void ExecutorGroup::fire_watchdogs(Tick now, std::vector<Request>* failed) {
     ++stats_.hung_batches;
     lane_metrics().hung.inc();
     const int li = pool_.lane_index(lane.tier, lane.replica);
+    for (const Request& r : lane.batch.requests) {
+      r.trace.record(now, RequestEventKind::kHang, lane.tier, li,
+                     lane.attempt);
+    }
     if (config_.redirect_on_failure) {
       health_.on_hang(now, li);
     } else {
@@ -319,6 +384,11 @@ void ExecutorGroup::retire_completions(Tick now,
     if (lane.doomed) {  // condemned by the watchdog; batch already moved on
       ++stats_.discarded;
       lane_metrics().discarded.inc();
+      if (tracer_ != nullptr) {
+        tracer_->finish_execution(lane.exec_record, lane.completion,
+                                  LaneExecution::Outcome::kDoomed);
+      }
+      lane.exec_record = RequestTracer::kNoExecution;
       continue;
     }
     const int li = pool_.lane_index(lane.tier, lane.replica);
@@ -332,6 +402,15 @@ void ExecutorGroup::retire_completions(Tick now,
       lane_metrics().corrupt.inc();
       ++stats_.discarded;
       lane_metrics().discarded.inc();
+      for (const Request& r : b.requests) {
+        r.trace.record(now, RequestEventKind::kCorrupt, lane.tier, li,
+                       lane.attempt);
+      }
+      if (tracer_ != nullptr) {
+        tracer_->finish_execution(lane.exec_record, lane.completion,
+                                  LaneExecution::Outcome::kDiscardedCorrupt);
+      }
+      lane.exec_record = RequestTracer::kNoExecution;
       if (config_.redirect_on_failure) {
         health_.on_corrupt(now, li);
       } else {
@@ -340,6 +419,16 @@ void ExecutorGroup::retire_completions(Tick now,
       requeue_or_fail(std::move(b), lane.attempt + 1, now, failed);
       continue;
     }
+    for (const Request& r : b.requests) {
+      r.trace.record(lane.completion, RequestEventKind::kComplete, lane.tier,
+                     li, lane.attempt);
+      if (ledger_ != nullptr) ledger_->mark_published(r.id, lane.attempt);
+    }
+    if (tracer_ != nullptr) {
+      tracer_->finish_execution(lane.exec_record, lane.completion,
+                                LaneExecution::Outcome::kPublished);
+    }
+    lane.exec_record = RequestTracer::kNoExecution;
     ExecutedBatch eb;
     eb.batch = std::move(b);
     eb.output = std::move(output);
@@ -357,6 +446,10 @@ void ExecutorGroup::perform_due_rescrubs(Tick now) {
     if (lane.busy) continue;  // wedged; rescrub after its completion
     QNN_SPAN_N("lane_rescrub", "serve", li);
     const bool ok = pool_.rescrub_replica(lane.tier, lane.replica);
+    if (tracer_ != nullptr) {
+      tracer_->record(now, /*request_id=*/-1, RequestEventKind::kRescrub,
+                      lane.tier, li, /*attempt=*/0, /*detail=*/ok ? 1 : 0);
+    }
     health_.on_rescrubbed(now, li, ok);
   }
 }
@@ -386,6 +479,8 @@ void ExecutorGroup::dispatch(Tick now, std::vector<Request>* expired,
     auto& reqs = entry.batch.requests;
     for (auto it = reqs.begin(); it != reqs.end();) {
       if (it->deadline <= now) {
+        it->trace.record(now, RequestEventKind::kExpire, it->tier,
+                         /*lane=*/-1, /*attempt=*/0, /*detail=*/1);
         expired->push_back(std::move(*it));
         it = reqs.erase(it);
       } else {
@@ -415,8 +510,14 @@ void ExecutorGroup::dispatch(Tick now, std::vector<Request>* expired,
     if (target != entry.batch.tier) {  // redirect across the lattice
       stats_.redirected_requests += static_cast<std::int64_t>(reqs.size());
       lane_metrics().redirects.add(static_cast<std::int64_t>(reqs.size()));
+      const int old_tier = entry.batch.tier;
       entry.batch.tier = target;
-      for (Request& r : reqs) r.tier = target;
+      for (Request& r : reqs) {
+        r.trace.record(now, RequestEventKind::kRedirect, target, /*lane=*/-1,
+                       entry.attempt, /*detail=*/old_tier);
+        ++r.redirects;
+        r.tier = target;
+      }
     }
     Lane& lane = lanes_[static_cast<std::size_t>(li)];
     round_robin_[static_cast<std::size_t>(target)] =

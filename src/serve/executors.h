@@ -42,9 +42,11 @@
 #include <vector>
 
 #include "faults/lane_faults.h"
+#include "obs/ledger.h"
 #include "serve/batcher.h"
 #include "serve/health.h"
 #include "serve/request.h"
+#include "serve/request_trace.h"
 #include "serve/tiers.h"
 
 namespace qnn::serve {
@@ -87,9 +89,15 @@ struct ExecutorStats {
 class ExecutorGroup {
  public:
   // `chaos` may be null (no injected faults) and must outlive the group.
+  // `tracer` (request lifecycle events + lane executions) and `ledger`
+  // (per-request energy attribution, DESIGN.md §14) may be null; when
+  // set they must outlive the group. Neither feeds back into
+  // scheduling, so replay digests are identical with or without them.
   ExecutorGroup(ReplicaPool& pool, const ExecutorConfig& config,
                 const HealthConfig& health,
-                const faults::LaneFaultSchedule* chaos);
+                const faults::LaneFaultSchedule* chaos,
+                RequestTracer* tracer = nullptr,
+                obs::AttributionLedger* ledger = nullptr);
 
   ExecutorGroup(const ExecutorGroup&) = delete;
   ExecutorGroup& operator=(const ExecutorGroup&) = delete;
@@ -146,6 +154,9 @@ class ExecutorGroup {
     bool doomed = false;          // result will be discarded
     // Armed hang fault: inflates the next dispatch's service time.
     Tick hang_ticks = 0;
+    // Tracer handle for the in-flight execution (kNoExecution when
+    // tracing is off or the lane is idle).
+    std::size_t exec_record = RequestTracer::kNoExecution;
   };
 
   struct PendingBatch {
@@ -177,6 +188,8 @@ class ExecutorGroup {
   ExecutorConfig config_;
   HealthLattice health_;
   const faults::LaneFaultSchedule* chaos_;
+  RequestTracer* tracer_;            // may be null
+  obs::AttributionLedger* ledger_;   // may be null
   std::size_t next_fault_ = 0;  // first unapplied chaos entry
   std::vector<Lane> lanes_;     // flat, tier-major (pool lane order)
   std::deque<PendingBatch> pending_;

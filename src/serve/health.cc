@@ -93,6 +93,7 @@ void HealthLattice::transition(Tick now, int lane, LaneState to,
                                HealthReason reason) {
   LaneHealth& l = lanes_.at(static_cast<std::size_t>(lane));
   log_.push_back(HealthTransition{now, lane, l.state, to, reason});
+  if (observer_) observer_(log_.back());
   l.state = to;
   health_metrics().schedulable.set(schedulable_count());
   if (to == LaneState::kDead) health_metrics().deaths.inc();

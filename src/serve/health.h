@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -113,6 +114,12 @@ class HealthLattice {
   const std::vector<HealthTransition>& log() const { return log_; }
   std::int64_t rescrubs() const { return rescrubs_; }
 
+  // Called synchronously after each transition is appended to the log
+  // (request tracing hooks in here; the lattice never branches on it).
+  void set_observer(std::function<void(const HealthTransition&)> observer) {
+    observer_ = std::move(observer);
+  }
+
  private:
   struct LaneHealth {
     LaneState state = LaneState::kHealthy;
@@ -128,6 +135,7 @@ class HealthLattice {
   std::vector<LaneHealth> lanes_;
   std::vector<HealthTransition> log_;
   std::int64_t rescrubs_ = 0;
+  std::function<void(const HealthTransition&)> observer_;
 };
 
 }  // namespace qnn::serve

@@ -31,18 +31,24 @@ RejectReason BoundedQueue::try_push(Request r, Tick now,
                                     std::size_t extra_backlog) {
   QueueMetrics& m = queue_metrics();
   std::lock_guard<std::mutex> lock(m_);
+  const auto reject = [&r, now](RejectReason why) {
+    r.trace.record(now, RequestEventKind::kReject, r.tier, /*lane=*/-1,
+                   /*attempt=*/0, /*detail=*/static_cast<std::int64_t>(why));
+    return why;
+  };
   if (closed_) {
     m.rejected_shutdown.inc();
-    return RejectReason::kShutdown;
+    return reject(RejectReason::kShutdown);
   }
   if (r.deadline <= now) {
     m.rejected_expired.inc();
-    return RejectReason::kDeadlineExpired;
+    return reject(RejectReason::kDeadlineExpired);
   }
   if (q_.size() + extra_backlog >= capacity_) {
     m.rejected_full.inc();
-    return RejectReason::kQueueFull;
+    return reject(RejectReason::kQueueFull);
   }
+  r.trace.record(now, RequestEventKind::kAdmit, r.tier);
   q_.push_back(std::move(r));
   m.admitted.inc();
   m.depth.set(static_cast<std::int64_t>(q_.size()));

@@ -45,28 +45,91 @@ inline const char* reject_reason_name(RejectReason r) {
   return "?";
 }
 
+// Lifecycle edges of one request's causal event log (DESIGN.md §14).
+// Every edge a request crosses on its way through
+// queue -> batcher -> executor lanes -> completion is recorded with the
+// virtual tick it happened at, so "where did this request spend its
+// time and which tier actually ran it" is answerable after the fact.
+enum class RequestEventKind {
+  kArrival = 0,  // the event loop observed the trace arrival
+  kTierAssign,   // admission assigned the entry precision tier
+  kAdmit,        // bounded queue accepted the request
+  kReject,       // queue turned it away (detail = RejectReason)
+  kBatchClose,   // its batch closed (detail = batch size)
+  kExpire,       // dropped pre-dispatch (detail: 0 = batcher, 1 = executor)
+  kDispatch,     // batch started executing on a lane
+  kHang,         // watchdog condemned its in-flight execution
+  kCorrupt,      // completion audit discarded its tainted result
+  kCrash,        // its lane crashed mid-execution
+  kRetry,        // batch requeued (detail = earliest re-dispatch tick)
+  kRedirect,     // moved across the precision lattice (detail = old tier)
+  kRescrub,      // lane repair ran (lane-scoped; detail = 1 on success)
+  kHealth,       // lane health transition (lane-scoped;
+                 //   detail = HealthReason, detail2 = new LaneState)
+  kComplete,     // response published
+  kFail,         // terminal failure (retry budget / lane supply exhausted)
+};
+
+const char* request_event_name(RequestEventKind k);
+
+class RequestTracer;
+
+// Request-scoped causal trace handle, minted at admission and carried
+// by the Request through every pipeline stage. A null tracer (tracing
+// off) makes record() a no-op, so the handle costs one pointer when
+// disabled and the pipeline code records unconditionally.
+struct TraceContext {
+  std::int64_t request_id = -1;
+  RequestTracer* tracer = nullptr;
+
+  // Appends one event to the run's causal log (request_trace.cc).
+  void record(Tick tick, RequestEventKind kind, int tier = -1, int lane = -1,
+              int attempt = 0, std::int64_t detail = -1) const;
+};
+
 // One inference request as it moves through queue -> batcher -> replica.
 struct Request {
   std::int64_t id = 0;
   Tick arrival = 0;      // when the producer submitted it
   Tick deadline = 0;     // absolute tick; must complete strictly before
-  int tier = 0;          // precision tier assigned at admission
+  int tier = 0;          // current precision tier (redirects update it)
+  int admitted_tier = 0; // tier assigned at admission, before redirects
+  int redirects = 0;     // cross-tier hops so far
+  TraceContext trace;    // causal event log handle; inert when tracing off
   Tensor payload;        // one sample, shape (1, C, H, W)
 };
 
 // Completed request. `output` is the model's logits row for this
-// request — the bytes the determinism contract pins.
+// request — the bytes the determinism contract pins. The attribution
+// fields (tiers, stage breakdown, energy) ride along but are NOT part
+// of ServeResult::digest(), which is why tracing/attribution cannot
+// perturb the replay-identity contract.
 struct Response {
   std::int64_t id = 0;
-  int tier = 0;
+  int tier = 0;           // tier that actually served it (after redirects)
+  int admitted_tier = 0;  // tier assigned at admission
+  int replica = 0;        // lane within the tier that published the result
+  int attempt = 1;        // dispatch attempt that published (1 = first try)
+  int redirects = 0;      // cross-tier hops taken
   Tick arrival = 0;
-  Tick dispatch = 0;     // when its batch started executing
+  Tick batch_close = 0;  // when its batch closed (queue+batch wait ends)
+  Tick dispatch = 0;     // when its publishing execution started
   Tick completion = 0;   // dispatch + modeled batch service time
   bool within_deadline = false;
   int predicted = 0;     // argmax of `output`
+  // Attributed cost (obs::AttributionLedger): ops and energy charged to
+  // this request across EVERY execution it rode, including discarded
+  // ones; `wasted_energy_pj` is the never-published share.
+  std::int64_t ops = 0;
+  double energy_pj = 0.0;
+  double wasted_energy_pj = 0.0;
   std::vector<float> output;
 
   Tick latency() const { return completion - arrival; }
+  // Stage breakdown: queue+batch wait, retry/pending wait, execution.
+  Tick queue_wait() const { return batch_close - arrival; }
+  Tick dispatch_wait() const { return dispatch - batch_close; }
+  Tick execute_ticks() const { return completion - dispatch; }
 };
 
 // One executed batch, recorded for replay verification and reports.

@@ -1,0 +1,147 @@
+// Request-scoped causal tracing for the serving stack (DESIGN.md §14).
+//
+// One RequestTracer per run_trace() call collects two append-only logs:
+//
+//   * RequestEvent — every lifecycle edge every request crosses
+//     (arrival, admission verdict, tier assignment, batch close, lane
+//     dispatch, watchdog strike, retry/redirect hop, rescrub,
+//     completion/rejection), stamped with the virtual tick it happened
+//     at. The vector index IS the causal sequence number: the event
+//     loop is serial, so append order is causal order and the log
+//     replays byte-identically at any worker-thread count.
+//   * LaneExecution — one record per forward pass a lane ran, with its
+//     outcome (published / doomed by the watchdog / discarded by the
+//     corruption audit / crashed), feeding the per-lane chrome-trace
+//     view.
+//
+// Tracing is per-run opt-in (ServerConfig::trace_requests). A disabled
+// tracer mints null TraceContexts, every record() is a no-op, and —
+// because nothing here feeds back into scheduling — tracing on == off
+// leaves response bytes and ServeResult::digest() bit-identical.
+//
+// Exporters: JSONL (one event per line, the grep-able audit log) and a
+// chrome://tracing view with one track per executor lane plus a
+// frontend track for admission-boundary events.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/health.h"
+#include "serve/request.h"
+#include "util/json.h"
+
+namespace qnn::serve {
+
+// One causal event. `request_id` is -1 for lane-scoped events
+// (kRescrub, kHealth). `detail`/`detail2` are kind-specific (see
+// RequestEventKind); -1 means unused.
+struct RequestEvent {
+  Tick tick = 0;
+  std::int64_t request_id = -1;
+  RequestEventKind kind = RequestEventKind::kArrival;
+  int tier = -1;
+  int lane = -1;
+  int attempt = 0;
+  std::int64_t detail = -1;
+  std::int64_t detail2 = -1;
+
+  bool operator==(const RequestEvent&) const = default;
+};
+
+// One forward pass on one lane, with the fate of its result.
+struct LaneExecution {
+  enum class Outcome {
+    kPublished = 0,       // result shipped as responses
+    kDoomed,              // watchdog condemned it; result discarded
+    kDiscardedCorrupt,    // completion audit discarded a tainted result
+    kCrashed,             // the lane died mid-execution
+  };
+
+  int lane = -1;
+  int tier = 0;
+  int replica = 0;
+  int attempt = 1;
+  Tick dispatch = 0;
+  Tick completion = 0;  // actual end (crash ends a wedged run early)
+  std::int64_t batch_n = 0;
+  double energy_pj = 0.0;  // whole-batch charge (batch_n images)
+  Outcome outcome = Outcome::kPublished;
+  std::vector<std::int64_t> request_ids;  // batch-row order
+
+  bool operator==(const LaneExecution&) const = default;
+};
+
+const char* lane_outcome_name(LaneExecution::Outcome o);
+
+class RequestTracer {
+ public:
+  explicit RequestTracer(bool enabled = false) : enabled_(enabled) {}
+
+  RequestTracer(const RequestTracer&) = delete;
+  RequestTracer& operator=(const RequestTracer&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  // Context carried by a request; null-tracer (inert) when disabled.
+  TraceContext mint(std::int64_t request_id) {
+    return TraceContext{request_id, enabled_ ? this : nullptr};
+  }
+
+  // Appends one event (no-op when disabled). Lane-scoped events pass
+  // request_id = -1.
+  void record(Tick tick, std::int64_t request_id, RequestEventKind kind,
+              int tier = -1, int lane = -1, int attempt = 0,
+              std::int64_t detail = -1, std::int64_t detail2 = -1);
+
+  // Opens a LaneExecution record at dispatch; returns its index (or
+  // kNoExecution when disabled) so the executor can close it with the
+  // actual outcome at retirement/crash time.
+  static constexpr std::size_t kNoExecution = static_cast<std::size_t>(-1);
+  std::size_t begin_execution(LaneExecution e);
+  void finish_execution(std::size_t index, Tick completion,
+                        LaneExecution::Outcome outcome);
+
+  const std::vector<RequestEvent>& events() const { return events_; }
+  const std::vector<LaneExecution>& executions() const { return executions_; }
+  std::vector<RequestEvent> take_events() { return std::move(events_); }
+  std::vector<LaneExecution> take_executions() {
+    return std::move(executions_);
+  }
+
+ private:
+  bool enabled_ = false;
+  std::vector<RequestEvent> events_;
+  std::vector<LaneExecution> executions_;
+};
+
+// --- exporters ----------------------------------------------------------
+
+// One event as a flat JSON object (stable key order; `seq` is the
+// caller-provided causal sequence number). Health events additionally
+// carry human-readable reason/state names.
+json::Value request_event_to_json(const RequestEvent& e, std::int64_t seq);
+
+// The whole log as JSONL: one compact JSON object per line, newline-
+// terminated — the per-request audit artifact uploaded by CI.
+std::string request_events_to_jsonl(const std::vector<RequestEvent>& events);
+void write_request_events_jsonl(const std::string& path,
+                                const std::vector<RequestEvent>& events);
+
+// chrome://tracing document with one track (tid) per executor lane:
+// an "X" span per LaneExecution named by its outcome, instant markers
+// for health transitions on the lane that took them, and a final
+// frontend track with reject/expire/fail/batch-close instants.
+// `lane_names` labels the tracks (lane index order).
+json::Value lane_trace_to_json(const std::vector<LaneExecution>& executions,
+                               const std::vector<HealthTransition>& health_log,
+                               const std::vector<RequestEvent>& events,
+                               const std::vector<std::string>& lane_names);
+void write_lane_chrome_trace(const std::string& path,
+                             const std::vector<LaneExecution>& executions,
+                             const std::vector<HealthTransition>& health_log,
+                             const std::vector<RequestEvent>& events,
+                             const std::vector<std::string>& lane_names);
+
+}  // namespace qnn::serve

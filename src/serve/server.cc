@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <limits>
 #include <utility>
@@ -124,6 +125,9 @@ json::Value serve_stats_to_json(const ServeStats& s) {
   v.set("total_energy_uj", json::Value(s.total_energy_uj));
   v.set("p50_latency_ticks", json::Value(s.p50_latency_ticks));
   v.set("p99_latency_ticks", json::Value(s.p99_latency_ticks));
+  v.set("attributed_ops", json::Value(s.attributed_ops));
+  v.set("attributed_energy_pj", json::Value(s.attributed_energy_pj));
+  v.set("wasted_energy_pj", json::Value(s.wasted_energy_pj));
   return v;
 }
 
@@ -166,7 +170,12 @@ ServeResult Server::run_trace(const ArrivalTrace& trace) {
   BoundedQueue queue(capacity);
   DynamicBatcher batcher(config_.batcher, pool_.num_tiers());
   OverloadController controller(config_.controller, pool_.num_tiers());
-  ExecutorGroup exec(pool_, config_.executor, config_.health, config_.chaos);
+  // The ledger always runs (it fills Response attribution fields); the
+  // event tracer is per-run opt-in.
+  RequestTracer tracer(config_.trace_requests);
+  obs::AttributionLedger ledger;
+  ExecutorGroup exec(pool_, config_.executor, config_.health, config_.chaos,
+                     &tracer, &ledger);
 
   ServeResult result;
   ServeStats& stats = result.stats;
@@ -229,10 +238,19 @@ ServeResult Server::run_trace(const ArrivalTrace& trace) {
         Response resp;
         resp.id = req.id;
         resp.tier = req.tier;
+        resp.admitted_tier = req.admitted_tier;
+        resp.replica = eb.replica;
+        resp.attempt = eb.attempt;
+        resp.redirects = req.redirects;
         resp.arrival = req.arrival;
+        resp.batch_close = eb.batch.close_tick;
         resp.dispatch = eb.dispatch;
         resp.completion = eb.completion;
         resp.within_deadline = eb.completion < req.deadline;
+        const obs::RequestAttribution attr = ledger.totals_for(req.id);
+        resp.ops = attr.ops;
+        resp.energy_pj = attr.energy_pj;
+        resp.wasted_energy_pj = attr.wasted_energy_pj();
         resp.predicted =
             nn::argmax_row(eb.output, static_cast<std::int64_t>(i));
         const float* row =
@@ -281,6 +299,10 @@ ServeResult Server::run_trace(const ArrivalTrace& trace) {
       r.arrival = tr.arrival;
       r.deadline = tr.deadline;
       r.tier = degrade ? controller.current_tier() : 0;
+      r.admitted_tier = r.tier;
+      r.trace = tracer.mint(tr.id);
+      r.trace.record(now, RequestEventKind::kArrival);
+      r.trace.record(now, RequestEventKind::kTierAssign, r.tier);
       r.payload = provider(tr, sample);
       QNN_CHECK_MSG(r.payload.count() == per_row,
                     "payload provider returned " << r.payload.shape().to_string()
@@ -362,6 +384,30 @@ ServeResult Server::run_trace(const ArrivalTrace& trace) {
       lat_delta.quantile(final_snap, "serve.latency_ticks", 0.5);
   stats.p99_latency_ticks =
       lat_delta.quantile(final_snap, "serve.latency_ticks", 0.99);
+
+  // Attribution roll-up + reconciliation: the ledger charged every
+  // forward pass request-by-request; its total must equal the executor's
+  // aggregate energy meter (same executions, different bookkeeping).
+  stats.attributed_ops = ledger.total_ops();
+  stats.attributed_energy_pj = ledger.total_energy_pj();
+  stats.wasted_energy_pj = ledger.wasted_energy_pj();
+  const double aggregate_pj = es.energy_uj * 1e6;
+  QNN_CHECK_MSG(std::abs(stats.attributed_energy_pj - aggregate_pj) <=
+                    1e-6 * std::max(1.0, aggregate_pj),
+                "attribution ledger (" << stats.attributed_energy_pj
+                                       << " pJ) diverged from the executor "
+                                          "energy meter ("
+                                       << aggregate_pj << " pJ)");
+
+  result.request_events = tracer.take_events();
+  result.lane_executions = tracer.take_executions();
+  for (int t = 0; t < pool_.num_tiers(); ++t) {
+    for (int r = 0; r < pool_.replicas_per_tier(); ++r) {
+      result.lane_names.push_back(pool_.tier(t).name + "/r" +
+                                  std::to_string(r));
+    }
+  }
+  result.ledger = std::move(ledger);
   return result;
 }
 

@@ -37,12 +37,14 @@
 #include <vector>
 
 #include "faults/lane_faults.h"
+#include "obs/ledger.h"
 #include "serve/batcher.h"
 #include "serve/controller.h"
 #include "serve/executors.h"
 #include "serve/health.h"
 #include "serve/queue.h"
 #include "serve/request.h"
+#include "serve/request_trace.h"
 #include "serve/tiers.h"
 #include "serve/trace.h"
 #include "util/json.h"
@@ -79,6 +81,11 @@ struct ServerConfig {
   // Virtual tick at which the queue closes (admission stops, in-flight
   // work drains); -1 = never, the trace runs to completion.
   Tick shutdown_tick = -1;
+  // Record the per-request causal event log + per-lane execution trace
+  // (DESIGN.md §14). Off by default; the attribution ledger always runs
+  // (it fills Response energy fields), and neither feeds back into
+  // scheduling, so on == off leaves the replay digest bit-identical.
+  bool trace_requests = false;
   PayloadProvider payload;  // null -> default_payload
 };
 
@@ -110,6 +117,12 @@ struct ServeStats {
   double total_energy_uj = 0.0;
   double p50_latency_ticks = 0.0;
   double p99_latency_ticks = 0.0;
+  // Attribution ledger roll-up (§14). attributed_energy_pj reconciles
+  // with total_energy_uj * 1e6 (QNN_CHECKed); the wasted share is what
+  // discarded executions burned.
+  std::int64_t attributed_ops = 0;
+  double attributed_energy_pj = 0.0;
+  double wasted_energy_pj = 0.0;
 };
 
 struct ServeResult {
@@ -119,6 +132,13 @@ struct ServeResult {
   // replay identity.
   std::vector<HealthTransition> health_log;
   ServeStats stats;
+  // Request-scoped tracing artifacts (§14). Empty unless
+  // ServerConfig::trace_requests; NOT part of digest().
+  std::vector<RequestEvent> request_events;    // causal order
+  std::vector<LaneExecution> lane_executions;  // dispatch order
+  std::vector<std::string> lane_names;         // "tier/rN", lane order
+  // Per-request energy attribution; always populated.
+  obs::AttributionLedger ledger;
 
   // Order-sensitive CRC over every response's (id, tier, completion,
   // output bytes) and every health transition — the replay-identity

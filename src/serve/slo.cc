@@ -1,0 +1,117 @@
+#include "serve/slo.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qnn::serve {
+namespace {
+
+// Exact nearest-rank quantile: smallest sample with rank >= ceil(q*n).
+// -1.0 sentinel when there are no samples (obs::kQuantileNoSamples).
+double nearest_rank(std::vector<double> samples, double q) {
+  if (samples.empty()) return -1.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  return samples[rank - 1];
+}
+
+}  // namespace
+
+SloSummary make_slo_summary(const ServeResult& result,
+                            const std::vector<TierSpec>& tiers) {
+  SloSummary slo;
+  const ServeStats& s = result.stats;
+  slo.served = s.served;
+  slo.admitted = s.admitted;
+  slo.expired_in_queue = s.expired_in_queue;
+  slo.failed = s.failed;
+  slo.within_deadline = s.served_within_deadline;
+  slo.total_energy_pj = result.ledger.total_energy_pj();
+  slo.published_energy_pj = result.ledger.published_energy_pj();
+  slo.wasted_energy_pj = result.ledger.wasted_energy_pj();
+  slo.energy_per_request_pj =
+      s.served > 0 ? slo.total_energy_pj / static_cast<double>(s.served) : 0.0;
+
+  // Bucket responses by the tier that actually served them.
+  struct TierSamples {
+    std::vector<double> queue_wait, execute, latency;
+    std::int64_t within = 0;
+    double energy_pj = 0.0;
+  };
+  std::vector<TierSamples> buckets(tiers.size());
+  for (const Response& r : result.responses) {
+    TierSamples& b = buckets.at(static_cast<std::size_t>(r.tier));
+    b.queue_wait.push_back(static_cast<double>(r.queue_wait()));
+    b.execute.push_back(static_cast<double>(r.execute_ticks()));
+    b.latency.push_back(static_cast<double>(r.latency()));
+    if (r.within_deadline) ++b.within;
+    b.energy_pj += r.energy_pj;
+  }
+
+  std::int64_t tier_served_sum = 0;
+  for (std::size_t t = 0; t < buckets.size(); ++t) {
+    const TierSamples& b = buckets[t];
+    if (b.latency.empty()) continue;
+    TierSlo ts;
+    ts.tier = static_cast<int>(t);
+    ts.name = tiers[t].name;
+    ts.served = static_cast<std::int64_t>(b.latency.size());
+    ts.within_deadline = b.within;
+    ts.in_deadline_fraction =
+        static_cast<double>(b.within) / static_cast<double>(ts.served);
+    ts.p50_queue_wait_ticks = nearest_rank(b.queue_wait, 0.5);
+    ts.p99_queue_wait_ticks = nearest_rank(b.queue_wait, 0.99);
+    ts.p50_execute_ticks = nearest_rank(b.execute, 0.5);
+    ts.p99_execute_ticks = nearest_rank(b.execute, 0.99);
+    ts.p50_latency_ticks = nearest_rank(b.latency, 0.5);
+    ts.p99_latency_ticks = nearest_rank(b.latency, 0.99);
+    ts.energy_per_request_pj = b.energy_pj / static_cast<double>(ts.served);
+    tier_served_sum += ts.served;
+    slo.tiers.push_back(std::move(ts));
+  }
+
+  slo.conserved =
+      tier_served_sum == slo.served &&
+      slo.served == static_cast<std::int64_t>(result.responses.size()) &&
+      slo.admitted == slo.served + slo.expired_in_queue + slo.failed;
+  return slo;
+}
+
+json::Value slo_to_json(const SloSummary& slo) {
+  json::Value v = json::Value::object();
+  json::Value tiers = json::Value::array();
+  for (const TierSlo& t : slo.tiers) {
+    json::Value tv = json::Value::object();
+    tv.set("tier", static_cast<std::int64_t>(t.tier));
+    tv.set("name", t.name);
+    tv.set("served", t.served);
+    tv.set("within_deadline", t.within_deadline);
+    tv.set("in_deadline_fraction", t.in_deadline_fraction);
+    tv.set("p50_queue_wait_ticks", t.p50_queue_wait_ticks);
+    tv.set("p99_queue_wait_ticks", t.p99_queue_wait_ticks);
+    tv.set("p50_execute_ticks", t.p50_execute_ticks);
+    tv.set("p99_execute_ticks", t.p99_execute_ticks);
+    tv.set("p50_latency_ticks", t.p50_latency_ticks);
+    tv.set("p99_latency_ticks", t.p99_latency_ticks);
+    tv.set("energy_per_request_pj", t.energy_per_request_pj);
+    tiers.push_back(std::move(tv));
+  }
+  v.set("tiers", std::move(tiers));
+  v.set("served", slo.served);
+  v.set("admitted", slo.admitted);
+  v.set("expired_in_queue", slo.expired_in_queue);
+  v.set("failed", slo.failed);
+  v.set("within_deadline", slo.within_deadline);
+  v.set("total_energy_pj", slo.total_energy_pj);
+  v.set("published_energy_pj", slo.published_energy_pj);
+  v.set("wasted_energy_pj", slo.wasted_energy_pj);
+  v.set("energy_per_request_pj", slo.energy_per_request_pj);
+  v.set("conserved", slo.conserved);
+  return v;
+}
+
+}  // namespace qnn::serve

@@ -1,0 +1,66 @@
+// Per-tier SLO roll-up of one serving run (DESIGN.md §14).
+//
+// Folds a ServeResult's responses and attribution ledger into the block
+// the benches and CI gate on: for each precision tier that actually
+// served traffic, the in-deadline fraction, exact p50/p99 of the stage
+// breakdown (queue+batch wait, execution, end-to-end latency), and
+// attributed energy per served request. Quantiles here are exact
+// nearest-rank over the run's own samples (not histogram-bucketed):
+// the response set is small and fully materialized, so there is no
+// reason to approximate. Sentinel -1.0 marks "no samples", matching
+// obs::kQuantileNoSamples.
+//
+// `conserved` re-states the admission conservation invariant from the
+// summary's own numbers (sum of per-tier served == stats.served ==
+// responses.size(), admitted == served + expired + failed), so a
+// consumer of BENCH_serve.json can verify self-consistency without
+// trusting the producer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/server.h"
+#include "util/json.h"
+
+namespace qnn::serve {
+
+struct TierSlo {
+  int tier = 0;
+  std::string name;
+  std::int64_t served = 0;
+  std::int64_t within_deadline = 0;
+  double in_deadline_fraction = 0.0;
+  // Exact nearest-rank quantiles over this tier's responses; -1.0 when
+  // the tier served nothing.
+  double p50_queue_wait_ticks = -1.0;
+  double p99_queue_wait_ticks = -1.0;
+  double p50_execute_ticks = -1.0;
+  double p99_execute_ticks = -1.0;
+  double p50_latency_ticks = -1.0;
+  double p99_latency_ticks = -1.0;
+  double energy_per_request_pj = 0.0;  // attributed, incl. wasted share
+};
+
+struct SloSummary {
+  std::vector<TierSlo> tiers;  // tier order; only tiers that served > 0
+  std::int64_t served = 0;
+  std::int64_t admitted = 0;
+  std::int64_t expired_in_queue = 0;
+  std::int64_t failed = 0;
+  std::int64_t within_deadline = 0;
+  double total_energy_pj = 0.0;      // every execution, incl. discarded
+  double published_energy_pj = 0.0;  // executions whose result shipped
+  double wasted_energy_pj = 0.0;
+  double energy_per_request_pj = 0.0;  // total / served (0 when none)
+  // Conservation restated from the summary's own numbers.
+  bool conserved = false;
+};
+
+SloSummary make_slo_summary(const ServeResult& result,
+                            const std::vector<TierSpec>& tiers);
+
+json::Value slo_to_json(const SloSummary& slo);
+
+}  // namespace qnn::serve

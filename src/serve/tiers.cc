@@ -38,6 +38,13 @@ void derive_tier_costs(const nn::Network& net, const Shape& sample_input,
         1, sched.total_cycles * bits / 32);
     t.batch_overhead_ticks = std::max<Tick>(1, t.ticks_per_image / 8);
     t.energy_per_image_uj = sched.energy_uj(acc);
+    t.macs_per_image = 0;
+    for (const hw::LayerSchedule& l : sched.layers) t.macs_per_image += l.macs;
+    t.energy_per_op_pj =
+        t.macs_per_image > 0
+            ? t.energy_per_image_uj * 1e6 /
+                  static_cast<double>(t.macs_per_image)
+            : 0.0;
   }
 }
 

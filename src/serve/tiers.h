@@ -33,6 +33,12 @@ struct TierSpec {
   Tick ticks_per_image = 1;
   Tick batch_overhead_ticks = 0;
   double energy_per_image_uj = 0.0;  // hw model, per served image
+  // Attribution basis (DESIGN.md §14): one image is `macs_per_image`
+  // ops priced at `energy_per_op_pj` apiece at this tier's precision,
+  // so macs_per_image * energy_per_op_pj == energy_per_image_uj * 1e6
+  // by construction (derive_tier_costs).
+  std::int64_t macs_per_image = 0;
+  double energy_per_op_pj = 0.0;
 };
 
 // The default degradation lattice: float (32,32) -> fixed (16,16) ->

@@ -4,6 +4,7 @@
 // classification partition the telemetry reports on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <string>
@@ -203,9 +204,36 @@ TEST(ObsMetrics, QuantileOverflowClampsToLastFiniteBound) {
   EXPECT_DOUBLE_EQ(m.quantile(0.99), 20.0);
 }
 
-TEST(ObsMetrics, QuantileEmptyHistogramIsZero) {
+TEST(ObsMetrics, QuantileEmptyHistogramReturnsSentinel) {
+  // No samples means no defined quantile: the sentinel, not a fake 0
+  // that downstream consumers could mistake for a real measurement.
   const obs::MetricSnapshot m = hist_snapshot({10}, {0, 0});
-  EXPECT_DOUBLE_EQ(m.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(m.quantile(0.0), obs::kQuantileNoSamples);
+  EXPECT_DOUBLE_EQ(m.quantile(0.5), obs::kQuantileNoSamples);
+  EXPECT_DOUBLE_EQ(m.quantile(1.0), obs::kQuantileNoSamples);
+}
+
+TEST(ObsMetrics, QuantileBoundlessOverflowReturnsSentinel) {
+  // All mass in the overflow bucket of a histogram with no finite
+  // bounds: there is no bound to clamp to, so the sentinel again.
+  const obs::MetricSnapshot m = hist_snapshot({}, {5});
+  EXPECT_DOUBLE_EQ(m.quantile(0.5), obs::kQuantileNoSamples);
+  EXPECT_DOUBLE_EQ(m.quantile(1.0), obs::kQuantileNoSamples);
+}
+
+TEST(ObsMetrics, StripeStatsReportOccupancyInvariants) {
+  const int before = obs::stripe_stats().threads_registered;
+  // Each fresh thread's first metric touch registers it exactly once.
+  obs::Registry reg;
+  obs::Counter c = reg.counter("stripe.poke");
+  std::vector<std::thread> pokes;
+  for (int i = 0; i < 3; ++i) pokes.emplace_back([&c] { c.inc(); });
+  for (std::thread& t : pokes) t.join();
+  const obs::StripeStats s = obs::stripe_stats();
+  EXPECT_EQ(s.stripes, obs::kMetricStripes);
+  EXPECT_GE(s.threads_registered, before + 3);
+  EXPECT_EQ(s.stripes_occupied, std::min(s.threads_registered, s.stripes));
+  EXPECT_EQ(s.aliased_threads, std::max(0, s.threads_registered - s.stripes));
 }
 
 TEST(ObsMetrics, QuantileChecksKindAndRange) {
@@ -336,6 +364,33 @@ TEST(ObsTrace, RingKeepsNewestAndCountsDropped) {
   EXPECT_EQ(args, (std::vector<std::int64_t>{6, 7, 8, 9}));
 }
 
+TEST(ObsTrace, BufferStatsBreakDownOccupancyPerThread) {
+  TraceGuard guard;
+  obs::set_trace_enabled(true);
+  const std::size_t prev_capacity = obs::trace_buffer_capacity();
+  obs::set_trace_buffer_capacity(2);
+  // A fresh thread gets a capacity-2 ring; 5 spans keep 2, drop 3.
+  std::thread recorder([] {
+    for (int i = 0; i < 5; ++i) {
+      QNN_SPAN_N("stats", "test", i);
+    }
+  });
+  recorder.join();
+  obs::set_trace_buffer_capacity(prev_capacity);
+  std::int64_t buffered = 0, dropped = 0;
+  bool found = false;
+  for (const obs::TraceBufferStats& s : obs::trace_buffer_stats()) {
+    EXPECT_LE(s.buffered, s.capacity);
+    buffered += s.buffered;
+    dropped += s.dropped;
+    if (s.capacity == 2 && s.buffered == 2 && s.dropped == 3) found = true;
+  }
+  EXPECT_TRUE(found) << "the fresh ring must report 2 kept / 3 dropped";
+  // The per-thread breakdown sums to the process-wide totals.
+  EXPECT_EQ(buffered, obs::trace_event_count());
+  EXPECT_EQ(dropped, obs::trace_dropped_count());
+}
+
 // --- run report --------------------------------------------------------
 
 TEST(ObsReport, DocumentRoundTripsWithSections) {
@@ -361,6 +416,33 @@ TEST(ObsReport, DocumentRoundTripsWithSections) {
             3);
   EXPECT_EQ(doc.at("custom").as_int(), 42);
   EXPECT_TRUE(doc.at("trace").contains("enabled"));
+}
+
+TEST(ObsReport, TraceAndRegistrySectionsCarryOccupancy) {
+  obs::RunReport report("obs_test");
+  report.add_trace_summary();
+  report.add_registry_summary();
+  const json::Value doc = json::parse(report.dump(), "report");
+
+  const json::Value& trace = doc.at("trace");
+  EXPECT_TRUE(trace.contains("capacity"));
+  ASSERT_TRUE(trace.contains("per_thread"));
+  std::int64_t buffered = 0, dropped = 0;
+  for (const json::Value& t : trace.at("per_thread").items()) {
+    EXPECT_LE(t.at("buffered").as_int(), t.at("capacity").as_int());
+    buffered += t.at("buffered").as_int();
+    dropped += t.at("dropped").as_int();
+  }
+  EXPECT_EQ(buffered, trace.at("events").as_int());
+  EXPECT_EQ(dropped, trace.at("dropped").as_int());
+
+  const json::Value& registry = doc.at("registry");
+  EXPECT_EQ(registry.at("stripes").as_int(), obs::kMetricStripes);
+  EXPECT_GE(registry.at("threads_registered").as_int(), 0);
+  EXPECT_EQ(registry.at("stripes_occupied").as_int(),
+            std::min<std::int64_t>(registry.at("threads_registered").as_int(),
+                                   obs::kMetricStripes));
+  EXPECT_GE(registry.at("aliased_threads").as_int(), 0);
 }
 
 TEST(ObsReport, MetricsSectionFoldsARegistry) {

@@ -566,7 +566,8 @@ TEST(Server, StatsJsonHasEveryField) {
         "downshifts", "upshifts", "end_tick", "total_energy_uj",
         "p50_latency_ticks", "p99_latency_ticks", "failed", "hung_batches",
         "corrupt_batches", "crashed_batches", "retries", "redirected",
-        "rescrubs", "discarded_results"}) {
+        "rescrubs", "discarded_results", "attributed_ops",
+        "attributed_energy_pj", "wasted_energy_pj"}) {
     EXPECT_TRUE(v.contains(key)) << key;
   }
 }
