@@ -28,6 +28,8 @@
 #include "quant/qnetwork.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
+#include "tensor/int_gemm.h"
+#include "tensor/microkernel.h"
 #include "util/fileio.h"
 #include "util/json.h"
 #include "util/stopwatch.h"
@@ -49,6 +51,62 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+// Same GEMM pinned to each dispatch level — the vector-path speedup at
+// a glance (BM_Gemm above runs whatever QNN_SIMD/CPUID resolves to).
+void BM_GemmAvx2(benchmark::State& state) {
+  if (simd_support() != SimdLevel::kAvx2) {
+    state.SkipWithError("no AVX2 on this machine");
+    return;
+  }
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a(Shape{n, n}), b(Shape{n, n}), c(Shape{n, n});
+  a.fill_uniform(rng, -1, 1);
+  b.fill_uniform(rng, -1, 1);
+  ScopedSimdLevel force(SimdLevel::kAvx2);
+  for (auto _ : state) {
+    gemm(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmAvx2)->Arg(256);
+
+void BM_GemmScalar(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a(Shape{n, n}), b(Shape{n, n}), c(Shape{n, n});
+  a.fill_uniform(rng, -1, 1);
+  b.fill_uniform(rng, -1, 1);
+  ScopedSimdLevel force(SimdLevel::kScalar);
+  for (auto _ : state) {
+    gemm(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmScalar)->Arg(256);
+
+// Native integer GEMM (dot-product layout), int8 and int16 words.
+template <typename WordT>
+void int_gemm_bench(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  std::vector<WordT> a(static_cast<std::size_t>(n * n), WordT{3});
+  std::vector<WordT> b(static_cast<std::size_t>(n * n), WordT{-5});
+  std::vector<std::int64_t> c(static_cast<std::size_t>(n * n));
+  for (auto _ : state) {
+    int_gemm_bt(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+void BM_IntGemm8(benchmark::State& state) { int_gemm_bench<std::int8_t>(state); }
+void BM_IntGemm16(benchmark::State& state) {
+  int_gemm_bench<std::int16_t>(state);
+}
+BENCHMARK(BM_IntGemm8)->Arg(256);
+BENCHMARK(BM_IntGemm16)->Arg(256);
 
 void BM_GemmTallK(benchmark::State& state) {
   // Inner-product forward shape: batch rows M too small to fill the
@@ -220,6 +278,75 @@ struct ScalingRow {
   }
 };
 
+// SIMD dispatch rows (DESIGN.md §15): the same kernel timed at both
+// QNN_SIMD levels, single-threaded so the ratio isolates the microkernel
+// rather than the scheduler. `speedup` is baseline_ms / candidate_ms;
+// gated rows must clear --min-speedup when AVX2 exists (the vector
+// float path and the native int8 path must both beat scalar float).
+struct SimdRow {
+  std::string name;
+  bool gated = false;
+  double baseline_ms = 0;   // scalar float reference
+  double candidate_ms = 0;  // vector / native-int candidate
+  double speedup() const {
+    return candidate_ms > 0 ? baseline_ms / candidate_ms : 0.0;
+  }
+};
+
+std::vector<SimdRow> time_simd_rows(obs::Registry& reg) {
+  const std::int64_t n = 384;
+  Rng rng(1);
+  Tensor a(Shape{n, n}), b(Shape{n, n}), c(Shape{n, n});
+  a.fill_uniform(rng, -1, 1);
+  b.fill_uniform(rng, -1, 1);
+  GemmScratch scratch;
+  std::vector<std::int8_t> a8(static_cast<std::size_t>(n * n), 3);
+  std::vector<std::int8_t> b8(static_cast<std::size_t>(n * n), -5);
+  std::vector<std::int16_t> a16(static_cast<std::size_t>(n * n), 3);
+  std::vector<std::int16_t> b16(static_cast<std::size_t>(n * n), -5);
+  std::vector<std::int64_t> ci(static_cast<std::size_t>(n * n));
+
+  const bool avx2 = simd_support() == SimdLevel::kAvx2;
+  const auto hist = [&](const std::string& name) {
+    return reg.histogram("phase.simd." + name + "_us", phase_bounds());
+  };
+  const auto time_at = [&](SimdLevel level, const std::string& name,
+                           const std::function<void()>& fn) {
+    ScopedSimdLevel force(level);
+    return best_of_ms(3, hist(name), fn);
+  };
+  const auto f32 = [&] {
+    gemm(n, n, n, a.data(), b.data(), c.data(), &scratch);
+  };
+  const double scalar_f32 = time_at(SimdLevel::kScalar, "gemm_scalar", f32);
+
+  std::vector<SimdRow> rows;
+  {
+    SimdRow row{"gemm_f32_avx2_vs_scalar", avx2, scalar_f32, 0};
+    if (avx2)
+      row.candidate_ms = time_at(SimdLevel::kAvx2, "gemm_avx2", f32);
+    rows.push_back(row);
+  }
+  const SimdLevel native = avx2 ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+  {
+    SimdRow row{"int8_gemm_vs_scalar_f32", avx2, scalar_f32, 0};
+    row.candidate_ms = time_at(native, "int8_gemm", [&] {
+      int_gemm_bt(n, n, n, a8.data(), b8.data(), ci.data());
+    });
+    rows.push_back(row);
+  }
+  {
+    // Report-only: int16 halves the lanes, so beating scalar float is
+    // not guaranteed on every core.
+    SimdRow row{"int16_gemm_vs_scalar_f32", false, scalar_f32, 0};
+    row.candidate_ms = time_at(native, "int16_gemm", [&] {
+      int_gemm_bt(n, n, n, a16.data(), b16.data(), ci.data());
+    });
+    rows.push_back(row);
+  }
+  return rows;
+}
+
 // Times each workload with a 1-thread pool and with the environment's
 // pool (QNN_THREADS or hardware_concurrency) and writes BENCH_micro.json.
 // The workloads are the thread-pool's sharding layers — raw GEMM
@@ -290,6 +417,9 @@ int write_scaling_report(bench::Session& session, double min_speedup) {
   for (std::size_t w = 0; w < workloads.size(); ++w)
     rows[w].serial_ms =
         best_of_ms(3, phase_hist(rows[w], "serial"), workloads[w]);
+  // SIMD rows run on the 1-thread pool so the ratios isolate the
+  // microkernel dispatch from the scheduler.
+  const std::vector<SimdRow> simd_rows = time_simd_rows(reg);
   ThreadPool::set_global_threads(threads);
   for (std::size_t w = 0; w < workloads.size(); ++w)
     rows[w].parallel_ms =
@@ -320,6 +450,8 @@ int write_scaling_report(bench::Session& session, double min_speedup) {
              static_cast<std::int64_t>(ThreadPool::global().spin_iterations()));
   params.set("gemm_block_m", kGemmBlockM);
   params.set("gemm_k_chunk", kGemmKChunk);
+  params.set("simd_support", simd_level_name(simd_support()));
+  params.set("simd_active", simd_level_name(active_simd_level()));
   doc.set("params", std::move(params));
   json::Value arr = json::Value::array();
   for (const ScalingRow& row : rows) {
@@ -332,6 +464,17 @@ int write_scaling_report(bench::Session& session, double min_speedup) {
     arr.push_back(std::move(entry));
   }
   doc.set("workloads", std::move(arr));
+  json::Value simd_arr = json::Value::array();
+  for (const SimdRow& row : simd_rows) {
+    json::Value entry = json::Value::object();
+    entry.set("name", row.name);
+    entry.set("gated", row.gated);
+    entry.set("scalar_f32_ms", row.baseline_ms);
+    entry.set("candidate_ms", row.candidate_ms);
+    entry.set("speedup", row.speedup());
+    simd_arr.push_back(std::move(entry));
+  }
+  doc.set("simd", std::move(simd_arr));
   doc.set("phases", std::move(phases));
   write_file_atomic("BENCH_micro.json", doc.dump() + "\n");
 
@@ -342,26 +485,45 @@ int write_scaling_report(bench::Session& session, double min_speedup) {
   for (const ScalingRow& row : rows)
     std::cout << "  " << row.name << ": " << row.serial_ms << " ms -> "
               << row.parallel_ms << " ms (" << row.speedup() << "x)\n";
+  std::cout << "SIMD dispatch (" << simd_level_name(simd_support())
+            << " vs scalar, 1 thread):\n";
+  for (const SimdRow& row : simd_rows)
+    std::cout << "  " << row.name << ": " << row.baseline_ms << " ms -> "
+              << row.candidate_ms << " ms (" << row.speedup() << "x)\n";
   std::cout << "wrote BENCH_micro.json\n";
 
   // --min-speedup gate: every gated (large) workload must clear the
   // bar, so a scheduling regression fails CI instead of shipping.
   if (min_speedup <= 0.0) return 0;
+
+  // SIMD rows gate independently of the core count: the vector float
+  // kernel and the native int8 kernel must beat scalar float whenever
+  // the CPU has AVX2 at all (rows are ungated on scalar-only hardware).
+  int simd_failures = 0;
+  for (const SimdRow& row : simd_rows) {
+    if (!row.gated) continue;
+    if (row.speedup() < min_speedup) {
+      std::cerr << "FAIL " << row.name << ": speedup " << row.speedup()
+                << " < required " << min_speedup << "\n";
+      ++simd_failures;
+    }
+  }
   if (threads <= 1) {
-    std::cout << "min-speedup gate skipped: pool has " << threads
-              << " thread(s); scaling is undefined\n";
-    return 0;
+    std::cout << "min-speedup gate skipped for thread scaling: pool has "
+              << threads << " thread(s); scaling is undefined\n";
+    return simd_failures == 0 ? 0 : 1;
   }
   const unsigned hw = std::thread::hardware_concurrency();
   if (hw < 2) {
     // One core cannot speed anything up; the pool degrades to the
     // inline serial path and the expected result is parity, not a
     // ratio above 1. Report but don't gate.
-    std::cout << "min-speedup gate skipped: hardware_concurrency=" << hw
+    std::cout << "min-speedup gate skipped for thread scaling: "
+              << "hardware_concurrency=" << hw
               << "; expected 4-thread result is parity with serial\n";
-    return 0;
+    return simd_failures == 0 ? 0 : 1;
   }
-  int failures = 0;
+  int failures = simd_failures;
   for (const ScalingRow& row : rows) {
     if (!row.gated) continue;
     if (row.speedup() < min_speedup) {

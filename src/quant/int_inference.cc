@@ -1,0 +1,583 @@
+#include "quant/int_inference.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "fixed/fixed_arith.h"
+#include "fixed/plan_sigmoid.h"
+#include "nn/activation.h"
+#include "nn/conv.h"
+#include "nn/inner_product.h"
+#include "nn/pool.h"
+#include "quant/qnetwork.h"
+#include "tensor/int_gemm.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace qnn::quant {
+
+std::optional<bool> parse_int_infer_env(const std::string& value,
+                                        bool* invalid) {
+  if (invalid != nullptr) *invalid = false;
+  if (value == "on" || value == "1") return true;
+  if (value == "off" || value == "0") return false;
+  if (value.empty() || value == "auto") return std::nullopt;
+  if (invalid != nullptr) *invalid = true;
+  return std::nullopt;
+}
+
+bool int_inference_env_enabled() {
+  const char* v = std::getenv("QNN_INT_INFER");
+  if (v == nullptr) return true;
+  bool invalid = false;
+  const std::optional<bool> choice = parse_int_infer_env(v, &invalid);
+  if (invalid) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true))
+      QNN_LOG(Warn) << "ignoring QNN_INT_INFER=\"" << v
+                    << "\" (want on|off|auto); using auto=on";
+    return true;
+  }
+  return choice.value_or(true);
+}
+
+namespace {
+
+std::int64_t saturate(std::int64_t raw, const FixedPointFormat& f) {
+  return std::clamp(raw, f.raw_min(), f.raw_max());
+}
+
+// The NFU's requantization step for the multiplier weight block
+// (hw/nfu_sim requantize with scale == 1.0, the fixed-point case):
+// round-shift the accumulator from acc_frac onto the output grid, then
+// saturate to the format's raw range.
+std::int64_t requantize(std::int64_t acc, int from_frac,
+                        const FixedPointFormat& format) {
+  return saturate(shift_raw_rounded(acc, from_frac, format.frac_bits()),
+                  format);
+}
+
+const FixedPointFormat& site_fmt(const QuantizedNetwork& qnet,
+                                 std::size_t site) {
+  const auto* fq =
+      dynamic_cast<const FixedQuantizer*>(&qnet.data_quantizer(site));
+  QNN_CHECK_MSG(fq != nullptr && fq->format().has_value(),
+                "int inference requires calibrated fixed-point data formats");
+  return *fq->format();
+}
+
+// Activation image: raw words + the format they are gridded on. The
+// word type is int8 when every format in the network fits 8 bits
+// (the int8 kernel then runs end-to-end), int16 otherwise.
+template <typename WordT>
+struct Words {
+  Shape shape;
+  std::vector<WordT> w;
+  FixedPointFormat format{16, 8};
+};
+
+template <typename WordT>
+struct Stage {
+  virtual ~Stage() = default;
+  FixedPointFormat out_format{16, 8};
+  virtual void run(const Words<WordT>& in, Words<WordT>* out) const = 0;
+};
+
+// Shared epilogue: acc (+ bias aligned to acc_frac) -> output word.
+// Identical arithmetic to the NFU's ConvStage/IpStage inner loop; the
+// bias lands by commutativity of integer addition (the NFU seeds the
+// accumulator with it, we add it after the exact GEMM).
+template <typename WordT>
+WordT requantize_word(std::int64_t acc, std::int64_t bias_term, int acc_frac,
+                      const FixedPointFormat& out_format) {
+  return static_cast<WordT>(
+      requantize(acc + bias_term, acc_frac, out_format));
+}
+
+template <typename WordT>
+struct ConvStage final : Stage<WordT> {
+  std::int64_t in_c = 0, kernel = 0, stride = 1, pad = 0, out_c = 0;
+  std::vector<WordT> weights;  // [out_c, in_c*kernel*kernel], raw words
+  int weight_frac = 0;
+  std::vector<std::int64_t> bias;  // raw at bias_frac; empty = no bias
+  int bias_frac = 0;
+
+  void run(const Words<WordT>& in, Words<WordT>* out) const override {
+    const Shape& s = in.shape;
+    QNN_CHECK(s.rank() == 4 && s.c() == in_c);
+    const std::int64_t oh = (s.h() + 2 * pad - kernel) / stride + 1;
+    const std::int64_t ow = (s.w() + 2 * pad - kernel) / stride + 1;
+    out->shape = Shape{s.n(), out_c, oh, ow};
+    out->format = this->out_format;
+    out->w.assign(static_cast<std::size_t>(out->shape.count()), WordT{0});
+
+    const int acc_frac = in.format.frac_bits() + weight_frac;
+    const std::int64_t rows = in_c * kernel * kernel;
+    const std::int64_t ohw = oh * ow;
+    std::vector<std::int64_t> bias_terms(static_cast<std::size_t>(out_c), 0);
+    for (std::int64_t oc = 0; oc < out_c; ++oc)
+      if (!bias.empty())
+        bias_terms[static_cast<std::size_t>(oc)] = shift_raw_rounded(
+            bias[static_cast<std::size_t>(oc)], bias_frac, acc_frac);
+
+    parallel_for_shards(
+        s.n(), kReductionShards, shard_grain(2 * out_c * ohw * rows),
+        [&](std::size_t, std::int64_t begin, std::int64_t end) {
+          // Per-shard im2row patches ([OHW, rows], zero padding = raw 0,
+          // exact) and int64 accumulator image.
+          std::vector<WordT> patch(static_cast<std::size_t>(ohw * rows));
+          std::vector<std::int64_t> acc(
+              static_cast<std::size_t>(out_c * ohw));
+          for (std::int64_t n = 0; n < end - begin; ++n) {
+            const std::int64_t sample = begin + n;
+            const WordT* img =
+                in.w.data() + sample * in_c * s.h() * s.w();
+            std::fill(patch.begin(), patch.end(), WordT{0});
+            for (std::int64_t y = 0; y < oh; ++y) {
+              for (std::int64_t x = 0; x < ow; ++x) {
+                WordT* prow = patch.data() + (y * ow + x) * rows;
+                for (std::int64_t c = 0; c < in_c; ++c) {
+                  for (std::int64_t ky = 0; ky < kernel; ++ky) {
+                    const std::int64_t iy = y * stride - pad + ky;
+                    if (iy < 0 || iy >= s.h()) continue;
+                    for (std::int64_t kx = 0; kx < kernel; ++kx) {
+                      const std::int64_t ix = x * stride - pad + kx;
+                      if (ix < 0 || ix >= s.w()) continue;
+                      prow[(c * kernel + ky) * kernel + kx] =
+                          img[(c * s.h() + iy) * s.w() + ix];
+                    }
+                  }
+                }
+              }
+            }
+            // C[oc, p] = dot(W_oc, patch_p): output-channel-major, the
+            // NCHW output layout directly.
+            int_gemm_bt(out_c, ohw, rows, weights.data(), patch.data(),
+                        acc.data());
+            WordT* dst = out->w.data() + sample * out_c * ohw;
+            for (std::int64_t oc = 0; oc < out_c; ++oc) {
+              const std::int64_t bt =
+                  bias_terms[static_cast<std::size_t>(oc)];
+              for (std::int64_t p = 0; p < ohw; ++p)
+                dst[oc * ohw + p] = requantize_word<WordT>(
+                    acc[static_cast<std::size_t>(oc * ohw + p)], bt,
+                    acc_frac, this->out_format);
+            }
+          }
+        });
+  }
+};
+
+template <typename WordT>
+struct IpStage final : Stage<WordT> {
+  std::int64_t in_features = 0, out_features = 0;
+  std::vector<WordT> weights;  // [out_features, in_features], raw words
+  int weight_frac = 0;
+  std::vector<std::int64_t> bias;
+  int bias_frac = 0;
+
+  void run(const Words<WordT>& in, Words<WordT>* out) const override {
+    const std::int64_t n = in.shape[0];
+    QNN_CHECK(in.shape.count_from(1) == in_features);
+    out->shape = Shape{n, out_features};
+    out->format = this->out_format;
+    out->w.assign(static_cast<std::size_t>(n * out_features), WordT{0});
+    const int acc_frac = in.format.frac_bits() + weight_frac;
+    std::vector<std::int64_t> acc(static_cast<std::size_t>(n * out_features));
+    int_gemm_bt(n, out_features, in_features, in.w.data(), weights.data(),
+                acc.data());
+    std::vector<std::int64_t> bias_terms(
+        static_cast<std::size_t>(out_features), 0);
+    for (std::int64_t o = 0; o < out_features; ++o)
+      if (!bias.empty())
+        bias_terms[static_cast<std::size_t>(o)] = shift_raw_rounded(
+            bias[static_cast<std::size_t>(o)], bias_frac, acc_frac);
+    parallel_for_shards(
+        n, kReductionShards, shard_grain(2 * out_features),
+        [&](std::size_t, std::int64_t begin, std::int64_t end) {
+          for (std::int64_t s = begin; s < end; ++s)
+            for (std::int64_t o = 0; o < out_features; ++o)
+              out->w[static_cast<std::size_t>(s * out_features + o)] =
+                  requantize_word<WordT>(
+                      acc[static_cast<std::size_t>(s * out_features + o)],
+                      bias_terms[static_cast<std::size_t>(o)], acc_frac,
+                      this->out_format);
+        });
+  }
+};
+
+template <typename WordT>
+struct PoolStage final : Stage<WordT> {
+  nn::PoolMode mode = nn::PoolMode::kMax;
+  std::int64_t kernel = 2, stride = 2, pad = 0;
+
+  void run(const Words<WordT>& in, Words<WordT>* out) const override {
+    const Shape& s = in.shape;
+    auto extent = [&](std::int64_t dim) {
+      std::int64_t o = (dim + 2 * pad - kernel + stride - 1) / stride + 1;
+      if (pad > 0 && (o - 1) * stride >= dim + pad) --o;
+      return o;
+    };
+    const std::int64_t oh = extent(s.h()), ow = extent(s.w());
+    out->shape = Shape{s.n(), s.c(), oh, ow};
+    out->format = this->out_format;
+    out->w.assign(static_cast<std::size_t>(out->shape.count()), WordT{0});
+    const int in_frac = in.format.frac_bits();
+    const std::int64_t planes = s.n() * s.c();
+    parallel_for_shards(
+        planes, kReductionShards, shard_grain(2 * oh * ow * kernel * kernel),
+        [&](std::size_t, std::int64_t begin, std::int64_t end) {
+          for (std::int64_t pl = begin; pl < end; ++pl) {
+            const WordT* src = in.w.data() + pl * s.h() * s.w();
+            WordT* dst = out->w.data() + pl * oh * ow;
+            for (std::int64_t y = 0; y < oh; ++y) {
+              const std::int64_t y0 =
+                  std::max<std::int64_t>(0, y * stride - pad);
+              const std::int64_t y1 =
+                  std::min<std::int64_t>(s.h(), y * stride - pad + kernel);
+              for (std::int64_t x = 0; x < ow; ++x) {
+                const std::int64_t x0 =
+                    std::max<std::int64_t>(0, x * stride - pad);
+                const std::int64_t x1 =
+                    std::min<std::int64_t>(s.w(), x * stride - pad + kernel);
+                if (mode == nn::PoolMode::kMax) {
+                  std::int64_t best =
+                      std::numeric_limits<std::int64_t>::min();
+                  for (std::int64_t yy = y0; yy < y1; ++yy)
+                    for (std::int64_t xx = x0; xx < x1; ++xx)
+                      best = std::max<std::int64_t>(
+                          best, src[yy * s.w() + xx]);
+                  dst[y * ow + x] = static_cast<WordT>(saturate(
+                      shift_raw_rounded(best, in_frac,
+                                        this->out_format.frac_bits()),
+                      this->out_format));
+                } else {
+                  std::int64_t acc = 0;
+                  for (std::int64_t yy = y0; yy < y1; ++yy)
+                    for (std::int64_t xx = x0; xx < x1; ++xx)
+                      acc += src[yy * s.w() + xx];
+                  const double count =
+                      static_cast<double>((y1 - y0) * (x1 - x0));
+                  const double value = static_cast<double>(acc) *
+                                       std::ldexp(1.0, -in_frac) / count;
+                  dst[y * ow + x] =
+                      static_cast<WordT>(this->out_format.to_raw(value));
+                }
+              }
+            }
+          }
+        });
+  }
+};
+
+template <typename WordT>
+struct ReluStage final : Stage<WordT> {
+  void run(const Words<WordT>& in, Words<WordT>* out) const override {
+    out->shape = in.shape;
+    out->format = this->out_format;
+    out->w.resize(in.w.size());
+    const int in_frac = in.format.frac_bits();
+    const int out_frac = this->out_format.frac_bits();
+    parallel_for_shards(
+        static_cast<std::int64_t>(in.w.size()), kReductionShards,
+        shard_grain(2),
+        [&](std::size_t, std::int64_t begin, std::int64_t end) {
+          for (std::int64_t i = begin; i < end; ++i) {
+            const std::int64_t v = std::max<std::int64_t>(
+                in.w[static_cast<std::size_t>(i)], 0);
+            out->w[static_cast<std::size_t>(i)] =
+                static_cast<WordT>(saturate(
+                    shift_raw_rounded(v, in_frac, out_frac),
+                    this->out_format));
+          }
+        });
+  }
+};
+
+template <typename WordT>
+struct PlanStage final : Stage<WordT> {
+  bool is_tanh = false;
+
+  void run(const Words<WordT>& in, Words<WordT>* out) const override {
+    out->shape = in.shape;
+    out->format = this->out_format;
+    out->w.resize(in.w.size());
+    parallel_for_shards(
+        static_cast<std::int64_t>(in.w.size()), kReductionShards,
+        shard_grain(8),
+        [&](std::size_t, std::int64_t begin, std::int64_t end) {
+          for (std::int64_t i = begin; i < end; ++i) {
+            const double x =
+                in.format.from_raw(in.w[static_cast<std::size_t>(i)]);
+            const double y = is_tanh ? plan_tanh(x) : plan_sigmoid(x);
+            out->w[static_cast<std::size_t>(i)] =
+                static_cast<WordT>(this->out_format.to_raw(y));
+          }
+        });
+  }
+};
+
+template <typename WordT>
+struct PassthroughStage final : Stage<WordT> {
+  void run(const Words<WordT>& in, Words<WordT>* out) const override {
+    out->shape = in.shape;
+    out->format = this->out_format;
+    out->w.resize(in.w.size());
+    const int in_frac = in.format.frac_bits();
+    const int out_frac = this->out_format.frac_bits();
+    parallel_for_shards(
+        static_cast<std::int64_t>(in.w.size()), kReductionShards,
+        shard_grain(2),
+        [&](std::size_t, std::int64_t begin, std::int64_t end) {
+          for (std::int64_t i = begin; i < end; ++i)
+            out->w[static_cast<std::size_t>(i)] =
+                static_cast<WordT>(saturate(
+                    shift_raw_rounded(in.w[static_cast<std::size_t>(i)],
+                                      in_frac, out_frac),
+                    this->out_format));
+        });
+  }
+};
+
+template <typename WordT>
+struct Body {
+  FixedPointFormat input_format{16, 8};
+  std::vector<std::unique_ptr<Stage<WordT>>> stages;
+
+  Words<WordT> run(const Tensor& input) const {
+    Words<WordT> x;
+    x.shape = input.shape();
+    x.format = input_format;
+    x.w.resize(static_cast<std::size_t>(input.count()));
+    const float* d = input.data();
+    for (std::int64_t i = 0; i < input.count(); ++i)
+      x.w[static_cast<std::size_t>(i)] =
+          static_cast<WordT>(input_format.to_raw(d[i]));
+    for (const auto& stage : stages) {
+      // Inner products consume flattened inputs (as the NFU does).
+      if (dynamic_cast<const IpStage<WordT>*>(stage.get()) != nullptr &&
+          x.shape.rank() != 2)
+        x.shape = Shape{x.shape[0], x.shape.count_from(1)};
+      Words<WordT> y;
+      stage->run(x, &y);
+      x = std::move(y);
+    }
+    return x;
+  }
+};
+
+// Encodes one quantized parameter tensor through its calibrated format.
+template <typename WordT>
+void encode_param(const Tensor& values, const ValueQuantizer& q,
+                  std::vector<WordT>* words, int* frac) {
+  const auto& fq = dynamic_cast<const FixedQuantizer&>(q);
+  QNN_CHECK(fq.format().has_value());
+  *frac = fq.format()->frac_bits();
+  words->resize(static_cast<std::size_t>(values.count()));
+  for (std::int64_t i = 0; i < values.count(); ++i) {
+    const std::int64_t raw =
+        fq.format()->to_raw(static_cast<double>(values[i]));
+    QNN_DCHECK(raw >= std::numeric_limits<WordT>::min() &&
+               raw <= std::numeric_limits<WordT>::max());
+    (*words)[static_cast<std::size_t>(i)] = static_cast<WordT>(raw);
+  }
+}
+
+void encode_bias(const Tensor& values, const ValueQuantizer& q,
+                 std::vector<std::int64_t>* raw, int* frac) {
+  const auto& fq = dynamic_cast<const FixedQuantizer&>(q);
+  QNN_CHECK(fq.format().has_value());
+  *frac = fq.format()->frac_bits();
+  raw->resize(static_cast<std::size_t>(values.count()));
+  for (std::int64_t i = 0; i < values.count(); ++i)
+    (*raw)[static_cast<std::size_t>(i)] =
+        fq.format()->to_raw(static_cast<double>(values[i]));
+}
+
+template <typename WordT>
+std::unique_ptr<Body<WordT>> build_body(nn::Network& net,
+                                        const QuantizedNetwork& qnet) {
+  auto body = std::make_unique<Body<WordT>>();
+  body->input_format = site_fmt(qnet, 0);
+  std::size_t param_index = 0;
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    nn::Layer& layer = net.layer(li);
+    const FixedPointFormat& of = site_fmt(qnet, li + 1);
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+      auto stage = std::make_unique<ConvStage<WordT>>();
+      const auto params = conv->params();
+      encode_param(params[0]->value, qnet.weight_quantizer(param_index),
+                   &stage->weights, &stage->weight_frac);
+      if (params.size() > 1 && !params[1]->value.empty())
+        encode_bias(params[1]->value, qnet.weight_quantizer(param_index + 1),
+                    &stage->bias, &stage->bias_frac);
+      param_index += params.size();
+      stage->in_c = conv->in_channels();
+      stage->kernel = conv->spec().kernel;
+      stage->stride = conv->spec().stride;
+      stage->pad = conv->spec().pad;
+      stage->out_c = conv->spec().out_channels;
+      stage->out_format = of;
+      body->stages.push_back(std::move(stage));
+    } else if (auto* ip = dynamic_cast<nn::InnerProduct*>(&layer)) {
+      auto stage = std::make_unique<IpStage<WordT>>();
+      const auto params = ip->params();
+      encode_param(params[0]->value, qnet.weight_quantizer(param_index),
+                   &stage->weights, &stage->weight_frac);
+      if (params.size() > 1 && !params[1]->value.empty())
+        encode_bias(params[1]->value, qnet.weight_quantizer(param_index + 1),
+                    &stage->bias, &stage->bias_frac);
+      param_index += params.size();
+      stage->in_features = ip->in_features();
+      stage->out_features = ip->out_features();
+      stage->out_format = of;
+      body->stages.push_back(std::move(stage));
+    } else if (auto* pool = dynamic_cast<nn::Pool2d*>(&layer)) {
+      auto stage = std::make_unique<PoolStage<WordT>>();
+      stage->mode = pool->spec().mode;
+      stage->kernel = pool->spec().kernel;
+      stage->stride = pool->spec().stride;
+      stage->pad = pool->spec().pad;
+      stage->out_format = of;
+      body->stages.push_back(std::move(stage));
+    } else if (dynamic_cast<nn::Relu*>(&layer) != nullptr) {
+      auto stage = std::make_unique<ReluStage<WordT>>();
+      stage->out_format = of;
+      body->stages.push_back(std::move(stage));
+    } else if (dynamic_cast<nn::Sigmoid*>(&layer) != nullptr ||
+               dynamic_cast<nn::Tanh*>(&layer) != nullptr) {
+      auto stage = std::make_unique<PlanStage<WordT>>();
+      stage->is_tanh = dynamic_cast<nn::Tanh*>(&layer) != nullptr;
+      stage->out_format = of;
+      body->stages.push_back(std::move(stage));
+    } else if (dynamic_cast<nn::Dropout*>(&layer) != nullptr) {
+      auto stage = std::make_unique<PassthroughStage<WordT>>();
+      stage->out_format = of;
+      body->stages.push_back(std::move(stage));
+    } else {
+      QNN_CHECK_MSG(false, "unsupported layer kind in IntInferenceEngine: "
+                               << layer.kind());
+    }
+  }
+  return body;
+}
+
+// True when the layer kind has a native integer stage.
+bool supported_layer(nn::Layer& layer) {
+  return dynamic_cast<nn::Conv2d*>(&layer) != nullptr ||
+         dynamic_cast<nn::InnerProduct*>(&layer) != nullptr ||
+         dynamic_cast<nn::Pool2d*>(&layer) != nullptr ||
+         dynamic_cast<nn::Relu*>(&layer) != nullptr ||
+         dynamic_cast<nn::Sigmoid*>(&layer) != nullptr ||
+         dynamic_cast<nn::Tanh*>(&layer) != nullptr ||
+         dynamic_cast<nn::Dropout*>(&layer) != nullptr;
+}
+
+}  // namespace
+
+struct IntInferenceEngine::Impl {
+  std::unique_ptr<Body<std::int8_t>> b8;
+  std::unique_ptr<Body<std::int16_t>> b16;
+};
+
+std::string IntInferenceEngine::ineligibility_reason(
+    const nn::Network& net, const QuantizedNetwork& qnet) {
+  const PrecisionConfig& cfg = qnet.config();
+  if (cfg.kind != PrecisionKind::kFixed)
+    return "precision kind is not fixed-point";
+  if (!qnet.calibrated()) return "network is not calibrated";
+  if (cfg.rounding == Rounding::kStochastic)
+    return "stochastic rounding is nondeterministic";
+  for (std::size_t s = 0; s < qnet.num_sites(); ++s) {
+    const auto* fq =
+        dynamic_cast<const FixedQuantizer*>(&qnet.data_quantizer(s));
+    if (fq == nullptr || !fq->format().has_value())
+      return "data site without a calibrated fixed-point format";
+    if (fq->format()->total_bits() > 16)
+      return "data format wider than 16 bits";
+  }
+  auto& mutable_net = const_cast<nn::Network&>(net);
+  std::size_t param_index = 0;
+  for (std::size_t li = 0; li < mutable_net.num_layers(); ++li) {
+    nn::Layer& layer = mutable_net.layer(li);
+    if (!supported_layer(layer))
+      return std::string("unsupported layer kind: ") + layer.kind();
+    for (nn::Param* p : layer.params()) {
+      const auto* fq = dynamic_cast<const FixedQuantizer*>(
+          &qnet.weight_quantizer(param_index));
+      if (fq == nullptr || !fq->format().has_value())
+        return "parameter without a calibrated fixed-point format";
+      // Weights become kernel operands; biases stay int64, any width.
+      if (p->name == "w" && fq->format()->total_bits() > 16)
+        return "weight format wider than 16 bits";
+      ++param_index;
+    }
+  }
+  return std::string();
+}
+
+IntInferenceEngine::IntInferenceEngine(nn::Network& net,
+                                       const QuantizedNetwork& qnet)
+    : impl_(std::make_unique<Impl>()) {
+  const std::string reason = ineligibility_reason(net, qnet);
+  QNN_CHECK_MSG(reason.empty(), "IntInferenceEngine: " << reason);
+
+  bool fits8 = true;
+  for (std::size_t s = 0; s < qnet.num_sites() && fits8; ++s)
+    fits8 = site_fmt(qnet, s).total_bits() <= 8;
+  std::size_t param_index = 0;
+  for (std::size_t li = 0; li < net.num_layers() && fits8; ++li) {
+    for (nn::Param* p : net.layer(li).params()) {
+      if (p->name == "w") {
+        const auto& fq = dynamic_cast<const FixedQuantizer&>(
+            qnet.weight_quantizer(param_index));
+        if (fq.format()->total_bits() > 8) fits8 = false;
+      }
+      ++param_index;
+    }
+  }
+  if (fits8) {
+    impl_->b8 = build_body<std::int8_t>(net, qnet);
+  } else {
+    impl_->b16 = build_body<std::int16_t>(net, qnet);
+  }
+}
+
+IntInferenceEngine::~IntInferenceEngine() = default;
+
+bool IntInferenceEngine::uses_int8() const { return impl_->b8 != nullptr; }
+
+std::size_t IntInferenceEngine::num_stages() const {
+  return impl_->b8 ? impl_->b8->stages.size() : impl_->b16->stages.size();
+}
+
+IntRawResult IntInferenceEngine::forward_raw(const Tensor& input) const {
+  IntRawResult r;
+  if (impl_->b8) {
+    Words<std::int8_t> out = impl_->b8->run(input);
+    r.shape = out.shape;
+    r.format = out.format;
+    r.raw.assign(out.w.begin(), out.w.end());
+  } else {
+    Words<std::int16_t> out = impl_->b16->run(input);
+    r.shape = out.shape;
+    r.format = out.format;
+    r.raw.assign(out.w.begin(), out.w.end());
+  }
+  return r;
+}
+
+Tensor IntInferenceEngine::forward(const Tensor& input) const {
+  const IntRawResult r = forward_raw(input);
+  Tensor t(r.shape);
+  for (std::int64_t i = 0; i < t.count(); ++i)
+    t[i] = static_cast<float>(
+        r.format.from_raw(r.raw[static_cast<std::size_t>(i)]));
+  return t;
+}
+
+}  // namespace qnn::quant

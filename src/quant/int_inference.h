@@ -1,0 +1,97 @@
+// Native integer inference (DESIGN.md §15).
+//
+// The fake-quantized float path constrains values to fixed-point grids
+// but still *computes* in float32. This engine executes a calibrated
+// fixed-point QuantizedNetwork the way the accelerator would — and the
+// way hw/nfu_sim's bit-level oracle does: weights, biases, and
+// activations live as raw two's-complement words, conv and inner
+// product run through the native int8/int16 GEMM kernels
+// (tensor/int_gemm) with exact int64 accumulation, and every layer
+// boundary requantizes into the site's calibrated format with the same
+// shift-round-saturate step as the NFU. The contract, pinned by
+// tests/int_gemm_oracle_test.cc, is word-for-word equality with
+// NfuSimulator on every supported network.
+//
+// QuantizedNetwork::freeze_inference() builds one of these whenever the
+// config is eligible (fixed-point, <= 16-bit weights and data,
+// deterministic rounding, supported layer kinds) and QNN_INT_INFER is
+// not "off"; frozen forwards then run in the integer domain end-to-end,
+// which is how the serve replica tiers (fixed16/fixed8) pick the native
+// path up automatically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fixed/fixed_format.h"
+#include "nn/network.h"
+#include "tensor/tensor.h"
+
+namespace qnn::quant {
+
+class QuantizedNetwork;
+
+// One QNN_INT_INFER spelling: "on"/"1" -> true, "off"/"0" -> false,
+// "auto"/"" -> nullopt (auto resolves to ON for eligible configs).
+// Invalid spellings return nullopt and set *invalid. Hardened like
+// ThreadPool::env_threads(); exposed for the dispatch unit tests.
+std::optional<bool> parse_int_infer_env(const std::string& value,
+                                        bool* invalid = nullptr);
+
+// Reads QNN_INT_INFER from the environment on every call (freeze-time
+// only, so tests can setenv between freezes). Unset/auto/on -> true,
+// off -> false, garbage -> warn once, then true.
+bool int_inference_env_enabled();
+
+// Raw words of a forward's final site — the exact integers the engine
+// produced, for differential comparison against hw::RawTensor.
+struct IntRawResult {
+  Shape shape;
+  std::vector<std::int64_t> raw;
+  FixedPointFormat format{16, 8};
+};
+
+class IntInferenceEngine {
+ public:
+  // Empty when the network qualifies for the native path; otherwise a
+  // human-readable reason (unsupported kind/layer, too-wide formats,
+  // stochastic rounding, not calibrated, ...).
+  static std::string ineligibility_reason(const nn::Network& net,
+                                          const QuantizedNetwork& qnet);
+  static bool eligible(const nn::Network& net,
+                       const QuantizedNetwork& qnet) {
+    return ineligibility_reason(net, qnet).empty();
+  }
+
+  // Captures weights and formats from `qnet`, which must be calibrated
+  // with its quantized parameter image live (i.e. called from inside
+  // freeze_inference(), after quantize_params()).
+  IntInferenceEngine(nn::Network& net, const QuantizedNetwork& qnet);
+  ~IntInferenceEngine();
+
+  IntInferenceEngine(const IntInferenceEngine&) = delete;
+  IntInferenceEngine& operator=(const IntInferenceEngine&) = delete;
+
+  // Integer-domain forward; returns the decoded float image of the
+  // final site's raw words (injective for <= 16-bit formats, so float
+  // equality of outputs IS word equality).
+  Tensor forward(const Tensor& input) const;
+
+  // Same forward, returning the raw words themselves.
+  IntRawResult forward_raw(const Tensor& input) const;
+
+  // True when every weight and data format fits 8 bits and the engine
+  // runs on int8 storage + the int8 kernel; false -> int16.
+  bool uses_int8() const;
+
+  std::size_t num_stages() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace qnn::quant

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "quant/int_inference.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -71,6 +72,9 @@ QuantizedNetwork::QuantizedNetwork(
   build_param_spans();
 }
 
+QuantizedNetwork::~QuantizedNetwork() = default;
+QuantizedNetwork::QuantizedNetwork(QuantizedNetwork&&) noexcept = default;
+
 void QuantizedNetwork::build_param_spans() {
   std::size_t off = 0;
   for (std::size_t i = 0; i < net_.num_layers(); ++i) {
@@ -128,6 +132,7 @@ void QuantizedNetwork::save_masters() {
 
 void QuantizedNetwork::restore_masters() {
   frozen_ = false;
+  int_engine_.reset();
   if (!masters_saved_) return;
   for (std::size_t i = 0; i < params_.size(); ++i)
     params_[i]->value = masters_[i];
@@ -142,6 +147,12 @@ void QuantizedNetwork::freeze_inference() {
   save_masters();
   quantize_params();
   frozen_ = true;
+  // Native integer path (quant/int_inference): built from the live
+  // quantized parameter image when the config qualifies and the env
+  // doesn't opt out. Hook-free frozen forwards then run int end-to-end.
+  if (int_inference_env_enabled() &&
+      IntInferenceEngine::eligible(net_, *this))
+    int_engine_ = std::make_unique<IntInferenceEngine>(net_, *this);
 }
 
 namespace {
@@ -222,6 +233,15 @@ GuardCounters QuantizedNetwork::total_guards() const {
 }
 
 Tensor QuantizedNetwork::forward(const Tensor& input) {
+  // Frozen + native engine + no fault hooks: run the integer path. The
+  // decoded words land on exactly the grid the fake-quantized float
+  // path produces (pinned by tests/int_gemm_oracle_test.cc against the
+  // NFU oracle), so callers see the same tensor either way. Hooked
+  // forwards (fault injection) fall through to the float path, whose
+  // site/param mutation points the hooks contract with.
+  if (frozen_ && int_engine_ && !hooks_.on_quantized_param &&
+      !hooks_.on_accumulator && !hooks_.on_quantized_site)
+    return int_engine_->forward(input);
   return forward_observed(input, SiteObserver());
 }
 

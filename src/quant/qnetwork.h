@@ -29,6 +29,8 @@
 
 namespace qnn::quant {
 
+class IntInferenceEngine;
+
 // Mutation points the fault-injection layer (src/faults) hooks into.
 // Each callback may be empty; non-empty callbacks run on every forward
 // and may mutate the tensor in place. Sites are numbered as in
@@ -57,6 +59,11 @@ class QuantizedNetwork final : public nn::Model {
   // the per-layer precision search (quant/mixed_precision).
   QuantizedNetwork(nn::Network& net, const PrecisionConfig& config,
                    const std::vector<int>& weight_bits_per_layer);
+
+  // Out-of-line because int_engine_ holds an incomplete type here; the
+  // move operations keep clone_onto's return-by-value working.
+  ~QuantizedNetwork() override;
+  QuantizedNetwork(QuantizedNetwork&&) noexcept;
 
   // Chooses all radix points from a float-precision forward over
   // `calibration_batch`. Must run before forward() for non-float
@@ -127,6 +134,14 @@ class QuantizedNetwork final : public nn::Model {
   void freeze_inference();
   void thaw_inference() { restore_masters(); }
   bool inference_frozen() const { return frozen_; }
+
+  // True when freeze_inference() installed the native integer engine
+  // (quant/int_inference): frozen hook-free forwards then execute
+  // conv/inner_product through the int8/int16 GEMM kernels instead of
+  // the fake-quantized float path. Built whenever the config is
+  // eligible and QNN_INT_INFER (read at freeze time) is not "off".
+  bool native_int_active() const { return int_engine_ != nullptr; }
+  const IntInferenceEngine* int_engine() const { return int_engine_.get(); }
 
   // Clamps master weights into the representable range of the weight
   // format (BinaryConnect-style clipping; keeps masters from drifting
@@ -206,6 +221,10 @@ class QuantizedNetwork final : public nn::Model {
   ForwardHooks hooks_;
   std::vector<GuardCounters> site_guards_;   // one per activation site
   std::vector<GuardCounters> param_guards_;  // one per parameter tensor
+
+  // Native integer inference engine; non-null only while frozen with an
+  // eligible config (see freeze_inference / native_int_active).
+  std::unique_ptr<IntInferenceEngine> int_engine_;
 };
 
 }  // namespace qnn::quant

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/microkernel.h"
 #include "util/thread_pool.h"
 
 namespace qnn {
@@ -38,43 +39,15 @@ constexpr std::int64_t kBlockK = kGemmKChunk;
 // schedule and scratch footprint change).
 constexpr std::int64_t kMaxKParallelFloats = std::int64_t{1} << 24;
 
-// Inner kernel: C[mb, nb] += A[mb, kb] * B[kb, nb] over one cache block.
-// Unrolled 4 rows at a time so the compiler keeps C accumulators in
-// registers and vectorizes the N loop.
+// Inner kernel: C[mb, nb] += A[mb, kb] * B[kb, nb] over one cache block,
+// routed through the runtime-dispatched microkernel (tensor/microkernel).
+// Every level computes the canonical lane-striped fold — a serial fused
+// multiply-add per (element, p) with no cross-lane mixing — so the
+// dispatch choice can never change the bytes.
 void block_kernel(std::int64_t mb, std::int64_t nb, std::int64_t kb,
                   const float* a, std::int64_t lda, const float* b,
                   std::int64_t ldb, float* c, std::int64_t ldc) {
-  std::int64_t i = 0;
-  for (; i + 4 <= mb; i += 4) {
-    const float* a0 = a + (i + 0) * lda;
-    const float* a1 = a + (i + 1) * lda;
-    const float* a2 = a + (i + 2) * lda;
-    const float* a3 = a + (i + 3) * lda;
-    float* c0 = c + (i + 0) * ldc;
-    float* c1 = c + (i + 1) * ldc;
-    float* c2 = c + (i + 2) * ldc;
-    float* c3 = c + (i + 3) * ldc;
-    for (std::int64_t p = 0; p < kb; ++p) {
-      const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
-      const float* bp = b + p * ldb;
-      for (std::int64_t j = 0; j < nb; ++j) {
-        const float bj = bp[j];
-        c0[j] += v0 * bj;
-        c1[j] += v1 * bj;
-        c2[j] += v2 * bj;
-        c3[j] += v3 * bj;
-      }
-    }
-  }
-  for (; i < mb; ++i) {
-    const float* ai = a + i * lda;
-    float* ci = c + i * ldc;
-    for (std::int64_t p = 0; p < kb; ++p) {
-      const float v = ai[p];
-      const float* bp = b + p * ldb;
-      for (std::int64_t j = 0; j < nb; ++j) ci[j] += v * bp[j];
-    }
-  }
+  gemm_block_f32(active_simd_level(), mb, nb, kb, a, lda, b, ldb, c, ldc);
 }
 
 // One M block of the single-chunk (count == 1) plan: all K and N blocks

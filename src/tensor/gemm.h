@@ -1,13 +1,16 @@
 // Single-precision matrix multiply kernels.
 //
 // Convolution (via im2col) and fully-connected layers lower to these.
-// The implementation is a register-blocked, cache-tiled scalar kernel —
-// no external BLAS dependency — sharded across the global thread pool
-// along the M dimension and, for tall-K problems, along K through a
-// fixed-tree reduction. Both shardings are bit-deterministic: every
-// output element's accumulation order is a pure function of the problem
-// shape (see GemmKPlan below), so N-thread and 1-thread runs produce
-// identical bytes.
+// The implementation is a register-blocked, cache-tiled kernel — no
+// external BLAS dependency — dispatched at runtime between an AVX2/FMA
+// microkernel and a portable scalar fallback (tensor/microkernel,
+// QNN_SIMD override), sharded across the global thread pool along the M
+// dimension and, for tall-K problems, along K through a fixed-tree
+// reduction. Both shardings are bit-deterministic: every output
+// element's accumulation order is a pure function of the problem shape
+// (see GemmKPlan below), so N-thread and 1-thread runs produce
+// identical bytes — and so do the scalar and vector dispatch paths (the
+// lane-stripe contract extending the plan; see below).
 //
 // The *_bias variants fold the layer bias into the kernel epilogue: the
 // bias is added to each finished output element after its K accumulation
@@ -52,6 +55,20 @@ inline constexpr std::int64_t kGemmKChunk = 256;
 // chunk boundaries and the merge tree are fixed by this plan. ABFT
 // re-execution of an M-sliced range therefore reuses the same plan as
 // the original full-M call and reproduces its bytes exactly.
+//
+// Lane-stripe extension (DESIGN.md §15): within a chunk, each fold step
+// is one FUSED multiply-add — fl(a*b + acc) with a single rounding
+// (std::fmaf in the scalar kernel, vfmadd231ps in the AVX2 one) — and
+// output columns stripe across vector lanes in groups of kGemmLanes
+// (column j occupies lane j mod kGemmLanes of its group, a pure
+// function of shape). Lanes hold DISTINCT output elements and never mix
+// in float arithmetic, so the stripe fixes a layout, not an order: the
+// per-element fold above is the entire floating-point contract, and
+// scalar vs AVX2 dispatch is byte-invisible by IEEE-754 fma semantics
+// rather than by codegen coincidence. tensor/microkernel.h defines the
+// kernels and the QNN_SIMD runtime dispatch;
+// tests/gemm_kernel_differential_test.cc pins scalar == AVX2 bytes for
+// every variant, thread count, and boundary shape.
 struct GemmKPlan {
   std::int64_t chunk = 0;  // width of each full chunk
   std::int64_t count = 1;  // number of chunks, >= 1

@@ -1,0 +1,60 @@
+#include "tensor/int_gemm.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/microkernel.h"
+#include "util/thread_pool.h"
+
+namespace qnn {
+namespace {
+
+struct IntGemmMetrics {
+  obs::Counter calls;
+  obs::Counter macs;
+};
+
+IntGemmMetrics& int_gemm_metrics() {
+  obs::Registry& r = obs::Registry::global();
+  static IntGemmMetrics m{r.counter("int_gemm.calls"),
+                          r.counter("int_gemm.macs")};
+  return m;
+}
+
+// Row-sharded driver: integer accumulation is exact, so the shard plan
+// is free to follow the pool — sharding only needs the grain heuristic
+// so small problems run inline.
+template <typename WordT>
+void int_gemm_bt_impl(std::int64_t m, std::int64_t n, std::int64_t k,
+                      const WordT* a, const WordT* b, std::int64_t* c) {
+  QNN_SPAN_N("int_gemm", "tensor", m * n * k);
+  IntGemmMetrics& gm = int_gemm_metrics();
+  gm.calls.inc();
+  gm.macs.add(m * n * k);
+  parallel_for_shards(m, kReductionShards, shard_grain(2 * n * k),
+                      [&](std::size_t, std::int64_t begin, std::int64_t end) {
+                        if (begin >= end) return;
+                        if constexpr (sizeof(WordT) == 1) {
+                          gemm_block_s8(active_simd_level(), end - begin, n, k,
+                                        a + begin * k, b, c + begin * n);
+                        } else {
+                          gemm_block_s16(active_simd_level(), end - begin, n,
+                                         k, a + begin * k, b, c + begin * n);
+                        }
+                      });
+}
+
+}  // namespace
+
+void int_gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k,
+                 const std::int8_t* a, const std::int8_t* b,
+                 std::int64_t* c) {
+  int_gemm_bt_impl(m, n, k, a, b, c);
+}
+
+void int_gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k,
+                 const std::int16_t* a, const std::int16_t* b,
+                 std::int64_t* c) {
+  int_gemm_bt_impl(m, n, k, a, b, c);
+}
+
+}  // namespace qnn

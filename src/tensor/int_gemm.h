@@ -1,0 +1,31 @@
+// Native integer GEMM (DESIGN.md §15).
+//
+// Entry points for the quantized inference path: C[M,N] = A[M,K] *
+// B[N,K]^T in the *dot-product layout* — both operands row-contiguous
+// over K, C an int64 accumulator image. This is the natural layout for
+// fixed-point inference: InnerProduct weights are already stored
+// [Out, In], and conv lowers to an int16/int8 "im2row" patch matrix
+// [OHW, Cin*K*K] against weights [Cout, Cin*K*K], so neither side needs
+// a transpose.
+//
+// Unlike the float kernels, NO accumulation-order contract is needed:
+// every product and sum is exact in int64 (the widest operands are 16
+// bits, biases are aligned separately), and integer addition is
+// associative, so any sharding, lane order, or SIMD level yields the
+// same words. The drivers shard rows across the global thread pool and
+// dispatch to the AVX2 or scalar block kernels (tensor/microkernel)
+// per the active QNN_SIMD level.
+#pragma once
+
+#include <cstdint>
+
+namespace qnn {
+
+// C[M,N] (int64, overwritten) = A[M,K] * B[N,K]^T.
+void int_gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k,
+                 const std::int8_t* a, const std::int8_t* b, std::int64_t* c);
+void int_gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k,
+                 const std::int16_t* a, const std::int16_t* b,
+                 std::int64_t* c);
+
+}  // namespace qnn

@@ -1,0 +1,499 @@
+#include "tensor/microkernel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define QNN_MICROKERNEL_X86 1
+#include <immintrin.h>
+#else
+#define QNN_MICROKERNEL_X86 0
+#endif
+
+namespace qnn {
+namespace {
+
+// ---------------------------------------------------------------------
+// Scalar float kernel — the canonical order, spelled portably. One
+// std::fmaf per (element, p): correctly rounded by IEEE 754, so this IS
+// the AVX2 kernel's arithmetic, minus the registers. Unrolled 4 rows so
+// the compiler keeps accumulator rows hot and vectorizes the N loop
+// (auto-vectorized fmaf lanes compute the same bytes — lanes never mix).
+void block_f32_scalar(std::int64_t mb, std::int64_t nb, std::int64_t kb,
+                      const float* a, std::int64_t lda, const float* b,
+                      std::int64_t ldb, float* c, std::int64_t ldc) {
+  std::int64_t i = 0;
+  for (; i + 4 <= mb; i += 4) {
+    const float* a0 = a + (i + 0) * lda;
+    const float* a1 = a + (i + 1) * lda;
+    const float* a2 = a + (i + 2) * lda;
+    const float* a3 = a + (i + 3) * lda;
+    float* c0 = c + (i + 0) * ldc;
+    float* c1 = c + (i + 1) * ldc;
+    float* c2 = c + (i + 2) * ldc;
+    float* c3 = c + (i + 3) * ldc;
+    for (std::int64_t p = 0; p < kb; ++p) {
+      const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+      const float* bp = b + p * ldb;
+      for (std::int64_t j = 0; j < nb; ++j) {
+        const float bj = bp[j];
+        c0[j] = std::fmaf(v0, bj, c0[j]);
+        c1[j] = std::fmaf(v1, bj, c1[j]);
+        c2[j] = std::fmaf(v2, bj, c2[j]);
+        c3[j] = std::fmaf(v3, bj, c3[j]);
+      }
+    }
+  }
+  for (; i < mb; ++i) {
+    const float* ai = a + i * lda;
+    float* ci = c + i * ldc;
+    for (std::int64_t p = 0; p < kb; ++p) {
+      const float v = ai[p];
+      const float* bp = b + p * ldb;
+      for (std::int64_t j = 0; j < nb; ++j) ci[j] = std::fmaf(v, bp[j], ci[j]);
+    }
+  }
+}
+
+// Scalar integer kernels: dot-product layout, int64 accumulation.
+// Products promote to int (int8: |p| <= 2^14, int16: |p| <= 2^30 — both
+// fit int32) before widening into the int64 sum.
+void block_s8_scalar(std::int64_t m, std::int64_t n, std::int64_t k,
+                     const std::int8_t* a, const std::int8_t* b,
+                     std::int64_t* c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int8_t* ai = a + i * k;
+    std::int64_t* ci = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::int8_t* bj = b + j * k;
+      std::int64_t acc = 0;
+      for (std::int64_t p = 0; p < k; ++p)
+        acc += static_cast<std::int32_t>(ai[p]) *
+               static_cast<std::int32_t>(bj[p]);
+      ci[j] = acc;
+    }
+  }
+}
+
+void block_s16_scalar(std::int64_t m, std::int64_t n, std::int64_t k,
+                      const std::int16_t* a, const std::int16_t* b,
+                      std::int64_t* c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int16_t* ai = a + i * k;
+    std::int64_t* ci = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::int16_t* bj = b + j * k;
+      std::int64_t acc = 0;
+      for (std::int64_t p = 0; p < k; ++p)
+        acc += static_cast<std::int32_t>(ai[p]) *
+               static_cast<std::int32_t>(bj[p]);
+      ci[j] = acc;
+    }
+  }
+}
+
+#if QNN_MICROKERNEL_X86
+
+// ---------------------------------------------------------------------
+// AVX2 + FMA float kernel. Register blocking: 4 rows x 16 columns of C
+// live in 8 ymm accumulators across the whole K loop (plus 2 B vectors
+// and 1 broadcast), so C traffic drops from once per p to once per
+// block. Column groups of kGemmLanes are the lane stripe; each lane
+// folds its own element with vfmadd231ps — the same serial fmaf fold as
+// the scalar kernel, element for element.
+
+__attribute__((target("avx2,fma"))) inline void panel_f32_4x16(
+    std::int64_t kb, const float* a0, const float* a1, const float* a2,
+    const float* a3, const float* b, std::int64_t ldb, float* c0, float* c1,
+    float* c2, float* c3) {
+  __m256 x00 = _mm256_loadu_ps(c0), x01 = _mm256_loadu_ps(c0 + 8);
+  __m256 x10 = _mm256_loadu_ps(c1), x11 = _mm256_loadu_ps(c1 + 8);
+  __m256 x20 = _mm256_loadu_ps(c2), x21 = _mm256_loadu_ps(c2 + 8);
+  __m256 x30 = _mm256_loadu_ps(c3), x31 = _mm256_loadu_ps(c3 + 8);
+  for (std::int64_t p = 0; p < kb; ++p) {
+    const float* bp = b + p * ldb;
+    const __m256 b0 = _mm256_loadu_ps(bp);
+    const __m256 b1 = _mm256_loadu_ps(bp + 8);
+    __m256 v = _mm256_broadcast_ss(a0 + p);
+    x00 = _mm256_fmadd_ps(v, b0, x00);
+    x01 = _mm256_fmadd_ps(v, b1, x01);
+    v = _mm256_broadcast_ss(a1 + p);
+    x10 = _mm256_fmadd_ps(v, b0, x10);
+    x11 = _mm256_fmadd_ps(v, b1, x11);
+    v = _mm256_broadcast_ss(a2 + p);
+    x20 = _mm256_fmadd_ps(v, b0, x20);
+    x21 = _mm256_fmadd_ps(v, b1, x21);
+    v = _mm256_broadcast_ss(a3 + p);
+    x30 = _mm256_fmadd_ps(v, b0, x30);
+    x31 = _mm256_fmadd_ps(v, b1, x31);
+  }
+  _mm256_storeu_ps(c0, x00);
+  _mm256_storeu_ps(c0 + 8, x01);
+  _mm256_storeu_ps(c1, x10);
+  _mm256_storeu_ps(c1 + 8, x11);
+  _mm256_storeu_ps(c2, x20);
+  _mm256_storeu_ps(c2 + 8, x21);
+  _mm256_storeu_ps(c3, x30);
+  _mm256_storeu_ps(c3 + 8, x31);
+}
+
+__attribute__((target("avx2,fma"))) inline void panel_f32_1x16(
+    std::int64_t kb, const float* ai, const float* b, std::int64_t ldb,
+    float* ci) {
+  __m256 x0 = _mm256_loadu_ps(ci), x1 = _mm256_loadu_ps(ci + 8);
+  for (std::int64_t p = 0; p < kb; ++p) {
+    const float* bp = b + p * ldb;
+    const __m256 v = _mm256_broadcast_ss(ai + p);
+    x0 = _mm256_fmadd_ps(v, _mm256_loadu_ps(bp), x0);
+    x1 = _mm256_fmadd_ps(v, _mm256_loadu_ps(bp + 8), x1);
+  }
+  _mm256_storeu_ps(ci, x0);
+  _mm256_storeu_ps(ci + 8, x1);
+}
+
+__attribute__((target("avx2,fma"))) inline void panel_f32_1x8(
+    std::int64_t kb, const float* ai, const float* b, std::int64_t ldb,
+    float* ci) {
+  __m256 x0 = _mm256_loadu_ps(ci);
+  for (std::int64_t p = 0; p < kb; ++p)
+    x0 = _mm256_fmadd_ps(_mm256_broadcast_ss(ai + p),
+                         _mm256_loadu_ps(b + p * ldb), x0);
+  _mm256_storeu_ps(ci, x0);
+}
+
+__attribute__((target("avx2,fma"))) void block_f32_avx2(
+    std::int64_t mb, std::int64_t nb, std::int64_t kb, const float* a,
+    std::int64_t lda, const float* b, std::int64_t ldb, float* c,
+    std::int64_t ldc) {
+  std::int64_t j = 0;
+  for (; j + 16 <= nb; j += 16) {
+    const float* bj = b + j;
+    float* cj = c + j;
+    std::int64_t i = 0;
+    for (; i + 4 <= mb; i += 4)
+      panel_f32_4x16(kb, a + (i + 0) * lda, a + (i + 1) * lda,
+                     a + (i + 2) * lda, a + (i + 3) * lda, bj, ldb,
+                     cj + (i + 0) * ldc, cj + (i + 1) * ldc,
+                     cj + (i + 2) * ldc, cj + (i + 3) * ldc);
+    for (; i < mb; ++i)
+      panel_f32_1x16(kb, a + i * lda, bj, ldb, cj + i * ldc);
+  }
+  for (; j + 8 <= nb; j += 8) {
+    for (std::int64_t i = 0; i < mb; ++i)
+      panel_f32_1x8(kb, a + i * lda, b + j, ldb, c + i * ldc + j);
+  }
+  if (j < nb) {
+    // Sub-lane column tail: same serial fmaf fold, element for element.
+    for (std::int64_t i = 0; i < mb; ++i) {
+      const float* ai = a + i * lda;
+      float* ci = c + i * ldc;
+      for (std::int64_t p = 0; p < kb; ++p) {
+        const float v = ai[p];
+        const float* bp = b + p * ldb;
+        for (std::int64_t jj = j; jj < nb; ++jj)
+          ci[jj] = std::fmaf(v, bp[jj], ci[jj]);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// AVX2 integer kernels. Exact: every path widens to int64 before any
+// value could saturate, and integer addition commutes, so the vector
+// lane order needs no contract at all.
+
+// Sums 8 int32 lanes into an int64 (widening first — the lanes alone
+// can hold up to kS8KBlock/16 pair-sums of 2^15 each).
+__attribute__((target("avx2"))) inline std::int64_t hsum_epi32_wide(
+    __m256i v) {
+  const __m256i lo = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(v));
+  const __m256i hi = _mm256_cvtepi32_epi64(_mm256_extracti128_si256(v, 1));
+  const __m256i s = _mm256_add_epi64(lo, hi);
+  alignas(32) std::int64_t t[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(t), s);
+  return t[0] + t[1] + t[2] + t[3];
+}
+
+__attribute__((target("avx2"))) inline std::int64_t hsum_epi64(__m256i v) {
+  alignas(32) std::int64_t t[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(t), v);
+  return t[0] + t[1] + t[2] + t[3];
+}
+
+// K-block bound for the int8 kernel's int32 pair-sum accumulators:
+// each madd lane adds one pair-sum of |.| <= 2^15 per 16 K steps, so a
+// 2^16-wide block keeps lanes <= 2^27 — far from int32 saturation.
+constexpr std::int64_t kS8KBlock = std::int64_t{1} << 16;
+
+__attribute__((target("avx2"))) void block_s8_avx2(std::int64_t m,
+                                                   std::int64_t n,
+                                                   std::int64_t k,
+                                                   const std::int8_t* a,
+                                                   const std::int8_t* b,
+                                                   std::int64_t* c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int8_t* ai = a + i * k;
+    std::int64_t* ci = c + i * n;
+    std::int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const std::int8_t* b0 = b + (j + 0) * k;
+      const std::int8_t* b1 = b + (j + 1) * k;
+      const std::int8_t* b2 = b + (j + 2) * k;
+      const std::int8_t* b3 = b + (j + 3) * k;
+      std::int64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+      for (std::int64_t p0 = 0; p0 < k; p0 += kS8KBlock) {
+        const std::int64_t pend = p0 + std::min(kS8KBlock, k - p0);
+        __m256i a0 = _mm256_setzero_si256(), a1 = _mm256_setzero_si256();
+        __m256i a2 = _mm256_setzero_si256(), a3 = _mm256_setzero_si256();
+        std::int64_t p = p0;
+        for (; p + 16 <= pend; p += 16) {
+          const __m256i av = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(ai + p)));
+          a0 = _mm256_add_epi32(
+              a0, _mm256_madd_epi16(
+                      av, _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                              reinterpret_cast<const __m128i*>(b0 + p)))));
+          a1 = _mm256_add_epi32(
+              a1, _mm256_madd_epi16(
+                      av, _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                              reinterpret_cast<const __m128i*>(b1 + p)))));
+          a2 = _mm256_add_epi32(
+              a2, _mm256_madd_epi16(
+                      av, _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                              reinterpret_cast<const __m128i*>(b2 + p)))));
+          a3 = _mm256_add_epi32(
+              a3, _mm256_madd_epi16(
+                      av, _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                              reinterpret_cast<const __m128i*>(b3 + p)))));
+        }
+        s0 += hsum_epi32_wide(a0);
+        s1 += hsum_epi32_wide(a1);
+        s2 += hsum_epi32_wide(a2);
+        s3 += hsum_epi32_wide(a3);
+        for (; p < pend; ++p) {
+          const std::int32_t av = ai[p];
+          s0 += av * static_cast<std::int32_t>(b0[p]);
+          s1 += av * static_cast<std::int32_t>(b1[p]);
+          s2 += av * static_cast<std::int32_t>(b2[p]);
+          s3 += av * static_cast<std::int32_t>(b3[p]);
+        }
+      }
+      ci[j + 0] = s0;
+      ci[j + 1] = s1;
+      ci[j + 2] = s2;
+      ci[j + 3] = s3;
+    }
+    for (; j < n; ++j) {
+      const std::int8_t* bj = b + j * k;
+      std::int64_t s = 0;
+      std::int64_t p = 0;
+      __m256i acc = _mm256_setzero_si256();
+      std::int64_t in_block = 0;
+      for (; p + 16 <= k; p += 16) {
+        const __m256i av = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(ai + p)));
+        const __m256i bv = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(bj + p)));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, bv));
+        if (++in_block == kS8KBlock / 16) {
+          s += hsum_epi32_wide(acc);
+          acc = _mm256_setzero_si256();
+          in_block = 0;
+        }
+      }
+      s += hsum_epi32_wide(acc);
+      for (; p < k; ++p)
+        s += static_cast<std::int32_t>(ai[p]) *
+             static_cast<std::int32_t>(bj[p]);
+      ci[j] = s;
+    }
+  }
+}
+
+__attribute__((target("avx2"))) inline __m256i s16_fma_epi64(
+    __m256i acc, const std::int16_t* ap, const std::int16_t* bp) {
+  const __m256i av = _mm256_cvtepi16_epi32(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(ap)));
+  const __m256i bv = _mm256_cvtepi16_epi32(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(bp)));
+  // Products of two 16-bit values fit int32 (<= 2^30); a *pair* of them
+  // does not, hence no madd — widen each product to int64 instead.
+  const __m256i prod = _mm256_mullo_epi32(av, bv);
+  acc = _mm256_add_epi64(
+      acc, _mm256_cvtepi32_epi64(_mm256_castsi256_si128(prod)));
+  return _mm256_add_epi64(
+      acc, _mm256_cvtepi32_epi64(_mm256_extracti128_si256(prod, 1)));
+}
+
+__attribute__((target("avx2"))) void block_s16_avx2(std::int64_t m,
+                                                    std::int64_t n,
+                                                    std::int64_t k,
+                                                    const std::int16_t* a,
+                                                    const std::int16_t* b,
+                                                    std::int64_t* c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int16_t* ai = a + i * k;
+    std::int64_t* ci = c + i * n;
+    std::int64_t j = 0;
+    for (; j + 2 <= n; j += 2) {
+      const std::int16_t* b0 = b + (j + 0) * k;
+      const std::int16_t* b1 = b + (j + 1) * k;
+      __m256i a0 = _mm256_setzero_si256(), a1 = _mm256_setzero_si256();
+      std::int64_t p = 0;
+      for (; p + 8 <= k; p += 8) {
+        a0 = s16_fma_epi64(a0, ai + p, b0 + p);
+        a1 = s16_fma_epi64(a1, ai + p, b1 + p);
+      }
+      std::int64_t s0 = hsum_epi64(a0), s1 = hsum_epi64(a1);
+      for (; p < k; ++p) {
+        const std::int32_t av = ai[p];
+        s0 += av * static_cast<std::int32_t>(b0[p]);
+        s1 += av * static_cast<std::int32_t>(b1[p]);
+      }
+      ci[j + 0] = s0;
+      ci[j + 1] = s1;
+    }
+    for (; j < n; ++j) {
+      const std::int16_t* bj = b + j * k;
+      __m256i acc = _mm256_setzero_si256();
+      std::int64_t p = 0;
+      for (; p + 8 <= k; p += 8) acc = s16_fma_epi64(acc, ai + p, bj + p);
+      std::int64_t s = hsum_epi64(acc);
+      for (; p < k; ++p)
+        s += static_cast<std::int32_t>(ai[p]) *
+             static_cast<std::int32_t>(bj[p]);
+      ci[j] = s;
+    }
+  }
+}
+
+#endif  // QNN_MICROKERNEL_X86
+
+// ---------------------------------------------------------------------
+// Dispatch state.
+
+std::atomic<int> g_forced_level{-1};  // -1 = none, else SimdLevel
+std::atomic<int> g_env_level{-1};     // cached resolve_simd_level()
+
+}  // namespace
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+SimdLevel simd_support() {
+#if QNN_MICROKERNEL_X86
+  static const bool avx2 =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return avx2 ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+std::optional<SimdLevel> parse_simd_env(const std::string& value,
+                                        bool* invalid) {
+  if (invalid != nullptr) *invalid = false;
+  if (value == "off" || value == "scalar") return SimdLevel::kScalar;
+  if (value == "avx2") return SimdLevel::kAvx2;
+  if (value.empty() || value == "auto") return std::nullopt;
+  if (invalid != nullptr) *invalid = true;
+  return std::nullopt;
+}
+
+SimdLevel resolve_simd_level() {
+  const char* v = std::getenv("QNN_SIMD");
+  if (v == nullptr) return simd_support();
+  bool invalid = false;
+  const std::optional<SimdLevel> choice = parse_simd_env(v, &invalid);
+  if (invalid) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true))
+      QNN_LOG(Warn) << "ignoring QNN_SIMD=\"" << v
+                    << "\" (want off|scalar|avx2|auto); using auto="
+                    << simd_level_name(simd_support());
+    return simd_support();
+  }
+  if (!choice.has_value()) return simd_support();  // auto
+  if (*choice == SimdLevel::kAvx2 && simd_support() != SimdLevel::kAvx2) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true))
+      QNN_LOG(Warn) << "QNN_SIMD=avx2 requested but this CPU/build has no "
+                       "AVX2+FMA; using scalar";
+    return SimdLevel::kScalar;
+  }
+  return *choice;
+}
+
+SimdLevel active_simd_level() {
+  const int forced = g_forced_level.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<SimdLevel>(forced);
+  int env = g_env_level.load(std::memory_order_relaxed);
+  if (env < 0) {
+    env = static_cast<int>(resolve_simd_level());
+    g_env_level.store(env, std::memory_order_relaxed);
+  }
+  return static_cast<SimdLevel>(env);
+}
+
+std::optional<SimdLevel> set_forced_simd_level(
+    std::optional<SimdLevel> level) {
+  const int next = level.has_value() ? static_cast<int>(*level) : -1;
+  const int prev = g_forced_level.exchange(next, std::memory_order_relaxed);
+  if (prev < 0) return std::nullopt;
+  return static_cast<SimdLevel>(prev);
+}
+
+void refresh_simd_env() {
+  g_env_level.store(-1, std::memory_order_relaxed);
+}
+
+void gemm_block_f32(SimdLevel level, std::int64_t mb, std::int64_t nb,
+                    std::int64_t kb, const float* a, std::int64_t lda,
+                    const float* b, std::int64_t ldb, float* c,
+                    std::int64_t ldc) {
+#if QNN_MICROKERNEL_X86
+  if (level == SimdLevel::kAvx2) {
+    block_f32_avx2(mb, nb, kb, a, lda, b, ldb, c, ldc);
+    return;
+  }
+#endif
+  (void)level;
+  block_f32_scalar(mb, nb, kb, a, lda, b, ldb, c, ldc);
+}
+
+void gemm_block_s8(SimdLevel level, std::int64_t m, std::int64_t n,
+                   std::int64_t k, const std::int8_t* a, const std::int8_t* b,
+                   std::int64_t* c) {
+#if QNN_MICROKERNEL_X86
+  if (level == SimdLevel::kAvx2) {
+    block_s8_avx2(m, n, k, a, b, c);
+    return;
+  }
+#endif
+  (void)level;
+  block_s8_scalar(m, n, k, a, b, c);
+}
+
+void gemm_block_s16(SimdLevel level, std::int64_t m, std::int64_t n,
+                    std::int64_t k, const std::int16_t* a,
+                    const std::int16_t* b, std::int64_t* c) {
+#if QNN_MICROKERNEL_X86
+  if (level == SimdLevel::kAvx2) {
+    block_s16_avx2(m, n, k, a, b, c);
+    return;
+  }
+#endif
+  (void)level;
+  block_s16_scalar(m, n, k, a, b, c);
+}
+
+}  // namespace qnn

@@ -1,0 +1,108 @@
+// SIMD microkernels and runtime dispatch (DESIGN.md §15).
+//
+// Every kernel here computes in the *canonical lane-striped order* that
+// tensor/gemm.h defines: for a fixed output element, the K reduction is
+// a serial left-fold of fused multiply-adds (one correctly-rounded
+// rounding per step, std::fmaf == vfmadd231ps), and distinct output
+// columns never mix — a vector register holds kGemmLanes consecutive
+// columns j, j+1, ..., each accumulating its own element. Because lanes
+// are independent and fma is correctly rounded by IEEE 754, the scalar
+// fallback and the AVX2 kernel produce identical bytes by construction,
+// not by codegen luck; the dispatch level is therefore free to differ
+// between runs, builds, and machines without perturbing a single bit.
+//
+// The integer kernels accumulate in int64 (exact; integer addition is
+// associative), so they are byte-stable at ANY lane or thread order.
+//
+// Dispatch: the active level resolves once from QNN_SIMD ("off"/
+// "scalar", "avx2", "auto"/unset; anything else warns and falls back to
+// auto, like QNN_THREADS) clamped to what CPUID reports, and can be
+// forced programmatically for tests and benchmarks (ScopedSimdLevel).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace qnn {
+
+// Vector width of the float microkernel: one AVX2 register of floats.
+// The lane stripe is a pure function of shape — column j lives in lane
+// j mod kGemmLanes of its 8-column group — and carries no cross-lane
+// float arithmetic, so it exists only as a layout, never as an order.
+inline constexpr std::int64_t kGemmLanes = 8;
+
+enum class SimdLevel {
+  kScalar = 0,  // portable fallback (fmaf per element, same order)
+  kAvx2 = 1,    // AVX2 + FMA register-blocked kernels
+};
+
+const char* simd_level_name(SimdLevel level);
+
+// Best level this CPU supports (CPUID probe, cached after first call).
+SimdLevel simd_support();
+
+// One QNN_SIMD spelling, hardened like ThreadPool::env_threads():
+// "off"/"scalar" -> kScalar, "avx2" -> kAvx2, "auto"/"" -> nullopt
+// (meaning: use simd_support()). Invalid spellings also return nullopt
+// but set *invalid. Exposed for the dispatch unit tests.
+std::optional<SimdLevel> parse_simd_env(const std::string& value,
+                                        bool* invalid = nullptr);
+
+// Resolves QNN_SIMD against simd_support() (reads the environment on
+// every call; warns once per process on garbage or an unsupported
+// request, then falls back).
+SimdLevel resolve_simd_level();
+
+// The level the kernels actually run at: a programmatic force when one
+// is set, else the cached resolve_simd_level() result.
+SimdLevel active_simd_level();
+
+// Forces a level (tests/benches); nullopt returns to env/CPUID
+// resolution. Returns the previous forced state. Not thread-safe
+// against in-flight kernels — switch between forwards, not during.
+std::optional<SimdLevel> set_forced_simd_level(std::optional<SimdLevel> level);
+
+// Drops the cached QNN_SIMD resolution so the next active_simd_level()
+// re-reads the environment (dispatch tests setenv between checks).
+void refresh_simd_env();
+
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level)
+      : previous_(set_forced_simd_level(level)) {}
+  ~ScopedSimdLevel() { set_forced_simd_level(previous_); }
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+
+ private:
+  std::optional<SimdLevel> previous_;
+};
+
+// ---------------------------------------------------------------------
+// Float block kernel: C[mb,nb] += A[mb,kb] * B[kb,nb], row-major with
+// leading dimensions lda/ldb/ldc. Per output element the K fold runs
+// p = 0..kb-1 with one fused multiply-add per step — identical bytes at
+// every level (see header comment). gemm.cc routes every cache block of
+// every gemm variant through this entry.
+void gemm_block_f32(SimdLevel level, std::int64_t mb, std::int64_t nb,
+                    std::int64_t kb, const float* a, std::int64_t lda,
+                    const float* b, std::int64_t ldb, float* c,
+                    std::int64_t ldc);
+
+// ---------------------------------------------------------------------
+// Integer block kernels, dot-product layout: C[M,N] = A[M,K] * B[N,K]^T
+// with both operands row-contiguous and C an int64 accumulator image
+// (overwritten). Exact at any lane/block order. The int8 kernel uses
+// 16-bit madd pair-sums into int32 blocks widened to int64 (pair sums
+// are <= 2^15, and blocks are re-widened long before int32 could
+// saturate); the int16 kernel widens every product to int64 (a pair of
+// extreme 16-bit products overflows int32, so there is no safe madd).
+void gemm_block_s8(SimdLevel level, std::int64_t m, std::int64_t n,
+                   std::int64_t k, const std::int8_t* a, const std::int8_t* b,
+                   std::int64_t* c);
+void gemm_block_s16(SimdLevel level, std::int64_t m, std::int64_t n,
+                    std::int64_t k, const std::int16_t* a,
+                    const std::int16_t* b, std::int64_t* c);
+
+}  // namespace qnn

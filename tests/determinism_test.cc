@@ -19,6 +19,7 @@
 #include "protect/protected_network.h"
 #include "quant/qnetwork.h"
 #include "tensor/gemm.h"
+#include "tensor/microkernel.h"
 #include "util/fileio.h"
 #include "util/thread_pool.h"
 
@@ -604,6 +605,70 @@ TEST(Determinism, SweepCheckpointBytesMatchSerial) {
 
   for (const auto& p : {ck1, ck4, ck1 + ".weights", ck4 + ".weights"})
     std::filesystem::remove(p);
+}
+
+// The native integer inference path (DESIGN.md §15): a frozen fixed-
+// point forward is bit-identical at every thread count AND every SIMD
+// level — integer accumulation is exact, so this is structural, and it
+// extends the serve replay digests (which hash these bytes) to the int
+// path.
+TEST(Determinism, FrozenIntForwardBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  EvalFixture f;
+  quant::QuantizedNetwork qnet(*f.net, quant::fixed_config(8, 8));
+  qnet.calibrate(f.split.train.images);
+  qnet.freeze_inference();
+  ASSERT_TRUE(qnet.native_int_active());
+
+  ThreadPool::set_global_threads(1);
+  const Tensor base = qnet.forward(f.split.test.images);
+  for (int threads : {4, 8}) {
+    ThreadPool::set_global_threads(threads);
+    for (SimdLevel level : {SimdLevel::kScalar, simd_support()}) {
+      ScopedSimdLevel force(level);
+      const Tensor got = qnet.forward(f.split.test.images);
+      ASSERT_EQ(got.count(), base.count());
+      EXPECT_EQ(std::memcmp(got.data(), base.data(),
+                            static_cast<std::size_t>(base.count()) *
+                                sizeof(float)),
+                0)
+          << threads << " threads, " << simd_level_name(level);
+    }
+  }
+}
+
+// Int path on vs the fake-quantized float path: same calibrated grids,
+// so logits agree to within one final-site grid step (the float path's
+// float32 accumulation rounding) and accuracy stays inside the
+// calibrated guard envelope.
+TEST(Determinism, IntPathTracksFakeQuantWithinGuardEnvelope) {
+  ThreadGuard guard;
+  EvalFixture f;
+  quant::QuantizedNetwork qnet(*f.net, quant::fixed_config(8, 8));
+  qnet.calibrate(f.split.train.images);
+
+  const double acc_float = nn::evaluate(qnet, f.split.test);
+  qnet.restore_masters();
+  const Tensor float_logits = qnet.forward(f.split.test.images);
+  qnet.restore_masters();
+
+  qnet.freeze_inference();
+  ASSERT_TRUE(qnet.native_int_active());
+  const double acc_int = nn::evaluate(qnet, f.split.test);
+  const Tensor int_logits = qnet.forward(f.split.test.images);
+
+  const auto& fq = dynamic_cast<const quant::FixedQuantizer&>(
+      qnet.data_quantizer(qnet.num_sites() - 1));
+  const double step = fq.format()->step();
+  ASSERT_EQ(int_logits.count(), float_logits.count());
+  for (std::int64_t i = 0; i < int_logits.count(); ++i)
+    EXPECT_NEAR(int_logits[i], float_logits[i], step + 1e-9)
+        << "logit " << i;
+  // Logits a grid step apart can flip an argmax tie; bound the drift to
+  // a couple of test samples rather than demanding exact equality.
+  EXPECT_NEAR(acc_int, acc_float,
+              2.0 / static_cast<double>(f.split.test.images.shape()[0]) +
+                  1e-12);
 }
 
 }  // namespace

@@ -1,0 +1,338 @@
+// Differential tests for the SIMD microkernel dispatch (DESIGN.md §15):
+// the scalar fallback and the AVX2/FMA kernels must produce IDENTICAL
+// bytes for every gemm variant, shape boundary, scratch state, and
+// thread count — the lane-striped fused-multiply-add contract of
+// tensor/gemm.h makes this a structural property, and these tests pin
+// it. Also covers the QNN_SIMD runtime-dispatch parsing and override
+// machinery.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "tensor/int_gemm.h"
+#include "tensor/microkernel.h"
+#include "util/thread_pool.h"
+
+namespace qnn {
+namespace {
+
+bool avx2_available() { return simd_support() == SimdLevel::kAvx2; }
+
+// Restores the global pool to its environment size no matter how a test
+// exits.
+struct ThreadGuard {
+  ~ThreadGuard() {
+    ThreadPool::set_global_threads(ThreadPool::env_threads());
+  }
+};
+
+// Saves and restores one environment variable across a test body.
+class ScopedEnv {
+ public:
+  explicit ScopedEnv(const char* name) : name_(name) {
+    const char* v = std::getenv(name);
+    if (v != nullptr) saved_ = v;
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+    refresh_simd_env();
+  }
+
+  void set(const std::string& value) {
+    ::setenv(name_, value.c_str(), 1);
+    refresh_simd_env();
+  }
+  void unset() {
+    ::unsetenv(name_);
+    refresh_simd_env();
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+std::vector<float> random_vec(std::int64_t count, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> out(static_cast<std::size_t>(count));
+  for (float& v : out) v = dist(rng);
+  return out;
+}
+
+// One output buffer per gemm variant, all computed at the given level.
+struct VariantOutputs {
+  std::vector<float> plain, row_bias, accumulate, at, bt, bt_col_bias,
+      bt_accumulate;
+
+  bool operator==(const VariantOutputs& o) const {
+    auto same = [](const std::vector<float>& x, const std::vector<float>& y) {
+      return x.size() == y.size() &&
+             (x.empty() || std::memcmp(x.data(), y.data(),
+                                       x.size() * sizeof(float)) == 0);
+    };
+    return same(plain, o.plain) && same(row_bias, o.row_bias) &&
+           same(accumulate, o.accumulate) && same(at, o.at) &&
+           same(bt, o.bt) && same(bt_col_bias, o.bt_col_bias) &&
+           same(bt_accumulate, o.bt_accumulate);
+  }
+};
+
+VariantOutputs run_all_variants(SimdLevel level, std::int64_t m,
+                                std::int64_t n, std::int64_t k,
+                                GemmScratch* scratch = nullptr) {
+  ScopedSimdLevel force(level);
+  const auto a = random_vec(m * k, 11);    // row-major [M,K]
+  const auto b = random_vec(k * n, 12);    // row-major [K,N]
+  const auto at_op = random_vec(k * m, 13);  // A^T stored [K,M]
+  const auto bt_op = random_vec(n * k, 14);  // B^T stored [N,K]
+  const auto rbias = random_vec(m, 15);
+  const auto cbias = random_vec(n, 16);
+  const auto seed_c = random_vec(m * n, 17);
+
+  VariantOutputs out;
+  const std::size_t cn = static_cast<std::size_t>(m * n);
+  out.plain.resize(cn);
+  gemm(m, n, k, a.data(), b.data(), out.plain.data(), scratch);
+  out.row_bias.resize(cn);
+  gemm_row_bias(m, n, k, a.data(), b.data(), out.row_bias.data(),
+                rbias.data(), scratch);
+  out.accumulate = seed_c;
+  gemm_accumulate(m, n, k, a.data(), b.data(), out.accumulate.data(),
+                  scratch);
+  out.at.resize(cn);
+  gemm_at(m, n, k, at_op.data(), b.data(), out.at.data(), scratch);
+  out.bt.resize(cn);
+  gemm_bt(m, n, k, a.data(), bt_op.data(), out.bt.data(), scratch);
+  out.bt_col_bias.resize(cn);
+  gemm_bt_col_bias(m, n, k, a.data(), bt_op.data(), out.bt_col_bias.data(),
+                   cbias.data(), scratch);
+  out.bt_accumulate = seed_c;
+  gemm_bt_accumulate(m, n, k, a.data(), bt_op.data(),
+                     out.bt_accumulate.data(), scratch);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Scalar == AVX2, bytes, every variant, boundary shapes.
+
+TEST(GemmKernelDifferential, ScalarMatchesAvx2AcrossBoundaryShapes) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 on this machine";
+  // Boundaries of the kernel geometry: the 8-wide lane stripe, the
+  // 16-column AVX2 panel, the 64-row M block, and the 256-wide K chunk,
+  // each straddled by one.
+  const std::int64_t ms[] = {1, 4, 63, 64, 65};
+  const std::int64_t ns[] = {1, 7, 8, 9, 16, 17, 255, 256, 257};
+  const std::int64_t ks[] = {1, 8, 255, 256, 257};
+  for (std::int64_t m : ms) {
+    for (std::int64_t n : ns) {
+      for (std::int64_t k : ks) {
+        const VariantOutputs scalar =
+            run_all_variants(SimdLevel::kScalar, m, n, k);
+        const VariantOutputs avx2 =
+            run_all_variants(SimdLevel::kAvx2, m, n, k);
+        ASSERT_TRUE(scalar == avx2)
+            << "m=" << m << " n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(GemmKernelDifferential, ScalarMatchesAvx2ColdAndWarmScratch) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 on this machine";
+  const std::int64_t m = 65, n = 257, k = 300;  // K-chunked, odd edges
+  const VariantOutputs base = run_all_variants(SimdLevel::kScalar, m, n, k);
+  GemmScratch scratch;  // cold on the first pass, warm on the second
+  const VariantOutputs cold =
+      run_all_variants(SimdLevel::kAvx2, m, n, k, &scratch);
+  const VariantOutputs warm =
+      run_all_variants(SimdLevel::kAvx2, m, n, k, &scratch);
+  EXPECT_TRUE(base == cold);
+  EXPECT_TRUE(cold == warm);
+}
+
+TEST(GemmKernelDifferential, ScalarMatchesAvx2AcrossThreadCounts) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 on this machine";
+  ThreadGuard guard;
+  // Tall-K shape engages the K-parallel fixed-tree path; wide-M engages
+  // M-block sharding.
+  ThreadPool::set_global_threads(1);
+  const VariantOutputs base =
+      run_all_variants(SimdLevel::kScalar, 130, 33, 700);
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool::set_global_threads(threads);
+    const VariantOutputs scalar =
+        run_all_variants(SimdLevel::kScalar, 130, 33, 700);
+    const VariantOutputs avx2 =
+        run_all_variants(SimdLevel::kAvx2, 130, 33, 700);
+    EXPECT_TRUE(base == scalar) << threads << " threads (scalar)";
+    EXPECT_TRUE(base == avx2) << threads << " threads (avx2)";
+  }
+}
+
+// ---------------------------------------------------------------------
+// Integer kernels: scalar == AVX2 words (exact in int64 regardless, so
+// any mismatch is a kernel bug, not a rounding difference).
+
+template <typename WordT>
+std::vector<WordT> random_words(std::int64_t count, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> dist(
+      std::numeric_limits<WordT>::min(), std::numeric_limits<WordT>::max());
+  std::vector<WordT> out(static_cast<std::size_t>(count));
+  for (WordT& v : out) v = static_cast<WordT>(dist(rng));
+  return out;
+}
+
+template <typename WordT>
+void int_kernel_differential() {
+  const std::int64_t ms[] = {1, 3, 64};
+  const std::int64_t ns[] = {1, 2, 4, 5, 8, 33};
+  const std::int64_t ks[] = {1, 7, 8, 15, 16, 17, 64, 300};
+  for (std::int64_t m : ms) {
+    for (std::int64_t n : ns) {
+      for (std::int64_t k : ks) {
+        const auto a = random_words<WordT>(m * k, 21);
+        const auto b = random_words<WordT>(n * k, 22);
+        std::vector<std::int64_t> cs(static_cast<std::size_t>(m * n));
+        std::vector<std::int64_t> cv(static_cast<std::size_t>(m * n));
+        {
+          ScopedSimdLevel force(SimdLevel::kScalar);
+          int_gemm_bt(m, n, k, a.data(), b.data(), cs.data());
+        }
+        {
+          ScopedSimdLevel force(SimdLevel::kAvx2);
+          int_gemm_bt(m, n, k, a.data(), b.data(), cv.data());
+        }
+        ASSERT_EQ(cs, cv) << "m=" << m << " n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(GemmKernelDifferential, Int8ScalarMatchesAvx2) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 on this machine";
+  int_kernel_differential<std::int8_t>();
+}
+
+TEST(GemmKernelDifferential, Int16ScalarMatchesAvx2) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 on this machine";
+  int_kernel_differential<std::int16_t>();
+}
+
+// Extreme-magnitude operands: the int8 kernel's madd pair-sums and the
+// int16 kernel's widening must not wrap anywhere in the K blocking.
+TEST(GemmKernelDifferential, IntKernelsExactAtExtremes) {
+  auto check = [](auto word, std::int64_t k) {
+    using WordT = decltype(word);
+    const WordT lo = std::numeric_limits<WordT>::min();
+    const WordT hi = std::numeric_limits<WordT>::max();
+    std::vector<WordT> a(static_cast<std::size_t>(k), lo);
+    std::vector<WordT> b(static_cast<std::size_t>(k), lo);
+    std::int64_t c = 0;
+    const SimdLevel level =
+        avx2_available() ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+    ScopedSimdLevel force(level);
+    // min*min: the largest positive product.
+    int_gemm_bt(1, 1, k, a.data(), b.data(), &c);
+    EXPECT_EQ(c, k * (static_cast<std::int64_t>(lo) * lo));
+    // min*max: the most negative product.
+    std::fill(b.begin(), b.end(), hi);
+    int_gemm_bt(1, 1, k, a.data(), b.data(), &c);
+    EXPECT_EQ(c, k * (static_cast<std::int64_t>(lo) * hi));
+  };
+  // K spans the int8 kernel's 2^16 K-block boundary.
+  for (std::int64_t k : {1, 255, 65535, 65536, 65537, 70000}) {
+    check(std::int8_t{0}, k);
+  }
+  for (std::int64_t k : {1, 255, 4096}) {
+    check(std::int16_t{0}, k);
+  }
+}
+
+// ---------------------------------------------------------------------
+// QNN_SIMD parsing + dispatch override machinery (satellite: hardened
+// like ThreadPool::env_threads()).
+
+TEST(SimdDispatch, ParseSimdEnvSpellings) {
+  bool invalid = false;
+  EXPECT_EQ(parse_simd_env("off", &invalid), SimdLevel::kScalar);
+  EXPECT_FALSE(invalid);
+  EXPECT_EQ(parse_simd_env("scalar", &invalid), SimdLevel::kScalar);
+  EXPECT_FALSE(invalid);
+  EXPECT_EQ(parse_simd_env("avx2", &invalid), SimdLevel::kAvx2);
+  EXPECT_FALSE(invalid);
+  EXPECT_EQ(parse_simd_env("auto", &invalid), std::nullopt);
+  EXPECT_FALSE(invalid);
+  EXPECT_EQ(parse_simd_env("", &invalid), std::nullopt);
+  EXPECT_FALSE(invalid);
+  EXPECT_EQ(parse_simd_env("bogus", &invalid), std::nullopt);
+  EXPECT_TRUE(invalid);
+  EXPECT_EQ(parse_simd_env("AVX2", &invalid), std::nullopt);
+  EXPECT_TRUE(invalid);  // spellings are case-sensitive, like QNN_THREADS
+}
+
+TEST(SimdDispatch, EnvControlsActiveLevel) {
+  ScopedEnv env("QNN_SIMD");
+  env.set("off");
+  EXPECT_EQ(active_simd_level(), SimdLevel::kScalar);
+  env.set("scalar");
+  EXPECT_EQ(active_simd_level(), SimdLevel::kScalar);
+  env.set("avx2");
+  // Clamped to hardware support: exactly avx2 when available, scalar
+  // fallback (with a warning) when not.
+  EXPECT_EQ(active_simd_level(), simd_support());
+  env.set("definitely-not-a-level");
+  EXPECT_EQ(active_simd_level(), simd_support());  // auto fallback
+  env.unset();
+  EXPECT_EQ(active_simd_level(), simd_support());
+}
+
+TEST(SimdDispatch, ForcedLevelWinsOverEnv) {
+  ScopedEnv env("QNN_SIMD");
+  env.set("off");
+  {
+    ScopedSimdLevel force(simd_support());
+    EXPECT_EQ(active_simd_level(), simd_support());
+  }
+  EXPECT_EQ(active_simd_level(), SimdLevel::kScalar);  // force restored
+}
+
+// Both dispatch targets, driven through the ENV path end to end (not
+// the programmatic force), produce identical bytes.
+TEST(SimdDispatch, EnvDispatchTargetsProduceIdenticalBytes) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 on this machine";
+  ScopedEnv env("QNN_SIMD");
+  const std::int64_t m = 33, n = 65, k = 257;
+  const auto a = random_vec(m * k, 31);
+  const auto b = random_vec(k * n, 32);
+  std::vector<float> c_off(static_cast<std::size_t>(m * n));
+  std::vector<float> c_avx2(static_cast<std::size_t>(m * n));
+  env.set("off");
+  gemm(m, n, k, a.data(), b.data(), c_off.data());
+  env.set("avx2");
+  gemm(m, n, k, a.data(), b.data(), c_avx2.data());
+  EXPECT_EQ(std::memcmp(c_off.data(), c_avx2.data(),
+                        c_off.size() * sizeof(float)),
+            0);
+}
+
+TEST(SimdDispatch, SupportLevelNameRoundTrips) {
+  EXPECT_STREQ(simd_level_name(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(simd_level_name(SimdLevel::kAvx2), "avx2");
+  // simd_support() is one of the two defined levels.
+  const SimdLevel s = simd_support();
+  EXPECT_TRUE(s == SimdLevel::kScalar || s == SimdLevel::kAvx2);
+}
+
+}  // namespace
+}  // namespace qnn

@@ -1,0 +1,428 @@
+// The native integer inference path (quant/int_inference) checked
+// word-for-word against the NFU bit-level oracle (hw/nfu_sim): frozen
+// fixed-point forwards must produce EXACTLY the raw words the
+// accelerator simulator computes, at every precision tier, radix
+// extreme, and thread count. Also covers the int GEMM drivers against a
+// naive int64 reference and the QNN_INT_INFER gate.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "hw/nfu_sim.h"
+#include "nn/activation.h"
+#include "nn/conv.h"
+#include "nn/inner_product.h"
+#include "nn/pool.h"
+#include "nn/zoo.h"
+#include "quant/int_inference.h"
+#include "quant/qnetwork.h"
+#include "tensor/int_gemm.h"
+#include "tensor/microkernel.h"
+#include "util/thread_pool.h"
+
+namespace qnn::quant {
+namespace {
+
+struct ThreadGuard {
+  ~ThreadGuard() {
+    ThreadPool::set_global_threads(ThreadPool::env_threads());
+  }
+};
+
+class ScopedEnv {
+ public:
+  explicit ScopedEnv(const char* name) : name_(name) {
+    const char* v = std::getenv(name);
+    if (v != nullptr) saved_ = v;
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  void set(const std::string& value) { ::setenv(name_, value.c_str(), 1); }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+// ---------------------------------------------------------------------
+// int_gemm_bt vs a naive int64 reference.
+
+template <typename WordT>
+void int_gemm_vs_naive(std::int64_t m, std::int64_t n, std::int64_t k,
+                       std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> dist(
+      std::numeric_limits<WordT>::min(), std::numeric_limits<WordT>::max());
+  std::vector<WordT> a(static_cast<std::size_t>(m * k));
+  std::vector<WordT> b(static_cast<std::size_t>(n * k));
+  for (WordT& v : a) v = static_cast<WordT>(dist(rng));
+  for (WordT& v : b) v = static_cast<WordT>(dist(rng));
+
+  std::vector<std::int64_t> want(static_cast<std::size_t>(m * n), 0);
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int64_t acc = 0;
+      for (std::int64_t p = 0; p < k; ++p)
+        acc += static_cast<std::int64_t>(a[static_cast<std::size_t>(
+                   i * k + p)]) *
+               b[static_cast<std::size_t>(j * k + p)];
+      want[static_cast<std::size_t>(i * n + j)] = acc;
+    }
+
+  std::vector<std::int64_t> got(static_cast<std::size_t>(m * n));
+  int_gemm_bt(m, n, k, a.data(), b.data(), got.data());
+  ASSERT_EQ(got, want) << "m=" << m << " n=" << n << " k=" << k;
+}
+
+TEST(IntGemm, MatchesNaiveReferenceInt8) {
+  for (auto [m, n, k] : {std::tuple<std::int64_t, std::int64_t, std::int64_t>
+                             {1, 1, 1},
+                         {3, 5, 7}, {17, 9, 33}, {64, 10, 300}}) {
+    int_gemm_vs_naive<std::int8_t>(m, n, k, 1000 + m + n + k);
+  }
+}
+
+TEST(IntGemm, MatchesNaiveReferenceInt16) {
+  for (auto [m, n, k] : {std::tuple<std::int64_t, std::int64_t, std::int64_t>
+                             {1, 1, 1},
+                         {3, 5, 7}, {17, 9, 33}, {64, 10, 300}}) {
+    int_gemm_vs_naive<std::int16_t>(m, n, k, 2000 + m + n + k);
+  }
+}
+
+TEST(IntGemm, ThreadCountNeverChangesWords) {
+  ThreadGuard guard;
+  const std::int64_t m = 130, n = 9, k = 257;
+  std::mt19937_64 rng(42);
+  std::uniform_int_distribution<int> dist(-128, 127);
+  std::vector<std::int8_t> a(static_cast<std::size_t>(m * k));
+  std::vector<std::int8_t> b(static_cast<std::size_t>(n * k));
+  for (auto& v : a) v = static_cast<std::int8_t>(dist(rng));
+  for (auto& v : b) v = static_cast<std::int8_t>(dist(rng));
+  ThreadPool::set_global_threads(1);
+  std::vector<std::int64_t> base(static_cast<std::size_t>(m * n));
+  int_gemm_bt(m, n, k, a.data(), b.data(), base.data());
+  for (int threads : {2, 4, 8}) {
+    ThreadPool::set_global_threads(threads);
+    std::vector<std::int64_t> got(static_cast<std::size_t>(m * n));
+    int_gemm_bt(m, n, k, a.data(), b.data(), got.data());
+    EXPECT_EQ(got, base) << threads << " threads";
+  }
+}
+
+// ---------------------------------------------------------------------
+// Frozen-network integer forwards vs the NfuSimulator oracle.
+
+std::unique_ptr<nn::Network> lenet_scale_cnn(std::uint64_t seed = 3) {
+  // LeNet-shaped: conv -> pool -> relu -> conv -> pool -> ip -> relu
+  // -> ip, exercising every native stage kind plus padding.
+  auto net = std::make_unique<nn::Network>("lenet_scale");
+  nn::ConvSpec c1;
+  c1.out_channels = 6;
+  c1.kernel = 5;
+  c1.pad = 2;
+  net->add<nn::Conv2d>(1, c1);  // 12x12 -> 12x12 (padded)
+  net->add<nn::Pool2d>(nn::PoolSpec{nn::PoolMode::kMax, 2, 2, 0});
+  net->add<nn::Relu>();
+  nn::ConvSpec c2;
+  c2.out_channels = 8;
+  c2.kernel = 3;
+  net->add<nn::Conv2d>(6, c2);  // 6x6 -> 4x4
+  net->add<nn::Pool2d>(nn::PoolSpec{nn::PoolMode::kAvg, 2, 2, 0});
+  net->add<nn::InnerProduct>(8 * 2 * 2, 24);
+  net->add<nn::Relu>();
+  net->add<nn::InnerProduct>(24, 10);
+  Rng rng(seed);
+  net->init_weights(rng);
+  return net;
+}
+
+Tensor cnn_input(std::int64_t n = 3, std::uint64_t seed = 7) {
+  Tensor t(Shape{n, 1, 12, 12});
+  Rng rng(seed);
+  t.fill_uniform(rng, 0, 1);
+  return t;
+}
+
+// Compares the frozen network's native integer forward against the NFU
+// oracle word for word. Both paths decode to the final site's grid, and
+// decode is injective at these widths, so float equality IS word
+// equality; the raw words are additionally checked via forward_raw.
+void expect_matches_oracle(const PrecisionConfig& cfg, bool expect_int8) {
+  auto net = lenet_scale_cnn();
+  const Tensor calib = cnn_input(4, 5);
+  QuantizedNetwork qnet(*net, cfg);
+  qnet.calibrate(calib);
+
+  // The oracle must be built BEFORE freezing: NfuSimulator's
+  // constructor runs a forward and then restores masters, which would
+  // silently thaw a frozen network.
+  const hw::NfuSimulator sim(*net, qnet, Shape{1, 1, 12, 12});
+
+  qnet.freeze_inference();
+  ASSERT_TRUE(qnet.native_int_active()) << cfg.label();
+  EXPECT_EQ(qnet.int_engine()->uses_int8(), expect_int8) << cfg.label();
+
+  const Tensor x = cnn_input(3, 9);
+  const Tensor oracle = sim.forward(x);
+  const Tensor got = qnet.forward(x);
+  ASSERT_EQ(got.count(), oracle.count());
+  for (std::int64_t i = 0; i < got.count(); ++i)
+    ASSERT_EQ(got[i], oracle[i]) << cfg.label() << " elem " << i;
+
+  // Raw-word check: re-encoding the oracle's grid floats through the
+  // final site format must reproduce the engine's words exactly.
+  const IntRawResult raw = qnet.int_engine()->forward_raw(x);
+  ASSERT_EQ(static_cast<std::int64_t>(raw.raw.size()), oracle.count());
+  for (std::int64_t i = 0; i < oracle.count(); ++i)
+    ASSERT_EQ(raw.raw[static_cast<std::size_t>(i)],
+              raw.format.to_raw(static_cast<double>(oracle[i])))
+        << cfg.label() << " elem " << i;
+}
+
+TEST(IntInferenceOracle, Fixed16MatchesNfuWordForWord) {
+  expect_matches_oracle(fixed_config(16, 16), /*expect_int8=*/false);
+}
+
+TEST(IntInferenceOracle, Fixed8MatchesNfuWordForWord) {
+  expect_matches_oracle(fixed_config(8, 8), /*expect_int8=*/true);
+}
+
+TEST(IntInferenceOracle, Fixed4MatchesNfuWordForWord) {
+  expect_matches_oracle(fixed_config(4, 4), /*expect_int8=*/true);
+}
+
+TEST(IntInferenceOracle, MixedWidthPicksInt16) {
+  // 8-bit data but 16-bit weights: must fall back to int16 words.
+  expect_matches_oracle(fixed_config(16, 8), /*expect_int8=*/false);
+}
+
+// Sigmoid/tanh PLAN stages and dropout passthrough against the oracle.
+TEST(IntInferenceOracle, PlanAndPassthroughStagesMatch) {
+  auto net = std::make_unique<nn::Network>("plan");
+  net->add<nn::InnerProduct>(6, 8);
+  net->add<nn::Sigmoid>();
+  net->add<nn::Dropout>(0.5);
+  net->add<nn::InnerProduct>(8, 4);
+  net->add<nn::Tanh>();
+  Rng rng(11);
+  net->init_weights(rng);
+  net->set_training_mode(false);
+  Tensor calib(Shape{4, 6});
+  calib.fill_uniform(rng, -1, 1);
+
+  QuantizedNetwork qnet(*net, fixed_config(8, 8));
+  qnet.calibrate(calib);
+  const hw::NfuSimulator sim(*net, qnet, Shape{1, 6});
+  qnet.freeze_inference();
+  ASSERT_TRUE(qnet.native_int_active());
+
+  Tensor x(Shape{3, 6});
+  Rng rng2(13);
+  x.fill_uniform(rng2, -1, 1);
+  const Tensor oracle = sim.forward(x);
+  const Tensor got = qnet.forward(x);
+  for (std::int64_t i = 0; i < got.count(); ++i)
+    EXPECT_EQ(got[i], oracle[i]) << "elem " << i;
+}
+
+// Saturation / rounding edges: formats with extreme radix points force
+// heavy clipping on one side (tiny representable range) and heavy
+// rounding on the other (coarse grid). The engine must track the
+// oracle's shift-round-saturate word for word through both.
+TEST(IntInferenceOracle, ExtremeRadixPointsSaturateIdentically) {
+  for (int frac_offset : {-3, 0, 3}) {
+    auto net = std::make_unique<nn::Network>("edge");
+    net->add<nn::InnerProduct>(5, 7);
+    net->add<nn::Relu>();
+    net->add<nn::InnerProduct>(7, 3);
+    Rng rng(17);
+    net->init_weights(rng);
+    // Scale the inputs to push the range analysis toward an extreme
+    // radix: large values -> few frac bits (rounding-heavy), small
+    // values -> many frac bits (saturation-heavy on outliers).
+    Tensor calib(Shape{4, 5});
+    calib.fill_uniform(rng, 0, 1);
+    const float scale = std::ldexp(1.0f, 4 * frac_offset);
+    for (std::int64_t i = 0; i < calib.count(); ++i) calib[i] *= scale;
+
+    QuantizedNetwork qnet(*net, fixed_config(8, 8));
+    qnet.calibrate(calib);
+    const hw::NfuSimulator sim(*net, qnet, Shape{1, 5});
+    qnet.freeze_inference();
+    ASSERT_TRUE(qnet.native_int_active());
+
+    // Out-of-range inputs exercise input-encode saturation too.
+    Tensor x(Shape{3, 5});
+    Rng rng2(19);
+    x.fill_uniform(rng2, -2, 2);
+    for (std::int64_t i = 0; i < x.count(); ++i) x[i] *= scale;
+    const Tensor oracle = sim.forward(x);
+    const Tensor got = qnet.forward(x);
+    for (std::int64_t i = 0; i < got.count(); ++i)
+      EXPECT_EQ(got[i], oracle[i])
+          << "frac_offset=" << frac_offset << " elem " << i;
+  }
+}
+
+// The engine's words are identical at every SIMD level and thread
+// count (integer accumulation is exact, so this is structural).
+TEST(IntInferenceOracle, WordsStableAcrossSimdAndThreads) {
+  ThreadGuard guard;
+  auto net = lenet_scale_cnn();
+  const Tensor calib = cnn_input(4, 5);
+  QuantizedNetwork qnet(*net, fixed_config(8, 8));
+  qnet.calibrate(calib);
+  qnet.freeze_inference();
+  ASSERT_TRUE(qnet.native_int_active());
+  const Tensor x = cnn_input(3, 9);
+
+  ThreadPool::set_global_threads(1);
+  std::optional<IntRawResult> base;
+  {
+    ScopedSimdLevel force(SimdLevel::kScalar);
+    base = qnet.int_engine()->forward_raw(x);
+  }
+  for (int threads : {1, 4, 8}) {
+    ThreadPool::set_global_threads(threads);
+    for (SimdLevel level : {SimdLevel::kScalar, simd_support()}) {
+      ScopedSimdLevel force(level);
+      const IntRawResult got = qnet.int_engine()->forward_raw(x);
+      EXPECT_EQ(got.raw, base->raw)
+          << threads << " threads, " << simd_level_name(level);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Eligibility + the QNN_INT_INFER gate.
+
+TEST(IntInference, EnvParsingIsHardened) {
+  bool invalid = false;
+  EXPECT_EQ(parse_int_infer_env("on", &invalid), true);
+  EXPECT_FALSE(invalid);
+  EXPECT_EQ(parse_int_infer_env("1", &invalid), true);
+  EXPECT_EQ(parse_int_infer_env("off", &invalid), false);
+  EXPECT_EQ(parse_int_infer_env("0", &invalid), false);
+  EXPECT_FALSE(invalid);
+  EXPECT_EQ(parse_int_infer_env("auto", &invalid), std::nullopt);
+  EXPECT_FALSE(invalid);
+  EXPECT_EQ(parse_int_infer_env("", &invalid), std::nullopt);
+  EXPECT_FALSE(invalid);
+  EXPECT_EQ(parse_int_infer_env("yes-please", &invalid), std::nullopt);
+  EXPECT_TRUE(invalid);
+}
+
+TEST(IntInference, EnvOffDisablesNativePath) {
+  ScopedEnv env("QNN_INT_INFER");
+  auto net = lenet_scale_cnn();
+  const Tensor calib = cnn_input(4, 5);
+  QuantizedNetwork qnet(*net, fixed_config(8, 8));
+  qnet.calibrate(calib);
+
+  env.set("off");
+  qnet.freeze_inference();
+  EXPECT_FALSE(qnet.native_int_active());
+  const Tensor x = cnn_input(2, 9);
+  const Tensor float_path = qnet.forward(x);
+
+  // Re-freeze with the gate open: the env is re-read at freeze time.
+  qnet.thaw_inference();
+  env.set("on");
+  qnet.freeze_inference();
+  EXPECT_TRUE(qnet.native_int_active());
+  const Tensor int_path = qnet.forward(x);
+
+  // Same grid, same calibration: the two paths agree to within one
+  // final-grid step (float32 accumulation rounding; cf. nfu_sim_test).
+  const auto& fq = dynamic_cast<const FixedQuantizer&>(
+      qnet.data_quantizer(qnet.num_sites() - 1));
+  const double step = fq.format()->step();
+  for (std::int64_t i = 0; i < int_path.count(); ++i)
+    EXPECT_NEAR(float_path[i], int_path[i], step + 1e-9) << "elem " << i;
+}
+
+TEST(IntInference, IneligibleConfigsFallBackToFloatPath) {
+  const Tensor calib = cnn_input(4, 5);
+  {
+    // Float config: no integer realization.
+    auto net = lenet_scale_cnn();
+    QuantizedNetwork qnet(*net, float_config());
+    qnet.freeze_inference();
+    EXPECT_FALSE(qnet.native_int_active());
+  }
+  {
+    // 24-bit weights exceed the 16-bit native word.
+    auto net = lenet_scale_cnn();
+    QuantizedNetwork qnet(*net, fixed_config(24, 16));
+    qnet.calibrate(calib);
+    EXPECT_NE(IntInferenceEngine::ineligibility_reason(*net, qnet), "");
+    qnet.freeze_inference();
+    EXPECT_FALSE(qnet.native_int_active());
+    // Frozen float path still serves forwards.
+    EXPECT_EQ(qnet.forward(cnn_input(1, 9)).count(), 10);
+  }
+  {
+    // Stochastic rounding is nondeterministic: float path only.
+    auto net = lenet_scale_cnn();
+    PrecisionConfig cfg = fixed_config(8, 8);
+    cfg.rounding = Rounding::kStochastic;
+    QuantizedNetwork qnet(*net, cfg);
+    qnet.calibrate(calib);
+    EXPECT_NE(IntInferenceEngine::ineligibility_reason(*net, qnet), "");
+    qnet.freeze_inference();
+    EXPECT_FALSE(qnet.native_int_active());
+  }
+  {
+    // Eligible config reports an empty reason.
+    auto net = lenet_scale_cnn();
+    QuantizedNetwork qnet(*net, fixed_config(8, 8));
+    qnet.calibrate(calib);
+    EXPECT_EQ(IntInferenceEngine::ineligibility_reason(*net, qnet), "");
+  }
+}
+
+TEST(IntInference, ThawDropsEngineAndRestoresTraining) {
+  auto net = lenet_scale_cnn();
+  QuantizedNetwork qnet(*net, fixed_config(8, 8));
+  qnet.calibrate(cnn_input(4, 5));
+  qnet.freeze_inference();
+  ASSERT_TRUE(qnet.native_int_active());
+  qnet.thaw_inference();
+  EXPECT_FALSE(qnet.native_int_active());
+  EXPECT_FALSE(qnet.inference_frozen());
+}
+
+// Fault-injection hooks must bypass the native path: the hooks contract
+// exposes float-domain sites/params the integer engine does not have.
+TEST(IntInference, ForwardHooksBypassNativePath) {
+  auto net = lenet_scale_cnn();
+  QuantizedNetwork qnet(*net, fixed_config(8, 8));
+  qnet.calibrate(cnn_input(4, 5));
+  qnet.freeze_inference();
+  ASSERT_TRUE(qnet.native_int_active());
+
+  int site_calls = 0;
+  ForwardHooks hooks;
+  hooks.on_quantized_site = [&](std::size_t, Tensor&) { ++site_calls; };
+  qnet.set_forward_hooks(std::move(hooks));
+  (void)qnet.forward(cnn_input(1, 9));
+  EXPECT_GT(site_calls, 0);  // float path ran, hooks fired
+
+  qnet.clear_forward_hooks();
+  site_calls = 0;
+  (void)qnet.forward(cnn_input(1, 9));
+  EXPECT_EQ(site_calls, 0);  // native path again
+}
+
+}  // namespace
+}  // namespace qnn::quant

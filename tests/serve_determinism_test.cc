@@ -141,6 +141,46 @@ TEST(ServeDeterminism, TracingOnEqualsTracingOff) {
   expect_identical(off, on, "tracing off vs on");
 }
 
+// The fixed-point tiers serve through the native integer path
+// (DESIGN.md §15) — the replay digests above therefore already pin the
+// int path's bytes at 1/4/8 threads. Make the wiring explicit: fixed
+// tiers freeze with the engine active, the float tier never does, and
+// pool forwards are byte-stable across thread counts.
+TEST(ServeDeterminism, FixedTiersServeNativeIntPath) {
+  auto net = det_net();
+  std::vector<TierSpec> tiers = default_tier_lattice();
+  derive_tier_costs(*net, Shape{1, 12}, &tiers);
+  Tensor calib(Shape{16, 12});
+  Rng rng(5);
+  calib.fill_uniform(rng, 0, 1);
+  ReplicaPool pool(*net, calib, tiers);
+
+  for (int t = 0; t < pool.num_tiers(); ++t) {
+    const bool fixed =
+        pool.tier(t).precision.kind == quant::PrecisionKind::kFixed;
+    for (int r = 0; r < pool.replicas_per_tier(); ++r) {
+      EXPECT_EQ(pool.replica(t, r).native_int_active(), fixed)
+          << pool.tier(t).name << " replica " << r;
+    }
+  }
+
+  Tensor x(Shape{8, 12});
+  Rng rng2(9);
+  x.fill_uniform(rng2, 0, 1);
+  for (int t = 0; t < pool.num_tiers(); ++t) {
+    ScopedGlobalThreads one(1);
+    const Tensor base = pool.forward(t, 0, x);
+    for (int threads : {4, 8}) {
+      ScopedGlobalThreads n(threads);
+      const Tensor got = pool.forward(t, 0, x);
+      ASSERT_EQ(got.count(), base.count());
+      for (std::int64_t i = 0; i < got.count(); ++i)
+        EXPECT_EQ(got[i], base[i])
+            << pool.tier(t).name << " " << threads << " threads elem " << i;
+    }
+  }
+}
+
 TEST(ServeDeterminism, SavedTraceReplaysIdentically) {
   const ArrivalTrace trace = overload_trace();
   const std::string path = ::testing::TempDir() + "/serve_det_trace.json";

@@ -348,6 +348,9 @@ TEST(ReplicaPool, ForwardMatchesDirectQuantizedNetwork) {
     auto ref_net = std::make_unique<nn::Network>(net->clone());
     quant::QuantizedNetwork ref(*ref_net, tiers[static_cast<size_t>(t)].precision);
     if (!ref.calibrated()) ref.calibrate(calib);
+    // Pool replicas are frozen at build time; freeze the reference too
+    // so both sides take the same path (fixed tiers: native int).
+    ref.freeze_inference();
     const Tensor want = ref.forward(x);
     for (int r = 0; r < pool.replicas_per_tier(); ++r) {
       const Tensor got = pool.forward(t, r, x);
